@@ -1,0 +1,62 @@
+"""Ablation: exact general index vs approximate link index (paper Section 7).
+
+The approximate index promises ``O(m + occ)`` for every pattern length at
+the price of an additive error ε.  The benchmark compares query time against
+the exact index on the same workload and records the link count (which grows
+as ε shrinks).
+"""
+
+import pytest
+
+from conftest import TAU, TAU_MIN, run_query_batch
+
+from repro.core.approximate import ApproximateSubstringIndex
+
+N = 1000
+THETA = 0.3
+
+
+@pytest.fixture(scope="module")
+def shared_workload(substring_workloads):
+    return substring_workloads(N, THETA)
+
+
+@pytest.fixture(scope="module", params=[0.1, 0.05])
+def approximate_index(request, shared_workload):
+    index = ApproximateSubstringIndex(
+        shared_workload.string, tau_min=TAU_MIN, epsilon=request.param
+    )
+    return index
+
+
+@pytest.mark.benchmark(group="approximate-vs-exact")
+def test_exact_general_index(benchmark, shared_workload):
+    benchmark.extra_info.update({"variant": "exact", "n": N, "theta": THETA})
+    benchmark(run_query_batch, shared_workload.index, shared_workload.patterns, TAU)
+
+
+@pytest.mark.benchmark(group="approximate-vs-exact")
+def test_approximate_link_index(benchmark, shared_workload, approximate_index):
+    benchmark.extra_info.update(
+        {
+            "variant": "approximate",
+            "epsilon": approximate_index.epsilon,
+            "links": approximate_index.link_count,
+        }
+    )
+    benchmark(
+        run_query_batch, approximate_index, shared_workload.patterns, TAU
+    )
+
+
+@pytest.mark.benchmark(group="approximate-construction", min_rounds=1)
+@pytest.mark.parametrize("epsilon", [0.2, 0.05])
+def test_approximate_index_construction(benchmark, shared_workload, epsilon):
+    benchmark.extra_info.update({"epsilon": epsilon, "n": N})
+    index = benchmark(
+        ApproximateSubstringIndex,
+        shared_workload.string,
+        tau_min=TAU_MIN,
+        epsilon=epsilon,
+    )
+    benchmark.extra_info["links"] = index.link_count

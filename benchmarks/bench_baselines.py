@@ -1,0 +1,58 @@
+"""Ablation: efficient RMQ index vs simple scanning index vs no index.
+
+The paper motivates the Section 4.2 index by the weakness of the Section 4.1
+scanning index (time proportional to all deterministic matches) and of the
+index-free dynamic-programming approach of Li et al. (time proportional to
+the string).  This ablation quantifies both gaps on the same workload.
+"""
+
+import pytest
+
+from conftest import TAU, TAU_MIN, run_query_batch
+
+from repro.core.baseline import OnlineDynamicProgrammingMatcher
+from repro.core.simple_index import SimpleSpecialIndex
+
+N = 2000
+THETA = 0.3
+
+
+@pytest.fixture(scope="module")
+def shared_workload(substring_workloads):
+    return substring_workloads(N, THETA)
+
+
+@pytest.fixture(scope="module")
+def simple_index(shared_workload):
+    return SimpleSpecialIndex(shared_workload.index.transformed.to_special_string())
+
+
+@pytest.fixture(scope="module")
+def online_matcher(shared_workload):
+    return OnlineDynamicProgrammingMatcher(shared_workload.string)
+
+
+@pytest.mark.benchmark(group="baseline-comparison")
+def test_efficient_rmq_index(benchmark, shared_workload):
+    benchmark.extra_info.update({"variant": "efficient", "n": N, "theta": THETA})
+    benchmark(run_query_batch, shared_workload.index, shared_workload.patterns, TAU)
+
+
+@pytest.mark.benchmark(group="baseline-comparison")
+def test_simple_scanning_index(benchmark, shared_workload, simple_index):
+    benchmark.extra_info.update({"variant": "simple-scan", "n": N, "theta": THETA})
+    benchmark(run_query_batch, simple_index, shared_workload.patterns, TAU)
+
+
+@pytest.mark.benchmark(group="baseline-comparison")
+def test_online_dynamic_programming(benchmark, shared_workload, online_matcher):
+    benchmark.extra_info.update({"variant": "online-dp", "n": N, "theta": THETA})
+    benchmark(run_query_batch, online_matcher, shared_workload.patterns, TAU)
+
+
+@pytest.mark.benchmark(group="baseline-threshold-selectivity")
+@pytest.mark.parametrize("tau", [TAU_MIN, 0.3, 0.6])
+def test_efficient_index_output_sensitivity(benchmark, shared_workload, tau):
+    """The RMQ index's time tracks the output size as τ changes."""
+    benchmark.extra_info.update({"variant": "efficient", "tau": tau})
+    benchmark(run_query_batch, shared_workload.index, shared_workload.patterns, tau)

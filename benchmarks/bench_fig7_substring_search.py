@@ -1,0 +1,64 @@
+"""Figure 7 — substring-search query time (paper Section 8.2–8.5).
+
+Panels:
+
+* (a) query time vs string size n          -> group ``fig7a``
+* (b) query time vs query threshold τ      -> group ``fig7b``
+* (c) query time vs construction τ_min     -> group ``fig7c``
+* (d) query time vs pattern length m       -> group ``fig7d``
+
+Each benchmark times a batch of queries against the general uncertain-string
+index; one benchmark per (x value, θ) cell, mirroring the paper's per-θ
+lines.
+"""
+
+import pytest
+
+from conftest import (
+    MIXED_QUERY_LENGTHS,
+    PATTERNS_PER_LENGTH,
+    STRING_SIZES,
+    TAU,
+    TAU_MIN,
+    THETAS,
+    run_query_batch,
+)
+
+
+@pytest.mark.benchmark(group="fig7a-query-time-vs-n")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("n", STRING_SIZES)
+def test_fig7a_query_time_vs_string_size(benchmark, substring_workloads, n, theta):
+    work = substring_workloads(n, theta)
+    benchmark.extra_info.update({"n": n, "theta": theta, "tau": TAU, "tau_min": TAU_MIN})
+    benchmark(run_query_batch, work.index, work.patterns, TAU)
+
+
+@pytest.mark.benchmark(group="fig7b-query-time-vs-tau")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("tau", [0.10, 0.12, 0.15])
+def test_fig7b_query_time_vs_tau(benchmark, substring_workloads, tau, theta):
+    work = substring_workloads(2000, theta)
+    benchmark.extra_info.update({"n": 2000, "theta": theta, "tau": tau})
+    benchmark(run_query_batch, work.index, work.patterns, tau)
+
+
+@pytest.mark.benchmark(group="fig7c-query-time-vs-tau-min")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("tau_min", [0.1, 0.2])
+def test_fig7c_query_time_vs_tau_min(benchmark, substring_workloads, tau_min, theta):
+    work = substring_workloads(1000, theta, tau_min=tau_min)
+    tau = max(TAU, tau_min)
+    benchmark.extra_info.update({"n": 1000, "theta": theta, "tau_min": tau_min})
+    benchmark(run_query_batch, work.index, work.patterns, tau)
+
+
+@pytest.mark.benchmark(group="fig7d-query-time-vs-pattern-length")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("length", [5, 10, 20])
+def test_fig7d_query_time_vs_pattern_length(
+    benchmark, substring_workloads, length, theta
+):
+    work = substring_workloads(2000, theta, query_lengths=(length,))
+    benchmark.extra_info.update({"n": 2000, "theta": theta, "m": length})
+    benchmark(run_query_batch, work.index, work.patterns, TAU)

@@ -1,0 +1,56 @@
+"""Figure 8 — string-listing query time (paper Section 8.2–8.5).
+
+Same four panels as Figure 7, but queries go to the document-listing index
+built over a collection of uncertain strings whose lengths follow the
+paper's 20–45 position distribution.
+"""
+
+import pytest
+
+from conftest import (
+    COLLECTION_SIZES,
+    LISTING_QUERY_LENGTHS,
+    TAU,
+    TAU_MIN,
+    THETAS,
+    run_query_batch,
+)
+
+
+@pytest.mark.benchmark(group="fig8a-listing-time-vs-n")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("n", COLLECTION_SIZES)
+def test_fig8a_listing_time_vs_collection_size(benchmark, listing_workloads, n, theta):
+    work = listing_workloads(n, theta)
+    benchmark.extra_info.update({"n": n, "theta": theta, "tau": TAU, "tau_min": TAU_MIN})
+    benchmark(run_query_batch, work.index, work.patterns, TAU)
+
+
+@pytest.mark.benchmark(group="fig8b-listing-time-vs-tau")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("tau", [0.10, 0.12, 0.15])
+def test_fig8b_listing_time_vs_tau(benchmark, listing_workloads, tau, theta):
+    work = listing_workloads(2000, theta)
+    benchmark.extra_info.update({"n": 2000, "theta": theta, "tau": tau})
+    benchmark(run_query_batch, work.index, work.patterns, tau)
+
+
+@pytest.mark.benchmark(group="fig8c-listing-time-vs-tau-min")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("tau_min", [0.1, 0.2])
+def test_fig8c_listing_time_vs_tau_min(benchmark, listing_workloads, tau_min, theta):
+    work = listing_workloads(1000, theta, tau_min=tau_min)
+    tau = max(TAU, tau_min)
+    benchmark.extra_info.update({"n": 1000, "theta": theta, "tau_min": tau_min})
+    benchmark(run_query_batch, work.index, work.patterns, tau)
+
+
+@pytest.mark.benchmark(group="fig8d-listing-time-vs-pattern-length")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("length", LISTING_QUERY_LENGTHS + (15,))
+def test_fig8d_listing_time_vs_pattern_length(
+    benchmark, listing_workloads, length, theta
+):
+    work = listing_workloads(2000, theta, query_lengths=(length,))
+    benchmark.extra_info.update({"n": 2000, "theta": theta, "m": length})
+    benchmark(run_query_batch, work.index, work.patterns, TAU)

@@ -1,0 +1,49 @@
+"""Figure 9 — index construction time and index space (paper Section 8.6–8.7).
+
+Panels:
+
+* (a) construction time vs string size n     -> group ``fig9a``
+* (b) construction time vs τ_min             -> group ``fig9b``
+* (c) index space vs string size n           -> group ``fig9c``
+  (space is recorded in ``extra_info`` as megabytes; the timed call is the
+  space accounting itself, which is cheap).
+"""
+
+import pytest
+
+from conftest import STRING_SIZES, TAU_MIN, THETAS
+
+from repro.bench.workloads import cached_uncertain_string
+from repro.core.general_index import GeneralUncertainStringIndex
+
+
+@pytest.mark.benchmark(group="fig9a-construction-time-vs-n", min_rounds=1)
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("n", STRING_SIZES)
+def test_fig9a_construction_time_vs_string_size(benchmark, n, theta):
+    string = cached_uncertain_string(n, theta)
+    benchmark.extra_info.update({"n": n, "theta": theta, "tau_min": TAU_MIN})
+    index = benchmark(GeneralUncertainStringIndex, string, tau_min=TAU_MIN)
+    benchmark.extra_info["transformed_length"] = index.stats["transformed_length"]
+
+
+@pytest.mark.benchmark(group="fig9b-construction-time-vs-tau-min", min_rounds=1)
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("tau_min", [0.1, 0.15, 0.2])
+def test_fig9b_construction_time_vs_tau_min(benchmark, tau_min, theta):
+    string = cached_uncertain_string(1000, theta)
+    benchmark.extra_info.update({"n": 1000, "theta": theta, "tau_min": tau_min})
+    index = benchmark(GeneralUncertainStringIndex, string, tau_min=tau_min)
+    benchmark.extra_info["expansion_ratio"] = round(index.stats["expansion_ratio"], 2)
+
+
+@pytest.mark.benchmark(group="fig9c-index-space-vs-n", min_rounds=1)
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("n", STRING_SIZES)
+def test_fig9c_index_space_vs_string_size(benchmark, substring_workloads, n, theta):
+    work = substring_workloads(n, theta)
+    megabytes = work.index.nbytes() / (1024.0 * 1024.0)
+    benchmark.extra_info.update(
+        {"n": n, "theta": theta, "index_space_mb": round(megabytes, 2)}
+    )
+    benchmark(work.index.space_report)

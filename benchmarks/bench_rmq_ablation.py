@@ -1,0 +1,59 @@
+"""Ablation: sparse-table RMQ vs block-decomposed RMQ (paper Section 8.7).
+
+The paper uses succinct 2n-bit RMQ structures; this package offers an
+O(1)-query sparse table and a linear-space block decomposition.  The
+benchmark measures query throughput and records the space of each so the
+trade-off behind the default choice is visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.suffix.rmq import BlockRMQ, SparseTableRMQ
+
+ARRAY_SIZE = 100_000
+QUERY_COUNT = 2_000
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(42).random(ARRAY_SIZE)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(43)
+    lefts = rng.integers(0, ARRAY_SIZE, QUERY_COUNT)
+    rights = rng.integers(0, ARRAY_SIZE, QUERY_COUNT)
+    return [(int(min(a, b)), int(max(a, b))) for a, b in zip(lefts, rights)]
+
+
+def run_queries(rmq, queries):
+    for left, right in queries:
+        rmq.query(left, right)
+
+
+@pytest.mark.benchmark(group="rmq-construction")
+def test_sparse_table_construction(benchmark, values):
+    rmq = benchmark(SparseTableRMQ, values)
+    benchmark.extra_info["space_mb"] = round(rmq.nbytes() / 1e6, 2)
+
+
+@pytest.mark.benchmark(group="rmq-construction")
+def test_block_rmq_construction(benchmark, values):
+    rmq = benchmark(BlockRMQ, values)
+    benchmark.extra_info["space_mb"] = round(rmq.nbytes() / 1e6, 2)
+
+
+@pytest.mark.benchmark(group="rmq-query")
+def test_sparse_table_queries(benchmark, values, queries):
+    rmq = SparseTableRMQ(values)
+    benchmark.extra_info["space_mb"] = round(rmq.nbytes() / 1e6, 2)
+    benchmark(run_queries, rmq, queries)
+
+
+@pytest.mark.benchmark(group="rmq-query")
+def test_block_rmq_queries(benchmark, values, queries):
+    rmq = BlockRMQ(values)
+    benchmark.extra_info["space_mb"] = round(rmq.nbytes() / 1e6, 2)
+    benchmark(run_queries, rmq, queries)

@@ -1,0 +1,85 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+The benchmarks regenerate every figure of the paper's evaluation (Section 8)
+at laptop-friendly sizes.  Index construction dominates the cost of a
+benchmark session, so all workloads go through the memoized builders in
+:mod:`repro.bench.workloads` — each (n, θ, τ_min) cell is generated and
+indexed exactly once per session.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The sizes here are intentionally smaller than the paper's (see
+EXPERIMENTS.md): a pure-Python run at n = 300K would take hours without
+changing any conclusion about the curves' shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: String sizes used by the scaling panels (the paper sweeps 2K–300K).
+STRING_SIZES = (1000, 2000, 4000)
+
+#: Collection sizes (total positions) for the listing panels.
+COLLECTION_SIZES = (1000, 2000, 4000)
+
+#: Uncertainty fractions benchmarked (the paper uses 0.1–0.4 throughout).
+THETAS = (0.1, 0.3)
+
+#: Construction-time threshold shared by most panels.
+TAU_MIN = 0.1
+
+#: Query-time threshold shared by most panels.
+TAU = 0.2
+
+#: Pattern lengths mixed into the scaling panels (the paper averages over
+#: lengths 10 / 100 / 500 / 1000; anything longer than the string is skipped).
+MIXED_QUERY_LENGTHS = (10, 50, 200)
+
+#: Pattern lengths for the listing panels (documents are 20–45 positions).
+LISTING_QUERY_LENGTHS = (5, 10)
+
+#: Patterns generated per length.
+PATTERNS_PER_LENGTH = 3
+
+
+@pytest.fixture(scope="session")
+def substring_workloads():
+    """Memoized access to substring-search workloads."""
+    from repro.bench.workloads import substring_workload
+
+    def build(n, theta, tau_min=TAU_MIN, query_lengths=MIXED_QUERY_LENGTHS):
+        return substring_workload(
+            n,
+            theta,
+            tau_min=tau_min,
+            query_lengths=query_lengths,
+            patterns_per_length=PATTERNS_PER_LENGTH,
+        )
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def listing_workloads():
+    """Memoized access to string-listing workloads."""
+    from repro.bench.workloads import listing_workload
+
+    def build(n, theta, tau_min=TAU_MIN, query_lengths=LISTING_QUERY_LENGTHS):
+        return listing_workload(
+            n,
+            theta,
+            tau_min=tau_min,
+            query_lengths=query_lengths,
+            patterns_per_length=PATTERNS_PER_LENGTH,
+        )
+
+    return build
+
+
+def run_query_batch(index, patterns, tau):
+    """Issue one query per pattern (the unit of work every benchmark times)."""
+    for pattern in patterns:
+        index.query(pattern, tau)

@@ -1,0 +1,73 @@
+"""Approximate substring search: trading an additive error for optimal queries.
+
+The exact indexes answer long patterns in ``O(m · occ)``; the approximate
+index of Section 7 answers *any* pattern in ``O(m + occ)`` but may report
+occurrences whose probability lies within ``ε`` below the threshold.  This
+example quantifies that trade-off on a synthetic protein sequence:
+
+* how the number of stored links grows as ε shrinks,
+* how many extra (within-ε) occurrences each ε admits, and
+* that verification (``verify=True``) restores the exact answer.
+
+Run with::
+
+    python examples/approximate_search.py
+"""
+
+import time
+
+from repro import ApproximateSubstringIndex, GeneralUncertainStringIndex
+from repro.datasets import extract_patterns, generate_uncertain_string
+
+SEQUENCE_LENGTH = 2_000
+THETA = 0.3
+TAU_MIN = 0.1
+TAU = 0.25
+SEED = 4242
+
+
+def main() -> None:
+    """Build exact and approximate indexes and compare their answers."""
+    sequence = generate_uncertain_string(SEQUENCE_LENGTH, theta=THETA, seed=SEED)
+    exact_index = GeneralUncertainStringIndex(sequence, tau_min=TAU_MIN)
+    patterns = extract_patterns(sequence, [8, 16], per_length=5, seed=SEED)
+
+    print(f"sequence: n={SEQUENCE_LENGTH}, theta={THETA}, tau_min={TAU_MIN}, tau={TAU}")
+    print(f"{'epsilon':>8}  {'links':>9}  {'build s':>8}  {'exact':>6}  {'approx':>6}  {'extra':>6}")
+    for epsilon in (0.2, 0.1, 0.05, 0.02):
+        started = time.perf_counter()
+        approximate_index = ApproximateSubstringIndex(
+            sequence, tau_min=TAU_MIN, epsilon=epsilon
+        )
+        build_seconds = time.perf_counter() - started
+
+        exact_total = 0
+        approximate_total = 0
+        for pattern in patterns:
+            exact_occurrences = {occ.position for occ in exact_index.query(pattern, TAU)}
+            approximate_occurrences = {
+                occ.position for occ in approximate_index.query(pattern, TAU)
+            }
+            missing = exact_occurrences - approximate_occurrences
+            assert not missing, f"approximate index missed occurrences: {missing}"
+            exact_total += len(exact_occurrences)
+            approximate_total += len(approximate_occurrences)
+        print(
+            f"{epsilon:>8}  {approximate_index.link_count:>9}  {build_seconds:>8.2f}  "
+            f"{exact_total:>6}  {approximate_total:>6}  "
+            f"{approximate_total - exact_total:>6}"
+        )
+
+    # Verification turns the approximate answer back into the exact one.
+    approximate_index = ApproximateSubstringIndex(sequence, tau_min=TAU_MIN, epsilon=0.1)
+    pattern = patterns[0]
+    verified = {occ.position for occ in approximate_index.query(pattern, TAU, verify=True)}
+    exact = {occ.position for occ in exact_index.query(pattern, TAU)}
+    print(
+        f"\nwith verify=True the answers coincide for {pattern!r}: "
+        f"{sorted(verified) == sorted(exact)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

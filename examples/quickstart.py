@@ -1,0 +1,128 @@
+"""Quickstart: index an uncertain string and answer threshold queries.
+
+This walks through the three query problems of the paper on tiny inputs:
+
+1. substring searching in a single uncertain string (Section 5),
+2. string listing from a collection (Section 6),
+3. approximate substring searching with an additive error (Section 7).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ApproximateSubstringIndex,
+    GeneralUncertainStringIndex,
+    UncertainString,
+    UncertainStringCollection,
+    UncertainStringListingIndex,
+)
+
+
+def substring_search_demo() -> None:
+    """Index the paper's Figure 3 protein string and search it."""
+    # The uncertain string of Figure 3 (genomic sequence of At4g15440).
+    figure3 = UncertainString(
+        [
+            {"P": 1.0},
+            {"S": 0.7, "F": 0.3},
+            {"F": 1.0},
+            {"P": 1.0},
+            {"Q": 0.5, "T": 0.5},
+            {"P": 1.0},
+            {"A": 0.4, "F": 0.4, "P": 0.2},
+            {"I": 0.3, "L": 0.3, "T": 0.3, "P": 0.1},
+            {"A": 1.0},
+            {"S": 0.5, "T": 0.5},
+            {"A": 1.0},
+        ],
+        name="At4g15440",
+    )
+    index = GeneralUncertainStringIndex(figure3, tau_min=0.1)
+
+    print("== substring searching (Figure 3 example) ==")
+    for pattern, tau in [("AT", 0.4), ("SFPQ", 0.3), ("PA", 0.2)]:
+        occurrences = index.query(pattern, tau)
+        rendered = ", ".join(
+            f"pos {occ.position} (p={occ.probability:.3f})" for occ in occurrences
+        ) or "no occurrence above the threshold"
+        print(f"  query ({pattern!r}, tau={tau}): {rendered}")
+    print()
+
+
+def string_listing_demo() -> None:
+    """Index the paper's Figure 2 collection and list matching documents."""
+    d1 = UncertainString(
+        [
+            {"A": 0.4, "B": 0.3, "F": 0.3},
+            {"B": 0.3, "L": 0.3, "F": 0.3, "J": 0.1},
+            {"F": 0.5, "J": 0.5},
+        ],
+        name="d1",
+    )
+    d2 = UncertainString(
+        [
+            {"A": 0.6, "C": 0.4},
+            {"B": 0.5, "F": 0.3, "J": 0.2},
+            {"B": 0.4, "C": 0.3, "E": 0.2, "F": 0.1},
+        ],
+        name="d2",
+    )
+    d3 = UncertainString(
+        [
+            {"A": 0.4, "F": 0.4, "P": 0.2},
+            {"I": 0.3, "L": 0.3, "P": 0.3, "T": 0.1},
+            {"A": 1.0},
+        ],
+        name="d3",
+    )
+    collection = UncertainStringCollection([d1, d2, d3])
+    index = UncertainStringListingIndex(collection, tau_min=0.05, metric="max")
+
+    print("== string listing (Figure 2 example) ==")
+    for pattern, tau in [("BF", 0.1), ("A", 0.5), ("FF", 0.1)]:
+        matches = index.query(pattern, tau)
+        rendered = ", ".join(
+            f"{collection.name_of(match.document)} (rel={match.relevance:.3f})"
+            for match in matches
+        ) or "no document above the threshold"
+        print(f"  query ({pattern!r}, tau={tau}): {rendered}")
+    print()
+
+
+def approximate_search_demo() -> None:
+    """Show the additive-error index on the Figure 10 running example."""
+    figure10 = UncertainString(
+        [
+            {"Q": 0.7, "S": 0.3},
+            {"Q": 0.3, "P": 0.7},
+            {"P": 1.0},
+            {"A": 0.4, "F": 0.3, "P": 0.2, "Q": 0.1},
+        ],
+        name="figure10",
+    )
+    index = ApproximateSubstringIndex(figure10, tau_min=0.1, epsilon=0.05)
+
+    print("== approximate substring searching (Figure 10 example) ==")
+    print(f"  index stores {index.link_count} links (epsilon={index.epsilon})")
+    for pattern, tau in [("QP", 0.4), ("PP", 0.3)]:
+        approximate = index.query(pattern, tau)
+        exact = index.query(pattern, tau, verify=True)
+        print(
+            f"  query ({pattern!r}, tau={tau}): "
+            f"approximate positions {[occ.position for occ in approximate]}, "
+            f"verified positions {[occ.position for occ in exact]}"
+        )
+    print()
+
+
+def main() -> None:
+    """Run all three demos."""
+    substring_search_demo()
+    string_listing_demo()
+    approximate_search_demo()
+
+
+if __name__ == "__main__":
+    main()

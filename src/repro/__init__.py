@@ -1,0 +1,91 @@
+"""repro — Probabilistic threshold indexing for uncertain strings.
+
+A Python reproduction of *"Probabilistic Threshold Indexing for Uncertain
+Strings"* (Thankachan, Patil, Shah, Biswas — EDBT 2016): indexes for
+searching deterministic patterns inside character-level uncertain strings
+with a probability threshold, plus the supporting substrate (suffix arrays,
+suffix trees, range maximum queries), dataset generators and a benchmark
+harness reproducing the paper's experimental figures.
+
+Quick start
+-----------
+>>> from repro import UncertainString, GeneralUncertainStringIndex
+>>> s = UncertainString([
+...     {"A": 0.6, "C": 0.4},
+...     {"T": 1.0},
+...     {"A": 0.5, "G": 0.5},
+... ])
+>>> index = GeneralUncertainStringIndex(s, tau_min=0.1)
+>>> [(occ.position, round(occ.probability, 2)) for occ in index.query("AT", 0.3)]
+[(0, 0.6)]
+"""
+
+from .core import (
+    ApproximateSubstringIndex,
+    BruteForceOracle,
+    GeneralUncertainStringIndex,
+    ListingMatch,
+    MaximalFactor,
+    Occurrence,
+    OnlineDynamicProgrammingMatcher,
+    SimpleSpecialIndex,
+    SpecialUncertainStringIndex,
+    TransformedString,
+    UncertainStringListingIndex,
+    enumerate_maximal_factors,
+    transform_collection,
+    transform_uncertain_string,
+)
+from .exceptions import (
+    AlphabetError,
+    ConstructionError,
+    CorrelationError,
+    PatternTooLongError,
+    QueryError,
+    ReproError,
+    ThresholdError,
+    ValidationError,
+)
+from .strings import (
+    Alphabet,
+    CorrelationModel,
+    CorrelationRule,
+    PositionDistribution,
+    SpecialUncertainString,
+    UncertainString,
+    UncertainStringCollection,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "AlphabetError",
+    "ApproximateSubstringIndex",
+    "BruteForceOracle",
+    "ConstructionError",
+    "CorrelationError",
+    "CorrelationModel",
+    "CorrelationRule",
+    "GeneralUncertainStringIndex",
+    "ListingMatch",
+    "MaximalFactor",
+    "Occurrence",
+    "OnlineDynamicProgrammingMatcher",
+    "PatternTooLongError",
+    "PositionDistribution",
+    "QueryError",
+    "ReproError",
+    "SimpleSpecialIndex",
+    "SpecialUncertainStringIndex",
+    "ThresholdError",
+    "TransformedString",
+    "UncertainString",
+    "UncertainStringCollection",
+    "UncertainStringListingIndex",
+    "ValidationError",
+    "enumerate_maximal_factors",
+    "transform_collection",
+    "transform_uncertain_string",
+    "__version__",
+]

@@ -1,0 +1,121 @@
+"""Internal validation helpers shared across the package.
+
+These helpers centralize the small amount of defensive checking performed at
+public API boundaries so that error messages stay consistent.  They are
+internal: the public surface is the exception types in
+:mod:`repro.exceptions`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .exceptions import ThresholdError, ValidationError
+
+#: Tolerance used when checking that per-position probabilities sum to one.
+PROBABILITY_SUM_TOLERANCE = 1e-6
+
+#: Smallest probability treated as non-zero.  Probabilities below this are
+#: clamped to zero during normalization to avoid log-space overflow noise.
+MIN_PROBABILITY = 1e-12
+
+
+def check_probability(value: float, *, name: str = "probability") -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``.
+
+    Parameters
+    ----------
+    value:
+        The candidate probability.
+    name:
+        Name used in the error message.
+
+    Returns
+    -------
+    float
+        The validated probability as a ``float``.
+
+    Raises
+    ------
+    ValidationError
+        If the value is not a finite number in ``[0, 1]``.
+    """
+    try:
+        probability = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(probability) or math.isinf(probability):
+        raise ValidationError(f"{name} must be finite, got {probability!r}")
+    if probability < 0.0 or probability > 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {probability!r}")
+    return probability
+
+
+def check_threshold(tau: float, *, tau_min: float | None = None) -> float:
+    """Validate a query threshold ``tau``.
+
+    Parameters
+    ----------
+    tau:
+        Query-time probability threshold.
+    tau_min:
+        Construction-time lower bound, if the calling index has one.
+
+    Returns
+    -------
+    float
+        The validated threshold.
+
+    Raises
+    ------
+    ThresholdError
+        If ``tau`` is outside ``(0, 1]`` or below ``tau_min``.
+    """
+    try:
+        threshold = float(tau)
+    except (TypeError, ValueError) as exc:
+        raise ThresholdError(f"threshold must be a number, got {tau!r}") from exc
+    if math.isnan(threshold) or threshold <= 0.0 or threshold > 1.0:
+        raise ThresholdError(f"threshold must lie in (0, 1], got {threshold!r}")
+    if tau_min is not None and threshold < tau_min - PROBABILITY_SUM_TOLERANCE:
+        raise ThresholdError(
+            f"query threshold {threshold!r} is below the construction-time "
+            f"threshold tau_min={tau_min!r}; rebuild the index with a smaller "
+            "tau_min to support this query"
+        )
+    return threshold
+
+
+def check_positive_int(value: int, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonempty_pattern(pattern: str) -> str:
+    """Validate that a query pattern is a non-empty deterministic string."""
+    if not isinstance(pattern, str):
+        raise ValidationError(f"pattern must be a str, got {type(pattern).__name__}")
+    if not pattern:
+        raise ValidationError("pattern must be non-empty")
+    return pattern
+
+
+def check_probabilities_sum_to_one(probabilities: Iterable[float], *, position: int) -> None:
+    """Check that a per-position distribution sums to (approximately) one."""
+    total = float(sum(probabilities))
+    if abs(total - 1.0) > PROBABILITY_SUM_TOLERANCE:
+        raise ValidationError(
+            f"probabilities at position {position} must sum to 1.0, got {total:.9f}"
+        )
+
+
+def log_probability(probability: float) -> float:
+    """Return ``log(probability)`` with zero mapped to ``-inf``."""
+    if probability <= 0.0:
+        return float("-inf")
+    return math.log(probability)

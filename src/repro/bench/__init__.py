@@ -1,0 +1,44 @@
+"""Benchmark harness reproducing the paper's experimental evaluation (Section 8)."""
+
+from .experiments import (
+    DEFAULT_SCALE,
+    EXPERIMENTS,
+    LARGE_SCALE,
+    SCALES,
+    SMALL_SCALE,
+    ExperimentScale,
+    run_experiments,
+)
+from .harness import FigureTable, Series, SeriesPoint, time_callable, time_query_batch
+from .reporting import format_csv, format_markdown, format_table, render_report
+from .workloads import (
+    ListingWorkload,
+    SubstringWorkload,
+    clear_caches,
+    listing_workload,
+    substring_workload,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "FigureTable",
+    "LARGE_SCALE",
+    "ListingWorkload",
+    "SCALES",
+    "SMALL_SCALE",
+    "Series",
+    "SeriesPoint",
+    "SubstringWorkload",
+    "clear_caches",
+    "format_csv",
+    "format_markdown",
+    "format_table",
+    "listing_workload",
+    "render_report",
+    "run_experiments",
+    "substring_workload",
+    "time_callable",
+    "time_query_batch",
+]

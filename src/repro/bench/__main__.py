@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Regenerates the paper's experimental figures as text/Markdown/CSV tables.
+
+Examples
+--------
+Run everything at the default scale and print text tables::
+
+    python -m repro.bench --all
+
+Run one figure at the large scale and write Markdown::
+
+    python -m repro.bench --figure fig7a --scale large --format markdown -o fig7a.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS, SCALES, run_experiments
+from .reporting import render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's experimental figures (Section 8).",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        dest="figures",
+        choices=sorted(EXPERIMENTS),
+        help="figure/ablation to run (repeatable)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every figure and ablation"
+    )
+    parser.add_argument(
+        "--paper-figures",
+        action="store_true",
+        help="run figures 7, 8 and 9 (no ablations)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="parameter grid to use (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "markdown", "csv"),
+        default="text",
+        help="output format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None, help="write the report to a file"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the selected experiments and emit the report."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.all:
+        names = sorted(EXPERIMENTS)
+    elif arguments.paper_figures:
+        names = [name for name in sorted(EXPERIMENTS) if name.startswith("fig")]
+    elif arguments.figures:
+        names = arguments.figures
+    else:
+        parser.error("choose --all, --paper-figures or at least one --figure")
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    scale = SCALES[arguments.scale]
+    started = time.perf_counter()
+    tables = run_experiments(names, scale)
+    elapsed = time.perf_counter() - started
+    report = render_report(tables, fmt=arguments.format)
+    footer = f"\n# completed {len(tables)} experiment(s) at scale '{scale.name}' in {elapsed:.1f}s\n"
+    if arguments.format == "text":
+        report += footer
+
+    if arguments.output is not None:
+        arguments.output.write_text(report, encoding="utf-8")
+        print(f"wrote {arguments.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,632 @@
+"""Per-figure experiment generators (paper Section 8).
+
+Every panel of Figures 7, 8 and 9 has a generator here that produces a
+:class:`~repro.bench.harness.FigureTable` with one series per uncertainty
+fraction θ, matching the paper's plots:
+
+========  =====================================================================
+fig7a–d   substring-search query time vs n, τ, τ_min and pattern length m
+fig8a–d   string-listing query time vs the same four parameters
+fig9a–c   index construction time vs n and τ_min, and index space vs n
+========  =====================================================================
+
+Additional ablation experiments (not figures in the paper but motivated by
+its discussion) compare the efficient index against the simple scanning
+index and the index-free online matcher, the two RMQ implementations, and
+the exact vs approximate index.
+
+Sizes are configurable through :class:`ExperimentScale`.  The paper runs up
+to n = 300K positions on a C++ implementation; the default scale here tops
+out at tens of thousands of positions so a pure-Python run finishes in
+minutes — the *shape* of every curve (what grows, what stays flat, who wins)
+is preserved and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.approximate import ApproximateSubstringIndex
+from ..core.baseline import OnlineDynamicProgrammingMatcher
+from ..core.factors import transform_uncertain_string
+from ..core.simple_index import SimpleSpecialIndex
+from ..core.general_index import GeneralUncertainStringIndex
+from ..suffix.rmq import BlockRMQ, SparseTableRMQ
+from .harness import FigureTable, Series, time_callable, time_query_batch
+from .workloads import (
+    cached_uncertain_string,
+    listing_workload,
+    substring_workload,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Parameter grids for one benchmark run.
+
+    The ``small`` scale is what the test-suite and CI exercise; ``default``
+    reproduces every figure at laptop-friendly sizes; ``large`` pushes the
+    string sizes up for closer comparison with the paper's axes.
+    """
+
+    name: str
+    string_sizes: Tuple[int, ...]
+    collection_sizes: Tuple[int, ...]
+    thetas: Tuple[float, ...]
+    tau_min: float
+    tau: float
+    tau_grid: Tuple[float, ...]
+    tau_min_grid: Tuple[float, ...]
+    pattern_lengths: Tuple[int, ...]
+    mixed_query_lengths: Tuple[int, ...]
+    listing_query_lengths: Tuple[int, ...]
+    patterns_per_length: int
+    fixed_string_size: int
+    fixed_collection_size: int
+    tau_min_panel_size: int
+    query_repeats: int
+
+
+SMALL_SCALE = ExperimentScale(
+    name="small",
+    string_sizes=(500, 1000),
+    collection_sizes=(500, 1000),
+    thetas=(0.1, 0.3),
+    tau_min=0.1,
+    tau=0.2,
+    tau_grid=(0.10, 0.12, 0.15),
+    tau_min_grid=(0.10, 0.20),
+    pattern_lengths=(4, 8, 12),
+    mixed_query_lengths=(5, 10, 20),
+    listing_query_lengths=(4, 8),
+    patterns_per_length=3,
+    fixed_string_size=1000,
+    fixed_collection_size=1000,
+    tau_min_panel_size=500,
+    query_repeats=1,
+)
+
+DEFAULT_SCALE = ExperimentScale(
+    name="default",
+    string_sizes=(2000, 4000, 8000, 16000),
+    collection_sizes=(2000, 4000, 8000, 16000),
+    thetas=(0.1, 0.2, 0.3, 0.4),
+    tau_min=0.1,
+    tau=0.2,
+    tau_grid=(0.10, 0.11, 0.12, 0.13, 0.14, 0.15),
+    tau_min_grid=(0.05, 0.10, 0.15, 0.20),
+    pattern_lengths=(5, 10, 15, 20, 25),
+    mixed_query_lengths=(10, 100, 500, 1000),
+    listing_query_lengths=(5, 10, 15),
+    patterns_per_length=5,
+    fixed_string_size=8000,
+    fixed_collection_size=8000,
+    tau_min_panel_size=4000,
+    query_repeats=3,
+)
+
+LARGE_SCALE = ExperimentScale(
+    name="large",
+    string_sizes=(4000, 8000, 16000, 32000, 64000),
+    collection_sizes=(4000, 8000, 16000, 32000, 64000),
+    thetas=(0.1, 0.2, 0.3, 0.4),
+    tau_min=0.1,
+    tau=0.2,
+    tau_grid=(0.10, 0.11, 0.12, 0.13, 0.14, 0.15),
+    tau_min_grid=(0.04, 0.08, 0.12, 0.16, 0.20),
+    pattern_lengths=(5, 10, 15, 20, 25),
+    mixed_query_lengths=(10, 100, 500, 1000),
+    listing_query_lengths=(5, 10, 15),
+    patterns_per_length=5,
+    fixed_string_size=16000,
+    fixed_collection_size=16000,
+    tau_min_panel_size=8000,
+    query_repeats=3,
+)
+
+SCALES: Dict[str, ExperimentScale] = {
+    "small": SMALL_SCALE,
+    "default": DEFAULT_SCALE,
+    "large": LARGE_SCALE,
+}
+
+
+def _theta_label(theta: float) -> str:
+    return f"theta={theta:g}"
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — substring-search query time
+# ---------------------------------------------------------------------------
+def figure_7a(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 7(a): substring-search query time vs string size n."""
+    table = FigureTable(
+        figure_id="fig7a",
+        title="Substring searching: query time vs string size",
+        x_label="n (positions)",
+        y_label="avg query time (ms)",
+        notes=f"tau_min={scale.tau_min}, tau={scale.tau}, "
+        f"query lengths {scale.mixed_query_lengths}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        for n in scale.string_sizes:
+            work = substring_workload(
+                n,
+                theta,
+                tau_min=scale.tau_min,
+                query_lengths=scale.mixed_query_lengths,
+                patterns_per_length=scale.patterns_per_length,
+            )
+            series.add(
+                n,
+                time_query_batch(
+                    work.index.query, work.patterns, scale.tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+def figure_7b(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 7(b): substring-search query time vs query threshold τ."""
+    table = FigureTable(
+        figure_id="fig7b",
+        title="Substring searching: query time vs query threshold",
+        x_label="tau",
+        y_label="avg query time (ms)",
+        notes=f"n={scale.fixed_string_size}, tau_min={scale.tau_min}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        work = substring_workload(
+            scale.fixed_string_size,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.mixed_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        for tau in scale.tau_grid:
+            series.add(
+                tau,
+                time_query_batch(
+                    work.index.query, work.patterns, tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+def figure_7c(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 7(c): substring-search query time vs construction threshold τ_min."""
+    table = FigureTable(
+        figure_id="fig7c",
+        title="Substring searching: query time vs construction threshold",
+        x_label="tau_min",
+        y_label="avg query time (ms)",
+        notes=f"n={scale.tau_min_panel_size}, tau=max(tau, tau_min)",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        for tau_min in scale.tau_min_grid:
+            work = substring_workload(
+                scale.tau_min_panel_size,
+                theta,
+                tau_min=tau_min,
+                query_lengths=scale.mixed_query_lengths,
+                patterns_per_length=scale.patterns_per_length,
+            )
+            tau = max(scale.tau, tau_min)
+            series.add(
+                tau_min,
+                time_query_batch(
+                    work.index.query, work.patterns, tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+def figure_7d(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 7(d): substring-search query time vs pattern length m."""
+    table = FigureTable(
+        figure_id="fig7d",
+        title="Substring searching: query time vs pattern length",
+        x_label="m (pattern length)",
+        y_label="avg query time (ms)",
+        notes=f"n={scale.fixed_string_size}, tau_min={scale.tau_min}, tau={scale.tau}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        work = substring_workload(
+            scale.fixed_string_size,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.pattern_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        by_length: Dict[int, List[str]] = {}
+        for pattern in work.patterns:
+            by_length.setdefault(len(pattern), []).append(pattern)
+        for length in scale.pattern_lengths:
+            patterns = by_length.get(length)
+            if not patterns:
+                continue
+            series.add(
+                length,
+                time_query_batch(
+                    work.index.query, patterns, scale.tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — string-listing query time
+# ---------------------------------------------------------------------------
+def figure_8a(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 8(a): string-listing query time vs collection size n."""
+    table = FigureTable(
+        figure_id="fig8a",
+        title="String listing: query time vs collection size",
+        x_label="n (total positions)",
+        y_label="avg query time (ms)",
+        notes=f"tau_min={scale.tau_min}, tau={scale.tau}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        for n in scale.collection_sizes:
+            work = listing_workload(
+                n,
+                theta,
+                tau_min=scale.tau_min,
+                query_lengths=scale.listing_query_lengths,
+                patterns_per_length=scale.patterns_per_length,
+            )
+            series.add(
+                n,
+                time_query_batch(
+                    work.index.query, work.patterns, scale.tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+def figure_8b(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 8(b): string-listing query time vs query threshold τ."""
+    table = FigureTable(
+        figure_id="fig8b",
+        title="String listing: query time vs query threshold",
+        x_label="tau",
+        y_label="avg query time (ms)",
+        notes=f"n={scale.fixed_collection_size}, tau_min={scale.tau_min}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        work = listing_workload(
+            scale.fixed_collection_size,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.listing_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        for tau in scale.tau_grid:
+            series.add(
+                tau,
+                time_query_batch(
+                    work.index.query, work.patterns, tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+def figure_8c(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 8(c): string-listing query time vs construction threshold τ_min."""
+    table = FigureTable(
+        figure_id="fig8c",
+        title="String listing: query time vs construction threshold",
+        x_label="tau_min",
+        y_label="avg query time (ms)",
+        notes=f"n={scale.tau_min_panel_size}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        for tau_min in scale.tau_min_grid:
+            work = listing_workload(
+                scale.tau_min_panel_size,
+                theta,
+                tau_min=tau_min,
+                query_lengths=scale.listing_query_lengths,
+                patterns_per_length=scale.patterns_per_length,
+            )
+            tau = max(scale.tau, tau_min)
+            series.add(
+                tau_min,
+                time_query_batch(
+                    work.index.query, work.patterns, tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+def figure_8d(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 8(d): string-listing query time vs pattern length m."""
+    table = FigureTable(
+        figure_id="fig8d",
+        title="String listing: query time vs pattern length",
+        x_label="m (pattern length)",
+        y_label="avg query time (ms)",
+        notes=f"n={scale.fixed_collection_size}, tau_min={scale.tau_min}, tau={scale.tau}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        work = listing_workload(
+            scale.fixed_collection_size,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.listing_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        by_length: Dict[int, List[str]] = {}
+        for pattern in work.patterns:
+            by_length.setdefault(len(pattern), []).append(pattern)
+        for length in scale.listing_query_lengths:
+            patterns = by_length.get(length)
+            if not patterns:
+                continue
+            series.add(
+                length,
+                time_query_batch(
+                    work.index.query, patterns, scale.tau, repeats=scale.query_repeats
+                ),
+            )
+        table.series.append(series)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — construction time and index space
+# ---------------------------------------------------------------------------
+def figure_9a(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 9(a): index construction time vs string size n."""
+    table = FigureTable(
+        figure_id="fig9a",
+        title="Construction time vs string size",
+        x_label="n (positions)",
+        y_label="construction time (s)",
+        notes=f"tau_min={scale.tau_min}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        for n in scale.string_sizes:
+            string = cached_uncertain_string(n, theta)
+            elapsed = time_callable(
+                lambda: GeneralUncertainStringIndex(string, tau_min=scale.tau_min)
+            )
+            series.add(n, elapsed)
+        table.series.append(series)
+    return table
+
+
+def figure_9b(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 9(b): index construction time vs construction threshold τ_min."""
+    table = FigureTable(
+        figure_id="fig9b",
+        title="Construction time vs construction threshold",
+        x_label="tau_min",
+        y_label="construction time (s)",
+        notes=f"n={scale.tau_min_panel_size}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        string = cached_uncertain_string(scale.tau_min_panel_size, theta)
+        for tau_min in scale.tau_min_grid:
+            elapsed = time_callable(
+                lambda: GeneralUncertainStringIndex(string, tau_min=tau_min)
+            )
+            series.add(tau_min, elapsed)
+        table.series.append(series)
+    return table
+
+
+def figure_9c(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Fig. 9(c): index space vs string size n."""
+    table = FigureTable(
+        figure_id="fig9c",
+        title="Index space vs string size",
+        x_label="n (positions)",
+        y_label="index space (MB)",
+        notes=f"tau_min={scale.tau_min}; measured bytes of every index component",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        for n in scale.string_sizes:
+            work = substring_workload(
+                n,
+                theta,
+                tau_min=scale.tau_min,
+                query_lengths=scale.mixed_query_lengths,
+                patterns_per_length=scale.patterns_per_length,
+            )
+            series.add(n, work.index.nbytes() / (1024.0 * 1024.0))
+        table.series.append(series)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Ablations (motivated by Sections 4.1/4.2, 8.7 and 7)
+# ---------------------------------------------------------------------------
+def ablation_index_variants(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Efficient RMQ index vs simple scanning index vs index-free matcher."""
+    table = FigureTable(
+        figure_id="ablation-variants",
+        title="Query time: efficient index vs simple index vs online matcher",
+        x_label="n (positions)",
+        y_label="avg query time (ms)",
+        notes=f"theta={scale.thetas[-1]}, tau_min={scale.tau_min}, tau={scale.tau}",
+    )
+    theta = scale.thetas[-1]
+    efficient = Series("efficient (RMQ)")
+    simple = Series("simple (scan)")
+    online = Series("online DP (no index)")
+    for n in scale.string_sizes:
+        work = substring_workload(
+            n,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.mixed_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        transformed = work.index.transformed
+        simple_index = SimpleSpecialIndex(transformed.to_special_string())
+        matcher = OnlineDynamicProgrammingMatcher(work.string)
+        efficient.add(
+            n,
+            time_query_batch(
+                work.index.query, work.patterns, scale.tau, repeats=scale.query_repeats
+            ),
+        )
+        simple.add(
+            n, time_query_batch(simple_index.query, work.patterns, scale.tau)
+        )
+        online.add(n, time_query_batch(matcher.query, work.patterns, scale.tau))
+    table.series.extend([efficient, simple, online])
+    return table
+
+
+def ablation_rmq(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Sparse-table RMQ vs block RMQ: query time and space."""
+    import numpy as np
+
+    table = FigureTable(
+        figure_id="ablation-rmq",
+        title="RMQ implementations: query time (ms per 1000 queries) and space (MB)",
+        x_label="array size",
+        y_label="see series label",
+        notes="values drawn uniformly at random",
+    )
+    rng = np.random.default_rng(7)
+    sparse_time = Series("sparse: time")
+    block_time = Series("block: time")
+    sparse_space = Series("sparse: space MB")
+    block_space = Series("block: space MB")
+    for size in scale.string_sizes:
+        values = rng.random(size)
+        sparse = SparseTableRMQ(values)
+        block = BlockRMQ(values)
+        queries = [
+            (int(left), int(right))
+            for left, right in zip(
+                rng.integers(0, size, 1000), rng.integers(0, size, 1000)
+            )
+        ]
+        queries = [(min(a, b), max(a, b)) for a, b in queries]
+
+        def run(structure):
+            def inner():
+                for left, right in queries:
+                    structure.query(left, right)
+
+            return inner
+
+        sparse_time.add(size, time_callable(run(sparse)) * 1000.0)
+        block_time.add(size, time_callable(run(block)) * 1000.0)
+        sparse_space.add(size, sparse.nbytes() / (1024.0 * 1024.0))
+        block_space.add(size, block.nbytes() / (1024.0 * 1024.0))
+    table.series.extend([sparse_time, block_time, sparse_space, block_space])
+    return table
+
+
+def ablation_approximate(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Exact general index vs approximate link index (query time)."""
+    table = FigureTable(
+        figure_id="ablation-approx",
+        title="Exact vs approximate index: query time",
+        x_label="n (positions)",
+        y_label="avg query time (ms)",
+        notes=f"theta={scale.thetas[0]}, tau_min={scale.tau_min}, tau={scale.tau}, epsilon=0.05",
+    )
+    theta = scale.thetas[0]
+    exact = Series("exact (general index)")
+    approximate = Series("approximate (links)")
+    for n in scale.string_sizes:
+        work = substring_workload(
+            n,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.mixed_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        approx_index = ApproximateSubstringIndex(
+            work.string, tau_min=scale.tau_min, epsilon=0.05
+        )
+        exact.add(
+            n,
+            time_query_batch(
+                work.index.query, work.patterns, scale.tau, repeats=scale.query_repeats
+            ),
+        )
+        approximate.add(
+            n, time_query_batch(approx_index.query, work.patterns, scale.tau)
+        )
+    table.series.extend([exact, approximate])
+    return table
+
+
+def ablation_transformation(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Transformed text size (the (1/τ_min)² · n bound) vs τ_min."""
+    table = FigureTable(
+        figure_id="ablation-transformation",
+        title="Maximal-factor transformation size vs construction threshold",
+        x_label="tau_min",
+        y_label="expansion ratio N/n",
+        notes=f"n={scale.tau_min_panel_size}",
+    )
+    for theta in scale.thetas:
+        series = Series(_theta_label(theta))
+        string = cached_uncertain_string(scale.tau_min_panel_size, theta)
+        for tau_min in scale.tau_min_grid:
+            transformed = transform_uncertain_string(string, tau_min)
+            series.add(tau_min, transformed.expansion_ratio)
+        table.series.append(series)
+    return table
+
+
+#: Registry used by the CLI and the tests.
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
+    "fig7a": figure_7a,
+    "fig7b": figure_7b,
+    "fig7c": figure_7c,
+    "fig7d": figure_7d,
+    "fig8a": figure_8a,
+    "fig8b": figure_8b,
+    "fig8c": figure_8c,
+    "fig8d": figure_8d,
+    "fig9a": figure_9a,
+    "fig9b": figure_9b,
+    "fig9c": figure_9c,
+    "ablation-variants": ablation_index_variants,
+    "ablation-rmq": ablation_rmq,
+    "ablation-approx": ablation_approximate,
+    "ablation-transformation": ablation_transformation,
+}
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> List[FigureTable]:
+    """Run the named experiments and return their tables in order."""
+    tables = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+            )
+        tables.append(EXPERIMENTS[name](scale))
+    return tables

@@ -1,0 +1,154 @@
+"""Benchmark harness primitives: timed runs and figure-shaped result tables.
+
+The paper reports every experiment as a small line chart: one x-axis
+parameter (string length, τ, τ_min, pattern length), one line per
+uncertainty fraction θ, y-axis query/construction time or space.  The
+harness mirrors that shape: an experiment produces a :class:`FigureTable`
+holding one :class:`Series` per θ, which the reporting module renders as a
+fixed-width table or CSV.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) measurement of an experiment series."""
+
+    x: float
+    value: float
+
+
+@dataclass
+class Series:
+    """One line of a figure: a labelled sequence of measurements."""
+
+    label: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, value: float) -> None:
+        """Append a measurement to the series."""
+        self.points.append(SeriesPoint(float(x), float(value)))
+
+    @property
+    def xs(self) -> List[float]:
+        """The x coordinates in insertion order."""
+        return [point.x for point in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        """The y values in insertion order."""
+        return [point.value for point in self.points]
+
+
+@dataclass
+class FigureTable:
+    """All series of one figure panel, plus labelling metadata.
+
+    Attributes
+    ----------
+    figure_id:
+        Identifier matching the paper (e.g. ``"fig7a"``).
+    title:
+        Human-readable description of the panel.
+    x_label, y_label:
+        Axis labels (used by the reporting module).
+    series:
+        One :class:`Series` per θ value (or per index variant for ablations).
+    notes:
+        Free-form notes, e.g. the parameter values held fixed.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        """Return the series with the given label (raising ``KeyError`` if absent)."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no series labelled {label!r} in {self.figure_id}")
+
+    def x_values(self) -> List[float]:
+        """Union of all x coordinates across series, sorted."""
+        values = sorted({point.x for series in self.series for point in series.points})
+        return values
+
+
+def time_callable(
+    function: Callable[[], object],
+    *,
+    repeats: int = 1,
+    warmup: int = 0,
+) -> float:
+    """Return the average wall-clock seconds of ``function()`` over ``repeats`` runs."""
+    for _ in range(warmup):
+        function()
+    started = time.perf_counter()
+    for _ in range(repeats):
+        function()
+    elapsed = time.perf_counter() - started
+    return elapsed / max(repeats, 1)
+
+
+def time_query_batch(
+    query: Callable[[str, float], object],
+    patterns: Sequence[str],
+    tau: float,
+    *,
+    repeats: int = 1,
+) -> float:
+    """Average milliseconds per query over a batch of patterns.
+
+    Mirrors the paper's reporting, which averages query time over a
+    collection of query substrings at a fixed threshold.
+    """
+    if not patterns:
+        raise ValueError("cannot time an empty pattern batch")
+
+    def run() -> None:
+        for pattern in patterns:
+            query(pattern, tau)
+
+    total_seconds = time_callable(run, repeats=repeats)
+    return total_seconds * 1000.0 / len(patterns)
+
+
+@dataclass
+class ExperimentRecord:
+    """Raw record of one experiment cell (useful for CSV export / debugging)."""
+
+    figure_id: str
+    parameters: Dict[str, float]
+    value: float
+    unit: str
+
+
+class ResultStore:
+    """Accumulates :class:`ExperimentRecord` objects across an experiment run."""
+
+    def __init__(self) -> None:
+        self._records: List[ExperimentRecord] = []
+
+    def add(
+        self, figure_id: str, parameters: Dict[str, float], value: float, unit: str
+    ) -> None:
+        """Record one measurement."""
+        self._records.append(ExperimentRecord(figure_id, dict(parameters), value, unit))
+
+    @property
+    def records(self) -> Tuple[ExperimentRecord, ...]:
+        """All recorded measurements."""
+        return tuple(self._records)
+
+    def filter(self, figure_id: str) -> List[ExperimentRecord]:
+        """Records belonging to one figure."""
+        return [record for record in self._records if record.figure_id == figure_id]

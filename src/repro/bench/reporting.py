@@ -1,0 +1,98 @@
+"""Rendering of benchmark results as fixed-width tables, CSV and Markdown.
+
+The paper presents its evaluation as line charts; the harness reproduces
+each chart as a table whose rows are the x-axis values and whose columns are
+the θ series (or index variants for the ablations).  The same tables are
+embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional
+
+from .harness import FigureTable
+
+
+def _format_number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_table(table: FigureTable) -> str:
+    """Render one :class:`FigureTable` as a fixed-width text table."""
+    xs = table.x_values()
+    headers = [table.x_label] + [series.label for series in table.series]
+    rows: List[List[str]] = []
+    for x in xs:
+        row = [_format_number(x)]
+        for series in table.series:
+            value = next((point.value for point in series.points if point.x == x), None)
+            row.append(_format_number(value))
+        rows.append(row)
+
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows)) if rows else len(headers[column])
+        for column in range(len(headers))
+    ]
+    out = io.StringIO()
+    out.write(f"== {table.figure_id}: {table.title} ==\n")
+    if table.notes:
+        out.write(f"   ({table.notes}; y = {table.y_label})\n")
+    out.write(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)) + "\n"
+    )
+    out.write("  ".join("-" * width for width in widths) + "\n")
+    for row in rows:
+        out.write("  ".join(cell.rjust(width) for cell, width in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_markdown(table: FigureTable) -> str:
+    """Render one :class:`FigureTable` as a GitHub-flavoured Markdown table."""
+    xs = table.x_values()
+    headers = [table.x_label] + [series.label for series in table.series]
+    out = io.StringIO()
+    out.write(f"### {table.figure_id} — {table.title}\n\n")
+    if table.notes:
+        out.write(f"*{table.notes}; y = {table.y_label}*\n\n")
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join(["---"] * len(headers)) + "|\n")
+    for x in xs:
+        cells = [_format_number(x)]
+        for series in table.series:
+            value = next((point.value for point in series.points if point.x == x), None)
+            cells.append(_format_number(value))
+        out.write("| " + " | ".join(cells) + " |\n")
+    out.write("\n")
+    return out.getvalue()
+
+
+def format_csv(table: FigureTable) -> str:
+    """Render one :class:`FigureTable` as CSV (x column plus one column per series)."""
+    xs = table.x_values()
+    headers = [table.x_label] + [series.label for series in table.series]
+    lines = [",".join(headers)]
+    for x in xs:
+        cells = [repr(x)]
+        for series in table.series:
+            value = next((point.value for point in series.points if point.x == x), None)
+            cells.append("" if value is None else repr(value))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def render_report(tables: Iterable[FigureTable], *, fmt: str = "text") -> str:
+    """Render several tables with the requested format (``text``/``markdown``/``csv``)."""
+    renderers = {"text": format_table, "markdown": format_markdown, "csv": format_csv}
+    if fmt not in renderers:
+        raise ValueError(f"unknown format {fmt!r}; expected one of {sorted(renderers)}")
+    renderer = renderers[fmt]
+    return "\n".join(renderer(table) for table in tables)

@@ -1,0 +1,155 @@
+"""Workload construction (and caching) for the benchmark experiments.
+
+Building an index over a freshly generated uncertain string is by far the
+most expensive part of an experiment, and the paper's figures reuse the same
+string/index across many query-time measurements.  This module provides
+memoized builders so that each (n, θ, τ_min) combination is generated and
+indexed exactly once per process, both for the `python -m repro.bench` CLI
+and for the pytest-benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.general_index import GeneralUncertainStringIndex
+from ..core.listing import UncertainStringListingIndex
+from ..datasets.queries import extract_collection_patterns, extract_patterns
+from ..datasets.synthetic import generate_collection, generate_uncertain_string
+from ..strings.collection import UncertainStringCollection
+from ..strings.uncertain import UncertainString
+
+#: Seed shared by every workload so runs are reproducible.
+DEFAULT_SEED = 20160315
+
+
+@dataclass(frozen=True)
+class SubstringWorkload:
+    """A built substring-search workload: the string, its index and queries."""
+
+    string: UncertainString
+    index: GeneralUncertainStringIndex
+    patterns: Tuple[str, ...]
+    theta: float
+    tau_min: float
+
+
+@dataclass(frozen=True)
+class ListingWorkload:
+    """A built string-listing workload: the collection, its index and queries."""
+
+    collection: UncertainStringCollection
+    index: UncertainStringListingIndex
+    patterns: Tuple[str, ...]
+    theta: float
+    tau_min: float
+
+
+_STRING_CACHE: Dict[Tuple, UncertainString] = {}
+_COLLECTION_CACHE: Dict[Tuple, UncertainStringCollection] = {}
+_SUBSTRING_INDEX_CACHE: Dict[Tuple, GeneralUncertainStringIndex] = {}
+_LISTING_INDEX_CACHE: Dict[Tuple, UncertainStringListingIndex] = {}
+
+
+def clear_caches() -> None:
+    """Drop every cached workload (used by tests and long CLI runs)."""
+    _STRING_CACHE.clear()
+    _COLLECTION_CACHE.clear()
+    _SUBSTRING_INDEX_CACHE.clear()
+    _LISTING_INDEX_CACHE.clear()
+
+
+def cached_uncertain_string(n: int, theta: float, *, seed: int = DEFAULT_SEED) -> UncertainString:
+    """Generate (or reuse) the uncertain string for one (n, θ) cell."""
+    key = (n, round(theta, 6), seed)
+    if key not in _STRING_CACHE:
+        _STRING_CACHE[key] = generate_uncertain_string(n, theta=theta, seed=seed + n)
+    return _STRING_CACHE[key]
+
+
+def cached_collection(
+    total_positions: int, theta: float, *, seed: int = DEFAULT_SEED
+) -> UncertainStringCollection:
+    """Generate (or reuse) the collection for one (n, θ) cell."""
+    key = (total_positions, round(theta, 6), seed)
+    if key not in _COLLECTION_CACHE:
+        _COLLECTION_CACHE[key] = generate_collection(
+            total_positions, theta=theta, seed=seed + total_positions
+        )
+    return _COLLECTION_CACHE[key]
+
+
+def substring_workload(
+    n: int,
+    theta: float,
+    *,
+    tau_min: float = 0.1,
+    query_lengths: Tuple[int, ...] = (10, 100, 500, 1000),
+    patterns_per_length: int = 5,
+    seed: int = DEFAULT_SEED,
+) -> SubstringWorkload:
+    """Build (or reuse) the substring-search workload for one experiment cell.
+
+    The query patterns are extracted from the string's most likely
+    realization at the requested lengths, mirroring the paper's mixed-length
+    query batches (Section 8.2 averages over lengths 10/100/500/1000).
+
+    The expensive part — the index — is cached per (n, θ, τ_min); pattern
+    extraction is cheap and performed on every call so different panels can
+    request different query lengths without rebuilding anything.
+    """
+    string = cached_uncertain_string(n, theta, seed=seed)
+    index_key = (n, round(theta, 6), round(tau_min, 6), seed)
+    if index_key not in _SUBSTRING_INDEX_CACHE:
+        _SUBSTRING_INDEX_CACHE[index_key] = GeneralUncertainStringIndex(
+            string, tau_min=tau_min
+        )
+    index = _SUBSTRING_INDEX_CACHE[index_key]
+    usable_lengths = [length for length in query_lengths if length <= n]
+    patterns = extract_patterns(
+        string, usable_lengths, per_length=patterns_per_length, seed=seed
+    )
+    return SubstringWorkload(
+        string=string,
+        index=index,
+        patterns=tuple(patterns),
+        theta=theta,
+        tau_min=tau_min,
+    )
+
+
+def listing_workload(
+    total_positions: int,
+    theta: float,
+    *,
+    tau_min: float = 0.1,
+    query_lengths: Tuple[int, ...] = (5, 10, 15),
+    patterns_per_length: int = 5,
+    metric: str = "max",
+    seed: int = DEFAULT_SEED,
+) -> ListingWorkload:
+    """Build (or reuse) the string-listing workload for one experiment cell.
+
+    Collection documents follow the paper's 20–45 position length
+    distribution, so listing query lengths stay below the document lengths.
+    The index is cached per (n, θ, τ_min, metric); patterns are regenerated
+    on every call.
+    """
+    collection = cached_collection(total_positions, theta, seed=seed)
+    index_key = (total_positions, round(theta, 6), round(tau_min, 6), metric, seed)
+    if index_key not in _LISTING_INDEX_CACHE:
+        _LISTING_INDEX_CACHE[index_key] = UncertainStringListingIndex(
+            collection, tau_min=tau_min, metric=metric  # type: ignore[arg-type]
+        )
+    index = _LISTING_INDEX_CACHE[index_key]
+    patterns = extract_collection_patterns(
+        collection, query_lengths, per_length=patterns_per_length, seed=seed
+    )
+    return ListingWorkload(
+        collection=collection,
+        index=index,
+        patterns=tuple(patterns),
+        theta=theta,
+        tau_min=tau_min,
+    )

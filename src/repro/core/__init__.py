@@ -1,0 +1,54 @@
+"""The paper's indexes: substring search, string listing, approximate search."""
+
+from .approximate import ApproximateSubstringIndex, Link
+from .base import (
+    ListingMatch,
+    Occurrence,
+    UncertainSubstringIndex,
+    report_above_threshold,
+    sort_listing_matches,
+    sort_occurrences,
+)
+from .baseline import BruteForceOracle, OnlineDynamicProgrammingMatcher
+from .cumulative import (
+    cumulative_log_probabilities,
+    prefix_length_log_probabilities,
+    window_log_probability,
+)
+from .factors import (
+    MaximalFactor,
+    TransformedString,
+    enumerate_maximal_factors,
+    transform_collection,
+    transform_uncertain_string,
+)
+from .general_index import GeneralUncertainStringIndex
+from .listing import UncertainStringListingIndex, combine_relevance
+from .simple_index import SimpleSpecialIndex
+from .special_index import SpecialUncertainStringIndex
+
+__all__ = [
+    "ApproximateSubstringIndex",
+    "BruteForceOracle",
+    "GeneralUncertainStringIndex",
+    "Link",
+    "ListingMatch",
+    "MaximalFactor",
+    "Occurrence",
+    "OnlineDynamicProgrammingMatcher",
+    "SimpleSpecialIndex",
+    "SpecialUncertainStringIndex",
+    "TransformedString",
+    "UncertainStringListingIndex",
+    "UncertainSubstringIndex",
+    "combine_relevance",
+    "cumulative_log_probabilities",
+    "enumerate_maximal_factors",
+    "prefix_length_log_probabilities",
+    "report_above_threshold",
+    "sort_listing_matches",
+    "sort_occurrences",
+    "transform_collection",
+    "transform_uncertain_string",
+    "window_log_probability",
+]

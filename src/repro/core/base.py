@@ -1,0 +1,185 @@
+"""Shared result types and helpers for the uncertain-string indexes.
+
+Every index in :mod:`repro.core` answers queries with the same vocabulary:
+
+* :class:`Occurrence` — one position of the indexed uncertain string where
+  the query pattern occurs with probability above the threshold.
+* :class:`ListingMatch` — one document of a collection that contains the
+  pattern with relevance above the threshold (Section 6).
+
+The module also hosts :func:`report_above_threshold`, the recursive
+range-maximum reporting routine shared by the efficient indexes
+(Algorithm 2 / Algorithm 4 of the paper): repeatedly extract the maximum of
+a value array inside a suffix range and recurse on both sides until the
+maximum drops below the threshold.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Protocol, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class Occurrence:
+    """One probable occurrence of a pattern in an uncertain string.
+
+    Attributes
+    ----------
+    position:
+        Zero-based starting position in the *original* uncertain string.
+    probability:
+        Probability of occurrence of the pattern at that position.
+    """
+
+    position: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", int(self.position))
+        object.__setattr__(self, "probability", float(self.probability))
+
+
+@dataclass(frozen=True, order=True)
+class ListingMatch:
+    """One document reported by the string-listing index.
+
+    Attributes
+    ----------
+    document:
+        Document identifier within the indexed collection.
+    relevance:
+        Relevance value of the pattern in the document under the index's
+        configured relevance metric (Section 6).
+    """
+
+    document: int
+    relevance: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "document", int(self.document))
+        object.__setattr__(self, "relevance", float(self.relevance))
+
+
+class SupportsRangeMaximum(Protocol):
+    """Minimal protocol required of RMQ structures by the reporting routine."""
+
+    def query(self, left: int, right: int) -> int:  # pragma: no cover - protocol
+        ...
+
+
+def report_above_threshold(
+    rmq: SupportsRangeMaximum,
+    values: np.ndarray,
+    left: int,
+    right: int,
+    threshold: float,
+) -> Iterator[int]:
+    """Yield indices in ``[left, right]`` whose value exceeds ``threshold``.
+
+    Implements the recursive range-maximum reporting of the paper
+    (Algorithm 2): query the RMQ for the maximum of the range; when it
+    exceeds the threshold, report it and recurse into the two sub-ranges on
+    either side; otherwise prune the whole range.  The work is therefore
+    proportional to the number of reported indices (each report spawns at
+    most two further RMQ probes).
+
+    Parameters
+    ----------
+    rmq:
+        A range *maximum* query structure built over ``values``.
+    values:
+        The value array the RMQ was built over (used to validate maxima).
+    left, right:
+        Inclusive range to report from.  An empty range (``left > right``)
+        yields nothing.
+    threshold:
+        Strict lower bound on reported values.
+    """
+    if left > right:
+        return
+    # Explicit stack instead of recursion: suffix ranges can contain hundreds
+    # of thousands of entries and Python's recursion limit is modest.
+    stack: List[Tuple[int, int]] = [(left, right)]
+    while stack:
+        low, high = stack.pop()
+        if low > high:
+            continue
+        best = rmq.query(low, high)
+        if values[best] <= threshold:
+            continue
+        yield best
+        if best > low:
+            stack.append((low, best - 1))
+        if best < high:
+            stack.append((best + 1, high))
+
+
+def top_values_above_threshold(
+    rmq: SupportsRangeMaximum,
+    values: np.ndarray,
+    left: int,
+    right: int,
+    k: int,
+    threshold: float,
+) -> List[int]:
+    """Indices of the ``k`` largest values above ``threshold`` in ``[left, right]``.
+
+    Heap-driven variant of :func:`report_above_threshold`: the candidate
+    ranges are kept in a max-heap keyed by their range maximum, so the
+    ``k`` largest entries are extracted in ``O((k + 1) log k)`` RMQ probes
+    without visiting the rest of the range.  Used by the ``top_k`` query
+    methods of the indexes.
+    """
+    if left > right or k <= 0:
+        return []
+    results: List[int] = []
+    best = rmq.query(left, right)
+    heap: List[Tuple[float, int, int, int]] = [(-float(values[best]), best, left, right)]
+    while heap and len(results) < k:
+        negative_value, index, low, high = heapq.heappop(heap)
+        if -negative_value <= threshold:
+            break
+        results.append(index)
+        if index > low:
+            candidate = rmq.query(low, index - 1)
+            heapq.heappush(heap, (-float(values[candidate]), candidate, low, index - 1))
+        if index < high:
+            candidate = rmq.query(index + 1, high)
+            heapq.heappush(heap, (-float(values[candidate]), candidate, index + 1, high))
+    return results
+
+
+class UncertainSubstringIndex(abc.ABC):
+    """Abstract interface of every substring-searching index in the package."""
+
+    @property
+    @abc.abstractmethod
+    def tau_min(self) -> float:
+        """Smallest query threshold the index supports."""
+
+    @abc.abstractmethod
+    def query(self, pattern: str, tau: float) -> List[Occurrence]:
+        """Report occurrences of ``pattern`` with probability above ``tau``."""
+
+    def count(self, pattern: str, tau: float) -> int:
+        """Number of occurrences of ``pattern`` with probability above ``tau``."""
+        return len(self.query(pattern, tau))
+
+    def exists(self, pattern: str, tau: float) -> bool:
+        """Whether ``pattern`` occurs anywhere with probability above ``tau``."""
+        return bool(self.query(pattern, tau))
+
+
+def sort_occurrences(occurrences: Sequence[Occurrence]) -> List[Occurrence]:
+    """Return occurrences sorted by position (the order the paper reports)."""
+    return sorted(occurrences, key=lambda occurrence: occurrence.position)
+
+
+def sort_listing_matches(matches: Sequence[ListingMatch]) -> List[ListingMatch]:
+    """Return listing matches sorted by document identifier."""
+    return sorted(matches, key=lambda match: match.document)

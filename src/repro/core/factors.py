@@ -1,0 +1,370 @@
+"""Maximal factors and the general → special string transformation (Section 5.1).
+
+A *maximal factor* of an uncertain string ``S`` at location ``i`` with
+respect to a threshold ``τ_min`` is a deterministic string of maximal length
+that, aligned at ``i``, has probability of occurrence at least ``τ_min``
+(Definition 2).  Concatenating all maximal factors (with separators) yields a
+special uncertain string ``X`` with the *substring conservation property*
+(Lemma 2): every substring of ``S`` with occurrence probability ≥ τ_min at
+some position appears in ``X`` aligned to a known original position.
+
+The transformation below follows that construction directly:
+
+* factors are enumerated per start position by a depth-first search over
+  character choices, pruned as soon as the running probability drops below
+  ``τ_min`` — the number of strings explored is exactly the number of valid
+  (≥ τ_min) strings, the quantity the paper bounds by ``O((1/τ_min)² · n)``;
+* the concatenation keeps a ``Pos`` array mapping every transformed position
+  back to its original position (and a ``Doc`` array for collections), which
+  the indexes use both to report original positions and to eliminate
+  duplicates.
+
+Correlated strings: factor probabilities are computed from the per-position
+marginals; for characters governed by a correlation rule the *optimistic*
+probability ``max(pr+, pr-)`` is used so that pruning never discards a
+factor that could reach ``τ_min`` under some correlation outcome.  Indexes
+built over correlated strings re-verify candidate occurrences against the
+original string, so this never produces wrong answers (see
+``GeneralUncertainStringIndex``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_threshold
+from ..exceptions import ConstructionError, ValidationError
+from ..strings.collection import UncertainStringCollection
+from ..strings.special import SpecialUncertainString
+from ..strings.uncertain import UncertainString
+
+#: Separator placed between concatenated factors.  ``\x01`` sorts below all
+#: printable characters and may not occur in any indexed alphabet.
+DEFAULT_SEPARATOR = "\x01"
+
+
+@dataclass(frozen=True)
+class MaximalFactor:
+    """One maximal factor of an uncertain string.
+
+    Attributes
+    ----------
+    start:
+        Original starting position of the factor inside its document.
+    characters:
+        The factor's deterministic character string.
+    probabilities:
+        Per-character probabilities used when the factor was generated
+        (aligned with ``characters``).
+    document:
+        Document identifier (0 for single-string transformations).
+    """
+
+    start: int
+    characters: str
+    probabilities: Tuple[float, ...]
+    document: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.characters) != len(self.probabilities):
+            raise ValidationError(
+                "factor characters and probabilities must have equal length"
+            )
+        if not self.characters:
+            raise ValidationError("a maximal factor cannot be empty")
+
+    @property
+    def length(self) -> int:
+        """Number of characters in the factor."""
+        return len(self.characters)
+
+    @property
+    def probability(self) -> float:
+        """Probability of occurrence of the whole factor at its start position."""
+        product = 1.0
+        for value in self.probabilities:
+            product *= value
+        return product
+
+
+def _optimistic_probability(string: UncertainString, position: int, character: str) -> float:
+    """Probability used for factor enumeration (upper bound under correlation)."""
+    base = string[position].probability(character)
+    rule = string.correlations.rule_for(position, character)
+    if rule is None:
+        return base
+    return max(rule.probability_if_present, rule.probability_if_absent)
+
+
+def enumerate_maximal_factors(
+    string: UncertainString,
+    tau_min: float,
+    *,
+    start: Optional[int] = None,
+    max_factor_length: Optional[int] = None,
+    document: int = 0,
+) -> List[MaximalFactor]:
+    """Enumerate the maximal factors of ``string`` w.r.t. ``tau_min``.
+
+    Parameters
+    ----------
+    string:
+        The general uncertain string.
+    tau_min:
+        Construction-time probability threshold (must be in ``(0, 1]``).
+    start:
+        When given, only factors starting at this position are produced;
+        otherwise every start position is processed.
+    max_factor_length:
+        Optional hard cap on factor length.  Factors are still emitted when
+        the cap cuts them short, so the conservation property holds for
+        patterns up to the cap.  ``None`` (default) means unbounded.
+    document:
+        Document identifier recorded on every produced factor.
+
+    Returns
+    -------
+    list of MaximalFactor
+        Factors ordered by start position (and DFS order within a position).
+    """
+    threshold = check_threshold(tau_min)
+    log_threshold = math.log(threshold) - 1e-12
+    if max_factor_length is not None and max_factor_length <= 0:
+        raise ValidationError(
+            f"max_factor_length must be positive, got {max_factor_length}"
+        )
+    starts: Iterable[int]
+    if start is None:
+        starts = range(len(string))
+    else:
+        if start < 0 or start >= len(string):
+            raise ValidationError(
+                f"start position {start} outside string of length {len(string)}"
+            )
+        starts = (start,)
+
+    factors: List[MaximalFactor] = []
+    n = len(string)
+    for origin in starts:
+        # Iterative DFS over character choices; a path is emitted as a factor
+        # exactly when it cannot be extended while staying above tau_min.
+        stack: List[Tuple[int, Tuple[str, ...], Tuple[float, ...], float]] = [
+            (origin, (), (), 0.0)
+        ]
+        while stack:
+            position, characters, probabilities, log_probability = stack.pop()
+            extended = False
+            within_cap = (
+                max_factor_length is None or len(characters) < max_factor_length
+            )
+            if position < n and within_cap:
+                for character, base_probability in string[position]:
+                    effective = _optimistic_probability(string, position, character)
+                    if effective <= 0.0:
+                        continue
+                    candidate = log_probability + math.log(effective)
+                    if candidate >= log_threshold:
+                        stack.append(
+                            (
+                                position + 1,
+                                characters + (character,),
+                                probabilities + (effective,),
+                                candidate,
+                            )
+                        )
+                        extended = True
+            if not extended and characters:
+                factors.append(
+                    MaximalFactor(
+                        start=origin,
+                        characters="".join(characters),
+                        probabilities=probabilities,
+                        document=document,
+                    )
+                )
+    return factors
+
+
+class TransformedString:
+    """Result of the general → special uncertain string transformation.
+
+    The transformed text is the concatenation of all maximal factors, each
+    followed by a separator character.  Parallel arrays map every transformed
+    position back to its original position and document.
+
+    Attributes
+    ----------
+    text:
+        The deterministic character string ``t`` the indexes are built over.
+    probabilities:
+        Per-position probabilities (separators carry probability 1).
+    positions:
+        ``Pos`` array: original position of each transformed position
+        (``-1`` for separators).
+    documents:
+        Document identifier of each transformed position (``-1`` for
+        separators).
+    """
+
+    def __init__(
+        self,
+        factors: Sequence[MaximalFactor],
+        *,
+        tau_min: float,
+        source_length: int,
+        document_count: int = 1,
+        separator: str = DEFAULT_SEPARATOR,
+    ):
+        if not factors:
+            raise ConstructionError(
+                "the transformation produced no factors; every position of the "
+                "input has all its character probabilities below tau_min"
+            )
+        if not isinstance(separator, str) or len(separator) != 1:
+            raise ValidationError(f"separator must be a single character, got {separator!r}")
+        self._tau_min = check_threshold(tau_min)
+        self._separator = separator
+        self._source_length = source_length
+        self._document_count = document_count
+        self._factors = tuple(factors)
+
+        total = sum(factor.length + 1 for factor in factors)
+        text_pieces: List[str] = []
+        probabilities = np.ones(total, dtype=np.float64)
+        positions = np.full(total, -1, dtype=np.int64)
+        documents = np.full(total, -1, dtype=np.int64)
+        cursor = 0
+        for factor in factors:
+            if separator in factor.characters:
+                raise ConstructionError(
+                    f"factor {factor.characters!r} contains the separator character; "
+                    "choose a different separator"
+                )
+            text_pieces.append(factor.characters)
+            text_pieces.append(separator)
+            length = factor.length
+            probabilities[cursor : cursor + length] = factor.probabilities
+            positions[cursor : cursor + length] = factor.start + np.arange(length)
+            documents[cursor : cursor + length] = factor.document
+            cursor += length + 1
+        self.text = "".join(text_pieces)
+        self.probabilities = probabilities
+        self.positions = positions
+        self.documents = documents
+
+    # -- metadata -----------------------------------------------------------------
+    @property
+    def tau_min(self) -> float:
+        """Threshold the transformation was performed for."""
+        return self._tau_min
+
+    @property
+    def separator(self) -> str:
+        """Separator character between factors."""
+        return self._separator
+
+    @property
+    def factors(self) -> Tuple[MaximalFactor, ...]:
+        """The factors in concatenation order."""
+        return self._factors
+
+    @property
+    def factor_count(self) -> int:
+        """Number of factors."""
+        return len(self._factors)
+
+    @property
+    def source_length(self) -> int:
+        """Total number of positions of the original string / collection."""
+        return self._source_length
+
+    @property
+    def document_count(self) -> int:
+        """Number of documents represented in the transformation."""
+        return self._document_count
+
+    @property
+    def length(self) -> int:
+        """Length ``N`` of the transformed text (the paper's ``O((1/τ)² n)``)."""
+        return len(self.text)
+
+    @property
+    def expansion_ratio(self) -> float:
+        """``N / n``: how much larger the transformed text is than the input."""
+        return len(self.text) / self._source_length
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def to_special_string(self) -> SpecialUncertainString:
+        """View the transformation as a special uncertain string."""
+        return SpecialUncertainString.from_characters_and_probabilities(
+            self.text, self.probabilities
+        )
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the numpy payload in bytes."""
+        return int(
+            self.probabilities.nbytes + self.positions.nbytes + self.documents.nbytes
+        )
+
+
+def transform_uncertain_string(
+    string: UncertainString,
+    tau_min: float,
+    *,
+    max_factor_length: Optional[int] = None,
+    separator: str = DEFAULT_SEPARATOR,
+) -> TransformedString:
+    """Transform a general uncertain string into a :class:`TransformedString`.
+
+    This is the Lemma 2 construction: the result's text contains every
+    substring of ``string`` whose occurrence probability is at least
+    ``tau_min``, aligned through the ``Pos`` array.
+    """
+    factors = enumerate_maximal_factors(
+        string, tau_min, max_factor_length=max_factor_length
+    )
+    return TransformedString(
+        factors,
+        tau_min=tau_min,
+        source_length=len(string),
+        document_count=1,
+        separator=separator,
+    )
+
+
+def transform_collection(
+    collection: UncertainStringCollection,
+    tau_min: float,
+    *,
+    max_factor_length: Optional[int] = None,
+    separator: str = DEFAULT_SEPARATOR,
+) -> TransformedString:
+    """Transform every document of a collection into one concatenated text.
+
+    Factor ``Pos`` values are offsets *within their own document*; the
+    ``Doc`` array carries the document identifier, mirroring the generalized
+    suffix tree construction of Section 6.
+    """
+    factors: List[MaximalFactor] = []
+    for identifier, document in enumerate(collection):
+        factors.extend(
+            enumerate_maximal_factors(
+                document,
+                tau_min,
+                max_factor_length=max_factor_length,
+                document=identifier,
+            )
+        )
+    return TransformedString(
+        factors,
+        tau_min=tau_min,
+        source_length=collection.total_positions,
+        document_count=len(collection),
+        separator=separator,
+    )

@@ -1,0 +1,138 @@
+"""The simple (scanning) index for special uncertain strings (Section 4.1).
+
+This is the paper's baseline index: a suffix array over the deterministic
+character string ``t`` of the special uncertain string plus the cumulative
+probability array ``C``.  A query finds the pattern's suffix range and then
+*scans every element of the range*, validating each occurrence's probability
+against the threshold.  Its weakness — time proportional to the number of
+deterministic matches rather than the number of probable matches — is
+exactly what motivates the RMQ-based efficient index of Section 4.2, and the
+two are compared head-to-head in ``benchmarks/bench_baselines.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import check_nonempty_pattern, check_threshold
+from ..strings.correlation import CorrelationModel
+from ..strings.special import SpecialUncertainString
+from ..suffix.pattern_search import suffix_range
+from ..suffix.suffix_array import SuffixArray
+from .base import Occurrence, UncertainSubstringIndex, sort_occurrences
+from .cumulative import (
+    correlation_adjusted_window_log_probability,
+    cumulative_log_probabilities,
+)
+
+
+class SimpleSpecialIndex(UncertainSubstringIndex):
+    """Suffix-array + cumulative-probability scan index (paper Section 4.1).
+
+    Parameters
+    ----------
+    string:
+        The special uncertain string to index.
+    correlations:
+        Optional correlation model over the string's positions; handled at
+        validation time exactly as described for the naive index.
+
+    Examples
+    --------
+    >>> from repro.strings import SpecialUncertainString
+    >>> x = SpecialUncertainString([
+    ...     ("b", 0.4), ("a", 0.7), ("n", 0.5), ("a", 0.8), ("n", 0.9), ("a", 0.6),
+    ... ])
+    >>> index = SimpleSpecialIndex(x)
+    >>> [occ.position for occ in index.query("ana", 0.3)]
+    [3]
+    """
+
+    def __init__(
+        self,
+        string: SpecialUncertainString,
+        *,
+        correlations: Optional[CorrelationModel] = None,
+    ):
+        self._string = string
+        self._correlations = correlations if correlations is not None else CorrelationModel()
+        self._correlations.validate_against_length(len(string))
+        self._suffix_array = SuffixArray(string.text)
+        self._prefix = cumulative_log_probabilities(string.probabilities)
+
+    # -- metadata ------------------------------------------------------------------
+    @property
+    def tau_min(self) -> float:
+        """The simple index supports any positive threshold."""
+        return 0.0
+
+    @property
+    def string(self) -> SpecialUncertainString:
+        """The indexed special uncertain string."""
+        return self._string
+
+    @property
+    def suffix_array(self) -> SuffixArray:
+        """The suffix array over the deterministic character string."""
+        return self._suffix_array
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index payload in bytes."""
+        return int(self._suffix_array.nbytes() + self._prefix.nbytes)
+
+    # -- queries ----------------------------------------------------------------------
+    def query(self, pattern: str, tau: float) -> List[Occurrence]:
+        """Report all occurrences of ``pattern`` with probability > ``tau``.
+
+        Runs in time proportional to the number of *deterministic* matches of
+        ``pattern`` in the text (plus the suffix-range lookup), validating
+        each candidate against the threshold.
+        """
+        check_nonempty_pattern(pattern)
+        threshold = check_threshold(tau)
+        interval = suffix_range(self._string.text, self._suffix_array.array, pattern)
+        if interval is None:
+            return []
+        sp, ep = interval
+        log_threshold = math.log(threshold)
+        length = len(pattern)
+        positions = self._suffix_array.array[sp : ep + 1]
+
+        occurrences: List[Occurrence] = []
+        if not self._correlations:
+            # Vectorized validation: windows never run past the end inside a
+            # valid suffix range (every suffix there has >= m characters).
+            values = self._prefix[positions + length] - self._prefix[positions]
+            keep = values > log_threshold
+            for position, value in zip(positions[keep], values[keep]):
+                occurrences.append(Occurrence(int(position), float(np.exp(value))))
+            return sort_occurrences(occurrences)
+
+        for position in positions:
+            value = correlation_adjusted_window_log_probability(
+                self._prefix,
+                int(position),
+                length,
+                self._correlations,
+                self._string.text,
+                self._string.probabilities,
+            )
+            if value > log_threshold:
+                occurrences.append(Occurrence(int(position), math.exp(value)))
+        return sort_occurrences(occurrences)
+
+    def scanned_candidates(self, pattern: str) -> int:
+        """Number of suffix-range entries a query for ``pattern`` must scan.
+
+        Exposed for the benchmark harness so the simple-vs-efficient ablation
+        can report work done, not just wall-clock time.
+        """
+        check_nonempty_pattern(pattern)
+        interval = suffix_range(self._string.text, self._suffix_array.array, pattern)
+        if interval is None:
+            return 0
+        sp, ep = interval
+        return ep - sp + 1

@@ -1,0 +1,340 @@
+"""The efficient RMQ-based index for special uncertain strings (Section 4.2).
+
+The index keeps, for every prefix length ``i`` up to ``⌈log2 n⌉``, the array
+``C_i`` of window probabilities over lexicographic ranks and a range maximum
+query structure ``RMQ_i`` over it.  A query for a short pattern (``m ≤
+log n``) finds the pattern's suffix range and then repeatedly extracts the
+maximum-probability entry, recursing on both sides until the maximum drops
+below the threshold — ``O(m + occ)`` in total (Algorithm 2).
+
+Long patterns (``m > log n``) use the paper's blocking scheme: the suffix
+array is cut into blocks of ``m`` entries, only the per-block maximum is kept
+(array ``PB_m`` with its own RMQ), and a query touches one block per output,
+scanning the ``m`` entries inside each touched block — ``O(m · occ)``.
+Because materializing ``PB_i`` for *every* ``i ∈ [log n, n]`` costs
+``Θ(n²)`` array work, blocks are built only for the lengths listed in
+``long_lengths``; other long patterns fall back to a vectorized scan of the
+suffix range, which returns identical results (see DESIGN.md, substitution
+table).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_nonempty_pattern, check_threshold
+from ..exceptions import PatternTooLongError, ValidationError
+from ..strings.correlation import CorrelationModel
+from ..strings.special import SpecialUncertainString
+from ..suffix.pattern_search import suffix_range
+from ..suffix.rmq import make_rmq
+from ..suffix.suffix_array import SuffixArray
+from .base import (
+    Occurrence,
+    UncertainSubstringIndex,
+    report_above_threshold,
+    sort_occurrences,
+    top_values_above_threshold,
+)
+from .cumulative import (
+    NEGATIVE_INFINITY,
+    apply_correlation_adjustment,
+    correlation_adjusted_window_log_probability,
+    cumulative_log_probabilities,
+    prefix_length_log_probabilities,
+)
+
+LongPatternMode = Literal["fallback", "block", "error"]
+
+
+class SpecialUncertainStringIndex(UncertainSubstringIndex):
+    """Efficient substring-search index over a special uncertain string.
+
+    Parameters
+    ----------
+    string:
+        The special uncertain string to index.
+    correlations:
+        Optional correlation model (Algorithm 1's correlation branch is
+        applied while building the ``C_i`` arrays).
+    max_short_length:
+        Largest pattern length answered by the per-length RMQ structures.
+        Defaults to ``⌈log2 n⌉`` as in the paper.
+    long_lengths:
+        Pattern lengths above ``max_short_length`` for which the blocking
+        structures of the paper are materialized.
+    long_pattern_mode:
+        What to do with a long pattern whose length has no blocking
+        structure: ``"fallback"`` (default) scans the suffix range,
+        ``"block"`` requires a materialized length and otherwise raises,
+        ``"error"`` always raises.
+    rmq_implementation:
+        ``"sparse"`` (O(1) query, O(n log n) space) or ``"block"``
+        (O(log n) query, O(n) space).
+
+    Examples
+    --------
+    >>> from repro.strings import SpecialUncertainString
+    >>> x = SpecialUncertainString([
+    ...     ("b", 0.4), ("a", 0.7), ("n", 0.5), ("a", 0.8), ("n", 0.9), ("a", 0.6),
+    ... ])
+    >>> index = SpecialUncertainStringIndex(x)
+    >>> [(occ.position, round(occ.probability, 3)) for occ in index.query("ana", 0.3)]
+    [(3, 0.432)]
+    """
+
+    def __init__(
+        self,
+        string: SpecialUncertainString,
+        *,
+        correlations: Optional[CorrelationModel] = None,
+        max_short_length: Optional[int] = None,
+        long_lengths: Iterable[int] = (),
+        long_pattern_mode: LongPatternMode = "fallback",
+        rmq_implementation: Literal["sparse", "block"] = "sparse",
+    ):
+        self._string = string
+        self._correlations = correlations if correlations is not None else CorrelationModel()
+        self._correlations.validate_against_length(len(string))
+        if long_pattern_mode not in ("fallback", "block", "error"):
+            raise ValidationError(
+                f"long_pattern_mode must be 'fallback', 'block' or 'error', got {long_pattern_mode!r}"
+            )
+        self._long_pattern_mode = long_pattern_mode
+        self._rmq_implementation = rmq_implementation
+
+        n = len(string)
+        self._suffix_array = SuffixArray(string.text)
+        self._prefix = cumulative_log_probabilities(string.probabilities)
+
+        if max_short_length is None:
+            max_short_length = max(1, math.ceil(math.log2(n + 1)))
+        if max_short_length < 1:
+            raise ValidationError(
+                f"max_short_length must be at least 1, got {max_short_length}"
+            )
+        self._max_short_length = min(max_short_length, n)
+
+        # Per-length C_i arrays and their RMQ structures (short patterns).
+        self._short_values: Dict[int, np.ndarray] = {}
+        self._short_rmq: Dict[int, object] = {}
+        for length in range(1, self._max_short_length + 1):
+            values = prefix_length_log_probabilities(
+                self._prefix, self._suffix_array.array, length
+            )
+            values = apply_correlation_adjustment(
+                values,
+                self._suffix_array.array,
+                length,
+                self._correlations,
+                string.text,
+                string.probabilities,
+            )
+            self._short_values[length] = values
+            self._short_rmq[length] = make_rmq(
+                values, mode="max", implementation=rmq_implementation
+            )
+
+        # Blocking structures for selected long pattern lengths.
+        self._block_maxima: Dict[int, np.ndarray] = {}
+        self._block_rmq: Dict[int, object] = {}
+        for length in sorted(set(int(value) for value in long_lengths)):
+            if length <= self._max_short_length:
+                continue
+            if length > n:
+                continue
+            self._build_blocking_structure(length)
+
+    # -- construction helpers -----------------------------------------------------------
+    def _build_blocking_structure(self, length: int) -> None:
+        values = prefix_length_log_probabilities(
+            self._prefix, self._suffix_array.array, length
+        )
+        values = apply_correlation_adjustment(
+            values,
+            self._suffix_array.array,
+            length,
+            self._correlations,
+            self._string.text,
+            self._string.probabilities,
+        )
+        n = len(values)
+        block_count = (n + length - 1) // length
+        maxima = np.full(block_count, NEGATIVE_INFINITY, dtype=np.float64)
+        for block in range(block_count):
+            start = block * length
+            end = min(start + length, n)
+            maxima[block] = values[start:end].max()
+        self._block_maxima[length] = maxima
+        self._block_rmq[length] = make_rmq(
+            maxima, mode="max", implementation=self._rmq_implementation
+        )
+
+    # -- metadata ------------------------------------------------------------------------
+    @property
+    def tau_min(self) -> float:
+        """The special-string index supports any positive threshold."""
+        return 0.0
+
+    @property
+    def string(self) -> SpecialUncertainString:
+        """The indexed special uncertain string."""
+        return self._string
+
+    @property
+    def max_short_length(self) -> int:
+        """Largest pattern length answered through the per-length RMQ path."""
+        return self._max_short_length
+
+    @property
+    def block_lengths(self) -> Tuple[int, ...]:
+        """Pattern lengths for which blocking structures are materialized."""
+        return tuple(sorted(self._block_maxima))
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index payload in bytes."""
+        total = self._suffix_array.nbytes() + self._prefix.nbytes
+        for values in self._short_values.values():
+            total += values.nbytes
+        for rmq in self._short_rmq.values():
+            total += rmq.nbytes()  # type: ignore[attr-defined]
+        for maxima in self._block_maxima.values():
+            total += maxima.nbytes
+        for rmq in self._block_rmq.values():
+            total += rmq.nbytes()  # type: ignore[attr-defined]
+        return int(total)
+
+    # -- queries ------------------------------------------------------------------------------
+    def query(self, pattern: str, tau: float) -> List[Occurrence]:
+        """Report all occurrences of ``pattern`` with probability > ``tau``."""
+        check_nonempty_pattern(pattern)
+        threshold = check_threshold(tau)
+        if len(pattern) > len(self._string):
+            return []
+        interval = suffix_range(self._string.text, self._suffix_array.array, pattern)
+        if interval is None:
+            return []
+        sp, ep = interval
+        log_threshold = math.log(threshold)
+        length = len(pattern)
+
+        if length <= self._max_short_length:
+            return self._query_short(sp, ep, length, log_threshold)
+        if length in self._block_rmq:
+            return self._query_blocked(sp, ep, length, log_threshold)
+        if self._long_pattern_mode == "fallback":
+            return self._query_scan(sp, ep, length, log_threshold)
+        if self._long_pattern_mode == "block":
+            raise PatternTooLongError(
+                f"no blocking structure was built for pattern length {length}; "
+                f"available lengths: {self.block_lengths}"
+            )
+        raise PatternTooLongError(
+            f"pattern length {length} exceeds max_short_length={self._max_short_length}"
+        )
+
+    def top_k(self, pattern: str, k: int, *, tau: float = 1e-9) -> List[Occurrence]:
+        """Report the ``k`` most probable occurrences of ``pattern``.
+
+        Results are ordered by decreasing probability (ties broken by
+        position).  ``tau`` optionally floors the candidates considered.
+        """
+        check_nonempty_pattern(pattern)
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        threshold = check_threshold(tau)
+        if len(pattern) > len(self._string):
+            return []
+        interval = suffix_range(self._string.text, self._suffix_array.array, pattern)
+        if interval is None:
+            return []
+        sp, ep = interval
+        length = len(pattern)
+        log_threshold = math.log(threshold) - 1e-12
+
+        if length <= self._max_short_length and not self._correlations:
+            values = self._short_values[length]
+            rmq = self._short_rmq[length]
+            ranks = top_values_above_threshold(rmq, values, sp, ep, k, log_threshold)
+            occurrences = [
+                Occurrence(
+                    int(self._suffix_array.array[rank]), math.exp(float(values[rank]))
+                )
+                for rank in ranks
+            ]
+        else:
+            occurrences = list(self._scan_range(sp, ep, length, log_threshold))
+        occurrences.sort(key=lambda occurrence: (-occurrence.probability, occurrence.position))
+        return occurrences[:k]
+
+    # -- query strategies ------------------------------------------------------------------------
+    def _query_short(
+        self, sp: int, ep: int, length: int, log_threshold: float
+    ) -> List[Occurrence]:
+        values = self._short_values[length]
+        rmq = self._short_rmq[length]
+        occurrences = []
+        for rank in report_above_threshold(rmq, values, sp, ep, log_threshold):
+            position = int(self._suffix_array.array[rank])
+            occurrences.append(Occurrence(position, math.exp(float(values[rank]))))
+        return sort_occurrences(occurrences)
+
+    def _query_blocked(
+        self, sp: int, ep: int, length: int, log_threshold: float
+    ) -> List[Occurrence]:
+        maxima = self._block_maxima[length]
+        rmq = self._block_rmq[length]
+        first_block = sp // length
+        last_block = ep // length
+        occurrences: List[Occurrence] = []
+        seen_positions = set()
+        reported_blocks = list(
+            report_above_threshold(rmq, maxima, first_block, last_block, log_threshold)
+        )
+        # Blocks straddling the range boundary may have their maximum outside
+        # [sp, ep]; scan the partial boundary blocks unconditionally so no
+        # in-range occurrence is missed.
+        for block in reported_blocks + [first_block, last_block]:
+            start = max(sp, block * length)
+            end = min(ep, (block + 1) * length - 1)
+            for occurrence in self._scan_range(start, end, length, log_threshold):
+                if occurrence.position not in seen_positions:
+                    seen_positions.add(occurrence.position)
+                    occurrences.append(occurrence)
+        return sort_occurrences(occurrences)
+
+    def _query_scan(
+        self, sp: int, ep: int, length: int, log_threshold: float
+    ) -> List[Occurrence]:
+        return sort_occurrences(list(self._scan_range(sp, ep, length, log_threshold)))
+
+    def _scan_range(
+        self, sp: int, ep: int, length: int, log_threshold: float
+    ) -> Iterable[Occurrence]:
+        if sp > ep:
+            return []
+        positions = self._suffix_array.array[sp : ep + 1]
+        occurrences = []
+        if not self._correlations:
+            in_range = positions + length <= len(self._string)
+            candidates = positions[in_range]
+            values = self._prefix[candidates + length] - self._prefix[candidates]
+            keep = values > log_threshold
+            for position, value in zip(candidates[keep], values[keep]):
+                occurrences.append(Occurrence(int(position), float(np.exp(value))))
+            return occurrences
+        for position in positions:
+            value = correlation_adjusted_window_log_probability(
+                self._prefix,
+                int(position),
+                length,
+                self._correlations,
+                self._string.text,
+                self._string.probabilities,
+            )
+            if value > log_threshold:
+                occurrences.append(Occurrence(int(position), math.exp(value)))
+        return occurrences

@@ -1,0 +1,31 @@
+"""Dataset and workload generators reproducing the paper's Section 8.1 setup."""
+
+from .protein import (
+    PROTEIN_FREQUENCIES,
+    generate_protein_sequence,
+    protein_frequency_vector,
+    split_into_fragments,
+)
+from .queries import (
+    QueryWorkload,
+    extract_collection_patterns,
+    extract_patterns,
+    threshold_grid,
+    workload,
+)
+from .synthetic import SyntheticConfig, generate_collection, generate_uncertain_string
+
+__all__ = [
+    "PROTEIN_FREQUENCIES",
+    "QueryWorkload",
+    "SyntheticConfig",
+    "extract_collection_patterns",
+    "extract_patterns",
+    "generate_collection",
+    "generate_protein_sequence",
+    "generate_uncertain_string",
+    "protein_frequency_vector",
+    "split_into_fragments",
+    "threshold_grid",
+    "workload",
+]

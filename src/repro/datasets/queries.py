@@ -1,0 +1,133 @@
+"""Query workload generation for the experiments.
+
+The paper evaluates with "a collection of query substrings" of several
+lengths (10, 100, 500, 1000 for the scaling experiments; 5–25 for the
+pattern-length experiment) issued against the indexed uncertain string with
+thresholds τ ≥ τ_min.  Queries are extracted from the most likely
+deterministic realization of the indexed string so that a reasonable share
+of them actually matches above the threshold — querying random garbage would
+measure only the suffix-range lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..strings.collection import UncertainStringCollection
+from ..strings.uncertain import UncertainString
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A batch of query patterns plus the threshold they are issued with.
+
+    Attributes
+    ----------
+    patterns:
+        The deterministic query substrings.
+    tau:
+        Query-time probability threshold.
+    """
+
+    patterns: tuple
+    tau: float
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+def extract_patterns(
+    string: UncertainString,
+    lengths: Sequence[int],
+    *,
+    per_length: int = 10,
+    seed: Optional[int] = None,
+) -> List[str]:
+    """Extract query patterns from the most likely realization of ``string``.
+
+    Parameters
+    ----------
+    string:
+        The uncertain string queries will be issued against.
+    lengths:
+        Pattern lengths to extract; lengths exceeding the string are skipped.
+    per_length:
+        Number of patterns per length.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    list of str
+        ``per_length`` patterns for every usable length, in length order.
+    """
+    if per_length <= 0:
+        raise ValidationError(f"per_length must be positive, got {per_length}")
+    rng = np.random.default_rng(seed)
+    backbone = string.most_likely_string()
+    patterns: List[str] = []
+    for length in lengths:
+        if length <= 0:
+            raise ValidationError(f"pattern lengths must be positive, got {length}")
+        if length > len(backbone):
+            continue
+        starts = rng.integers(0, len(backbone) - length + 1, size=per_length)
+        patterns.extend(backbone[start : start + length] for start in starts)
+    if not patterns:
+        raise ValidationError(
+            f"no usable pattern lengths in {list(lengths)!r} for a string of "
+            f"length {len(backbone)}"
+        )
+    return patterns
+
+
+def extract_collection_patterns(
+    collection: UncertainStringCollection,
+    lengths: Sequence[int],
+    *,
+    per_length: int = 10,
+    seed: Optional[int] = None,
+) -> List[str]:
+    """Extract query patterns from random documents of a collection."""
+    rng = np.random.default_rng(seed)
+    patterns: List[str] = []
+    document_lengths = np.asarray([len(document) for document in collection])
+    for length in lengths:
+        if length <= 0:
+            raise ValidationError(f"pattern lengths must be positive, got {length}")
+        usable = np.flatnonzero(document_lengths >= length)
+        if len(usable) == 0:
+            continue
+        for _ in range(per_length):
+            document = collection[int(rng.choice(usable))]
+            backbone = document.most_likely_string()
+            start = int(rng.integers(0, len(backbone) - length + 1))
+            patterns.append(backbone[start : start + length])
+    if not patterns:
+        raise ValidationError(
+            f"no document in the collection is long enough for lengths {list(lengths)!r}"
+        )
+    return patterns
+
+
+def workload(
+    patterns: Sequence[str],
+    tau: float,
+) -> QueryWorkload:
+    """Bundle patterns and a threshold into a :class:`QueryWorkload`."""
+    if not patterns:
+        raise ValidationError("a workload needs at least one pattern")
+    return QueryWorkload(patterns=tuple(patterns), tau=float(tau))
+
+
+def threshold_grid(start: float, stop: float, count: int) -> List[float]:
+    """Evenly spaced thresholds in ``[start, stop]`` (used for Figures 7b/8b)."""
+    if count <= 0:
+        raise ValidationError(f"count must be positive, got {count}")
+    if not 0.0 < start <= stop <= 1.0:
+        raise ValidationError(f"invalid threshold interval [{start}, {stop}]")
+    return [float(value) for value in np.linspace(start, stop, count)]

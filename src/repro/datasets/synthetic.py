@@ -1,0 +1,235 @@
+"""Synthetic uncertain-string workloads following the paper's recipe (Section 8.1).
+
+The paper builds its probabilistic dataset from clean protein strings:
+
+    "For each string s in the dataset we first obtain a set A(s) of strings
+    that are within edit distance 4 to s.  Then a character-level
+    probabilistic string S for string s is generated such that, for a
+    position i, the pdf of S[i] is based on the normalized frequencies of
+    the letters in the i-th position of all the strings in A(s).  We denote
+    by θ the fraction of uncertain characters in the string [...] The average
+    number of choices that each probabilistic character S[i] may have is set
+    to 5."
+
+This module reproduces that recipe with one simplification: instead of
+materializing the full edit-distance-4 neighborhood (exponentially large),
+it samples a configurable number of substitution-only neighbors per string
+and derives each uncertain position's pdf from the letter frequencies across
+the sampled neighborhood — the same normalized-frequency construction, with
+the original character dominant and ≈5 choices per uncertain position.  θ is
+controlled exactly by choosing which positions receive a neighborhood-based
+pdf (the rest stay certain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..strings.alphabet import PROTEIN_SYMBOLS
+from ..strings.collection import UncertainStringCollection
+from ..strings.uncertain import UncertainString
+from .protein import generate_protein_sequence, split_into_fragments
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the paper's synthetic uncertain-string generator.
+
+    Attributes
+    ----------
+    theta:
+        Fraction of uncertain positions (the paper's θ, 0.1–0.5).
+    neighborhood_size:
+        Number of sampled edit-neighborhood strings used to derive pdfs.
+    max_edits:
+        Maximum number of substitutions applied to create one neighbor
+        (the paper uses edit distance 4).
+    average_choices:
+        Target number of characters per uncertain position (paper: 5).
+    alphabet:
+        Symbols the strings are drawn from.
+    """
+
+    theta: float = 0.3
+    neighborhood_size: int = 20
+    max_edits: int = 4
+    average_choices: int = 5
+    alphabet: Sequence[str] = PROTEIN_SYMBOLS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theta <= 1.0:
+            raise ValidationError(f"theta must lie in [0, 1], got {self.theta}")
+        if self.neighborhood_size <= 0:
+            raise ValidationError("neighborhood_size must be positive")
+        if self.max_edits < 0:
+            raise ValidationError("max_edits must be non-negative")
+        if self.average_choices < 2:
+            raise ValidationError("average_choices must be at least 2")
+
+
+def _position_distribution(
+    original: str,
+    alphabet: np.ndarray,
+    rng: np.random.Generator,
+    config: SyntheticConfig,
+) -> Dict[str, float]:
+    """Derive one uncertain position's pdf from a sampled neighborhood.
+
+    Each sampled neighbor either keeps the original character or substitutes
+    a random alternative; the pdf is the normalized frequency of the
+    characters observed at this position, truncated to approximately
+    ``average_choices`` characters.
+    """
+    # Number of alternative characters for this position: 2 .. 2*avg-2,
+    # averaging out at `average_choices` (minus the original).
+    spread = max(1, config.average_choices - 1)
+    alternative_count = int(rng.integers(1, 2 * spread)) if spread > 1 else 1
+    alternative_count = min(alternative_count, len(alphabet) - 1)
+    alternatives = rng.choice(
+        alphabet[alphabet != original], size=alternative_count, replace=False
+    )
+
+    counts: Dict[str, int] = {original: 0}
+    for alternative in alternatives:
+        counts[str(alternative)] = 0
+    # Simulate the neighborhood: each neighbor keeps the original character
+    # unless one of its (at most max_edits) substitutions landed here.
+    substitution_rate = min(0.9, config.max_edits / max(config.max_edits, 8))
+    for _ in range(config.neighborhood_size):
+        if rng.random() < substitution_rate:
+            choice = str(rng.choice(alternatives))
+            counts[choice] += 1
+        else:
+            counts[original] += 1
+    # The original string itself belongs to A(s).
+    counts[original] += 1
+    total = sum(counts.values())
+    distribution = {
+        character: count / total for character, count in counts.items() if count > 0
+    }
+    if len(distribution) == 1:
+        # Degenerate sample (every neighbor kept the original): force one
+        # alternative with a small probability so the position is uncertain.
+        alternative = str(alternatives[0])
+        distribution = {original: (total - 1) / total, alternative: 1 / total}
+    return distribution
+
+
+def generate_uncertain_string(
+    length: int,
+    *,
+    theta: float = 0.3,
+    seed: Optional[int] = None,
+    config: Optional[SyntheticConfig] = None,
+    base_sequence: Optional[str] = None,
+) -> UncertainString:
+    """Generate one uncertain string of ``length`` positions.
+
+    Parameters
+    ----------
+    length:
+        Number of positions (the paper's ``n``).
+    theta:
+        Fraction of uncertain positions; ignored when ``config`` is given.
+    seed:
+        RNG seed for reproducibility.
+    config:
+        Full :class:`SyntheticConfig`; built from ``theta`` when omitted.
+    base_sequence:
+        Deterministic backbone to derive the uncertain string from; a
+        protein-like sequence is generated when omitted.
+
+    Examples
+    --------
+    >>> s = generate_uncertain_string(100, theta=0.2, seed=1)
+    >>> len(s)
+    100
+    >>> abs(s.uncertainty_fraction - 0.2) < 0.05
+    True
+    """
+    if length <= 0:
+        raise ValidationError(f"length must be positive, got {length}")
+    if config is None:
+        config = SyntheticConfig(theta=theta)
+    rng = np.random.default_rng(seed)
+    if base_sequence is None:
+        base_sequence = generate_protein_sequence(
+            length, seed=int(rng.integers(0, 2**31 - 1))
+        )
+    if len(base_sequence) < length:
+        raise ValidationError(
+            f"base_sequence has {len(base_sequence)} characters, need {length}"
+        )
+    base_sequence = base_sequence[:length]
+    alphabet = np.asarray(list(config.alphabet))
+
+    uncertain_count = int(round(config.theta * length))
+    uncertain_positions = set(
+        rng.choice(length, size=uncertain_count, replace=False).tolist()
+    )
+    rows: List[Dict[str, float]] = []
+    for position, character in enumerate(base_sequence):
+        if position in uncertain_positions:
+            rows.append(_position_distribution(character, alphabet, rng, config))
+        else:
+            rows.append({character: 1.0})
+    return UncertainString.from_table(rows)
+
+
+def generate_collection(
+    total_positions: int,
+    *,
+    theta: float = 0.3,
+    seed: Optional[int] = None,
+    config: Optional[SyntheticConfig] = None,
+    mean_length: float = 32.5,
+    std_length: float = 5.0,
+    min_length: int = 20,
+    max_length: int = 45,
+) -> UncertainStringCollection:
+    """Generate a collection of uncertain strings with ``total_positions`` in total.
+
+    Follows the paper's listing-experiment setup: a long protein-like
+    sequence is broken into fragments whose lengths approximately follow a
+    normal distribution within ``[20, 45]``, and each fragment becomes an
+    uncertain string with uncertainty fraction θ.
+
+    Examples
+    --------
+    >>> collection = generate_collection(500, theta=0.2, seed=3)
+    >>> collection.total_positions >= 500
+    True
+    >>> all(20 <= len(doc) <= 45 + 20 for doc in collection)
+    True
+    """
+    if total_positions <= 0:
+        raise ValidationError(f"total_positions must be positive, got {total_positions}")
+    if config is None:
+        config = SyntheticConfig(theta=theta)
+    rng = np.random.default_rng(seed)
+    backbone = generate_protein_sequence(
+        total_positions + max_length, seed=int(rng.integers(0, 2**31 - 1))
+    )
+    fragments = split_into_fragments(
+        backbone[:total_positions],
+        mean_length=mean_length,
+        std_length=std_length,
+        min_length=min_length,
+        max_length=max_length,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    documents = []
+    for identifier, fragment in enumerate(fragments):
+        documents.append(
+            generate_uncertain_string(
+                len(fragment),
+                config=config,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                base_sequence=fragment,
+            )
+        )
+    return UncertainStringCollection(documents)

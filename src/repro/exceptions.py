@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so applications can catch
+everything raised by this package with a single ``except`` clause while still
+being able to distinguish validation problems from query-time problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data fails validation.
+
+    Examples: a position distribution whose probabilities do not sum to one,
+    a probability outside ``[0, 1]``, or an empty uncertain string.
+    """
+
+
+class ThresholdError(ValidationError):
+    """Raised when a probability threshold is outside its legal range.
+
+    Query thresholds must satisfy ``tau_min <= tau <= 1`` where ``tau_min``
+    is the construction-time threshold of the index being queried.
+    """
+
+
+class AlphabetError(ValidationError):
+    """Raised when a character is not part of the expected alphabet."""
+
+
+class QueryError(ReproError):
+    """Raised when a query cannot be executed against an index."""
+
+
+class PatternTooLongError(QueryError):
+    """Raised when a pattern exceeds what an index was configured to answer.
+
+    Only raised by indexes explicitly configured with
+    ``long_pattern_mode="error"``; the default configuration falls back to a
+    suffix-range scan for long patterns instead of raising.
+    """
+
+
+class ConstructionError(ReproError):
+    """Raised when an index cannot be constructed from the given input."""
+
+
+class CorrelationError(ValidationError):
+    """Raised when a correlation rule is inconsistent with its string."""

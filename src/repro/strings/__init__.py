@@ -1,0 +1,45 @@
+"""Uncertain-string data model (character-level uncertainty, Section 3)."""
+
+from .alphabet import (
+    Alphabet,
+    DNA_SYMBOLS,
+    ECG_SYMBOLS,
+    PROTEIN_SYMBOLS,
+    dna_alphabet,
+    ecg_alphabet,
+    protein_alphabet,
+)
+from .collection import UncertainStringCollection
+from .correlation import CorrelationModel, CorrelationRule
+from .distribution import PositionDistribution
+from .possible_worlds import (
+    PossibleWorld,
+    all_worlds,
+    enumerate_worlds,
+    top_k_worlds,
+    world_count,
+)
+from .special import SpecialPosition, SpecialUncertainString
+from .uncertain import UncertainString
+
+__all__ = [
+    "Alphabet",
+    "CorrelationModel",
+    "CorrelationRule",
+    "DNA_SYMBOLS",
+    "ECG_SYMBOLS",
+    "PROTEIN_SYMBOLS",
+    "PositionDistribution",
+    "PossibleWorld",
+    "SpecialPosition",
+    "SpecialUncertainString",
+    "UncertainString",
+    "UncertainStringCollection",
+    "all_worlds",
+    "dna_alphabet",
+    "ecg_alphabet",
+    "enumerate_worlds",
+    "protein_alphabet",
+    "top_k_worlds",
+    "world_count",
+]

@@ -1,0 +1,123 @@
+"""Alphabet definitions and helpers.
+
+The paper evaluates on protein sequences (alphabet size 22 once ambiguity
+codes are included) and motivates the work with DNA, ECG annotation symbols
+and RFID event streams.  An :class:`Alphabet` is a lightweight, immutable
+ordered set of single-character symbols with validation helpers; indexes do
+not require one, but data generators and parsers use them to keep inputs
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Tuple
+
+from ..exceptions import AlphabetError
+
+#: The 20 standard amino acids plus ``B`` (Asx) and ``Z`` (Glx), giving the
+#: alphabet size of 22 used in the paper's experiments (Section 8.1).
+PROTEIN_SYMBOLS: Tuple[str, ...] = tuple("ACDEFGHIKLMNPQRSTVWYBZ")
+
+#: Canonical DNA bases.
+DNA_SYMBOLS: Tuple[str, ...] = tuple("ACGT")
+
+#: ECG annotation symbols from the Holter-monitor motivation (Section 2):
+#: Normal, Left/Right bundle branch block, Atrial premature, premature
+#: Ventricular contraction, Fusion, Junctional and Unknown beats.
+ECG_SYMBOLS: Tuple[str, ...] = tuple("NLRAVFJU")
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An immutable, ordered alphabet of single-character symbols.
+
+    Parameters
+    ----------
+    symbols:
+        Iterable of distinct single-character strings.  Order is preserved
+        and used by data generators for reproducibility.
+
+    Examples
+    --------
+    >>> sigma = Alphabet("ACGT")
+    >>> sigma.size
+    4
+    >>> sigma.index("G")
+    2
+    >>> "T" in sigma
+    True
+    """
+
+    symbols: Tuple[str, ...] = field(default=PROTEIN_SYMBOLS)
+
+    def __init__(self, symbols: Iterable[str] = PROTEIN_SYMBOLS):
+        seen = []
+        seen_set = set()
+        for symbol in symbols:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise AlphabetError(
+                    f"alphabet symbols must be single characters, got {symbol!r}"
+                )
+            if symbol in seen_set:
+                raise AlphabetError(f"duplicate symbol {symbol!r} in alphabet")
+            seen.append(symbol)
+            seen_set.add(symbol)
+        if not seen:
+            raise AlphabetError("alphabet must contain at least one symbol")
+        object.__setattr__(self, "symbols", tuple(seen))
+        object.__setattr__(self, "_index", {s: i for i, s in enumerate(seen)})
+
+    # -- container protocol -------------------------------------------------
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._index  # type: ignore[attr-defined]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of symbols in the alphabet."""
+        return len(self.symbols)
+
+    def index(self, symbol: str) -> int:
+        """Return the rank of ``symbol`` within the alphabet.
+
+        Raises
+        ------
+        AlphabetError
+            If ``symbol`` is not part of the alphabet.
+        """
+        try:
+            return self._index[symbol]  # type: ignore[attr-defined]
+        except KeyError as exc:
+            raise AlphabetError(f"symbol {symbol!r} is not in the alphabet") from exc
+
+    def validate_string(self, text: str) -> str:
+        """Validate that every character of ``text`` belongs to the alphabet."""
+        for position, character in enumerate(text):
+            if character not in self:
+                raise AlphabetError(
+                    f"character {character!r} at position {position} is not in "
+                    f"the alphabet {''.join(self.symbols)!r}"
+                )
+        return text
+
+
+def protein_alphabet() -> Alphabet:
+    """Return the 22-symbol protein alphabet used by the paper's dataset."""
+    return Alphabet(PROTEIN_SYMBOLS)
+
+
+def dna_alphabet() -> Alphabet:
+    """Return the 4-symbol DNA alphabet."""
+    return Alphabet(DNA_SYMBOLS)
+
+
+def ecg_alphabet() -> Alphabet:
+    """Return the ECG heartbeat-annotation alphabet (Holter-monitor example)."""
+    return Alphabet(ECG_SYMBOLS)

@@ -1,0 +1,178 @@
+"""Collections of uncertain strings for the string-listing problem (Section 6).
+
+The listing problem asks: given a collection ``D = {d_1, ..., d_D}`` of
+uncertain strings and a query ``(p, τ)``, report every string that contains
+at least one occurrence of ``p`` with probability greater than ``τ``.
+:class:`UncertainStringCollection` is the container the listing index is
+built from; it also provides the brute-force answer used as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .._validation import check_nonempty_pattern, check_threshold
+from ..exceptions import ValidationError
+from .uncertain import UncertainString
+
+
+class UncertainStringCollection:
+    """An ordered collection of uncertain strings (documents).
+
+    Parameters
+    ----------
+    documents:
+        The member strings.  Their order defines the document identifiers
+        ``0 .. D-1`` used in query answers.
+    names:
+        Optional per-document names; defaults to each string's own ``name``
+        or ``"d{identifier}"``.
+
+    Examples
+    --------
+    The Figure 2 example collection:
+
+    >>> d1 = UncertainString([
+    ...     {"A": 0.4, "B": 0.3, "F": 0.3},
+    ...     {"B": 0.3, "L": 0.3, "F": 0.3, "J": 0.1},
+    ...     {"F": 0.5, "J": 0.5},
+    ... ])
+    >>> d2 = UncertainString([
+    ...     {"A": 0.6, "C": 0.4},
+    ...     {"B": 0.5, "F": 0.3, "J": 0.2},
+    ...     {"B": 0.4, "C": 0.3, "E": 0.2, "F": 0.1},
+    ... ])
+    >>> d3 = UncertainString([
+    ...     {"A": 0.4, "F": 0.4, "P": 0.2},
+    ...     {"I": 0.3, "L": 0.3, "P": 0.3, "T": 0.1},
+    ...     {"A": 1.0},
+    ... ])
+    >>> collection = UncertainStringCollection([d1, d2, d3])
+    >>> collection.matching_documents("BF", 0.1)
+    [0]
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[UncertainString],
+        *,
+        names: Optional[Sequence[str]] = None,
+    ):
+        if documents is None or len(documents) == 0:
+            raise ValidationError("a collection needs at least one document")
+        for document in documents:
+            if not isinstance(document, UncertainString):
+                raise ValidationError(
+                    f"collection members must be UncertainString, got {type(document).__name__}"
+                )
+        self._documents: Tuple[UncertainString, ...] = tuple(documents)
+        if names is not None:
+            if len(names) != len(documents):
+                raise ValidationError(
+                    f"got {len(names)} names for {len(documents)} documents"
+                )
+            self._names = tuple(str(name) for name in names)
+        else:
+            self._names = tuple(
+                document.name if document.name else f"d{identifier}"
+                for identifier, document in enumerate(self._documents)
+            )
+
+    # -- container protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[UncertainString]:
+        return iter(self._documents)
+
+    def __getitem__(self, identifier: int) -> UncertainString:
+        return self._documents[identifier]
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainStringCollection(documents={len(self)}, "
+            f"total_positions={self.total_positions})"
+        )
+
+    # -- properties ---------------------------------------------------------------
+    @property
+    def documents(self) -> Tuple[UncertainString, ...]:
+        """The member documents in identifier order."""
+        return self._documents
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Per-document display names."""
+        return self._names
+
+    @property
+    def total_positions(self) -> int:
+        """Total number of positions across all documents (the paper's ``n``)."""
+        return sum(len(document) for document in self._documents)
+
+    def name_of(self, identifier: int) -> str:
+        """Display name of document ``identifier``."""
+        return self._names[identifier]
+
+    def identifier_of(self, name: str) -> int:
+        """Identifier of the document named ``name``."""
+        try:
+            return self._names.index(name)
+        except ValueError as exc:
+            raise ValidationError(f"no document named {name!r} in the collection") from exc
+
+    # -- brute-force oracle ----------------------------------------------------------
+    def matching_documents(self, pattern: str, tau: float) -> List[int]:
+        """Identifiers of documents containing ``pattern`` with probability > ``tau``.
+
+        Runs the naive per-document scan the paper argues against
+        (Section 1.1); the listing index answers the same query
+        output-sensitively.
+        """
+        check_nonempty_pattern(pattern)
+        threshold = check_threshold(tau)
+        matches = []
+        for identifier, document in enumerate(self._documents):
+            if document.matching_positions(pattern, threshold):
+                matches.append(identifier)
+        return matches
+
+    def document_relevance(self, pattern: str, identifier: int, metric: str = "max") -> float:
+        """Relevance of ``pattern`` in one document under a named metric.
+
+        Supported metrics mirror Section 6: ``"max"`` (maximum occurrence
+        probability) and ``"or"`` (noisy-OR over all occurrences).
+        """
+        document = self._documents[identifier]
+        probabilities = [
+            document.occurrence_probability(pattern, position)
+            for position in range(len(document) - len(pattern) + 1)
+        ]
+        probabilities = [p for p in probabilities if p > 0.0]
+        if not probabilities:
+            return 0.0
+        if metric == "max":
+            return max(probabilities)
+        if metric == "or":
+            if len(probabilities) == 1:
+                return probabilities[0]
+            total = sum(probabilities)
+            product = 1.0
+            for probability in probabilities:
+                product *= probability
+            return total - product
+        raise ValidationError(f"unknown relevance metric {metric!r}; expected 'max' or 'or'")
+
+    # -- construction helpers ----------------------------------------------------------
+    @classmethod
+    def from_tables(
+        cls,
+        tables: Iterable[Iterable[Dict[str, float]]],
+        *,
+        normalize: bool = False,
+    ) -> "UncertainStringCollection":
+        """Build a collection from an iterable of per-document probability tables."""
+        documents = [
+            UncertainString.from_table(table, normalize=normalize) for table in tables
+        ]
+        return cls(documents)

@@ -1,0 +1,220 @@
+"""Character-level correlation between positions of an uncertain string.
+
+Section 3.3 of the paper allows the probability of a character at one
+position to depend on whether a specific character occurs at another
+position.  A :class:`CorrelationRule` captures one such dependency:
+
+    ``character`` at ``position`` has probability ``probability_if_present``
+    when ``partner_character`` occurs at ``partner_position`` and probability
+    ``probability_if_absent`` otherwise.
+
+When the partner position lies *inside* the substring window being evaluated
+the chosen character at that position determines which branch applies
+(paper, Case 1).  When it lies *outside* the window the branch is unknown,
+so the probability is the mixture
+
+    ``pr(partner) * p_present + (1 - pr(partner)) * p_absent``
+
+(paper, Case 2).  :class:`CorrelationModel` is a collection of rules with the
+lookup helpers the indexes need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .._validation import check_probability
+from ..exceptions import CorrelationError
+
+
+@dataclass(frozen=True)
+class CorrelationRule:
+    """One correlation dependency between two (position, character) pairs.
+
+    Parameters
+    ----------
+    position:
+        Zero-based position of the dependent character.
+    character:
+        The dependent character.
+    partner_position:
+        Zero-based position of the character it depends on.
+    partner_character:
+        The character whose presence/absence switches the probability.
+    probability_if_present:
+        Probability of ``character`` at ``position`` when the partner
+        character is chosen at the partner position (``pr+`` in the paper).
+    probability_if_absent:
+        Probability when the partner character is not chosen (``pr-``).
+
+    Examples
+    --------
+    The Figure 4 example — ``z`` at position 2 depends on ``e`` at position 0:
+
+    >>> rule = CorrelationRule(2, "z", 0, "e", 0.3, 0.4)
+    >>> rule.mixture_probability(partner_probability=0.6)
+    0.34
+    """
+
+    position: int
+    character: str
+    partner_position: int
+    partner_character: str
+    probability_if_present: float
+    probability_if_absent: float
+
+    def __post_init__(self) -> None:
+        if self.position < 0 or self.partner_position < 0:
+            raise CorrelationError("correlation rule positions must be non-negative")
+        if self.position == self.partner_position:
+            raise CorrelationError(
+                "a character cannot be correlated with a character at its own position"
+            )
+        for name in ("character", "partner_character"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or len(value) != 1:
+                raise CorrelationError(f"{name} must be a single character, got {value!r}")
+        check_probability(self.probability_if_present, name="probability_if_present")
+        check_probability(self.probability_if_absent, name="probability_if_absent")
+
+    def mixture_probability(self, partner_probability: float) -> float:
+        """Marginal probability of the dependent character (partner unobserved).
+
+        This is the paper's Case 2 formula:
+        ``pr(partner) * pr+ + (1 - pr(partner)) * pr-``.
+        """
+        partner_probability = check_probability(
+            partner_probability, name="partner_probability"
+        )
+        return (
+            partner_probability * self.probability_if_present
+            + (1.0 - partner_probability) * self.probability_if_absent
+        )
+
+    def conditional_probability(self, partner_present: bool) -> float:
+        """Probability of the dependent character given the partner's state."""
+        if partner_present:
+            return self.probability_if_present
+        return self.probability_if_absent
+
+
+class CorrelationModel:
+    """A set of :class:`CorrelationRule` objects attached to one uncertain string.
+
+    The model enforces the restriction (implicit in the paper's index
+    construction) that each ``(position, character)`` pair depends on at most
+    one partner.
+
+    Parameters
+    ----------
+    rules:
+        Iterable of correlation rules.
+    """
+
+    def __init__(self, rules: Iterable[CorrelationRule] = ()):  # noqa: D401
+        self._rules: Dict[Tuple[int, str], CorrelationRule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    # -- construction --------------------------------------------------------
+    def add(self, rule: CorrelationRule) -> None:
+        """Add one rule, rejecting duplicates for the same (position, character)."""
+        if not isinstance(rule, CorrelationRule):
+            raise CorrelationError(f"expected a CorrelationRule, got {type(rule).__name__}")
+        key = (rule.position, rule.character)
+        if key in self._rules:
+            raise CorrelationError(
+                f"character {rule.character!r} at position {rule.position} already has "
+                "a correlation rule; only one partner per character is supported"
+            )
+        self._rules[key] = rule
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[CorrelationRule]:
+        return iter(self._rules.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CorrelationModel):
+            return NotImplemented
+        return self._rules == other._rules
+
+    def __repr__(self) -> str:
+        return f"CorrelationModel({list(self._rules.values())!r})"
+
+    # -- lookups ---------------------------------------------------------------
+    def rule_for(self, position: int, character: str) -> Optional[CorrelationRule]:
+        """Return the rule governing ``character`` at ``position`` (or None)."""
+        return self._rules.get((position, character))
+
+    def rules_in_window(self, start: int, end: int) -> List[CorrelationRule]:
+        """Rules whose dependent position lies inside ``[start, end]`` (inclusive)."""
+        return [
+            rule
+            for rule in self._rules.values()
+            if start <= rule.position <= end
+        ]
+
+    def max_position(self) -> int:
+        """Largest position referenced by any rule (``-1`` when empty)."""
+        if not self._rules:
+            return -1
+        return max(
+            max(rule.position, rule.partner_position) for rule in self._rules.values()
+        )
+
+    def validate_against_length(self, length: int) -> None:
+        """Ensure every rule references positions inside a string of ``length``."""
+        for rule in self._rules.values():
+            if rule.position >= length or rule.partner_position >= length:
+                raise CorrelationError(
+                    f"correlation rule {rule!r} references a position outside a "
+                    f"string of length {length}"
+                )
+
+    # -- probability evaluation -------------------------------------------------
+    def effective_probability(
+        self,
+        position: int,
+        character: str,
+        base_probability: float,
+        *,
+        window_start: int,
+        window_end: int,
+        chosen_character_at,
+        partner_marginal_probability,
+    ) -> float:
+        """Probability of ``character`` at ``position`` inside a matched window.
+
+        Parameters
+        ----------
+        position, character:
+            The dependent position/character being evaluated.
+        base_probability:
+            Probability recorded in the string's distribution, returned
+            unchanged when no rule applies.
+        window_start, window_end:
+            Inclusive bounds of the substring window being matched.
+        chosen_character_at:
+            Callable mapping an absolute position inside the window to the
+            character the candidate match places there (used for Case 1).
+        partner_marginal_probability:
+            Callable mapping an absolute position and character to that
+            character's marginal probability (used for Case 2).
+        """
+        rule = self.rule_for(position, character)
+        if rule is None:
+            return base_probability
+        if window_start <= rule.partner_position <= window_end:
+            chosen = chosen_character_at(rule.partner_position)
+            return rule.conditional_probability(chosen == rule.partner_character)
+        partner_probability = partner_marginal_probability(
+            rule.partner_position, rule.partner_character
+        )
+        return rule.mixture_probability(partner_probability)

@@ -1,0 +1,228 @@
+"""Per-position character distributions for uncertain strings.
+
+In the character-level uncertainty model (paper Section 3.1) every position
+``i`` of an uncertain string holds a set of ``(character, probability)``
+pairs whose probabilities sum to one.  :class:`PositionDistribution` is the
+canonical representation of one such set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from .._validation import (
+    MIN_PROBABILITY,
+    PROBABILITY_SUM_TOLERANCE,
+    check_probability,
+)
+from ..exceptions import ValidationError
+
+#: Accepted inputs when building a distribution.
+DistributionLike = Union[
+    "PositionDistribution",
+    str,
+    Mapping[str, float],
+    Sequence[Tuple[str, float]],
+]
+
+
+@dataclass(frozen=True)
+class PositionDistribution:
+    """Discrete distribution over characters at one string position.
+
+    Instances are immutable and hashable; characters with zero probability
+    are dropped.  Characters are stored in insertion order for reproducible
+    iteration, mirroring Figure 1(a) of the paper where each column of the
+    table is one :class:`PositionDistribution`.
+
+    Parameters
+    ----------
+    entries:
+        Either a mapping ``{character: probability}``, a sequence of
+        ``(character, probability)`` pairs, a bare character (treated as
+        certain, probability 1), or another distribution (copied).
+    normalize:
+        When true, probabilities are rescaled to sum to one instead of
+        raising when they do not.
+
+    Examples
+    --------
+    >>> d = PositionDistribution({"a": 0.3, "b": 0.4, "d": 0.3})
+    >>> d.probability("a")
+    0.3
+    >>> d.most_likely()
+    ('b', 0.4)
+    >>> PositionDistribution("x").is_certain
+    True
+    """
+
+    _characters: Tuple[str, ...]
+    _probabilities: Tuple[float, ...]
+
+    def __init__(self, entries: DistributionLike, *, normalize: bool = False):
+        pairs = list(_coerce_entries(entries))
+        if not pairs:
+            raise ValidationError("a position distribution needs at least one character")
+
+        characters = []
+        probabilities = []
+        seen = set()
+        for character, probability in pairs:
+            if not isinstance(character, str) or len(character) != 1:
+                raise ValidationError(
+                    f"distribution characters must be single characters, got {character!r}"
+                )
+            if character in seen:
+                raise ValidationError(f"duplicate character {character!r} in distribution")
+            seen.add(character)
+            if normalize:
+                # With normalization enabled, entries are arbitrary
+                # non-negative weights that get rescaled below.
+                probability = float(probability)
+                if not math.isfinite(probability) or probability < 0.0:
+                    raise ValidationError(
+                        f"weight of {character!r} must be a finite non-negative number, "
+                        f"got {probability!r}"
+                    )
+            else:
+                probability = check_probability(
+                    probability, name=f"probability of {character!r}"
+                )
+            if probability < MIN_PROBABILITY:
+                continue
+            characters.append(character)
+            probabilities.append(probability)
+
+        if not characters:
+            raise ValidationError("all probabilities in the distribution are zero")
+
+        total = sum(probabilities)
+        if normalize:
+            probabilities = [p / total for p in probabilities]
+        elif abs(total - 1.0) > PROBABILITY_SUM_TOLERANCE:
+            raise ValidationError(
+                f"position distribution probabilities must sum to 1.0, got {total:.9f} "
+                "(pass normalize=True to rescale)"
+            )
+
+        object.__setattr__(self, "_characters", tuple(characters))
+        object.__setattr__(self, "_probabilities", tuple(probabilities))
+        object.__setattr__(
+            self, "_lookup", dict(zip(characters, probabilities))
+        )
+
+    # -- factory helpers ----------------------------------------------------
+    @classmethod
+    def certain(cls, character: str) -> "PositionDistribution":
+        """Return the deterministic distribution that always emits ``character``."""
+        return cls({character: 1.0})
+
+    @classmethod
+    def uniform(cls, characters: Sequence[str]) -> "PositionDistribution":
+        """Return the uniform distribution over ``characters``."""
+        if not characters:
+            raise ValidationError("uniform distribution needs at least one character")
+        probability = 1.0 / len(characters)
+        return cls({c: probability for c in characters})
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(zip(self._characters, self._probabilities))
+
+    def __len__(self) -> int:
+        return len(self._characters)
+
+    def __contains__(self, character: object) -> bool:
+        return character in self._lookup  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PositionDistribution):
+            return NotImplemented
+        if set(self._characters) != set(other._characters):
+            return False
+        return all(
+            math.isclose(self.probability(c), other.probability(c), abs_tol=1e-12)
+            for c in self._characters
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset((c, round(p, 12)) for c, p in self))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c!r}: {p:.3g}" for c, p in self)
+        return f"PositionDistribution({{{inner}}})"
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def characters(self) -> Tuple[str, ...]:
+        """Characters with non-zero probability, in insertion order."""
+        return self._characters
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        """Probabilities aligned with :attr:`characters`."""
+        return self._probabilities
+
+    @property
+    def is_certain(self) -> bool:
+        """True when a single character carries (essentially) all the mass."""
+        return len(self._characters) == 1
+
+    @property
+    def entropy(self) -> float:
+        """Shannon entropy (nats) of the distribution."""
+        return -sum(p * math.log(p) for p in self._probabilities if p > 0.0)
+
+    def probability(self, character: str) -> float:
+        """Probability of ``character`` at this position (0.0 if absent)."""
+        return self._lookup.get(character, 0.0)  # type: ignore[attr-defined]
+
+    def log_probability(self, character: str) -> float:
+        """Natural log of :meth:`probability` (``-inf`` for absent characters)."""
+        probability = self.probability(character)
+        return math.log(probability) if probability > 0.0 else float("-inf")
+
+    def most_likely(self) -> Tuple[str, float]:
+        """Return the ``(character, probability)`` pair with maximum probability."""
+        best = max(range(len(self._characters)), key=lambda i: self._probabilities[i])
+        return self._characters[best], self._probabilities[best]
+
+    def support(self, threshold: float = 0.0) -> Tuple[str, ...]:
+        """Characters whose probability strictly exceeds ``threshold``."""
+        return tuple(c for c, p in self if p > threshold)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain ``{character: probability}`` dictionary copy."""
+        return dict(self._lookup)  # type: ignore[attr-defined]
+
+    def restricted(self, characters: Iterable[str], *, normalize: bool = True) -> "PositionDistribution":
+        """Return the distribution restricted to ``characters``.
+
+        Useful for conditioning a position on partial knowledge; by default
+        the remaining mass is renormalized.
+        """
+        subset = {c: self.probability(c) for c in characters if c in self}
+        if not subset:
+            raise ValidationError("restriction removed every character from the distribution")
+        return PositionDistribution(subset, normalize=normalize)
+
+
+def _coerce_entries(entries: DistributionLike) -> Iterable[Tuple[str, float]]:
+    """Normalize the accepted constructor inputs into ``(char, prob)`` pairs."""
+    if isinstance(entries, PositionDistribution):
+        return list(entries)
+    if isinstance(entries, str):
+        if len(entries) != 1:
+            raise ValidationError(
+                f"a bare string distribution must be a single character, got {entries!r}"
+            )
+        return [(entries, 1.0)]
+    if isinstance(entries, Mapping):
+        return list(entries.items())
+    if isinstance(entries, Sequence):
+        return [(character, probability) for character, probability in entries]
+    raise ValidationError(
+        f"cannot build a PositionDistribution from {type(entries).__name__}"
+    )

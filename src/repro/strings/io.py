@@ -1,0 +1,201 @@
+"""Serialization for uncertain strings and collections.
+
+Two interchange formats are supported:
+
+* **JSON lines** — one JSON object per document, each a list of
+  ``{character: probability}`` rows.  Lossless for anything the library can
+  represent (except correlation models, which are application-specific and
+  stored separately).
+* **FASTQ-like quality imports** — the biological motivation of Section 2:
+  a read plus Phred quality scores becomes an uncertain string where each
+  base keeps probability ``1 - error`` and the error mass is spread over the
+  alternative bases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Union
+
+from ..exceptions import ValidationError
+from .alphabet import Alphabet, dna_alphabet
+from .collection import UncertainStringCollection
+from .uncertain import UncertainString
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines round-tripping
+# ---------------------------------------------------------------------------
+def uncertain_string_to_rows(string: UncertainString) -> List[Dict[str, float]]:
+    """Return a JSON-serializable list of per-position probability rows."""
+    return string.to_table()
+
+
+def uncertain_string_from_rows(
+    rows: Sequence[Dict[str, float]], *, name: Optional[str] = None
+) -> UncertainString:
+    """Rebuild an uncertain string from :func:`uncertain_string_to_rows` output."""
+    return UncertainString.from_table(rows, name=name)
+
+
+def dump_collection(collection: UncertainStringCollection, destination: PathLike) -> None:
+    """Write a collection as JSON lines (one document per line)."""
+    path = Path(destination)
+    with path.open("w", encoding="utf-8") as handle:
+        _dump_collection_to_handle(collection, handle)
+
+
+def _dump_collection_to_handle(
+    collection: UncertainStringCollection, handle: TextIO
+) -> None:
+    for identifier, document in enumerate(collection):
+        record = {
+            "name": collection.name_of(identifier),
+            "positions": uncertain_string_to_rows(document),
+        }
+        handle.write(json.dumps(record, sort_keys=True))
+        handle.write("\n")
+
+
+def load_collection(source: PathLike) -> UncertainStringCollection:
+    """Load a collection previously written by :func:`dump_collection`."""
+    path = Path(source)
+    documents: List[UncertainString] = []
+    names: List[str] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"line {line_number} of {path} is not valid JSON: {exc}"
+                ) from exc
+            if "positions" not in record:
+                raise ValidationError(
+                    f"line {line_number} of {path} is missing the 'positions' key"
+                )
+            name = record.get("name", f"d{len(documents)}")
+            documents.append(uncertain_string_from_rows(record["positions"], name=name))
+            names.append(name)
+    if not documents:
+        raise ValidationError(f"{path} contains no documents")
+    return UncertainStringCollection(documents, names=names)
+
+
+def dump_uncertain_string(string: UncertainString, destination: PathLike) -> None:
+    """Write one uncertain string as a single JSON document."""
+    path = Path(destination)
+    record = {"name": string.name, "positions": uncertain_string_to_rows(string)}
+    path.write_text(json.dumps(record, sort_keys=True, indent=2), encoding="utf-8")
+
+
+def load_uncertain_string(source: PathLike) -> UncertainString:
+    """Load an uncertain string written by :func:`dump_uncertain_string`."""
+    path = Path(source)
+    record = json.loads(path.read_text(encoding="utf-8"))
+    if "positions" not in record:
+        raise ValidationError(f"{path} is missing the 'positions' key")
+    return uncertain_string_from_rows(record["positions"], name=record.get("name"))
+
+
+# ---------------------------------------------------------------------------
+# FASTQ-style quality-score import (biological sequence motivation)
+# ---------------------------------------------------------------------------
+def phred_to_error_probability(quality: int) -> float:
+    """Convert a Phred quality score to a base-calling error probability."""
+    if quality < 0:
+        raise ValidationError(f"Phred quality scores are non-negative, got {quality}")
+    return 10.0 ** (-quality / 10.0)
+
+
+def uncertain_string_from_read(
+    bases: str,
+    qualities: Sequence[int],
+    *,
+    alphabet: Optional[Alphabet] = None,
+    name: Optional[str] = None,
+) -> UncertainString:
+    """Turn a sequencing read plus Phred qualities into an uncertain string.
+
+    Each position keeps the called base with probability ``1 - error`` and
+    spreads ``error`` uniformly over the other alphabet symbols — the
+    standard way quality scores are interpreted when no substitution matrix
+    is available.
+
+    Parameters
+    ----------
+    bases:
+        The called bases (e.g. ``"ACGT..."``).
+    qualities:
+        Phred scores, one per base.
+    alphabet:
+        Alphabet used for the alternative bases (defaults to DNA).
+    name:
+        Optional identifier for the resulting string.
+    """
+    if len(bases) != len(qualities):
+        raise ValidationError(
+            f"read has {len(bases)} bases but {len(qualities)} quality scores"
+        )
+    if not bases:
+        raise ValidationError("cannot build an uncertain string from an empty read")
+    sigma = alphabet if alphabet is not None else dna_alphabet()
+    sigma.validate_string(bases)
+    rows: List[Dict[str, float]] = []
+    alternatives = sigma.size - 1
+    for base, quality in zip(bases, qualities):
+        error = phred_to_error_probability(quality)
+        row = {base: 1.0 - error}
+        if alternatives > 0 and error > 0.0:
+            share = error / alternatives
+            for symbol in sigma:
+                if symbol != base:
+                    row[symbol] = share
+        rows.append(row)
+    return UncertainString.from_table(rows, normalize=True, name=name)
+
+
+def parse_fastq(
+    lines: Iterable[str], *, alphabet: Optional[Alphabet] = None
+) -> Iterator[UncertainString]:
+    """Parse FASTQ records into uncertain strings.
+
+    Accepts an iterable of lines (so it works with open file handles and
+    in-memory strings alike).  Quality characters use the Sanger encoding
+    (ASCII offset 33).
+    """
+    buffered = [line.rstrip("\n") for line in lines if line.strip()]
+    if len(buffered) % 4 != 0:
+        raise ValidationError(
+            f"FASTQ input must contain a multiple of 4 non-empty lines, got {len(buffered)}"
+        )
+    for record_start in range(0, len(buffered), 4):
+        header, bases, separator, quality_text = buffered[record_start : record_start + 4]
+        if not header.startswith("@"):
+            raise ValidationError(f"FASTQ header must start with '@', got {header!r}")
+        if not separator.startswith("+"):
+            raise ValidationError(f"FASTQ separator must start with '+', got {separator!r}")
+        if len(bases) != len(quality_text):
+            raise ValidationError(
+                f"FASTQ record {header!r} has mismatched sequence/quality lengths"
+            )
+        qualities = [ord(symbol) - 33 for symbol in quality_text]
+        yield uncertain_string_from_read(
+            bases, qualities, alphabet=alphabet, name=header[1:].strip() or None
+        )
+
+
+def load_fastq(source: PathLike, *, alphabet: Optional[Alphabet] = None) -> UncertainStringCollection:
+    """Load a FASTQ file as a collection of uncertain strings."""
+    path = Path(source)
+    with path.open("r", encoding="utf-8") as handle:
+        documents = list(parse_fastq(handle, alphabet=alphabet))
+    if not documents:
+        raise ValidationError(f"{path} contains no FASTQ records")
+    return UncertainStringCollection(documents)

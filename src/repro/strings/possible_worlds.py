@@ -1,0 +1,150 @@
+"""Possible-world semantics for uncertain strings (paper Section 1, Figure 1).
+
+An uncertain string of length ``n`` generates a deterministic string (a
+*possible world*) by picking one character per position; the world's
+probability is the product of the chosen characters' probabilities.  The
+number of worlds grows exponentially with ``n``, so these helpers are only
+meant for small strings — they are the ground-truth oracle used by the test
+suite, not part of any index.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .._validation import check_threshold
+from ..exceptions import ValidationError
+from .uncertain import UncertainString
+
+#: Safety cap on exhaustive enumeration; beyond this the combinatorial
+#: explosion makes enumeration pointless and the caller almost certainly
+#: wanted one of the indexes instead.
+MAX_ENUMERATED_WORLDS = 2_000_000
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One deterministic realization of an uncertain string."""
+
+    string: str
+    probability: float
+
+    def __lt__(self, other: "PossibleWorld") -> bool:
+        return (self.probability, self.string) < (other.probability, other.string)
+
+
+def world_count(string: UncertainString) -> int:
+    """Number of possible worlds (product of per-position support sizes)."""
+    count = 1
+    for distribution in string:
+        count *= len(distribution)
+    return count
+
+
+def enumerate_worlds(
+    string: UncertainString,
+    *,
+    tau: Optional[float] = None,
+    limit: int = MAX_ENUMERATED_WORLDS,
+) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``string`` (optionally above ``tau``).
+
+    Correlation rules are honoured by re-evaluating each world's probability
+    through :meth:`UncertainString.log_occurrence_probability`, which applies
+    Case 1 of the correlation semantics because the whole string is the
+    window.
+
+    Parameters
+    ----------
+    string:
+        The uncertain string to enumerate.
+    tau:
+        When given, only worlds with probability > ``tau`` are yielded.
+    limit:
+        Hard cap on the number of worlds inspected.
+
+    Raises
+    ------
+    ValidationError
+        If the world count exceeds ``limit``.
+    """
+    total = world_count(string)
+    if total > limit:
+        raise ValidationError(
+            f"refusing to enumerate {total} possible worlds (limit {limit}); "
+            "use an index for strings of this size"
+        )
+    threshold = None if tau is None else check_threshold(tau)
+    supports = [distribution.characters for distribution in string]
+    for combination in itertools.product(*supports):
+        world = "".join(combination)
+        log_probability = string.log_occurrence_probability(world, 0)
+        probability = math.exp(log_probability) if log_probability > float("-inf") else 0.0
+        if probability <= 0.0:
+            continue
+        if threshold is not None and probability <= threshold:
+            continue
+        yield PossibleWorld(world, probability)
+
+
+def all_worlds(string: UncertainString, *, tau: Optional[float] = None) -> List[PossibleWorld]:
+    """Materialize :func:`enumerate_worlds`, sorted by decreasing probability."""
+    worlds = sorted(enumerate_worlds(string, tau=tau), reverse=True)
+    return worlds
+
+
+def top_k_worlds(string: UncertainString, k: int) -> List[PossibleWorld]:
+    """Return the ``k`` most probable worlds without materializing all of them.
+
+    Uses a best-first expansion over positions: the frontier stores partial
+    prefixes ordered by (upper bound of) achievable probability.  Correlation
+    is handled by re-scoring complete worlds exactly.
+    """
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    n = len(string)
+    # Max achievable probability of the remaining suffix, per position.
+    suffix_best = [1.0] * (n + 1)
+    for index in range(n - 1, -1, -1):
+        suffix_best[index] = suffix_best[index + 1] * string[index].most_likely()[1]
+
+    # Heap entries: (-upper_bound, prefix string, prefix probability).
+    heap = [(-suffix_best[0], "", 1.0)]
+    results: List[PossibleWorld] = []
+    while heap and len(results) < k:
+        negative_bound, prefix, prefix_probability = heapq.heappop(heap)
+        depth = len(prefix)
+        if depth == n:
+            exact = math.exp(string.log_occurrence_probability(prefix, 0))
+            if exact > 0.0:
+                results.append(PossibleWorld(prefix, exact))
+            continue
+        for character, probability in string[depth]:
+            new_probability = prefix_probability * probability
+            if new_probability <= 0.0:
+                continue
+            bound = new_probability * suffix_best[depth + 1]
+            heapq.heappush(heap, (-bound, prefix + character, new_probability))
+    return results
+
+
+def substring_occurrence_probability_by_worlds(
+    string: UncertainString, pattern: str, position: int
+) -> float:
+    """Occurrence probability computed by summing over full possible worlds.
+
+    Exponentially slow; exists purely to cross-check
+    :meth:`UncertainString.occurrence_probability` in the test suite.  The
+    sum of world probabilities in which ``pattern`` occupies positions
+    ``position .. position+len(pattern)-1`` equals the partial product of
+    the pattern's character probabilities.
+    """
+    total = 0.0
+    for world in enumerate_worlds(string):
+        if world.string[position : position + len(pattern)] == pattern:
+            total += world.probability
+    return total

@@ -1,0 +1,207 @@
+"""Special uncertain strings (paper Section 4, Definition 1).
+
+A *special* uncertain string has exactly one probable character per position,
+each with a non-zero probability of occurrence.  It is the form produced by
+the maximal-factor transformation of Section 5.1 and the form the efficient
+RMQ-based index of Section 4.2 is built over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_nonempty_pattern, check_probability, check_threshold
+from ..exceptions import ValidationError
+from .uncertain import UncertainString
+
+
+@dataclass(frozen=True)
+class SpecialPosition:
+    """One ``(character, probability)`` pair of a special uncertain string."""
+
+    character: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.character, str) or len(self.character) != 1:
+            raise ValidationError(
+                f"special position character must be a single character, got {self.character!r}"
+            )
+        probability = check_probability(self.probability, name="probability")
+        if probability <= 0.0:
+            raise ValidationError(
+                "special uncertain string probabilities must be strictly positive"
+            )
+        object.__setattr__(self, "probability", probability)
+
+
+class SpecialUncertainString:
+    """An uncertain string with a single probable character per position.
+
+    Parameters
+    ----------
+    pairs:
+        Sequence of ``(character, probability)`` pairs or
+        :class:`SpecialPosition` instances.
+    name:
+        Optional identifier.
+
+    Examples
+    --------
+    The banana example of Figure 5:
+
+    >>> x = SpecialUncertainString([
+    ...     ("b", 0.4), ("a", 0.7), ("n", 0.5), ("a", 0.8), ("n", 0.9), ("a", 0.6),
+    ... ])
+    >>> x.text
+    'banana'
+    >>> round(x.occurrence_probability("ana", 3), 3)
+    0.432
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[Union[SpecialPosition, Tuple[str, float]]],
+        *,
+        name: Optional[str] = None,
+    ):
+        if pairs is None or len(pairs) == 0:
+            raise ValidationError("a special uncertain string needs at least one position")
+        positions: List[SpecialPosition] = []
+        for pair in pairs:
+            if isinstance(pair, SpecialPosition):
+                positions.append(pair)
+            else:
+                character, probability = pair
+                positions.append(SpecialPosition(character, probability))
+        self._positions: Tuple[SpecialPosition, ...] = tuple(positions)
+        self._text = "".join(p.character for p in self._positions)
+        self._probabilities = np.array([p.probability for p in self._positions], dtype=np.float64)
+        self.name = name
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_characters_and_probabilities(
+        cls,
+        characters: str,
+        probabilities: Iterable[float],
+        *,
+        name: Optional[str] = None,
+    ) -> "SpecialUncertainString":
+        """Build from a character string plus a parallel probability sequence."""
+        probability_list = list(probabilities)
+        if len(characters) != len(probability_list):
+            raise ValidationError(
+                "characters and probabilities must have the same length "
+                f"({len(characters)} vs {len(probability_list)})"
+            )
+        return cls(list(zip(characters, probability_list)), name=name)
+
+    @classmethod
+    def from_deterministic(cls, text: str, *, name: Optional[str] = None) -> "SpecialUncertainString":
+        """Build a special uncertain string where every character is certain."""
+        if not text:
+            raise ValidationError("cannot build a special uncertain string from empty text")
+        return cls([(c, 1.0) for c in text], name=name)
+
+    # -- container protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __iter__(self) -> Iterator[SpecialPosition]:
+        return iter(self._positions)
+
+    def __getitem__(self, index: int) -> SpecialPosition:
+        return self._positions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpecialUncertainString):
+            return NotImplemented
+        return self._text == other._text and np.allclose(
+            self._probabilities, other._probabilities
+        )
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"SpecialUncertainString(length={len(self)}{label})"
+
+    # -- basic properties --------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """The underlying deterministic character string ``t``."""
+        return self._text
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-position probabilities as a read-only numpy array."""
+        view = self._probabilities.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def length(self) -> int:
+        """Number of positions."""
+        return len(self._positions)
+
+    # -- probability computation ---------------------------------------------------
+    def log_probabilities(self) -> np.ndarray:
+        """Natural log of the per-position probabilities."""
+        return np.log(self._probabilities)
+
+    def occurrence_probability(self, pattern: str, position: int) -> float:
+        """Probability that ``pattern`` occurs at ``position``.
+
+        The characters must match exactly (this is a special string, each
+        position has a single character) and the probability is the product
+        of the per-position probabilities (Section 3.2).
+        """
+        check_nonempty_pattern(pattern)
+        if position < 0 or position + len(pattern) > len(self._positions):
+            return 0.0
+        if self._text[position : position + len(pattern)] != pattern:
+            return 0.0
+        return float(np.prod(self._probabilities[position : position + len(pattern)]))
+
+    def window_probability(self, position: int, length: int) -> float:
+        """Probability of the length-``length`` window starting at ``position``."""
+        if position < 0 or length <= 0 or position + length > len(self._positions):
+            return 0.0
+        return float(np.prod(self._probabilities[position : position + length]))
+
+    def matching_positions(self, pattern: str, tau: float) -> List[int]:
+        """Brute-force scan for occurrences with probability > ``tau``."""
+        check_nonempty_pattern(pattern)
+        threshold = check_threshold(tau)
+        results = []
+        for position in range(len(self._positions) - len(pattern) + 1):
+            if self._text[position : position + len(pattern)] != pattern:
+                continue
+            if self.occurrence_probability(pattern, position) > threshold:
+                results.append(position)
+        return results
+
+    # -- conversions ----------------------------------------------------------------
+    def to_uncertain_string(self) -> UncertainString:
+        """Lift to a general :class:`UncertainString`.
+
+        Positions with probability < 1 receive a synthetic complement
+        character ``"\\x00"`` absorbing the leftover mass so that the result
+        is a valid distribution; the complement never matches any query
+        pattern drawn from a real alphabet.
+        """
+        rows = []
+        for position in self._positions:
+            if math.isclose(position.probability, 1.0, abs_tol=1e-12):
+                rows.append({position.character: 1.0})
+            else:
+                rows.append(
+                    {
+                        position.character: position.probability,
+                        "\x00": 1.0 - position.probability,
+                    }
+                )
+        return UncertainString.from_table(rows, name=self.name)

@@ -1,0 +1,266 @@
+"""The general character-level uncertain string model (paper Section 3.1).
+
+An :class:`UncertainString` is a sequence of :class:`PositionDistribution`
+objects, optionally carrying a :class:`CorrelationModel`.  It provides exact
+probability-of-occurrence computation for deterministic patterns (Section
+3.2, including the correlated cases of Section 3.3) and a brute-force
+threshold scan that serves as the ground-truth oracle for every index in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .._validation import check_nonempty_pattern, check_threshold
+from ..exceptions import ValidationError
+from .correlation import CorrelationModel
+from .distribution import DistributionLike, PositionDistribution
+
+
+class UncertainString:
+    """A character-level uncertain string.
+
+    Parameters
+    ----------
+    positions:
+        Sequence of per-position distributions.  Each entry may be anything
+        accepted by :class:`PositionDistribution` (a mapping, a list of
+        pairs, a bare character, or another distribution).
+    correlations:
+        Optional :class:`CorrelationModel` describing dependencies between
+        positions (Section 3.3).
+    name:
+        Optional human-readable identifier (used by collections and reports).
+
+    Examples
+    --------
+    The string of Figure 1(a):
+
+    >>> s = UncertainString([
+    ...     {"a": 0.3, "b": 0.4, "d": 0.3},
+    ...     {"a": 0.6, "c": 0.4},
+    ...     {"d": 1.0},
+    ...     {"a": 0.5, "c": 0.5},
+    ...     {"a": 1.0},
+    ... ])
+    >>> len(s)
+    5
+    >>> round(s.occurrence_probability("ada", 1), 2)
+    0.3
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[DistributionLike],
+        *,
+        correlations: Optional[CorrelationModel] = None,
+        name: Optional[str] = None,
+    ):
+        if positions is None or len(positions) == 0:
+            raise ValidationError("an uncertain string needs at least one position")
+        self._positions: Tuple[PositionDistribution, ...] = tuple(
+            entry if isinstance(entry, PositionDistribution) else PositionDistribution(entry)
+            for entry in positions
+        )
+        self._correlations = correlations if correlations is not None else CorrelationModel()
+        self._correlations.validate_against_length(len(self._positions))
+        self.name = name
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_deterministic(cls, text: str, *, name: Optional[str] = None) -> "UncertainString":
+        """Build a deterministic uncertain string (every position certain)."""
+        if not text:
+            raise ValidationError("cannot build an uncertain string from an empty text")
+        return cls([PositionDistribution.certain(c) for c in text], name=name)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Iterable[Dict[str, float]],
+        *,
+        normalize: bool = False,
+        name: Optional[str] = None,
+    ) -> "UncertainString":
+        """Build from an iterable of ``{character: probability}`` rows."""
+        return cls(
+            [PositionDistribution(row, normalize=normalize) for row in table], name=name
+        )
+
+    # -- container protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __iter__(self) -> Iterator[PositionDistribution]:
+        return iter(self._positions)
+
+    def __getitem__(self, index: int) -> PositionDistribution:
+        return self._positions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UncertainString):
+            return NotImplemented
+        return (
+            self._positions == other._positions
+            and self._correlations == other._correlations
+        )
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"UncertainString(length={len(self)}{label})"
+
+    # -- basic properties ---------------------------------------------------------
+    @property
+    def positions(self) -> Tuple[PositionDistribution, ...]:
+        """The per-position distributions."""
+        return self._positions
+
+    @property
+    def correlations(self) -> CorrelationModel:
+        """The correlation model (possibly empty)."""
+        return self._correlations
+
+    @property
+    def length(self) -> int:
+        """Number of positions (the paper's ``n``)."""
+        return len(self._positions)
+
+    @property
+    def total_characters(self) -> int:
+        """Total number of non-zero-probability characters across positions."""
+        return sum(len(d) for d in self._positions)
+
+    @property
+    def uncertain_position_count(self) -> int:
+        """Number of positions with more than one probable character."""
+        return sum(1 for d in self._positions if not d.is_certain)
+
+    @property
+    def uncertainty_fraction(self) -> float:
+        """Fraction of uncertain positions (the paper's θ)."""
+        return self.uncertain_position_count / len(self._positions)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when every position is certain."""
+        return self.uncertain_position_count == 0
+
+    def most_likely_string(self) -> str:
+        """Deterministic string formed by the most likely character at each position."""
+        return "".join(d.most_likely()[0] for d in self._positions)
+
+    def character_probability(self, position: int, character: str) -> float:
+        """Marginal probability of ``character`` at ``position``.
+
+        When the character carries a correlation rule, the mixture marginal
+        (Case 2 of Section 3.3) is returned.
+        """
+        base = self._positions[position].probability(character)
+        rule = self._correlations.rule_for(position, character)
+        if rule is None:
+            return base
+        partner_probability = self._positions[rule.partner_position].probability(
+            rule.partner_character
+        )
+        return rule.mixture_probability(partner_probability)
+
+    # -- probability of occurrence (Section 3.2 / 3.3) -----------------------------
+    def occurrence_probability(self, pattern: str, position: int) -> float:
+        """Probability that ``pattern`` occurs starting at ``position``.
+
+        Returns 0.0 when the pattern does not fit or some character has zero
+        probability.  Correlation rules are honoured: partners inside the
+        matched window condition on the pattern's character, partners outside
+        the window contribute their mixture probability.
+        """
+        return math.exp(self.log_occurrence_probability(pattern, position))
+
+    def log_occurrence_probability(self, pattern: str, position: int) -> float:
+        """Natural log of :meth:`occurrence_probability` (``-inf`` when zero)."""
+        check_nonempty_pattern(pattern)
+        if position < 0 or position + len(pattern) > len(self._positions):
+            return float("-inf")
+        window_start = position
+        window_end = position + len(pattern) - 1
+
+        def chosen_character_at(absolute_position: int) -> str:
+            return pattern[absolute_position - window_start]
+
+        def partner_marginal(absolute_position: int, character: str) -> float:
+            return self._positions[absolute_position].probability(character)
+
+        total = 0.0
+        for offset, character in enumerate(pattern):
+            absolute = position + offset
+            base = self._positions[absolute].probability(character)
+            probability = self._correlations.effective_probability(
+                absolute,
+                character,
+                base,
+                window_start=window_start,
+                window_end=window_end,
+                chosen_character_at=chosen_character_at,
+                partner_marginal_probability=partner_marginal,
+            )
+            if probability <= 0.0:
+                return float("-inf")
+            total += math.log(probability)
+        return total
+
+    def matching_positions(self, pattern: str, tau: float) -> List[int]:
+        """All positions where ``pattern`` occurs with probability > ``tau``.
+
+        This is the brute-force scan used as a correctness oracle; the
+        indexes in :mod:`repro.core` answer the same query output-sensitively.
+        """
+        check_nonempty_pattern(pattern)
+        threshold = check_threshold(tau)
+        log_threshold = math.log(threshold)
+        results = []
+        for position in range(len(self._positions) - len(pattern) + 1):
+            if self.log_occurrence_probability(pattern, position) > log_threshold:
+                results.append(position)
+        return results
+
+    def max_occurrence_probability(self, pattern: str) -> float:
+        """Maximum occurrence probability of ``pattern`` over all positions."""
+        check_nonempty_pattern(pattern)
+        best = float("-inf")
+        for position in range(len(self._positions) - len(pattern) + 1):
+            best = max(best, self.log_occurrence_probability(pattern, position))
+        return math.exp(best) if best > float("-inf") else 0.0
+
+    # -- slicing / transformation helpers ----------------------------------------
+    def slice(self, start: int, stop: int) -> "UncertainString":
+        """Return the uncertain substring covering positions ``[start, stop)``.
+
+        Correlation rules whose two endpoints both fall inside the slice are
+        carried over (re-indexed); rules crossing the boundary are dropped,
+        matching the semantics of evaluating the slice in isolation.
+        """
+        if start < 0 or stop > len(self._positions) or start >= stop:
+            raise ValidationError(
+                f"invalid slice [{start}, {stop}) for string of length {len(self._positions)}"
+            )
+        carried = CorrelationModel()
+        for rule in self._correlations:
+            if start <= rule.position < stop and start <= rule.partner_position < stop:
+                carried.add(
+                    type(rule)(
+                        rule.position - start,
+                        rule.character,
+                        rule.partner_position - start,
+                        rule.partner_character,
+                        rule.probability_if_present,
+                        rule.probability_if_absent,
+                    )
+                )
+        return UncertainString(
+            self._positions[start:stop], correlations=carried, name=self.name
+        )
+
+    def to_table(self) -> List[Dict[str, float]]:
+        """Return the string as a list of ``{character: probability}`` rows."""
+        return [d.as_dict() for d in self._positions]

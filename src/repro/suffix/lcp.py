@@ -1,0 +1,111 @@
+"""Longest-common-prefix (LCP) arrays via Kasai's algorithm.
+
+The LCP array is the bridge between the suffix array and the suffix tree:
+``lcp[i]`` is the length of the longest common prefix of the suffixes with
+lexicographic ranks ``i-1`` and ``i`` (``lcp[0] = 0`` by convention).  The
+compact suffix tree in :mod:`repro.suffix.suffix_tree` is built from the
+suffix array plus this array.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .suffix_array import SuffixArray, inverse_suffix_array
+
+
+def build_lcp_array(text: str, suffix_array: np.ndarray) -> np.ndarray:
+    """Return the LCP array of ``text`` given its suffix array.
+
+    Kasai's algorithm, ``O(n)`` time.
+
+    Parameters
+    ----------
+    text:
+        The indexed text.
+    suffix_array:
+        Its suffix array.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of length ``len(text)`` with ``lcp[0] == 0``.
+
+    Examples
+    --------
+    >>> from repro.suffix.suffix_array import build_suffix_array
+    >>> text = "banana"
+    >>> build_lcp_array(text, build_suffix_array(text)).tolist()
+    [0, 1, 3, 0, 0, 2]
+    """
+    n = len(text)
+    if n == 0:
+        raise ValidationError("cannot build an LCP array over an empty text")
+    suffix_array = np.asarray(suffix_array, dtype=np.int64)
+    if len(suffix_array) != n:
+        raise ValidationError(
+            f"suffix array length {len(suffix_array)} does not match text length {n}"
+        )
+    rank = inverse_suffix_array(suffix_array)
+    lcp = np.zeros(n, dtype=np.int64)
+    matched = 0
+    for position in range(n):
+        r = rank[position]
+        if r == 0:
+            matched = 0
+            continue
+        previous = suffix_array[r - 1]
+        while (
+            position + matched < n
+            and previous + matched < n
+            and text[position + matched] == text[previous + matched]
+        ):
+            matched += 1
+        lcp[r] = matched
+        if matched > 0:
+            matched -= 1
+    return lcp
+
+
+def naive_lcp_array(text: str, suffix_array: List[int]) -> List[int]:
+    """Quadratic reference LCP construction used by the test suite."""
+    lcp = [0] * len(suffix_array)
+    for index in range(1, len(suffix_array)):
+        a = text[suffix_array[index - 1] :]
+        b = text[suffix_array[index] :]
+        matched = 0
+        while matched < min(len(a), len(b)) and a[matched] == b[matched]:
+            matched += 1
+        lcp[index] = matched
+    return lcp
+
+
+class LCPArray:
+    """LCP array bundled with the suffix array it was derived from."""
+
+    def __init__(self, suffix_array: SuffixArray):
+        self._suffix_array = suffix_array
+        self._lcp = build_lcp_array(suffix_array.text, suffix_array.array)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The raw LCP values."""
+        return self._lcp
+
+    @property
+    def suffix_array(self) -> SuffixArray:
+        """The suffix array this LCP array belongs to."""
+        return self._suffix_array
+
+    def __len__(self) -> int:
+        return len(self._lcp)
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._lcp[index])
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        return int(self._lcp.nbytes)

@@ -1,0 +1,102 @@
+"""Suffix-range lookup for deterministic patterns.
+
+Given a suffix array of a text ``t`` and a pattern ``p``, the *suffix range*
+``[sp, ep]`` is the maximal interval of lexicographic ranks whose suffixes
+have ``p`` as a prefix (paper Section 3.4).  The paper obtains it through the
+suffix tree in ``O(m)``; this module provides the equivalent binary-search
+lookup over the suffix array in ``O(m log n)``, which is what the indexes use
+by default (the suffix tree remains available for structural queries such as
+locus partitions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_nonempty_pattern
+from ..exceptions import ValidationError
+
+
+def suffix_range(text: str, suffix_array: np.ndarray, pattern: str) -> Optional[Tuple[int, int]]:
+    """Return the inclusive suffix range of ``pattern`` or ``None`` if absent.
+
+    Parameters
+    ----------
+    text:
+        The indexed text.
+    suffix_array:
+        Suffix array of ``text``.
+    pattern:
+        Non-empty deterministic pattern.
+
+    Returns
+    -------
+    tuple of (int, int) or None
+        Inclusive interval ``(sp, ep)`` of lexicographic ranks, or ``None``
+        when ``pattern`` does not occur in ``text``.
+
+    Examples
+    --------
+    >>> from repro.suffix.suffix_array import build_suffix_array
+    >>> text = "banana"
+    >>> suffix_range(text, build_suffix_array(text), "ana")
+    (1, 2)
+    >>> suffix_range(text, build_suffix_array(text), "x") is None
+    True
+    """
+    check_nonempty_pattern(pattern)
+    if not text:
+        raise ValidationError("cannot search in an empty text")
+    suffix_array = np.asarray(suffix_array, dtype=np.int64)
+    n = len(suffix_array)
+    m = len(pattern)
+
+    # Lower bound: first suffix >= pattern.
+    low, high = 0, n
+    while low < high:
+        middle = (low + high) // 2
+        start = int(suffix_array[middle])
+        if text[start : start + m] < pattern:
+            low = middle + 1
+        else:
+            high = middle
+    start_rank = low
+
+    # Upper bound: first suffix whose length-m prefix is > pattern.
+    low, high = start_rank, n
+    while low < high:
+        middle = (low + high) // 2
+        start = int(suffix_array[middle])
+        if text[start : start + m] <= pattern:
+            low = middle + 1
+        else:
+            high = middle
+    end_rank = low - 1
+
+    if start_rank > end_rank:
+        return None
+    first = int(suffix_array[start_rank])
+    if text[first : first + m] != pattern:
+        return None
+    return start_rank, end_rank
+
+
+def count_occurrences(text: str, suffix_array: np.ndarray, pattern: str) -> int:
+    """Number of (deterministic) occurrences of ``pattern`` in ``text``."""
+    interval = suffix_range(text, suffix_array, pattern)
+    if interval is None:
+        return 0
+    return interval[1] - interval[0] + 1
+
+
+def occurrence_positions(text: str, suffix_array: np.ndarray, pattern: str) -> np.ndarray:
+    """Sorted text positions of all deterministic occurrences of ``pattern``."""
+    interval = suffix_range(text, suffix_array, pattern)
+    if interval is None:
+        return np.empty(0, dtype=np.int64)
+    sp, ep = interval
+    positions = np.asarray(suffix_array, dtype=np.int64)[sp : ep + 1].copy()
+    positions.sort()
+    return positions

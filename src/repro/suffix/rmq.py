@@ -1,0 +1,238 @@
+"""Range maximum / minimum query structures.
+
+The efficient indexes of Sections 4.2, 5 and 6 answer threshold queries by
+repeatedly extracting the maximum-probability element of a suffix range, so
+an ``O(1)``-query RMQ structure is the core building block (paper Lemma 1).
+
+Two interchangeable implementations are provided:
+
+* :class:`SparseTableRMQ` — the classical ``O(n log n)``-space sparse table
+  with true ``O(1)`` queries.  This is the default used by every index.
+* :class:`BlockRMQ` — a Fischer–Heun-style block decomposition: the array is
+  cut into blocks of ``~log n`` elements, a sparse table is kept over block
+  maxima only, and in-block queries scan the block.  Queries are
+  ``O(log n)`` worst case but the space drops to ``O(n)`` words with small
+  constants — the practical trade-off the paper's space accounting (§8.7)
+  alludes to.  The ablation benchmark compares the two.
+
+Both classes answer *maximum* queries by default; pass ``mode="min"`` for
+minimum queries.  Queries return the **position** of the optimum, matching
+how the paper uses RMQ (the value is then validated against the cumulative
+probability array).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+Mode = Literal["max", "min"]
+
+
+def _prepare_values(values: Sequence[float], mode: Mode) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValidationError(f"RMQ input must be one-dimensional, got shape {array.shape}")
+    if len(array) == 0:
+        raise ValidationError("cannot build an RMQ structure over an empty array")
+    if mode not in ("max", "min"):
+        raise ValidationError(f"mode must be 'max' or 'min', got {mode!r}")
+    return array
+
+
+def _check_range(length: int, left: int, right: int) -> Tuple[int, int]:
+    if left < 0 or right >= length or left > right:
+        raise ValidationError(
+            f"invalid RMQ range [{left}, {right}] for array of length {length}"
+        )
+    return left, right
+
+
+class SparseTableRMQ:
+    """Sparse-table RMQ with ``O(n log n)`` preprocessing and ``O(1)`` queries.
+
+    Parameters
+    ----------
+    values:
+        The array to preprocess.  A copy is kept for tie-breaking and
+        value retrieval.
+    mode:
+        ``"max"`` (default) or ``"min"``.
+
+    Examples
+    --------
+    >>> rmq = SparseTableRMQ([0.1, 0.9, 0.4, 0.7])
+    >>> rmq.query(0, 3)
+    1
+    >>> rmq.query(2, 3)
+    3
+    """
+
+    def __init__(self, values: Sequence[float], *, mode: Mode = "max"):
+        self._values = _prepare_values(values, mode)
+        self._mode = mode
+        n = len(self._values)
+        levels = max(1, n.bit_length())
+        # table[k][i] = index of optimum in values[i : i + 2**k]
+        self._table = np.empty((levels, n), dtype=np.int64)
+        self._table[0] = np.arange(n, dtype=np.int64)
+        compare = np.greater_equal if mode == "max" else np.less_equal
+        for k in range(1, levels):
+            span = 1 << k
+            half = span >> 1
+            width = n - span + 1
+            if width <= 0:
+                self._table[k] = self._table[k - 1]
+                continue
+            left = self._table[k - 1][:width]
+            right = self._table[k - 1][half : half + width]
+            choose_left = compare(self._values[left], self._values[right])
+            self._table[k][:width] = np.where(choose_left, left, right)
+            self._table[k][width:] = self._table[k - 1][width:]
+
+    @property
+    def mode(self) -> Mode:
+        """Whether this structure answers max or min queries."""
+        return self._mode
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying array (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def query(self, left: int, right: int) -> int:
+        """Return the index of the optimum value in ``values[left..right]`` (inclusive)."""
+        left, right = _check_range(len(self._values), left, right)
+        span = right - left + 1
+        k = span.bit_length() - 1
+        a = int(self._table[k][left])
+        b = int(self._table[k][right - (1 << k) + 1])
+        if self._mode == "max":
+            return a if self._values[a] >= self._values[b] else b
+        return a if self._values[a] <= self._values[b] else b
+
+    def query_value(self, left: int, right: int) -> float:
+        """Return the optimum *value* in ``values[left..right]``."""
+        return float(self._values[self.query(left, right)])
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        return int(self._table.nbytes + self._values.nbytes)
+
+
+class BlockRMQ:
+    """Block-decomposed RMQ trading query constant factors for linear space.
+
+    The array is partitioned into blocks of ``block_size`` elements
+    (default ``max(1, ⌈log2 n⌉)``); a :class:`SparseTableRMQ` is kept over
+    the per-block optima and queries scan at most two partial blocks.
+
+    Examples
+    --------
+    >>> rmq = BlockRMQ([5.0, 1.0, 4.0, 9.0, 2.0], block_size=2)
+    >>> rmq.query(0, 4)
+    3
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        *,
+        mode: Mode = "max",
+        block_size: int | None = None,
+    ):
+        self._values = _prepare_values(values, mode)
+        self._mode = mode
+        n = len(self._values)
+        if block_size is None:
+            block_size = max(1, math.ceil(math.log2(n + 1)))
+        if block_size <= 0:
+            raise ValidationError(f"block_size must be positive, got {block_size}")
+        self._block_size = block_size
+        block_count = (n + block_size - 1) // block_size
+        reducer = np.argmax if mode == "max" else np.argmin
+        block_optimum_positions = np.empty(block_count, dtype=np.int64)
+        for block in range(block_count):
+            start = block * block_size
+            end = min(start + block_size, n)
+            block_optimum_positions[block] = start + reducer(self._values[start:end])
+        self._block_positions = block_optimum_positions
+        self._summary = SparseTableRMQ(self._values[block_optimum_positions], mode=mode)
+
+    @property
+    def mode(self) -> Mode:
+        """Whether this structure answers max or min queries."""
+        return self._mode
+
+    @property
+    def block_size(self) -> int:
+        """Number of elements per block."""
+        return self._block_size
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _scan(self, left: int, right: int) -> int:
+        segment = self._values[left : right + 1]
+        offset = int(np.argmax(segment) if self._mode == "max" else np.argmin(segment))
+        return left + offset
+
+    def _better(self, a: int, b: int) -> int:
+        if self._mode == "max":
+            return a if self._values[a] >= self._values[b] else b
+        return a if self._values[a] <= self._values[b] else b
+
+    def query(self, left: int, right: int) -> int:
+        """Return the index of the optimum value in ``values[left..right]`` (inclusive)."""
+        left, right = _check_range(len(self._values), left, right)
+        first_block = left // self._block_size
+        last_block = right // self._block_size
+        if first_block == last_block:
+            return self._scan(left, right)
+        best = self._scan(left, (first_block + 1) * self._block_size - 1)
+        tail_start = last_block * self._block_size
+        best = self._better(best, self._scan(tail_start, right))
+        if last_block - first_block > 1:
+            summary_index = self._summary.query(first_block + 1, last_block - 1)
+            best = self._better(best, int(self._block_positions[summary_index]))
+        return best
+
+    def query_value(self, left: int, right: int) -> float:
+        """Return the optimum *value* in ``values[left..right]``."""
+        return float(self._values[self.query(left, right)])
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        return int(
+            self._values.nbytes + self._block_positions.nbytes + self._summary.nbytes()
+        )
+
+
+def make_rmq(
+    values: Sequence[float],
+    *,
+    mode: Mode = "max",
+    implementation: Literal["sparse", "block"] = "sparse",
+    block_size: int | None = None,
+):
+    """Factory returning the requested RMQ implementation.
+
+    Used by the indexes so that the RMQ flavour can be switched for the
+    space/time ablation without touching index code.
+    """
+    if implementation == "sparse":
+        return SparseTableRMQ(values, mode=mode)
+    if implementation == "block":
+        return BlockRMQ(values, mode=mode, block_size=block_size)
+    raise ValidationError(
+        f"unknown RMQ implementation {implementation!r}; expected 'sparse' or 'block'"
+    )

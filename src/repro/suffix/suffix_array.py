@@ -1,0 +1,166 @@
+"""Suffix array construction (deterministic-string indexing substrate).
+
+The paper's indexes are all layered on top of a suffix array / suffix tree of
+the deterministic text obtained from the (transformed) uncertain string.
+This module provides an ``O(n log n)`` prefix-doubling construction
+vectorized with numpy, the inverse (rank) array, and convenience accessors.
+
+The implementation works directly on Python strings; internally characters
+are mapped to their Unicode code points, so arbitrary sentinel characters
+(``$``, ``\\x00`` ...) are supported as long as they are single characters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+def build_suffix_array(text: str) -> np.ndarray:
+    """Return the suffix array of ``text``.
+
+    The suffix array ``A`` lists the starting positions of the suffixes of
+    ``text`` in lexicographic order: ``text[A[0]:] < text[A[1]:] < ...``.
+
+    Parameters
+    ----------
+    text:
+        Non-empty string to index.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of ``int64`` suffix start positions, length ``len(text)``.
+
+    Examples
+    --------
+    >>> build_suffix_array("banana").tolist()
+    [5, 3, 1, 0, 4, 2]
+    """
+    if not isinstance(text, str):
+        raise ValidationError(f"text must be a str, got {type(text).__name__}")
+    n = len(text)
+    if n == 0:
+        raise ValidationError("cannot build a suffix array over an empty text")
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+
+    # Initial ranks: character code points (dense ranking keeps values small).
+    codes = np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32).astype(np.int64)
+    rank = np.unique(codes, return_inverse=True)[1].astype(np.int64)
+    suffix_array = np.argsort(rank, kind="stable").astype(np.int64)
+
+    k = 1
+    temporary = np.empty(n, dtype=np.int64)
+    while True:
+        # Composite key for suffix i: (rank[i], rank[i + k]) with -1 padding.
+        second = np.full(n, -1, dtype=np.int64)
+        second[: n - k] = rank[k:]
+        # Sort by (rank, second) using a stable two-pass argsort.
+        order = np.argsort(second, kind="stable")
+        order = order[np.argsort(rank[order], kind="stable")]
+        suffix_array = order.astype(np.int64)
+
+        # Re-rank: adjacent suffixes get the same rank iff both key parts match.
+        first_keys = rank[suffix_array]
+        second_keys = second[suffix_array]
+        new_rank_boundaries = np.empty(n, dtype=np.int64)
+        new_rank_boundaries[0] = 0
+        changed = (first_keys[1:] != first_keys[:-1]) | (second_keys[1:] != second_keys[:-1])
+        new_rank_boundaries[1:] = np.cumsum(changed)
+        temporary[suffix_array] = new_rank_boundaries
+        rank, temporary = temporary, rank
+
+        if rank[suffix_array[-1]] == n - 1:
+            break
+        k *= 2
+        if k >= n:
+            break
+    return suffix_array
+
+
+def inverse_suffix_array(suffix_array: np.ndarray) -> np.ndarray:
+    """Return the inverse permutation (``rank``) of a suffix array.
+
+    ``rank[i]`` is the lexicographic rank of the suffix starting at ``i``.
+    """
+    suffix_array = np.asarray(suffix_array, dtype=np.int64)
+    rank = np.empty_like(suffix_array)
+    rank[suffix_array] = np.arange(len(suffix_array), dtype=np.int64)
+    return rank
+
+
+def naive_suffix_array(text: str) -> List[int]:
+    """Quadratic reference construction used by the test suite."""
+    if not text:
+        raise ValidationError("cannot build a suffix array over an empty text")
+    return sorted(range(len(text)), key=lambda i: text[i:])
+
+
+class SuffixArray:
+    """A suffix array bundled with its text and inverse array.
+
+    Parameters
+    ----------
+    text:
+        The text to index.
+    array:
+        Optional pre-computed suffix array (used when loading from disk or
+        testing); validated for length only.
+
+    Examples
+    --------
+    >>> sa = SuffixArray("banana")
+    >>> sa.array.tolist()
+    [5, 3, 1, 0, 4, 2]
+    >>> sa.suffix(1)
+    'anana'
+    """
+
+    def __init__(self, text: str, *, array: Optional[Sequence[int]] = None):
+        if not text:
+            raise ValidationError("cannot build a suffix array over an empty text")
+        self._text = text
+        if array is None:
+            self._array = build_suffix_array(text)
+        else:
+            candidate = np.asarray(array, dtype=np.int64)
+            if len(candidate) != len(text):
+                raise ValidationError(
+                    f"suffix array length {len(candidate)} does not match text length {len(text)}"
+                )
+            self._array = candidate
+        self._rank = inverse_suffix_array(self._array)
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """The indexed text."""
+        return self._text
+
+    @property
+    def array(self) -> np.ndarray:
+        """The suffix array ``A`` (lexicographic rank -> text position)."""
+        return self._array
+
+    @property
+    def rank(self) -> np.ndarray:
+        """The inverse array (text position -> lexicographic rank)."""
+        return self._rank
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __getitem__(self, lexicographic_rank: int) -> int:
+        return int(self._array[lexicographic_rank])
+
+    def suffix(self, lexicographic_rank: int) -> str:
+        """Return the suffix with the given lexicographic rank."""
+        return self._text[int(self._array[lexicographic_rank]) :]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the numpy payload in bytes."""
+        return int(self._array.nbytes + self._rank.nbytes)

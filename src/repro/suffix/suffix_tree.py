@@ -1,0 +1,284 @@
+"""Compact suffix tree derived from a suffix array and its LCP array.
+
+The paper's indexes use the suffix tree for three things:
+
+1. finding the *locus* node / suffix range of a pattern (Section 3.4),
+2. enumerating the depth-``i`` locus partitions used for duplicate
+   elimination (Sections 5.2 and 6), and
+3. the marked-node / link framework of the approximate index (Section 7).
+
+Rather than building the tree online (Ukkonen/McCreight), it is derived from
+the suffix array plus LCP array with the classical stack-based lcp-interval
+algorithm, which is linear time and considerably simpler.  Nodes are stored
+in flat numpy arrays (structure-of-arrays) so trees over hundreds of
+thousands of positions remain cheap in Python.
+
+Every node exposes:
+
+* ``depth``   — string depth (length of ``path(node)``),
+* ``left``/``right`` — the inclusive range of leaf ranks (suffix-array
+  positions) below it,
+* ``parent``  — parent node id (``-1`` for the root).
+
+Leaves are the nodes with ids ``0 .. n-1`` (leaf id == lexicographic rank);
+internal nodes get ids ``n, n+1, ...`` with the root created first.
+
+The text is indexed as-is, without appending a unique terminator.  When one
+suffix is a prefix of another (e.g. ``"a"`` inside ``"banana"``), the shorter
+suffix's leaf doubles as the implicit internal node covering the longer
+suffixes — its range spans them while its string depth stays the suffix
+length.  Every query in this package (locus lookup, depth partitions,
+lowest-common-ancestor marking) is well defined under that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_nonempty_pattern
+from ..exceptions import ValidationError
+from .lcp import build_lcp_array
+from .pattern_search import suffix_range
+from .suffix_array import SuffixArray
+
+
+class SuffixTree:
+    """Compact suffix tree over a deterministic text.
+
+    Parameters
+    ----------
+    suffix_array:
+        A :class:`~repro.suffix.suffix_array.SuffixArray` for the text.
+    lcp:
+        Optional pre-computed LCP array (computed if omitted).
+
+    Examples
+    --------
+    >>> tree = SuffixTree(SuffixArray("banana"))
+    >>> tree.leaf_count
+    6
+    >>> sp, ep = tree.pattern_range("ana")
+    >>> (sp, ep)
+    (1, 2)
+    >>> tree.node_depth(tree.locus("ana"))
+    3
+    """
+
+    def __init__(self, suffix_array: SuffixArray, *, lcp: Optional[np.ndarray] = None):
+        self._suffix_array = suffix_array
+        text = suffix_array.text
+        n = len(text)
+        if lcp is None:
+            lcp = build_lcp_array(text, suffix_array.array)
+        else:
+            lcp = np.asarray(lcp, dtype=np.int64)
+            if len(lcp) != n:
+                raise ValidationError(
+                    f"LCP array length {len(lcp)} does not match text length {n}"
+                )
+        self._lcp = lcp
+
+        # Structure-of-arrays node storage.  Leaves occupy ids [0, n); internal
+        # nodes are appended afterwards (root is node id n).
+        depth: List[int] = [0] * n
+        left: List[int] = [0] * n
+        right: List[int] = [0] * n
+        parent: List[int] = [-1] * n
+        sa = suffix_array.array
+        for rank in range(n):
+            depth[rank] = n - int(sa[rank])
+            left[rank] = rank
+            right[rank] = rank
+
+        def new_internal(node_depth: int, node_left: int) -> int:
+            depth.append(node_depth)
+            left.append(node_left)
+            right.append(-1)
+            parent.append(-1)
+            return len(depth) - 1
+
+        root = new_internal(0, 0)
+        stack: List[int] = [root]
+
+        for rank in range(n):
+            boundary = int(lcp[rank]) if rank > 0 else 0
+            last_popped = -1
+            while depth[stack[-1]] > boundary:
+                popped = stack.pop()
+                right[popped] = rank - 1
+                parent[popped] = stack[-1]
+                last_popped = popped
+            if depth[stack[-1]] < boundary and last_popped != -1:
+                intermediate = new_internal(boundary, left[last_popped])
+                parent[last_popped] = intermediate
+                stack.append(intermediate)
+            leaf = rank
+            stack.append(leaf)
+
+        while len(stack) > 1:
+            popped = stack.pop()
+            right[popped] = n - 1
+            parent[popped] = stack[-1]
+        right[root] = n - 1
+
+        self._depth = np.asarray(depth, dtype=np.int64)
+        self._left = np.asarray(left, dtype=np.int64)
+        self._right = np.asarray(right, dtype=np.int64)
+        self._parent = np.asarray(parent, dtype=np.int64)
+        self._root = root
+        self._n = n
+
+    # -- basic accessors -----------------------------------------------------------
+    @property
+    def suffix_array(self) -> SuffixArray:
+        """The suffix array the tree was built from."""
+        return self._suffix_array
+
+    @property
+    def text(self) -> str:
+        """The indexed text."""
+        return self._suffix_array.text
+
+    @property
+    def lcp(self) -> np.ndarray:
+        """The LCP array used to build the tree."""
+        return self._lcp
+
+    @property
+    def root(self) -> int:
+        """Node id of the root."""
+        return self._root
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaves (== length of the text)."""
+        return self._n
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (leaves + internal)."""
+        return len(self._depth)
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` is a leaf (ids below ``leaf_count``)."""
+        return node < self._n
+
+    def node_depth(self, node: int) -> int:
+        """String depth of ``node`` (length of its root-to-node label)."""
+        return int(self._depth[node])
+
+    def node_range(self, node: int) -> Tuple[int, int]:
+        """Inclusive range of leaf ranks (suffix-array positions) under ``node``."""
+        return int(self._left[node]), int(self._right[node])
+
+    def node_parent(self, node: int) -> int:
+        """Parent node id (``-1`` for the root)."""
+        return int(self._parent[node])
+
+    def subtree_size(self, node: int) -> int:
+        """Number of leaves below ``node``."""
+        return int(self._right[node] - self._left[node] + 1)
+
+    def path_label(self, node: int) -> str:
+        """The string labeling the root-to-``node`` path."""
+        start = int(self._suffix_array.array[self._left[node]])
+        return self.text[start : start + self.node_depth(node)]
+
+    def leaves(self, node: int) -> Iterator[int]:
+        """Iterate over the leaf ranks below ``node``."""
+        node_left, node_right = self.node_range(node)
+        return iter(range(node_left, node_right + 1))
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """Iterate over the proper ancestors of ``node``, nearest first."""
+        current = self.node_parent(node)
+        while current != -1:
+            yield current
+            current = self.node_parent(current)
+
+    def children(self) -> List[List[int]]:
+        """Return a children adjacency list indexed by node id.
+
+        Computed on demand (the core query paths never need it); mostly
+        useful for debugging and tests.
+        """
+        adjacency: List[List[int]] = [[] for _ in range(self.node_count)]
+        for node in range(self.node_count):
+            parent = int(self._parent[node])
+            if parent != -1:
+                adjacency[parent].append(node)
+        return adjacency
+
+    # -- pattern queries -------------------------------------------------------------
+    def pattern_range(self, pattern: str) -> Optional[Tuple[int, int]]:
+        """Inclusive suffix range of ``pattern`` (``None`` when absent)."""
+        return suffix_range(self.text, self._suffix_array.array, pattern)
+
+    def locus(self, pattern: str) -> Optional[int]:
+        """Locus node of ``pattern``: the highest node whose label has ``pattern`` as prefix.
+
+        Returns ``None`` when the pattern does not occur.
+        """
+        check_nonempty_pattern(pattern)
+        interval = self.pattern_range(pattern)
+        if interval is None:
+            return None
+        sp, ep = interval
+        m = len(pattern)
+        # Walk up from the leftmost leaf: the locus is the last node on the
+        # leaf-to-root path whose depth is still >= m (its range is then
+        # exactly [sp, ep]).
+        node = sp
+        while True:
+            parent = self.node_parent(node)
+            if parent == -1 or self.node_depth(parent) < m:
+                return node
+            node = parent
+
+    def lowest_common_ancestor(self, leaf_a: int, leaf_b: int) -> int:
+        """Lowest common ancestor of two leaves (by rank).
+
+        Linear in tree height; adequate for construction-time marking in the
+        approximate index where it is called once per consecutive pair.
+        """
+        if leaf_a == leaf_b:
+            return leaf_a
+        low, high = min(leaf_a, leaf_b), max(leaf_a, leaf_b)
+        node = low
+        while True:
+            node_left, node_right = self.node_range(node)
+            if node_left <= low and high <= node_right:
+                return node
+            parent = self.node_parent(node)
+            if parent == -1:
+                return node
+            node = parent
+
+    # -- locus partitions (duplicate elimination, Sections 5.2 / 6) ---------------------
+    def depth_partitions(self, prefix_length: int) -> List[Tuple[int, int]]:
+        """Disjoint suffix ranges of the depth-``prefix_length`` locus nodes.
+
+        Two adjacent leaves belong to the same partition exactly when the LCP
+        between them is at least ``prefix_length``, so the partitions are the
+        maximal runs of ranks ``j`` with ``lcp[j] >= prefix_length`` between
+        neighbours.  This is the set ``L_i`` of the paper restated over the
+        LCP array and is what the duplicate-elimination pass iterates over.
+        """
+        if prefix_length <= 0:
+            raise ValidationError(f"prefix_length must be positive, got {prefix_length}")
+        boundaries = np.flatnonzero(self._lcp[1:] < prefix_length) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries - 1, [self._n - 1]))
+        return [(int(start), int(end)) for start, end in zip(starts, ends)]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the numpy payload in bytes."""
+        return int(
+            self._depth.nbytes
+            + self._left.nbytes
+            + self._right.nbytes
+            + self._parent.nbytes
+            + self._lcp.nbytes
+        )

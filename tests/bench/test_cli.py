@@ -1,0 +1,59 @@
+"""Tests for the repro-bench command line interface."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.bench.__main__ import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    workloads.clear_caches()
+    yield
+    workloads.clear_caches()
+
+
+class TestParser:
+    def test_defaults(self):
+        arguments = build_parser().parse_args([])
+        assert arguments.figures is None
+        assert arguments.scale == "default"
+        assert arguments.format == "text"
+
+    def test_parses_figures_and_scale(self):
+        arguments = build_parser().parse_args(
+            ["--figure", "fig7a", "--scale", "small", "--format", "csv"]
+        )
+        assert arguments.figures == ["fig7a"]
+        assert arguments.scale == "small"
+        assert arguments.format == "csv"
+
+
+class TestMain:
+    def test_no_selection_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_single_figure_to_stdout(self, capsys):
+        exit_code = main(["--figure", "ablation-rmq", "--scale", "small"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "ablation-rmq" in captured.out
+
+    def test_output_file(self, tmp_path, capsys):
+        destination = tmp_path / "report.md"
+        exit_code = main(
+            [
+                "--figure",
+                "ablation-rmq",
+                "--scale",
+                "small",
+                "--format",
+                "markdown",
+                "-o",
+                str(destination),
+            ]
+        )
+        assert exit_code == 0
+        assert destination.exists()
+        assert "ablation-rmq" in destination.read_text(encoding="utf-8")

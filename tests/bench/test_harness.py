@@ -1,0 +1,71 @@
+"""Tests for repro.bench.harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRecord,
+    FigureTable,
+    ResultStore,
+    Series,
+    SeriesPoint,
+    time_callable,
+    time_query_batch,
+)
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        series = Series("theta=0.1")
+        series.add(1000, 0.5)
+        series.add(2000, 0.75)
+        assert series.xs == [1000, 2000]
+        assert series.values == [0.5, 0.75]
+        assert series.points[0] == SeriesPoint(1000.0, 0.5)
+
+
+class TestFigureTable:
+    def test_series_lookup(self):
+        table = FigureTable("fig7a", "title", "n", "ms")
+        table.series.append(Series("a", [SeriesPoint(1, 2)]))
+        assert table.series_by_label("a").points[0].value == 2
+        with pytest.raises(KeyError):
+            table.series_by_label("missing")
+
+    def test_x_values_union(self):
+        table = FigureTable("fig", "t", "x", "y")
+        table.series.append(Series("a", [SeriesPoint(1, 1), SeriesPoint(3, 1)]))
+        table.series.append(Series("b", [SeriesPoint(2, 1), SeriesPoint(3, 1)]))
+        assert table.x_values() == [1, 2, 3]
+
+
+class TestTiming:
+    def test_time_callable_counts_calls(self):
+        calls = []
+        seconds = time_callable(lambda: calls.append(1), repeats=5, warmup=2)
+        assert len(calls) == 7
+        assert seconds >= 0.0
+
+    def test_time_query_batch_average(self):
+        invocations = []
+
+        def query(pattern, tau):
+            invocations.append((pattern, tau))
+
+        milliseconds = time_query_batch(query, ["a", "b", "c"], 0.5, repeats=2)
+        assert len(invocations) == 6
+        assert milliseconds >= 0.0
+
+    def test_time_query_batch_empty_rejected(self):
+        with pytest.raises(ValueError):
+            time_query_batch(lambda p, t: None, [], 0.5)
+
+
+class TestResultStore:
+    def test_add_and_filter(self):
+        store = ResultStore()
+        store.add("fig7a", {"n": 1000}, 1.5, "ms")
+        store.add("fig7b", {"tau": 0.1}, 2.5, "ms")
+        assert len(store.records) == 2
+        assert store.filter("fig7a") == [
+            ExperimentRecord("fig7a", {"n": 1000}, 1.5, "ms")
+        ]

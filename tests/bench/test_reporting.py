@@ -1,0 +1,69 @@
+"""Tests for repro.bench.reporting."""
+
+import pytest
+
+from repro.bench.harness import FigureTable, Series, SeriesPoint
+from repro.bench.reporting import (
+    format_csv,
+    format_markdown,
+    format_table,
+    render_report,
+)
+
+
+@pytest.fixture
+def sample_table() -> FigureTable:
+    table = FigureTable(
+        figure_id="fig7a",
+        title="Query time vs string size",
+        x_label="n",
+        y_label="ms",
+        notes="tau=0.2",
+    )
+    table.series.append(
+        Series("theta=0.1", [SeriesPoint(1000, 0.5), SeriesPoint(2000, 0.8)])
+    )
+    table.series.append(Series("theta=0.3", [SeriesPoint(1000, 0.6)]))
+    return table
+
+
+class TestTextTable:
+    def test_contains_headers_and_values(self, sample_table):
+        rendered = format_table(sample_table)
+        assert "fig7a" in rendered
+        assert "theta=0.1" in rendered
+        assert "theta=0.3" in rendered
+        assert "1,000" in rendered
+        assert "0.5000" in rendered
+
+    def test_missing_cells_rendered_as_dash(self, sample_table):
+        rendered = format_table(sample_table)
+        assert "-" in rendered.splitlines()[-1]
+
+
+class TestMarkdown:
+    def test_markdown_structure(self, sample_table):
+        rendered = format_markdown(sample_table)
+        assert rendered.startswith("### fig7a")
+        assert "| n | theta=0.1 | theta=0.3 |" in rendered
+        assert "|---|---|---|" in rendered
+
+
+class TestCsv:
+    def test_csv_structure(self, sample_table):
+        rendered = format_csv(sample_table)
+        lines = rendered.strip().splitlines()
+        assert lines[0] == "n,theta=0.1,theta=0.3"
+        assert lines[1].startswith("1000")
+        # Missing cell is empty.
+        assert lines[2].endswith(",")
+
+
+class TestRenderReport:
+    def test_multiple_tables(self, sample_table):
+        rendered = render_report([sample_table, sample_table], fmt="text")
+        assert rendered.count("fig7a") == 2
+
+    def test_unknown_format_rejected(self, sample_table):
+        with pytest.raises(ValueError):
+            render_report([sample_table], fmt="latex")

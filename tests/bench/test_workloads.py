@@ -1,0 +1,81 @@
+"""Tests for repro.bench.workloads (cached workload builders)."""
+
+import pytest
+
+from repro.bench import workloads
+from repro.core.general_index import GeneralUncertainStringIndex
+from repro.core.listing import UncertainStringListingIndex
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    workloads.clear_caches()
+    yield
+    workloads.clear_caches()
+
+
+class TestSubstringWorkload:
+    def test_builds_consistent_workload(self):
+        work = workloads.substring_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(5, 10), patterns_per_length=2
+        )
+        assert isinstance(work.index, GeneralUncertainStringIndex)
+        assert len(work.string) == 300
+        assert len(work.patterns) == 4
+        assert work.theta == pytest.approx(0.3)
+        assert work.tau_min == pytest.approx(0.1)
+
+    def test_index_cached_across_query_length_changes(self):
+        first = workloads.substring_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(5,), patterns_per_length=1
+        )
+        second = workloads.substring_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(10,), patterns_per_length=1
+        )
+        assert first.index is second.index
+        assert first.string is second.string
+
+    def test_different_tau_min_not_shared(self):
+        first = workloads.substring_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(5,), patterns_per_length=1
+        )
+        second = workloads.substring_workload(
+            300, 0.3, tau_min=0.2, query_lengths=(5,), patterns_per_length=1
+        )
+        assert first.index is not second.index
+        assert first.string is second.string
+
+    def test_query_lengths_longer_than_string_skipped(self):
+        work = workloads.substring_workload(
+            100, 0.2, tau_min=0.1, query_lengths=(5, 5000), patterns_per_length=2
+        )
+        assert {len(p) for p in work.patterns} == {5}
+
+
+class TestListingWorkload:
+    def test_builds_consistent_workload(self):
+        work = workloads.listing_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(4, 8), patterns_per_length=2
+        )
+        assert isinstance(work.index, UncertainStringListingIndex)
+        assert work.collection.total_positions >= 250
+        assert len(work.patterns) == 4
+
+    def test_index_cached(self):
+        first = workloads.listing_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(4,), patterns_per_length=1
+        )
+        second = workloads.listing_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(8,), patterns_per_length=1
+        )
+        assert first.index is second.index
+
+    def test_clear_caches(self):
+        first = workloads.substring_workload(
+            200, 0.1, tau_min=0.1, query_lengths=(5,), patterns_per_length=1
+        )
+        workloads.clear_caches()
+        second = workloads.substring_workload(
+            200, 0.1, tau_min=0.1, query_lengths=(5,), patterns_per_length=1
+        )
+        assert first.index is not second.index

@@ -1,0 +1,118 @@
+"""Tests for repro.core.approximate (Section 7 approximate substring search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateSubstringIndex
+from repro.core.baseline import BruteForceOracle
+from repro.exceptions import ThresholdError, ValidationError
+
+
+class TestConstruction:
+    def test_epsilon_bounds(self, figure10_string):
+        with pytest.raises(ValidationError):
+            ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=0.0)
+        with pytest.raises(ValidationError):
+            ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=1.0)
+        with pytest.raises(Exception):
+            ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=-0.5)
+
+    def test_metadata(self, figure10_string):
+        index = ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=0.05)
+        assert index.tau_min == pytest.approx(0.1)
+        assert index.epsilon == pytest.approx(0.05)
+        assert index.string is figure10_string
+        assert index.link_count > 0
+        assert index.nbytes() > 0
+        assert index.transformed.tau_min == pytest.approx(0.1)
+
+    def test_smaller_epsilon_means_more_links(self, random_uncertain_string):
+        string = random_uncertain_string(25, 0.4, 5)
+        coarse = ApproximateSubstringIndex(string, tau_min=0.1, epsilon=0.3)
+        fine = ApproximateSubstringIndex(string, tau_min=0.1, epsilon=0.02)
+        assert fine.link_count >= coarse.link_count
+
+
+class TestFigure10Example:
+    def test_qp_query(self, figure10_string):
+        index = ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=0.05)
+        occurrences = index.query("QP", 0.4)
+        assert 0 in {occ.position for occ in occurrences}
+        # Every reported occurrence is within epsilon of the threshold.
+        for occurrence in occurrences:
+            true_probability = figure10_string.occurrence_probability(
+                "QP", occurrence.position
+            )
+            assert true_probability > 0.4 - 0.05 - 1e-9
+
+    def test_verify_gives_exact_answer(self, figure10_string):
+        index = ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=0.2)
+        exact_positions = {
+            position
+            for position in range(len(figure10_string) - 1)
+            if figure10_string.occurrence_probability("QP", position) > 0.4
+        }
+        verified = {occ.position for occ in index.query("QP", 0.4, verify=True)}
+        assert verified == exact_positions
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("epsilon", [0.05, 0.15])
+    def test_completeness_and_soundness(self, random_uncertain_string, seed, epsilon):
+        string = random_uncertain_string(25, 0.4, seed)
+        tau_min = 0.1
+        index = ApproximateSubstringIndex(string, tau_min=tau_min, epsilon=epsilon)
+        oracle = BruteForceOracle(string=string)
+        backbone = string.most_likely_string()
+        rng = np.random.default_rng(seed)
+        for _ in range(8):
+            length = int(rng.integers(1, 6))
+            start = int(rng.integers(0, len(string) - length + 1))
+            pattern = backbone[start : start + length]
+            tau = float(rng.uniform(tau_min + epsilon, 0.95))
+            exact = {occ.position for occ in oracle.substring_occurrences(pattern, tau)}
+            approximate = {occ.position for occ in index.query(pattern, tau)}
+            # Completeness: everything above tau is reported.
+            assert exact <= approximate, (pattern, tau)
+            # Soundness: everything reported is above tau - epsilon.
+            for position in approximate:
+                true_probability = string.occurrence_probability(pattern, position)
+                assert true_probability > tau - epsilon - 1e-9, (pattern, tau, position)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_verify_matches_oracle(self, random_uncertain_string, seed):
+        string = random_uncertain_string(20, 0.4, 100 + seed)
+        index = ApproximateSubstringIndex(string, tau_min=0.1, epsilon=0.1)
+        oracle = BruteForceOracle(string=string)
+        backbone = string.most_likely_string()
+        for pattern in (backbone[:2], backbone[3:6], backbone[1:2]):
+            for tau in (0.25, 0.5):
+                assert {occ.position for occ in index.query(pattern, tau, verify=True)} == {
+                    occ.position for occ in oracle.substring_occurrences(pattern, tau)
+                }
+
+    def test_reported_probability_is_lower_bound(self, random_uncertain_string):
+        string = random_uncertain_string(20, 0.5, 55)
+        index = ApproximateSubstringIndex(string, tau_min=0.1, epsilon=0.1)
+        backbone = string.most_likely_string()
+        pattern = backbone[:3]
+        for occurrence in index.query(pattern, 0.2):
+            true_probability = string.occurrence_probability(pattern, occurrence.position)
+            assert occurrence.probability <= true_probability + 1e-9
+
+
+class TestValidation:
+    def test_threshold_below_tau_min_rejected(self, figure10_string):
+        index = ApproximateSubstringIndex(figure10_string, tau_min=0.2, epsilon=0.05)
+        with pytest.raises(ThresholdError):
+            index.query("QP", 0.1)
+
+    def test_empty_pattern_rejected(self, figure10_string):
+        index = ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=0.05)
+        with pytest.raises(ValidationError):
+            index.query("", 0.3)
+
+    def test_absent_pattern_empty(self, figure10_string):
+        index = ApproximateSubstringIndex(figure10_string, tau_min=0.1, epsilon=0.05)
+        assert index.query("ZZ", 0.3) == []

@@ -1,0 +1,78 @@
+"""Tests for repro.core.baseline (online matcher and brute-force oracle)."""
+
+import pytest
+
+from repro.core.baseline import BruteForceOracle, OnlineDynamicProgrammingMatcher
+from repro.exceptions import ValidationError
+from repro.strings import CorrelationModel, CorrelationRule, UncertainString
+
+
+class TestOnlineMatcher:
+    def test_matches_figure3_queries(self, figure3_string):
+        matcher = OnlineDynamicProgrammingMatcher(figure3_string)
+        assert [occ.position for occ in matcher.query("AT", 0.4)] == [8]
+        assert [occ.position for occ in matcher.query("AT", 0.1)] == [6, 8]
+
+    def test_probabilities_reported(self, figure3_string):
+        matcher = OnlineDynamicProgrammingMatcher(figure3_string)
+        occurrence = matcher.query("AT", 0.4)[0]
+        assert occurrence.probability == pytest.approx(0.5)
+
+    def test_tau_min_zero_and_string_accessor(self, figure3_string):
+        matcher = OnlineDynamicProgrammingMatcher(figure3_string)
+        assert matcher.tau_min == 0.0
+        assert matcher.string is figure3_string
+
+    def test_agrees_with_string_scan(self, random_uncertain_string):
+        string = random_uncertain_string(40, 0.5, 9)
+        matcher = OnlineDynamicProgrammingMatcher(string)
+        backbone = string.most_likely_string()
+        for pattern in (backbone[:1], backbone[5:8], backbone[10:16]):
+            for tau in (0.05, 0.3, 0.7):
+                assert [occ.position for occ in matcher.query(pattern, tau)] == (
+                    string.matching_positions(pattern, tau)
+                )
+
+    def test_correlated_string_evaluated_exactly(self):
+        string = UncertainString(
+            [{"e": 0.6, "f": 0.4}, {"q": 1.0}, {"z": 1.0}],
+            correlations=CorrelationModel([CorrelationRule(2, "z", 0, "e", 0.3, 0.4)]),
+        )
+        matcher = OnlineDynamicProgrammingMatcher(string)
+        occurrences = matcher.query("qz", 0.3)
+        assert [occ.position for occ in occurrences] == [1]
+        assert occurrences[0].probability == pytest.approx(0.34)
+
+    def test_invalid_inputs(self, figure3_string):
+        matcher = OnlineDynamicProgrammingMatcher(figure3_string)
+        with pytest.raises(ValidationError):
+            matcher.query("", 0.5)
+        with pytest.raises(Exception):
+            matcher.query("AT", 0.0)
+
+
+class TestBruteForceOracle:
+    def test_substring_occurrences(self, figure3_string):
+        oracle = BruteForceOracle(string=figure3_string)
+        occurrences = oracle.substring_occurrences("AT", 0.4)
+        assert [occ.position for occ in occurrences] == [8]
+        assert occurrences[0].probability == pytest.approx(0.5)
+
+    def test_listing_matches(self, figure2_collection):
+        oracle = BruteForceOracle(collection=figure2_collection)
+        assert [match.document for match in oracle.listing_matches("BF", 0.1)] == [0]
+
+    def test_listing_matches_with_or_metric(self, figure2_collection):
+        oracle = BruteForceOracle(collection=figure2_collection)
+        matches = oracle.listing_matches("BF", 0.01, metric="or")
+        assert [match.document for match in matches] == [0, 1]
+
+    def test_missing_string_raises(self, figure2_collection):
+        oracle = BruteForceOracle(collection=figure2_collection)
+        with pytest.raises(ValueError):
+            oracle.substring_occurrences("A", 0.1)
+
+    def test_missing_collection_raises(self, figure3_string):
+        oracle = BruteForceOracle(string=figure3_string)
+        with pytest.raises(ValueError):
+            oracle.listing_matches("A", 0.1)

@@ -1,0 +1,157 @@
+"""Tests for repro.core.cumulative (C and C_i arrays, correlation adjustment)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cumulative import (
+    NEGATIVE_INFINITY,
+    apply_correlation_adjustment,
+    correlation_adjusted_window_log_probability,
+    cumulative_log_probabilities,
+    prefix_length_log_probabilities,
+    window_log_probability,
+)
+from repro.exceptions import ValidationError
+from repro.strings import CorrelationModel, CorrelationRule
+from repro.suffix.suffix_array import build_suffix_array
+
+
+class TestCumulativeLogProbabilities:
+    def test_matches_figure5_products(self):
+        # Figure 5's C array: 0.4, 0.28, 0.14, 0.112, 0.1008, 0.06048.
+        probabilities = [0.4, 0.7, 0.5, 0.8, 0.9, 0.6]
+        prefix = cumulative_log_probabilities(probabilities)
+        assert len(prefix) == 7
+        assert prefix[0] == 0.0
+        products = np.exp(prefix[1:])
+        assert products == pytest.approx([0.4, 0.28, 0.14, 0.112, 0.1008, 0.06048])
+
+    def test_zero_probability_maps_to_neg_inf(self):
+        prefix = cumulative_log_probabilities([0.5, 0.0, 0.5])
+        assert prefix[2] == NEGATIVE_INFINITY
+        assert prefix[3] == NEGATIVE_INFINITY
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            cumulative_log_probabilities([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            cumulative_log_probabilities([1.5])
+        with pytest.raises(ValidationError):
+            cumulative_log_probabilities([-0.1])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            cumulative_log_probabilities(np.zeros((2, 2)))
+
+    def test_no_underflow_for_long_strings(self):
+        # 10k characters at probability 0.5 would underflow a raw product.
+        prefix = cumulative_log_probabilities([0.5] * 10_000)
+        assert math.isfinite(prefix[-1])
+        assert prefix[-1] == pytest.approx(10_000 * math.log(0.5))
+
+
+class TestWindowLogProbability:
+    def test_window_values(self):
+        prefix = cumulative_log_probabilities([0.4, 0.7, 0.5])
+        assert math.exp(window_log_probability(prefix, 0, 2)) == pytest.approx(0.28)
+        assert math.exp(window_log_probability(prefix, 1, 2)) == pytest.approx(0.35)
+
+    def test_out_of_bounds_is_neg_inf(self):
+        prefix = cumulative_log_probabilities([0.4, 0.7, 0.5])
+        assert window_log_probability(prefix, 2, 2) == NEGATIVE_INFINITY
+        assert window_log_probability(prefix, -1, 1) == NEGATIVE_INFINITY
+        assert window_log_probability(prefix, 0, 0) == NEGATIVE_INFINITY
+
+
+class TestPrefixLengthLogProbabilities:
+    def test_values_follow_suffix_array_order(self):
+        text = "banana"
+        probabilities = [0.4, 0.7, 0.5, 0.8, 0.9, 0.6]
+        prefix = cumulative_log_probabilities(probabilities)
+        suffix_array = build_suffix_array(text)
+        values = prefix_length_log_probabilities(prefix, suffix_array, 3)
+        for rank, start in enumerate(suffix_array):
+            start = int(start)
+            if start + 3 <= len(text):
+                expected = sum(math.log(p) for p in probabilities[start : start + 3])
+                assert values[rank] == pytest.approx(expected)
+            else:
+                assert values[rank] == NEGATIVE_INFINITY
+
+    def test_invalid_length_rejected(self):
+        prefix = cumulative_log_probabilities([0.5])
+        with pytest.raises(ValidationError):
+            prefix_length_log_probabilities(prefix, np.asarray([0]), 0)
+
+
+class TestCorrelationAdjustment:
+    @pytest.fixture
+    def setting(self):
+        # Special string e q z where z's stored probability is pr+ = 0.3 and
+        # it is correlated with e at position 0 (Figure 4).
+        text = "eqz"
+        probabilities = np.asarray([0.6, 1.0, 0.3])
+        correlations = CorrelationModel([CorrelationRule(2, "z", 0, "e", 0.3, 0.4)])
+        prefix = cumulative_log_probabilities(probabilities)
+        suffix_array = build_suffix_array(text)
+        return text, probabilities, correlations, prefix, suffix_array
+
+    def test_partner_inside_window_keeps_present_probability(self, setting):
+        text, probabilities, correlations, prefix, suffix_array = setting
+        values = prefix_length_log_probabilities(prefix, suffix_array, 3)
+        adjusted = apply_correlation_adjustment(
+            values, suffix_array, 3, correlations, text, probabilities
+        )
+        # Window "eqz" contains the partner (e present): probability stays
+        # 0.6 * 1.0 * 0.3.
+        rank_of_full = int(np.flatnonzero(suffix_array == 0)[0])
+        assert math.exp(adjusted[rank_of_full]) == pytest.approx(0.6 * 1.0 * 0.3)
+
+    def test_partner_outside_window_uses_mixture(self, setting):
+        text, probabilities, correlations, prefix, suffix_array = setting
+        values = prefix_length_log_probabilities(prefix, suffix_array, 2)
+        adjusted = apply_correlation_adjustment(
+            values, suffix_array, 2, correlations, text, probabilities
+        )
+        # Window "qz" excludes the partner: pr(z) = 0.6*0.3 + 0.4*0.4 = 0.34.
+        rank_of_qz = int(np.flatnonzero(suffix_array == 1)[0])
+        assert math.exp(adjusted[rank_of_qz]) == pytest.approx(1.0 * 0.34)
+
+    def test_no_rules_returns_same_values(self, setting):
+        text, probabilities, _, prefix, suffix_array = setting
+        values = prefix_length_log_probabilities(prefix, suffix_array, 2)
+        assert apply_correlation_adjustment(
+            values, suffix_array, 2, None, text, probabilities
+        ) is values
+        assert apply_correlation_adjustment(
+            values, suffix_array, 2, CorrelationModel(), text, probabilities
+        ) is values
+
+    def test_scalar_helper_matches_array_version(self, setting):
+        text, probabilities, correlations, prefix, suffix_array = setting
+        values = prefix_length_log_probabilities(prefix, suffix_array, 2)
+        adjusted = apply_correlation_adjustment(
+            values, suffix_array, 2, correlations, text, probabilities
+        )
+        for rank, start in enumerate(suffix_array):
+            scalar = correlation_adjusted_window_log_probability(
+                prefix, int(start), 2, correlations, text, probabilities
+            )
+            if math.isfinite(adjusted[rank]):
+                assert scalar == pytest.approx(adjusted[rank])
+
+    def test_rule_for_character_not_in_text_is_ignored(self):
+        text = "abc"
+        probabilities = np.asarray([1.0, 1.0, 1.0])
+        correlations = CorrelationModel([CorrelationRule(2, "z", 0, "a", 0.3, 0.4)])
+        prefix = cumulative_log_probabilities(probabilities)
+        suffix_array = build_suffix_array(text)
+        values = prefix_length_log_probabilities(prefix, suffix_array, 2)
+        adjusted = apply_correlation_adjustment(
+            values, suffix_array, 2, correlations, text, probabilities
+        )
+        assert np.allclose(adjusted, values, equal_nan=True)

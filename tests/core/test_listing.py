@@ -1,0 +1,194 @@
+"""Tests for repro.core.listing (Section 6 uncertain string listing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import BruteForceOracle
+from repro.core.listing import UncertainStringListingIndex, combine_relevance
+from repro.exceptions import ThresholdError, ValidationError
+from repro.strings import (
+    CorrelationModel,
+    CorrelationRule,
+    UncertainString,
+    UncertainStringCollection,
+)
+
+
+class TestCombineRelevance:
+    def test_max(self):
+        assert combine_relevance([0.2, 0.5, 0.1], "max") == pytest.approx(0.5)
+
+    def test_or_matches_paper_formula(self):
+        values = [0.06, 0.09, 0.048]
+        expected = sum(values) - np.prod(values)
+        assert combine_relevance(values, "or") == pytest.approx(expected)
+
+    def test_or_single_occurrence_is_probability(self):
+        assert combine_relevance([0.3], "or") == pytest.approx(0.3)
+
+    def test_noisy_or(self):
+        values = [0.5, 0.5]
+        assert combine_relevance(values, "noisy_or") == pytest.approx(0.75)
+
+    def test_empty_is_zero(self):
+        assert combine_relevance([], "max") == 0.0
+        assert combine_relevance([0.0], "or") == 0.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            combine_relevance([0.5], "mean")  # type: ignore[arg-type]
+
+
+class TestFigure2Example:
+    def test_bf_query_reports_only_d1(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.05)
+        matches = index.query("BF", 0.1)
+        assert [match.document for match in matches] == [0]
+        # d1's best BF occurrence: 0.3 * 0.5.
+        assert matches[0].relevance == pytest.approx(0.15)
+
+    def test_bf_query_lower_threshold_adds_d2(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.01)
+        assert index.documents("BF", 0.02) == [0, 1]
+
+    def test_documents_helper(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.05)
+        assert index.documents("A", 0.5) == [1, 2]
+
+
+class TestValidation:
+    def test_threshold_below_tau_min_rejected(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.2)
+        with pytest.raises(ThresholdError):
+            index.query("BF", 0.1)
+
+    def test_unknown_metric_rejected(self, figure2_collection):
+        with pytest.raises(ValidationError):
+            UncertainStringListingIndex(
+                figure2_collection, tau_min=0.1, metric="mean"  # type: ignore[arg-type]
+            )
+
+    def test_empty_pattern_rejected(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.05)
+        with pytest.raises(ValidationError):
+            index.query("", 0.1)
+
+    def test_absent_pattern_empty(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.05)
+        assert index.query("ZZZ", 0.1) == []
+
+    def test_metadata(self, figure2_collection):
+        index = UncertainStringListingIndex(figure2_collection, tau_min=0.05)
+        assert index.tau_min == pytest.approx(0.05)
+        assert index.metric == "max"
+        assert index.collection is figure2_collection
+        assert index.stats["documents"] == 3
+        report = index.space_report()
+        assert report["total"] == sum(
+            value for key, value in report.items() if key != "total"
+        )
+        assert index.nbytes() == report["total"]
+
+
+def _random_collection(document_count, seed, theta=0.4):
+    import random
+
+    def random_document(length, document_seed):
+        rng = random.Random(document_seed)
+        rows = []
+        for _ in range(length):
+            if rng.random() < theta:
+                characters = rng.sample("ABCD", rng.randint(2, 3))
+                weights = [rng.random() + 0.05 for _ in characters]
+                total = sum(weights)
+                rows.append({c: w / total for c, w in zip(characters, weights)})
+            else:
+                rows.append({rng.choice("ABCD"): 1.0})
+        return UncertainString.from_table(rows)
+
+    rng = np.random.default_rng(seed)
+    documents = [
+        random_document(int(rng.integers(5, 16)), seed * 100 + i)
+        for i in range(document_count)
+    ]
+    return UncertainStringCollection(documents)
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_max_metric_matches_oracle(self, seed):
+        collection = _random_collection(5, seed)
+        tau_min = 0.05
+        index = UncertainStringListingIndex(collection, tau_min=tau_min, metric="max")
+        oracle = BruteForceOracle(collection=collection)
+        rng = np.random.default_rng(seed)
+        for _ in range(8):
+            document = collection[int(rng.integers(0, len(collection)))]
+            backbone = document.most_likely_string()
+            length = int(rng.integers(1, min(5, len(backbone)) + 1))
+            start = int(rng.integers(0, len(backbone) - length + 1))
+            pattern = backbone[start : start + length]
+            tau = float(rng.uniform(tau_min, 0.8))
+            expected = oracle.listing_matches(pattern, tau, metric="max")
+            got = index.query(pattern, tau)
+            assert [match.document for match in got] == [
+                match.document for match in expected
+            ], (pattern, tau)
+            for got_match, expected_match in zip(got, expected):
+                assert got_match.relevance == pytest.approx(expected_match.relevance)
+
+    @pytest.mark.parametrize("metric", ["or", "noisy_or"])
+    def test_combined_metrics_superset_of_max(self, metric):
+        # OR-style relevance is always at least the max single occurrence, so
+        # every document reported under "max" must also be reported.
+        collection = _random_collection(6, 123)
+        tau_min = 0.05
+        max_index = UncertainStringListingIndex(collection, tau_min=tau_min, metric="max")
+        combined_index = UncertainStringListingIndex(
+            collection, tau_min=tau_min, metric=metric
+        )
+        backbone = collection[0].most_likely_string()
+        for pattern in (backbone[:1], backbone[:2], backbone[1:3]):
+            for tau in (0.06, 0.15, 0.4):
+                max_documents = set(max_index.documents(pattern, tau))
+                combined_documents = set(combined_index.documents(pattern, tau))
+                assert max_documents <= combined_documents
+
+    def test_or_metric_relevance_counts_occurrences_above_tau_min(self):
+        # Two certain occurrences of "AB" in one document: OR = 2 - 1 = 1.0...
+        # i.e. sum - product with both probabilities 1.
+        document = UncertainString.from_deterministic("ABAB")
+        collection = UncertainStringCollection([document])
+        index = UncertainStringListingIndex(collection, tau_min=0.5, metric="or")
+        matches = index.query("AB", 0.6)
+        assert [match.document for match in matches] == [0]
+        assert matches[0].relevance == pytest.approx(1.0)
+
+    def test_long_pattern_falls_back_to_scan(self):
+        documents = [
+            UncertainString.from_deterministic("ABCABCABCABCABCABCABC"),
+            UncertainString.from_deterministic("CBACBACBACBACBACBACBA"),
+        ]
+        collection = UncertainStringCollection(documents)
+        index = UncertainStringListingIndex(collection, tau_min=0.5, metric="max")
+        pattern = "ABCABCABCABCABC"
+        assert len(pattern) > index.max_short_length
+        assert index.documents(pattern, 0.9) == [0]
+
+
+class TestCorrelatedCollections:
+    def test_correlated_documents_are_verified(self):
+        correlated = UncertainString(
+            [{"e": 0.6, "f": 0.4}, {"q": 1.0}, {"z": 0.7, "w": 0.3}],
+            correlations=CorrelationModel([CorrelationRule(2, "z", 0, "e", 0.2, 0.9)]),
+        )
+        plain = UncertainString.from_deterministic("eqz")
+        collection = UncertainStringCollection([correlated, plain])
+        index = UncertainStringListingIndex(collection, tau_min=0.05, metric="max")
+        oracle = BruteForceOracle(collection=collection)
+        for pattern in ("eqz", "qz", "z"):
+            for tau in (0.06, 0.2, 0.5):
+                assert index.documents(pattern, tau) == [
+                    match.document
+                    for match in oracle.listing_matches(pattern, tau, metric="max")
+                ], (pattern, tau)

@@ -1,0 +1,99 @@
+"""Tests for repro.core.simple_index (the Section 4.1 scanning index)."""
+
+import pytest
+
+from repro.core.simple_index import SimpleSpecialIndex
+from repro.exceptions import ThresholdError, ValidationError
+from repro.strings import CorrelationModel, CorrelationRule, SpecialUncertainString
+
+
+class TestFigure5Example:
+    def test_query_reproduces_figure5(self, figure5_special_string):
+        index = SimpleSpecialIndex(figure5_special_string)
+        # Figure 5: query ("ana", 0.3) outputs position 4 (1-based) = 3.
+        occurrences = index.query("ana", 0.3)
+        assert [occ.position for occ in occurrences] == [3]
+        assert occurrences[0].probability == pytest.approx(0.8 * 0.9 * 0.6)
+
+    def test_lower_threshold_reports_both_positions(self, figure5_special_string):
+        index = SimpleSpecialIndex(figure5_special_string)
+        assert [occ.position for occ in index.query("ana", 0.2)] == [1, 3]
+
+    def test_probabilities_match_string(self, figure5_special_string):
+        index = SimpleSpecialIndex(figure5_special_string)
+        for occurrence in index.query("ana", 0.01):
+            assert occurrence.probability == pytest.approx(
+                figure5_special_string.occurrence_probability("ana", occurrence.position)
+            )
+
+
+class TestQueryBehaviour:
+    def test_absent_pattern(self, figure5_special_string):
+        assert SimpleSpecialIndex(figure5_special_string).query("xyz", 0.1) == []
+
+    def test_pattern_present_but_below_threshold(self, figure5_special_string):
+        assert SimpleSpecialIndex(figure5_special_string).query("banana", 0.9) == []
+
+    def test_empty_pattern_rejected(self, figure5_special_string):
+        with pytest.raises(ValidationError):
+            SimpleSpecialIndex(figure5_special_string).query("", 0.1)
+
+    def test_invalid_threshold_rejected(self, figure5_special_string):
+        index = SimpleSpecialIndex(figure5_special_string)
+        with pytest.raises(ThresholdError):
+            index.query("ana", 0.0)
+        with pytest.raises(ThresholdError):
+            index.query("ana", 1.5)
+
+    def test_tau_min_is_zero(self, figure5_special_string):
+        assert SimpleSpecialIndex(figure5_special_string).tau_min == 0.0
+
+    def test_count_and_exists(self, figure5_special_string):
+        index = SimpleSpecialIndex(figure5_special_string)
+        assert index.count("ana", 0.2) == 2
+        assert index.exists("ana", 0.2)
+        assert not index.exists("ana", 0.9)
+
+    def test_scanned_candidates(self, figure5_special_string):
+        index = SimpleSpecialIndex(figure5_special_string)
+        assert index.scanned_candidates("ana") == 2
+        assert index.scanned_candidates("a") == 3
+        assert index.scanned_candidates("zzz") == 0
+
+    def test_nbytes_positive(self, figure5_special_string):
+        assert SimpleSpecialIndex(figure5_special_string).nbytes() > 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_bruteforce_scan(self, random_special_string, seed):
+        string = random_special_string(60, seed)
+        index = SimpleSpecialIndex(string)
+        for pattern_length in (1, 2, 4):
+            pattern = string.text[seed % 10 : seed % 10 + pattern_length]
+            for tau in (0.05, 0.3, 0.7):
+                expected = string.matching_positions(pattern, tau)
+                assert [occ.position for occ in index.query(pattern, tau)] == expected
+
+
+class TestCorrelationHandling:
+    @pytest.fixture
+    def correlated_index(self):
+        # "eqz" with z stored as pr+ = 0.3, correlated with e at position 0.
+        string = SpecialUncertainString([("e", 0.6), ("q", 1.0), ("z", 0.3)])
+        correlations = CorrelationModel([CorrelationRule(2, "z", 0, "e", 0.3, 0.4)])
+        return SimpleSpecialIndex(string, correlations=correlations)
+
+    def test_partner_inside_window(self, correlated_index):
+        occurrences = correlated_index.query("eqz", 0.1)
+        assert [occ.position for occ in occurrences] == [0]
+        assert occurrences[0].probability == pytest.approx(0.6 * 1.0 * 0.3)
+
+    def test_partner_outside_window_uses_mixture(self, correlated_index):
+        occurrences = correlated_index.query("qz", 0.1)
+        assert [occ.position for occ in occurrences] == [1]
+        assert occurrences[0].probability == pytest.approx(0.34)
+
+    def test_correlation_model_validated(self):
+        string = SpecialUncertainString([("a", 0.5)])
+        rules = CorrelationModel([CorrelationRule(3, "a", 0, "b", 0.5, 0.5)])
+        with pytest.raises(Exception):
+            SimpleSpecialIndex(string, correlations=rules)

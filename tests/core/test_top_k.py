@@ -1,0 +1,130 @@
+"""Tests for the top-k most-probable-occurrence queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import top_values_above_threshold
+from repro.core.baseline import BruteForceOracle
+from repro.core.general_index import GeneralUncertainStringIndex
+from repro.core.special_index import SpecialUncertainStringIndex
+from repro.exceptions import ValidationError
+from repro.suffix.rmq import SparseTableRMQ
+
+
+class TestTopValuesHelper:
+    def _top(self, values, left, right, k, threshold):
+        array = np.asarray(values, dtype=np.float64)
+        rmq = SparseTableRMQ(array)
+        return top_values_above_threshold(rmq, array, left, right, k, threshold)
+
+    def test_returns_largest_first(self):
+        values = [0.1, 0.9, 0.3, 0.7, 0.5]
+        assert self._top(values, 0, 4, 3, 0.0) == [1, 3, 4]
+
+    def test_respects_threshold(self):
+        values = [0.1, 0.9, 0.3]
+        assert self._top(values, 0, 2, 5, 0.2) == [1, 2]
+
+    def test_respects_range(self):
+        values = [0.9, 0.1, 0.8, 0.2]
+        assert self._top(values, 1, 3, 2, 0.0) == [2, 3]
+
+    def test_empty_inputs(self):
+        values = [0.5]
+        assert self._top(values, 1, 0, 3, 0.0) == []
+        assert self._top(values, 0, 0, 0, 0.0) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_numpy_argsort(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.random(80)
+        k = int(rng.integers(1, 15))
+        got = self._top(values, 0, 79, k, 0.0)
+        expected_values = sorted(values, reverse=True)[:k]
+        assert [values[i] for i in got] == pytest.approx(expected_values)
+
+
+class TestGeneralIndexTopK:
+    def test_figure10_top_k(self, figure10_string):
+        index = GeneralUncertainStringIndex(figure10_string, tau_min=0.1)
+        top = index.top_k("QP", 2)
+        assert [occ.position for occ in top] == [0, 1]
+        assert top[0].probability == pytest.approx(0.49)
+        assert top[1].probability == pytest.approx(0.3)
+
+    def test_k_one_returns_best(self, figure10_string):
+        index = GeneralUncertainStringIndex(figure10_string, tau_min=0.1)
+        best = index.top_k("P", 1)[0]
+        assert best.probability == pytest.approx(1.0)
+        assert best.position == 2
+
+    def test_invalid_k(self, figure10_string):
+        index = GeneralUncertainStringIndex(figure10_string, tau_min=0.1)
+        with pytest.raises(ValidationError):
+            index.top_k("P", 0)
+
+    def test_absent_pattern(self, figure10_string):
+        index = GeneralUncertainStringIndex(figure10_string, tau_min=0.1)
+        assert index.top_k("ZZ", 3) == []
+
+    def test_tau_floor_applies(self, figure10_string):
+        index = GeneralUncertainStringIndex(figure10_string, tau_min=0.1)
+        top = index.top_k("QP", 5, tau=0.4)
+        assert [occ.position for occ in top] == [0]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle_ranking(self, random_uncertain_string, seed):
+        string = random_uncertain_string(25, 0.4, 500 + seed)
+        index = GeneralUncertainStringIndex(string, tau_min=0.1)
+        oracle = BruteForceOracle(string=string)
+        backbone = string.most_likely_string()
+        for pattern in (backbone[:1], backbone[2:5], backbone[4:8]):
+            for k in (1, 3, 10):
+                expected = sorted(
+                    oracle.substring_occurrences(pattern, 0.1),
+                    key=lambda occ: (-occ.probability, occ.position),
+                )[:k]
+                got = index.top_k(pattern, k)
+                assert [occ.probability for occ in got] == pytest.approx(
+                    [occ.probability for occ in expected]
+                )
+
+    def test_probabilities_are_non_increasing(self, random_uncertain_string):
+        string = random_uncertain_string(30, 0.5, 901)
+        index = GeneralUncertainStringIndex(string, tau_min=0.1)
+        probabilities = [
+            occ.probability for occ in index.top_k(string.most_likely_string()[:2], 10)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+
+class TestSpecialIndexTopK:
+    def test_figure5_top_k(self, figure5_special_string):
+        index = SpecialUncertainStringIndex(figure5_special_string)
+        top = index.top_k("ana", 2)
+        assert [occ.position for occ in top] == [3, 1]
+        assert top[0].probability == pytest.approx(0.432)
+
+    def test_matches_scan_ranking(self, random_special_string):
+        string = random_special_string(50, 12)
+        index = SpecialUncertainStringIndex(string)
+        pattern = string.text[5:7]
+        expected = sorted(
+            (
+                (string.occurrence_probability(pattern, position), position)
+                for position in string.matching_positions(pattern, 1e-9)
+            ),
+            reverse=True,
+        )
+        got = index.top_k(pattern, 4)
+        assert [occ.probability for occ in got] == pytest.approx(
+            [probability for probability, _ in expected[:4]]
+        )
+
+    def test_invalid_k(self, figure5_special_string):
+        with pytest.raises(ValidationError):
+            SpecialUncertainStringIndex(figure5_special_string).top_k("a", -1)
+
+    def test_pattern_longer_than_string(self, figure5_special_string):
+        index = SpecialUncertainStringIndex(figure5_special_string)
+        assert index.top_k("bananabanana", 2) == []

@@ -1,0 +1,84 @@
+"""Tests for repro.datasets.protein."""
+
+import pytest
+
+from repro.datasets.protein import (
+    PROTEIN_FREQUENCIES,
+    generate_protein_sequence,
+    protein_frequency_vector,
+    split_into_fragments,
+)
+from repro.exceptions import ValidationError
+from repro.strings.alphabet import PROTEIN_SYMBOLS
+
+
+class TestFrequencyVector:
+    def test_normalized(self):
+        vector = protein_frequency_vector()
+        assert vector.sum() == pytest.approx(1.0)
+        assert len(vector) == len(PROTEIN_SYMBOLS)
+
+    def test_all_symbols_have_entries(self):
+        assert set(PROTEIN_FREQUENCIES) == set(PROTEIN_SYMBOLS)
+
+
+class TestGenerateProteinSequence:
+    def test_length_and_alphabet(self):
+        sequence = generate_protein_sequence(500, seed=1)
+        assert len(sequence) == 500
+        assert set(sequence) <= set(PROTEIN_SYMBOLS)
+
+    def test_reproducible_with_seed(self):
+        assert generate_protein_sequence(200, seed=5) == generate_protein_sequence(
+            200, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        assert generate_protein_sequence(200, seed=1) != generate_protein_sequence(
+            200, seed=2
+        )
+
+    def test_contains_repeats(self):
+        # Repeated motifs should make some 8-mers occur more than once.
+        sequence = generate_protein_sequence(3000, seed=3, repeat_probability=0.3)
+        kmers = [sequence[i : i + 8] for i in range(len(sequence) - 8)]
+        assert len(set(kmers)) < len(kmers)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValidationError):
+            generate_protein_sequence(0)
+
+    def test_invalid_repeat_range(self):
+        with pytest.raises(ValidationError):
+            generate_protein_sequence(10, repeat_length_range=(5, 2))
+
+    def test_frequencies_roughly_followed(self):
+        sequence = generate_protein_sequence(20000, seed=11, repeat_probability=0.0)
+        leucine_share = sequence.count("L") / len(sequence)
+        tryptophan_share = sequence.count("W") / len(sequence)
+        assert leucine_share > tryptophan_share
+
+
+class TestSplitIntoFragments:
+    def test_fragments_cover_sequence(self):
+        sequence = generate_protein_sequence(1000, seed=7)
+        fragments = split_into_fragments(sequence, seed=7)
+        assert "".join(fragments) == sequence
+
+    def test_fragment_length_bounds(self):
+        sequence = generate_protein_sequence(2000, seed=8)
+        fragments = split_into_fragments(sequence, seed=8)
+        # All but possibly the last (which may have absorbed a short tail)
+        # fall within [20, 45]; none may be shorter than 20 except the final
+        # fragment when the sequence ends early.
+        for fragment in fragments[:-1]:
+            assert 20 <= len(fragment) <= 45 + 45
+        assert all(len(fragment) >= 1 for fragment in fragments)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValidationError):
+            split_into_fragments("")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            split_into_fragments("abc", min_length=10, max_length=5)

@@ -1,0 +1,101 @@
+"""Tests for repro.datasets.queries (query workload generation)."""
+
+import pytest
+
+from repro.datasets.queries import (
+    QueryWorkload,
+    extract_collection_patterns,
+    extract_patterns,
+    threshold_grid,
+    workload,
+)
+from repro.datasets.synthetic import generate_collection, generate_uncertain_string
+from repro.exceptions import ValidationError
+
+
+class TestExtractPatterns:
+    def test_lengths_and_counts(self):
+        string = generate_uncertain_string(200, theta=0.3, seed=1)
+        patterns = extract_patterns(string, [5, 10], per_length=4, seed=2)
+        assert len(patterns) == 8
+        assert sorted({len(p) for p in patterns}) == [5, 10]
+
+    def test_patterns_come_from_backbone(self):
+        string = generate_uncertain_string(100, theta=0.2, seed=3)
+        backbone = string.most_likely_string()
+        for pattern in extract_patterns(string, [6], per_length=5, seed=4):
+            assert pattern in backbone
+
+    def test_too_long_lengths_skipped(self):
+        string = generate_uncertain_string(30, theta=0.2, seed=5)
+        patterns = extract_patterns(string, [10, 500], per_length=2, seed=6)
+        assert {len(p) for p in patterns} == {10}
+
+    def test_all_lengths_unusable_raises(self):
+        string = generate_uncertain_string(10, theta=0.2, seed=7)
+        with pytest.raises(ValidationError):
+            extract_patterns(string, [100], per_length=2, seed=8)
+
+    def test_invalid_per_length(self):
+        string = generate_uncertain_string(10, theta=0.2, seed=9)
+        with pytest.raises(ValidationError):
+            extract_patterns(string, [3], per_length=0)
+
+    def test_invalid_length(self):
+        string = generate_uncertain_string(10, theta=0.2, seed=10)
+        with pytest.raises(ValidationError):
+            extract_patterns(string, [0], per_length=1)
+
+    def test_reproducible(self):
+        string = generate_uncertain_string(100, theta=0.3, seed=11)
+        assert extract_patterns(string, [5], per_length=3, seed=12) == extract_patterns(
+            string, [5], per_length=3, seed=12
+        )
+
+
+class TestExtractCollectionPatterns:
+    def test_lengths_respected(self):
+        collection = generate_collection(400, theta=0.3, seed=1)
+        patterns = extract_collection_patterns(collection, [4, 8], per_length=3, seed=2)
+        assert len(patterns) == 6
+        assert sorted({len(p) for p in patterns}) == [4, 8]
+
+    def test_patterns_exist_in_some_document(self):
+        collection = generate_collection(300, theta=0.2, seed=3)
+        backbones = [document.most_likely_string() for document in collection]
+        for pattern in extract_collection_patterns(collection, [5], per_length=5, seed=4):
+            assert any(pattern in backbone for backbone in backbones)
+
+    def test_unusable_lengths_raise(self):
+        collection = generate_collection(200, theta=0.2, seed=5)
+        with pytest.raises(ValidationError):
+            extract_collection_patterns(collection, [5000], per_length=2, seed=6)
+
+    def test_invalid_length(self):
+        collection = generate_collection(200, theta=0.2, seed=7)
+        with pytest.raises(ValidationError):
+            extract_collection_patterns(collection, [-3], per_length=2)
+
+
+class TestWorkloadAndThresholds:
+    def test_workload_bundle(self):
+        bundle = workload(["AB", "CD"], 0.2)
+        assert isinstance(bundle, QueryWorkload)
+        assert len(bundle) == 2
+        assert bundle.tau == pytest.approx(0.2)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            workload([], 0.2)
+
+    def test_threshold_grid(self):
+        grid = threshold_grid(0.1, 0.2, 3)
+        assert grid == pytest.approx([0.1, 0.15, 0.2])
+
+    def test_threshold_grid_validation(self):
+        with pytest.raises(ValidationError):
+            threshold_grid(0.0, 0.5, 3)
+        with pytest.raises(ValidationError):
+            threshold_grid(0.1, 0.05, 3)
+        with pytest.raises(ValidationError):
+            threshold_grid(0.1, 0.2, 0)

@@ -1,0 +1,111 @@
+"""Tests for repro.datasets.synthetic (the Section 8.1 dataset recipe)."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_collection,
+    generate_uncertain_string,
+)
+from repro.exceptions import ValidationError
+from repro.strings.alphabet import PROTEIN_SYMBOLS
+
+
+class TestSyntheticConfig:
+    def test_defaults(self):
+        config = SyntheticConfig()
+        assert config.theta == pytest.approx(0.3)
+        assert config.average_choices == 5
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(theta=1.5)
+
+    def test_invalid_neighborhood(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(neighborhood_size=0)
+
+    def test_invalid_choices(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(average_choices=1)
+
+
+class TestGenerateUncertainString:
+    def test_length_and_theta(self):
+        string = generate_uncertain_string(400, theta=0.25, seed=1)
+        assert len(string) == 400
+        assert string.uncertainty_fraction == pytest.approx(0.25, abs=0.01)
+
+    def test_characters_from_protein_alphabet(self):
+        string = generate_uncertain_string(100, theta=0.5, seed=2)
+        for distribution in string:
+            assert set(distribution.characters) <= set(PROTEIN_SYMBOLS)
+
+    def test_distributions_sum_to_one(self):
+        string = generate_uncertain_string(100, theta=0.5, seed=3)
+        for distribution in string:
+            assert sum(distribution.probabilities) == pytest.approx(1.0)
+
+    def test_uncertain_positions_have_multiple_choices(self):
+        string = generate_uncertain_string(300, theta=0.4, seed=4)
+        uncertain = [d for d in string if not d.is_certain]
+        assert uncertain
+        average_choices = sum(len(d) for d in uncertain) / len(uncertain)
+        # The paper targets ~5 choices per uncertain position.
+        assert 2.0 <= average_choices <= 7.0
+
+    def test_original_character_usually_dominant(self):
+        string = generate_uncertain_string(300, theta=0.5, seed=5)
+        dominant = sum(1 for d in string if d.most_likely()[1] >= 0.4)
+        assert dominant > 200
+
+    def test_reproducible(self):
+        a = generate_uncertain_string(50, theta=0.3, seed=6)
+        b = generate_uncertain_string(50, theta=0.3, seed=6)
+        assert a == b
+
+    def test_theta_zero_is_deterministic(self):
+        string = generate_uncertain_string(50, theta=0.0, seed=7)
+        assert string.is_deterministic
+
+    def test_base_sequence_respected(self):
+        base = "ACDEFGHIKL" * 5
+        string = generate_uncertain_string(50, theta=0.2, seed=8, base_sequence=base)
+        # Certain positions keep the backbone character.
+        for position, distribution in enumerate(string):
+            if distribution.is_certain:
+                assert distribution.characters[0] == base[position]
+
+    def test_base_sequence_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_uncertain_string(50, seed=9, base_sequence="ACD")
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_uncertain_string(0)
+
+
+class TestGenerateCollection:
+    def test_total_positions_and_lengths(self):
+        collection = generate_collection(600, theta=0.3, seed=1)
+        assert collection.total_positions >= 550
+        for document in collection:
+            assert len(document) >= 20 or document is collection[len(collection) - 1]
+            assert len(document) <= 90
+
+    def test_theta_applied_to_documents(self):
+        collection = generate_collection(800, theta=0.4, seed=2)
+        overall = sum(d.uncertain_position_count for d in collection) / max(
+            collection.total_positions, 1
+        )
+        assert overall == pytest.approx(0.4, abs=0.05)
+
+    def test_reproducible(self):
+        a = generate_collection(300, theta=0.2, seed=3)
+        b = generate_collection(300, theta=0.2, seed=3)
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_collection(0)

@@ -1,0 +1,131 @@
+"""End-to-end integration tests across datasets, indexes and serialization.
+
+These mirror how a downstream user would combine the pieces: generate (or
+load) an uncertain dataset, build the relevant index, query it, and verify
+the answers against the definition — exercising every layer of the package
+in one pass.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    ApproximateSubstringIndex,
+    BruteForceOracle,
+    GeneralUncertainStringIndex,
+    OnlineDynamicProgrammingMatcher,
+    UncertainStringListingIndex,
+)
+from repro.datasets import (
+    extract_collection_patterns,
+    extract_patterns,
+    generate_collection,
+    generate_uncertain_string,
+)
+from repro.strings.io import dump_collection, load_collection
+
+
+@pytest.fixture(scope="module")
+def protein_string():
+    return generate_uncertain_string(600, theta=0.3, seed=101)
+
+
+@pytest.fixture(scope="module")
+def protein_collection():
+    return generate_collection(600, theta=0.3, seed=102)
+
+
+class TestSubstringPipeline:
+    def test_all_indexes_agree_on_synthetic_data(self, protein_string):
+        tau_min = 0.1
+        general = GeneralUncertainStringIndex(protein_string, tau_min=tau_min)
+        approximate = ApproximateSubstringIndex(
+            protein_string, tau_min=tau_min, epsilon=0.05
+        )
+        matcher = OnlineDynamicProgrammingMatcher(protein_string)
+        oracle = BruteForceOracle(string=protein_string)
+
+        patterns = extract_patterns(protein_string, [3, 6, 12], per_length=3, seed=7)
+        for pattern in patterns:
+            for tau in (0.15, 0.3, 0.6):
+                expected = [
+                    occ.position for occ in oracle.substring_occurrences(pattern, tau)
+                ]
+                assert [
+                    occ.position for occ in general.query(pattern, tau)
+                ] == expected
+                assert [
+                    occ.position for occ in matcher.query(pattern, tau)
+                ] == expected
+                # Approximate answers contain the exact ones and verify
+                # exactly when asked to.
+                approximate_positions = {
+                    occ.position for occ in approximate.query(pattern, tau)
+                }
+                assert set(expected) <= approximate_positions
+                assert {
+                    occ.position
+                    for occ in approximate.query(pattern, tau, verify=True)
+                } == set(expected)
+
+    def test_reported_probabilities_are_exact(self, protein_string):
+        index = GeneralUncertainStringIndex(protein_string, tau_min=0.1)
+        pattern = extract_patterns(protein_string, [8], per_length=1, seed=3)[0]
+        for occurrence in index.query(pattern, 0.12):
+            assert math.isclose(
+                occurrence.probability,
+                protein_string.occurrence_probability(pattern, occurrence.position),
+                rel_tol=1e-9,
+            )
+
+    def test_index_statistics_are_coherent(self, protein_string):
+        index = GeneralUncertainStringIndex(protein_string, tau_min=0.1)
+        stats = index.stats
+        assert stats["source_length"] == len(protein_string)
+        assert stats["transformed_length"] >= stats["source_length"]
+        assert index.nbytes() > 0
+
+
+class TestListingPipeline:
+    def test_listing_matches_per_document_scan(self, protein_collection):
+        tau_min = 0.1
+        index = UncertainStringListingIndex(protein_collection, tau_min=tau_min)
+        patterns = extract_collection_patterns(
+            protein_collection, [4, 8], per_length=3, seed=11
+        )
+        for pattern in patterns:
+            for tau in (0.15, 0.4):
+                assert index.documents(pattern, tau) == (
+                    protein_collection.matching_documents(pattern, tau)
+                )
+
+    def test_round_trip_through_serialization(self, tmp_path, protein_collection):
+        path = tmp_path / "collection.jsonl"
+        dump_collection(protein_collection, path)
+        reloaded = load_collection(path)
+        index_original = UncertainStringListingIndex(protein_collection, tau_min=0.1)
+        index_reloaded = UncertainStringListingIndex(reloaded, tau_min=0.1)
+        pattern = extract_collection_patterns(
+            protein_collection, [5], per_length=1, seed=13
+        )[0]
+        assert index_original.documents(pattern, 0.2) == index_reloaded.documents(
+            pattern, 0.2
+        )
+
+
+class TestThresholdSemantics:
+    def test_tau_min_boundary_enforced_end_to_end(self, protein_string):
+        index = GeneralUncertainStringIndex(protein_string, tau_min=0.2)
+        pattern = extract_patterns(protein_string, [5], per_length=1, seed=17)[0]
+        with pytest.raises(Exception):
+            index.query(pattern, 0.1)
+        # Queries at or above tau_min work.
+        index.query(pattern, 0.2)
+        index.query(pattern, 0.9)
+
+    def test_results_shrink_as_threshold_grows(self, protein_string):
+        index = GeneralUncertainStringIndex(protein_string, tau_min=0.1)
+        pattern = extract_patterns(protein_string, [4], per_length=1, seed=19)[0]
+        sizes = [len(index.query(pattern, tau)) for tau in (0.1, 0.2, 0.4, 0.8)]
+        assert sizes == sorted(sizes, reverse=True)

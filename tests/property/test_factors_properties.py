@@ -1,0 +1,105 @@
+"""Property-based tests for the maximal-factor transformation (Lemma 2)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.factors import enumerate_maximal_factors, transform_uncertain_string
+from repro.strings import UncertainString
+
+
+@st.composite
+def uncertain_strings(draw):
+    length = draw(st.integers(min_value=1, max_value=18))
+    rows = []
+    for _ in range(length):
+        support = draw(st.sets(st.sampled_from("AB"), min_size=1, max_size=2))
+        weights = {c: draw(st.floats(min_value=0.1, max_value=1.0)) for c in support}
+        total = sum(weights.values())
+        rows.append({c: w / total for c, w in weights.items()})
+    return UncertainString.from_table(rows)
+
+
+thresholds = st.sampled_from([0.1, 0.2, 0.35, 0.5])
+
+
+@settings(max_examples=40, deadline=None)
+@given(uncertain_strings(), thresholds)
+def test_factors_meet_threshold_and_are_maximal(string, tau_min):
+    for factor in enumerate_maximal_factors(string, tau_min):
+        probability = string.occurrence_probability(factor.characters, factor.start)
+        assert probability >= tau_min - 1e-9
+        end = factor.start + factor.length
+        if end < len(string):
+            for character, _ in string[end]:
+                assert probability * string[end].probability(character) < tau_min + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(uncertain_strings(), thresholds)
+def test_factor_probabilities_match_string(string, tau_min):
+    for factor in enumerate_maximal_factors(string, tau_min):
+        assert math.isclose(
+            factor.probability,
+            string.occurrence_probability(factor.characters, factor.start),
+            rel_tol=1e-9,
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(uncertain_strings(), thresholds, st.data())
+def test_conservation_property(string, tau_min, data):
+    """Every substring with probability >= tau_min appears in the transformation."""
+    try:
+        transformed = transform_uncertain_string(string, tau_min)
+    except Exception:
+        # No position reaches tau_min: then no substring can either.
+        backbone = string.most_likely_string()
+        assert all(
+            string.occurrence_probability(backbone[i : i + 1], i) < tau_min
+            for i in range(len(string))
+        )
+        return
+    backbone = string.most_likely_string()
+    length = data.draw(st.integers(min_value=1, max_value=min(5, len(string))))
+    start = data.draw(st.integers(min_value=0, max_value=len(string) - length))
+    pattern = backbone[start : start + length]
+    if string.occurrence_probability(pattern, start) >= tau_min + 1e-9:
+        assert pattern in transformed.text
+        # And the Pos array lets us recover the original start position.
+        index = transformed.text.index(pattern)
+        assert transformed.positions[index] >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(uncertain_strings(), thresholds)
+def test_transformed_windows_reproduce_original_probabilities(string, tau_min):
+    try:
+        transformed = transform_uncertain_string(string, tau_min)
+    except Exception:
+        return
+    # For every factor, the stored per-character probabilities reproduce the
+    # original occurrence probability of each of its prefixes.
+    for factor in transformed.factors[:20]:
+        running = 1.0
+        for offset in range(factor.length):
+            running *= factor.probabilities[offset]
+            prefix = factor.characters[: offset + 1]
+            assert math.isclose(
+                running,
+                string.occurrence_probability(prefix, factor.start),
+                rel_tol=1e-9,
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(uncertain_strings())
+def test_expansion_shrinks_as_tau_min_grows(string):
+    sizes = []
+    for tau_min in (0.1, 0.3, 0.6):
+        try:
+            sizes.append(transform_uncertain_string(string, tau_min).length)
+        except Exception:
+            sizes.append(0)
+    non_zero = [size for size in sizes if size > 0]
+    assert non_zero == sorted(non_zero, reverse=True)

@@ -1,0 +1,86 @@
+"""Property-based tests for the string-listing index (Section 6)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baseline import BruteForceOracle
+from repro.core.listing import UncertainStringListingIndex, combine_relevance
+from repro.strings import UncertainString, UncertainStringCollection
+
+
+@st.composite
+def collections(draw):
+    document_count = draw(st.integers(min_value=1, max_value=5))
+    documents = []
+    for _ in range(document_count):
+        length = draw(st.integers(min_value=2, max_value=12))
+        rows = []
+        for _ in range(length):
+            support = draw(st.sets(st.sampled_from("AB"), min_size=1, max_size=2))
+            weights = {c: draw(st.floats(min_value=0.1, max_value=1.0)) for c in support}
+            total = sum(weights.values())
+            rows.append({c: w / total for c, w in weights.items()})
+        documents.append(UncertainString.from_table(rows))
+    return UncertainStringCollection(documents)
+
+
+@settings(max_examples=30, deadline=None)
+@given(collections(), st.data())
+def test_max_metric_matches_oracle(collection, data):
+    tau_min = 0.1
+    index = UncertainStringListingIndex(collection, tau_min=tau_min, metric="max")
+    oracle = BruteForceOracle(collection=collection)
+    document = collection[data.draw(st.integers(min_value=0, max_value=len(collection) - 1))]
+    backbone = document.most_likely_string()
+    length = data.draw(st.integers(min_value=1, max_value=min(4, len(backbone))))
+    start = data.draw(st.integers(min_value=0, max_value=len(backbone) - length))
+    pattern = backbone[start : start + length]
+    tau = data.draw(st.floats(min_value=tau_min, max_value=0.9))
+    expected = oracle.listing_matches(pattern, tau, metric="max")
+    got = index.query(pattern, tau)
+    expected_documents = {match.document: match.relevance for match in expected}
+    got_documents = {match.document: match.relevance for match in got}
+    # Document sets must agree except where the relevance sits exactly on τ
+    # (the index compares exp(log-sums), the oracle multiplies directly).
+    for document in set(expected_documents) ^ set(got_documents):
+        relevance = collection.document_relevance(pattern, document, "max")
+        assert abs(relevance - tau) <= 1e-9
+    for document in set(expected_documents) & set(got_documents):
+        assert math.isclose(
+            got_documents[document], expected_documents[document], rel_tol=1e-9
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(collections(), st.data())
+def test_listing_is_consistent_with_substring_semantics(collection, data):
+    """A document is listed iff it has an occurrence above the threshold."""
+    tau_min = 0.1
+    index = UncertainStringListingIndex(collection, tau_min=tau_min, metric="max")
+    document = collection[data.draw(st.integers(min_value=0, max_value=len(collection) - 1))]
+    backbone = document.most_likely_string()
+    pattern = backbone[: data.draw(st.integers(min_value=1, max_value=min(3, len(backbone))))]
+    tau = data.draw(st.floats(min_value=tau_min, max_value=0.9))
+    listed = set(index.documents(pattern, tau))
+    for identifier, member in enumerate(collection):
+        has_occurrence = bool(member.matching_positions(pattern, tau))
+        if (identifier in listed) != has_occurrence:
+            # Tolerate exact-boundary occurrences (relevance == tau up to
+            # floating-point rounding between log-space and linear products).
+            relevance = collection.document_relevance(pattern, identifier, "max")
+            assert abs(relevance - tau) <= 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=8)
+)
+def test_relevance_metric_ordering(probabilities):
+    """noisy_or <= 1, and both OR-style metrics dominate the max metric."""
+    maximum = combine_relevance(probabilities, "max")
+    or_value = combine_relevance(probabilities, "or")
+    noisy = combine_relevance(probabilities, "noisy_or")
+    assert noisy <= 1.0 + 1e-12
+    assert or_value >= maximum - 1e-12
+    assert noisy >= maximum / len(probabilities) - 1e-12

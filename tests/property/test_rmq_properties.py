@@ -1,0 +1,52 @@
+"""Property-based tests for the RMQ structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.suffix.rmq import BlockRMQ, SparseTableRMQ
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=150)
+
+
+@settings(max_examples=80, deadline=None)
+@given(value_lists, st.data())
+def test_sparse_table_matches_numpy(values, data):
+    array = np.asarray(values)
+    rmq = SparseTableRMQ(array)
+    left = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    right = data.draw(st.integers(min_value=left, max_value=len(values) - 1))
+    index = rmq.query(left, right)
+    assert left <= index <= right
+    assert array[index] == array[left : right + 1].max()
+
+
+@settings(max_examples=80, deadline=None)
+@given(value_lists, st.integers(min_value=1, max_value=16), st.data())
+def test_block_rmq_matches_sparse_table(values, block_size, data):
+    array = np.asarray(values)
+    sparse = SparseTableRMQ(array)
+    block = BlockRMQ(array, block_size=block_size)
+    left = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    right = data.draw(st.integers(min_value=left, max_value=len(values) - 1))
+    assert array[block.query(left, right)] == array[sparse.query(left, right)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_lists, st.data())
+def test_min_mode_returns_range_minimum(values, data):
+    array = np.asarray(values)
+    minimum = SparseTableRMQ(array, mode="min")
+    left = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    right = data.draw(st.integers(min_value=left, max_value=len(values) - 1))
+    assert array[minimum.query(left, right)] == array[left : right + 1].min()
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_lists)
+def test_full_range_query_is_global_optimum(values):
+    array = np.asarray(values)
+    rmq = SparseTableRMQ(array)
+    assert array[rmq.query(0, len(values) - 1)] == array.max()

@@ -1,0 +1,118 @@
+"""Property-based tests for the suffix-array / LCP / suffix-tree substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.suffix.lcp import build_lcp_array, naive_lcp_array
+from repro.suffix.pattern_search import suffix_range
+from repro.suffix.suffix_array import SuffixArray, build_suffix_array, naive_suffix_array
+from repro.suffix.suffix_tree import SuffixTree
+
+#: Texts over a tiny alphabet maximize repeated substrings, which is where
+#: suffix structures earn their keep (and where bugs hide).
+texts = st.text(alphabet="ab$", min_size=1, max_size=120)
+busy_texts = st.text(alphabet="ab", min_size=2, max_size=80)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts)
+def test_suffix_array_matches_naive(text):
+    assert build_suffix_array(text).tolist() == naive_suffix_array(text)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts)
+def test_suffix_array_is_sorted_permutation(text):
+    suffix_array = build_suffix_array(text).tolist()
+    assert sorted(suffix_array) == list(range(len(text)))
+    suffixes = [text[start:] for start in suffix_array]
+    assert suffixes == sorted(suffixes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts)
+def test_lcp_matches_naive(text):
+    suffix_array = build_suffix_array(text)
+    assert build_lcp_array(text, suffix_array).tolist() == naive_lcp_array(
+        text, suffix_array.tolist()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts)
+def test_lcp_values_are_actual_common_prefix_lengths(text):
+    suffix_array = build_suffix_array(text)
+    lcp = build_lcp_array(text, suffix_array)
+    for rank in range(1, len(text)):
+        a = text[int(suffix_array[rank - 1]) :]
+        b = text[int(suffix_array[rank]) :]
+        length = int(lcp[rank])
+        assert a[:length] == b[:length]
+        assert length == min(len(a), len(b)) or a[length] != b[length]
+
+
+@settings(max_examples=50, deadline=None)
+@given(busy_texts, st.data())
+def test_suffix_range_reports_exactly_the_occurrences(text, data):
+    length = data.draw(st.integers(min_value=1, max_value=min(4, len(text))))
+    start = data.draw(st.integers(min_value=0, max_value=len(text) - length))
+    pattern = text[start : start + length]
+    suffix_array = build_suffix_array(text)
+    interval = suffix_range(text, suffix_array, pattern)
+    assert interval is not None
+    sp, ep = interval
+    positions = sorted(int(suffix_array[rank]) for rank in range(sp, ep + 1))
+    assert positions == [
+        index
+        for index in range(len(text) - length + 1)
+        if text[index : index + length] == pattern
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(busy_texts)
+def test_suffix_tree_structure_invariants(text):
+    tree = SuffixTree(SuffixArray(text))
+    for node in range(tree.node_count):
+        left, right = tree.node_range(node)
+        assert 0 <= left <= right < tree.leaf_count
+        parent = tree.node_parent(node)
+        if parent != -1:
+            parent_left, parent_right = tree.node_range(parent)
+            assert parent_left <= left and right <= parent_right
+            assert tree.node_depth(parent) < tree.node_depth(node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(busy_texts, st.integers(min_value=1, max_value=6))
+def test_depth_partitions_tile_the_leaves(text, depth):
+    tree = SuffixTree(SuffixArray(text))
+    partitions = tree.depth_partitions(depth)
+    covered = []
+    for left, right in partitions:
+        assert left <= right
+        covered.extend(range(left, right + 1))
+    assert covered == list(range(tree.leaf_count))
+    # Members of one partition share their length-`depth` prefix.
+    sa = tree.suffix_array.array
+    for left, right in partitions:
+        prefixes = {
+            text[int(sa[rank]) : int(sa[rank]) + depth]
+            for rank in range(left, right + 1)
+            if int(sa[rank]) + depth <= len(text)
+        }
+        assert len(prefixes) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(busy_texts, st.data())
+def test_locus_is_highest_node_spelling_pattern(text, data):
+    length = data.draw(st.integers(min_value=1, max_value=min(5, len(text))))
+    start = data.draw(st.integers(min_value=0, max_value=len(text) - length))
+    pattern = text[start : start + length]
+    tree = SuffixTree(SuffixArray(text))
+    locus = tree.locus(pattern)
+    assert locus is not None
+    assert tree.node_range(locus) == tree.pattern_range(pattern)
+    assert tree.node_depth(locus) >= length
+    parent = tree.node_parent(locus)
+    assert parent == -1 or tree.node_depth(parent) < length

@@ -1,0 +1,82 @@
+"""Tests for repro.strings.alphabet."""
+
+import pytest
+
+from repro.exceptions import AlphabetError
+from repro.strings.alphabet import (
+    Alphabet,
+    DNA_SYMBOLS,
+    ECG_SYMBOLS,
+    PROTEIN_SYMBOLS,
+    dna_alphabet,
+    ecg_alphabet,
+    protein_alphabet,
+)
+
+
+class TestAlphabetConstruction:
+    def test_preserves_order_and_size(self):
+        sigma = Alphabet("ACGT")
+        assert sigma.symbols == ("A", "C", "G", "T")
+        assert sigma.size == 4
+        assert len(sigma) == 4
+
+    def test_rejects_duplicate_symbols(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AAC")
+
+    def test_rejects_multicharacter_symbols(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["AB", "C"])
+
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_default_is_protein(self):
+        assert Alphabet().symbols == PROTEIN_SYMBOLS
+
+
+class TestAlphabetLookups:
+    def test_contains(self):
+        sigma = Alphabet("ACGT")
+        assert "G" in sigma
+        assert "Z" not in sigma
+
+    def test_index(self):
+        sigma = Alphabet("ACGT")
+        assert sigma.index("A") == 0
+        assert sigma.index("T") == 3
+
+    def test_index_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ACGT").index("X")
+
+    def test_iteration_matches_symbols(self):
+        sigma = Alphabet("NLR")
+        assert list(sigma) == ["N", "L", "R"]
+
+    def test_validate_string_accepts_members(self):
+        sigma = Alphabet("ACGT")
+        assert sigma.validate_string("GATTACA") == "GATTACA"
+
+    def test_validate_string_rejects_foreign_character(self):
+        with pytest.raises(AlphabetError) as excinfo:
+            Alphabet("ACGT").validate_string("GATTAXA")
+        assert "position 5" in str(excinfo.value)
+
+
+class TestPredefinedAlphabets:
+    def test_protein_alphabet_has_22_symbols(self):
+        assert protein_alphabet().size == 22
+        assert len(set(PROTEIN_SYMBOLS)) == 22
+
+    def test_dna_alphabet(self):
+        assert dna_alphabet().symbols == DNA_SYMBOLS == ("A", "C", "G", "T")
+
+    def test_ecg_alphabet_contains_paper_symbols(self):
+        sigma = ecg_alphabet()
+        # N (normal), L (left bundle branch block) and R from the paper's example.
+        for symbol in "NLR":
+            assert symbol in sigma
+        assert sigma.symbols == ECG_SYMBOLS

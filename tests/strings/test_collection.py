@@ -1,0 +1,101 @@
+"""Tests for repro.strings.collection."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.strings import UncertainString, UncertainStringCollection
+
+
+class TestConstruction:
+    def test_basic_properties(self, figure2_collection):
+        assert len(figure2_collection) == 3
+        assert figure2_collection.total_positions == 9
+        assert figure2_collection.names == ("d1", "d2", "d3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertainStringCollection([])
+
+    def test_non_uncertain_string_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertainStringCollection(["not a string"])  # type: ignore[list-item]
+
+    def test_explicit_names(self):
+        documents = [UncertainString.from_deterministic("ab") for _ in range(2)]
+        collection = UncertainStringCollection(documents, names=["x", "y"])
+        assert collection.name_of(1) == "y"
+        assert collection.identifier_of("x") == 0
+
+    def test_name_count_mismatch(self):
+        documents = [UncertainString.from_deterministic("ab")]
+        with pytest.raises(ValidationError):
+            UncertainStringCollection(documents, names=["a", "b"])
+
+    def test_unknown_name_lookup(self, figure2_collection):
+        with pytest.raises(ValidationError):
+            figure2_collection.identifier_of("nope")
+
+    def test_default_names_fall_back_to_index(self):
+        documents = [UncertainString.from_deterministic("ab") for _ in range(2)]
+        collection = UncertainStringCollection(documents)
+        assert collection.names == ("d0", "d1")
+
+    def test_from_tables(self):
+        collection = UncertainStringCollection.from_tables(
+            [[{"a": 1.0}], [{"b": 0.5, "c": 0.5}]]
+        )
+        assert len(collection) == 2
+        assert collection[1].uncertain_position_count == 1
+
+    def test_iteration_and_indexing(self, figure2_collection):
+        assert list(figure2_collection)[0] is figure2_collection[0]
+
+
+class TestQueries:
+    def test_figure2_listing_example(self, figure2_collection):
+        # Paper Figure 2: the query ("BF", 0.1) reports only d1.
+        assert figure2_collection.matching_documents("BF", 0.1) == [0]
+
+    def test_matching_documents_low_threshold(self, figure2_collection):
+        assert figure2_collection.matching_documents("BF", 0.01) == [0, 1]
+
+    def test_matching_documents_no_match(self, figure2_collection):
+        assert figure2_collection.matching_documents("ZZ", 0.1) == []
+
+    def test_document_relevance_max(self, figure2_collection):
+        relevance = figure2_collection.document_relevance("BF", 0, "max")
+        assert relevance == pytest.approx(0.3 * 0.5)
+
+    def test_document_relevance_unknown_metric(self, figure2_collection):
+        with pytest.raises(ValidationError):
+            figure2_collection.document_relevance("BF", 0, "banana")
+
+    def test_document_relevance_absent_pattern(self, figure2_collection):
+        assert figure2_collection.document_relevance("ZZ", 0, "max") == 0.0
+
+    def test_figure6_relevance_metrics(self):
+        # The uncertain string of Figure 6 with pattern "BFA".
+        figure6 = UncertainString(
+            [
+                {"A": 0.4, "B": 0.3, "F": 0.3},
+                {"B": 0.3, "L": 0.3, "F": 0.3, "J": 0.1},
+                {"A": 0.5, "F": 0.5},
+                {"A": 0.6, "B": 0.4},
+                {"B": 0.5, "F": 0.3, "J": 0.2},
+                {"A": 0.4, "C": 0.3, "E": 0.2, "F": 0.1},
+            ]
+        )
+        collection = UncertainStringCollection([figure6])
+        # "BFA" occurs at positions 0, 1 and 3 with probabilities
+        # 0.3*0.3*0.5, 0.3*0.5*0.6 and 0.4*0.3*0.4.
+        probabilities = [0.3 * 0.3 * 0.5, 0.3 * 0.5 * 0.6, 0.4 * 0.3 * 0.4]
+        assert collection.document_relevance("BFA", 0, "max") == pytest.approx(0.09)
+        expected_or = sum(probabilities) - (
+            probabilities[0] * probabilities[1] * probabilities[2]
+        )
+        assert collection.document_relevance("BFA", 0, "or") == pytest.approx(expected_or)
+
+    def test_or_relevance_single_occurrence_equals_probability(self):
+        document = UncertainString.from_deterministic("ABC")
+        collection = UncertainStringCollection([document])
+        assert collection.document_relevance("ABC", 0, "or") == pytest.approx(1.0)

@@ -1,0 +1,138 @@
+"""Tests for repro.strings.correlation."""
+
+import pytest
+
+from repro.exceptions import CorrelationError
+from repro.strings.correlation import CorrelationModel, CorrelationRule
+
+
+@pytest.fixture
+def figure4_rule() -> CorrelationRule:
+    """The Figure 4 rule: z at position 2 depends on e at position 0."""
+    return CorrelationRule(2, "z", 0, "e", 0.3, 0.4)
+
+
+class TestCorrelationRule:
+    def test_valid_rule(self, figure4_rule):
+        assert figure4_rule.position == 2
+        assert figure4_rule.partner_position == 0
+
+    def test_conditional_probability(self, figure4_rule):
+        assert figure4_rule.conditional_probability(True) == pytest.approx(0.3)
+        assert figure4_rule.conditional_probability(False) == pytest.approx(0.4)
+
+    def test_mixture_probability_matches_paper_case2(self, figure4_rule):
+        # Paper Section 3.3 case 2: pr(z3) = 0.6 * 0.3 + 0.4 * 0.4 = 0.34.
+        assert figure4_rule.mixture_probability(0.6) == pytest.approx(0.34)
+
+    def test_mixture_rejects_invalid_partner_probability(self, figure4_rule):
+        with pytest.raises(Exception):
+            figure4_rule.mixture_probability(1.5)
+
+    def test_rejects_self_correlation(self):
+        with pytest.raises(CorrelationError):
+            CorrelationRule(1, "a", 1, "b", 0.5, 0.5)
+
+    def test_rejects_negative_positions(self):
+        with pytest.raises(CorrelationError):
+            CorrelationRule(-1, "a", 0, "b", 0.5, 0.5)
+
+    def test_rejects_multicharacter(self):
+        with pytest.raises(CorrelationError):
+            CorrelationRule(0, "ab", 1, "c", 0.5, 0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(Exception):
+            CorrelationRule(0, "a", 1, "b", 1.5, 0.5)
+
+
+class TestCorrelationModel:
+    def test_empty_model_is_falsy(self):
+        assert not CorrelationModel()
+        assert len(CorrelationModel()) == 0
+
+    def test_add_and_lookup(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        assert model.rule_for(2, "z") is figure4_rule
+        assert model.rule_for(2, "q") is None
+        assert model.rule_for(1, "z") is None
+
+    def test_duplicate_key_rejected(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        with pytest.raises(CorrelationError):
+            model.add(CorrelationRule(2, "z", 1, "q", 0.1, 0.2))
+
+    def test_add_requires_rule_instance(self):
+        with pytest.raises(CorrelationError):
+            CorrelationModel().add("not a rule")  # type: ignore[arg-type]
+
+    def test_rules_in_window(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        assert model.rules_in_window(0, 4) == [figure4_rule]
+        assert model.rules_in_window(0, 1) == []
+
+    def test_max_position(self, figure4_rule):
+        assert CorrelationModel().max_position() == -1
+        assert CorrelationModel([figure4_rule]).max_position() == 2
+
+    def test_validate_against_length(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        model.validate_against_length(3)
+        with pytest.raises(CorrelationError):
+            model.validate_against_length(2)
+
+    def test_equality(self, figure4_rule):
+        assert CorrelationModel([figure4_rule]) == CorrelationModel([figure4_rule])
+        assert CorrelationModel([figure4_rule]) != CorrelationModel()
+
+    def test_effective_probability_partner_inside_window(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        value = model.effective_probability(
+            2,
+            "z",
+            0.9,
+            window_start=0,
+            window_end=2,
+            chosen_character_at=lambda position: "e",
+            partner_marginal_probability=lambda position, character: 0.6,
+        )
+        assert value == pytest.approx(0.3)
+
+    def test_effective_probability_partner_absent_inside_window(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        value = model.effective_probability(
+            2,
+            "z",
+            0.9,
+            window_start=0,
+            window_end=2,
+            chosen_character_at=lambda position: "f",
+            partner_marginal_probability=lambda position, character: 0.6,
+        )
+        assert value == pytest.approx(0.4)
+
+    def test_effective_probability_partner_outside_window(self, figure4_rule):
+        model = CorrelationModel([figure4_rule])
+        value = model.effective_probability(
+            2,
+            "z",
+            0.9,
+            window_start=1,
+            window_end=2,
+            chosen_character_at=lambda position: "?",
+            partner_marginal_probability=lambda position, character: 0.6,
+        )
+        assert value == pytest.approx(0.34)
+
+    def test_effective_probability_without_rule_returns_base(self):
+        model = CorrelationModel()
+        value = model.effective_probability(
+            0,
+            "a",
+            0.77,
+            window_start=0,
+            window_end=0,
+            chosen_character_at=lambda position: "a",
+            partner_marginal_probability=lambda position, character: 0.5,
+        )
+        assert value == pytest.approx(0.77)

@@ -1,0 +1,136 @@
+"""Tests for repro.strings.distribution."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.strings.distribution import PositionDistribution
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = PositionDistribution({"a": 0.3, "b": 0.7})
+        assert d.probability("a") == pytest.approx(0.3)
+        assert d.probability("b") == pytest.approx(0.7)
+
+    def test_from_pairs(self):
+        d = PositionDistribution([("x", 0.5), ("y", 0.5)])
+        assert set(d.characters) == {"x", "y"}
+
+    def test_from_single_character(self):
+        d = PositionDistribution("q")
+        assert d.is_certain
+        assert d.probability("q") == 1.0
+
+    def test_from_another_distribution_copies(self):
+        original = PositionDistribution({"a": 1.0})
+        copy = PositionDistribution(original)
+        assert copy == original
+
+    def test_certain_factory(self):
+        assert PositionDistribution.certain("z").probability("z") == 1.0
+
+    def test_uniform_factory(self):
+        d = PositionDistribution.uniform(["a", "b", "c", "d"])
+        assert d.probability("a") == pytest.approx(0.25)
+
+    def test_uniform_empty_raises(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution.uniform([])
+
+    def test_rejects_probabilities_not_summing_to_one(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution({"a": 0.4, "b": 0.4})
+
+    def test_normalize_rescales(self):
+        d = PositionDistribution({"a": 2.0, "b": 6.0}, normalize=True)
+        assert d.probability("a") == pytest.approx(0.25)
+        assert d.probability("b") == pytest.approx(0.75)
+
+    def test_rejects_duplicate_characters(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution([("a", 0.5), ("a", 0.5)])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution({"a": -0.1, "b": 1.1})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution({})
+
+    def test_rejects_multicharacter_keys(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution({"ab": 1.0})
+
+    def test_drops_zero_probability_characters(self):
+        d = PositionDistribution({"a": 1.0, "b": 0.0})
+        assert "b" not in d
+        assert len(d) == 1
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution(42)  # type: ignore[arg-type]
+
+
+class TestQueries:
+    def test_probability_of_absent_character_is_zero(self):
+        d = PositionDistribution({"a": 1.0})
+        assert d.probability("b") == 0.0
+
+    def test_log_probability(self):
+        d = PositionDistribution({"a": 0.5, "b": 0.5})
+        assert d.log_probability("a") == pytest.approx(math.log(0.5))
+        assert d.log_probability("z") == float("-inf")
+
+    def test_most_likely(self):
+        d = PositionDistribution({"a": 0.3, "b": 0.6, "d": 0.1})
+        assert d.most_likely() == ("b", 0.6)
+
+    def test_support_threshold(self):
+        d = PositionDistribution({"a": 0.3, "b": 0.6, "d": 0.1})
+        assert set(d.support(0.2)) == {"a", "b"}
+
+    def test_entropy_of_certain_distribution_is_zero(self):
+        assert PositionDistribution.certain("a").entropy == pytest.approx(0.0)
+
+    def test_entropy_of_uniform_is_log_k(self):
+        d = PositionDistribution.uniform(["a", "b", "c", "d"])
+        assert d.entropy == pytest.approx(math.log(4))
+
+    def test_as_dict_round_trip(self):
+        table = {"a": 0.25, "b": 0.75}
+        assert PositionDistribution(table).as_dict() == pytest.approx(table)
+
+    def test_restricted_renormalizes(self):
+        d = PositionDistribution({"a": 0.25, "b": 0.25, "c": 0.5})
+        restricted = d.restricted(["a", "b"])
+        assert restricted.probability("a") == pytest.approx(0.5)
+        assert "c" not in restricted
+
+    def test_restricted_to_nothing_raises(self):
+        with pytest.raises(ValidationError):
+            PositionDistribution({"a": 1.0}).restricted(["z"])
+
+
+class TestDunderMethods:
+    def test_equality_ignores_order(self):
+        assert PositionDistribution({"a": 0.4, "b": 0.6}) == PositionDistribution(
+            {"b": 0.6, "a": 0.4}
+        )
+
+    def test_inequality_with_different_support(self):
+        assert PositionDistribution({"a": 1.0}) != PositionDistribution({"b": 1.0})
+
+    def test_hash_consistent_with_equality(self):
+        a = PositionDistribution({"a": 0.4, "b": 0.6})
+        b = PositionDistribution({"b": 0.6, "a": 0.4})
+        assert hash(a) == hash(b)
+
+    def test_iteration_yields_pairs(self):
+        d = PositionDistribution({"a": 0.4, "b": 0.6})
+        assert dict(iter(d)) == pytest.approx({"a": 0.4, "b": 0.6})
+
+    def test_repr_mentions_characters(self):
+        assert "'a'" in repr(PositionDistribution({"a": 1.0}))

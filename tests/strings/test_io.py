@@ -1,0 +1,145 @@
+"""Tests for repro.strings.io (serialization and FASTQ import)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.strings import UncertainString, UncertainStringCollection
+from repro.strings.io import (
+    dump_collection,
+    dump_uncertain_string,
+    load_collection,
+    load_fastq,
+    load_uncertain_string,
+    parse_fastq,
+    phred_to_error_probability,
+    uncertain_string_from_read,
+    uncertain_string_from_rows,
+    uncertain_string_to_rows,
+)
+
+
+class TestJsonRoundTrip:
+    def test_rows_round_trip(self, figure1_string):
+        rebuilt = uncertain_string_from_rows(uncertain_string_to_rows(figure1_string))
+        assert rebuilt == figure1_string
+
+    def test_single_string_file_round_trip(self, tmp_path, figure1_string):
+        path = tmp_path / "string.json"
+        dump_uncertain_string(figure1_string, path)
+        assert load_uncertain_string(path) == figure1_string
+
+    def test_single_string_missing_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"nope": []}), encoding="utf-8")
+        with pytest.raises(ValidationError):
+            load_uncertain_string(path)
+
+    def test_collection_round_trip(self, tmp_path, figure2_collection):
+        path = tmp_path / "collection.jsonl"
+        dump_collection(figure2_collection, path)
+        loaded = load_collection(path)
+        assert len(loaded) == len(figure2_collection)
+        assert loaded.names == figure2_collection.names
+        for original, restored in zip(figure2_collection, loaded):
+            assert original == restored
+
+    def test_collection_bad_json_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValidationError):
+            load_collection(path)
+
+    def test_collection_missing_positions(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(json.dumps({"name": "d0"}) + "\n", encoding="utf-8")
+        with pytest.raises(ValidationError):
+            load_collection(path)
+
+    def test_empty_collection_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n", encoding="utf-8")
+        with pytest.raises(ValidationError):
+            load_collection(path)
+
+
+class TestPhred:
+    def test_quality_to_error(self):
+        assert phred_to_error_probability(10) == pytest.approx(0.1)
+        assert phred_to_error_probability(20) == pytest.approx(0.01)
+        assert phred_to_error_probability(0) == pytest.approx(1.0)
+
+    def test_negative_quality_rejected(self):
+        with pytest.raises(ValidationError):
+            phred_to_error_probability(-1)
+
+
+class TestReadImport:
+    def test_read_becomes_uncertain_string(self):
+        string = uncertain_string_from_read("ACGT", [30, 30, 10, 2])
+        assert len(string) == 4
+        # High-quality base is almost certain.
+        assert string[0].probability("A") > 0.99
+        # Low-quality base keeps noticeable probability on alternatives.
+        assert string[3].probability("T") < 0.5
+        for distribution in string:
+            assert sum(distribution.probabilities) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            uncertain_string_from_read("ACG", [30, 30])
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(ValidationError):
+            uncertain_string_from_read("", [])
+
+
+class TestFastq:
+    FASTQ = (
+        "@read1\n"
+        "ACGT\n"
+        "+\n"
+        "IIII\n"
+        "@read2\n"
+        "GGCC\n"
+        "+\n"
+        "!!II\n"
+    )
+
+    def test_parse_fastq_records(self):
+        strings = list(parse_fastq(self.FASTQ.splitlines()))
+        assert len(strings) == 2
+        assert strings[0].name == "read1"
+        assert len(strings[1]) == 4
+
+    def test_fastq_quality_affects_uncertainty(self):
+        strings = list(parse_fastq(self.FASTQ.splitlines()))
+        # '!' is Phred 0 (total uncertainty), 'I' is Phred 40 (near-certain).
+        assert not strings[1][0].is_certain
+        assert strings[0][0].probability("A") > 0.99
+
+    def test_load_fastq_file(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        path.write_text(self.FASTQ, encoding="utf-8")
+        collection = load_fastq(path)
+        assert isinstance(collection, UncertainStringCollection)
+        assert len(collection) == 2
+
+    def test_malformed_header_rejected(self):
+        bad = self.FASTQ.replace("@read1", "read1")
+        with pytest.raises(ValidationError):
+            list(parse_fastq(bad.splitlines()))
+
+    def test_malformed_separator_rejected(self):
+        bad = self.FASTQ.replace("+\n", "-\n", 1)
+        with pytest.raises(ValidationError):
+            list(parse_fastq(bad.splitlines()))
+
+    def test_wrong_line_count_rejected(self):
+        with pytest.raises(ValidationError):
+            list(parse_fastq(["@r", "ACGT", "+"]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            list(parse_fastq(["@r", "ACGT", "+", "II"]))

@@ -1,0 +1,91 @@
+"""Tests for repro.strings.possible_worlds (possible-world semantics)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.strings import UncertainString
+from repro.strings.possible_worlds import (
+    all_worlds,
+    enumerate_worlds,
+    substring_occurrence_probability_by_worlds,
+    top_k_worlds,
+    world_count,
+)
+
+
+class TestWorldCount:
+    def test_figure1_world_count(self, figure1_string):
+        # Figure 1(b) lists 12 possible worlds: 3 * 2 * 1 * 2 * 1.
+        assert world_count(figure1_string) == 12
+
+    def test_deterministic_string_has_one_world(self):
+        assert world_count(UncertainString.from_deterministic("abc")) == 1
+
+
+class TestEnumeration:
+    def test_figure1_worlds_sum_to_one(self, figure1_string):
+        worlds = all_worlds(figure1_string)
+        assert len(worlds) == 12
+        assert sum(world.probability for world in worlds) == pytest.approx(1.0)
+
+    def test_figure1_specific_world_probabilities(self, figure1_string):
+        worlds = {world.string: world.probability for world in all_worlds(figure1_string)}
+        # From Figure 1(b): aadaa has probability .09, badaa .12, dcdca .06.
+        assert worlds["aadaa"] == pytest.approx(0.09)
+        assert worlds["badaa"] == pytest.approx(0.12)
+        assert worlds["dcdca"] == pytest.approx(0.06)
+
+    def test_threshold_filters_worlds(self, figure1_string):
+        worlds = all_worlds(figure1_string, tau=0.1)
+        assert all(world.probability > 0.1 for world in worlds)
+        # Figure 1(b): only the b* worlds have probability > 0.1 (0.12, 0.12).
+        assert {world.string for world in worlds} == {"badaa", "badca"}
+
+    def test_sorted_by_decreasing_probability(self, figure1_string):
+        worlds = all_worlds(figure1_string)
+        probabilities = [world.probability for world in worlds]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_enumeration_limit(self, figure1_string):
+        with pytest.raises(ValidationError):
+            list(enumerate_worlds(figure1_string, limit=5))
+
+
+class TestTopK:
+    def test_top_1_is_most_likely_world(self, figure1_string):
+        best = top_k_worlds(figure1_string, 1)[0]
+        exhaustive = all_worlds(figure1_string)[0]
+        assert best.probability == pytest.approx(exhaustive.probability)
+
+    def test_top_k_matches_exhaustive_enumeration(self, figure1_string):
+        top = top_k_worlds(figure1_string, 5)
+        exhaustive = all_worlds(figure1_string)[:5]
+        assert [world.probability for world in top] == pytest.approx(
+            [world.probability for world in exhaustive]
+        )
+
+    def test_k_larger_than_world_count(self, figure1_string):
+        assert len(top_k_worlds(figure1_string, 100)) == 12
+
+    def test_invalid_k(self, figure1_string):
+        with pytest.raises(ValidationError):
+            top_k_worlds(figure1_string, 0)
+
+
+class TestWorldSemanticsConsistency:
+    def test_substring_probability_equals_world_sum(self, figure1_string):
+        # The sum over possible worlds containing the substring at a fixed
+        # position must equal the partial product of Section 3.2.
+        for pattern, position in [("ad", 1), ("da", 2), ("a", 4), ("bad", 0)]:
+            by_worlds = substring_occurrence_probability_by_worlds(
+                figure1_string, pattern, position
+            )
+            direct = figure1_string.occurrence_probability(pattern, position)
+            assert by_worlds == pytest.approx(direct)
+
+    def test_world_probability_matches_log_occurrence(self, figure1_string):
+        for world in all_worlds(figure1_string):
+            direct = figure1_string.log_occurrence_probability(world.string, 0)
+            assert math.exp(direct) == pytest.approx(world.probability)

@@ -1,0 +1,102 @@
+"""Tests for repro.strings.special (special uncertain strings)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.strings import SpecialPosition, SpecialUncertainString
+
+
+class TestSpecialPosition:
+    def test_valid_pair(self):
+        position = SpecialPosition("a", 0.5)
+        assert position.character == "a"
+        assert position.probability == 0.5
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            SpecialPosition("a", 0.0)
+
+    def test_multicharacter_rejected(self):
+        with pytest.raises(ValidationError):
+            SpecialPosition("ab", 0.5)
+
+
+class TestConstruction:
+    def test_figure5_text(self, figure5_special_string):
+        assert figure5_special_string.text == "banana"
+        assert len(figure5_special_string) == 6
+        assert figure5_special_string.length == 6
+
+    def test_from_characters_and_probabilities(self):
+        x = SpecialUncertainString.from_characters_and_probabilities("ab", [0.5, 1.0])
+        assert x.text == "ab"
+        assert x[1].probability == 1.0
+
+    def test_from_characters_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            SpecialUncertainString.from_characters_and_probabilities("ab", [0.5])
+
+    def test_from_deterministic(self):
+        x = SpecialUncertainString.from_deterministic("xyz")
+        assert x.text == "xyz"
+        assert all(position.probability == 1.0 for position in x)
+
+    def test_from_deterministic_empty_raises(self):
+        with pytest.raises(ValidationError):
+            SpecialUncertainString.from_deterministic("")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SpecialUncertainString([])
+
+    def test_equality(self, figure5_special_string):
+        clone = SpecialUncertainString(list(figure5_special_string))
+        assert clone == figure5_special_string
+        assert figure5_special_string != SpecialUncertainString.from_deterministic("banana")
+
+    def test_probabilities_are_read_only(self, figure5_special_string):
+        with pytest.raises(ValueError):
+            figure5_special_string.probabilities[0] = 0.9
+
+
+class TestProbabilities:
+    def test_window_probability_matches_figure5(self, figure5_special_string):
+        # C array of Figure 5: prefix products 0.4, 0.28, 0.14, 0.112, ...
+        assert figure5_special_string.window_probability(0, 1) == pytest.approx(0.4)
+        assert figure5_special_string.window_probability(0, 2) == pytest.approx(0.28)
+        assert figure5_special_string.window_probability(0, 3) == pytest.approx(0.14)
+
+    def test_occurrence_probability_requires_character_match(self, figure5_special_string):
+        assert figure5_special_string.occurrence_probability("ana", 1) == pytest.approx(
+            0.7 * 0.5 * 0.8
+        )
+        assert figure5_special_string.occurrence_probability("ban", 1) == 0.0
+
+    def test_occurrence_probability_out_of_range(self, figure5_special_string):
+        assert figure5_special_string.occurrence_probability("ana", 5) == 0.0
+        assert figure5_special_string.occurrence_probability("a", -1) == 0.0
+
+    def test_matching_positions_reproduces_figure5_query(self, figure5_special_string):
+        # Figure 5: query ("ana", 0.3) reports only position 4 (1-based), i.e. 3.
+        assert figure5_special_string.matching_positions("ana", 0.3) == [3]
+        assert figure5_special_string.matching_positions("ana", 0.2) == [1, 3]
+
+    def test_window_probability_invalid_inputs(self, figure5_special_string):
+        assert figure5_special_string.window_probability(-1, 2) == 0.0
+        assert figure5_special_string.window_probability(0, 0) == 0.0
+        assert figure5_special_string.window_probability(4, 10) == 0.0
+
+
+class TestConversion:
+    def test_to_uncertain_string_preserves_probabilities(self, figure5_special_string):
+        lifted = figure5_special_string.to_uncertain_string()
+        assert len(lifted) == len(figure5_special_string)
+        assert lifted.occurrence_probability("ana", 3) == pytest.approx(
+            figure5_special_string.occurrence_probability("ana", 3)
+        )
+
+    def test_to_uncertain_string_certain_positions_stay_certain(self):
+        x = SpecialUncertainString([("a", 1.0), ("b", 0.5)])
+        lifted = x.to_uncertain_string()
+        assert lifted[0].is_certain
+        assert not lifted[1].is_certain

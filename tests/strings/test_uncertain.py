@@ -1,0 +1,156 @@
+"""Tests for repro.strings.uncertain (the general uncertain-string model)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.strings import CorrelationModel, CorrelationRule, PositionDistribution, UncertainString
+
+
+class TestConstruction:
+    def test_basic_properties(self, figure1_string):
+        assert len(figure1_string) == 5
+        assert figure1_string.length == 5
+        # Figure 1: 9 characters with non-zero probability over 5 positions.
+        assert figure1_string.total_characters == 9
+        assert figure1_string.uncertain_position_count == 3
+        assert figure1_string.uncertainty_fraction == pytest.approx(0.6)
+
+    def test_from_deterministic(self):
+        s = UncertainString.from_deterministic("banana")
+        assert s.is_deterministic
+        assert s.most_likely_string() == "banana"
+        assert s.occurrence_probability("ana", 1) == pytest.approx(1.0)
+
+    def test_from_deterministic_empty_raises(self):
+        with pytest.raises(ValidationError):
+            UncertainString.from_deterministic("")
+
+    def test_from_table_normalize(self):
+        s = UncertainString.from_table([{"a": 2, "b": 2}], normalize=True)
+        assert s[0].probability("a") == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertainString([])
+
+    def test_accepts_distribution_instances(self):
+        s = UncertainString([PositionDistribution({"x": 1.0}), "y"])
+        assert s.most_likely_string() == "xy"
+
+    def test_correlation_model_validated_against_length(self):
+        rule = CorrelationRule(5, "a", 0, "b", 0.5, 0.5)
+        with pytest.raises(Exception):
+            UncertainString([{"a": 1.0}], correlations=CorrelationModel([rule]))
+
+    def test_equality(self, figure1_string):
+        clone = UncertainString(list(figure1_string.positions))
+        assert clone == figure1_string
+        assert figure1_string != UncertainString.from_deterministic("x")
+
+    def test_repr_contains_length(self, figure1_string):
+        assert "length=5" in repr(figure1_string)
+
+
+class TestOccurrenceProbability:
+    def test_single_character(self, figure1_string):
+        assert figure1_string.occurrence_probability("b", 0) == pytest.approx(0.4)
+
+    def test_paper_figure3_example(self, figure3_string):
+        # Section 2: "AT" matches at position 6 with 0.4*0.3=0.12 and at
+        # position 8 with 1*0.5=0.5 (zero-based positions).
+        assert figure3_string.occurrence_probability("AT", 6) == pytest.approx(0.12)
+        assert figure3_string.occurrence_probability("AT", 8) == pytest.approx(0.5)
+
+    def test_paper_sfpq_example(self, figure3_string):
+        # Section 3.2: SFPQ at position 1 has probability 0.7*1*1*0.5 = 0.35.
+        assert figure3_string.occurrence_probability("SFPQ", 1) == pytest.approx(0.35)
+
+    def test_zero_when_character_absent(self, figure1_string):
+        assert figure1_string.occurrence_probability("z", 0) == 0.0
+
+    def test_zero_when_pattern_does_not_fit(self, figure1_string):
+        assert figure1_string.occurrence_probability("aaaaaaa", 0) == 0.0
+        assert figure1_string.occurrence_probability("a", 10) == 0.0
+        assert figure1_string.occurrence_probability("a", -1) == 0.0
+
+    def test_log_probability_consistency(self, figure1_string):
+        probability = figure1_string.occurrence_probability("ad", 1)
+        log_probability = figure1_string.log_occurrence_probability("ad", 1)
+        assert math.exp(log_probability) == pytest.approx(probability)
+
+    def test_empty_pattern_rejected(self, figure1_string):
+        with pytest.raises(ValidationError):
+            figure1_string.occurrence_probability("", 0)
+
+
+class TestCorrelatedProbability:
+    @pytest.fixture
+    def figure4_string(self) -> UncertainString:
+        """The Figure 4 string: e/f, q, z with z correlated to e."""
+        return UncertainString(
+            [{"e": 0.6, "f": 0.4}, {"q": 1.0}, {"z": 1.0}],
+            correlations=CorrelationModel([CorrelationRule(2, "z", 0, "e", 0.3, 0.4)]),
+        )
+
+    def test_partner_present_inside_window(self, figure4_string):
+        # For the substring "eqz", pr(z) = 0.3 (paper case 1).
+        assert figure4_string.occurrence_probability("eqz", 0) == pytest.approx(
+            0.6 * 1.0 * 0.3
+        )
+
+    def test_partner_absent_inside_window(self, figure4_string):
+        # For the substring "fqz", pr(z) = 0.4.
+        assert figure4_string.occurrence_probability("fqz", 0) == pytest.approx(
+            0.4 * 1.0 * 0.4
+        )
+
+    def test_partner_outside_window(self, figure4_string):
+        # For the substring "qz", pr(z) = 0.6*0.3 + 0.4*0.4 = 0.34 (case 2).
+        assert figure4_string.occurrence_probability("qz", 1) == pytest.approx(0.34)
+
+    def test_character_probability_uses_mixture(self, figure4_string):
+        assert figure4_string.character_probability(2, "z") == pytest.approx(0.34)
+        assert figure4_string.character_probability(0, "e") == pytest.approx(0.6)
+
+
+class TestMatchingPositions:
+    def test_matches_threshold(self, figure3_string):
+        # Only position 8 has "AT" above 0.4 (Section 2 example).
+        assert figure3_string.matching_positions("AT", 0.4) == [8]
+        assert figure3_string.matching_positions("AT", 0.1) == [6, 8]
+
+    def test_no_match_above_one(self, figure1_string):
+        assert figure1_string.matching_positions("a", 1.0) == []
+
+    def test_max_occurrence_probability(self, figure3_string):
+        assert figure3_string.max_occurrence_probability("AT") == pytest.approx(0.5)
+        assert figure3_string.max_occurrence_probability("ZZ") == 0.0
+
+
+class TestSlice:
+    def test_slice_positions(self, figure1_string):
+        part = figure1_string.slice(1, 4)
+        assert len(part) == 3
+        assert part[0] == figure1_string[1]
+
+    def test_slice_carries_internal_correlation(self):
+        s = UncertainString(
+            [{"e": 0.6, "f": 0.4}, {"q": 1.0}, {"z": 1.0}],
+            correlations=CorrelationModel([CorrelationRule(2, "z", 0, "e", 0.3, 0.4)]),
+        )
+        part = s.slice(0, 3)
+        assert len(part.correlations) == 1
+        dropped = s.slice(1, 3)
+        assert len(dropped.correlations) == 0
+
+    def test_invalid_slice_raises(self, figure1_string):
+        with pytest.raises(ValidationError):
+            figure1_string.slice(3, 2)
+        with pytest.raises(ValidationError):
+            figure1_string.slice(0, 99)
+
+    def test_to_table_round_trip(self, figure1_string):
+        rebuilt = UncertainString.from_table(figure1_string.to_table())
+        assert rebuilt == figure1_string

@@ -1,0 +1,82 @@
+"""Tests for repro.suffix.generalized (document concatenation structures)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.suffix.generalized import (
+    ConcatenatedDocuments,
+    DEFAULT_SEPARATOR,
+    GeneralizedSuffixStructure,
+)
+
+
+class TestConcatenatedDocuments:
+    def test_text_layout(self):
+        concatenated = ConcatenatedDocuments(["abc", "de"])
+        assert concatenated.text == "abc" + DEFAULT_SEPARATOR + "de" + DEFAULT_SEPARATOR
+        assert len(concatenated) == 7
+        assert concatenated.document_count == 2
+        assert concatenated.document_starts.tolist() == [0, 4]
+
+    def test_document_and_offset_mapping(self):
+        concatenated = ConcatenatedDocuments(["abc", "de"])
+        assert concatenated.document_of(0) == 0
+        assert concatenated.document_of(3) == 0  # separator belongs to d0
+        assert concatenated.document_of(4) == 1
+        assert concatenated.offset_of(5) == 1
+        assert concatenated.is_separator(3)
+        assert not concatenated.is_separator(2)
+
+    def test_document_array(self):
+        concatenated = ConcatenatedDocuments(["ab", "c"])
+        assert concatenated.document_array().tolist() == [0, 0, 0, 1, 1]
+
+    def test_position_out_of_range(self):
+        concatenated = ConcatenatedDocuments(["ab"])
+        with pytest.raises(ValidationError):
+            concatenated.document_of(10)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValidationError):
+            ConcatenatedDocuments(["ab", ""])
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValidationError):
+            ConcatenatedDocuments([])
+
+    def test_separator_inside_document_rejected(self):
+        with pytest.raises(ValidationError):
+            ConcatenatedDocuments(["a" + DEFAULT_SEPARATOR])
+
+    def test_multicharacter_separator_rejected(self):
+        with pytest.raises(ValidationError):
+            ConcatenatedDocuments(["ab"], separator="##")
+
+    def test_custom_separator(self):
+        concatenated = ConcatenatedDocuments(["ab", "cd"], separator="#")
+        assert concatenated.text == "ab#cd#"
+        assert concatenated.separator == "#"
+
+
+class TestGeneralizedSuffixStructure:
+    def test_documents_containing(self):
+        structure = GeneralizedSuffixStructure(["banana", "bandana", "apple"])
+        assert structure.documents_containing("ana") == [0, 1]
+        assert structure.documents_containing("ppl") == [2]
+        assert structure.documents_containing("ban") == [0, 1]
+        assert structure.documents_containing("zzz") == []
+
+    def test_pattern_straddling_separator_not_reported(self):
+        structure = GeneralizedSuffixStructure(["ab", "ba"])
+        # "ab?b" style matches crossing the separator must not surface.
+        assert structure.documents_containing("abb") == []
+
+    def test_tree_is_cached(self):
+        structure = GeneralizedSuffixStructure(["abc"])
+        assert structure.tree is structure.tree
+
+    def test_accessors(self):
+        structure = GeneralizedSuffixStructure(["abc", "bcd"])
+        assert structure.concatenation.document_count == 2
+        assert len(structure.suffix_array.text) == 8
+        assert len(structure.lcp) == 8

@@ -1,0 +1,110 @@
+"""Tests for repro.suffix.rmq (range maximum / minimum query structures)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.suffix.rmq import BlockRMQ, SparseTableRMQ, make_rmq
+
+
+@pytest.fixture(params=["sparse", "block"])
+def rmq_implementation(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_empty_rejected(self, rmq_implementation):
+        with pytest.raises(ValidationError):
+            make_rmq([], implementation=rmq_implementation)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            SparseTableRMQ(np.zeros((2, 2)))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            SparseTableRMQ([1.0], mode="median")  # type: ignore[arg-type]
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockRMQ([1.0, 2.0], block_size=0)
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValidationError):
+            make_rmq([1.0], implementation="fenwick")  # type: ignore[arg-type]
+
+    def test_single_element(self, rmq_implementation):
+        rmq = make_rmq([3.5], implementation=rmq_implementation)
+        assert rmq.query(0, 0) == 0
+        assert rmq.query_value(0, 0) == pytest.approx(3.5)
+
+
+class TestQueries:
+    def test_simple_max(self, rmq_implementation):
+        rmq = make_rmq([0.1, 0.9, 0.4, 0.7], implementation=rmq_implementation)
+        assert rmq.query(0, 3) == 1
+        assert rmq.query(2, 3) == 3
+        assert rmq.query(2, 2) == 2
+
+    def test_min_mode(self, rmq_implementation):
+        rmq = make_rmq(
+            [5.0, 1.0, 4.0, 9.0, 2.0], mode="min", implementation=rmq_implementation
+        )
+        assert rmq.query(0, 4) == 1
+        assert rmq.query(2, 4) == 4
+        assert rmq.mode == "min"
+
+    def test_invalid_range_rejected(self, rmq_implementation):
+        rmq = make_rmq([1.0, 2.0, 3.0], implementation=rmq_implementation)
+        with pytest.raises(ValidationError):
+            rmq.query(2, 1)
+        with pytest.raises(ValidationError):
+            rmq.query(-1, 2)
+        with pytest.raises(ValidationError):
+            rmq.query(0, 3)
+
+    def test_handles_negative_infinity(self, rmq_implementation):
+        values = [float("-inf"), 0.5, float("-inf"), 0.9]
+        rmq = make_rmq(values, implementation=rmq_implementation)
+        assert rmq.query(0, 3) == 3
+        assert rmq.query(0, 2) == 1
+        assert rmq.query_value(2, 2) == float("-inf")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_numpy_argmax(self, seed, rmq_implementation):
+        rng = np.random.default_rng(seed)
+        values = rng.random(rng.integers(1, 200))
+        rmq = make_rmq(values, implementation=rmq_implementation)
+        python_rng = random.Random(seed)
+        for _ in range(50):
+            left = python_rng.randint(0, len(values) - 1)
+            right = python_rng.randint(left, len(values) - 1)
+            assert values[rmq.query(left, right)] == pytest.approx(
+                values[left : right + 1].max()
+            )
+
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 7, 64])
+    def test_block_sizes(self, block_size):
+        rng = np.random.default_rng(block_size)
+        values = rng.random(97)
+        rmq = BlockRMQ(values, block_size=block_size)
+        for left, right in [(0, 96), (5, 5), (10, 40), (90, 96), (0, 1)]:
+            assert values[rmq.query(left, right)] == pytest.approx(
+                values[left : right + 1].max()
+            )
+
+
+class TestMetadata:
+    def test_values_view_read_only(self):
+        rmq = SparseTableRMQ([1.0, 2.0])
+        with pytest.raises(ValueError):
+            rmq.values[0] = 5.0
+
+    def test_len(self, rmq_implementation):
+        assert len(make_rmq([1.0, 2.0, 3.0], implementation=rmq_implementation)) == 3
+
+    def test_nbytes_block_smaller_than_sparse_for_large_arrays(self):
+        values = np.random.default_rng(0).random(4096)
+        assert BlockRMQ(values).nbytes() < SparseTableRMQ(values).nbytes()

@@ -1,0 +1,90 @@
+"""Tests for repro.suffix.suffix_array."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.suffix.suffix_array import (
+    SuffixArray,
+    build_suffix_array,
+    inverse_suffix_array,
+    naive_suffix_array,
+)
+
+
+class TestBuildSuffixArray:
+    def test_banana(self):
+        assert build_suffix_array("banana").tolist() == [5, 3, 1, 0, 4, 2]
+
+    def test_single_character(self):
+        assert build_suffix_array("x").tolist() == [0]
+
+    def test_repeated_character(self):
+        assert build_suffix_array("aaaa").tolist() == [3, 2, 1, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            build_suffix_array("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValidationError):
+            build_suffix_array(123)  # type: ignore[arg-type]
+
+    def test_handles_sentinel_characters(self):
+        text = "ab\x01ba\x01"
+        assert build_suffix_array(text).tolist() == naive_suffix_array(text)
+
+    def test_mississippi(self):
+        text = "mississippi"
+        assert build_suffix_array(text).tolist() == naive_suffix_array(text)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_naive_on_random_strings(self, seed):
+        rng = random.Random(seed)
+        text = "".join(rng.choice("abc$") for _ in range(rng.randint(1, 200)))
+        assert build_suffix_array(text).tolist() == naive_suffix_array(text)
+
+    def test_large_alphabet(self):
+        rng = random.Random(1)
+        text = "".join(chr(rng.randint(33, 500)) for _ in range(100))
+        assert build_suffix_array(text).tolist() == naive_suffix_array(text)
+
+
+class TestInverseSuffixArray:
+    def test_inverse_is_permutation_inverse(self):
+        text = "abracadabra"
+        suffix_array = build_suffix_array(text)
+        rank = inverse_suffix_array(suffix_array)
+        for lexicographic_rank, position in enumerate(suffix_array):
+            assert rank[position] == lexicographic_rank
+
+
+class TestSuffixArrayClass:
+    def test_accessors(self):
+        sa = SuffixArray("banana")
+        assert len(sa) == 6
+        assert sa[0] == 5
+        assert sa.suffix(0) == "a"
+        assert sa.suffix(3) == "banana"
+        assert sa.text == "banana"
+
+    def test_rank_is_inverse(self):
+        sa = SuffixArray("abracadabra")
+        assert np.array_equal(sa.rank[sa.array], np.arange(len(sa)))
+
+    def test_prebuilt_array_accepted(self):
+        sa = SuffixArray("banana", array=[5, 3, 1, 0, 4, 2])
+        assert sa.array.tolist() == [5, 3, 1, 0, 4, 2]
+
+    def test_prebuilt_array_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            SuffixArray("banana", array=[1, 2])
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValidationError):
+            SuffixArray("")
+
+    def test_nbytes_positive(self):
+        assert SuffixArray("banana").nbytes() > 0

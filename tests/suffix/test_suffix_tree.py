@@ -1,0 +1,155 @@
+"""Tests for repro.suffix.suffix_tree (compact suffix tree from SA + LCP)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.suffix.suffix_array import SuffixArray
+from repro.suffix.suffix_tree import SuffixTree
+
+
+@pytest.fixture
+def banana_tree() -> SuffixTree:
+    return SuffixTree(SuffixArray("banana"))
+
+
+class TestStructure:
+    def test_leaf_count(self, banana_tree):
+        assert banana_tree.leaf_count == 6
+        assert banana_tree.node_count >= 6
+
+    def test_root_covers_everything(self, banana_tree):
+        assert banana_tree.node_depth(banana_tree.root) == 0
+        assert banana_tree.node_range(banana_tree.root) == (0, 5)
+        assert banana_tree.node_parent(banana_tree.root) == -1
+
+    def test_leaf_depths_are_suffix_lengths(self, banana_tree):
+        sa = banana_tree.suffix_array.array
+        for rank in range(banana_tree.leaf_count):
+            assert banana_tree.node_depth(rank) == 6 - int(sa[rank])
+            assert banana_tree.is_leaf(rank)
+            # A leaf's range starts at its own rank; when the suffix is a
+            # prefix of later suffixes (no unique terminator in "banana"),
+            # the leaf doubles as the implicit internal node covering them.
+            left, right = banana_tree.node_range(rank)
+            assert left == rank
+            assert right >= rank
+
+    def test_parent_ranges_contain_children(self, banana_tree):
+        for node in range(banana_tree.node_count):
+            parent = banana_tree.node_parent(node)
+            if parent == -1:
+                continue
+            parent_left, parent_right = banana_tree.node_range(parent)
+            left, right = banana_tree.node_range(node)
+            assert parent_left <= left <= right <= parent_right
+            assert banana_tree.node_depth(parent) < banana_tree.node_depth(node)
+
+    def test_children_adjacency_consistent_with_parents(self, banana_tree):
+        children = banana_tree.children()
+        for parent, child_list in enumerate(children):
+            for child in child_list:
+                assert banana_tree.node_parent(child) == parent
+
+    def test_path_label(self, banana_tree):
+        locus = banana_tree.locus("ana")
+        assert banana_tree.path_label(locus).startswith("ana")
+
+    def test_lcp_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            SuffixTree(SuffixArray("abc"), lcp=[0, 0])
+
+    def test_subtree_size_and_leaves(self, banana_tree):
+        locus = banana_tree.locus("ana")
+        assert banana_tree.subtree_size(locus) == 2
+        assert list(banana_tree.leaves(locus)) == [1, 2]
+
+    def test_ancestors_end_at_root(self, banana_tree):
+        ancestors = list(banana_tree.ancestors(0))
+        assert ancestors[-1] == banana_tree.root
+
+
+class TestPatternQueries:
+    def test_pattern_range_matches_search(self, banana_tree):
+        assert banana_tree.pattern_range("ana") == (1, 2)
+        assert banana_tree.pattern_range("zzz") is None
+
+    def test_locus_properties(self, banana_tree):
+        locus = banana_tree.locus("an")
+        assert banana_tree.node_depth(locus) >= 2
+        assert banana_tree.node_range(locus) == banana_tree.pattern_range("an")
+        parent = banana_tree.node_parent(locus)
+        assert banana_tree.node_depth(parent) < 2
+
+    def test_locus_of_absent_pattern(self, banana_tree):
+        assert banana_tree.locus("xyz") is None
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_locus_on_random_strings(self, seed):
+        rng = random.Random(seed)
+        text = "".join(rng.choice("abc") for _ in range(rng.randint(5, 80)))
+        tree = SuffixTree(SuffixArray(text))
+        for _ in range(10):
+            length = rng.randint(1, 4)
+            start = rng.randint(0, len(text) - length)
+            pattern = text[start : start + length]
+            locus = tree.locus(pattern)
+            assert locus is not None
+            assert tree.node_range(locus) == tree.pattern_range(pattern)
+            assert tree.node_depth(locus) >= length
+            parent = tree.node_parent(locus)
+            assert parent == -1 or tree.node_depth(parent) < length
+
+
+class TestLowestCommonAncestor:
+    def test_lca_of_identical_leaves(self, banana_tree):
+        assert banana_tree.lowest_common_ancestor(2, 2) == 2
+
+    def test_lca_covers_both_leaves(self, banana_tree):
+        for a in range(banana_tree.leaf_count):
+            for b in range(banana_tree.leaf_count):
+                lca = banana_tree.lowest_common_ancestor(a, b)
+                left, right = banana_tree.node_range(lca)
+                assert left <= a <= right
+                assert left <= b <= right
+
+    def test_lca_is_deepest_common_ancestor(self, banana_tree):
+        # banana: leaves 1 and 2 are "ana..." suffixes sharing depth-3 node.
+        lca = banana_tree.lowest_common_ancestor(1, 2)
+        assert banana_tree.node_depth(lca) == 3
+
+
+class TestDepthPartitions:
+    def test_partitions_cover_all_leaves(self, banana_tree):
+        for depth in range(1, 7):
+            partitions = banana_tree.depth_partitions(depth)
+            covered = []
+            for left, right in partitions:
+                covered.extend(range(left, right + 1))
+            assert covered == list(range(banana_tree.leaf_count))
+
+    def test_partitions_split_at_small_lcp(self, banana_tree):
+        # At depth 1: a-suffixes (3), banana (1) and na-suffixes (2) group.
+        assert banana_tree.depth_partitions(1) == [(0, 2), (3, 3), (4, 5)]
+
+    def test_partitions_at_large_depth_are_singletons(self, banana_tree):
+        assert banana_tree.depth_partitions(6) == [(i, i) for i in range(6)]
+
+    def test_invalid_depth_rejected(self, banana_tree):
+        with pytest.raises(ValidationError):
+            banana_tree.depth_partitions(0)
+
+    def test_partition_members_share_prefix(self):
+        rng = random.Random(3)
+        text = "".join(rng.choice("ab") for _ in range(60))
+        tree = SuffixTree(SuffixArray(text))
+        sa = tree.suffix_array.array
+        for depth in (1, 2, 3):
+            for left, right in tree.depth_partitions(depth):
+                prefixes = {
+                    text[int(sa[rank]) : int(sa[rank]) + depth]
+                    for rank in range(left, right + 1)
+                    if int(sa[rank]) + depth <= len(text)
+                }
+                assert len(prefixes) <= 1
