@@ -16,7 +16,7 @@ Run with::
 
 import time
 
-from repro import ApproximateSubstringIndex, GeneralUncertainStringIndex
+from repro import build_index
 from repro.datasets import extract_patterns, generate_uncertain_string
 
 SEQUENCE_LENGTH = 2_000
@@ -29,16 +29,17 @@ SEED = 4242
 def main() -> None:
     """Build exact and approximate indexes and compare their answers."""
     sequence = generate_uncertain_string(SEQUENCE_LENGTH, theta=THETA, seed=SEED)
-    exact_index = GeneralUncertainStringIndex(sequence, tau_min=TAU_MIN)
+    exact_index = build_index(sequence, tau_min=TAU_MIN).index
     patterns = extract_patterns(sequence, [8, 16], per_length=5, seed=SEED)
 
     print(f"sequence: n={SEQUENCE_LENGTH}, theta={THETA}, tau_min={TAU_MIN}, tau={TAU}")
     print(f"{'epsilon':>8}  {'links':>9}  {'build s':>8}  {'exact':>6}  {'approx':>6}  {'extra':>6}")
     for epsilon in (0.2, 0.1, 0.05, 0.02):
         started = time.perf_counter()
-        approximate_index = ApproximateSubstringIndex(
+        # An explicit epsilon steers the planner to the approximate index.
+        approximate_index = build_index(
             sequence, tau_min=TAU_MIN, epsilon=epsilon
-        )
+        ).index
         build_seconds = time.perf_counter() - started
 
         exact_total = 0
@@ -59,7 +60,7 @@ def main() -> None:
         )
 
     # Verification turns the approximate answer back into the exact one.
-    approximate_index = ApproximateSubstringIndex(sequence, tau_min=TAU_MIN, epsilon=0.1)
+    approximate_index = build_index(sequence, tau_min=TAU_MIN, epsilon=0.1).index
     pattern = patterns[0]
     verified = {occ.position for occ in approximate_index.query(pattern, TAU, verify=True)}
     exact = {occ.position for occ in exact_index.query(pattern, TAU)}

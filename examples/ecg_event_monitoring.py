@@ -23,8 +23,8 @@ from typing import Dict, List
 from repro import (
     CorrelationModel,
     CorrelationRule,
-    GeneralUncertainStringIndex,
     UncertainString,
+    build_index,
 )
 from repro.strings import ecg_alphabet
 
@@ -73,7 +73,7 @@ def main() -> None:
         f"  {stream.uncertainty_fraction:.1%} of beats have ambiguous annotations"
     )
 
-    index = GeneralUncertainStringIndex(stream, tau_min=TAU_MIN)
+    index = build_index(stream, tau_min=TAU_MIN).index
     print(
         f"built index: N={int(index.stats['transformed_length'])}, "
         f"{int(index.stats['factor_count'])} factors\n"
@@ -117,7 +117,7 @@ def main() -> None:
             ),
             name="holter-stream-correlated",
         )
-        correlated_index = GeneralUncertainStringIndex(correlated, tau_min=TAU_MIN)
+        correlated_index = build_index(correlated, tau_min=TAU_MIN).index
         before = stream.occurrence_probability("AV", hotspot)
         after = correlated.occurrence_probability("AV", hotspot)
         found = [occ.position for occ in correlated_index.query("AV", TAU_MIN + 0.01)]

@@ -19,7 +19,7 @@ Run with::
 
 import time
 
-from repro import GeneralUncertainStringIndex, OnlineDynamicProgrammingMatcher
+from repro import OnlineDynamicProgrammingMatcher, SearchRequest, build_index
 from repro.datasets import extract_patterns, generate_uncertain_string
 
 SEQUENCE_LENGTH = 5_000
@@ -39,8 +39,9 @@ def main() -> None:
     )
 
     started = time.perf_counter()
-    index = GeneralUncertainStringIndex(sequence, tau_min=TAU_MIN)
+    engine = build_index(sequence, tau_min=TAU_MIN)
     build_seconds = time.perf_counter() - started
+    index = engine.index
     stats = index.stats
     print(
         f"built index in {build_seconds:.2f}s: transformed length "
@@ -54,10 +55,12 @@ def main() -> None:
     # Motifs taken from the most likely realization so that matches exist.
     motifs = extract_patterns(sequence, [6, 12], per_length=3, seed=SEED)
     print("motif search at increasing thresholds:")
+    taus = (0.1, 0.2, 0.4, 0.8)
     for motif in motifs:
-        counts = []
-        for tau in (0.1, 0.2, 0.4, 0.8):
-            counts.append(f"tau={tau}: {len(index.query(motif, tau))}")
+        # One batch per motif: lazy results in request order, duplicates
+        # (common in serving traffic) would share a single evaluation.
+        results = engine.search_many([SearchRequest(motif, tau=tau) for tau in taus])
+        counts = [f"tau={tau}: {result.count}" for tau, result in zip(taus, results)]
         print(f"  {motif!r:>16}  ->  " + ",  ".join(counts))
     print()
 
@@ -66,7 +69,7 @@ def main() -> None:
     matcher = OnlineDynamicProgrammingMatcher(sequence)
 
     started = time.perf_counter()
-    indexed_answer = index.query(motif, 0.2)
+    indexed_answer = engine.query(motif, tau=0.2)
     indexed_seconds = time.perf_counter() - started
 
     started = time.perf_counter()

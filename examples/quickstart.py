@@ -1,29 +1,36 @@
-"""Quickstart: index an uncertain string and answer threshold queries.
+"""Quickstart: one façade for every threshold-query problem of the paper.
 
-This walks through the three query problems of the paper on tiny inputs:
+:func:`repro.build_index` inspects what you hand it — an uncertain string,
+a collection of documents, a plain string — and selects, builds and wraps
+the right index variant behind one query vocabulary.  This walks through
+the paper's three query problems on tiny inputs:
 
 1. substring searching in a single uncertain string (Section 5),
 2. string listing from a collection (Section 6),
-3. approximate substring searching with an additive error (Section 7).
+3. approximate substring searching with an additive error (Section 7),
+
+and finishes with batch queries and save/load persistence — the serving
+features the façade adds on top of the paper's structures.
 
 Run with::
 
     python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro import (
-    ApproximateSubstringIndex,
-    GeneralUncertainStringIndex,
+    SearchRequest,
     UncertainString,
-    UncertainStringCollection,
-    UncertainStringListingIndex,
+    build_index,
+    load_index,
 )
 
 
-def substring_search_demo() -> None:
-    """Index the paper's Figure 3 protein string and search it."""
-    # The uncertain string of Figure 3 (genomic sequence of At4g15440).
-    figure3 = UncertainString(
+def figure3_string() -> UncertainString:
+    """The uncertain string of Figure 3 (genomic sequence of At4g15440)."""
+    return UncertainString(
         [
             {"P": 1.0},
             {"S": 0.7, "F": 0.3},
@@ -39,15 +46,22 @@ def substring_search_demo() -> None:
         ],
         name="At4g15440",
     )
-    index = GeneralUncertainStringIndex(figure3, tau_min=0.1)
+
+
+def substring_search_demo() -> None:
+    """Index the paper's Figure 3 protein string and search it."""
+    engine = build_index(figure3_string(), tau_min=0.1)
 
     print("== substring searching (Figure 3 example) ==")
+    print(f"  planner: {engine.plan.reason}")
     for pattern, tau in [("AT", 0.4), ("SFPQ", 0.3), ("PA", 0.2)]:
-        occurrences = index.query(pattern, tau)
+        result = engine.search(pattern, tau=tau)
         rendered = ", ".join(
-            f"pos {occ.position} (p={occ.probability:.3f})" for occ in occurrences
+            f"pos {occ.position} (p={occ.probability:.3f})" for occ in result
         ) or "no occurrence above the threshold"
         print(f"  query ({pattern!r}, tau={tau}): {rendered}")
+    best = engine.top_k("PA", 1)
+    print(f"  top-1 for 'PA': pos {best[0].position} (p={best[0].probability:.3f})")
     print()
 
 
@@ -77,12 +91,14 @@ def string_listing_demo() -> None:
         ],
         name="d3",
     )
-    collection = UncertainStringCollection([d1, d2, d3])
-    index = UncertainStringListingIndex(collection, tau_min=0.05, metric="max")
+    # A sequence of documents plans straight to the listing index.
+    engine = build_index([d1, d2, d3], tau_min=0.05, metric="max")
+    collection = engine.index.collection
 
     print("== string listing (Figure 2 example) ==")
+    print(f"  planner: {engine.plan.reason}")
     for pattern, tau in [("BF", 0.1), ("A", 0.5), ("FF", 0.1)]:
-        matches = index.query(pattern, tau)
+        matches = engine.search(pattern, tau=tau)
         rendered = ", ".join(
             f"{collection.name_of(match.document)} (rel={match.relevance:.3f})"
             for match in matches
@@ -102,12 +118,15 @@ def approximate_search_demo() -> None:
         ],
         name="figure10",
     )
-    index = ApproximateSubstringIndex(figure10, tau_min=0.1, epsilon=0.05)
+    # Passing an epsilon steers the planner to the approximate index.
+    engine = build_index(figure10, tau_min=0.1, epsilon=0.05)
+    index = engine.index
 
     print("== approximate substring searching (Figure 10 example) ==")
+    print(f"  planner: {engine.plan.reason}")
     print(f"  index stores {index.link_count} links (epsilon={index.epsilon})")
     for pattern, tau in [("QP", 0.4), ("PP", 0.3)]:
-        approximate = index.query(pattern, tau)
+        approximate = engine.search(pattern, tau=tau)
         exact = index.query(pattern, tau, verify=True)
         print(
             f"  query ({pattern!r}, tau={tau}): "
@@ -117,11 +136,42 @@ def approximate_search_demo() -> None:
     print()
 
 
+def batch_and_persistence_demo() -> None:
+    """Batch several requests and round-trip the index through disk."""
+    engine = build_index(figure3_string(), tau_min=0.1)
+
+    print("== batch queries and persistence ==")
+    # One lazy batch: results come back in request order, and duplicate
+    # requests (ubiquitous in serving traffic) share a single evaluation.
+    requests = [
+        SearchRequest("PA", tau=0.1),
+        SearchRequest("PA", tau=0.3),
+        SearchRequest("AT", top_k=1),
+    ]
+    for request, result in zip(requests, engine.search_many(requests)):
+        print(
+            f"  batch ({request.pattern!r}, tau={request.tau}, "
+            f"top_k={request.top_k}): {result.count} match(es)"
+        )
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = engine.save(Path(directory) / "at4g15440-index")
+        hot = load_index(path)
+        before = [occ.probability for occ in engine.search("PA", tau=0.1)]
+        after = [occ.probability for occ in hot.search("PA", tau=0.1)]
+        print(
+            f"  saved {path.name} ({path.stat().st_size} bytes on disk), "
+            f"reloaded answers identical: {before == after}"
+        )
+    print()
+
+
 def main() -> None:
-    """Run all three demos."""
+    """Run all four demos."""
     substring_search_demo()
     string_listing_demo()
     approximate_search_demo()
+    batch_and_persistence_demo()
 
 
 if __name__ == "__main__":

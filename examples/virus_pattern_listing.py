@@ -24,7 +24,7 @@ import random
 import time
 from typing import List
 
-from repro import UncertainString, UncertainStringCollection, UncertainStringListingIndex
+from repro import UncertainString, UncertainStringCollection, build_index
 from repro.datasets import generate_uncertain_string
 
 FILE_COUNT = 60
@@ -75,7 +75,7 @@ def main() -> None:
     )
 
     for metric in ("max", "or"):
-        index = UncertainStringListingIndex(collection, tau_min=TAU_MIN, metric=metric)
+        index = build_index(collection, tau_min=TAU_MIN, metric=metric).index
         print(f"\nrelevance metric: {metric!r}")
         for tau in (0.1, 0.3, 0.6):
             started = time.perf_counter()

@@ -9,17 +9,47 @@ harness reproducing the paper's experimental figures.
 
 Quick start
 -----------
->>> from repro import UncertainString, GeneralUncertainStringIndex
+:func:`build_index` is the front door: hand it whatever you have (a plain
+string, an :class:`UncertainString`, a :class:`SpecialUncertainString`, a
+collection or a sequence of documents) and it selects, builds and wraps the
+right index variant behind one query vocabulary:
+
+>>> from repro import SearchRequest, UncertainString, build_index, load_index
 >>> s = UncertainString([
 ...     {"A": 0.6, "C": 0.4},
 ...     {"T": 1.0},
 ...     {"A": 0.5, "G": 0.5},
 ... ])
->>> index = GeneralUncertainStringIndex(s, tau_min=0.1)
->>> [(occ.position, round(occ.probability, 2)) for occ in index.query("AT", 0.3)]
+>>> engine = build_index(s, tau_min=0.1)
+>>> engine.kind
+'general'
+>>> [(occ.position, round(occ.probability, 2)) for occ in engine.search("AT", tau=0.3)]
 [(0, 0.6)]
+
+Results are lazy and pageable, batches amortize repeated work, and engines
+persist to versioned ``.npz`` archives:
+
+>>> high, low = engine.search_many([
+...     SearchRequest("AT", tau=0.5), SearchRequest("AT", tau=0.1)])
+>>> high.count, low.count
+(1, 1)
+>>> path = engine.save("/tmp/demo-index")        # doctest: +SKIP
+>>> hot = load_index(path)                       # doctest: +SKIP
+
+The underlying index classes (:class:`GeneralUncertainStringIndex` and
+friends) stay public for variant-specific control; ``engine.index`` exposes
+the wrapped instance.
 """
 
+from .api import (
+    Engine,
+    IndexPlan,
+    SearchRequest,
+    SearchResult,
+    build_index,
+    load_index,
+    plan_index,
+)
 from .core import (
     ApproximateSubstringIndex,
     BruteForceOracle,
@@ -56,7 +86,7 @@ from .strings import (
     UncertainStringCollection,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Alphabet",
@@ -67,7 +97,9 @@ __all__ = [
     "CorrelationError",
     "CorrelationModel",
     "CorrelationRule",
+    "Engine",
     "GeneralUncertainStringIndex",
+    "IndexPlan",
     "ListingMatch",
     "MaximalFactor",
     "Occurrence",
@@ -76,6 +108,8 @@ __all__ = [
     "PositionDistribution",
     "QueryError",
     "ReproError",
+    "SearchRequest",
+    "SearchResult",
     "SimpleSpecialIndex",
     "SpecialUncertainStringIndex",
     "ThresholdError",
@@ -84,7 +118,10 @@ __all__ = [
     "UncertainStringCollection",
     "UncertainStringListingIndex",
     "ValidationError",
+    "build_index",
     "enumerate_maximal_factors",
+    "load_index",
+    "plan_index",
     "transform_collection",
     "transform_uncertain_string",
     "__version__",

@@ -1,0 +1,57 @@
+"""The unified front door to the package (engine, planner, persistence).
+
+Most callers need exactly three names:
+
+* :func:`build_index` — hand it whatever you have (a plain string, an
+  :class:`~repro.strings.UncertainString`, a
+  :class:`~repro.strings.SpecialUncertainString`, an
+  :class:`~repro.strings.UncertainStringCollection` or a sequence of
+  documents) and get back an :class:`Engine` wrapping the index variant
+  the planner selected for that input shape;
+* :meth:`Engine.search` / :meth:`Engine.search_many` — the unified
+  :class:`SearchRequest` → :class:`SearchResult` query vocabulary with
+  consistent ``tau`` semantics, lazy pageable results and batch
+  amortization;
+* :meth:`Engine.save` / :func:`load_index` — versioned ``.npz``
+  persistence so indexes are built offline and served hot.
+
+The :mod:`repro.core` classes stay public for callers that need
+variant-specific control; ``Engine.index`` exposes the wrapped instance.
+"""
+
+from .batch import execute_batch
+from .engine import Engine, build_index, load_index
+from .persistence import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    load_index_payload,
+    read_manifest,
+    save_index_payload,
+)
+from .planner import (
+    DEFAULT_TAU_MIN,
+    INDEX_CLASSES,
+    IndexPlan,
+    normalize_input,
+    plan_index,
+)
+from .requests import SearchRequest, SearchResult
+
+__all__ = [
+    "DEFAULT_TAU_MIN",
+    "Engine",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "INDEX_CLASSES",
+    "IndexPlan",
+    "SearchRequest",
+    "SearchResult",
+    "build_index",
+    "execute_batch",
+    "load_index",
+    "load_index_payload",
+    "normalize_input",
+    "plan_index",
+    "read_manifest",
+    "save_index_payload",
+]

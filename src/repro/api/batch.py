@@ -1,0 +1,143 @@
+"""Batch query execution for the :mod:`repro.api` façade.
+
+``Engine.search_many`` funnels through :func:`execute_batch`, which
+amortizes work across the batch without touching index internals:
+
+* **Deduplication** — identical requests share one lazy evaluation (and one
+  cached answer); serving workloads are full of repeated patterns.
+* **Threshold refinement** — several plain-reporting requests for the
+  *same pattern* at different thresholds trigger a single index traversal
+  at the lowest threshold; the tighter answers are derived by filtering the
+  base answer (a match reported above ``tau₁`` is above ``tau₂ > tau₁``
+  exactly when its value clears ``tau₂``).  Refinement is enabled only for
+  engines whose index both stores and compares match values in the same
+  linear space the filter uses — the listing index, whose ``ListingMatch``
+  carries the exact float the direct query compares against ``tau``, so the
+  derived answer is bit-identical to a direct query.  The substring indexes
+  compare in *log* space and report ``exp(value)``; a linear filter over
+  the reported probabilities can flip a strict comparison within a ulp of
+  the boundary, and the approximate index additionally carries an additive
+  error — both therefore run each distinct request directly.  ``top_k``
+  requests also always run directly: their boundary semantics admit values
+  a hair below ``tau`` (the indexes apply a 1e-12 tolerance), which a
+  filter over a plain query's answer cannot reproduce — and the heap-driven
+  ``top_k`` path is already output-sensitive, so there is little to save.
+
+Everything stays lazy: nothing runs until some result in the batch is
+actually consumed, and consuming one result materializes only the
+evaluations it depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.base import ListingMatch, Occurrence
+from .requests import Match, SearchRequest, SearchResult
+
+#: Key identifying requests that can share one evaluation verbatim.
+_RequestKey = Tuple[str, Optional[float], Optional[int]]
+
+
+def _match_value(match: Match) -> float:
+    """The probability (occurrence) or relevance (listing match) of a match."""
+    if isinstance(match, Occurrence):
+        return match.probability
+    return match.relevance
+
+
+def _derive_filtered(base: SearchResult, tau: float) -> Callable[[], List[Match]]:
+    """Answer at threshold ``tau`` derived from a lower-threshold answer."""
+    return lambda: [match for match in base.matches if _match_value(match) > tau]
+
+
+def execute_batch(
+    requests: Sequence[Union[SearchRequest, str]],
+    evaluate: Callable[[SearchRequest], List[Match]],
+    tau_min: float,
+    *,
+    default_tau: Optional[float] = None,
+    refine_tau: bool = True,
+) -> List[SearchResult]:
+    """Turn a batch of requests into (shared, lazy) results.
+
+    Parameters
+    ----------
+    requests:
+        Bare patterns or :class:`SearchRequest` objects.
+    evaluate:
+        Callback running one request against the engine's index.
+    tau_min:
+        The index's minimum supported threshold (for ``tau=None``
+        resolution when grouping).
+    default_tau:
+        Threshold applied to bare-pattern entries.
+    refine_tau:
+        Enable same-pattern threshold refinement.  Only engines whose
+        index compares match values in linear space (the listing index)
+        pass ``True`` — see the module docstring.
+    """
+    # The batch-level default applies to bare patterns only — an explicit
+    # SearchRequest keeps its own threshold.
+    normalized = [
+        request
+        if isinstance(request, SearchRequest)
+        else SearchRequest(request, tau=default_tau)
+        for request in requests
+    ]
+
+    # Base (lowest-threshold full query) per pattern, for refinement.
+    # Requests whose explicit threshold is below the index's tau_min are
+    # never usable as a base: their own evaluation raises, and deriving a
+    # valid request's answer from them would propagate that error.
+    base_for_pattern: Dict[str, SearchRequest] = {}
+    if refine_tau:
+        for request in normalized:
+            if request.top_k is not None:
+                continue
+            if request.tau is not None and request.tau < tau_min:
+                continue
+            current = base_for_pattern.get(request.pattern)
+            if current is None or request.resolve_tau(tau_min) < current.resolve_tau(tau_min):
+                base_for_pattern[request.pattern] = request
+
+    shared: Dict[_RequestKey, SearchResult] = {}
+
+    def result_for(request: SearchRequest) -> SearchResult:
+        key: _RequestKey = (request.pattern, request.tau, request.top_k)
+        existing = shared.get(key)
+        if existing is not None:
+            return existing
+
+        # top_k requests run directly (identical duplicates still share
+        # through the key above); refinement applies to plain reporting only.
+        base_request = (
+            base_for_pattern.get(request.pattern) if request.top_k is None else None
+        )
+        base_result = None
+        if base_request is not None and base_request is not request:
+            base_key: _RequestKey = (base_request.pattern, base_request.tau, None)
+            base_result = shared.get(base_key)
+            if base_result is None:
+                base_result = SearchResult(
+                    base_request, lambda r=base_request: evaluate(r)
+                )
+                shared[base_key] = base_result
+
+        tau = request.resolve_tau(tau_min)
+        if base_result is not None and base_result.request.resolve_tau(tau_min) < tau:
+            result = SearchResult(request, _derive_filtered(base_result, tau))
+        elif base_result is not None and (
+            base_result.request.resolve_tau(tau_min) == tau
+        ):
+            # Same pattern, same threshold, possibly different spelling of
+            # the default — share the base evaluation outright.
+            result = base_result if base_result.request == request else SearchResult(
+                request, lambda: list(base_result.matches)
+            )
+        else:
+            result = SearchResult(request, lambda r=request: evaluate(r))
+        shared[key] = result
+        return result
+
+    return [result_for(request) for request in normalized]

@@ -1,0 +1,257 @@
+"""The :class:`Engine` façade and the :func:`build_index` factory.
+
+This module is the documented front door of the package: callers hand
+:func:`build_index` whatever they have — a plain string, an
+:class:`~repro.strings.UncertainString`, a
+:class:`~repro.strings.SpecialUncertainString`, a collection or a sequence
+of documents — and get back an :class:`Engine` wrapping the index the
+planner selected (see :mod:`repro.api.planner`).  The engine answers the
+unified :class:`~repro.api.requests.SearchRequest` vocabulary, batches
+queries through :func:`repro.api.batch.execute_batch`, and persists itself
+with :meth:`Engine.save` / :func:`load_index`.
+
+The underlying :mod:`repro.core` classes remain public and unchanged —
+the engine is a façade, not a replacement — and ``engine.index`` exposes
+the wrapped instance for callers that need variant-specific extras.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Union
+
+from ..core.listing import UncertainStringListingIndex
+from ..strings.special import SpecialUncertainString
+from ..strings.uncertain import UncertainString
+from .batch import execute_batch
+from .persistence import load_index_payload, save_index_payload
+from .planner import IndexInput, IndexPlan, normalize_input, plan_index
+from .requests import Match, SearchRequest, SearchResult
+
+
+class Engine:
+    """One built index behind the unified query vocabulary.
+
+    Engines are normally created through :func:`build_index` (which plans
+    and constructs the index) or :func:`load_index` (which restores a
+    saved one); the constructor accepts any already-built core index plus
+    the plan describing it.
+    """
+
+    def __init__(self, index: Any, plan: IndexPlan):
+        self._index = index
+        self._plan = plan
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def index(self) -> Any:
+        """The wrapped :mod:`repro.core` index instance."""
+        return self._index
+
+    @property
+    def plan(self) -> IndexPlan:
+        """The plan that selected (or restored) this index."""
+        return self._plan
+
+    @property
+    def kind(self) -> str:
+        """Index kind: special / simple / general / approximate / listing."""
+        return self._plan.kind
+
+    @property
+    def tau_min(self) -> float:
+        """Smallest query threshold the wrapped index supports."""
+        return float(self._index.tau_min)
+
+    @property
+    def is_listing(self) -> bool:
+        """Whether results carry ListingMatch (documents) instead of Occurrence."""
+        return self._plan.kind == "listing"
+
+    def describe(self) -> dict:
+        """Summary of the engine: kind, selection reason, profile, space."""
+        return {
+            "kind": self.kind,
+            "reason": self._plan.reason,
+            "tau_min": self.tau_min,
+            "profile": dict(self._plan.profile),
+            "space_report": self.space_report(),
+        }
+
+    def space_report(self) -> dict:
+        """Byte sizes of the wrapped index's components."""
+        return self._index.space_report()
+
+    def nbytes(self) -> int:
+        """Total approximate memory footprint of the wrapped index."""
+        return int(self._index.nbytes())
+
+    def __repr__(self) -> str:
+        return f"Engine(kind={self.kind!r}, tau_min={self.tau_min}, nbytes={self.nbytes()})"
+
+    # -- queries -----------------------------------------------------------------------
+    def _evaluate(self, request: SearchRequest) -> List[Match]:
+        if request.top_k is not None:
+            return self._index.top_k(
+                request.pattern, request.top_k, tau=request.tau
+            )
+        return self._index.query(
+            request.pattern, request.resolve_tau(self.tau_min)
+        )
+
+    def search(
+        self,
+        request: Union[SearchRequest, str],
+        *,
+        tau: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> SearchResult:
+        """Answer one request (lazily — the query runs on first access).
+
+        ``request`` may be a bare pattern (with ``tau`` / ``top_k`` given as
+        keywords) or a :class:`SearchRequest`.
+        """
+        normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
+        return SearchResult(normalized, lambda: self._evaluate(normalized))
+
+    def search_many(
+        self,
+        requests: Sequence[Union[SearchRequest, str]],
+        *,
+        tau: Optional[float] = None,
+    ) -> List[SearchResult]:
+        """Answer a batch of requests, amortizing work across them.
+
+        Identical requests share one evaluation; on listing engines,
+        same-pattern requests at different thresholds additionally share
+        one traversal at the lowest threshold (see :mod:`repro.api.batch`
+        for why refinement is restricted to the listing index).  Results
+        come back in request order and stay lazy until consumed.
+        """
+        # Refinement is exact only when the index both stores and compares
+        # the reported relevance directly: the listing index without the
+        # correlated-collection verification step (which prunes candidates
+        # on pre-verification values a filter over reported relevance
+        # cannot reproduce).
+        refine = self.is_listing and not self._index.needs_verification
+        return execute_batch(
+            requests,
+            self._evaluate,
+            self.tau_min,
+            default_tau=tau,
+            refine_tau=refine,
+        )
+
+    def query(self, pattern: str, tau: Optional[float] = None) -> List[Match]:
+        """Eager threshold query (the classic ``index.query`` shape)."""
+        return self.search(pattern, tau=tau).matches
+
+    def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Match]:
+        """The ``k`` most probable (most relevant) matches of ``pattern``."""
+        return self._index.top_k(pattern, k, tau=tau)
+
+    def count(self, pattern: str, tau: Optional[float] = None) -> int:
+        """Number of matches of ``pattern`` above the threshold."""
+        return self.search(pattern, tau=tau).count
+
+    def exists(self, pattern: str, tau: Optional[float] = None) -> bool:
+        """Whether ``pattern`` matches anywhere above the threshold."""
+        return self.search(pattern, tau=tau).exists
+
+    # -- persistence -------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize the engine to a versioned ``.npz`` archive.
+
+        The archive stores every numpy component (suffix arrays, LCP,
+        cumulative tables, per-length value arrays, links) plus a JSON
+        manifest with the format version, the plan and the indexed string,
+        so :func:`load_index` restores an engine whose answers are
+        byte-identical to this one without re-running construction.
+        """
+        return save_index_payload(self._index, self._plan, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Engine":
+        """Restore an engine saved with :meth:`save`."""
+        index, plan = load_index_payload(path)
+        return cls(index, plan)
+
+
+def build_index(
+    data: IndexInput,
+    *,
+    tau_min: Optional[float] = None,
+    kind: str = "auto",
+    space_budget_bytes: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    metric: str = "max",
+    **options: Any,
+) -> Engine:
+    """Plan, build and wrap the right index for ``data``.
+
+    This is the package's front door: it accepts a plain string, an
+    :class:`UncertainString`, a :class:`SpecialUncertainString`, an
+    :class:`UncertainStringCollection` or a sequence of documents, runs
+    :func:`repro.api.planner.plan_index` (honouring ``kind=...``
+    overrides), constructs the selected :mod:`repro.core` index and
+    returns it wrapped in an :class:`Engine`.
+
+    Examples
+    --------
+    >>> from repro import UncertainString, build_index
+    >>> engine = build_index(UncertainString([
+    ...     {"A": 0.6, "C": 0.4}, {"T": 1.0}, {"A": 0.5, "G": 0.5},
+    ... ]), tau_min=0.1)
+    >>> engine.kind
+    'general'
+    >>> [occ.position for occ in engine.search("AT", tau=0.3)]
+    [0]
+    """
+    # Normalize once: plan_index passes already-canonical inputs through, so
+    # the planner profiles the exact object the index is built over.
+    normalized = normalize_input(data)
+    plan = plan_index(
+        normalized,
+        tau_min=tau_min,
+        kind=kind,
+        space_budget_bytes=space_budget_bytes,
+        epsilon=epsilon,
+        metric=metric,
+        **options,
+    )
+    index = _construct(plan, normalized)
+    return Engine(index, plan)
+
+
+def _construct(plan: IndexPlan, normalized: Any) -> Any:
+    """Instantiate the planned index class with the right input shape.
+
+    ``plan.prepared_input`` carries the exact constructor argument the
+    planner already derived (special-string view, converted string, the
+    collection); the fallbacks below only run for hand-made plans.
+    """
+    options = dict(plan.options)
+    if plan.kind == "listing":
+        collection = plan.prepared_input if plan.prepared_input is not None else normalized
+        return UncertainStringListingIndex(collection, plan.tau_min, **options)
+    if plan.kind in ("special", "simple"):
+        string = plan.prepared_input
+        if string is None:
+            string = normalized
+            if isinstance(string, UncertainString):
+                from .planner import _special_view
+
+                string = _special_view(string)
+        return plan.index_class(string, **options)
+    # general / approximate indexes take a general uncertain string.
+    string = plan.prepared_input
+    if string is None:
+        string = normalized
+        if isinstance(string, SpecialUncertainString):
+            string = string.to_uncertain_string()
+    return plan.index_class(string, plan.tau_min, **options)
+
+
+def load_index(path: Union[str, Path]) -> Engine:
+    """Restore an engine saved with :meth:`Engine.save` (module-level alias)."""
+    return Engine.load(path)

@@ -1,0 +1,554 @@
+"""Index persistence: versioned ``.npz`` archives for every index variant.
+
+Indexes are expensive to build (suffix-array construction plus the
+per-length RMQ tower) and cheap to *use*; a serving deployment wants to
+build offline and load hot.  :func:`save_index_payload` writes a single
+compressed ``.npz`` archive holding
+
+* every heavy numpy component — suffix array, LCP array, cumulative
+  probability tables, per-length ``C_i`` / relevance arrays, blocking
+  structures, link tables — exactly as the in-memory index holds them, and
+* a JSON **manifest** (format name + version, the index kind, constructor
+  configuration, the serialized input string / collection and the plan)
+  under the reserved ``__manifest__`` key.
+
+:func:`load_index_payload` restores the index without re-running
+construction: arrays are loaded verbatim, the RMQ structures (which are
+pure functions of their value arrays) are rebuilt in linear time, and the
+suffix tree of the approximate index is rebuilt from the saved suffix and
+LCP arrays.  Because every probability array round-trips bit-exactly, a
+loaded index returns **byte-identical** query results to the one that was
+saved.
+
+The manifest is versioned (:data:`FORMAT_VERSION`); loading an archive
+with an unknown format or newer version fails loudly instead of
+misinterpreting bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.approximate import ApproximateSubstringIndex, Link
+from ..core.factors import MaximalFactor, TransformedString
+from ..core.general_index import GeneralUncertainStringIndex
+from ..core.listing import UncertainStringListingIndex
+from ..core.simple_index import SimpleSpecialIndex
+from ..core.special_index import SpecialUncertainStringIndex
+from ..exceptions import ValidationError
+from ..strings.collection import UncertainStringCollection
+from ..strings.correlation import CorrelationModel, CorrelationRule
+from ..strings.special import SpecialUncertainString
+from ..strings.uncertain import UncertainString
+from ..suffix.lcp import build_lcp_array
+from ..suffix.rmq import make_rmq
+from ..suffix.suffix_array import SuffixArray
+from ..suffix.suffix_tree import SuffixTree
+
+FORMAT_NAME = "repro-index"
+FORMAT_VERSION = 1
+
+#: Reserved archive key holding the JSON manifest (UTF-8 bytes).
+MANIFEST_KEY = "__manifest__"
+
+_KIND_BY_CLASS = {
+    SpecialUncertainStringIndex: "special",
+    SimpleSpecialIndex: "simple",
+    GeneralUncertainStringIndex: "general",
+    ApproximateSubstringIndex: "approximate",
+    UncertainStringListingIndex: "listing",
+}
+
+
+def normalize_archive_path(path: Union[str, Path]) -> Path:
+    """Resolve the archive path, appending ``.npz`` when no suffix is given."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# String / correlation serialization (JSON-safe; floats round-trip exactly)
+# ---------------------------------------------------------------------------
+def _rules_to_manifest(model: CorrelationModel) -> List[Dict[str, Any]]:
+    return [
+        {
+            "position": rule.position,
+            "character": rule.character,
+            "partner_position": rule.partner_position,
+            "partner_character": rule.partner_character,
+            "probability_if_present": rule.probability_if_present,
+            "probability_if_absent": rule.probability_if_absent,
+        }
+        for rule in model
+    ]
+
+
+def _rules_from_manifest(entries: List[Dict[str, Any]]) -> CorrelationModel:
+    return CorrelationModel(CorrelationRule(**entry) for entry in entries)
+
+
+def _uncertain_to_manifest(string: UncertainString) -> Dict[str, Any]:
+    return {
+        "type": "uncertain",
+        "name": string.name,
+        "positions": string.to_table(),
+        "correlations": _rules_to_manifest(string.correlations),
+    }
+
+
+def _uncertain_from_manifest(entry: Dict[str, Any]) -> UncertainString:
+    string = UncertainString.from_table(entry["positions"], name=entry.get("name"))
+    rules = entry.get("correlations") or []
+    if not rules:
+        return string
+    return UncertainString(
+        list(string),
+        correlations=_rules_from_manifest(rules),
+        name=entry.get("name"),
+    )
+
+
+def _special_to_manifest(string: SpecialUncertainString) -> Dict[str, Any]:
+    return {
+        "type": "special",
+        "name": string.name,
+        "text": string.text,
+        "probabilities": [float(value) for value in string.probabilities],
+    }
+
+
+def _special_from_manifest(entry: Dict[str, Any]) -> SpecialUncertainString:
+    return SpecialUncertainString.from_characters_and_probabilities(
+        entry["text"], entry["probabilities"], name=entry.get("name")
+    )
+
+
+def _collection_to_manifest(collection: UncertainStringCollection) -> Dict[str, Any]:
+    return {
+        "type": "collection",
+        "names": [collection.name_of(i) for i in range(len(collection))],
+        "documents": [_uncertain_to_manifest(document) for document in collection],
+    }
+
+
+def _collection_from_manifest(entry: Dict[str, Any]) -> UncertainStringCollection:
+    documents = [_uncertain_from_manifest(d) for d in entry["documents"]]
+    return UncertainStringCollection(documents, names=entry.get("names"))
+
+
+# ---------------------------------------------------------------------------
+# TransformedString round-trip
+# ---------------------------------------------------------------------------
+def _transformed_to_payload(
+    transformed: TransformedString, arrays: Dict[str, np.ndarray], prefix: str
+) -> Dict[str, Any]:
+    arrays[f"{prefix}probabilities"] = transformed.probabilities
+    arrays[f"{prefix}positions"] = transformed.positions
+    arrays[f"{prefix}documents"] = transformed.documents
+    return {
+        "text": transformed.text,
+        "tau_min": transformed.tau_min,
+        "separator": transformed.separator,
+        "source_length": transformed.source_length,
+        "document_count": transformed.document_count,
+    }
+
+
+def _transformed_from_payload(
+    entry: Dict[str, Any], arrays: Dict[str, np.ndarray], prefix: str
+) -> TransformedString:
+    """Rebuild the transformation by recovering its factors from the arrays.
+
+    Factors are delimited by the separator character, so the factor list —
+    and with it every invariant the constructor enforces — is recovered
+    exactly; the constructor then reassembles text and arrays identical to
+    the saved ones.
+    """
+    text: str = entry["text"]
+    separator: str = entry["separator"]
+    probabilities = arrays[f"{prefix}probabilities"]
+    positions = arrays[f"{prefix}positions"]
+    documents = arrays[f"{prefix}documents"]
+    factors: List[MaximalFactor] = []
+    start = 0
+    for index, character in enumerate(text):
+        if character != separator:
+            continue
+        if index > start:
+            document = int(documents[start])
+            factors.append(
+                MaximalFactor(
+                    start=int(positions[start]),
+                    characters=text[start:index],
+                    probabilities=tuple(float(v) for v in probabilities[start:index]),
+                    document=document if document >= 0 else 0,
+                )
+            )
+        start = index + 1
+    return TransformedString(
+        factors,
+        tau_min=entry["tau_min"],
+        source_length=entry["source_length"],
+        document_count=entry["document_count"],
+        separator=separator,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-kind save / load
+# ---------------------------------------------------------------------------
+def _save_special(index: SpecialUncertainStringIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    arrays["suffix_array"] = index._suffix_array.array
+    arrays["prefix"] = index._prefix
+    for length, values in index._short_values.items():
+        arrays[f"short_values_{length}"] = values
+    for length, maxima in index._block_maxima.items():
+        arrays[f"block_maxima_{length}"] = maxima
+    return {
+        "string": _special_to_manifest(index._string),
+        "correlations": _rules_to_manifest(index._correlations),
+        "max_short_length": index._max_short_length,
+        "short_lengths": sorted(index._short_values),
+        "block_lengths": sorted(index._block_maxima),
+        "long_pattern_mode": index._long_pattern_mode,
+        "rmq_implementation": index._rmq_implementation,
+    }
+
+
+def _load_special(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> SpecialUncertainStringIndex:
+    index = SpecialUncertainStringIndex.__new__(SpecialUncertainStringIndex)
+    index._string = _special_from_manifest(config["string"])
+    index._correlations = _rules_from_manifest(config["correlations"])
+    index._long_pattern_mode = config["long_pattern_mode"]
+    index._rmq_implementation = config["rmq_implementation"]
+    index._suffix_array = SuffixArray(index._string.text, array=arrays["suffix_array"])
+    index._prefix = arrays["prefix"]
+    index._max_short_length = int(config["max_short_length"])
+    implementation = config["rmq_implementation"]
+    index._short_values = {
+        int(length): arrays[f"short_values_{length}"] for length in config["short_lengths"]
+    }
+    index._short_rmq = {
+        length: make_rmq(values, mode="max", implementation=implementation)
+        for length, values in index._short_values.items()
+    }
+    index._block_maxima = {
+        int(length): arrays[f"block_maxima_{length}"] for length in config["block_lengths"]
+    }
+    index._block_rmq = {
+        length: make_rmq(maxima, mode="max", implementation=implementation)
+        for length, maxima in index._block_maxima.items()
+    }
+    return index
+
+
+def _save_simple(index: SimpleSpecialIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    arrays["suffix_array"] = index._suffix_array.array
+    arrays["prefix"] = index._prefix
+    return {
+        "string": _special_to_manifest(index._string),
+        "correlations": _rules_to_manifest(index._correlations),
+    }
+
+
+def _load_simple(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> SimpleSpecialIndex:
+    index = SimpleSpecialIndex.__new__(SimpleSpecialIndex)
+    index._string = _special_from_manifest(config["string"])
+    index._correlations = _rules_from_manifest(config["correlations"])
+    index._suffix_array = SuffixArray(index._string.text, array=arrays["suffix_array"])
+    index._prefix = arrays["prefix"]
+    return index
+
+
+def _save_general(index: GeneralUncertainStringIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    arrays["suffix_array"] = index._suffix_array.array
+    arrays["lcp"] = index._lcp
+    arrays["prefix"] = index._prefix
+    arrays["rank_positions"] = index._rank_positions
+    for length, values in index._short_values.items():
+        arrays[f"short_values_{length}"] = values
+    for length, values in index._block_values.items():
+        arrays[f"block_values_{length}"] = values
+    for length, maxima in index._block_maxima.items():
+        arrays[f"block_maxima_{length}"] = maxima
+    return {
+        "string": _uncertain_to_manifest(index._string),
+        "tau_min": index._tau_min,
+        "transformed": _transformed_to_payload(index._transformed, arrays, "transformed_"),
+        "max_short_length": index._max_short_length,
+        "short_lengths": sorted(index._short_values),
+        "block_lengths": sorted(index._block_maxima),
+        "long_pattern_mode": index._long_pattern_mode,
+        "rmq_implementation": index._rmq_implementation,
+    }
+
+
+def _load_general(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> GeneralUncertainStringIndex:
+    index = GeneralUncertainStringIndex.__new__(GeneralUncertainStringIndex)
+    index._string = _uncertain_from_manifest(config["string"])
+    index._tau_min = float(config["tau_min"])
+    index._long_pattern_mode = config["long_pattern_mode"]
+    index._rmq_implementation = config["rmq_implementation"]
+    index._needs_verification = bool(index._string.correlations)
+    index._transformed = _transformed_from_payload(
+        config["transformed"], arrays, "transformed_"
+    )
+    index._suffix_array = SuffixArray(
+        index._transformed.text, array=arrays["suffix_array"]
+    )
+    index._lcp = arrays["lcp"]
+    index._prefix = arrays["prefix"]
+    index._rank_positions = arrays["rank_positions"]
+    index._max_short_length = int(config["max_short_length"])
+    implementation = config["rmq_implementation"]
+    index._short_values = {
+        int(length): arrays[f"short_values_{length}"] for length in config["short_lengths"]
+    }
+    index._short_rmq = {
+        length: make_rmq(values, mode="max", implementation=implementation)
+        for length, values in index._short_values.items()
+    }
+    index._block_values = {
+        int(length): arrays[f"block_values_{length}"] for length in config["block_lengths"]
+    }
+    index._block_maxima = {
+        int(length): arrays[f"block_maxima_{length}"] for length in config["block_lengths"]
+    }
+    index._block_rmq = {
+        length: make_rmq(maxima, mode="max", implementation=implementation)
+        for length, maxima in index._block_maxima.items()
+    }
+    return index
+
+
+def _save_listing(index: UncertainStringListingIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    arrays["suffix_array"] = index._suffix_array.array
+    arrays["lcp"] = index._lcp
+    arrays["prefix"] = index._prefix
+    arrays["rank_positions"] = index._rank_positions
+    arrays["rank_documents"] = index._rank_documents
+    for length, values in index._relevance.items():
+        arrays[f"relevance_{length}"] = values
+    return {
+        "collection": _collection_to_manifest(index._collection),
+        "tau_min": index._tau_min,
+        "metric": index._metric,
+        "transformed": _transformed_to_payload(index._transformed, arrays, "transformed_"),
+        "max_short_length": index._max_short_length,
+        "relevance_lengths": sorted(index._relevance),
+        "rmq_implementation": index._rmq_implementation,
+    }
+
+
+def _load_listing(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> UncertainStringListingIndex:
+    index = UncertainStringListingIndex.__new__(UncertainStringListingIndex)
+    index._collection = _collection_from_manifest(config["collection"])
+    index._tau_min = float(config["tau_min"])
+    index._metric = config["metric"]
+    index._rmq_implementation = config["rmq_implementation"]
+    index._needs_verification = any(
+        bool(document.correlations) for document in index._collection
+    )
+    index._transformed = _transformed_from_payload(
+        config["transformed"], arrays, "transformed_"
+    )
+    index._suffix_array = SuffixArray(
+        index._transformed.text, array=arrays["suffix_array"]
+    )
+    index._lcp = arrays["lcp"]
+    index._prefix = arrays["prefix"]
+    index._rank_positions = arrays["rank_positions"]
+    index._rank_documents = arrays["rank_documents"]
+    index._max_short_length = int(config["max_short_length"])
+    implementation = config["rmq_implementation"]
+    index._relevance = {
+        int(length): arrays[f"relevance_{length}"]
+        for length in config["relevance_lengths"]
+    }
+    index._relevance_rmq = {
+        length: make_rmq(values, mode="max", implementation=implementation)
+        for length, values in index._relevance.items()
+    }
+    return index
+
+
+def _save_approximate(index: ApproximateSubstringIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    arrays["suffix_array"] = index._suffix_array.array
+    arrays["lcp"] = index._tree.lcp
+    arrays["prefix"] = index._prefix
+    arrays["rank_positions"] = index._rank_positions
+    arrays["link_origin_left"] = np.asarray(
+        [link.origin_left for link in index._links], dtype=np.int64
+    )
+    arrays["link_origin_right"] = np.asarray(
+        [link.origin_right for link in index._links], dtype=np.int64
+    )
+    arrays["link_origin_depth"] = np.asarray(
+        [link.origin_depth for link in index._links], dtype=np.int64
+    )
+    arrays["link_target_depth"] = np.asarray(
+        [link.target_depth for link in index._links], dtype=np.int64
+    )
+    arrays["link_position"] = np.asarray(
+        [link.position for link in index._links], dtype=np.int64
+    )
+    arrays["link_probability"] = np.asarray(
+        [link.probability for link in index._links], dtype=np.float64
+    )
+    return {
+        "string": _uncertain_to_manifest(index._string),
+        "tau_min": index._tau_min,
+        "epsilon": index._epsilon,
+        "transformed": _transformed_to_payload(index._transformed, arrays, "transformed_"),
+        "link_count": len(index._links),
+    }
+
+
+def _load_approximate(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> ApproximateSubstringIndex:
+    index = ApproximateSubstringIndex.__new__(ApproximateSubstringIndex)
+    index._string = _uncertain_from_manifest(config["string"])
+    index._tau_min = float(config["tau_min"])
+    index._epsilon = float(config["epsilon"])
+    index._transformed = _transformed_from_payload(
+        config["transformed"], arrays, "transformed_"
+    )
+    index._suffix_array = SuffixArray(
+        index._transformed.text, array=arrays["suffix_array"]
+    )
+    index._tree = SuffixTree(index._suffix_array, lcp=arrays["lcp"])
+    index._prefix = arrays["prefix"]
+    index._rank_positions = arrays["rank_positions"]
+    index._links = [
+        Link(
+            origin_left=int(arrays["link_origin_left"][i]),
+            origin_right=int(arrays["link_origin_right"][i]),
+            origin_depth=int(arrays["link_origin_depth"][i]),
+            target_depth=int(arrays["link_target_depth"][i]),
+            position=int(arrays["link_position"][i]),
+            probability=float(arrays["link_probability"][i]),
+        )
+        for i in range(int(config["link_count"]))
+    ]
+    index._link_origin_left = arrays["link_origin_left"]
+    index._link_probabilities = arrays["link_probability"]
+    if len(index._links) > 0:
+        index._link_rmq = make_rmq(index._link_probabilities, mode="max")
+    else:
+        index._link_rmq = None
+    return index
+
+
+_SAVERS = {
+    "special": _save_special,
+    "simple": _save_simple,
+    "general": _save_general,
+    "listing": _save_listing,
+    "approximate": _save_approximate,
+}
+
+_LOADERS = {
+    "special": _load_special,
+    "simple": _load_simple,
+    "general": _load_general,
+    "listing": _load_listing,
+    "approximate": _load_approximate,
+}
+
+
+# ---------------------------------------------------------------------------
+# Archive assembly
+# ---------------------------------------------------------------------------
+def save_index_payload(index: Any, plan: Optional[Any], path: Union[str, Path]) -> Path:
+    """Write ``index`` (and optionally its plan) to a versioned ``.npz`` archive."""
+    kind = _KIND_BY_CLASS.get(type(index))
+    if kind is None:
+        raise ValidationError(
+            f"cannot serialize a {type(index).__name__}; supported index "
+            f"classes: {sorted(cls.__name__ for cls in _KIND_BY_CLASS)}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    config = _SAVERS[kind](index, arrays)
+    if MANIFEST_KEY in arrays:
+        raise ValidationError(f"{MANIFEST_KEY} is a reserved archive key")
+
+    manifest: Dict[str, Any] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "config": config,
+    }
+    if plan is not None:
+        manifest["plan"] = {
+            "kind": plan.kind,
+            "tau_min": plan.tau_min,
+            "reason": plan.reason,
+            "profile": dict(plan.profile),
+        }
+    payload = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    arrays[MANIFEST_KEY] = np.frombuffer(payload, dtype=np.uint8)
+
+    path = normalize_archive_path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def _extract_manifest(archive: Any, path: Path) -> Dict[str, Any]:
+    """Decode and validate the manifest entry of an open archive."""
+    if MANIFEST_KEY not in archive:
+        raise ValidationError(f"{path} is not a repro index archive (no manifest)")
+    manifest = json.loads(bytes(archive[MANIFEST_KEY].tolist()).decode("utf-8"))
+    if manifest.get("format") != FORMAT_NAME:
+        raise ValidationError(
+            f"{path} has format {manifest.get('format')!r}, expected {FORMAT_NAME!r}"
+        )
+    if int(manifest.get("version", -1)) > FORMAT_VERSION:
+        raise ValidationError(
+            f"{path} was written by a newer format version "
+            f"({manifest.get('version')} > {FORMAT_VERSION}); upgrade the package"
+        )
+    return manifest
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate the JSON manifest of a saved index archive."""
+    path = normalize_archive_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        return _extract_manifest(archive, path)
+
+
+def load_index_payload(path: Union[str, Path]) -> Tuple[Any, Any]:
+    """Restore a saved index; returns ``(index, plan)``.
+
+    The plan is rebuilt from the manifest (kind, reason, profile) so a
+    loaded engine still explains itself; the reason notes the archive it
+    came from.
+    """
+    from .planner import IndexPlan
+
+    path = normalize_archive_path(path)
+    # One pass over the compressed archive: manifest and arrays together.
+    with np.load(path, allow_pickle=False) as archive:
+        manifest = _extract_manifest(archive, path)
+        kind = manifest["kind"]
+        if kind not in _LOADERS:
+            raise ValidationError(f"{path} holds unknown index kind {kind!r}")
+        arrays = {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
+    index = _LOADERS[kind](manifest["config"], arrays)
+
+    saved_plan = manifest.get("plan") or {}
+    plan = IndexPlan(
+        kind=kind,
+        tau_min=float(saved_plan.get("tau_min", getattr(index, "tau_min", 0.0))),
+        reason=saved_plan.get("reason", "") + f" [loaded from {path.name}]",
+        options={},
+        profile=dict(saved_plan.get("profile", {})),
+    )
+    return index, plan

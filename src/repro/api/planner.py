@@ -1,0 +1,456 @@
+"""Index auto-selection for the :mod:`repro.api` façade.
+
+The paper defines four index variants plus baselines; which one fits depends
+on the *shape* of the input, not on anything a caller should have to know
+about the theory.  :func:`plan_index` inspects the input — special
+vs. general uncertain string, single string vs. collection, alphabet size,
+length, optional space budget — and produces an :class:`IndexPlan` naming
+the :mod:`repro.core` class to build, the constructor options and a
+human-readable reason for the choice.  Explicit ``kind=...`` overrides are
+always honoured.
+
+Selection rules (``kind="auto"``)
+---------------------------------
+1. A collection (``UncertainStringCollection`` or a sequence of strings /
+   uncertain strings) becomes an :class:`UncertainStringListingIndex` —
+   listing is the only query the paper defines over collections.
+2. A special uncertain string — ``SpecialUncertainString``, a plain ``str``
+   (certain characters) or an ``UncertainString`` with a single probable
+   character per position — becomes a :class:`SpecialUncertainStringIndex`;
+   when a ``space_budget_bytes`` is given and the RMQ tower will not fit,
+   the planner falls back to the O(n)-space :class:`SimpleSpecialIndex`.
+3. A general uncertain string becomes a
+   :class:`GeneralUncertainStringIndex`; when a ``space_budget_bytes`` is
+   given and the per-length structures over the transformed text will not
+   fit — or when ``epsilon`` is passed explicitly — the planner selects the
+   :class:`ApproximateSubstringIndex` instead (smaller, additive-error).
+
+Space estimates are deliberately coarse (the honest number requires
+building the index); they exist so a budget can steer the choice, and the
+formulas are documented next to the code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple, Type, Union
+
+from .._validation import check_threshold
+from ..core.approximate import ApproximateSubstringIndex
+from ..core.general_index import GeneralUncertainStringIndex
+from ..core.listing import UncertainStringListingIndex
+from ..core.simple_index import SimpleSpecialIndex
+from ..core.special_index import SpecialUncertainStringIndex
+from ..exceptions import ValidationError
+from ..strings.collection import UncertainStringCollection
+from ..strings.special import SpecialUncertainString
+from ..strings.uncertain import UncertainString
+
+#: Construction threshold used when the caller does not provide one for an
+#: index kind that requires it (general / approximate / listing).  Matches
+#: the τ_min the paper's evaluation uses throughout.
+DEFAULT_TAU_MIN = 0.1
+
+#: Index kinds the planner knows, mapped to the class it will build.
+INDEX_CLASSES: Dict[str, type] = {
+    "special": SpecialUncertainStringIndex,
+    "simple": SimpleSpecialIndex,
+    "general": GeneralUncertainStringIndex,
+    "approximate": ApproximateSubstringIndex,
+    "listing": UncertainStringListingIndex,
+}
+
+IndexInput = Union[
+    str,
+    UncertainString,
+    SpecialUncertainString,
+    UncertainStringCollection,
+    Sequence[Union[str, UncertainString]],
+]
+
+
+@dataclass(frozen=True)
+class IndexPlan:
+    """The planner's decision: which index to build and how.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"special"``, ``"simple"``, ``"general"``,
+        ``"approximate"``, ``"listing"``.
+    tau_min:
+        Construction threshold the index will be built with (``0.0`` for
+        the special-string indexes, which support any positive threshold).
+    reason:
+        Human-readable explanation of the choice (surfaced by
+        ``Engine.describe()`` and useful in logs).
+    options:
+        Extra constructor keyword arguments.
+    profile:
+        Facts about the input the decision was based on (length, alphabet
+        size, uncertain fraction, document count, estimated sizes).
+    prepared_input:
+        The exact object the index constructor should receive (e.g. the
+        special-string view the planner already derived), so building the
+        plan does not repeat the planner's input scan.  ``None`` on plans
+        that were not produced by :func:`plan_index` for this input
+        (e.g. plans restored from an archive).
+    """
+
+    kind: str
+    tau_min: float
+    reason: str
+    options: Dict[str, Any] = field(default_factory=dict)
+    profile: Dict[str, Any] = field(default_factory=dict)
+    prepared_input: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def index_class(self) -> Type:
+        """The :mod:`repro.core` class this plan builds."""
+        return INDEX_CLASSES[self.kind]
+
+
+def normalize_input(
+    data: IndexInput,
+) -> Union[UncertainString, SpecialUncertainString, UncertainStringCollection]:
+    """Coerce the accepted input shapes into the three canonical types.
+
+    * ``str`` → a certain :class:`SpecialUncertainString`;
+    * a sequence of strings / uncertain strings → an
+      :class:`UncertainStringCollection`;
+    * the canonical types pass through unchanged.
+    """
+    if isinstance(data, (UncertainString, SpecialUncertainString, UncertainStringCollection)):
+        return data
+    if isinstance(data, str):
+        if not data:
+            raise ValidationError("cannot index an empty string")
+        return SpecialUncertainString.from_deterministic(data)
+    if isinstance(data, Sequence):
+        documents = []
+        for entry in data:
+            if isinstance(entry, UncertainString):
+                documents.append(entry)
+            elif isinstance(entry, SpecialUncertainString):
+                documents.append(entry.to_uncertain_string())
+            elif isinstance(entry, str):
+                documents.append(UncertainString.from_deterministic(entry))
+            else:
+                raise ValidationError(
+                    "collection entries must be strings or uncertain strings, "
+                    f"got {type(entry).__name__}"
+                )
+        if not documents:
+            raise ValidationError("cannot index an empty collection")
+        return UncertainStringCollection(documents)
+    raise ValidationError(
+        f"cannot index a {type(data).__name__}; expected a string, an "
+        "UncertainString, a SpecialUncertainString, an "
+        "UncertainStringCollection or a sequence of documents"
+    )
+
+
+def _special_view(string: UncertainString) -> Optional[SpecialUncertainString]:
+    """A special-string view of ``string`` when every position is single-character."""
+    if string.correlations:
+        return None
+    pairs = []
+    for distribution in string:
+        if len(distribution) != 1:
+            return None
+        pairs.append(distribution.most_likely())
+    return SpecialUncertainString(pairs, name=string.name)
+
+
+def _profile(
+    data: Union[UncertainString, SpecialUncertainString, UncertainStringCollection],
+) -> Dict[str, Any]:
+    """Facts about the input the planner bases its decision on."""
+    if isinstance(data, UncertainStringCollection):
+        lengths = [len(document) for document in data]
+        alphabet = set()
+        uncertain = 0
+        total = 0
+        for document in data:
+            for distribution in document:
+                alphabet.update(distribution.characters)
+                total += 1
+                if len(distribution) > 1:
+                    uncertain += 1
+        return {
+            "shape": "collection",
+            "document_count": len(data),
+            "length": sum(lengths),
+            "max_document_length": max(lengths),
+            "alphabet_size": len(alphabet),
+            "uncertain_fraction": uncertain / max(1, total),
+        }
+    if isinstance(data, SpecialUncertainString):
+        return {
+            "shape": "special",
+            "length": len(data),
+            "alphabet_size": len(set(data.text)),
+            "uncertain_fraction": float(
+                sum(1 for p in data.probabilities if p < 1.0) / len(data)
+            ),
+        }
+    alphabet = set()
+    uncertain = 0
+    for distribution in data:
+        alphabet.update(distribution.characters)
+        if len(distribution) > 1:
+            uncertain += 1
+    return {
+        "shape": "general",
+        "length": len(data),
+        "alphabet_size": len(alphabet),
+        "uncertain_fraction": uncertain / len(data),
+        "correlated": bool(data.correlations),
+    }
+
+
+# -- space estimates ----------------------------------------------------------------------
+def _estimate_special_bytes(n: int) -> int:
+    """Coarse size of the RMQ-tower special index.
+
+    Suffix array + inverse (16 n) + cumulative table (8 n) + one C_i array
+    with its RMQ (~16 n) per length up to ⌈log2 n⌉.
+    """
+    levels = max(1, math.ceil(math.log2(n + 1)))
+    return int(24 * n + 16 * n * levels)
+
+
+def _estimate_simple_bytes(n: int) -> int:
+    """Suffix array + inverse + cumulative table only."""
+    return int(24 * n)
+
+
+def _expansion_factor(tau_min: float) -> float:
+    """Heuristic expansion of the maximal-factor transformation.
+
+    The paper bounds the transformed length by O((1/τ_min)² · n); real
+    inputs land far below that, so the planner uses a capped 1/τ_min.
+    """
+    return max(1.0, min(16.0, 1.0 / tau_min))
+
+
+def _estimate_general_bytes(n: int, tau_min: float) -> int:
+    """Special-index estimate over the (expansion-adjusted) transformed text."""
+    m = int(n * _expansion_factor(tau_min))
+    return _estimate_special_bytes(m) + 24 * m  # + LCP and position maps
+
+
+def _estimate_approximate_bytes(n: int, tau_min: float) -> int:
+    """Links + tree over the transformed text — no per-length tower."""
+    m = int(n * _expansion_factor(tau_min))
+    return int(64 * m)
+
+
+def plan_index(
+    data: IndexInput,
+    *,
+    tau_min: Optional[float] = None,
+    kind: str = "auto",
+    space_budget_bytes: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    metric: str = "max",
+    **options: Any,
+) -> IndexPlan:
+    """Decide which index to build for ``data`` (see module docstring).
+
+    Parameters
+    ----------
+    data:
+        Anything :func:`normalize_input` accepts.
+    tau_min:
+        Construction threshold.  Required semantics differ by kind: the
+        general / approximate / listing indexes need one (defaulting to
+        :data:`DEFAULT_TAU_MIN`); the special-string indexes support any
+        positive query threshold and ignore it.
+    kind:
+        ``"auto"`` (default) or an explicit override naming any key of
+        :data:`INDEX_CLASSES`.
+    space_budget_bytes:
+        Optional soft budget steering auto-selection towards the smaller
+        variant (simple instead of special, approximate instead of
+        general).
+    epsilon:
+        Additive error bound; passing it explicitly selects the
+        approximate index for general inputs under ``kind="auto"``.
+    metric:
+        Relevance metric for listing indexes.
+    options:
+        Extra constructor keyword arguments forwarded verbatim.
+    """
+    normalized = normalize_input(data)
+    profile = _profile(normalized)
+    if tau_min is not None:
+        check_threshold(tau_min)
+    if kind != "auto" and kind not in INDEX_CLASSES:
+        raise ValidationError(
+            f"unknown index kind {kind!r}; expected 'auto' or one of "
+            f"{sorted(INDEX_CLASSES)}"
+        )
+
+    effective_tau_min = DEFAULT_TAU_MIN if tau_min is None else float(tau_min)
+    n = int(profile["length"])
+
+    # 1. Collections always answer the listing problem.
+    if profile["shape"] == "collection":
+        if kind not in ("auto", "listing"):
+            raise ValidationError(
+                f"a collection can only back a listing index, not {kind!r}"
+            )
+        plan_options = dict(options)
+        plan_options["metric"] = metric
+        return IndexPlan(
+            kind="listing",
+            tau_min=effective_tau_min,
+            reason=(
+                f"collection of {profile['document_count']} documents "
+                f"({n} total positions) → document-listing index "
+                f"(metric={metric!r}, tau_min={effective_tau_min})"
+            ),
+            options=plan_options,
+            profile=profile,
+            prepared_input=normalized,
+        )
+
+    special = (
+        normalized
+        if isinstance(normalized, SpecialUncertainString)
+        else _special_view(normalized)
+    )
+
+    # 2. Explicit override.
+    if kind != "auto":
+        return _plan_for_kind(
+            kind, normalized, special, effective_tau_min, epsilon,
+            profile, options, reason=f"explicit kind={kind!r} override",
+        )
+
+    # 3. Special-string inputs.
+    if special is not None:
+        estimate = _estimate_special_bytes(n)
+        profile = dict(profile, estimated_bytes=estimate)
+        if space_budget_bytes is not None and estimate > space_budget_bytes:
+            return IndexPlan(
+                kind="simple",
+                tau_min=0.0,
+                reason=(
+                    f"special uncertain string of length {n}, but the RMQ tower "
+                    f"(~{estimate} B) exceeds the {space_budget_bytes} B budget → "
+                    f"linear-space scanning index (~{_estimate_simple_bytes(n)} B)"
+                ),
+                options=dict(options),
+                profile=profile,
+                prepared_input=special,
+            )
+        return IndexPlan(
+            kind="special",
+            tau_min=0.0,
+            reason=(
+                f"special uncertain string of length {n} "
+                f"(alphabet {profile['alphabet_size']}) → RMQ-based special index, "
+                f"O(m + occ) short-pattern queries at any threshold"
+            ),
+            options=dict(options),
+            profile=profile,
+            prepared_input=special,
+        )
+
+    # 4. General uncertain strings.
+    estimate = _estimate_general_bytes(n, effective_tau_min)
+    profile = dict(profile, estimated_bytes=estimate)
+    wants_approximate = epsilon is not None or (
+        space_budget_bytes is not None and estimate > space_budget_bytes
+    )
+    if wants_approximate:
+        plan_options = dict(options)
+        if epsilon is not None:
+            plan_options["epsilon"] = epsilon
+        why = (
+            f"epsilon={epsilon} requested"
+            if epsilon is not None
+            else f"estimated {estimate} B exceeds the {space_budget_bytes} B budget"
+        )
+        return IndexPlan(
+            kind="approximate",
+            tau_min=effective_tau_min,
+            reason=(
+                f"general uncertain string of length {n}; {why} → link-based "
+                f"approximate index (additive error, "
+                f"~{_estimate_approximate_bytes(n, effective_tau_min)} B)"
+            ),
+            options=plan_options,
+            profile=profile,
+            prepared_input=normalized,
+        )
+    return IndexPlan(
+        kind="general",
+        tau_min=effective_tau_min,
+        reason=(
+            f"general uncertain string of length {n} (alphabet "
+            f"{profile['alphabet_size']}, uncertain fraction "
+            f"{profile['uncertain_fraction']:.2f}) → maximal-factor transform + "
+            f"RMQ index at tau_min={effective_tau_min}"
+        ),
+        options=dict(options),
+        profile=profile,
+        prepared_input=normalized,
+    )
+
+
+def _plan_for_kind(
+    kind: str,
+    normalized: Union[UncertainString, SpecialUncertainString],
+    special: Optional[SpecialUncertainString],
+    effective_tau_min: float,
+    epsilon: Optional[float],
+    profile: Dict[str, Any],
+    options: Dict[str, Any],
+    *,
+    reason: str,
+) -> IndexPlan:
+    """Honour an explicit ``kind=...`` override on a single-string input."""
+    if kind == "listing":
+        raise ValidationError(
+            "a listing index needs a collection; wrap the string in an "
+            "UncertainStringCollection or pass a sequence of documents"
+        )
+    if kind in ("special", "simple"):
+        if special is None:
+            raise ValidationError(
+                f"kind={kind!r} requires a special uncertain string (one "
+                "probable character per position); this input is general — "
+                "use kind='general' or let the planner transform it"
+            )
+        # The special-string indexes support any positive query threshold;
+        # a caller-provided tau_min has no effect on them.
+        return IndexPlan(
+            kind=kind,
+            tau_min=0.0,
+            reason=reason,
+            options=dict(options),
+            profile=profile,
+            prepared_input=special,
+        )
+    plan_options = dict(options)
+    if kind == "approximate" and epsilon is not None:
+        plan_options["epsilon"] = epsilon
+    # General / approximate indexes take a general uncertain string; convert
+    # a special input once, here, so construction does not repeat it.
+    prepared = (
+        normalized.to_uncertain_string()
+        if isinstance(normalized, SpecialUncertainString)
+        else normalized
+    )
+    return IndexPlan(
+        kind=kind,
+        tau_min=effective_tau_min,
+        reason=reason,
+        options=plan_options,
+        profile=profile,
+        prepared_input=prepared,
+    )

@@ -1,0 +1,175 @@
+"""Unified query vocabulary of the :mod:`repro.api` façade.
+
+Every index variant answers the same request shape:
+
+* :class:`SearchRequest` — an immutable ``(pattern, tau, top_k)`` triple
+  with the unified ``tau`` semantics of :func:`repro.core.base.resolve_tau`
+  (``None`` means "everything the index can see": ``tau_min`` for indexes
+  with a construction threshold, the tiny positive floor otherwise).
+* :class:`SearchResult` — a lazy, pageable view over the answer.  Nothing
+  is computed until the result is first touched, so building a large batch
+  of requests costs nothing until each answer is actually consumed, and a
+  batch engine can share one evaluation across duplicated requests.
+
+Results hold either :class:`repro.core.base.Occurrence` values (substring
+search) or :class:`repro.core.base.ListingMatch` values (document listing);
+the sequence protocol, paging and counting behave identically for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from .._validation import check_nonempty_pattern, check_threshold
+from ..core.base import ListingMatch, Occurrence, resolve_tau
+from ..exceptions import ValidationError
+
+Match = Union[Occurrence, ListingMatch]
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One threshold query against an :class:`repro.api.Engine`.
+
+    Attributes
+    ----------
+    pattern:
+        The deterministic pattern to search for (non-empty).
+    tau:
+        Probability (or relevance) threshold.  ``None`` resolves to the
+        index's minimum supported threshold — see
+        :func:`repro.core.base.resolve_tau`.
+    top_k:
+        When set, only the ``top_k`` most probable (most relevant) answers
+        are produced, in decreasing probability order; when ``None`` all
+        answers above the threshold are reported in position (document)
+        order.
+    """
+
+    pattern: str
+    tau: Optional[float] = None
+    top_k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_nonempty_pattern(self.pattern)
+        if self.tau is not None:
+            check_threshold(self.tau)
+        if self.top_k is not None and self.top_k <= 0:
+            raise ValidationError(f"top_k must be positive, got {self.top_k}")
+
+    def resolve_tau(self, tau_min: float) -> float:
+        """Concrete threshold this request uses against an index with ``tau_min``."""
+        return resolve_tau(self.tau, tau_min)
+
+    @staticmethod
+    def coerce(
+        request: Union["SearchRequest", str],
+        *,
+        tau: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> "SearchRequest":
+        """Accept a bare pattern or an existing request (with overrides)."""
+        if isinstance(request, SearchRequest):
+            if tau is None and top_k is None:
+                return request
+            return SearchRequest(
+                request.pattern,
+                tau=request.tau if tau is None else tau,
+                top_k=request.top_k if top_k is None else top_k,
+            )
+        return SearchRequest(request, tau=tau, top_k=top_k)
+
+
+class SearchResult(Sequence[Match]):
+    """Lazy, pageable answer to one :class:`SearchRequest`.
+
+    The underlying query runs on first access and its answer is cached, so
+    a result can be handed around, paged and re-read without repeating any
+    index work — and a result that is never touched never costs anything.
+
+    Examples
+    --------
+    >>> from repro import UncertainString, build_index
+    >>> engine = build_index(UncertainString([{"a": 0.9, "b": 0.1}, {"a": 1.0}]),
+    ...                      tau_min=0.05)
+    >>> result = engine.search("aa", tau=0.5)
+    >>> result.count
+    1
+    >>> [occ.position for occ in result]
+    [0]
+    """
+
+    def __init__(self, request: SearchRequest, evaluate: Callable[[], List[Match]]):
+        self._request = request
+        self._evaluate = evaluate
+        self._matches: Optional[List[Match]] = None
+
+    # -- laziness -------------------------------------------------------------------
+    @property
+    def request(self) -> SearchRequest:
+        """The request this result answers."""
+        return self._request
+
+    @property
+    def evaluated(self) -> bool:
+        """Whether the underlying query has run yet."""
+        return self._matches is not None
+
+    @property
+    def matches(self) -> List[Match]:
+        """The full answer (runs the query on first access, then caches)."""
+        if self._matches is None:
+            self._matches = list(self._evaluate())
+        return self._matches
+
+    # -- sequence protocol ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self) -> Iterator[Match]:
+        return iter(self.matches)
+
+    def __getitem__(self, item):
+        return self.matches[item]
+
+    def __repr__(self) -> str:
+        state = f"{len(self._matches)} matches" if self.evaluated else "pending"
+        return f"SearchResult(pattern={self._request.pattern!r}, {state})"
+
+    # -- conveniences ---------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of matches."""
+        return len(self.matches)
+
+    @property
+    def exists(self) -> bool:
+        """Whether at least one match was found."""
+        return bool(self.matches)
+
+    def page(self, offset: int = 0, limit: Optional[int] = None) -> List[Match]:
+        """One page of the answer (``offset`` into the match list, ``limit`` long)."""
+        if offset < 0:
+            raise ValidationError(f"offset must be non-negative, got {offset}")
+        if limit is not None and limit < 0:
+            raise ValidationError(f"limit must be non-negative, got {limit}")
+        matches = self.matches
+        if limit is None:
+            return matches[offset:]
+        return matches[offset : offset + limit]
+
+    def pages(self, size: int) -> Iterator[List[Match]]:
+        """Iterate the answer in pages of ``size`` matches."""
+        if size <= 0:
+            raise ValidationError(f"page size must be positive, got {size}")
+        matches = self.matches
+        for offset in range(0, len(matches), size):
+            yield matches[offset : offset + size]
+
+    def positions(self) -> List[int]:
+        """Positions (or document identifiers) of the matches, in answer order."""
+        return [
+            match.position if isinstance(match, Occurrence) else match.document
+            for match in self.matches
+        ]

@@ -597,6 +597,69 @@ def ablation_transformation(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTab
     return table
 
 
+def ablation_batch_engine(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Engine batch path vs one-by-one queries (repro.api façade).
+
+    Serving-shaped workload over the listing engine: each pattern is asked
+    at every threshold of the scale's τ grid — ``search_many`` traverses
+    the suffix range once per pattern at the lowest threshold and derives
+    the tighter answers by filtering (refinement is exact on the listing
+    index; see :mod:`repro.api.batch`).
+    """
+    from ..api.requests import SearchRequest
+
+    table = FigureTable(
+        figure_id="ablation-batch",
+        title="Query time: engine.search_many vs one-by-one engine.search",
+        x_label="collection positions",
+        y_label="avg time per request (ms)",
+        notes=(
+            f"listing engine, theta={scale.thetas[-1]}, tau_min={scale.tau_min}, "
+            f"each pattern queried at taus {scale.tau_grid}"
+        ),
+    )
+    theta = scale.thetas[-1]
+    one_by_one = Series("one-by-one")
+    batched = Series("batched (search_many)")
+    for n in scale.collection_sizes:
+        work = listing_workload(
+            n,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.listing_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        engine = work.engine
+        requests = [
+            SearchRequest(pattern, tau=tau)
+            for pattern in work.patterns
+            for tau in scale.tau_grid
+        ]
+
+        def run_one_by_one() -> None:
+            for request in requests:
+                engine.search(request).count
+
+        def run_batched() -> None:
+            for result in engine.search_many(requests):
+                result.count
+
+        one_by_one.add(
+            n,
+            time_callable(run_one_by_one, repeats=scale.query_repeats)
+            * 1000.0
+            / len(requests),
+        )
+        batched.add(
+            n,
+            time_callable(run_batched, repeats=scale.query_repeats)
+            * 1000.0
+            / len(requests),
+        )
+    table.series.extend([one_by_one, batched])
+    return table
+
+
 #: Registry used by the CLI and the tests.
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "fig7a": figure_7a,
@@ -612,6 +675,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "fig9c": figure_9c,
     "ablation-variants": ablation_index_variants,
     "ablation-rmq": ablation_rmq,
+    "ablation-batch": ablation_batch_engine,
     "ablation-approx": ablation_approximate,
     "ablation-transformation": ablation_transformation,
 }

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..api.engine import Engine, build_index
 from ..core.general_index import GeneralUncertainStringIndex
 from ..core.listing import UncertainStringListingIndex
 from ..datasets.queries import extract_collection_patterns, extract_patterns
@@ -26,13 +27,19 @@ DEFAULT_SEED = 20160315
 
 @dataclass(frozen=True)
 class SubstringWorkload:
-    """A built substring-search workload: the string, its index and queries."""
+    """A built substring-search workload: the string, its index and queries.
+
+    ``engine`` wraps ``index`` behind the :mod:`repro.api` façade so
+    experiments can exercise the batch path; ``index`` stays exposed for
+    variant-specific measurements.
+    """
 
     string: UncertainString
     index: GeneralUncertainStringIndex
     patterns: Tuple[str, ...]
     theta: float
     tau_min: float
+    engine: Engine
 
 
 @dataclass(frozen=True)
@@ -44,12 +51,13 @@ class ListingWorkload:
     patterns: Tuple[str, ...]
     theta: float
     tau_min: float
+    engine: Engine
 
 
 _STRING_CACHE: Dict[Tuple, UncertainString] = {}
 _COLLECTION_CACHE: Dict[Tuple, UncertainStringCollection] = {}
-_SUBSTRING_INDEX_CACHE: Dict[Tuple, GeneralUncertainStringIndex] = {}
-_LISTING_INDEX_CACHE: Dict[Tuple, UncertainStringListingIndex] = {}
+_SUBSTRING_INDEX_CACHE: Dict[Tuple, Engine] = {}
+_LISTING_INDEX_CACHE: Dict[Tuple, Engine] = {}
 
 
 def clear_caches() -> None:
@@ -102,10 +110,13 @@ def substring_workload(
     string = cached_uncertain_string(n, theta, seed=seed)
     index_key = (n, round(theta, 6), round(tau_min, 6), seed)
     if index_key not in _SUBSTRING_INDEX_CACHE:
-        _SUBSTRING_INDEX_CACHE[index_key] = GeneralUncertainStringIndex(
-            string, tau_min=tau_min
+        # Build through the façade (explicit kind: the experiments measure
+        # the general index regardless of the planner's space heuristics).
+        _SUBSTRING_INDEX_CACHE[index_key] = build_index(
+            string, tau_min=tau_min, kind="general"
         )
-    index = _SUBSTRING_INDEX_CACHE[index_key]
+    engine = _SUBSTRING_INDEX_CACHE[index_key]
+    index = engine.index
     usable_lengths = [length for length in query_lengths if length <= n]
     patterns = extract_patterns(
         string, usable_lengths, per_length=patterns_per_length, seed=seed
@@ -116,6 +127,7 @@ def substring_workload(
         patterns=tuple(patterns),
         theta=theta,
         tau_min=tau_min,
+        engine=engine,
     )
 
 
@@ -139,10 +151,11 @@ def listing_workload(
     collection = cached_collection(total_positions, theta, seed=seed)
     index_key = (total_positions, round(theta, 6), round(tau_min, 6), metric, seed)
     if index_key not in _LISTING_INDEX_CACHE:
-        _LISTING_INDEX_CACHE[index_key] = UncertainStringListingIndex(
-            collection, tau_min=tau_min, metric=metric  # type: ignore[arg-type]
+        _LISTING_INDEX_CACHE[index_key] = build_index(
+            collection, tau_min=tau_min, metric=metric
         )
-    index = _LISTING_INDEX_CACHE[index_key]
+    engine = _LISTING_INDEX_CACHE[index_key]
+    index = engine.index
     patterns = extract_collection_patterns(
         collection, query_lengths, per_length=patterns_per_length, seed=seed
     )
@@ -152,4 +165,5 @@ def listing_workload(
         patterns=tuple(patterns),
         theta=theta,
         tau_min=tau_min,
+        engine=engine,
     )

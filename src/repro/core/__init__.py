@@ -2,12 +2,15 @@
 
 from .approximate import ApproximateSubstringIndex, Link
 from .base import (
+    DEFAULT_TAU_FLOOR,
     ListingMatch,
     Occurrence,
     UncertainSubstringIndex,
     report_above_threshold,
+    resolve_tau,
     sort_listing_matches,
     sort_occurrences,
+    top_values_above_threshold,
 )
 from .baseline import BruteForceOracle, OnlineDynamicProgrammingMatcher
 from .cumulative import (
@@ -29,6 +32,7 @@ from .special_index import SpecialUncertainStringIndex
 
 __all__ = [
     "ApproximateSubstringIndex",
+    "DEFAULT_TAU_FLOOR",
     "BruteForceOracle",
     "GeneralUncertainStringIndex",
     "Link",
@@ -46,8 +50,10 @@ __all__ = [
     "enumerate_maximal_factors",
     "prefix_length_log_probabilities",
     "report_above_threshold",
+    "resolve_tau",
     "sort_listing_matches",
     "sort_occurrences",
+    "top_values_above_threshold",
     "transform_collection",
     "transform_uncertain_string",
     "window_log_probability",

@@ -303,19 +303,26 @@ class ApproximateSubstringIndex(UncertainSubstringIndex):
         """Total number of (split) links stored by the index."""
         return len(self._links)
 
+    def space_report(self) -> Dict[str, int]:
+        """Byte sizes of every index component."""
+        report = {
+            "suffix_array": self._suffix_array.nbytes(),
+            "suffix_tree": self._tree.nbytes(),
+            "cumulative": int(self._prefix.nbytes),
+            "position_map": int(self._rank_positions.nbytes),
+            "links": int(
+                self._link_origin_left.nbytes + self._link_probabilities.nbytes
+            ),
+            "link_rmq": int(
+                self._link_rmq.nbytes() if self._link_rmq is not None else 0  # type: ignore[attr-defined]
+            ),
+        }
+        report["total"] = sum(report.values())
+        return report
+
     def nbytes(self) -> int:
         """Approximate memory footprint of the index payload in bytes."""
-        total = (
-            self._suffix_array.nbytes()
-            + self._tree.nbytes()
-            + self._prefix.nbytes
-            + self._rank_positions.nbytes
-            + self._link_origin_left.nbytes
-            + self._link_probabilities.nbytes
-        )
-        if self._link_rmq is not None:
-            total += self._link_rmq.nbytes()  # type: ignore[attr-defined]
-        return int(total)
+        return self.space_report()["total"]
 
     # -- queries --------------------------------------------------------------------------------
     def query(self, pattern: str, tau: float, *, verify: bool = False) -> List[Occurrence]:

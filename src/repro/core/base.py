@@ -19,9 +19,31 @@ from __future__ import annotations
 import abc
 import heapq
 from dataclasses import dataclass
-from typing import Iterator, List, Protocol, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
+
+from .._validation import check_threshold
+
+#: Smallest threshold substituted when a ``top_k`` caller passes ``tau=None``
+#: to an index whose ``tau_min`` is zero (thresholds enter log space, so an
+#: exact zero is not representable).  Every index resolves the default the
+#: same way through :func:`resolve_tau`.
+DEFAULT_TAU_FLOOR = 1e-9
+
+
+def resolve_tau(tau: Optional[float], tau_min: float) -> float:
+    """Resolve the unified ``tau=None`` default of the ``top_k`` methods.
+
+    ``None`` means *everything the index can see*: the construction threshold
+    ``tau_min`` when it is positive (an index cannot report occurrences below
+    it), and :data:`DEFAULT_TAU_FLOOR` for indexes that support any positive
+    threshold (``tau_min == 0``).  An explicit ``tau`` is validated and used
+    as-is.
+    """
+    if tau is None:
+        return max(float(tau_min), DEFAULT_TAU_FLOOR)
+    return check_threshold(tau)
 
 
 @dataclass(frozen=True, order=True)
@@ -119,6 +141,15 @@ def report_above_threshold(
             stack.append((best + 1, high))
 
 
+#: Bound on the extra entries :func:`top_values_above_threshold` extracts to
+#: resolve value ties at the ``k``-th place.  Tie classes up to this size get
+#: a deterministic tie-break; beyond it (realistically only runs of certain
+#: characters, where every window ties at probability 1.0) the selection
+#: within the boundary tie class is unspecified — the alternative would be
+#: O(occ) work on every ``top_k`` over deterministic text.
+TIE_EXTRACTION_LIMIT = 1024
+
+
 def top_values_above_threshold(
     rmq: SupportsRangeMaximum,
     values: np.ndarray,
@@ -126,6 +157,8 @@ def top_values_above_threshold(
     right: int,
     k: int,
     threshold: float,
+    *,
+    include_ties: bool = False,
 ) -> List[int]:
     """Indices of the ``k`` largest values above ``threshold`` in ``[left, right]``.
 
@@ -134,17 +167,33 @@ def top_values_above_threshold(
     ``k`` largest entries are extracted in ``O((k + 1) log k)`` RMQ probes
     without visiting the rest of the range.  Used by the ``top_k`` query
     methods of the indexes.
+
+    With ``include_ties`` the extraction continues past ``k`` while further
+    entries tie the ``k``-th value exactly, up to
+    :data:`TIE_EXTRACTION_LIMIT` extra entries (``O(k + t)`` probes for a
+    boundary tie class of size ``t``).  Callers that promise a
+    deterministic tie-break need this: the heap alone pops ties in
+    suffix-rank discovery order, so a truncated extraction would keep an
+    arbitrary subset of a tie class.  The limit keeps degenerate inputs
+    (deterministic text, every window probability 1.0) output-sensitive
+    instead of extracting the whole suffix range.
     """
     if left > right or k <= 0:
         return []
     results: List[int] = []
+    last_kept = 0.0
+    limit = k + TIE_EXTRACTION_LIMIT if include_ties else k
     best = rmq.query(left, right)
     heap: List[Tuple[float, int, int, int]] = [(-float(values[best]), best, left, right)]
-    while heap and len(results) < k:
-        negative_value, index, low, high = heapq.heappop(heap)
-        if -negative_value <= threshold:
+    while heap and len(results) < limit:
+        value = -heap[0][0]
+        if value <= threshold:
             break
+        if len(results) >= k and value != last_kept:
+            break
+        _, index, low, high = heapq.heappop(heap)
         results.append(index)
+        last_kept = value
         if index > low:
             candidate = rmq.query(low, index - 1)
             heapq.heappush(heap, (-float(values[candidate]), candidate, low, index - 1))
@@ -155,7 +204,25 @@ def top_values_above_threshold(
 
 
 class UncertainSubstringIndex(abc.ABC):
-    """Abstract interface of every substring-searching index in the package."""
+    """Abstract interface of every substring-searching index in the package.
+
+    Concrete indexes implement :meth:`query` (threshold reporting) and may
+    override :meth:`top_k` with an output-sensitive strategy; the base class
+    provides a correct (query-then-sort) default so every index answers the
+    same vocabulary.  The unified ``top_k`` signature is::
+
+        top_k(pattern, k, *, tau=None)
+
+    where ``tau=None`` resolves through :func:`resolve_tau` — ``tau_min`` for
+    indexes with a construction threshold, :data:`DEFAULT_TAU_FLOOR`
+    otherwise — and results are ordered by decreasing probability with ties
+    broken by position.
+
+    Space accounting is part of the interface: every index reports its
+    payload through :meth:`nbytes`, and :meth:`space_report` breaks the
+    footprint down by component (indexes with several components override
+    it; the default reports a single ``total`` entry).
+    """
 
     @property
     @abc.abstractmethod
@@ -165,6 +232,43 @@ class UncertainSubstringIndex(abc.ABC):
     @abc.abstractmethod
     def query(self, pattern: str, tau: float) -> List[Occurrence]:
         """Report occurrences of ``pattern`` with probability above ``tau``."""
+
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index payload in bytes."""
+
+    def space_report(self) -> Dict[str, int]:
+        """Byte sizes of the index components (at least a ``total`` entry)."""
+        return {"total": int(self.nbytes())}
+
+    def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Occurrence]:
+        """Report the ``k`` most probable occurrences of ``pattern``.
+
+        Default implementation: query at the resolved threshold, sort by
+        decreasing probability (ties by position) and keep the first ``k``.
+        Indexes with per-length RMQ structures override this with the
+        heap-driven ``O(k)``-probe extraction.
+
+        The RMQ overrides include occurrences sitting exactly on ``tau``
+        (they compare with a 1e-12 tolerance); the default mirrors that by
+        querying a hair below the floor — clamped to ``tau_min``, since the
+        public ``query`` cannot go beneath the construction threshold — so
+        planner-substitutable indexes (e.g. special vs simple) agree.
+        """
+        if k <= 0:
+            from ..exceptions import ValidationError
+
+            raise ValidationError(f"k must be positive, got {k}")
+        # An explicit tau below the construction threshold is an error, the
+        # same one the overriding indexes raise — the clamp below is only a
+        # tolerance adjustment, never a silent repair of an invalid request.
+        if tau is not None:
+            check_threshold(tau, tau_min=self.tau_min)
+        floor = resolve_tau(tau, self.tau_min)
+        adjusted = max(floor * (1.0 - 1e-12), self.tau_min, DEFAULT_TAU_FLOOR)
+        occurrences = list(self.query(pattern, adjusted))
+        occurrences.sort(key=lambda occurrence: (-occurrence.probability, occurrence.position))
+        return occurrences[:k]
 
     def count(self, pattern: str, tau: float) -> int:
         """Number of occurrences of ``pattern`` with probability above ``tau``."""

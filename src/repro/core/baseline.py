@@ -54,6 +54,10 @@ class OnlineDynamicProgrammingMatcher(UncertainSubstringIndex):
         """The string queries run against."""
         return self._string
 
+    def nbytes(self) -> int:
+        """The online matcher keeps no payload beyond the string itself."""
+        return 0
+
     def query(self, pattern: str, tau: float) -> List[Occurrence]:
         """Report occurrences of ``pattern`` with probability > ``tau``.
 

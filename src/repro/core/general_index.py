@@ -42,6 +42,7 @@ from .base import (
     Occurrence,
     UncertainSubstringIndex,
     report_above_threshold,
+    resolve_tau,
     sort_occurrences,
     top_values_above_threshold,
 )
@@ -337,9 +338,10 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
         """Report the ``k`` most probable occurrences of ``pattern``.
 
         Occurrences are drawn from those with probability above ``tau``
-        (defaulting to ``tau_min`` — the index cannot see anything below its
-        construction threshold) and returned in decreasing probability order.
-        For short patterns the answer is extracted with ``O(k)`` heap-driven
+        (``None`` resolves through :func:`repro.core.base.resolve_tau` to
+        ``tau_min`` — the index cannot see anything below its construction
+        threshold) and returned in decreasing probability order.  For short
+        patterns the answer is extracted with ``O(k)`` heap-driven
         range-maximum probes; long patterns and correlated strings fall back
         to scanning the pattern's suffix range.
         """
@@ -347,7 +349,7 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
         threshold = check_threshold(
-            self._tau_min if tau is None else tau, tau_min=self._tau_min
+            resolve_tau(tau, self._tau_min), tau_min=self._tau_min
         )
         log_threshold = math.log(threshold) - 1e-12
         length = len(pattern)
@@ -366,7 +368,9 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
         ):
             values = self._short_values[length]
             rmq = self._short_rmq[length]
-            ranks = top_values_above_threshold(rmq, values, sp, ep, k, log_threshold)
+            ranks = top_values_above_threshold(
+                rmq, values, sp, ep, k, log_threshold, include_ties=True
+            )
             occurrences = [
                 Occurrence(int(self._rank_positions[rank]), math.exp(float(values[rank])))
                 for rank in ranks

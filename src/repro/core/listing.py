@@ -44,7 +44,13 @@ from ..suffix.lcp import build_lcp_array
 from ..suffix.pattern_search import suffix_range
 from ..suffix.rmq import make_rmq
 from ..suffix.suffix_array import SuffixArray
-from .base import ListingMatch, report_above_threshold, sort_listing_matches
+from .base import (
+    ListingMatch,
+    report_above_threshold,
+    resolve_tau,
+    sort_listing_matches,
+    top_values_above_threshold,
+)
 from .cumulative import cumulative_log_probabilities
 from .factors import DEFAULT_SEPARATOR, TransformedString, transform_collection
 from .general_index import partition_identifiers
@@ -269,6 +275,16 @@ class UncertainStringListingIndex:
         return self._metric
 
     @property
+    def needs_verification(self) -> bool:
+        """Whether candidates are re-verified against the original documents.
+
+        True for correlated collections; the per-length relevance arrays
+        then hold optimistic pre-verification values, so reported relevance
+        comes from re-computation (relevant to batch-refinement soundness).
+        """
+        return self._needs_verification
+
+    @property
     def collection(self) -> UncertainStringCollection:
         """The indexed collection."""
         return self._collection
@@ -333,17 +349,65 @@ class UncertainStringListingIndex:
             return []
         sp, ep = interval
 
-        if length <= self._max_short_length:
-            candidates = self._candidates_short(sp, ep, length, threshold)
-        else:
-            candidates = self._candidates_scan(sp, ep, length, threshold)
+        candidates = self._candidates(sp, ep, length, threshold)
+        return sort_listing_matches(self._materialize(pattern, candidates, threshold))
 
-        if not self._needs_verification:
+    def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[ListingMatch]:
+        """Report the ``k`` most relevant documents containing ``pattern``.
+
+        Results are ordered by decreasing relevance (ties broken by document
+        identifier).  ``tau`` optionally floors the relevance considered;
+        ``None`` resolves through :func:`repro.core.base.resolve_tau` to
+        ``tau_min`` (the index cannot see occurrences below its construction
+        threshold).  For short patterns on uncorrelated collections the
+        answer is extracted with ``O(k)`` heap-driven range-maximum probes
+        over the per-length relevance arrays; other cases fall back to
+        materializing the candidate documents and sorting.
+        """
+        check_nonempty_pattern(pattern)
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        threshold = check_threshold(resolve_tau(tau, self._tau_min), tau_min=self._tau_min)
+        # Include documents sitting exactly on the threshold, mirroring the
+        # substring indexes' top_k semantics.
+        adjusted = threshold - 1e-12
+        length = len(pattern)
+        interval = suffix_range(
+            self._transformed.text, self._suffix_array.array, pattern
+        )
+        if interval is None:
+            return []
+        sp, ep = interval
+
+        if length <= self._max_short_length and not self._needs_verification:
+            values = self._relevance[length]
+            rmq = self._relevance_rmq[length]
+            ranks = top_values_above_threshold(
+                rmq, values, sp, ep, k, adjusted, include_ties=True
+            )
             matches = [
+                ListingMatch(int(self._rank_documents[rank]), float(values[rank]))
+                for rank in ranks
+            ]
+        else:
+            candidates = self._candidates(sp, ep, length, adjusted)
+            matches = self._materialize(pattern, candidates, adjusted)
+        matches.sort(key=lambda match: (-match.relevance, match.document))
+        return matches[:k]
+
+    def documents(self, pattern: str, tau: float) -> List[int]:
+        """Convenience wrapper returning only the matching document identifiers."""
+        return [match.document for match in self.query(pattern, tau)]
+
+    def _materialize(
+        self, pattern: str, candidates: List[Tuple[int, float]], threshold: float
+    ) -> List[ListingMatch]:
+        """Turn candidates into matches, re-verifying correlated collections."""
+        if not self._needs_verification:
+            return [
                 ListingMatch(document, relevance) for document, relevance in candidates
             ]
-            return sort_listing_matches(matches)
-
+        length = len(pattern)
         matches = []
         for document, _ in candidates:
             exact = self._collection.document_relevance(
@@ -359,13 +423,17 @@ class UncertainStringListingIndex:
                 )
             if exact > threshold:
                 matches.append(ListingMatch(document, exact))
-        return sort_listing_matches(matches)
-
-    def documents(self, pattern: str, tau: float) -> List[int]:
-        """Convenience wrapper returning only the matching document identifiers."""
-        return [match.document for match in self.query(pattern, tau)]
+        return matches
 
     # -- candidate generation -----------------------------------------------------------------
+    def _candidates(
+        self, sp: int, ep: int, length: int, threshold: float
+    ) -> List[Tuple[int, float]]:
+        """Dispatch to the RMQ or scanning strategy by pattern length."""
+        if length <= self._max_short_length:
+            return self._candidates_short(sp, ep, length, threshold)
+        return self._candidates_scan(sp, ep, length, threshold)
+
     def _candidates_short(
         self, sp: int, ep: int, length: int, threshold: float
     ) -> List[Tuple[int, float]]:

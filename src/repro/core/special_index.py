@@ -36,6 +36,7 @@ from .base import (
     Occurrence,
     UncertainSubstringIndex,
     report_above_threshold,
+    resolve_tau,
     sort_occurrences,
     top_values_above_threshold,
 )
@@ -194,18 +195,28 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
         """Pattern lengths for which blocking structures are materialized."""
         return tuple(sorted(self._block_maxima))
 
+    def space_report(self) -> Dict[str, int]:
+        """Byte sizes of every index component."""
+        report = {
+            "suffix_array": self._suffix_array.nbytes(),
+            "cumulative": int(self._prefix.nbytes),
+            "short_values": int(
+                sum(values.nbytes for values in self._short_values.values())
+            ),
+            "short_rmq": int(
+                sum(rmq.nbytes() for rmq in self._short_rmq.values())  # type: ignore[attr-defined]
+            ),
+            "block_structures": int(
+                sum(maxima.nbytes for maxima in self._block_maxima.values())
+                + sum(rmq.nbytes() for rmq in self._block_rmq.values())  # type: ignore[attr-defined]
+            ),
+        }
+        report["total"] = sum(report.values())
+        return report
+
     def nbytes(self) -> int:
         """Approximate memory footprint of the index payload in bytes."""
-        total = self._suffix_array.nbytes() + self._prefix.nbytes
-        for values in self._short_values.values():
-            total += values.nbytes
-        for rmq in self._short_rmq.values():
-            total += rmq.nbytes()  # type: ignore[attr-defined]
-        for maxima in self._block_maxima.values():
-            total += maxima.nbytes
-        for rmq in self._block_rmq.values():
-            total += rmq.nbytes()  # type: ignore[attr-defined]
-        return int(total)
+        return self.space_report()["total"]
 
     # -- queries ------------------------------------------------------------------------------
     def query(self, pattern: str, tau: float) -> List[Occurrence]:
@@ -236,16 +247,18 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
             f"pattern length {length} exceeds max_short_length={self._max_short_length}"
         )
 
-    def top_k(self, pattern: str, k: int, *, tau: float = 1e-9) -> List[Occurrence]:
+    def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Occurrence]:
         """Report the ``k`` most probable occurrences of ``pattern``.
 
         Results are ordered by decreasing probability (ties broken by
-        position).  ``tau`` optionally floors the candidates considered.
+        position).  ``tau`` optionally floors the candidates considered;
+        ``None`` resolves through :func:`repro.core.base.resolve_tau` (the
+        unified default documented on the base class).
         """
         check_nonempty_pattern(pattern)
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
-        threshold = check_threshold(tau)
+        threshold = resolve_tau(tau, self.tau_min)
         if len(pattern) > len(self._string):
             return []
         interval = suffix_range(self._string.text, self._suffix_array.array, pattern)
@@ -258,7 +271,9 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
         if length <= self._max_short_length and not self._correlations:
             values = self._short_values[length]
             rmq = self._short_rmq[length]
-            ranks = top_values_above_threshold(rmq, values, sp, ep, k, log_threshold)
+            ranks = top_values_above_threshold(
+                rmq, values, sp, ep, k, log_threshold, include_ties=True
+            )
             occurrences = [
                 Occurrence(
                     int(self._suffix_array.array[rank]), math.exp(float(values[rank]))

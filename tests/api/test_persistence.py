@@ -1,0 +1,213 @@
+"""Save/load round-trips: loaded indexes answer byte-identically."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    build_index,
+    load_index,
+    load_index_payload,
+    read_manifest,
+    save_index_payload,
+)
+from repro.bench import workloads
+from repro.exceptions import ValidationError
+from repro.strings import (
+    CorrelationModel,
+    CorrelationRule,
+    SpecialUncertainString,
+    UncertainString,
+    UncertainStringCollection,
+)
+
+
+@pytest.fixture
+def general_string():
+    return UncertainString(
+        [
+            {"Q": 0.7, "S": 0.3},
+            {"Q": 0.3, "P": 0.7},
+            {"P": 1.0},
+            {"A": 0.4, "F": 0.3, "P": 0.2, "Q": 0.1},
+        ],
+        name="figure10",
+    )
+
+
+def _assert_same_answers(engine, loaded, patterns, taus):
+    for pattern in patterns:
+        for tau in taus:
+            assert engine.query(pattern, tau=tau) == loaded.query(pattern, tau=tau)
+        assert engine.top_k(pattern, 3) == loaded.top_k(pattern, 3)
+
+
+class TestRoundTrips:
+    def test_special_round_trip(self, tmp_path):
+        string = SpecialUncertainString(
+            [("b", 0.4), ("a", 0.7), ("n", 0.5), ("a", 0.8), ("n", 0.9), ("a", 0.6)],
+            name="banana",
+        )
+        engine = build_index(string)
+        loaded = load_index(engine.save(tmp_path / "special"))
+        _assert_same_answers(engine, loaded, ["a", "ana", "ban", "zzz"], [0.1, 0.3, 0.7])
+        assert loaded.kind == "special"
+        assert loaded.index.string.name == "banana"
+
+    def test_simple_round_trip(self, tmp_path):
+        engine = build_index("banana" * 4, space_budget_bytes=10)
+        assert engine.kind == "simple"
+        loaded = load_index(engine.save(tmp_path / "simple"))
+        _assert_same_answers(engine, loaded, ["ana", "nab", "q"], [0.2, 0.8])
+
+    def test_general_round_trip(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        loaded = load_index(engine.save(tmp_path / "general"))
+        _assert_same_answers(
+            engine, loaded, ["QP", "PP", "P", "QPP", "ZZ"], [0.1, 0.25, 0.4]
+        )
+        assert loaded.index.transformed.text == engine.index.transformed.text
+        assert loaded.index.tau_min == engine.index.tau_min
+
+    def test_approximate_round_trip(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1, epsilon=0.05)
+        loaded = load_index(engine.save(tmp_path / "approx"))
+        _assert_same_answers(engine, loaded, ["QP", "PP", "P"], [0.1, 0.3])
+        assert loaded.index.link_count == engine.index.link_count
+        assert loaded.index.epsilon == engine.index.epsilon
+        # Verified (exact) answers survive too.
+        assert loaded.index.query("QP", 0.4, verify=True) == engine.index.query(
+            "QP", 0.4, verify=True
+        )
+
+    def test_listing_round_trip(self, tmp_path):
+        collection = UncertainStringCollection(
+            [
+                UncertainString(
+                    [
+                        {"A": 0.4, "B": 0.3, "F": 0.3},
+                        {"B": 0.3, "L": 0.3, "F": 0.3, "J": 0.1},
+                        {"F": 0.5, "J": 0.5},
+                    ],
+                    name="d1",
+                ),
+                UncertainString(
+                    [
+                        {"A": 0.6, "C": 0.4},
+                        {"B": 0.5, "F": 0.3, "J": 0.2},
+                        {"B": 0.4, "C": 0.3, "E": 0.2, "F": 0.1},
+                    ],
+                    name="d2",
+                ),
+            ]
+        )
+        engine = build_index(collection, tau_min=0.05, metric="or")
+        loaded = load_index(engine.save(tmp_path / "listing"))
+        _assert_same_answers(engine, loaded, ["BF", "A", "F"], [0.05, 0.1, 0.5])
+        assert loaded.index.metric == "or"
+        assert loaded.index.collection.name_of(1) == "d2"
+
+    def test_correlated_general_round_trip(self, tmp_path):
+        string = UncertainString(
+            [{"e": 0.6, "f": 0.4}, {"a": 1.0}, {"z": 0.5, "x": 0.5}],
+            correlations=CorrelationModel(
+                [CorrelationRule(2, "z", 0, "e", 0.3, 0.7)]
+            ),
+        )
+        engine = build_index(string, tau_min=0.1)
+        loaded = load_index(engine.save(tmp_path / "correlated"))
+        assert bool(loaded.index.string.correlations)
+        _assert_same_answers(engine, loaded, ["az", "eaz", "faz"], [0.1, 0.2])
+
+    def test_loaded_plan_mentions_archive(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        loaded = load_index(engine.save(tmp_path / "plan-check"))
+        assert "plan-check.npz" in loaded.plan.reason
+        assert loaded.plan.kind == "general"
+
+
+class TestBenchmarkWorkloadRoundTrip:
+    """Acceptance: saved-then-loaded index is byte-identical on the synthetic
+    benchmark workload."""
+
+    def test_substring_workload_round_trip(self, tmp_path):
+        workloads.clear_caches()
+        work = workloads.substring_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(4, 8), patterns_per_length=3
+        )
+        path = work.engine.save(tmp_path / "bench-substring")
+        loaded = load_index(path)
+        for pattern in work.patterns:
+            for tau in (0.1, 0.2, 0.5):
+                before = work.engine.query(pattern, tau=tau)
+                after = loaded.query(pattern, tau=tau)
+                assert before == after  # positions AND probabilities bit-equal
+        workloads.clear_caches()
+
+    def test_listing_workload_round_trip(self, tmp_path):
+        workloads.clear_caches()
+        work = workloads.listing_workload(
+            300, 0.3, tau_min=0.1, query_lengths=(3, 5), patterns_per_length=2
+        )
+        path = work.engine.save(tmp_path / "bench-listing")
+        loaded = load_index(path)
+        for pattern in work.patterns:
+            for tau in (0.1, 0.3):
+                assert work.engine.query(pattern, tau=tau) == loaded.query(
+                    pattern, tau=tau
+                )
+        workloads.clear_caches()
+
+
+class TestManifest:
+    def test_read_manifest_contents(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "manifest-check")
+        manifest = read_manifest(path)
+        assert manifest["format"] == FORMAT_NAME
+        assert manifest["version"] == FORMAT_VERSION
+        assert manifest["kind"] == "general"
+        assert manifest["plan"]["tau_min"] == pytest.approx(0.1)
+
+    def test_npz_suffix_appended(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "no-suffix")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_not_an_archive_raises(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(ValidationError):
+            read_manifest(path)
+
+    def test_newer_version_raises(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "future")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        manifest = json.loads(bytes(arrays["__manifest__"].tolist()).decode("utf-8"))
+        manifest["version"] = FORMAT_VERSION + 1
+        arrays["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValidationError):
+            load_index_payload(path)
+
+    def test_unsupported_index_type_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_index_payload(object(), None, tmp_path / "nope")
+
+    def test_raw_payload_round_trip_without_plan(self, tmp_path):
+        from repro.core.special_index import SpecialUncertainStringIndex
+
+        string = SpecialUncertainString([("a", 0.9), ("b", 0.8), ("a", 0.7)])
+        index = SpecialUncertainStringIndex(string)
+        path = save_index_payload(index, None, tmp_path / "raw")
+        loaded, plan = load_index_payload(path)
+        assert loaded.query("ab", 0.5) == index.query("ab", 0.5)
+        assert plan.kind == "special"

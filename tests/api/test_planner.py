@@ -1,0 +1,193 @@
+"""Planner routing: every input shape selects the expected index class."""
+
+import pytest
+
+from repro.api import build_index, plan_index
+from repro.core.approximate import ApproximateSubstringIndex
+from repro.core.general_index import GeneralUncertainStringIndex
+from repro.core.listing import UncertainStringListingIndex
+from repro.core.simple_index import SimpleSpecialIndex
+from repro.core.special_index import SpecialUncertainStringIndex
+from repro.exceptions import ValidationError
+from repro.strings import (
+    CorrelationModel,
+    CorrelationRule,
+    SpecialUncertainString,
+    UncertainString,
+    UncertainStringCollection,
+)
+
+
+@pytest.fixture
+def general_string():
+    return UncertainString(
+        [
+            {"Q": 0.7, "S": 0.3},
+            {"Q": 0.3, "P": 0.7},
+            {"P": 1.0},
+            {"A": 0.4, "F": 0.3, "P": 0.2, "Q": 0.1},
+        ]
+    )
+
+
+@pytest.fixture
+def special_string():
+    return SpecialUncertainString(
+        [("b", 0.4), ("a", 0.7), ("n", 0.5), ("a", 0.8), ("n", 0.9), ("a", 0.6)]
+    )
+
+
+@pytest.fixture
+def collection():
+    return UncertainStringCollection(
+        [
+            UncertainString([{"A": 0.6, "B": 0.4}, {"C": 1.0}]),
+            UncertainString([{"A": 1.0}, {"B": 0.5, "C": 0.5}]),
+        ]
+    )
+
+
+class TestAutoRouting:
+    def test_plain_string_routes_to_special(self):
+        plan = plan_index("banana")
+        assert plan.kind == "special"
+        assert plan.index_class is SpecialUncertainStringIndex
+
+    def test_special_string_routes_to_special(self, special_string):
+        plan = plan_index(special_string)
+        assert plan.kind == "special"
+        assert plan.tau_min == 0.0
+
+    def test_single_character_uncertain_string_routes_to_special(self):
+        string = UncertainString([{"a": 1.0}, {"b": 1.0}, {"a": 1.0}])
+        assert plan_index(string).kind == "special"
+
+    def test_general_string_routes_to_general(self, general_string):
+        plan = plan_index(general_string, tau_min=0.1)
+        assert plan.kind == "general"
+        assert plan.index_class is GeneralUncertainStringIndex
+        assert plan.tau_min == pytest.approx(0.1)
+
+    def test_collection_routes_to_listing(self, collection):
+        plan = plan_index(collection, tau_min=0.1)
+        assert plan.kind == "listing"
+        assert plan.index_class is UncertainStringListingIndex
+
+    def test_sequence_of_documents_routes_to_listing(self, general_string):
+        assert plan_index([general_string, general_string]).kind == "listing"
+
+    def test_sequence_of_plain_strings_routes_to_listing(self):
+        assert plan_index(["banana", "ananas"]).kind == "listing"
+
+    def test_epsilon_routes_to_approximate(self, general_string):
+        plan = plan_index(general_string, tau_min=0.1, epsilon=0.05)
+        assert plan.kind == "approximate"
+        assert plan.index_class is ApproximateSubstringIndex
+        assert plan.options["epsilon"] == pytest.approx(0.05)
+
+    def test_tight_budget_special_routes_to_simple(self, special_string):
+        plan = plan_index(special_string, space_budget_bytes=10)
+        assert plan.kind == "simple"
+        assert plan.index_class is SimpleSpecialIndex
+
+    def test_tight_budget_general_routes_to_approximate(self, general_string):
+        plan = plan_index(general_string, tau_min=0.1, space_budget_bytes=10)
+        assert plan.kind == "approximate"
+
+    def test_large_budget_keeps_default_choice(self, general_string, special_string):
+        assert (
+            plan_index(general_string, tau_min=0.1, space_budget_bytes=10**12).kind
+            == "general"
+        )
+        assert plan_index(special_string, space_budget_bytes=10**12).kind == "special"
+
+    def test_correlated_single_character_string_stays_general(self):
+        string = UncertainString(
+            [{"a": 1.0}, {"b": 1.0}, {"z": 1.0}],
+            correlations=CorrelationModel(
+                [CorrelationRule(2, "z", 0, "a", 0.3, 0.4)]
+            ),
+        )
+        assert plan_index(string, tau_min=0.1).kind == "general"
+
+    def test_default_tau_min_applied(self, general_string):
+        assert plan_index(general_string).tau_min == pytest.approx(0.1)
+
+    def test_profile_and_reason_populated(self, general_string):
+        plan = plan_index(general_string, tau_min=0.1)
+        assert plan.reason
+        assert plan.profile["shape"] == "general"
+        assert plan.profile["length"] == 4
+        assert plan.profile["alphabet_size"] == 5
+
+
+class TestOverridesAndErrors:
+    def test_explicit_kind_general_on_special_input(self, special_string):
+        plan = plan_index(special_string, tau_min=0.1, kind="general")
+        assert plan.kind == "general"
+
+    def test_explicit_kind_simple(self, special_string):
+        assert plan_index(special_string, kind="simple").kind == "simple"
+
+    def test_special_kind_on_general_input_raises(self, general_string):
+        with pytest.raises(ValidationError):
+            plan_index(general_string, kind="special")
+
+    def test_listing_kind_on_string_raises(self, general_string):
+        with pytest.raises(ValidationError):
+            plan_index(general_string, kind="listing")
+
+    def test_non_listing_kind_on_collection_raises(self, collection):
+        with pytest.raises(ValidationError):
+            plan_index(collection, kind="general")
+
+    def test_unknown_kind_raises(self, general_string):
+        with pytest.raises(ValidationError):
+            plan_index(general_string, kind="wavelet-tree")
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValidationError):
+            plan_index("")
+        with pytest.raises(ValidationError):
+            plan_index([])
+        with pytest.raises(ValidationError):
+            plan_index(42)
+
+
+class TestBuildIndex:
+    @pytest.mark.parametrize(
+        "maker, kwargs, expected",
+        [
+            (lambda f: "banana", {}, SpecialUncertainStringIndex),
+            (lambda f: f["special"], {}, SpecialUncertainStringIndex),
+            (lambda f: f["general"], {"tau_min": 0.1}, GeneralUncertainStringIndex),
+            (
+                lambda f: f["general"],
+                {"tau_min": 0.1, "epsilon": 0.05},
+                ApproximateSubstringIndex,
+            ),
+            (lambda f: f["collection"], {"tau_min": 0.1}, UncertainStringListingIndex),
+            (lambda f: "banana", {"space_budget_bytes": 10}, SimpleSpecialIndex),
+        ],
+    )
+    def test_builds_expected_class(
+        self, general_string, special_string, collection, maker, kwargs, expected
+    ):
+        fixtures = {
+            "general": general_string,
+            "special": special_string,
+            "collection": collection,
+        }
+        engine = build_index(maker(fixtures), **kwargs)
+        assert isinstance(engine.index, expected)
+
+    def test_general_engine_answers_match_direct_index(self, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        direct = GeneralUncertainStringIndex(general_string, tau_min=0.1)
+        for pattern in ("QP", "PP", "P", "ZZ"):
+            assert engine.query(pattern, tau=0.2) == direct.query(pattern, 0.2)
+
+    def test_kind_override_on_plain_string(self):
+        engine = build_index("banana", kind="general", tau_min=0.5)
+        assert isinstance(engine.index, GeneralUncertainStringIndex)
+        assert [occ.position for occ in engine.query("ana", tau=0.9)] == [1, 3]

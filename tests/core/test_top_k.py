@@ -34,6 +34,30 @@ class TestTopValuesHelper:
         assert self._top(values, 1, 0, 3, 0.0) == []
         assert self._top(values, 0, 0, 0, 0.0) == []
 
+    def test_include_ties_extends_past_k(self):
+        values = [0.5, 0.9, 0.9, 0.9, 0.1]
+        array = np.asarray(values, dtype=np.float64)
+        rmq = SparseTableRMQ(array)
+        truncated = top_values_above_threshold(rmq, array, 0, 4, 2, 0.0)
+        assert len(truncated) == 2
+        with_ties = top_values_above_threshold(
+            rmq, array, 0, 4, 2, 0.0, include_ties=True
+        )
+        assert sorted(with_ties) == [1, 2, 3]  # the whole 0.9 tie class
+
+    def test_include_ties_extraction_is_bounded(self):
+        # A giant tie class must not degrade the heap path to O(occ): the
+        # extraction stops at k + TIE_EXTRACTION_LIMIT entries.
+        from repro.core.base import TIE_EXTRACTION_LIMIT
+
+        array = np.ones(TIE_EXTRACTION_LIMIT * 4, dtype=np.float64)
+        rmq = SparseTableRMQ(array)
+        k = 3
+        extracted = top_values_above_threshold(
+            rmq, array, 0, len(array) - 1, k, 0.0, include_ties=True
+        )
+        assert len(extracted) == k + TIE_EXTRACTION_LIMIT
+
     @pytest.mark.parametrize("seed", range(6))
     def test_matches_numpy_argsort(self, seed):
         rng = np.random.default_rng(seed)
@@ -128,3 +152,126 @@ class TestSpecialIndexTopK:
     def test_pattern_longer_than_string(self, figure5_special_string):
         index = SpecialUncertainStringIndex(figure5_special_string)
         assert index.top_k("bananabanana", 2) == []
+
+
+class TestUnifiedSignature:
+    """The top_k signature is the same across every index (ISSUE 1)."""
+
+    def test_tau_defaults_to_none_everywhere(self, figure10_string, figure5_special_string):
+        import inspect
+
+        from repro.core.listing import UncertainStringListingIndex
+        from repro.core.simple_index import SimpleSpecialIndex
+
+        for cls in (
+            GeneralUncertainStringIndex,
+            SpecialUncertainStringIndex,
+            UncertainStringListingIndex,
+            SimpleSpecialIndex,
+        ):
+            parameter = inspect.signature(cls.top_k).parameters["tau"]
+            assert parameter.default is None, cls
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, cls
+
+    def test_special_default_matches_legacy_floor(self, figure5_special_string):
+        index = SpecialUncertainStringIndex(figure5_special_string)
+        assert index.top_k("ana", 3) == index.top_k("ana", 3, tau=1e-9)
+
+    def test_general_default_matches_tau_min(self, figure10_string):
+        index = GeneralUncertainStringIndex(figure10_string, tau_min=0.1)
+        assert index.top_k("P", 3) == index.top_k("P", 3, tau=0.1)
+
+    def test_base_default_top_k_for_simple_index(self, figure5_special_string):
+        from repro.core.simple_index import SimpleSpecialIndex
+
+        simple = SimpleSpecialIndex(figure5_special_string)
+        efficient = SpecialUncertainStringIndex(figure5_special_string)
+        assert simple.top_k("ana", 2) == efficient.top_k("ana", 2)
+        with pytest.raises(ValidationError):
+            simple.top_k("ana", 0)
+
+    def test_boundary_tau_agrees_across_substitutable_indexes(self):
+        # An occurrence sitting exactly on tau is included by the RMQ fast
+        # path (1e-12 tolerance); the base-class default must match, so the
+        # planner can substitute simple for special without changing answers.
+        from repro.core.simple_index import SimpleSpecialIndex
+        from repro.strings import SpecialUncertainString
+
+        string = SpecialUncertainString([("a", 0.5), ("b", 1.0)])
+        special = SpecialUncertainStringIndex(string).top_k("ab", 5, tau=0.5)
+        simple = SimpleSpecialIndex(string).top_k("ab", 5, tau=0.5)
+        assert special == simple
+        assert [occ.probability for occ in simple] == [pytest.approx(0.5)]
+
+
+class TestListingIndexTopK:
+    @pytest.fixture
+    def collection_index(self):
+        from repro.core.listing import UncertainStringListingIndex
+        from repro.strings import UncertainString, UncertainStringCollection
+
+        collection = UncertainStringCollection(
+            [
+                UncertainString([{"A": 0.9, "B": 0.1}, {"B": 0.8, "C": 0.2}]),
+                UncertainString([{"A": 0.5, "B": 0.5}, {"B": 1.0}]),
+                UncertainString([{"A": 1.0}, {"C": 1.0}]),
+            ]
+        )
+        return UncertainStringListingIndex(collection, tau_min=0.05)
+
+    def test_orders_by_decreasing_relevance(self, collection_index):
+        top = collection_index.top_k("A", 3)
+        relevances = [match.relevance for match in top]
+        assert relevances == sorted(relevances, reverse=True)
+        assert top[0].document == 2  # A certain at position 0
+
+    def test_k_truncates(self, collection_index):
+        assert len(collection_index.top_k("A", 2)) == 2
+        assert len(collection_index.top_k("A", 10)) == 3
+
+    def test_matches_full_query_ranking(self, collection_index):
+        full = sorted(
+            collection_index.query("B", 0.05),
+            key=lambda match: (-match.relevance, match.document),
+        )
+        assert collection_index.top_k("B", len(full)) == full
+
+    def test_tau_floor_filters(self, collection_index):
+        top = collection_index.top_k("AB", 5, tau=0.6)
+        assert all(match.relevance >= 0.6 for match in top)
+
+    def test_absent_pattern(self, collection_index):
+        assert collection_index.top_k("ZZ", 3) == []
+
+    def test_invalid_k(self, collection_index):
+        with pytest.raises(ValidationError):
+            collection_index.top_k("A", 0)
+
+    def test_long_pattern_fallback(self):
+        from repro.core.listing import UncertainStringListingIndex
+        from repro.strings import UncertainString, UncertainStringCollection
+
+        documents = [
+            UncertainString([{c: 1.0} for c in "abcabcabcabc"]),
+            UncertainString([{c: 1.0} for c in "abcabc"]),
+        ]
+        index = UncertainStringListingIndex(
+            UncertainStringCollection(documents), tau_min=0.5, max_short_length=2
+        )
+        top = index.top_k("abcabc", 2)
+        assert [match.document for match in top] == [0, 1]
+
+    def test_relevance_ties_break_by_document_id(self):
+        # Four identical documents tie on relevance; the heap fast path must
+        # keep the lowest document ids, matching the documented tie-break
+        # (and the batch-derived ordering in repro.api.batch).
+        from repro.core.listing import UncertainStringListingIndex
+        from repro.strings import UncertainString, UncertainStringCollection
+
+        documents = [
+            UncertainString([{c: 1.0} for c in "AB"]) for _ in range(4)
+        ]
+        index = UncertainStringListingIndex(
+            UncertainStringCollection(documents), tau_min=0.05
+        )
+        assert [match.document for match in index.top_k("A", 2, tau=0.1)] == [0, 1]

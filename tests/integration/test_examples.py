@@ -5,6 +5,7 @@ through their module-level constants) so the whole module stays fast while
 still running every code path a user would.
 """
 
+import os
 import runpy
 import subprocess
 import sys
@@ -27,11 +28,17 @@ def test_examples_directory_contents():
 
 
 def test_quickstart_runs_as_script():
+    # The subprocess does not inherit pytest's `pythonpath` ini setting, so
+    # put src/ on its path explicitly (works with or without an install).
+    env = dict(os.environ)
+    src = str(EXAMPLES_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
         capture_output=True,
         text=True,
         timeout=120,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr
     assert "substring searching" in completed.stdout
