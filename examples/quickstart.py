@@ -24,6 +24,7 @@ from repro import (
     SearchRequest,
     UncertainString,
     build_index,
+    build_sharded_index,
     load_index,
 )
 
@@ -166,12 +167,64 @@ def batch_and_persistence_demo() -> None:
     print()
 
 
+def sharding_and_caching_demo() -> None:
+    """Scale out with a ShardedEngine and watch the result cache work.
+
+    ``build_sharded_index`` splits the input (here: one long uncertain
+    string into chunks overlapping by ``max_pattern_len - 1`` positions),
+    builds one engine per shard, fans queries out across them and merges
+    globally correct answers — same vocabulary, same results, horizontal
+    layout.  Repeated requests are served from the LRU result cache
+    without touching any shard.
+    """
+    long_string = UncertainString.from_table(
+        [
+            {"A": 0.8, "C": 0.2} if position % 7 == 3 else {"ACGT"[position % 4]: 1.0}
+            for position in range(240)
+        ]
+    )
+    flat = build_index(long_string, tau_min=0.1)
+    sharded = build_sharded_index(
+        long_string, shards=4, tau_min=0.1, max_pattern_len=8
+    )
+
+    print("== sharding and caching ==")
+    print(f"  layout: {sharded.shard_count} chunk shards, "
+          f"overlap {sharded.spec.overlap} positions")
+    for pattern, tau in [("CGTA", 0.3), ("TACG", 0.5)]:
+        flat_positions = [occ.position for occ in flat.search(pattern, tau=tau)]
+        sharded_positions = [occ.position for occ in sharded.search(pattern, tau=tau)]
+        print(
+            f"  query ({pattern!r}, tau={tau}): "
+            f"{len(sharded_positions)} occurrence(s), "
+            f"sharded == unsharded: {flat_positions == sharded_positions}"
+        )
+    # Replay the workload: every repeated request is a cache hit.
+    for pattern, tau in [("CGTA", 0.3), ("TACG", 0.5)]:
+        sharded.search(pattern, tau=tau).count
+    stats = sharded.cache.stats()
+    print(
+        f"  cache after replay: {stats['hits']} hits / {stats['misses']} misses "
+        f"(hit rate {stats['hit_rate']:.0%})"
+    )
+    with tempfile.TemporaryDirectory() as directory:
+        path = sharded.save(Path(directory) / "sharded-index")
+        hot = load_index(path)  # dispatches on the shard manifest
+        same = hot.query("CGTA", tau=0.3) == sharded.query("CGTA", tau=0.3)
+        print(f"  saved {sharded.shard_count} shard archives + manifest, "
+              f"reloaded answers identical: {same}")
+        hot.close()
+    sharded.close()
+    print()
+
+
 def main() -> None:
-    """Run all four demos."""
+    """Run all five demos."""
     substring_search_demo()
     string_listing_demo()
     approximate_search_demo()
     batch_and_persistence_demo()
+    sharding_and_caching_demo()
 
 
 if __name__ == "__main__":

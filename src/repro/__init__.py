@@ -44,11 +44,16 @@ the wrapped instance.
 from .api import (
     Engine,
     IndexPlan,
+    ResultCache,
     SearchRequest,
     SearchResult,
+    ShardSpec,
+    ShardedEngine,
     build_index,
+    build_sharded_index,
     load_index,
     plan_index,
+    shard_input,
 )
 from .core import (
     ApproximateSubstringIndex,
@@ -108,8 +113,11 @@ __all__ = [
     "PositionDistribution",
     "QueryError",
     "ReproError",
+    "ResultCache",
     "SearchRequest",
     "SearchResult",
+    "ShardSpec",
+    "ShardedEngine",
     "SimpleSpecialIndex",
     "SpecialUncertainStringIndex",
     "ThresholdError",
@@ -119,9 +127,11 @@ __all__ = [
     "UncertainStringListingIndex",
     "ValidationError",
     "build_index",
+    "build_sharded_index",
     "enumerate_maximal_factors",
     "load_index",
     "plan_index",
+    "shard_input",
     "transform_collection",
     "transform_uncertain_string",
     "__version__",

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.base import ListingMatch, Occurrence
+from .cache import CacheKey, ResultCache
 from .requests import Match, SearchRequest, SearchResult
 
 #: Key identifying requests that can share one evaluation verbatim.
@@ -58,8 +59,10 @@ def execute_batch(
     *,
     default_tau: Optional[float] = None,
     refine_tau: bool = True,
+    cache: Optional[ResultCache] = None,
+    cache_key: Optional[Callable[[SearchRequest], CacheKey]] = None,
 ) -> List[SearchResult]:
-    """Turn a batch of requests into (shared, lazy) results.
+    """Turn a batch of requests into (shared, lazy, cacheable) results.
 
     Parameters
     ----------
@@ -76,6 +79,15 @@ def execute_batch(
         Enable same-pattern threshold refinement.  Only engines whose
         index compares match values in linear space (the listing index)
         pass ``True`` — see the module docstring.
+    cache, cache_key:
+        Optional engine-level :class:`~repro.api.cache.ResultCache` plus
+        the engine's request→key function.  Every result in the batch —
+        direct, refined-by-filtering, and the shared base evaluation —
+        has its final evaluation closure wrapped in the cache, so a batch
+        both *reads* earlier answers (a repeated batch is pure cache hits,
+        never touching the index) and *writes* its own (a later single
+        ``search`` reuses batch work).  The wrap happens once, at the
+        result level, so dedupe and refinement never double-probe.
     """
     # The batch-level default applies to bare patterns only — an explicit
     # SearchRequest keeps its own threshold.
@@ -103,6 +115,11 @@ def execute_batch(
 
     shared: Dict[_RequestKey, SearchResult] = {}
 
+    def wrapped(request: SearchRequest, compute: Callable[[], List[Match]]):
+        if cache is None or cache_key is None:
+            return compute
+        return cache.wrap(cache_key(request), compute)
+
     def result_for(request: SearchRequest) -> SearchResult:
         key: _RequestKey = (request.pattern, request.tau, request.top_k)
         existing = shared.get(key)
@@ -120,23 +137,28 @@ def execute_batch(
             base_result = shared.get(base_key)
             if base_result is None:
                 base_result = SearchResult(
-                    base_request, lambda r=base_request: evaluate(r)
+                    base_request,
+                    wrapped(base_request, lambda r=base_request: evaluate(r)),
                 )
                 shared[base_key] = base_result
 
         tau = request.resolve_tau(tau_min)
         if base_result is not None and base_result.request.resolve_tau(tau_min) < tau:
-            result = SearchResult(request, _derive_filtered(base_result, tau))
+            result = SearchResult(
+                request, wrapped(request, _derive_filtered(base_result, tau))
+            )
         elif base_result is not None and (
             base_result.request.resolve_tau(tau_min) == tau
         ):
             # Same pattern, same threshold, possibly different spelling of
             # the default — share the base evaluation outright.
             result = base_result if base_result.request == request else SearchResult(
-                request, lambda: list(base_result.matches)
+                request, wrapped(request, lambda: list(base_result.matches))
             )
         else:
-            result = SearchResult(request, lambda r=request: evaluate(r))
+            result = SearchResult(
+                request, wrapped(request, lambda r=request: evaluate(r))
+            )
         shared[key] = result
         return result
 

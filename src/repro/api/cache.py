@@ -1,0 +1,166 @@
+"""LRU result caching for the hot query path of the :mod:`repro.api` engines.
+
+Serving traffic repeats itself: the same ``(pattern, tau, top_k)`` triples
+arrive over and over, and every index in the package answers a repeated
+request with exactly the same matches (queries are pure functions of the
+built index).  :class:`ResultCache` exploits that — it is a thread-safe LRU
+sitting in front of ``Engine._evaluate`` (and the merged evaluation of
+``ShardedEngine``), keyed on ``(pattern, tau, top_k, kind)``.
+
+Design constraints, in order:
+
+* **Immutability** — cached values are stored as tuples and copied into a
+  fresh list on every hit, so no caller (pagination included) can mutate a
+  cached answer; :class:`~repro.api.requests.SearchResult` already never
+  mutates its match list, the copy guards against callers reaching into
+  ``result.matches`` directly.
+* **Laziness** — :meth:`wrap` returns an evaluation *closure*, so the cache
+  is only consulted when a lazy result is actually touched.  Untouched
+  results cost neither a lookup nor a counter tick, and batch deduplication
+  (:mod:`repro.api.batch`) composes: each distinct request probes the cache
+  exactly once per evaluation.
+* **Observability** — hit / miss / eviction counters are cheap to keep and
+  surfaced through :meth:`stats` into ``Engine.describe()``, because a
+  serving cache nobody can measure is a serving cache nobody can size.
+
+Errors are never cached: an evaluation that raises (e.g. a
+:class:`~repro.exceptions.ThresholdError` for a ``tau`` below ``tau_min``)
+propagates without touching the stored entries, and the failed lookup is
+counted as a miss.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+
+#: Default number of distinct request keys an engine keeps hot.
+DEFAULT_CACHE_SIZE = 1024
+
+#: Cache keys are ``(pattern, tau, top_k, kind)`` tuples; typed loosely so
+#: the sharded engine can reuse the same cache with its own key shape.
+CacheKey = Hashable
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU over evaluated match lists.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of distinct keys to retain.  ``0`` disables the
+        cache entirely — :meth:`wrap` then returns the computation
+        unchanged, so a disabled cache costs nothing on the query path.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE):
+        if capacity < 0:
+            raise ValidationError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[CacheKey, Tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- configuration ------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries retained."""
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache retains anything at all."""
+        return self._capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(capacity={self._capacity}, size={len(self._entries)}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )
+
+    # -- core operations ----------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[Tuple]:
+        """The cached answer for ``key``, or ``None`` (counts a hit or miss)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, value: Sequence) -> None:
+        """Store ``value`` (copied to an immutable tuple) under ``key``."""
+        if not self.enabled:
+            return
+        frozen = tuple(value)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = frozen
+                return
+            self._entries[key] = frozen
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def wrap(self, key: CacheKey, compute: Callable[[], List]) -> Callable[[], List]:
+        """A lazy evaluation closure: cache lookup first, ``compute`` on miss.
+
+        The returned callable is what a :class:`SearchResult` evaluates —
+        nothing happens (no lookup, no counters) until the result is
+        touched.  Hits return a fresh list copied from the stored tuple, so
+        cached answers can never be mutated through a result.
+        """
+        if not self.enabled:
+            return compute
+
+        def evaluate() -> List:
+            cached = self.get(key)
+            if cached is not None:
+                return list(cached)
+            value = compute()
+            self.put(key, value)
+            return list(value)
+
+        return evaluate
+
+    # -- maintenance / observability ----------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit / miss / eviction counters."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def stats(self) -> dict:
+        """Counters and occupancy, as surfaced by ``Engine.describe()``."""
+        with self._lock:
+            hits, misses, evictions = self._hits, self._misses, self._evictions
+            size = len(self._entries)
+        lookups = hits + misses
+        return {
+            "enabled": self.enabled,
+            "capacity": self._capacity,
+            "size": size,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }

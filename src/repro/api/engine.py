@@ -24,23 +24,118 @@ from ..core.listing import UncertainStringListingIndex
 from ..strings.special import SpecialUncertainString
 from ..strings.uncertain import UncertainString
 from .batch import execute_batch
-from .persistence import load_index_payload, save_index_payload
+from .cache import DEFAULT_CACHE_SIZE, CacheKey, ResultCache
+from .persistence import is_sharded_archive, load_index_payload, save_index_payload
 from .planner import IndexInput, IndexPlan, normalize_input, plan_index
 from .requests import Match, SearchRequest, SearchResult
 
 
-class Engine:
+class QueryEngine:
+    """The query surface shared by :class:`Engine` and ``ShardedEngine``.
+
+    Subclasses provide ``_evaluate(request)`` (the actual index work), a
+    ``_cache`` attribute (:class:`~repro.api.cache.ResultCache`), the
+    ``kind`` / ``tau_min`` / ``is_listing`` properties and
+    :meth:`_refine_allowed`; this base turns those into the full public
+    vocabulary — ``search`` / ``search_many`` / ``query`` / ``top_k`` /
+    ``count`` / ``exists`` — with one cache-key shape and one caching
+    policy, so the two engine types cannot drift apart.
+    """
+
+    _cache: ResultCache
+
+    def _evaluate(self, request: SearchRequest) -> List[Match]:
+        raise NotImplementedError
+
+    def _refine_allowed(self) -> bool:
+        """Whether batch threshold refinement is exact on this engine."""
+        raise NotImplementedError
+
+    def _cache_key(self, request: SearchRequest) -> CacheKey:
+        return (request.pattern, request.tau, request.top_k, self.kind)
+
+    def search(
+        self,
+        request: Union[SearchRequest, str],
+        *,
+        tau: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> SearchResult:
+        """Answer one request (lazily — the query runs on first access).
+
+        ``request`` may be a bare pattern (with ``tau`` / ``top_k`` given as
+        keywords) or a :class:`SearchRequest`.  Evaluation routes through
+        the result cache: a repeated request never touches the index.
+        """
+        normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
+        return SearchResult(
+            normalized,
+            self._cache.wrap(
+                self._cache_key(normalized), lambda: self._evaluate(normalized)
+            ),
+        )
+
+    def search_many(
+        self,
+        requests: Sequence[Union[SearchRequest, str]],
+        *,
+        tau: Optional[float] = None,
+    ) -> List[SearchResult]:
+        """Answer a batch of requests, amortizing work across them.
+
+        Identical requests share one evaluation; engines whose index
+        compares match values in linear space additionally share one
+        traversal per pattern at the lowest threshold (see
+        :mod:`repro.api.batch` and :meth:`_refine_allowed`).  Every result
+        — direct or refined — reads and writes the result cache under its
+        own key, so a repeated batch is answered entirely from memory.
+        Results come back in request order and stay lazy until consumed.
+        """
+        return execute_batch(
+            requests,
+            self._evaluate,
+            self.tau_min,
+            default_tau=tau,
+            refine_tau=self._refine_allowed(),
+            cache=self._cache,
+            cache_key=self._cache_key,
+        )
+
+    def query(self, pattern: str, tau: Optional[float] = None) -> List[Match]:
+        """Eager threshold query (the classic ``index.query`` shape)."""
+        return self.search(pattern, tau=tau).matches
+
+    def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Match]:
+        """The ``k`` most probable (most relevant) matches of ``pattern``."""
+        return self.search(pattern, tau=tau, top_k=k).matches
+
+    def count(self, pattern: str, tau: Optional[float] = None) -> int:
+        """Number of matches of ``pattern`` above the threshold."""
+        return self.search(pattern, tau=tau).count
+
+    def exists(self, pattern: str, tau: Optional[float] = None) -> bool:
+        """Whether ``pattern`` matches anywhere above the threshold."""
+        return self.search(pattern, tau=tau).exists
+
+
+class Engine(QueryEngine):
     """One built index behind the unified query vocabulary.
 
     Engines are normally created through :func:`build_index` (which plans
     and constructs the index) or :func:`load_index` (which restores a
     saved one); the constructor accepts any already-built core index plus
     the plan describing it.
+
+    Every engine carries an LRU :class:`~repro.api.cache.ResultCache` on
+    its evaluation path (``cache_size=0`` disables it): repeated requests —
+    single or batched — are answered from memory without touching the
+    index, and hit/miss/eviction counters surface in :meth:`describe`.
     """
 
-    def __init__(self, index: Any, plan: IndexPlan):
+    def __init__(self, index: Any, plan: IndexPlan, *, cache_size: int = DEFAULT_CACHE_SIZE):
         self._index = index
         self._plan = plan
+        self._cache = ResultCache(cache_size)
 
     # -- introspection -----------------------------------------------------------------
     @property
@@ -68,13 +163,19 @@ class Engine:
         """Whether results carry ListingMatch (documents) instead of Occurrence."""
         return self._plan.kind == "listing"
 
+    @property
+    def cache(self) -> ResultCache:
+        """The engine's LRU result cache (disabled when ``cache_size=0``)."""
+        return self._cache
+
     def describe(self) -> dict:
-        """Summary of the engine: kind, selection reason, profile, space."""
+        """Summary of the engine: kind, selection reason, profile, cache, space."""
         return {
             "kind": self.kind,
             "reason": self._plan.reason,
             "tau_min": self.tau_min,
             "profile": dict(self._plan.profile),
+            "cache": self._cache.stats(),
             "space_report": self.space_report(),
         }
 
@@ -99,64 +200,14 @@ class Engine:
             request.pattern, request.resolve_tau(self.tau_min)
         )
 
-    def search(
-        self,
-        request: Union[SearchRequest, str],
-        *,
-        tau: Optional[float] = None,
-        top_k: Optional[int] = None,
-    ) -> SearchResult:
-        """Answer one request (lazily — the query runs on first access).
-
-        ``request`` may be a bare pattern (with ``tau`` / ``top_k`` given as
-        keywords) or a :class:`SearchRequest`.
-        """
-        normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
-        return SearchResult(normalized, lambda: self._evaluate(normalized))
-
-    def search_many(
-        self,
-        requests: Sequence[Union[SearchRequest, str]],
-        *,
-        tau: Optional[float] = None,
-    ) -> List[SearchResult]:
-        """Answer a batch of requests, amortizing work across them.
-
-        Identical requests share one evaluation; on listing engines,
-        same-pattern requests at different thresholds additionally share
-        one traversal at the lowest threshold (see :mod:`repro.api.batch`
-        for why refinement is restricted to the listing index).  Results
-        come back in request order and stay lazy until consumed.
-        """
+    def _refine_allowed(self) -> bool:
         # Refinement is exact only when the index both stores and compares
         # the reported relevance directly: the listing index without the
         # correlated-collection verification step (which prunes candidates
         # on pre-verification values a filter over reported relevance
-        # cannot reproduce).
-        refine = self.is_listing and not self._index.needs_verification
-        return execute_batch(
-            requests,
-            self._evaluate,
-            self.tau_min,
-            default_tau=tau,
-            refine_tau=refine,
-        )
-
-    def query(self, pattern: str, tau: Optional[float] = None) -> List[Match]:
-        """Eager threshold query (the classic ``index.query`` shape)."""
-        return self.search(pattern, tau=tau).matches
-
-    def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Match]:
-        """The ``k`` most probable (most relevant) matches of ``pattern``."""
-        return self._index.top_k(pattern, k, tau=tau)
-
-    def count(self, pattern: str, tau: Optional[float] = None) -> int:
-        """Number of matches of ``pattern`` above the threshold."""
-        return self.search(pattern, tau=tau).count
-
-    def exists(self, pattern: str, tau: Optional[float] = None) -> bool:
-        """Whether ``pattern`` matches anywhere above the threshold."""
-        return self.search(pattern, tau=tau).exists
+        # cannot reproduce).  The substring indexes compare in log space —
+        # see :mod:`repro.api.batch` for the full argument.
+        return self.is_listing and not self._index.needs_verification
 
     # -- persistence -------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
@@ -171,10 +222,10 @@ class Engine:
         return save_index_payload(self._index, self._plan, path)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Engine":
+    def load(cls, path: Union[str, Path], *, cache_size: int = DEFAULT_CACHE_SIZE) -> "Engine":
         """Restore an engine saved with :meth:`save`."""
         index, plan = load_index_payload(path)
-        return cls(index, plan)
+        return cls(index, plan, cache_size=cache_size)
 
 
 def build_index(
@@ -185,6 +236,7 @@ def build_index(
     space_budget_bytes: Optional[int] = None,
     epsilon: Optional[float] = None,
     metric: str = "max",
+    cache_size: int = DEFAULT_CACHE_SIZE,
     **options: Any,
 ) -> Engine:
     """Plan, build and wrap the right index for ``data``.
@@ -220,7 +272,7 @@ def build_index(
         **options,
     )
     index = _construct(plan, normalized)
-    return Engine(index, plan)
+    return Engine(index, plan, cache_size=cache_size)
 
 
 def _construct(plan: IndexPlan, normalized: Any) -> Any:
@@ -252,6 +304,16 @@ def _construct(plan: IndexPlan, normalized: Any) -> Any:
     return plan.index_class(string, plan.tau_min, **options)
 
 
-def load_index(path: Union[str, Path]) -> Engine:
-    """Restore an engine saved with :meth:`Engine.save` (module-level alias)."""
-    return Engine.load(path)
+def load_index(path: Union[str, Path], *, cache_size: int = DEFAULT_CACHE_SIZE) -> Any:
+    """Restore any saved engine — plain ``.npz`` archive or sharded directory.
+
+    Dispatches on the archive shape: a directory holding a shard manifest
+    restores a :class:`~repro.api.sharding.ShardedEngine`, everything else
+    an :class:`Engine` — so callers round-trip both engine types through
+    one function.
+    """
+    if is_sharded_archive(path):
+        from .sharding import ShardedEngine
+
+        return ShardedEngine.load(path, cache_size=cache_size)
+    return Engine.load(path, cache_size=cache_size)

@@ -55,6 +55,13 @@ FORMAT_VERSION = 1
 #: Reserved archive key holding the JSON manifest (UTF-8 bytes).
 MANIFEST_KEY = "__manifest__"
 
+#: Sharded engines persist as a *directory*: one ordinary ``.npz`` archive
+#: per shard plus this JSON manifest describing the partition, so every
+#: shard stays individually loadable with :func:`load_index_payload`.
+SHARDED_FORMAT_NAME = "repro-sharded-index"
+SHARDED_FORMAT_VERSION = 1
+SHARDED_MANIFEST_NAME = "manifest.json"
+
 _KIND_BY_CLASS = {
     SpecialUncertainStringIndex: "special",
     SimpleSpecialIndex: "simple",
@@ -522,6 +529,125 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     path = normalize_archive_path(path)
     with np.load(path, allow_pickle=False) as archive:
         return _extract_manifest(archive, path)
+
+
+# ---------------------------------------------------------------------------
+# Sharded archives (directory of per-shard .npz files + a JSON manifest)
+# ---------------------------------------------------------------------------
+def is_sharded_archive(path: Union[str, Path]) -> bool:
+    """Whether ``path`` is a sharded-engine directory (has a shard manifest)."""
+    path = Path(path)
+    return path.is_dir() and (path / SHARDED_MANIFEST_NAME).is_file()
+
+
+def save_sharded_payload(
+    shard_engines: List[Any],
+    spec: Any,
+    plan: Any,
+    path: Union[str, Path],
+) -> Path:
+    """Write a sharded engine to a directory of shard archives + manifest.
+
+    Each shard is saved through :func:`save_index_payload` (the archives
+    are ordinary single-engine archives — a shard can be loaded standalone
+    for debugging); the manifest records the partition
+    (:class:`~repro.api.planner.ShardSpec`) and the overall plan so
+    :func:`load_sharded_payload` restores an engine with globally correct
+    positions.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        raise ValidationError(
+            f"a sharded engine saves to a directory, not an .npz file: {path}"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+    # Re-saving over an old archive with fewer shards must not leave stale
+    # shard files behind: the manifest would ignore them, but the
+    # standalone-shard debugging flow (load_index on one .npz) would
+    # silently read data from a different index.
+    for stale in path.glob("shard-*.npz"):
+        stale.unlink()
+    shard_files = []
+    for ordinal, engine in enumerate(shard_engines):
+        name = f"shard-{ordinal:04d}.npz"
+        save_index_payload(engine.index, engine.plan, path / name)
+        shard_files.append(name)
+    manifest = {
+        "format": SHARDED_FORMAT_NAME,
+        "version": SHARDED_FORMAT_VERSION,
+        "kind": plan.kind,
+        "spec": {
+            "mode": spec.mode,
+            "shard_count": spec.shard_count,
+            "offsets": list(spec.offsets),
+            "owned_ends": list(spec.owned_ends),
+            "overlap": spec.overlap,
+            "max_pattern_len": spec.max_pattern_len,
+        },
+        "plan": {
+            "kind": plan.kind,
+            "tau_min": plan.tau_min,
+            "reason": plan.reason,
+            "profile": dict(plan.profile),
+        },
+        "shards": shard_files,
+    }
+    (path / SHARDED_MANIFEST_NAME).write_text(
+        json.dumps(manifest, sort_keys=True, indent=2), encoding="utf-8"
+    )
+    return path
+
+
+def read_sharded_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate the JSON manifest of a sharded-engine directory."""
+    path = Path(path)
+    manifest_path = path / SHARDED_MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValidationError(f"{path} is not a sharded index archive (no manifest)")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != SHARDED_FORMAT_NAME:
+        raise ValidationError(
+            f"{path} has format {manifest.get('format')!r}, "
+            f"expected {SHARDED_FORMAT_NAME!r}"
+        )
+    if int(manifest.get("version", -1)) > SHARDED_FORMAT_VERSION:
+        raise ValidationError(
+            f"{path} was written by a newer sharded format version "
+            f"({manifest.get('version')} > {SHARDED_FORMAT_VERSION}); "
+            "upgrade the package"
+        )
+    return manifest
+
+
+def load_sharded_payload(path: Union[str, Path]) -> Tuple[List[Tuple[Any, Any]], Any, Any]:
+    """Restore a sharded archive: ``([(index, plan), ...], spec, plan)``."""
+    from .planner import IndexPlan, ShardSpec
+
+    path = Path(path)
+    manifest = read_sharded_manifest(path)
+    payloads = [load_index_payload(path / name) for name in manifest["shards"]]
+    saved_spec = manifest["spec"]
+    spec = ShardSpec(
+        mode=saved_spec["mode"],
+        shard_count=int(saved_spec["shard_count"]),
+        offsets=tuple(int(v) for v in saved_spec["offsets"]),
+        owned_ends=tuple(int(v) for v in saved_spec["owned_ends"]),
+        overlap=int(saved_spec["overlap"]),
+        max_pattern_len=(
+            None
+            if saved_spec["max_pattern_len"] is None
+            else int(saved_spec["max_pattern_len"])
+        ),
+    )
+    saved_plan = manifest.get("plan") or {}
+    plan = IndexPlan(
+        kind=manifest["kind"],
+        tau_min=float(saved_plan.get("tau_min", 0.0)),
+        reason=saved_plan.get("reason", "") + f" [loaded from {path.name}/]",
+        options={},
+        profile=dict(saved_plan.get("profile", {})),
+    )
+    return payloads, spec, plan
 
 
 def load_index_payload(path: Union[str, Path]) -> Tuple[Any, Any]:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence, Tuple, Type, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from .._validation import check_threshold
 from ..core.approximate import ApproximateSubstringIndex
@@ -51,6 +51,13 @@ from ..strings.uncertain import UncertainString
 #: index kind that requires it (general / approximate / listing).  Matches
 #: the τ_min the paper's evaluation uses throughout.
 DEFAULT_TAU_MIN = 0.1
+
+#: Longest pattern a chunk-sharded engine supports by default.  Chunks
+#: overlap by ``max_pattern_len - 1`` positions so that every window of up
+#: to ``max_pattern_len`` characters lies wholly inside the chunk that owns
+#: its starting position; longer patterns could straddle a boundary and are
+#: rejected at query time.
+DEFAULT_MAX_PATTERN_LEN = 64
 
 #: Index kinds the planner knows, mapped to the class it will build.
 INDEX_CLASSES: Dict[str, type] = {
@@ -454,3 +461,142 @@ def _plan_for_kind(
         profile=profile,
         prepared_input=prepared,
     )
+
+
+# -- sharding: input partitioning ---------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """How an input was partitioned into shards (the sharding "plan").
+
+    Attributes
+    ----------
+    mode:
+        ``"documents"`` — a collection split into contiguous document
+        ranges; ``"chunks"`` — a single string split into overlapping
+        chunks.
+    shard_count:
+        Number of shards actually produced (requests for more shards than
+        documents / positions are clamped).
+    offsets:
+        Global coordinate of each shard's first owned unit: the first
+        document identifier (documents mode) or the chunk's starting
+        position (chunks mode).
+    owned_ends:
+        End (exclusive) of each shard's *owned* range in global
+        coordinates.  In chunks mode a chunk extends ``overlap`` positions
+        past its owned end; matches starting in that overlap are owned by
+        (and reported from) the next shard, which is how the merge dedupes.
+    overlap:
+        Number of positions adjacent chunks share (``max_pattern_len - 1``;
+        ``0`` in documents mode).
+    max_pattern_len:
+        Longest query pattern a chunk-sharded engine can answer
+        (``None`` in documents mode — document sharding has no limit).
+    """
+
+    mode: str
+    shard_count: int
+    offsets: Tuple[int, ...]
+    owned_ends: Tuple[int, ...]
+    overlap: int
+    max_pattern_len: Optional[int]
+
+    def owner_of(self, position: int) -> int:
+        """Index of the shard owning global ``position`` (or document id)."""
+        for shard, end in enumerate(self.owned_ends):
+            if position < end:
+                return shard
+        raise ValidationError(
+            f"position {position} is outside the sharded input "
+            f"(total {self.owned_ends[-1] if self.owned_ends else 0})"
+        )
+
+
+def shard_input(
+    data: IndexInput,
+    shards: int,
+    *,
+    max_pattern_len: int = DEFAULT_MAX_PATTERN_LEN,
+) -> Tuple[ShardSpec, List[Any]]:
+    """Partition an index input into per-shard inputs plus the spec.
+
+    Collections split by document into contiguous near-equal ranges
+    (document identifiers in query answers stay globally correct after the
+    merge re-bases them).  Single strings — general or special — split into
+    chunks of near-equal owned length, each extended by an overlap of
+    ``max_pattern_len - 1`` positions so any pattern of up to
+    ``max_pattern_len`` characters starting inside a chunk's owned range is
+    fully contained in that chunk.
+
+    Correlated general strings are rejected in chunks mode: a correlation
+    rule whose endpoints land in different chunks cannot be evaluated by
+    either shard, so the chunked answers would silently diverge from the
+    unsharded ones.  Collections may be correlated freely (rules never
+    cross documents).
+    """
+    if shards < 1:
+        raise ValidationError(f"shard count must be >= 1, got {shards}")
+    normalized = normalize_input(data)
+
+    if isinstance(normalized, UncertainStringCollection):
+        count = min(shards, len(normalized))
+        base, extra = divmod(len(normalized), count)
+        offsets: List[int] = []
+        owned_ends: List[int] = []
+        parts: List[Any] = []
+        start = 0
+        for shard in range(count):
+            size = base + (1 if shard < extra else 0)
+            stop = start + size
+            offsets.append(start)
+            owned_ends.append(stop)
+            parts.append(
+                UncertainStringCollection(
+                    normalized.documents[start:stop],
+                    names=normalized.names[start:stop],
+                )
+            )
+            start = stop
+        spec = ShardSpec(
+            mode="documents",
+            shard_count=count,
+            offsets=tuple(offsets),
+            owned_ends=tuple(owned_ends),
+            overlap=0,
+            max_pattern_len=None,
+        )
+        return spec, parts
+
+    if max_pattern_len < 1:
+        raise ValidationError(
+            f"max_pattern_len must be >= 1, got {max_pattern_len}"
+        )
+    if isinstance(normalized, UncertainString) and normalized.correlations:
+        raise ValidationError(
+            "cannot chunk-shard a correlated uncertain string: correlation "
+            "rules crossing a chunk boundary would be dropped and change "
+            "query answers; shard by document instead, or index unsharded"
+        )
+    n = len(normalized)
+    count = min(shards, n)
+    overlap = max_pattern_len - 1
+    step = math.ceil(n / count)
+    starts = list(range(0, n, step))
+    offsets = []
+    owned_ends = []
+    parts = []
+    for shard, start in enumerate(starts):
+        owned_end = min(start + step, n)
+        chunk_end = min(owned_end + overlap, n)
+        offsets.append(start)
+        owned_ends.append(owned_end)
+        parts.append(normalized.slice(start, chunk_end))
+    spec = ShardSpec(
+        mode="chunks",
+        shard_count=len(starts),
+        offsets=tuple(offsets),
+        owned_ends=tuple(owned_ends),
+        overlap=overlap,
+        max_pattern_len=max_pattern_len,
+    )
+    return spec, parts

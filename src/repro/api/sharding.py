@@ -1,0 +1,396 @@
+"""Horizontal scale-out: :class:`ShardedEngine` over the :mod:`repro.api` façade.
+
+One index over one big input eventually hits a wall: construction is
+superlinear in practice, a single suffix array monopolizes one core, and a
+single archive must be loaded whole.  :func:`build_sharded_index` splits the
+input first — a collection by document, a single uncertain string into
+chunks overlapping by ``max_pattern_len - 1`` positions — builds one
+ordinary :class:`~repro.api.engine.Engine` per shard through the existing
+planner, and merges per-shard answers back into globally correct results:
+
+* **Document sharding** is exact and unrestricted: relevance is a
+  per-document quantity, shard-local document identifiers re-base onto
+  contiguous global ranges, and the merged listing order (ascending
+  document, or descending relevance for ``top_k``) matches the unsharded
+  engine's.
+* **Chunk sharding** relies on the overlap invariant: any window of at most
+  ``max_pattern_len`` characters starting at a position a chunk *owns* lies
+  wholly inside that chunk, so every occurrence is found by exactly the
+  shard owning its starting position — occurrences reported from a chunk's
+  trailing overlap are dropped at merge time (the next shard owns them).
+  Patterns longer than ``max_pattern_len`` could straddle a boundary and
+  are rejected with :class:`~repro.exceptions.PatternTooLongError`.
+  Occurrence probabilities depend only on window content, never on where
+  the window sits.
+
+In both modes the reported match set is the unsharded engine's; the
+probability / relevance *floats* agree up to floating-point associativity
+(the indexes derive values from log-prefix sums whose accumulation origin
+shifts with the shard boundary, so the last few ulps can differ — the same
+tolerance the index-vs-oracle property tests apply).
+
+Plain threshold answers are merged with a lazy heap-merge on position /
+document; ``top_k`` answers fetch ``k + overlap`` candidates per shard
+(at most ``overlap`` of them can be dropped as duplicates, so ``k`` owned
+candidates always survive) and heap-merge the per-shard heaps on
+``(-value, position)``, reproducing the unsharded tie-break.
+
+Per-shard evaluation fans out on a lazily created thread pool; the merged
+evaluation sits behind the same :class:`~repro.api.cache.ResultCache` an
+unsharded engine uses (the shard engines run with their caches disabled so
+counters are not double-counted), and :meth:`ShardedEngine.save` /
+:func:`repro.api.engine.load_index` round-trip the whole ensemble through a
+directory of ordinary ``.npz`` shard archives plus a JSON shard manifest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from itertools import islice
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from ..core.base import ListingMatch, Occurrence, translate_match
+from ..exceptions import PatternTooLongError, ValidationError
+from .cache import DEFAULT_CACHE_SIZE, ResultCache
+from .engine import Engine, QueryEngine, build_index
+from .persistence import load_sharded_payload, save_sharded_payload
+from .planner import (
+    DEFAULT_MAX_PATTERN_LEN,
+    IndexInput,
+    IndexPlan,
+    ShardSpec,
+    normalize_input,
+    plan_index,
+    shard_input,
+)
+from .requests import Match, SearchRequest
+
+
+def _reporting_key(match: Match):
+    """Merge key for plain threshold answers (position / document order)."""
+    if isinstance(match, Occurrence):
+        return match.position
+    return match.document
+
+
+def _ranking_key(match: Match):
+    """Merge key for ``top_k`` answers (descending value, then position)."""
+    if isinstance(match, Occurrence):
+        return (-match.probability, match.position)
+    return (-match.relevance, match.document)
+
+
+class ShardedEngine(QueryEngine):
+    """A fleet of per-shard :class:`Engine` instances behind one façade.
+
+    Construct through :func:`build_sharded_index` (which partitions the
+    input and plans the shards) or :meth:`load` (which restores a saved
+    ensemble); the constructor accepts already-built shard engines plus the
+    :class:`~repro.api.planner.ShardSpec` describing the partition.
+
+    The query surface is :class:`Engine`'s, inherited from the shared
+    :class:`~repro.api.engine.QueryEngine` base — ``search`` /
+    ``search_many`` / ``query`` / ``top_k`` / ``count`` / ``exists`` with
+    identical semantics, caching policy and lazy :class:`SearchResult`
+    values — so callers can swap one for the other without touching query
+    code.  Only the evaluation differs: it fans out across shards and
+    merges (batch dedupe, refinement and the result cache all operate at
+    the ensemble level, with per-shard caches disabled)."""
+
+    def __init__(
+        self,
+        engines: Sequence[Engine],
+        spec: ShardSpec,
+        plan: IndexPlan,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: Optional[int] = None,
+    ):
+        if len(engines) != spec.shard_count:
+            raise ValidationError(
+                f"spec describes {spec.shard_count} shards but "
+                f"{len(engines)} engines were given"
+            )
+        if spec.mode not in ("documents", "chunks"):
+            raise ValidationError(f"unknown shard mode {spec.mode!r}")
+        self._engines = list(engines)
+        self._spec = spec
+        self._plan = plan
+        self._cache = ResultCache(cache_size)
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def shards(self) -> List[Engine]:
+        """The per-shard engines, in shard order."""
+        return list(self._engines)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards."""
+        return self._spec.shard_count
+
+    @property
+    def spec(self) -> ShardSpec:
+        """The partition this engine was built over."""
+        return self._spec
+
+    @property
+    def plan(self) -> IndexPlan:
+        """The plan of the full (unsharded) input that fixed the index kind."""
+        return self._plan
+
+    @property
+    def kind(self) -> str:
+        """Index kind shared by every shard."""
+        return self._plan.kind
+
+    @property
+    def tau_min(self) -> float:
+        """Smallest query threshold the ensemble supports."""
+        return max(engine.tau_min for engine in self._engines)
+
+    @property
+    def is_listing(self) -> bool:
+        """Whether results carry ListingMatch (documents) instead of Occurrence."""
+        return self.kind == "listing"
+
+    @property
+    def max_pattern_len(self) -> Optional[int]:
+        """Longest supported pattern (``None`` means unlimited)."""
+        return self._spec.max_pattern_len
+
+    @property
+    def cache(self) -> ResultCache:
+        """The ensemble-level LRU result cache."""
+        return self._cache
+
+    def describe(self) -> dict:
+        """Summary: kind, sharding layout, cache counters, space, shards."""
+        return {
+            "kind": self.kind,
+            "reason": self._plan.reason,
+            "tau_min": self.tau_min,
+            "sharding": {
+                "mode": self._spec.mode,
+                "shard_count": self._spec.shard_count,
+                "overlap": self._spec.overlap,
+                "max_pattern_len": self._spec.max_pattern_len,
+            },
+            "cache": self._cache.stats(),
+            "space_report": self.space_report(),
+            "shards": [
+                {"kind": engine.kind, "nbytes": engine.nbytes()}
+                for engine in self._engines
+            ],
+        }
+
+    def space_report(self) -> dict:
+        """Total footprint plus the per-shard totals."""
+        totals = [engine.nbytes() for engine in self._engines]
+        return {"total": sum(totals), "shard_totals": totals}
+
+    def nbytes(self) -> int:
+        """Total approximate memory footprint across all shards."""
+        return sum(engine.nbytes() for engine in self._engines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(kind={self.kind!r}, shards={self.shard_count}, "
+            f"mode={self._spec.mode!r}, nbytes={self.nbytes()})"
+        )
+
+    # -- thread-pool fan-out -----------------------------------------------------------
+    def _map_shards(self, function: Callable[[int], Any]) -> List[Any]:
+        """Run ``function(shard)`` for every shard, in parallel when > 1."""
+        if len(self._engines) == 1:
+            return [function(0)]
+        with self._executor_lock:
+            if self._executor is None:
+                workers = self._max_workers or len(self._engines)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, workers), thread_name_prefix="repro-shard"
+                )
+            executor = self._executor
+        return list(executor.map(function, range(len(self._engines))))
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent; queries recreate it)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- merged evaluation ---------------------------------------------------------------
+    def _translate(self, shard: int, matches: List[Match]) -> List[Match]:
+        """Re-base shard-local matches onto global coordinates, deduping overlap."""
+        spec = self._spec
+        offset = spec.offsets[shard]
+        if spec.mode == "documents":
+            return [
+                translate_match(match, document_offset=offset) for match in matches
+            ]
+        owned_end = spec.owned_ends[shard]
+        translated = []
+        for match in matches:
+            moved = translate_match(match, position_offset=offset)
+            # Occurrences starting in the trailing overlap belong to (and
+            # are re-found by) the next shard — drop them here.
+            if moved.position < owned_end:
+                translated.append(moved)
+        return translated
+
+    def _check_pattern(self, pattern: str) -> None:
+        limit = self._spec.max_pattern_len
+        if limit is not None and len(pattern) > limit:
+            raise PatternTooLongError(
+                f"pattern of length {len(pattern)} exceeds this sharded "
+                f"engine's max_pattern_len={limit}; chunks overlap by "
+                f"{self._spec.overlap} positions, so longer patterns could "
+                "straddle a chunk boundary — rebuild with a larger "
+                "max_pattern_len to search longer patterns"
+            )
+
+    def _evaluate(self, request: SearchRequest) -> List[Match]:
+        """Fan the request out across shards and merge globally."""
+        self._check_pattern(request.pattern)
+        if request.top_k is not None:
+            return self._evaluate_top_k(request)
+
+        per_shard = self._map_shards(
+            lambda shard: self._translate(
+                shard, self._engines[shard]._evaluate(request)
+            )
+        )
+        # Each shard reports in position (document) order over disjoint
+        # owned ranges; a lazy heap-merge restores the global order.
+        return list(heapq.merge(*per_shard, key=_reporting_key))
+
+    def _evaluate_top_k(self, request: SearchRequest) -> List[Match]:
+        # Fetch k + overlap per chunk shard: the ownership filter can drop
+        # at most `overlap` matches (one occurrence per overlap position),
+        # so at least k owned candidates survive — and any member of the
+        # global top-k is necessarily in its own shard's top-(k + overlap).
+        fetch = request.top_k + (
+            self._spec.overlap if self._spec.mode == "chunks" else 0
+        )
+        shard_request = SearchRequest(request.pattern, tau=request.tau, top_k=fetch)
+        per_shard = self._map_shards(
+            lambda shard: self._translate(
+                shard, self._engines[shard]._evaluate(shard_request)
+            )
+        )
+        # Per-shard lists arrive sorted by (-value, position); merging the
+        # per-shard heaps and keeping the first k reproduces the unsharded
+        # deterministic tie-break.
+        merged = heapq.merge(*per_shard, key=_ranking_key)
+        return list(islice(merged, request.top_k))
+
+    def _refine_allowed(self) -> bool:
+        # Merged listing answers equal the unsharded engine's, so the
+        # refinement argument of :mod:`repro.api.batch` carries over
+        # unchanged: exact on uncorrelated listing ensembles only.
+        return self.is_listing and not any(
+            engine.index.needs_verification for engine in self._engines
+        )
+
+    # -- persistence -------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize the ensemble to a directory of shard archives + manifest."""
+        return save_sharded_payload(self._engines, self._spec, self._plan, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedEngine":
+        """Restore an ensemble saved with :meth:`save`."""
+        payloads, spec, plan = load_sharded_payload(path)
+        engines = [
+            Engine(index, shard_plan, cache_size=0) for index, shard_plan in payloads
+        ]
+        return cls(
+            engines, spec, plan, cache_size=cache_size, max_workers=max_workers
+        )
+
+
+def build_sharded_index(
+    data: IndexInput,
+    *,
+    shards: int,
+    tau_min: Optional[float] = None,
+    kind: str = "auto",
+    max_pattern_len: int = DEFAULT_MAX_PATTERN_LEN,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    max_workers: Optional[int] = None,
+    space_budget_bytes: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    metric: str = "max",
+    **options: Any,
+) -> ShardedEngine:
+    """Partition ``data``, build one engine per shard, wrap them as one.
+
+    The index kind is planned **once**, on the full input (honouring the
+    same ``kind`` / ``space_budget_bytes`` / ``epsilon`` knobs as
+    :func:`~repro.api.engine.build_index`), then forced onto every shard —
+    a chunk of a general string could otherwise plan to a different
+    variant than its siblings and change answer semantics mid-merge.
+
+    ``shards`` is clamped to the number of documents (collections) or
+    positions (single strings).  ``max_pattern_len`` fixes the chunk
+    overlap (``max_pattern_len - 1``) and the longest pattern a
+    chunk-sharded engine accepts; document-sharded engines ignore it.
+
+    Examples
+    --------
+    >>> from repro import build_sharded_index
+    >>> engine = build_sharded_index("banana" * 20, shards=3, max_pattern_len=6)
+    >>> engine.shard_count
+    3
+    >>> engine.count("anan", tau=0.5)  # one occurrence inside each "banana"
+    20
+    """
+    normalized = normalize_input(data)
+    plan = plan_index(
+        normalized,
+        tau_min=tau_min,
+        kind=kind,
+        space_budget_bytes=space_budget_bytes,
+        epsilon=epsilon,
+        metric=metric,
+        **options,
+    )
+    spec, parts = shard_input(normalized, shards, max_pattern_len=max_pattern_len)
+    engines = [
+        build_index(
+            part,
+            tau_min=tau_min,
+            kind=plan.kind,
+            epsilon=epsilon,
+            metric=metric,
+            cache_size=0,  # the ensemble cache fronts every query
+            **options,
+        )
+        for part in parts
+    ]
+    return ShardedEngine(
+        engines,
+        spec,
+        plan,
+        cache_size=cache_size,
+        max_workers=max_workers,
+    )

@@ -660,6 +660,76 @@ def ablation_batch_engine(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable
     return table
 
 
+def sharding_scaling(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Sharded fan-out + result cache on a repeated serving workload.
+
+    Serving-shaped measurement over the general substring engine: the same
+    batch of ``(pattern, tau)`` requests is replayed ``rounds`` times
+    against a :class:`~repro.api.sharding.ShardedEngine` at increasing
+    shard counts.  Three series per shard count:
+
+    * cold ``search_many`` throughput — first round, every request a cache
+      miss, per-shard evaluation fanned out on the thread pool;
+    * warm throughput — the remaining rounds, answered from the LRU
+      result cache without touching any shard;
+    * the cache hit rate after all rounds (with ``rounds`` replays of the
+      same workload the expected rate is ``(rounds - 1) / rounds``).
+    """
+    from ..api.requests import SearchRequest
+    from ..api.sharding import build_sharded_index
+
+    rounds = 10
+    table = FigureTable(
+        figure_id="sharding-scaling",
+        title="ShardedEngine: search_many throughput and cache hit rate vs shards",
+        x_label="shards",
+        y_label="see series label",
+        notes=(
+            f"general engine, n={scale.fixed_string_size}, "
+            f"theta={scale.thetas[-1]}, tau_min={scale.tau_min}, "
+            f"workload replayed {rounds}x"
+        ),
+    )
+    theta = scale.thetas[-1]
+    work = substring_workload(
+        scale.fixed_string_size,
+        theta,
+        tau_min=scale.tau_min,
+        query_lengths=scale.pattern_lengths,
+        patterns_per_length=scale.patterns_per_length,
+    )
+    requests = [
+        SearchRequest(pattern, tau=tau)
+        for pattern in work.patterns
+        for tau in scale.tau_grid
+    ]
+    max_pattern_len = max(len(pattern) for pattern in work.patterns)
+
+    cold = Series("cold search_many (req/s)")
+    warm = Series("warm search_many (req/s)")
+    hit_rate = Series("cache hit rate (%)")
+    for shards in (1, 2, 4):
+        engine = build_sharded_index(
+            work.string,
+            shards=shards,
+            tau_min=scale.tau_min,
+            kind="general",
+            max_pattern_len=max_pattern_len,
+        )
+
+        def run_batch() -> None:
+            for result in engine.search_many(requests):
+                result.count
+
+        cold.add(shards, len(requests) / max(time_callable(run_batch), 1e-9))
+        warm_elapsed = time_callable(run_batch, repeats=rounds - 1)
+        warm.add(shards, len(requests) / max(warm_elapsed, 1e-9))
+        hit_rate.add(shards, 100.0 * engine.cache.stats()["hit_rate"])
+        engine.close()
+    table.series.extend([cold, warm, hit_rate])
+    return table
+
+
 #: Registry used by the CLI and the tests.
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "fig7a": figure_7a,
@@ -676,6 +746,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "ablation-variants": ablation_index_variants,
     "ablation-rmq": ablation_rmq,
     "ablation-batch": ablation_batch_engine,
+    "sharding-scaling": sharding_scaling,
     "ablation-approx": ablation_approximate,
     "ablation-transformation": ablation_transformation,
 }

@@ -11,6 +11,7 @@ from .base import (
     sort_listing_matches,
     sort_occurrences,
     top_values_above_threshold,
+    translate_match,
 )
 from .baseline import BruteForceOracle, OnlineDynamicProgrammingMatcher
 from .cumulative import (
@@ -56,5 +57,6 @@ __all__ = [
     "top_values_above_threshold",
     "transform_collection",
     "transform_uncertain_string",
+    "translate_match",
     "window_log_probability",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -277,6 +277,34 @@ class UncertainSubstringIndex(abc.ABC):
     def exists(self, pattern: str, tau: float) -> bool:
         """Whether ``pattern`` occurs anywhere with probability above ``tau``."""
         return bool(self.query(pattern, tau))
+
+
+def translate_match(
+    match: Union[Occurrence, ListingMatch],
+    *,
+    position_offset: int = 0,
+    document_offset: int = 0,
+) -> Union[Occurrence, ListingMatch]:
+    """Shift a match from shard-local to global coordinates.
+
+    Sharded engines build each per-shard index over a slice of the input, so
+    an :class:`Occurrence` reports a chunk-local position and a
+    :class:`ListingMatch` a shard-local document identifier; this helper
+    re-bases either onto the full input.  Probabilities and relevances are
+    untouched — the value of a match depends only on the window content,
+    never on where the window sits.
+    """
+    if isinstance(match, Occurrence):
+        if position_offset == 0:
+            return match
+        return Occurrence(match.position + position_offset, match.probability)
+    if isinstance(match, ListingMatch):
+        if document_offset == 0:
+            return match
+        return ListingMatch(match.document + document_offset, match.relevance)
+    raise TypeError(
+        f"cannot translate a {type(match).__name__}; expected Occurrence or ListingMatch"
+    )
 
 
 def sort_occurrences(occurrences: Sequence[Occurrence]) -> List[Occurrence]:

@@ -184,6 +184,20 @@ class SpecialUncertainString:
                 results.append(position)
         return results
 
+    # -- slicing --------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "SpecialUncertainString":
+        """Return the special uncertain substring covering positions ``[start, stop)``.
+
+        Positions are independent, so the slice answers any query over its
+        window exactly as the full string does — the property chunked
+        sharding relies on (mirrors :meth:`UncertainString.slice`).
+        """
+        if start < 0 or stop > len(self._positions) or start >= stop:
+            raise ValidationError(
+                f"invalid slice [{start}, {stop}) for string of length {len(self._positions)}"
+            )
+        return SpecialUncertainString(self._positions[start:stop], name=self.name)
+
     # -- conversions ----------------------------------------------------------------
     def to_uncertain_string(self) -> UncertainString:
         """Lift to a general :class:`UncertainString`.

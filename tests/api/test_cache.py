@@ -1,0 +1,234 @@
+"""Result-cache invariants: hits, misses, LRU order, counters, immutability."""
+
+import pytest
+
+from repro.api import SearchRequest, build_index
+from repro.api.cache import ResultCache
+from repro.exceptions import ThresholdError, ValidationError
+from repro.strings import UncertainString
+
+
+@pytest.fixture
+def engine(figure3_string):
+    return build_index(figure3_string, tau_min=0.1)
+
+
+@pytest.fixture
+def listing_engine(figure2_collection):
+    return build_index(figure2_collection, tau_min=0.05)
+
+
+class TestResultCacheUnit:
+    def test_put_get_round_trip(self):
+        cache = ResultCache(4)
+        cache.put(("a", 0.1, None, "general"), [1, 2, 3])
+        assert cache.get(("a", 0.1, None, "general")) == (1, 2, 3)
+        assert cache.stats()["hits"] == 1
+
+    def test_miss_counts(self):
+        cache = ResultCache(4)
+        assert cache.get("absent") is None
+        assert cache.stats() == {
+            "enabled": True,
+            "capacity": 4,
+            "size": 0,
+            "hits": 0,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.get("a")  # refresh "a": now "b" is least recently used
+        cache.put("c", [3])
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") == (1,)
+        assert cache.get("c") == (3,)
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = ResultCache(2)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.put("a", [9])  # overwrite refreshes recency too
+        cache.put("c", [3])
+        assert cache.get("a") == (9,)
+        assert cache.get("b") is None
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put("a", [1])
+        assert cache.get("a") is None
+        assert not cache.enabled
+        assert cache.stats()["misses"] == 0  # disabled caches do not count
+        compute = lambda: [1]
+        assert cache.wrap("a", compute) is compute
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            ResultCache(-1)
+
+    def test_wrap_copies_on_hit(self):
+        cache = ResultCache(4)
+        evaluate = cache.wrap("k", lambda: [1, 2])
+        first = evaluate()
+        first.append(99)  # mutating a returned list must not poison the cache
+        assert evaluate() == [1, 2]
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(4)
+        cache.put("a", [1])
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0
+
+
+class TestEngineCaching:
+    def test_hit_after_identical_request(self, engine):
+        engine.search("PA", tau=0.2).matches
+        engine.search("PA", tau=0.2).matches
+        stats = engine.cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_miss_after_differing_tau_or_k(self, engine):
+        engine.search("PA", tau=0.2).matches
+        engine.search("PA", tau=0.3).matches           # different tau
+        engine.search("PA", tau=0.2, top_k=1).matches  # different top_k
+        stats = engine.cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 3
+
+    def test_cached_answer_is_identical(self, engine):
+        cold = engine.search("P", tau=0.1).matches
+        warm = engine.search("P", tau=0.1).matches
+        assert cold == warm
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_top_k_routes_through_cache(self, engine):
+        first = engine.top_k("P", 2)
+        second = engine.top_k("P", 2)
+        assert first == second
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_describe_surfaces_counters(self, engine):
+        engine.query("PA", tau=0.2)
+        engine.query("PA", tau=0.2)
+        engine.query("AT", tau=0.2)
+        description = engine.describe()
+        assert description["cache"]["hits"] == 1
+        assert description["cache"]["misses"] == 2
+        assert description["cache"]["size"] == 2
+        assert description["cache"]["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_lazy_results_do_not_touch_the_cache(self, engine):
+        engine.search("PA", tau=0.2)  # never consumed
+        assert engine.cache.stats() == {
+            "enabled": True,
+            "capacity": 1024,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_errors_are_not_cached(self, listing_engine):
+        for _ in range(2):
+            with pytest.raises(ThresholdError):
+                listing_engine.query("B", tau=0.001)  # below tau_min
+        stats = listing_engine.cache.stats()
+        assert stats["size"] == 0
+        assert stats["misses"] == 2
+
+    def test_cache_size_zero_engine(self, figure3_string):
+        engine = build_index(figure3_string, tau_min=0.1, cache_size=0)
+        engine.query("PA", tau=0.2)
+        engine.query("PA", tau=0.2)
+        assert engine.cache.stats()["hits"] == 0
+        assert not engine.describe()["cache"]["enabled"]
+
+    def test_eviction_on_engine(self, figure3_string):
+        engine = build_index(figure3_string, tau_min=0.1, cache_size=2)
+        engine.query("P", tau=0.2)
+        engine.query("A", tau=0.2)
+        engine.query("F", tau=0.2)  # evicts "P"
+        engine.query("P", tau=0.2)  # miss again
+        stats = engine.cache.stats()
+        assert stats["evictions"] >= 1
+        assert stats["hits"] == 0
+
+    def test_cached_results_never_mutated_by_pagination(self, engine):
+        # Regression: paging a cached result (or mutating what it returns)
+        # must not corrupt the stored answer.
+        first = engine.search("P", tau=0.1)
+        baseline = list(first.matches)
+        page = first.page(0, 2)
+        page.clear()
+        first.matches.append("poison")
+        second = engine.search("P", tau=0.1)
+        assert second.matches == baseline
+        assert engine.cache.stats()["hits"] == 1
+
+
+class TestBatchCaching:
+    """`Engine.search_many` must compose with the cache (satellite fix)."""
+
+    def _consume(self, results):
+        for result in results:
+            result.matches
+
+    def test_second_batch_is_all_cache_hits(self, engine):
+        requests = [
+            SearchRequest("PA", tau=0.1),
+            SearchRequest("PA", tau=0.3),
+            SearchRequest("P", tau=0.5),
+            SearchRequest("AT", top_k=1, tau=0.2),
+        ]
+        self._consume(engine.search_many(requests))
+        cold = engine.cache.stats()
+        assert cold["hits"] == 0
+        assert cold["misses"] == len(requests)
+
+        self._consume(engine.search_many(requests))
+        warm = engine.cache.stats()
+        assert warm["misses"] == len(requests)          # no new misses
+        assert warm["hits"] == len(requests)            # every request served hot
+
+    def test_second_batch_is_all_hits_with_refinement(self, listing_engine):
+        # On the listing engine the high-tau answer is derived by filtering;
+        # the derived answer must be cached under its own key too.
+        requests = [SearchRequest("B", tau=0.05), SearchRequest("B", tau=0.6)]
+        self._consume(listing_engine.search_many(requests))
+        self._consume(listing_engine.search_many(requests))
+        stats = listing_engine.cache.stats()
+        assert stats["hits"] == len(requests)
+        assert stats["misses"] == len(requests)
+
+    def test_batch_and_single_share_the_cache(self, engine):
+        engine.query("PA", tau=0.2)
+        results = engine.search_many([SearchRequest("PA", tau=0.2)])
+        self._consume(results)
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_batched_answers_match_direct_after_caching(self, engine):
+        requests = [SearchRequest("PA", tau=0.1), SearchRequest("P", tau=0.4)]
+        self._consume(engine.search_many(requests))
+        for request in requests:
+            direct = engine.index.query(
+                request.pattern, request.resolve_tau(engine.tau_min)
+            )
+            assert engine.search(request).matches == direct
+
+    def test_duplicate_requests_in_one_batch_probe_once(self, engine):
+        requests = [SearchRequest("PA", tau=0.2)] * 3
+        self._consume(engine.search_many(requests))
+        stats = engine.cache.stats()
+        # Dedupe shares one SearchResult, so the cache sees one lookup.
+        assert stats["hits"] + stats["misses"] == 1

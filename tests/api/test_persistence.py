@@ -1,6 +1,7 @@
 """Save/load round-trips: loaded indexes answer byte-identically."""
 
 import json
+import random
 
 import numpy as np
 import pytest
@@ -9,11 +10,15 @@ from repro.api import (
     FORMAT_NAME,
     FORMAT_VERSION,
     build_index,
+    build_sharded_index,
+    is_sharded_archive,
     load_index,
     load_index_payload,
     read_manifest,
+    read_sharded_manifest,
     save_index_payload,
 )
+from repro.api.sharding import ShardedEngine
 from repro.bench import workloads
 from repro.exceptions import ValidationError
 from repro.strings import (
@@ -23,6 +28,7 @@ from repro.strings import (
     UncertainString,
     UncertainStringCollection,
 )
+from tests.conftest import make_random_special_string, make_random_uncertain_string
 
 
 @pytest.fixture
@@ -160,6 +166,187 @@ class TestBenchmarkWorkloadRoundTrip:
                     pattern, tau=tau
                 )
         workloads.clear_caches()
+
+
+def _random_input_for(kind: str, rng: random.Random):
+    """A random input suitable for building an index of ``kind``."""
+    if kind in ("special", "simple"):
+        return make_random_special_string(rng.randint(10, 40), seed=rng.randint(0, 9999))
+    if kind == "listing":
+        return UncertainStringCollection(
+            [
+                make_random_uncertain_string(
+                    rng.randint(5, 15), 0.3, seed=rng.randint(0, 9999)
+                )
+                for _ in range(rng.randint(2, 6))
+            ]
+        )
+    return make_random_uncertain_string(
+        rng.randint(10, 40), 0.3, seed=rng.randint(0, 9999)
+    )
+
+
+def _random_probe(engine, rng: random.Random):
+    """Random (pattern, tau, k) probes answered by both engine copies."""
+    if engine.is_listing:
+        backbone = engine.index.collection[0].most_likely_string()
+    elif hasattr(engine.index, "string"):
+        string = engine.index.string
+        backbone = (
+            string.text if hasattr(string, "text") else string.most_likely_string()
+        )
+    else:
+        backbone = "AB"
+    length = rng.randint(1, min(4, len(backbone)))
+    start = rng.randint(0, len(backbone) - length)
+    pattern = backbone[start : start + length]
+    tau = max(engine.tau_min, round(rng.uniform(0.1, 0.9), 3)) or 0.1
+    return pattern, tau, rng.randint(1, 5)
+
+
+class TestFuzzRoundTrip:
+    """Randomized build → save → load_index → identical answers.
+
+    Parameterized over all five index kinds *and* the sharded manifest:
+    arrays round-trip bit-exactly, so a loaded engine's answers must equal
+    the original's, match for match.
+    """
+
+    @pytest.mark.parametrize("kind", ["special", "simple", "general", "approximate", "listing"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_engine_fuzz_round_trip(self, tmp_path, kind, seed):
+        rng = random.Random(seed * 1000 + hash(kind) % 1000)
+        data = _random_input_for(kind, rng)
+        kwargs = {"kind": kind}
+        if kind in ("general", "approximate", "listing"):
+            kwargs["tau_min"] = 0.1
+        if kind == "approximate":
+            kwargs["epsilon"] = 0.05
+        engine = build_index(data, **kwargs)
+        assert engine.kind == kind
+        loaded = load_index(engine.save(tmp_path / f"fuzz-{kind}-{seed}"))
+        assert loaded.kind == kind
+        for _ in range(10):
+            pattern, tau, k = _random_probe(engine, rng)
+            assert engine.query(pattern, tau=tau) == loaded.query(pattern, tau=tau)
+            assert engine.top_k(pattern, k, tau=tau) == loaded.top_k(
+                pattern, k, tau=tau
+            )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_sharded_string_fuzz_round_trip(self, tmp_path, seed, shards):
+        rng = random.Random(seed)
+        string = make_random_uncertain_string(rng.randint(25, 60), 0.3, seed=seed)
+        engine = build_sharded_index(
+            string, shards=shards, tau_min=0.1, max_pattern_len=5
+        )
+        path = engine.save(tmp_path / f"fuzz-sharded-{seed}-{shards}")
+        assert is_sharded_archive(path)
+        loaded = load_index(path)
+        assert isinstance(loaded, ShardedEngine)
+        assert loaded.spec == engine.spec
+        assert loaded.kind == engine.kind
+        backbone = string.most_likely_string()
+        for _ in range(10):
+            length = rng.randint(1, 5)
+            start = rng.randint(0, len(backbone) - length)
+            pattern = backbone[start : start + length]
+            tau = round(rng.uniform(0.1, 0.9), 3)
+            assert engine.query(pattern, tau=tau) == loaded.query(pattern, tau=tau)
+            assert engine.top_k(pattern, 3, tau=tau) == loaded.top_k(
+                pattern, 3, tau=tau
+            )
+        engine.close()
+        loaded.close()
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_sharded_collection_fuzz_round_trip(self, tmp_path, seed):
+        rng = random.Random(seed)
+        collection = UncertainStringCollection(
+            [
+                make_random_uncertain_string(rng.randint(5, 12), 0.4, seed=seed + i)
+                for i in range(rng.randint(4, 9))
+            ]
+        )
+        engine = build_sharded_index(collection, shards=3, tau_min=0.05)
+        loaded = load_index(engine.save(tmp_path / f"fuzz-sharded-coll-{seed}"))
+        for pattern in ("A", "B", "AB", "CA"):
+            for tau in (0.05, 0.2, 0.5):
+                assert engine.query(pattern, tau=tau) == loaded.query(
+                    pattern, tau=tau
+                )
+        engine.close()
+        loaded.close()
+
+
+class TestShardedManifest:
+    def test_manifest_contents(self, tmp_path):
+        engine = build_sharded_index("BANANA" * 5, shards=2, max_pattern_len=4)
+        path = engine.save(tmp_path / "sharded-manifest")
+        manifest = read_sharded_manifest(path)
+        assert manifest["format"] == "repro-sharded-index"
+        assert manifest["version"] == 1
+        assert manifest["kind"] == "special"
+        assert manifest["spec"]["shard_count"] == 2
+        assert manifest["spec"]["overlap"] == 3
+        assert len(manifest["shards"]) == 2
+        # Each shard archive is an ordinary, individually loadable archive.
+        for name in manifest["shards"]:
+            shard_engine = load_index(path / name)
+            assert shard_engine.kind == "special"
+        engine.close()
+
+    def test_resave_with_fewer_shards_removes_stale_archives(self, tmp_path):
+        target = tmp_path / "resave"
+        wide = build_sharded_index("BANANA" * 6, shards=5, max_pattern_len=4)
+        wide.save(target)
+        wide.close()
+        narrow = build_sharded_index("BANANA" * 6, shards=2, max_pattern_len=4)
+        narrow.save(target)
+        narrow.close()
+        assert sorted(p.name for p in target.glob("shard-*.npz")) == [
+            "shard-0000.npz",
+            "shard-0001.npz",
+        ]
+        assert load_index(target).shard_count == 2
+
+    def test_save_to_npz_path_rejected(self, tmp_path):
+        engine = build_sharded_index("BANANA" * 5, shards=2, max_pattern_len=4)
+        with pytest.raises(ValidationError):
+            engine.save(tmp_path / "wrong.npz")
+        engine.close()
+
+    def test_not_a_sharded_archive(self, tmp_path):
+        assert not is_sharded_archive(tmp_path / "missing")
+        (tmp_path / "plain-dir").mkdir()
+        assert not is_sharded_archive(tmp_path / "plain-dir")
+        with pytest.raises(ValidationError):
+            read_sharded_manifest(tmp_path / "plain-dir")
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        target = tmp_path / "foreign"
+        target.mkdir()
+        (target / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValidationError):
+            read_sharded_manifest(target)
+
+    def test_newer_sharded_version_rejected(self, tmp_path):
+        engine = build_sharded_index("BANANA" * 5, shards=2, max_pattern_len=4)
+        path = engine.save(tmp_path / "future-sharded")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] += 1
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValidationError):
+            load_index(path)
+        engine.close()
+
+    def test_loaded_plan_mentions_directory(self, tmp_path):
+        engine = build_sharded_index("BANANA" * 5, shards=2, max_pattern_len=4)
+        loaded = load_index(engine.save(tmp_path / "sharded-plan"))
+        assert "sharded-plan/" in loaded.plan.reason
+        engine.close()
+        loaded.close()
 
 
 class TestManifest:

@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     figure_8a,
     figure_9c,
     run_experiments,
+    sharding_scaling,
 )
 
 #: An even smaller grid than SMALL_SCALE so the whole module stays fast.
@@ -57,6 +58,10 @@ class TestRegistry:
         assert set(SCALES) == {"small", "default", "large"}
         assert SCALES["small"] is SMALL_SCALE
 
+    def test_serving_experiments_present(self):
+        assert "ablation-batch" in EXPERIMENTS
+        assert "sharding-scaling" in EXPERIMENTS
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(KeyError):
             run_experiments(["fig99z"], TINY_SCALE)
@@ -98,3 +103,30 @@ class TestFigureGenerators:
     def test_run_experiments_returns_tables_in_order(self):
         tables = run_experiments(["fig9c", "fig7a"], TINY_SCALE)
         assert [table.figure_id for table in tables] == ["fig9c", "fig7a"]
+
+
+@pytest.mark.slow
+class TestShardingScaling:
+    """The sharding-scaling serving experiment (slow: builds engines at
+    three shard counts and replays the workload 10x each)."""
+
+    def test_reports_throughput_and_hit_rate(self):
+        table = sharding_scaling(TINY_SCALE)
+        assert table.figure_id == "sharding-scaling"
+        series = {entry.label: entry for entry in table.series}
+        assert set(series) == {
+            "cold search_many (req/s)",
+            "warm search_many (req/s)",
+            "cache hit rate (%)",
+        }
+        for entry in series.values():
+            assert entry.xs == [1, 2, 4]
+        # The workload is replayed 10x, so 9 of every 10 lookups hit.
+        assert all(value >= 89.9 for value in series["cache hit rate (%)"].values)
+        # Warm rounds are answered from the cache: strictly faster than cold.
+        for cold, warm in zip(
+            series["cold search_many (req/s)"].values,
+            series["warm search_many (req/s)"].values,
+        ):
+            assert cold > 0.0
+            assert warm > cold
