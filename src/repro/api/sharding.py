@@ -35,7 +35,10 @@ document; ``top_k`` answers fetch ``k + overlap`` candidates per shard
 candidates always survive) and heap-merge the per-shard heaps on
 ``(-value, position)``, reproducing the unsharded tie-break.
 
-Per-shard evaluation fans out on a lazily created thread pool; the merged
+Per-shard evaluation fans out on a lazily created thread pool; per-shard
+*construction* can fan out on a process pool (``workers=N`` — suffix-array
+and RMQ building is GIL-bound Python + numpy, so real parallelism needs
+processes), answering byte-identically to a serial build.  The merged
 evaluation sits behind the same :class:`~repro.api.cache.ResultCache` an
 unsharded engine uses (the shard engines run with their caches disabled so
 counters are not double-counted), and :meth:`ShardedEngine.save` /
@@ -47,10 +50,10 @@ from __future__ import annotations
 
 import heapq
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import islice
 from pathlib import Path
-from typing import Any, Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.base import ListingMatch, Occurrence, translate_match
 from ..exceptions import PatternTooLongError, ValidationError
@@ -328,6 +331,22 @@ class ShardedEngine(QueryEngine):
         )
 
 
+def _build_shard_payload(
+    arguments: Tuple[IndexInput, Dict[str, Any]]
+) -> Tuple[Any, IndexPlan]:
+    """Build one shard's index in a worker process.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.  Returns the
+    raw ``(index, plan)`` payload instead of the engine: the engine's result
+    cache holds a ``threading.Lock``, which cannot cross the process
+    boundary — the parent re-wraps the payload in a cache-less
+    :class:`Engine`, exactly as :meth:`ShardedEngine.load` does.
+    """
+    part, build_kwargs = arguments
+    engine = build_index(part, cache_size=0, **build_kwargs)
+    return engine.index, engine.plan
+
+
 def build_sharded_index(
     data: IndexInput,
     *,
@@ -337,6 +356,7 @@ def build_sharded_index(
     max_pattern_len: int = DEFAULT_MAX_PATTERN_LEN,
     cache_size: int = DEFAULT_CACHE_SIZE,
     max_workers: Optional[int] = None,
+    workers: Optional[int] = None,
     space_budget_bytes: Optional[int] = None,
     epsilon: Optional[float] = None,
     metric: str = "max",
@@ -355,6 +375,15 @@ def build_sharded_index(
     overlap (``max_pattern_len - 1``) and the longest pattern a
     chunk-sharded engine accepts; document-sharded engines ignore it.
 
+    ``workers`` parallelizes *construction*: with ``workers > 1`` the
+    per-shard suffix array / RMQ builds fan out on a
+    :class:`ProcessPoolExecutor` (suffix-array construction is pure-Python
+    + numpy, so threads would serialize on the GIL).  The partition, the
+    plan and the per-shard build arguments are identical to the serial
+    path, so the resulting ensemble answers queries byte-identically to a
+    ``workers=1`` build.  ``max_workers`` (the *query* fan-out thread
+    count) is unchanged and independent.
+
     Examples
     --------
     >>> from repro import build_sharded_index
@@ -364,6 +393,8 @@ def build_sharded_index(
     >>> engine.count("anan", tau=0.5)  # one occurrence inside each "banana"
     20
     """
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be at least 1, got {workers}")
     normalized = normalize_input(data)
     plan = plan_index(
         normalized,
@@ -375,18 +406,26 @@ def build_sharded_index(
         **options,
     )
     spec, parts = shard_input(normalized, shards, max_pattern_len=max_pattern_len)
-    engines = [
-        build_index(
-            part,
-            tau_min=tau_min,
-            kind=plan.kind,
-            epsilon=epsilon,
-            metric=metric,
-            cache_size=0,  # the ensemble cache fronts every query
-            **options,
-        )
-        for part in parts
-    ]
+    build_kwargs: Dict[str, Any] = dict(
+        tau_min=tau_min,
+        kind=plan.kind,
+        epsilon=epsilon,
+        metric=metric,
+        **options,
+    )
+    if workers is not None and workers > 1 and len(parts) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(parts))) as pool:
+            payloads = list(
+                pool.map(_build_shard_payload, [(part, build_kwargs) for part in parts])
+            )
+        engines = [
+            Engine(index, shard_plan, cache_size=0)  # ensemble cache fronts queries
+            for index, shard_plan in payloads
+        ]
+    else:
+        engines = [
+            build_index(part, cache_size=0, **build_kwargs) for part in parts
+        ]
     return ShardedEngine(
         engines,
         spec,

@@ -21,8 +21,8 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from .experiments import EXPERIMENTS, SCALES, run_experiments
-from .reporting import render_report
+from .experiments import EXPERIMENTS, SCALES, run_experiments_timed
+from .reporting import render_report, write_json_artifact
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-o", "--output", type=Path, default=None, help="write the report to a file"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write one machine-readable BENCH_<experiment>.json per experiment",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for the BENCH_<experiment>.json artifacts "
+            "(implies --json; default: current directory)"
+        ),
+    )
     return parser
 
 
@@ -81,12 +95,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     scale = SCALES[arguments.scale]
     started = time.perf_counter()
-    tables = run_experiments(names, scale)
+    timed_tables = run_experiments_timed(names, scale)
     elapsed = time.perf_counter() - started
+    tables = [table for table, _ in timed_tables]
     report = render_report(tables, fmt=arguments.format)
     footer = f"\n# completed {len(tables)} experiment(s) at scale '{scale.name}' in {elapsed:.1f}s\n"
     if arguments.format == "text":
         report += footer
+
+    if arguments.json or arguments.json_dir is not None:
+        json_dir = arguments.json_dir if arguments.json_dir is not None else Path(".")
+        for table, wall_clock in timed_tables:
+            path = write_json_artifact(
+                table,
+                json_dir,
+                scale=scale.name,
+                wall_clock_seconds=wall_clock,
+            )
+            print(f"wrote {path}", file=sys.stderr)
 
     if arguments.output is not None:
         arguments.output.write_text(report, encoding="utf-8")

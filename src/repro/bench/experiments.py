@@ -66,6 +66,11 @@ class ExperimentScale:
     fixed_collection_size: int
     tau_min_panel_size: int
     query_repeats: int
+    #: Reported-occurrence counts exercised by the ``query-kernel``
+    #: experiment (scalar vs vectorized reporting throughput).
+    kernel_occ_targets: Tuple[int, ...] = (100, 10_000)
+    #: Worker counts exercised by the ``shard-build`` experiment.
+    shard_build_workers: Tuple[int, ...] = (1, 2, 4)
 
 
 SMALL_SCALE = ExperimentScale(
@@ -85,6 +90,8 @@ SMALL_SCALE = ExperimentScale(
     fixed_collection_size=1000,
     tau_min_panel_size=500,
     query_repeats=1,
+    kernel_occ_targets=(100, 1000),
+    shard_build_workers=(1, 2),
 )
 
 DEFAULT_SCALE = ExperimentScale(
@@ -104,6 +111,8 @@ DEFAULT_SCALE = ExperimentScale(
     fixed_collection_size=8000,
     tau_min_panel_size=4000,
     query_repeats=3,
+    kernel_occ_targets=(100, 10_000, 1_000_000),
+    shard_build_workers=(1, 2, 4),
 )
 
 LARGE_SCALE = ExperimentScale(
@@ -123,6 +132,8 @@ LARGE_SCALE = ExperimentScale(
     fixed_collection_size=16000,
     tau_min_panel_size=8000,
     query_repeats=3,
+    kernel_occ_targets=(100, 10_000, 1_000_000),
+    shard_build_workers=(1, 2, 4),
 )
 
 SCALES: Dict[str, ExperimentScale] = {
@@ -730,6 +741,107 @@ def sharding_scaling(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     return table
 
 
+def query_kernel(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Vectorized vs scalar reporting kernel: reported occurrences per second.
+
+    Measures the tentpole of the vectorized query pipeline in isolation:
+    :func:`~repro.core.base.report_above_threshold` (batched frontier over
+    ``rmq.query_batch``) against
+    :func:`~repro.core.base.report_above_threshold_scalar` (one Python-level
+    RMQ probe per reported occurrence), on a random value array with the
+    threshold chosen so that exactly ``occ`` entries are reported.
+    """
+    import numpy as np
+
+    from ..core.base import report_above_threshold, report_above_threshold_scalar
+    from ..suffix.rmq import SparseTableRMQ
+
+    table = FigureTable(
+        figure_id="query-kernel",
+        title="Threshold reporting kernel: scalar vs vectorized throughput",
+        x_label="occ (reported occurrences)",
+        y_label="see series label",
+        notes=(
+            "SparseTableRMQ over uniform random values, full-range query, "
+            "threshold set for exactly occ reported entries"
+        ),
+    )
+    rng = np.random.default_rng(17)
+    scalar_series = Series("scalar (occ/s)")
+    vectorized_series = Series("vectorized (occ/s)")
+    speedup_series = Series("speedup (x)")
+    for occ in scale.kernel_occ_targets:
+        n = max(occ + occ // 4, 64)
+        values = rng.random(n)
+        # Exactly `occ` entries sit strictly above the (occ+1)-th largest.
+        threshold = float(np.partition(values, n - occ - 1)[n - occ - 1])
+        rmq = SparseTableRMQ(values)
+        # Sub-millisecond cells are noisy: warm up once (numpy dispatch,
+        # allocator) and take several repeats below 100k occurrences.
+        repeats = max(scale.query_repeats, 3) if occ < 100_000 else 1
+
+        def run_scalar() -> None:
+            for _ in report_above_threshold_scalar(rmq, values, 0, n - 1, threshold):
+                pass
+
+        def run_vectorized() -> None:
+            report_above_threshold(rmq, values, 0, n - 1, threshold)
+
+        reported = report_above_threshold(rmq, values, 0, n - 1, threshold)
+        assert len(reported) == occ, (len(reported), occ)
+        scalar_elapsed = time_callable(run_scalar, repeats=repeats, warmup=1)
+        vectorized_elapsed = time_callable(run_vectorized, repeats=repeats, warmup=1)
+        scalar_series.add(occ, occ / max(scalar_elapsed, 1e-12))
+        vectorized_series.add(occ, occ / max(vectorized_elapsed, 1e-12))
+        speedup_series.add(occ, scalar_elapsed / max(vectorized_elapsed, 1e-12))
+    table.series.extend([scalar_series, vectorized_series, speedup_series])
+    return table
+
+
+def shard_build(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Sharded construction: process-pool workers vs serial build time.
+
+    Builds the same 4-shard general-index ensemble at increasing
+    ``workers`` counts (``build_sharded_index(..., workers=N)``) and
+    reports wall-clock build time plus the speedup over ``workers=1``.
+    Speedup tracks the machine's core count — a single-core runner reports
+    ~1x (plus process spawn overhead), which is the honest number.
+    """
+    from ..api.sharding import build_sharded_index
+
+    table = FigureTable(
+        figure_id="shard-build",
+        title="Sharded construction: build time vs process-pool workers",
+        x_label="workers",
+        y_label="see series label",
+        notes=(
+            f"general engine, n={scale.fixed_string_size}, "
+            f"theta={scale.thetas[-1]}, tau_min={scale.tau_min}, 4 shards"
+        ),
+    )
+    theta = scale.thetas[-1]
+    string = cached_uncertain_string(scale.fixed_string_size, theta)
+    build_time = Series("build time (s)")
+    speedup = Series("speedup vs workers=1 (x)")
+    serial_elapsed = None
+    for workers in scale.shard_build_workers:
+        elapsed = time_callable(
+            lambda: build_sharded_index(
+                string,
+                shards=4,
+                tau_min=scale.tau_min,
+                kind="general",
+                workers=workers,
+            )
+        )
+        if serial_elapsed is None:
+            serial_elapsed = elapsed
+        build_time.add(workers, elapsed)
+        speedup.add(workers, serial_elapsed / max(elapsed, 1e-12))
+    table.series.extend([build_time, speedup])
+    return table
+
+
 #: Registry used by the CLI and the tests.
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "fig7a": figure_7a,
@@ -749,6 +861,8 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "sharding-scaling": sharding_scaling,
     "ablation-approx": ablation_approximate,
     "ablation-transformation": ablation_transformation,
+    "query-kernel": query_kernel,
+    "shard-build": shard_build,
 }
 
 
@@ -757,11 +871,27 @@ def run_experiments(
     scale: ExperimentScale = DEFAULT_SCALE,
 ) -> List[FigureTable]:
     """Run the named experiments and return their tables in order."""
-    tables = []
+    return [table for table, _ in run_experiments_timed(names, scale)]
+
+
+def run_experiments_timed(
+    names: Sequence[str],
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> List[Tuple[FigureTable, float]]:
+    """Run the named experiments, returning each table with its wall-clock seconds.
+
+    The per-experiment timing feeds the machine-readable ``--json`` output
+    of the CLI (``BENCH_<experiment>.json``).
+    """
+    import time
+
+    results: List[Tuple[FigureTable, float]] = []
     for name in names:
         if name not in EXPERIMENTS:
             raise KeyError(
                 f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
             )
-        tables.append(EXPERIMENTS[name](scale))
-    return tables
+        started = time.perf_counter()
+        table = EXPERIMENTS[name](scale)
+        results.append((table, time.perf_counter() - started))
+    return results

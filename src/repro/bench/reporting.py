@@ -9,7 +9,9 @@ embedded in EXPERIMENTS.md.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Optional
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
 from .harness import FigureTable
 
@@ -87,6 +89,67 @@ def format_csv(table: FigureTable) -> str:
             cells.append("" if value is None else repr(value))
         lines.append(",".join(cells))
     return "\n".join(lines) + "\n"
+
+
+def figure_table_to_dict(
+    table: FigureTable,
+    *,
+    scale: Optional[str] = None,
+    wall_clock_seconds: Optional[float] = None,
+) -> Dict[str, object]:
+    """Machine-readable form of one :class:`FigureTable`.
+
+    Carries the experiment name, its parameters (the table's labelling
+    metadata), the wall-clock seconds of the run and every measured series
+    — the record a perf-trajectory tool can diff across commits.
+    """
+    payload: Dict[str, object] = {
+        "experiment": table.figure_id,
+        "title": table.title,
+        "parameters": {
+            "scale": scale,
+            "x_label": table.x_label,
+            "y_label": table.y_label,
+            "notes": table.notes,
+        },
+        "wall_clock_seconds": wall_clock_seconds,
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {"x": point.x, "value": point.value} for point in series.points
+                ],
+            }
+            for series in table.series
+        ],
+    }
+    return payload
+
+
+def json_artifact_name(figure_id: str) -> str:
+    """File name of one experiment's JSON artifact (``BENCH_<experiment>.json``)."""
+    sanitized = "".join(
+        character if character.isalnum() else "_" for character in figure_id
+    )
+    return f"BENCH_{sanitized}.json"
+
+
+def write_json_artifact(
+    table: FigureTable,
+    directory: Union[str, Path],
+    *,
+    scale: Optional[str] = None,
+    wall_clock_seconds: Optional[float] = None,
+) -> Path:
+    """Write one experiment's ``BENCH_<experiment>.json`` and return its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / json_artifact_name(table.figure_id)
+    payload = figure_table_to_dict(
+        table, scale=scale, wall_clock_seconds=wall_clock_seconds
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def render_report(tables: Iterable[FigureTable], *, fmt: str = "text") -> str:

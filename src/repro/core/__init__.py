@@ -6,11 +6,17 @@ from .base import (
     ListingMatch,
     Occurrence,
     UncertainSubstringIndex,
+    blocked_candidate_ranks,
+    expand_ranges,
+    listing_matches_from_arrays,
+    occurrences_from_log_values,
     report_above_threshold,
+    report_above_threshold_scalar,
     resolve_tau,
     sort_listing_matches,
     sort_occurrences,
     top_values_above_threshold,
+    top_values_above_threshold_scalar,
     translate_match,
 )
 from .baseline import BruteForceOracle, OnlineDynamicProgrammingMatcher
@@ -46,15 +52,21 @@ __all__ = [
     "TransformedString",
     "UncertainStringListingIndex",
     "UncertainSubstringIndex",
+    "blocked_candidate_ranks",
     "combine_relevance",
     "cumulative_log_probabilities",
     "enumerate_maximal_factors",
+    "expand_ranges",
+    "listing_matches_from_arrays",
+    "occurrences_from_log_values",
     "prefix_length_log_probabilities",
     "report_above_threshold",
+    "report_above_threshold_scalar",
     "resolve_tau",
     "sort_listing_matches",
     "sort_occurrences",
     "top_values_above_threshold",
+    "top_values_above_threshold_scalar",
     "transform_collection",
     "transform_uncertain_string",
     "translate_match",

@@ -7,17 +7,25 @@ Every index in :mod:`repro.core` answers queries with the same vocabulary:
 * :class:`ListingMatch` — one document of a collection that contains the
   pattern with relevance above the threshold (Section 6).
 
-The module also hosts :func:`report_above_threshold`, the recursive
-range-maximum reporting routine shared by the efficient indexes
-(Algorithm 2 / Algorithm 4 of the paper): repeatedly extract the maximum of
-a value array inside a suffix range and recurse on both sides until the
-maximum drops below the threshold.
+The module also hosts the range-maximum reporting kernels shared by the
+efficient indexes (Algorithm 2 / Algorithm 4 of the paper): repeatedly
+extract the maximum of a value array inside a suffix range and recurse on
+both sides until the maximum drops below the threshold.  The production
+kernels — :func:`report_above_threshold` and
+:func:`top_values_above_threshold` — are *vectorized*: they drive the whole
+frontier of live sub-ranges through ``rmq.query_batch`` and return numpy
+rank arrays, so no Python-level RMQ probe runs per reported occurrence.
+The original per-probe implementations remain as
+:func:`report_above_threshold_scalar` /
+:func:`top_values_above_threshold_scalar`, the reference the property-based
+equivalence suite pins the vectorized kernels against.
 """
 
 from __future__ import annotations
 
 import abc
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, Union
 
@@ -93,8 +101,13 @@ class SupportsRangeMaximum(Protocol):
     def query(self, left: int, right: int) -> int:  # pragma: no cover - protocol
         ...
 
+    def query_batch(
+        self, lefts: Sequence[int], rights: Sequence[int]
+    ) -> np.ndarray:  # pragma: no cover - protocol
+        ...
 
-def report_above_threshold(
+
+def report_above_threshold_scalar(
     rmq: SupportsRangeMaximum,
     values: np.ndarray,
     left: int,
@@ -103,24 +116,15 @@ def report_above_threshold(
 ) -> Iterator[int]:
     """Yield indices in ``[left, right]`` whose value exceeds ``threshold``.
 
-    Implements the recursive range-maximum reporting of the paper
-    (Algorithm 2): query the RMQ for the maximum of the range; when it
-    exceeds the threshold, report it and recurse into the two sub-ranges on
-    either side; otherwise prune the whole range.  The work is therefore
-    proportional to the number of reported indices (each report spawns at
-    most two further RMQ probes).
-
-    Parameters
-    ----------
-    rmq:
-        A range *maximum* query structure built over ``values``.
-    values:
-        The value array the RMQ was built over (used to validate maxima).
-    left, right:
-        Inclusive range to report from.  An empty range (``left > right``)
-        yields nothing.
-    threshold:
-        Strict lower bound on reported values.
+    Scalar reference implementation of the recursive range-maximum
+    reporting of the paper (Algorithm 2): query the RMQ for the maximum of
+    the range; when it exceeds the threshold, report it and recurse into
+    the two sub-ranges on either side; otherwise prune the whole range.
+    The work is proportional to the number of reported indices (each
+    report spawns at most two further RMQ probes), but every probe is a
+    Python-level call — the production path is the vectorized
+    :func:`report_above_threshold`, which the equivalence test suite pins
+    to this generator.
     """
     if left > right:
         return
@@ -141,6 +145,62 @@ def report_above_threshold(
             stack.append((best + 1, high))
 
 
+def report_above_threshold(
+    rmq: SupportsRangeMaximum,
+    values: np.ndarray,
+    left: int,
+    right: int,
+    threshold: float,
+) -> np.ndarray:
+    """Indices in ``[left, right]`` whose value exceeds ``threshold``.
+
+    Vectorized reporting kernel (Algorithm 2, batched): instead of probing
+    the RMQ once per reported index, the whole *frontier* of live
+    sub-ranges is answered by one :meth:`query_batch` call per round.
+    Every round reports all frontier maxima above the threshold and splits
+    their ranges; the number of Python-level rounds is the depth of the
+    reporting recursion (logarithmic in the output size for typical value
+    distributions) while the total RMQ work stays ``O(occ)``.
+
+    Returns the reported indices as an ``int64`` array.  The set of
+    indices is exactly what :func:`report_above_threshold_scalar` yields,
+    but the order is frontier (breadth-first) order — callers sort by
+    position/document before reporting, so no public answer depends on it.
+
+    Parameters
+    ----------
+    rmq:
+        A range *maximum* query structure built over ``values``.
+    values:
+        The value array the RMQ was built over (used to validate maxima).
+    left, right:
+        Inclusive range to report from.  An empty range (``left > right``)
+        reports nothing.
+    threshold:
+        Strict lower bound on reported values.
+    """
+    if left > right:
+        return np.empty(0, dtype=np.int64)
+    lows = np.array([left], dtype=np.int64)
+    highs = np.array([right], dtype=np.int64)
+    reported: List[np.ndarray] = []
+    while lows.size:
+        best = rmq.query_batch(lows, highs)
+        keep = values[best] > threshold
+        lows, highs, best = lows[keep], highs[keep], best[keep]
+        if best.size == 0:
+            break
+        reported.append(best)
+        child_lows = np.concatenate([lows, best + 1])
+        child_highs = np.concatenate([best - 1, highs])
+        nonempty = child_lows <= child_highs
+        lows = child_lows[nonempty]
+        highs = child_highs[nonempty]
+    if not reported:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(reported)
+
+
 #: Bound on the extra entries :func:`top_values_above_threshold` extracts to
 #: resolve value ties at the ``k``-th place.  Tie classes up to this size get
 #: a deterministic tie-break; beyond it (realistically only runs of certain
@@ -150,7 +210,7 @@ def report_above_threshold(
 TIE_EXTRACTION_LIMIT = 1024
 
 
-def top_values_above_threshold(
+def top_values_above_threshold_scalar(
     rmq: SupportsRangeMaximum,
     values: np.ndarray,
     left: int,
@@ -162,11 +222,13 @@ def top_values_above_threshold(
 ) -> List[int]:
     """Indices of the ``k`` largest values above ``threshold`` in ``[left, right]``.
 
-    Heap-driven variant of :func:`report_above_threshold`: the candidate
-    ranges are kept in a max-heap keyed by their range maximum, so the
-    ``k`` largest entries are extracted in ``O((k + 1) log k)`` RMQ probes
-    without visiting the rest of the range.  Used by the ``top_k`` query
-    methods of the indexes.
+    Scalar reference implementation, heap-driven: the candidate ranges are
+    kept in a max-heap keyed by their range maximum, so the ``k`` largest
+    entries are extracted in ``O((k + 1) log k)`` RMQ probes without
+    visiting the rest of the range — but every probe is a Python-level
+    call.  The production path is the batched
+    :func:`top_values_above_threshold`, pinned to this one by the
+    equivalence test suite.
 
     With ``include_ties`` the extraction continues past ``k`` while further
     entries tie the ``k``-th value exactly, up to
@@ -201,6 +263,121 @@ def top_values_above_threshold(
             candidate = rmq.query(index + 1, high)
             heapq.heappush(heap, (-float(values[candidate]), candidate, index + 1, high))
     return results
+
+
+def _sort_by_value_then_rank(
+    rank_chunks: List[np.ndarray], value_chunks: List[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate popped chunks and sort by ``(-value, rank)``.
+
+    Shared by the in-loop stop check and the final truncation of
+    :func:`top_values_above_threshold`, so the early-stop bound and the
+    returned prefix always use the same ordering.
+    """
+    ranks = np.concatenate(rank_chunks)
+    ordered_values = np.concatenate(value_chunks)
+    order = np.lexsort((ranks, -ordered_values))
+    return ranks[order], ordered_values[order]
+
+
+def top_values_above_threshold(
+    rmq: SupportsRangeMaximum,
+    values: np.ndarray,
+    left: int,
+    right: int,
+    k: int,
+    threshold: float,
+    *,
+    include_ties: bool = False,
+) -> np.ndarray:
+    """Indices of the ``k`` largest values above ``threshold`` in ``[left, right]``.
+
+    Batched variant of :func:`top_values_above_threshold_scalar`: the
+    frontier of candidate ranges lives in parallel numpy arrays, every
+    round pops the best ``p`` frontier entries at once (``p`` doubling each
+    round, so the number of Python-level rounds is ``O(log k)``) and
+    answers all of their children with a single :meth:`query_batch` call.
+    The extraction stops as soon as no frontier maximum can still reach the
+    result, using the same threshold / ``k``-th-value / tie rules as the
+    scalar reference.
+
+    Returns an ``int64`` array of indices sorted by ``(-value, index)``.
+    With an RMQ whose ``query`` returns the *leftmost* optimum (the sparse
+    table does), this is exactly the scalar heap's pop order; block RMQs
+    may discover a within-tie-class member in a different order, but with
+    ``include_ties`` the returned *set* is identical whenever the boundary
+    tie class fits the :data:`TIE_EXTRACTION_LIMIT` budget — the same
+    caveat the scalar version documents.  Without ``include_ties`` a tie
+    class straddling the ``k`` boundary is truncated to its smallest-index
+    members here versus heap-discovery-order members in the scalar
+    reference (identical values either way); every index calls with
+    ``include_ties=True``, where both kernels keep the whole class.
+    """
+    if left > right or k <= 0:
+        return np.empty(0, dtype=np.int64)
+    limit = k + TIE_EXTRACTION_LIMIT if include_ties else k
+
+    lows = np.array([left], dtype=np.int64)
+    highs = np.array([right], dtype=np.int64)
+    args = rmq.query_batch(lows, highs)
+    vals = values[args]
+    keep = vals > threshold
+    lows, highs, args, vals = lows[keep], highs[keep], args[keep], vals[keep]
+
+    popped_ranks: List[np.ndarray] = []
+    popped_vals: List[np.ndarray] = []
+    count = 0
+    pop_budget = 1
+    while args.size:
+        if count >= k:
+            sorted_ranks, sorted_vals = _sort_by_value_then_rank(
+                popped_ranks, popped_vals
+            )
+            frontier_max = vals.max()
+            if count >= limit:
+                bound_val = sorted_vals[limit - 1]
+                if frontier_max < bound_val:
+                    break
+                if frontier_max == bound_val:
+                    # Only a same-valued entry at a smaller index could still
+                    # displace the current limit-boundary entry.
+                    tied = vals == frontier_max
+                    if int(args[tied].min()) > int(sorted_ranks[limit - 1]):
+                        break
+            elif frontier_max < sorted_vals[k - 1]:
+                # Strictly below the k-th value: nothing left to report
+                # (equal values continue — they are boundary ties).
+                break
+        pop = min(pop_budget, args.size)
+        pop_budget *= 2
+        order = np.lexsort((args, -vals))
+        best, rest = order[:pop], order[pop:]
+        popped_ranks.append(args[best])
+        popped_vals.append(vals[best])
+        count += pop
+        child_lows = np.concatenate([lows[best], args[best] + 1])
+        child_highs = np.concatenate([args[best] - 1, highs[best]])
+        nonempty = child_lows <= child_highs
+        child_lows = child_lows[nonempty]
+        child_highs = child_highs[nonempty]
+        child_args = rmq.query_batch(child_lows, child_highs)
+        child_vals = values[child_args]
+        child_keep = child_vals > threshold
+        lows = np.concatenate([lows[rest], child_lows[child_keep]])
+        highs = np.concatenate([highs[rest], child_highs[child_keep]])
+        args = np.concatenate([args[rest], child_args[child_keep]])
+        vals = np.concatenate([vals[rest], child_vals[child_keep]])
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    sorted_ranks, sorted_vals = _sort_by_value_then_rank(popped_ranks, popped_vals)
+    keep_count = min(k, len(sorted_ranks))
+    if include_ties and len(sorted_ranks) > keep_count:
+        # Extend through the boundary tie class (values sorted descending,
+        # so the tie class is the contiguous run equal to the k-th value).
+        boundary = sorted_vals[keep_count - 1]
+        tie_end = int(np.searchsorted(-sorted_vals, -boundary, side="right"))
+        keep_count = min(limit, max(keep_count, tie_end), len(sorted_ranks))
+    return sorted_ranks[:keep_count]
 
 
 class UncertainSubstringIndex(abc.ABC):
@@ -305,6 +482,98 @@ def translate_match(
     raise TypeError(
         f"cannot translate a {type(match).__name__}; expected Occurrence or ListingMatch"
     )
+
+
+def expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate the inclusive integer ranges ``[starts[i], ends[i]]``.
+
+    Vectorized replacement for ``concatenate([arange(s, e + 1), ...])``:
+    the blocked query paths use it to expand every touched block into its
+    member ranks without a Python loop per block.  Empty ranges
+    (``start > end``) are skipped.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lengths = ends - starts + 1
+    keep = lengths > 0
+    starts, lengths = starts[keep], lengths[keep]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(lengths.sum())
+    # Position within the output minus the start offset of its own range
+    # yields the per-range local index.
+    range_offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return np.repeat(starts, lengths) + np.arange(total, dtype=np.int64) - range_offsets
+
+
+def blocked_candidate_ranks(
+    rmq: SupportsRangeMaximum,
+    maxima: np.ndarray,
+    sp: int,
+    ep: int,
+    length: int,
+    threshold: float,
+) -> np.ndarray:
+    """Ranks inside ``[sp, ep]`` worth scanning under the blocking scheme.
+
+    Shared core of the long-pattern blocked query paths: report the blocks
+    whose maximum clears the threshold, always add the two boundary blocks
+    (their maxima may sit outside ``[sp, ep]``, so they are scanned
+    unconditionally — no in-range occurrence may be missed), deduplicate,
+    and expand every block into its member ranks clamped to the suffix
+    range.  Callers filter the returned ranks by their own value arrays.
+    """
+    first_block = sp // length
+    last_block = ep // length
+    reported_blocks = report_above_threshold(
+        rmq, maxima, first_block, last_block, threshold
+    )
+    blocks = np.unique(
+        np.concatenate(
+            [reported_blocks, np.array([first_block, last_block], dtype=np.int64)]
+        )
+    )
+    return expand_ranges(
+        np.maximum(sp, blocks * length),
+        np.minimum(ep, (blocks + 1) * length - 1),
+    )
+
+
+def occurrences_from_log_values(
+    positions: np.ndarray, log_values: np.ndarray
+) -> List[Occurrence]:
+    """Build position-sorted :class:`Occurrence` objects from parallel arrays.
+
+    This is the public API boundary of the vectorized query pipeline: the
+    internal paths carry positions and log-probabilities as numpy arrays
+    end-to-end, and only the final survivors become objects here.  The
+    per-element ``math.exp`` matches the scalar *RMQ* path's float
+    conversion bit-for-bit; the old scan fallbacks used scalar ``np.exp``,
+    which disagrees with ``math.exp`` in the last ulp on a few percent of
+    inputs, so routing every path through this helper also unifies a
+    pre-existing ±1-ulp inconsistency between the short-pattern and
+    fallback answers.
+    """
+    order = np.argsort(positions, kind="stable")
+    return [
+        Occurrence(int(position), math.exp(float(value)))
+        for position, value in zip(positions[order], log_values[order])
+    ]
+
+
+def listing_matches_from_arrays(
+    documents: np.ndarray, relevances: np.ndarray
+) -> List[ListingMatch]:
+    """Build document-sorted :class:`ListingMatch` objects from parallel arrays.
+
+    Array-native counterpart of :func:`occurrences_from_log_values` for the
+    listing index (relevances are already linear, no ``exp``).
+    """
+    order = np.argsort(documents, kind="stable")
+    return [
+        ListingMatch(int(document), float(relevance))
+        for document, relevance in zip(documents[order], relevances[order])
+    ]
 
 
 def sort_occurrences(occurrences: Sequence[Occurrence]) -> List[Occurrence]:

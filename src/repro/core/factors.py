@@ -147,42 +147,77 @@ def enumerate_maximal_factors(
             )
         starts = (start,)
 
-    factors: List[MaximalFactor] = []
     n = len(string)
+    # Precompute the per-position character choices (optimistic probability
+    # and its log) once: the DFS below revisits positions many times, and the
+    # correlation lookup plus math.log per visit dominated construction.
+    choices: List[List[Tuple[str, float, float]]] = []
+    certain: List[Optional[Tuple[str, float]]] = []
+    for position in range(n):
+        entries = []
+        for character, _base_probability in string[position]:
+            effective = _optimistic_probability(string, position, character)
+            if effective <= 0.0:
+                continue
+            entries.append((character, effective, math.log(effective)))
+        choices.append(entries)
+        # A run of certain characters (a single choice of probability 1)
+        # never branches and never prunes: the DFS would walk it one node
+        # per position, so such runs are bulk-extended instead.
+        if len(entries) == 1 and entries[0][1] == 1.0:
+            certain.append((entries[0][0], entries[0][1]))
+        else:
+            certain.append(None)
+
+    factors: List[MaximalFactor] = []
     for origin in starts:
         # Iterative DFS over character choices; a path is emitted as a factor
         # exactly when it cannot be extended while staying above tau_min.
-        stack: List[Tuple[int, Tuple[str, ...], Tuple[float, ...], float]] = [
-            (origin, (), (), 0.0)
+        # The current path lives in shared buffers indexed by depth —
+        # truncated on backtrack — instead of being copied into fresh tuples
+        # at every node (which cost O(length²) per factor).
+        path_characters: List[str] = []
+        path_probabilities: List[float] = []
+        # Stack frames: (next position, depth after placing char, running log
+        # probability, char, prob); the root frame places no character.
+        stack: List[Tuple[int, int, float, Optional[str], float]] = [
+            (origin, 0, 0.0, None, 0.0)
         ]
         while stack:
-            position, characters, probabilities, log_probability = stack.pop()
+            position, depth, log_probability, character, probability = stack.pop()
+            if character is not None:
+                del path_characters[depth - 1 :]
+                del path_probabilities[depth - 1 :]
+                path_characters.append(character)
+                path_probabilities.append(probability)
+            # Bulk-extend across the run of certain characters: probability-1
+            # choices leave the running probability untouched, so the whole
+            # run extends unconditionally in one step.
+            while (
+                position < n
+                and (max_factor_length is None or depth < max_factor_length)
+                and certain[position] is not None
+            ):
+                run_character, run_probability = certain[position]  # type: ignore[misc]
+                path_characters.append(run_character)
+                path_probabilities.append(run_probability)
+                position += 1
+                depth += 1
             extended = False
-            within_cap = (
-                max_factor_length is None or len(characters) < max_factor_length
-            )
-            if position < n and within_cap:
-                for character, base_probability in string[position]:
-                    effective = _optimistic_probability(string, position, character)
-                    if effective <= 0.0:
-                        continue
-                    candidate = log_probability + math.log(effective)
+            if position < n and (max_factor_length is None or depth < max_factor_length):
+                for entry_character, effective, log_effective in choices[position]:
+                    candidate = log_probability + log_effective
                     if candidate >= log_threshold:
                         stack.append(
-                            (
-                                position + 1,
-                                characters + (character,),
-                                probabilities + (effective,),
-                                candidate,
-                            )
+                            (position + 1, depth + 1, candidate, entry_character, effective)
                         )
                         extended = True
-            if not extended and characters:
+            if not extended and depth:
                 factors.append(
                     MaximalFactor(
                         start=origin,
-                        characters="".join(characters),
-                        probabilities=probabilities,
+                        characters="".join(path_characters),
+                        probabilities=tuple(path_probabilities),
                         document=document,
                     )
                 )

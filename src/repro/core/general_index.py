@@ -41,6 +41,8 @@ from ..suffix.suffix_array import SuffixArray
 from .base import (
     Occurrence,
     UncertainSubstringIndex,
+    blocked_candidate_ranks,
+    occurrences_from_log_values,
     report_above_threshold,
     resolve_tau,
     sort_occurrences,
@@ -332,7 +334,7 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
             raise PatternTooLongError(
                 f"pattern length {length} exceeds max_short_length={self._max_short_length}"
             )
-        return self._finalize(pattern, candidates, log_threshold)
+        return self._finalize(pattern, *candidates, log_threshold)
 
     def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Occurrence]:
         """Report the ``k`` most probable occurrences of ``pattern``.
@@ -377,51 +379,43 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
             ]
         else:
             candidates = self._candidates_scan(sp, ep, length, log_threshold)
-            occurrences = self._finalize(pattern, candidates, log_threshold)
+            occurrences = self._finalize(pattern, *candidates, log_threshold)
         occurrences.sort(key=lambda occurrence: (-occurrence.probability, occurrence.position))
         return occurrences[:k]
 
     # -- candidate generation strategies ----------------------------------------------------------
+    # Every strategy returns two parallel arrays — original positions and
+    # window log-probabilities, each position exactly once — and candidates
+    # only become Occurrence objects at the _finalize boundary.
     def _candidates_short(
         self, sp: int, ep: int, length: int, log_threshold: float
-    ) -> List[Tuple[int, float]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         values = self._short_values[length]
         rmq = self._short_rmq[length]
-        candidates = []
-        for rank in report_above_threshold(rmq, values, sp, ep, log_threshold):
-            candidates.append((int(self._rank_positions[rank]), float(values[rank])))
-        return candidates
+        ranks = report_above_threshold(rmq, values, sp, ep, log_threshold)
+        return self._rank_positions[ranks], values[ranks]
 
     def _candidates_blocked(
         self, sp: int, ep: int, length: int, log_threshold: float
-    ) -> List[Tuple[int, float]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         values = self._block_values[length]
-        maxima = self._block_maxima[length]
-        rmq = self._block_rmq[length]
-        first_block = sp // length
-        last_block = ep // length
-        seen = set()
-        candidates: List[Tuple[int, float]] = []
-        reported_blocks = list(
-            report_above_threshold(rmq, maxima, first_block, last_block, log_threshold)
+        ranks = blocked_candidate_ranks(
+            self._block_rmq[length],
+            self._block_maxima[length],
+            sp,
+            ep,
+            length,
+            log_threshold,
         )
-        for block in reported_blocks + [first_block, last_block]:
-            start = max(sp, block * length)
-            end = min(ep, (block + 1) * length - 1)
-            for rank in range(start, end + 1):
-                value = float(values[rank])
-                if value <= log_threshold:
-                    continue
-                position = int(self._rank_positions[rank])
-                if position in seen:
-                    continue
-                seen.add(position)
-                candidates.append((position, value))
-        return candidates
+        rank_values = values[ranks]
+        keep = rank_values > log_threshold
+        return self._deduplicate_candidates(
+            self._rank_positions[ranks[keep]], rank_values[keep]
+        )
 
     def _candidates_scan(
         self, sp: int, ep: int, length: int, log_threshold: float
-    ) -> List[Tuple[int, float]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         suffix_array = self._suffix_array.array[sp : ep + 1]
         positions = self._rank_positions[sp : ep + 1]
         ends = suffix_array + length
@@ -430,29 +424,32 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
         positions = positions[in_range]
         values = self._prefix[suffix_array + length] - self._prefix[suffix_array]
         keep = values > log_threshold
-        candidates: List[Tuple[int, float]] = []
-        seen = set()
-        for position, value in zip(positions[keep], values[keep]):
-            position = int(position)
-            if position in seen:
-                continue
-            seen.add(position)
-            candidates.append((position, float(value)))
-        return candidates
+        return self._deduplicate_candidates(positions[keep], values[keep])
+
+    @staticmethod
+    def _deduplicate_candidates(
+        positions: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Different factor copies of the same original position carry the
+        # same window value (marginals on the uncorrelated path, optimistic
+        # bounds on the correlated one), so keeping the first copy matches
+        # the scalar seen-set behaviour.
+        unique_positions, first = np.unique(positions, return_index=True)
+        return unique_positions, values[first]
 
     def _finalize(
         self,
         pattern: str,
-        candidates: List[Tuple[int, float]],
+        positions: np.ndarray,
+        values: np.ndarray,
         log_threshold: float,
     ) -> List[Occurrence]:
+        if not self._needs_verification:
+            return occurrences_from_log_values(positions, values)
         occurrences = []
-        for position, value in candidates:
-            if self._needs_verification:
-                exact = self._string.log_occurrence_probability(pattern, position)
-                if exact <= log_threshold:
-                    continue
-                occurrences.append(Occurrence(position, math.exp(exact)))
-            else:
-                occurrences.append(Occurrence(position, math.exp(value)))
+        for position in positions:
+            exact = self._string.log_occurrence_probability(pattern, int(position))
+            if exact <= log_threshold:
+                continue
+            occurrences.append(Occurrence(int(position), math.exp(exact)))
         return sort_occurrences(occurrences)

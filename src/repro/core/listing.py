@@ -46,6 +46,7 @@ from ..suffix.rmq import make_rmq
 from ..suffix.suffix_array import SuffixArray
 from .base import (
     ListingMatch,
+    listing_matches_from_arrays,
     report_above_threshold,
     resolve_tau,
     sort_listing_matches,
@@ -349,8 +350,10 @@ class UncertainStringListingIndex:
             return []
         sp, ep = interval
 
-        candidates = self._candidates(sp, ep, length, threshold)
-        return sort_listing_matches(self._materialize(pattern, candidates, threshold))
+        documents, relevances = self._candidates(sp, ep, length, threshold)
+        return sort_listing_matches(
+            self._materialize(pattern, documents, relevances, threshold)
+        )
 
     def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[ListingMatch]:
         """Report the ``k`` most relevant documents containing ``pattern``.
@@ -390,8 +393,8 @@ class UncertainStringListingIndex:
                 for rank in ranks
             ]
         else:
-            candidates = self._candidates(sp, ep, length, adjusted)
-            matches = self._materialize(pattern, candidates, adjusted)
+            documents, relevances = self._candidates(sp, ep, length, adjusted)
+            matches = self._materialize(pattern, documents, relevances, adjusted)
         matches.sort(key=lambda match: (-match.relevance, match.document))
         return matches[:k]
 
@@ -400,16 +403,15 @@ class UncertainStringListingIndex:
         return [match.document for match in self.query(pattern, tau)]
 
     def _materialize(
-        self, pattern: str, candidates: List[Tuple[int, float]], threshold: float
+        self, pattern: str, documents: np.ndarray, relevances: np.ndarray, threshold: float
     ) -> List[ListingMatch]:
-        """Turn candidates into matches, re-verifying correlated collections."""
+        """Turn candidate arrays into matches, re-verifying correlated collections."""
         if not self._needs_verification:
-            return [
-                ListingMatch(document, relevance) for document, relevance in candidates
-            ]
+            return listing_matches_from_arrays(documents, relevances)
         length = len(pattern)
         matches = []
-        for document, _ in candidates:
+        for document in documents:
+            document = int(document)
             exact = self._collection.document_relevance(
                 pattern, document, "max" if self._metric == "max" else "or"
             )
@@ -426,9 +428,12 @@ class UncertainStringListingIndex:
         return matches
 
     # -- candidate generation -----------------------------------------------------------------
+    # Every strategy returns two parallel arrays — document identifiers and
+    # relevance values, each document exactly once — and candidates only
+    # become ListingMatch objects at the _materialize boundary.
     def _candidates(
         self, sp: int, ep: int, length: int, threshold: float
-    ) -> List[Tuple[int, float]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Dispatch to the RMQ or scanning strategy by pattern length."""
         if length <= self._max_short_length:
             return self._candidates_short(sp, ep, length, threshold)
@@ -436,17 +441,15 @@ class UncertainStringListingIndex:
 
     def _candidates_short(
         self, sp: int, ep: int, length: int, threshold: float
-    ) -> List[Tuple[int, float]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         values = self._relevance[length]
         rmq = self._relevance_rmq[length]
-        candidates = []
-        for rank in report_above_threshold(rmq, values, sp, ep, threshold):
-            candidates.append((int(self._rank_documents[rank]), float(values[rank])))
-        return candidates
+        ranks = report_above_threshold(rmq, values, sp, ep, threshold)
+        return self._rank_documents[ranks], values[ranks]
 
     def _candidates_scan(
         self, sp: int, ep: int, length: int, threshold: float
-    ) -> List[Tuple[int, float]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
         order = self._suffix_array.array[sp : ep + 1]
         documents = self._rank_documents[sp : ep + 1]
         positions = self._rank_positions[sp : ep + 1]
@@ -458,13 +461,43 @@ class UncertainStringListingIndex:
         documents = documents[valid]
         positions = positions[valid]
         probabilities = np.exp(self._prefix[order + length] - self._prefix[order])
+        positive = probabilities > 0.0
+        documents = documents[positive]
+        positions = positions[positive]
+        probabilities = probabilities[positive]
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if documents.size == 0:
+            return empty
 
-        per_document: Dict[int, Dict[int, float]] = {}
-        for document, position, probability in zip(documents, positions, probabilities):
-            per_document.setdefault(int(document), {})[int(position)] = float(probability)
-        candidates = []
-        for document, occurrences in per_document.items():
-            relevance = combine_relevance(occurrences.values(), self._metric)
-            if relevance > threshold:
-                candidates.append((document, relevance))
-        return candidates
+        # One entry per (document, original position): factor copies of the
+        # same occurrence carry identical probabilities, and np.sort keeps
+        # the surviving copies in rank order so the sequential ufunc.at
+        # accumulation below adds/multiplies in exactly the order the scalar
+        # per-document loop did (bit-identical floats).
+        max_position = int(positions.max()) + 2
+        pair_keys = (documents.astype(np.int64) + 1) * max_position + (positions + 1)
+        _, first_copy = np.unique(pair_keys, return_index=True)
+        first_copy = np.sort(first_copy)
+        documents = documents[first_copy]
+        probabilities = probabilities[first_copy]
+
+        doc_ids, inverse = np.unique(documents, return_inverse=True)
+        counts = np.bincount(inverse)
+        if self._metric == "max":
+            combined = np.zeros(len(doc_ids), dtype=np.float64)
+            np.maximum.at(combined, inverse, probabilities)
+        else:
+            sums = np.zeros(len(doc_ids), dtype=np.float64)
+            np.add.at(sums, inverse, probabilities)
+            if self._metric == "or":
+                products = np.ones(len(doc_ids), dtype=np.float64)
+                np.multiply.at(products, inverse, probabilities)
+                combined = sums - products
+            else:  # noisy_or
+                complements = np.ones(len(doc_ids), dtype=np.float64)
+                np.multiply.at(complements, inverse, 1.0 - probabilities)
+                combined = 1.0 - complements
+            # A single occurrence degenerates to its own probability.
+            combined = np.where(counts == 1, sums, combined)
+        keep = combined > threshold
+        return doc_ids[keep], combined[keep]

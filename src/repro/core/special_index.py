@@ -35,9 +35,10 @@ from ..suffix.suffix_array import SuffixArray
 from .base import (
     Occurrence,
     UncertainSubstringIndex,
+    blocked_candidate_ranks,
+    occurrences_from_log_values,
     report_above_threshold,
     resolve_tau,
-    sort_occurrences,
     top_values_above_threshold,
 )
 from .cumulative import (
@@ -281,7 +282,10 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
                 for rank in ranks
             ]
         else:
-            occurrences = list(self._scan_range(sp, ep, length, log_threshold))
+            positions, log_values = self._scan_ranks(
+                np.arange(sp, ep + 1, dtype=np.int64), length, log_threshold
+            )
+            occurrences = occurrences_from_log_values(positions, log_values)
         occurrences.sort(key=lambda occurrence: (-occurrence.probability, occurrence.position))
         return occurrences[:k]
 
@@ -291,56 +295,53 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
     ) -> List[Occurrence]:
         values = self._short_values[length]
         rmq = self._short_rmq[length]
-        occurrences = []
-        for rank in report_above_threshold(rmq, values, sp, ep, log_threshold):
-            position = int(self._suffix_array.array[rank])
-            occurrences.append(Occurrence(position, math.exp(float(values[rank]))))
-        return sort_occurrences(occurrences)
+        ranks = report_above_threshold(rmq, values, sp, ep, log_threshold)
+        return occurrences_from_log_values(
+            self._suffix_array.array[ranks], values[ranks]
+        )
 
     def _query_blocked(
         self, sp: int, ep: int, length: int, log_threshold: float
     ) -> List[Occurrence]:
-        maxima = self._block_maxima[length]
-        rmq = self._block_rmq[length]
-        first_block = sp // length
-        last_block = ep // length
-        occurrences: List[Occurrence] = []
-        seen_positions = set()
-        reported_blocks = list(
-            report_above_threshold(rmq, maxima, first_block, last_block, log_threshold)
+        ranks = blocked_candidate_ranks(
+            self._block_rmq[length],
+            self._block_maxima[length],
+            sp,
+            ep,
+            length,
+            log_threshold,
         )
-        # Blocks straddling the range boundary may have their maximum outside
-        # [sp, ep]; scan the partial boundary blocks unconditionally so no
-        # in-range occurrence is missed.
-        for block in reported_blocks + [first_block, last_block]:
-            start = max(sp, block * length)
-            end = min(ep, (block + 1) * length - 1)
-            for occurrence in self._scan_range(start, end, length, log_threshold):
-                if occurrence.position not in seen_positions:
-                    seen_positions.add(occurrence.position)
-                    occurrences.append(occurrence)
-        return sort_occurrences(occurrences)
+        positions, values = self._scan_ranks(ranks, length, log_threshold)
+        return occurrences_from_log_values(positions, values)
 
     def _query_scan(
         self, sp: int, ep: int, length: int, log_threshold: float
     ) -> List[Occurrence]:
-        return sort_occurrences(list(self._scan_range(sp, ep, length, log_threshold)))
+        positions, values = self._scan_ranks(
+            np.arange(sp, ep + 1, dtype=np.int64), length, log_threshold
+        )
+        return occurrences_from_log_values(positions, values)
 
-    def _scan_range(
-        self, sp: int, ep: int, length: int, log_threshold: float
-    ) -> Iterable[Occurrence]:
-        if sp > ep:
-            return []
-        positions = self._suffix_array.array[sp : ep + 1]
-        occurrences = []
+    def _scan_ranks(
+        self, ranks: np.ndarray, length: int, log_threshold: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Positions and window log-probabilities above the threshold.
+
+        Array-native scan of the given lexicographic ranks: one gather into
+        the suffix array, one cumulative-probability subtraction and one
+        comparison — no per-rank Python work on the uncorrelated path.
+        Correlated strings still walk rank by rank (every window needs the
+        correlation adjustment), returning the same array shape.
+        """
+        positions = self._suffix_array.array[ranks]
         if not self._correlations:
             in_range = positions + length <= len(self._string)
             candidates = positions[in_range]
             values = self._prefix[candidates + length] - self._prefix[candidates]
             keep = values > log_threshold
-            for position, value in zip(candidates[keep], values[keep]):
-                occurrences.append(Occurrence(int(position), float(np.exp(value))))
-            return occurrences
+            return candidates[keep], values[keep]
+        kept_positions: List[int] = []
+        kept_values: List[float] = []
         for position in positions:
             value = correlation_adjusted_window_log_probability(
                 self._prefix,
@@ -351,5 +352,9 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
                 self._string.probabilities,
             )
             if value > log_threshold:
-                occurrences.append(Occurrence(int(position), math.exp(value)))
-        return occurrences
+                kept_positions.append(int(position))
+                kept_values.append(value)
+        return (
+            np.asarray(kept_positions, dtype=np.int64),
+            np.asarray(kept_values, dtype=np.float64),
+        )

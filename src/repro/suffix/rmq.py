@@ -52,6 +52,36 @@ def _check_range(length: int, left: int, right: int) -> Tuple[int, int]:
     return left, right
 
 
+def _check_batch(
+    length: int, lefts: Sequence[int], rights: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    lefts = np.asarray(lefts, dtype=np.int64)
+    rights = np.asarray(rights, dtype=np.int64)
+    if lefts.shape != rights.shape or lefts.ndim != 1:
+        raise ValidationError(
+            f"query_batch expects two equal-length 1-d arrays, got shapes "
+            f"{lefts.shape} and {rights.shape}"
+        )
+    if lefts.size and (
+        int(lefts.min()) < 0 or int(rights.max()) >= length or bool((lefts > rights).any())
+    ):
+        bad = int(np.flatnonzero((lefts < 0) | (rights >= length) | (lefts > rights))[0])
+        raise ValidationError(
+            f"invalid RMQ range [{int(lefts[bad])}, {int(rights[bad])}] "
+            f"for array of length {length}"
+        )
+    return lefts, rights
+
+
+def _floor_log2(spans: np.ndarray) -> np.ndarray:
+    """Vectorized ``span.bit_length() - 1`` for positive int64 spans.
+
+    ``np.frexp`` is exact for integers below 2**53: it returns the exponent
+    ``e`` with ``2**(e-1) <= span < 2**e``, so ``e - 1`` is the floor log.
+    """
+    return (np.frexp(spans.astype(np.float64))[1] - 1).astype(np.int64)
+
+
 class SparseTableRMQ:
     """Sparse-table RMQ with ``O(n log n)`` preprocessing and ``O(1)`` queries.
 
@@ -119,6 +149,26 @@ class SparseTableRMQ:
         if self._mode == "max":
             return a if self._values[a] >= self._values[b] else b
         return a if self._values[a] <= self._values[b] else b
+
+    def query_batch(self, lefts: Sequence[int], rights: Sequence[int]) -> np.ndarray:
+        """Answer many ``[left, right]`` queries in one vectorized pass.
+
+        Element ``i`` of the result equals ``self.query(lefts[i], rights[i])``
+        — including the tie-break (the leftmost optimum is returned).  The
+        whole batch costs two table gathers, one comparison and one
+        ``np.where``, with no Python-level work per query.
+        """
+        lefts, rights = _check_batch(len(self._values), lefts, rights)
+        if lefts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        levels = _floor_log2(rights - lefts + 1)
+        a = self._table[levels, lefts]
+        b = self._table[levels, rights - (np.int64(1) << levels) + 1]
+        if self._mode == "max":
+            choose_a = self._values[a] >= self._values[b]
+        else:
+            choose_a = self._values[a] <= self._values[b]
+        return np.where(choose_a, a, b)
 
     def query_value(self, left: int, right: int) -> float:
         """Return the optimum *value* in ``values[left..right]``."""
@@ -204,6 +254,59 @@ class BlockRMQ:
         if last_block - first_block > 1:
             summary_index = self._summary.query(first_block + 1, last_block - 1)
             best = self._better(best, int(self._block_positions[summary_index]))
+        return best
+
+    def query_batch(self, lefts: Sequence[int], rights: Sequence[int]) -> np.ndarray:
+        """Answer many ``[left, right]`` queries in one vectorized pass.
+
+        Element ``i`` equals ``self.query(lefts[i], rights[i])``, reproducing
+        the scalar tie-breaks exactly: the head-block scan wins ties against
+        the tail-block scan, and the head/tail winner wins ties against the
+        middle-block summary.  Partial-block scans become two masked
+        ``block_size``-wide gathers with a row-wise argmax, and the summary
+        lookup is one :meth:`SparseTableRMQ.query_batch` call.
+        """
+        n = len(self._values)
+        lefts, rights = _check_batch(n, lefts, rights)
+        if lefts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        block_size = self._block_size
+        first_block = lefts // block_size
+        last_block = rights // block_size
+        fill = -np.inf if self._mode == "max" else np.inf
+        reducer = np.argmax if self._mode == "max" else np.argmin
+        offsets = np.arange(block_size, dtype=np.int64)
+
+        def scan(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+            # Masked row-wise scan of [starts[i], ends[i]] (each at most one
+            # block wide).  Valid cells form a prefix of every row, so the
+            # row argmax picks the first optimum exactly like np.argmax over
+            # the scalar segment does.
+            grid = starts[:, None] + offsets[None, :]
+            valid = grid <= ends[:, None]
+            cells = np.where(valid, self._values[np.minimum(grid, n - 1)], fill)
+            return starts + reducer(cells, axis=1)
+
+        best = scan(lefts, np.minimum(rights, (first_block + 1) * block_size - 1))
+        cross = first_block != last_block
+        if cross.any():
+            tail_best = scan(last_block[cross] * block_size, rights[cross])
+            current = best[cross]
+            if self._mode == "max":
+                keep = self._values[current] >= self._values[tail_best]
+            else:
+                keep = self._values[current] <= self._values[tail_best]
+            best[cross] = np.where(keep, current, tail_best)
+        gap = last_block - first_block > 1
+        if gap.any():
+            summary = self._summary.query_batch(first_block[gap] + 1, last_block[gap] - 1)
+            middle_best = self._block_positions[summary]
+            current = best[gap]
+            if self._mode == "max":
+                keep = self._values[current] >= self._values[middle_best]
+            else:
+                keep = self._values[current] <= self._values[middle_best]
+            best[gap] = np.where(keep, current, middle_best)
         return best
 
     def query_value(self, left: int, right: int) -> float:

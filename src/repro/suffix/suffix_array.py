@@ -127,7 +127,9 @@ class SuffixArray:
         if array is None:
             self._array = build_suffix_array(text)
         else:
-            candidate = np.asarray(array, dtype=np.int64)
+            # Cache the int64 cast once here: suffix_range and the query
+            # paths pass `self.array` straight through without re-casting.
+            candidate = np.ascontiguousarray(array, dtype=np.int64)
             if len(candidate) != len(text):
                 raise ValidationError(
                     f"suffix array length {len(candidate)} does not match text length {len(text)}"

@@ -454,3 +454,88 @@ class TestTranslateMatch:
     def test_unknown_type_rejected(self):
         with pytest.raises(TypeError):
             translate_match("not-a-match")
+
+
+class TestParallelConstruction:
+    """build_sharded_index(workers=N) answers identically to a serial build.
+
+    The process-pool path must not change anything observable: same
+    partition, same per-shard plans, byte-identical answers (both paths run
+    the exact same per-shard construction, only in different processes).
+    """
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            build_sharded_index("ABAB" * 8, shards=2, max_pattern_len=3, workers=0)
+
+    def test_chunk_mode_identical_to_serial(self):
+        string = make_random_uncertain_string(120, 0.3, seed=42)
+        serial = build_sharded_index(
+            string, shards=3, tau_min=0.1, kind="general", max_pattern_len=6
+        )
+        parallel = build_sharded_index(
+            string,
+            shards=3,
+            tau_min=0.1,
+            kind="general",
+            max_pattern_len=6,
+            workers=3,
+        )
+        assert parallel.shard_count == serial.shard_count
+        assert parallel.spec == serial.spec
+        assert [engine.kind for engine in parallel.shards] == [
+            engine.kind for engine in serial.shards
+        ]
+        backbone = string.most_likely_string()
+        for pattern in (backbone[:2], backbone[10:14], backbone[50:53]):
+            for tau in (0.1, 0.3):
+                assert parallel.query(pattern, tau=tau) == serial.query(
+                    pattern, tau=tau
+                )
+            assert parallel.top_k(pattern, 5) == serial.top_k(pattern, 5)
+        serial.close()
+        parallel.close()
+
+    def test_document_mode_identical_to_serial(self):
+        documents = [
+            make_random_uncertain_string(24, 0.4, seed=100 + index)
+            for index in range(6)
+        ]
+        collection = UncertainStringCollection(documents)
+        serial = build_sharded_index(collection, shards=3, tau_min=0.1)
+        parallel = build_sharded_index(collection, shards=3, tau_min=0.1, workers=2)
+        backbone = documents[0].most_likely_string()
+        for pattern in (backbone[:2], backbone[3:6]):
+            for tau in (0.1, 0.25):
+                assert parallel.query(pattern, tau=tau) == serial.query(
+                    pattern, tau=tau
+                )
+            assert parallel.top_k(pattern, 3) == serial.top_k(pattern, 3)
+        serial.close()
+        parallel.close()
+
+    def test_special_chunk_mode_identical_to_serial(self):
+        string = make_random_special_string(100, seed=7)
+        serial = build_sharded_index(string, shards=4, max_pattern_len=5)
+        parallel = build_sharded_index(
+            string, shards=4, max_pattern_len=5, workers=4
+        )
+        pattern = string.text[10:13]
+        assert parallel.query(pattern, tau=0.1) == serial.query(pattern, tau=0.1)
+        assert parallel.top_k(pattern, 4) == serial.top_k(pattern, 4)
+        serial.close()
+        parallel.close()
+
+    def test_parallel_build_round_trips_through_save(self, tmp_path):
+        from repro.api import load_index
+
+        string = make_random_special_string(60, seed=11)
+        parallel = build_sharded_index(
+            string, shards=2, max_pattern_len=4, workers=2
+        )
+        path = parallel.save(tmp_path / "ensemble")
+        restored = load_index(path)
+        pattern = string.text[5:8]
+        assert restored.query(pattern, tau=0.2) == parallel.query(pattern, tau=0.2)
+        parallel.close()
+        restored.close()

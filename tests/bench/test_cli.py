@@ -57,3 +57,42 @@ class TestMain:
         assert exit_code == 0
         assert destination.exists()
         assert "ablation-rmq" in destination.read_text(encoding="utf-8")
+
+
+class TestJsonFlag:
+    def test_json_artifacts_written(self, tmp_path, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "--figure",
+                "ablation-rmq",
+                "--scale",
+                "small",
+                "--json",
+                "--json-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        artifact = tmp_path / "BENCH_ablation_rmq.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["experiment"] == "ablation-rmq"
+        assert payload["parameters"]["scale"] == "small"
+        assert payload["wall_clock_seconds"] > 0.0
+        assert payload["series"]
+
+    def test_json_dir_implies_json(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "--figure",
+                "ablation-rmq",
+                "--scale",
+                "small",
+                "--json-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "BENCH_ablation_rmq.json").exists()

@@ -1,0 +1,50 @@
+"""Fast perf smoke: the vectorized reporting kernel must not regress.
+
+Runs the ``query-kernel`` experiment at the small scale and asserts that on
+the largest reported-occurrence workload the vectorized kernel is at worst
+1.5x slower than the scalar baseline (a generous margin — on real
+workloads it is several times *faster*; the margin only guards against a
+vectorization regression without flaking on noisy CI runners).  The full
+occ=10^6 sweep stays in the default-scale benchmark run
+(``python -m repro.bench --figure query-kernel --json``).
+"""
+
+from repro.bench.experiments import SMALL_SCALE, query_kernel, shard_build
+
+
+class TestQueryKernelSmoke:
+    def test_vectorized_not_slower_than_margin(self):
+        table = query_kernel(SMALL_SCALE)
+        scalar = table.series_by_label("scalar (occ/s)")
+        vectorized = table.series_by_label("vectorized (occ/s)")
+        assert scalar.xs == vectorized.xs == list(SMALL_SCALE.kernel_occ_targets)
+        # Assert on the largest workload of the small grid: tiny batches pay
+        # fixed numpy overhead per frontier round, so the vectorized win
+        # only shows from a few hundred occurrences up — which is also the
+        # only regime where reporting throughput matters.
+        assert vectorized.values[-1] >= scalar.values[-1] / 1.5, (
+            f"vectorized kernel {vectorized.values[-1]:.0f} occ/s is more than "
+            f"1.5x slower than scalar {scalar.values[-1]:.0f} occ/s"
+        )
+
+    def test_speedup_series_is_consistent(self):
+        table = query_kernel(SMALL_SCALE)
+        scalar = table.series_by_label("scalar (occ/s)")
+        vectorized = table.series_by_label("vectorized (occ/s)")
+        speedup = table.series_by_label("speedup (x)")
+        for fast, slow, ratio in zip(
+            vectorized.values, scalar.values, speedup.values
+        ):
+            assert ratio > 0.0
+            assert abs(ratio - fast / slow) / ratio < 1e-6
+
+
+class TestShardBuildSmoke:
+    def test_reports_all_worker_counts(self):
+        table = shard_build(SMALL_SCALE)
+        build_time = table.series_by_label("build time (s)")
+        speedup = table.series_by_label("speedup vs workers=1 (x)")
+        assert build_time.xs == list(SMALL_SCALE.shard_build_workers)
+        assert all(value > 0.0 for value in build_time.values)
+        # workers=1 is its own baseline by construction.
+        assert speedup.values[0] == 1.0

@@ -67,3 +67,37 @@ class TestRenderReport:
     def test_unknown_format_rejected(self, sample_table):
         with pytest.raises(ValueError):
             render_report([sample_table], fmt="latex")
+
+
+class TestJsonArtifacts:
+    def test_payload_structure(self, sample_table):
+        from repro.bench.reporting import figure_table_to_dict
+
+        payload = figure_table_to_dict(
+            sample_table, scale="small", wall_clock_seconds=1.25
+        )
+        assert payload["experiment"] == "fig7a"
+        assert payload["parameters"]["scale"] == "small"
+        assert payload["wall_clock_seconds"] == 1.25
+        labels = [series["label"] for series in payload["series"]]
+        assert labels == ["theta=0.1", "theta=0.3"]
+        assert payload["series"][0]["points"][0] == {"x": 1000.0, "value": 0.5}
+
+    def test_artifact_name_sanitizes_dashes(self):
+        from repro.bench.reporting import json_artifact_name
+
+        assert json_artifact_name("query-kernel") == "BENCH_query_kernel.json"
+        assert json_artifact_name("fig7a") == "BENCH_fig7a.json"
+
+    def test_write_round_trips(self, sample_table, tmp_path):
+        import json
+
+        from repro.bench.reporting import write_json_artifact
+
+        path = write_json_artifact(
+            sample_table, tmp_path, scale="small", wall_clock_seconds=0.5
+        )
+        assert path == tmp_path / "BENCH_fig7a.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["experiment"] == "fig7a"
+        assert payload["series"][1]["points"] == [{"x": 1000.0, "value": 0.6}]

@@ -15,7 +15,9 @@ class TestTopValuesHelper:
     def _top(self, values, left, right, k, threshold):
         array = np.asarray(values, dtype=np.float64)
         rmq = SparseTableRMQ(array)
-        return top_values_above_threshold(rmq, array, left, right, k, threshold)
+        return top_values_above_threshold(
+            rmq, array, left, right, k, threshold
+        ).tolist()
 
     def test_returns_largest_first(self):
         values = [0.1, 0.9, 0.3, 0.7, 0.5]

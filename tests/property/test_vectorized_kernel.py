@@ -1,0 +1,363 @@
+"""Property-based equivalence: vectorized query kernels vs the scalar path.
+
+The vectorized pipeline (``query_batch``, array ``report_above_threshold``,
+batched ``top_values_above_threshold``) must answer exactly like the scalar
+reference implementations it replaced:
+
+* ``query_batch`` equals ``query`` element-wise, including tie-breaks, for
+  both RMQ implementations and both modes;
+* the array reporter returns the same rank set as the scalar generator;
+* the batched top-k extraction returns the scalar heap's exact list for
+  leftmost-optimum RMQs (sparse table) and the same set under
+  ``include_ties`` for block RMQs;
+* every index kind answers queries byte-identically to a replay of its
+  pre-vectorization scalar path over the same internal arrays.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    Occurrence,
+    report_above_threshold,
+    report_above_threshold_scalar,
+    sort_occurrences,
+    top_values_above_threshold,
+    top_values_above_threshold_scalar,
+)
+from repro.suffix.rmq import BlockRMQ, SparseTableRMQ
+
+
+def random_values(rng, n, *, with_ties=False, with_infinities=False):
+    values = rng.random(n)
+    if with_ties:
+        values = np.round(values, 1)
+    if with_infinities:
+        values[rng.random(n) < 0.25] = -np.inf
+    return values
+
+
+def make_impls(rng, values, mode="max"):
+    return [
+        SparseTableRMQ(values, mode=mode),
+        BlockRMQ(values, mode=mode, block_size=int(rng.integers(1, 9))),
+    ]
+
+
+class TestQueryBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("mode", ["max", "min"])
+    def test_matches_scalar_query_elementwise(self, seed, mode):
+        rng = np.random.default_rng(seed)
+        for trial in range(20):
+            n = int(rng.integers(1, 120))
+            values = random_values(
+                rng, n, with_ties=trial % 3 == 0, with_infinities=trial % 4 == 0
+            )
+            lefts = rng.integers(0, n, 25)
+            rights = rng.integers(0, n, 25)
+            lefts, rights = np.minimum(lefts, rights), np.maximum(lefts, rights)
+            for rmq in make_impls(rng, values, mode=mode):
+                batch = rmq.query_batch(lefts, rights)
+                scalar = [rmq.query(int(l), int(r)) for l, r in zip(lefts, rights)]
+                assert batch.tolist() == scalar
+
+    def test_empty_batch(self):
+        rmq = SparseTableRMQ([1.0, 2.0])
+        assert rmq.query_batch([], []).tolist() == []
+        assert BlockRMQ([1.0, 2.0]).query_batch([], []).tolist() == []
+
+    def test_invalid_ranges_rejected(self):
+        from repro.exceptions import ValidationError
+
+        for rmq in (SparseTableRMQ([1.0, 2.0]), BlockRMQ([1.0, 2.0])):
+            with pytest.raises(ValidationError):
+                rmq.query_batch([0], [2])
+            with pytest.raises(ValidationError):
+                rmq.query_batch([1], [0])
+            with pytest.raises(ValidationError):
+                rmq.query_batch([-1], [1])
+
+
+class TestReportEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_rank_set_as_scalar_generator(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        for trial in range(20):
+            n = int(rng.integers(1, 160))
+            values = random_values(
+                rng, n, with_ties=trial % 3 == 0, with_infinities=trial % 4 == 0
+            )
+            left = int(rng.integers(0, n))
+            right = int(rng.integers(left, n))
+            threshold = float(rng.choice([0.0, 0.3, 0.5, 0.9, -np.inf]))
+            for rmq in make_impls(rng, values):
+                reported = report_above_threshold(rmq, values, left, right, threshold)
+                reference = list(
+                    report_above_threshold_scalar(rmq, values, left, right, threshold)
+                )
+                assert len(reported) == len(reference)
+                assert set(reported.tolist()) == set(reference)
+
+    def test_empty_range(self):
+        values = np.asarray([1.0, 2.0])
+        rmq = SparseTableRMQ(values)
+        assert report_above_threshold(rmq, values, 1, 0, 0.0).tolist() == []
+
+
+class TestTopValuesEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_order_with_leftmost_rmq(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        for trial in range(20):
+            n = int(rng.integers(1, 160))
+            values = random_values(rng, n, with_ties=trial % 2 == 0)
+            rmq = SparseTableRMQ(values)
+            left = int(rng.integers(0, n))
+            right = int(rng.integers(left, n))
+            threshold = float(rng.choice([0.0, 0.4, 0.8]))
+            k = int(rng.integers(1, 14))
+            for include_ties in (False, True):
+                batched = top_values_above_threshold(
+                    rmq, values, left, right, k, threshold, include_ties=include_ties
+                )
+                scalar = top_values_above_threshold_scalar(
+                    rmq, values, left, right, k, threshold, include_ties=include_ties
+                )
+                # The sparse table returns the leftmost optimum, so the heap
+                # pop order is exactly (-value, rank) — incl. tie order.
+                assert batched.tolist() == scalar
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_set_with_block_rmq_under_include_ties(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        for trial in range(15):
+            n = int(rng.integers(1, 160))
+            values = random_values(rng, n, with_ties=trial % 2 == 0)
+            rmq = BlockRMQ(values, block_size=int(rng.integers(1, 9)))
+            left = int(rng.integers(0, n))
+            right = int(rng.integers(left, n))
+            k = int(rng.integers(1, 14))
+            batched = top_values_above_threshold(
+                rmq, values, left, right, k, 0.0, include_ties=True
+            )
+            scalar = top_values_above_threshold_scalar(
+                rmq, values, left, right, k, 0.0, include_ties=True
+            )
+            # include_ties extracts whole tie classes, so the selected set is
+            # implementation-independent even though a block RMQ discovers
+            # within-class members in a different order.
+            assert set(batched.tolist()) == set(scalar)
+
+    def test_giant_tie_class_stays_bounded(self):
+        from repro.core.base import TIE_EXTRACTION_LIMIT
+
+        values = np.ones(TIE_EXTRACTION_LIMIT * 4, dtype=np.float64)
+        rmq = SparseTableRMQ(values)
+        k = 5
+        batched = top_values_above_threshold(
+            rmq, values, 0, len(values) - 1, k, 0.0, include_ties=True
+        )
+        scalar = top_values_above_threshold_scalar(
+            rmq, values, 0, len(values) - 1, k, 0.0, include_ties=True
+        )
+        assert batched.tolist() == scalar
+        assert len(batched) == k + TIE_EXTRACTION_LIMIT
+
+
+def replay_special_short(index, pattern, tau):
+    """The pre-vectorization scalar short-pattern path of the special index."""
+    from repro.suffix.pattern_search import suffix_range
+
+    interval = suffix_range(index.string.text, index._suffix_array.array, pattern)
+    if interval is None:
+        return []
+    sp, ep = interval
+    values = index._short_values[len(pattern)]
+    rmq = index._short_rmq[len(pattern)]
+    occurrences = []
+    for rank in report_above_threshold_scalar(rmq, values, sp, ep, math.log(tau)):
+        position = int(index._suffix_array.array[rank])
+        occurrences.append(Occurrence(position, math.exp(float(values[rank]))))
+    return sort_occurrences(occurrences)
+
+
+def replay_general_short(index, pattern, tau):
+    """The pre-vectorization scalar short-pattern path of the general index."""
+    from repro.suffix.pattern_search import suffix_range
+
+    interval = suffix_range(
+        index.transformed.text, index._suffix_array.array, pattern
+    )
+    if interval is None:
+        return []
+    sp, ep = interval
+    values = index._short_values[len(pattern)]
+    rmq = index._short_rmq[len(pattern)]
+    occurrences = []
+    for rank in report_above_threshold_scalar(rmq, values, sp, ep, math.log(tau)):
+        occurrences.append(
+            Occurrence(int(index._rank_positions[rank]), math.exp(float(values[rank])))
+        )
+    return sort_occurrences(occurrences)
+
+
+def replay_listing_short(index, pattern, tau):
+    """The pre-vectorization scalar short-pattern path of the listing index."""
+    from repro.core.base import ListingMatch, sort_listing_matches
+    from repro.suffix.pattern_search import suffix_range
+
+    interval = suffix_range(
+        index.transformed.text, index._suffix_array.array, pattern
+    )
+    if interval is None:
+        return []
+    sp, ep = interval
+    values = index._relevance[len(pattern)]
+    rmq = index._relevance_rmq[len(pattern)]
+    matches = []
+    for rank in report_above_threshold_scalar(rmq, values, sp, ep, tau):
+        matches.append(
+            ListingMatch(int(index._rank_documents[rank]), float(values[rank]))
+        )
+    return sort_listing_matches(matches)
+
+
+class TestIndexesMatchScalarReplay:
+    """Every index kind answers byte-identically to the scalar-kernel replay."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_special_index(self, seed):
+        from repro.core.special_index import SpecialUncertainStringIndex
+        from repro.strings.special import SpecialUncertainString
+
+        rng = np.random.default_rng(400 + seed)
+        n = 80
+        text = "".join(rng.choice(list("abc"), n))
+        probabilities = rng.uniform(0.3, 1.0, n)
+        string = SpecialUncertainString.from_characters_and_probabilities(
+            text, probabilities
+        )
+        index = SpecialUncertainStringIndex(string)
+        for length in (1, 2, 3):
+            pattern = text[int(rng.integers(0, n - length)) :][:length]
+            for tau in (0.2, 0.5):
+                assert index.query(pattern, tau) == replay_special_short(
+                    index, pattern, tau
+                )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_general_index(self, seed):
+        from repro.bench.workloads import cached_uncertain_string
+        from repro.core.general_index import GeneralUncertainStringIndex
+
+        string = cached_uncertain_string(60, 0.3, seed=500 + seed)
+        index = GeneralUncertainStringIndex(string, tau_min=0.1)
+        backbone = string.most_likely_string()
+        for pattern in (backbone[:2], backbone[5:8], backbone[10:13]):
+            for tau in (0.1, 0.3):
+                assert index.query(pattern, tau) == replay_general_short(
+                    index, pattern, tau
+                )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_listing_index(self, seed):
+        from repro.bench.workloads import cached_collection
+        from repro.core.listing import UncertainStringListingIndex
+
+        collection = cached_collection(120, 0.3, seed=600 + seed)
+        index = UncertainStringListingIndex(collection, tau_min=0.1)
+        backbone = collection[0].most_likely_string()
+        for pattern in (backbone[:2], backbone[1:4]):
+            for tau in (0.1, 0.3):
+                assert index.query(pattern, tau) == replay_listing_short(
+                    index, pattern, tau
+                )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simple_index_substitutable_for_special(self, seed):
+        # The simple index shares no kernel code; it pins the planner's
+        # substitution contract: identical answers to the special index.
+        from repro.core.simple_index import SimpleSpecialIndex
+        from repro.core.special_index import SpecialUncertainStringIndex
+        from repro.strings.special import SpecialUncertainString
+
+        rng = np.random.default_rng(700 + seed)
+        n = 60
+        text = "".join(rng.choice(list("ab"), n))
+        string = SpecialUncertainString.from_characters_and_probabilities(
+            text, rng.uniform(0.4, 1.0, n)
+        )
+        special = SpecialUncertainStringIndex(string)
+        simple = SimpleSpecialIndex(string)
+        for length in (1, 2, 4):
+            pattern = text[:length]
+            got = special.query(pattern, 0.3)
+            reference = simple.query(pattern, 0.3)
+            # The two variants accumulate window probabilities differently
+            # (log-prefix sums vs direct products), so values agree to the
+            # last couple of ulps, not bit-for-bit — same as before this
+            # kernel existed.  Positions are exact.
+            assert [occ.position for occ in got] == [
+                occ.position for occ in reference
+            ]
+            assert [occ.probability for occ in got] == pytest.approx(
+                [occ.probability for occ in reference], rel=1e-12
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_approximate_index(self, seed):
+        # The approximate index consumes the reporting kernel's rank set and
+        # deduplicates by max link probability — order-insensitive, so the
+        # vectorized kernel must leave its answers untouched.  Replay its
+        # link loop with the scalar generator and compare.
+        from repro.bench.workloads import cached_uncertain_string
+        from repro.core.approximate import ApproximateSubstringIndex
+        from repro.core.base import sort_occurrences as sort_occs
+
+        string = cached_uncertain_string(50, 0.3, seed=800 + seed)
+        index = ApproximateSubstringIndex(string, tau_min=0.1, epsilon=0.05)
+        backbone = string.most_likely_string()
+        for pattern in (backbone[:2], backbone[3:6]):
+            for tau in (0.1, 0.25):
+                got = index.query(pattern, tau)
+                interval = index._tree.pattern_range(pattern)
+                if interval is None or index._link_rmq is None:
+                    assert got == []
+                    continue
+                sp, ep = interval
+                first = int(
+                    np.searchsorted(index._link_origin_left, sp, side="left")
+                )
+                last = (
+                    int(np.searchsorted(index._link_origin_left, ep, side="right"))
+                    - 1
+                )
+                if first > last:
+                    assert got == []
+                    continue
+                reported = {}
+                for link_index in report_above_threshold_scalar(
+                    index._link_rmq,
+                    index._link_probabilities,
+                    first,
+                    last,
+                    tau - index._epsilon,
+                ):
+                    link = index._links[link_index]
+                    if link.origin_right > ep:
+                        continue
+                    if (
+                        link.origin_depth < len(pattern)
+                        or link.target_depth >= len(pattern)
+                    ):
+                        continue
+                    previous = reported.get(link.position)
+                    if previous is None or link.probability > previous:
+                        reported[link.position] = link.probability
+                expected = sort_occs(
+                    [Occurrence(p, value) for p, value in reported.items()]
+                )
+                assert got == expected
