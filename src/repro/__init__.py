@@ -78,9 +78,11 @@ from .exceptions import (
     PatternTooLongError,
     QueryError,
     ReproError,
+    ServiceOverloadedError,
     ThresholdError,
     ValidationError,
 )
+from .serving import AsyncSearchService
 from .strings import (
     Alphabet,
     CorrelationModel,
@@ -91,12 +93,13 @@ from .strings import (
     UncertainStringCollection,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Alphabet",
     "AlphabetError",
     "ApproximateSubstringIndex",
+    "AsyncSearchService",
     "BruteForceOracle",
     "ConstructionError",
     "CorrelationError",
@@ -116,6 +119,7 @@ __all__ = [
     "ResultCache",
     "SearchRequest",
     "SearchResult",
+    "ServiceOverloadedError",
     "ShardSpec",
     "ShardedEngine",
     "SimpleSpecialIndex",

@@ -49,6 +49,7 @@ from .planner import (
     ShardSpec,
     normalize_input,
     plan_index,
+    record_build_observation,
     shard_input,
 )
 from .requests import SearchRequest, SearchResult
@@ -81,6 +82,7 @@ __all__ = [
     "plan_index",
     "read_manifest",
     "read_sharded_manifest",
+    "record_build_observation",
     "save_index_payload",
     "save_sharded_payload",
     "shard_input",

@@ -23,6 +23,20 @@ Design constraints, in order:
   surfaced through :meth:`stats` into ``Engine.describe()``, because a
   serving cache nobody can measure is a serving cache nobody can size.
 
+Two invalidation mechanisms exist for serving deployments whose index is
+not immutable-forever:
+
+* **Generation tags** — every entry is stored under the cache's current
+  *generation*; :meth:`bump_generation` makes every existing entry
+  unreachable in O(1), so an engine whose index was reloaded or replaced
+  can never serve a stale hit (the old entries age out through ordinary
+  LRU eviction).  ``Engine.replace_index`` bumps the generation
+  automatically.
+* **TTL** — an optional ``ttl_seconds`` bounds the lifetime of every
+  entry; expired entries count as misses (and as ``expirations`` in
+  :meth:`stats`) and are dropped on access.  The clock is injectable for
+  deterministic tests.
+
 Errors are never cached: an evaluation that raises (e.g. a
 :class:`~repro.exceptions.ThresholdError` for a ``tau`` below ``tau_min``)
 propagates without touching the stored entries, and the failed lookup is
@@ -32,6 +46,7 @@ counted as a miss.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
@@ -44,6 +59,10 @@ DEFAULT_CACHE_SIZE = 1024
 #: the sharded engine can reuse the same cache with its own key shape.
 CacheKey = Hashable
 
+#: Internal storage key: the caller's key tagged with the generation it was
+#: written under.
+_StoredKey = Tuple[int, CacheKey]
+
 
 class ResultCache:
     """A bounded, thread-safe LRU over evaluated match lists.
@@ -54,17 +73,39 @@ class ResultCache:
         Maximum number of distinct keys to retain.  ``0`` disables the
         cache entirely — :meth:`wrap` then returns the computation
         unchanged, so a disabled cache costs nothing on the query path.
+    ttl_seconds:
+        Optional maximum entry age.  ``None`` (default) means entries
+        never expire; a positive value drops entries older than that on
+        access, counting an expiration plus a miss.
+    clock:
+        Monotonic time source used for TTL stamps (defaults to
+        :func:`time.monotonic`); injectable so TTL behaviour is testable
+        without sleeping.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_SIZE,
+        *,
+        ttl_seconds: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if capacity < 0:
             raise ValidationError(f"cache capacity must be >= 0, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValidationError(
+                f"ttl_seconds must be positive (or None), got {ttl_seconds}"
+            )
         self._capacity = int(capacity)
-        self._entries: "OrderedDict[CacheKey, Tuple]" = OrderedDict()
+        self._ttl_seconds = ttl_seconds
+        self._clock = clock if clock is not None else time.monotonic
+        self._entries: "OrderedDict[_StoredKey, Tuple[Tuple, float]]" = OrderedDict()
         self._lock = threading.Lock()
+        self._generation = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._expirations = 0
 
     # -- configuration ------------------------------------------------------------
     @property
@@ -77,40 +118,82 @@ class ResultCache:
         """Whether the cache retains anything at all."""
         return self._capacity > 0
 
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        """Maximum entry age (``None``: entries never expire)."""
+        return self._ttl_seconds
+
+    @property
+    def generation(self) -> int:
+        """The index-generation tag current entries are stored under."""
+        return self._generation
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def __repr__(self) -> str:
         return (
             f"ResultCache(capacity={self._capacity}, size={len(self._entries)}, "
-            f"hits={self._hits}, misses={self._misses})"
+            f"hits={self._hits}, misses={self._misses}, "
+            f"generation={self._generation})"
         )
 
     # -- core operations ----------------------------------------------------------
     def get(self, key: CacheKey) -> Optional[Tuple]:
-        """The cached answer for ``key``, or ``None`` (counts a hit or miss)."""
+        """The cached answer for ``key``, or ``None`` (counts a hit or miss).
+
+        Only entries written under the current generation are reachable,
+        and entries older than ``ttl_seconds`` are dropped (counting an
+        expiration) instead of served.
+        """
         if not self.enabled:
             return None
         with self._lock:
-            entry = self._entries.get(key)
+            stored = (self._generation, key)
+            entry = self._entries.get(stored)
             if entry is None:
                 self._misses += 1
                 return None
-            self._entries.move_to_end(key)
+            value, stamp = entry
+            if (
+                self._ttl_seconds is not None
+                and self._clock() - stamp > self._ttl_seconds
+            ):
+                del self._entries[stored]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(stored)
             self._hits += 1
-            return entry
+            return value
 
-    def put(self, key: CacheKey, value: Sequence) -> None:
-        """Store ``value`` (copied to an immutable tuple) under ``key``."""
+    def put(
+        self, key: CacheKey, value: Sequence, *, generation: Optional[int] = None
+    ) -> None:
+        """Store ``value`` (copied to an immutable tuple) under ``key``.
+
+        ``generation`` is the generation the value was *computed* under
+        (pass the value of :attr:`generation` read before the computation
+        started): if the cache has been invalidated in the meantime, the
+        value is silently dropped instead of being stored under the new
+        generation — otherwise a slow evaluation racing a
+        :meth:`bump_generation` (e.g. ``Engine.replace_index`` during an
+        in-flight query) could cache the *old* index's answer as fresh.
+        ``None`` stores unconditionally under the current generation.
+        """
         if not self.enabled:
             return
         frozen = tuple(value)
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = frozen
+            if generation is not None and generation != self._generation:
                 return
-            self._entries[key] = frozen
+            stored = (self._generation, key)
+            stamp = self._clock()
+            if stored in self._entries:
+                self._entries.move_to_end(stored)
+                self._entries[stored] = (frozen, stamp)
+                return
+            self._entries[stored] = (frozen, stamp)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
@@ -130,29 +213,49 @@ class ResultCache:
             cached = self.get(key)
             if cached is not None:
                 return list(cached)
+            # Capture the generation *before* computing: if the index is
+            # replaced mid-evaluation, put() drops this (now stale) answer.
+            generation = self._generation
             value = compute()
-            self.put(key, value)
+            self.put(key, value, generation=generation)
             return list(value)
 
         return evaluate
 
     # -- maintenance / observability ----------------------------------------------
+    def bump_generation(self) -> int:
+        """Invalidate every current entry in O(1); returns the new generation.
+
+        Entries written under earlier generations become unreachable
+        immediately (lookups key on the current generation) and age out of
+        the store through ordinary LRU eviction — no scan, no pause.  Used
+        when the index behind the cache is reloaded or replaced, so a
+        request that hit the old index can never be answered with its
+        matches.
+        """
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved; see :meth:`reset_stats`)."""
         with self._lock:
             self._entries.clear()
 
     def reset_stats(self) -> None:
-        """Zero the hit / miss / eviction counters."""
+        """Zero the hit / miss / eviction / expiration counters."""
         with self._lock:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._expirations = 0
 
     def stats(self) -> dict:
         """Counters and occupancy, as surfaced by ``Engine.describe()``."""
         with self._lock:
             hits, misses, evictions = self._hits, self._misses, self._evictions
+            expirations = self._expirations
+            generation = self._generation
             size = len(self._entries)
         lookups = hits + misses
         return {
@@ -162,5 +265,8 @@ class ResultCache:
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "expirations": expirations,
+            "generation": generation,
+            "ttl_seconds": self._ttl_seconds,
             "hit_rate": (hits / lookups) if lookups else 0.0,
         }

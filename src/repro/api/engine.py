@@ -25,8 +25,19 @@ from ..strings.special import SpecialUncertainString
 from ..strings.uncertain import UncertainString
 from .batch import execute_batch
 from .cache import DEFAULT_CACHE_SIZE, CacheKey, ResultCache
-from .persistence import is_sharded_archive, load_index_payload, save_index_payload
-from .planner import IndexInput, IndexPlan, normalize_input, plan_index
+from .persistence import (
+    FORMAT_VERSION,
+    is_sharded_archive,
+    load_index_payload,
+    save_index_payload,
+)
+from .planner import (
+    IndexInput,
+    IndexPlan,
+    normalize_input,
+    plan_index,
+    record_build_observation,
+)
 from .requests import Match, SearchRequest, SearchResult
 
 
@@ -132,10 +143,17 @@ class Engine(QueryEngine):
     index, and hit/miss/eviction counters surface in :meth:`describe`.
     """
 
-    def __init__(self, index: Any, plan: IndexPlan, *, cache_size: int = DEFAULT_CACHE_SIZE):
+    def __init__(
+        self,
+        index: Any,
+        plan: IndexPlan,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_ttl_seconds: Optional[float] = None,
+    ):
         self._index = index
         self._plan = plan
-        self._cache = ResultCache(cache_size)
+        self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl_seconds)
 
     # -- introspection -----------------------------------------------------------------
     @property
@@ -175,6 +193,11 @@ class Engine(QueryEngine):
             "reason": self._plan.reason,
             "tau_min": self.tau_min,
             "profile": dict(self._plan.profile),
+            # Space-estimate accuracy (planner feedback): present once the
+            # engine was built through build_index over a planned estimate,
+            # None for hand-made or restored plans.  kind/reason live at
+            # the top level already and are not repeated here.
+            "plan": {"estimate_error": self._plan.profile.get("estimate_error")},
             "cache": self._cache.stats(),
             "space_report": self.space_report(),
         }
@@ -209,23 +232,65 @@ class Engine(QueryEngine):
         # see :mod:`repro.api.batch` for the full argument.
         return self.is_listing and not self._index.needs_verification
 
+    # -- index replacement --------------------------------------------------------------
+    def replace_index(self, index: Any, plan: Optional[IndexPlan] = None) -> None:
+        """Swap the wrapped index in place, invalidating the result cache.
+
+        A serving deployment that rebuilds or reloads its index without
+        restarting (e.g. behind an :class:`~repro.serving.AsyncSearchService`)
+        must not answer new requests from results the *old* index produced;
+        this bumps the cache's generation tag
+        (:meth:`~repro.api.cache.ResultCache.bump_generation`) so every
+        previously cached entry becomes unreachable in O(1).
+        """
+        self._index = index
+        if plan is not None:
+            self._plan = plan
+        self._cache.bump_generation()
+
     # -- persistence -------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(
+        self,
+        path: Union[str, Path],
+        *,
+        version: int = FORMAT_VERSION,
+        compress: Optional[bool] = None,
+    ) -> Path:
         """Serialize the engine to a versioned ``.npz`` archive.
 
         The archive stores every numpy component (suffix arrays, LCP,
         cumulative tables, per-length value arrays, links) plus a JSON
         manifest with the format version, the plan and the indexed string,
         so :func:`load_index` restores an engine whose answers are
-        byte-identical to this one without re-running construction.
+        byte-identical to this one without re-running construction.  The
+        default (version-2) archive additionally carries the serialized
+        RMQ payloads and is written uncompressed so it can be served
+        memory-mapped; see :func:`repro.api.persistence.save_index_payload`
+        for the knobs.
         """
-        return save_index_payload(self._index, self._plan, path)
+        return save_index_payload(
+            self._index, self._plan, path, version=version, compress=compress
+        )
 
     @classmethod
-    def load(cls, path: Union[str, Path], *, cache_size: int = DEFAULT_CACHE_SIZE) -> "Engine":
-        """Restore an engine saved with :meth:`save`."""
-        index, plan = load_index_payload(path)
-        return cls(index, plan, cache_size=cache_size)
+    def load(
+        cls,
+        path: Union[str, Path],
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_ttl_seconds: Optional[float] = None,
+        mmap: bool = False,
+    ) -> "Engine":
+        """Restore an engine saved with :meth:`save`.
+
+        ``mmap=True`` opens the heavy arrays as read-only memory maps into
+        the archive (zero-copy cold start; concurrent processes share the
+        pages) — see :func:`repro.api.persistence.load_index_payload`.
+        """
+        index, plan = load_index_payload(path, mmap=mmap)
+        return cls(
+            index, plan, cache_size=cache_size, cache_ttl_seconds=cache_ttl_seconds
+        )
 
 
 def build_index(
@@ -237,6 +302,7 @@ def build_index(
     epsilon: Optional[float] = None,
     metric: str = "max",
     cache_size: int = DEFAULT_CACHE_SIZE,
+    cache_ttl_seconds: Optional[float] = None,
     **options: Any,
 ) -> Engine:
     """Plan, build and wrap the right index for ``data``.
@@ -272,7 +338,13 @@ def build_index(
         **options,
     )
     index = _construct(plan, normalized)
-    return Engine(index, plan, cache_size=cache_size)
+    # Planner feedback: record the measured footprint against the coarse
+    # estimate so describe()["plan"]["estimate_error"] makes space-budget
+    # routing accuracy observable.
+    record_build_observation(plan, index.nbytes())
+    return Engine(
+        index, plan, cache_size=cache_size, cache_ttl_seconds=cache_ttl_seconds
+    )
 
 
 def _construct(plan: IndexPlan, normalized: Any) -> Any:
@@ -304,16 +376,38 @@ def _construct(plan: IndexPlan, normalized: Any) -> Any:
     return plan.index_class(string, plan.tau_min, **options)
 
 
-def load_index(path: Union[str, Path], *, cache_size: int = DEFAULT_CACHE_SIZE) -> Any:
+def load_index(
+    path: Union[str, Path],
+    *,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    cache_ttl_seconds: Optional[float] = None,
+    mmap: bool = False,
+    query_executor: str = "thread",
+) -> Any:
     """Restore any saved engine — plain ``.npz`` archive or sharded directory.
 
     Dispatches on the archive shape: a directory holding a shard manifest
     restores a :class:`~repro.api.sharding.ShardedEngine`, everything else
     an :class:`Engine` — so callers round-trip both engine types through
     one function.
+
+    ``mmap=True`` opens every archive memory-mapped (zero-copy cold start,
+    page-cache sharing across processes).  ``query_executor`` selects the
+    sharded engine's fan-out mode (``"thread"`` or ``"process"``; ignored
+    for unsharded archives) — combined with ``mmap=True`` the process
+    workers each map the same shard archives, so a fleet of workers holds
+    one physical copy of the index.
     """
     if is_sharded_archive(path):
         from .sharding import ShardedEngine
 
-        return ShardedEngine.load(path, cache_size=cache_size)
-    return Engine.load(path, cache_size=cache_size)
+        return ShardedEngine.load(
+            path,
+            cache_size=cache_size,
+            cache_ttl_seconds=cache_ttl_seconds,
+            mmap=mmap,
+            query_executor=query_executor,
+        )
+    return Engine.load(
+        path, cache_size=cache_size, cache_ttl_seconds=cache_ttl_seconds, mmap=mmap
+    )

@@ -3,7 +3,7 @@
 Indexes are expensive to build (suffix-array construction plus the
 per-length RMQ tower) and cheap to *use*; a serving deployment wants to
 build offline and load hot.  :func:`save_index_payload` writes a single
-compressed ``.npz`` archive holding
+``.npz`` archive holding
 
 * every heavy numpy component — suffix array, LCP array, cumulative
   probability tables, per-length ``C_i`` / relevance arrays, blocking
@@ -13,14 +13,29 @@ compressed ``.npz`` archive holding
   under the reserved ``__manifest__`` key.
 
 :func:`load_index_payload` restores the index without re-running
-construction: arrays are loaded verbatim, the RMQ structures (which are
-pure functions of their value arrays) are rebuilt in linear time, and the
-suffix tree of the approximate index is rebuilt from the saved suffix and
-LCP arrays.  Because every probability array round-trips bit-exactly, a
+construction.  Because every probability array round-trips bit-exactly, a
 loaded index returns **byte-identical** query results to the one that was
 saved.
 
-The manifest is versioned (:data:`FORMAT_VERSION`); loading an archive
+Two archive versions exist (:data:`FORMAT_VERSION` is the current one):
+
+* **Version 1** (legacy) — ``np.savez_compressed`` archives holding only
+  the value arrays.  The RMQ structures, pure functions of their value
+  arrays, are *rebuilt* on load (O(n log n) per structure) — cheap enough
+  for one process, the dominant cold-start cost for a serving fleet.
+* **Version 2** (current) — additionally stores the serialized RMQ
+  payloads (:func:`repro.suffix.rmq.serialize_rmq`: sparse tables, block
+  positions, summary tables), making cold start O(1) array restores, and
+  defaults to an **uncompressed** zip so the archive can be served
+  **memory-mapped**: ``load_index_payload(path, mmap=True)`` maps every
+  stored ``.npy`` member read-only straight out of the archive file —
+  zero copies, and any number of worker processes opening the same
+  archive share one set of physical pages through the OS page cache
+  (the space-conscious serving mode of Gabory et al., arXiv:2403.14256).
+
+Version 1 archives keep loading (the loaders fall back to rebuilding any
+RMQ whose payload is absent), and ``mmap=True`` degrades gracefully on
+compressed members (they are decompressed eagerly).  Loading an archive
 with an unknown format or newer version fails loudly instead of
 misinterpreting bytes.
 """
@@ -28,6 +43,7 @@ misinterpreting bytes.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -45,12 +61,16 @@ from ..strings.correlation import CorrelationModel, CorrelationRule
 from ..strings.special import SpecialUncertainString
 from ..strings.uncertain import UncertainString
 from ..suffix.lcp import build_lcp_array
-from ..suffix.rmq import make_rmq
+from ..suffix.rmq import RMQ_PAYLOAD_VERSION, deserialize_rmq, make_rmq, serialize_rmq
 from ..suffix.suffix_array import SuffixArray
 from ..suffix.suffix_tree import SuffixTree
 
 FORMAT_NAME = "repro-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`save_index_payload` can still *write* (v1 for
+#: compatibility testing and old-fleet rollouts, v2 the serving format).
+WRITABLE_VERSIONS = (1, 2)
 
 #: Reserved archive key holding the JSON manifest (UTF-8 bytes).
 MANIFEST_KEY = "__manifest__"
@@ -208,15 +228,62 @@ def _transformed_from_payload(
 
 
 # ---------------------------------------------------------------------------
+# RMQ payloads (version 2 archives; absent keys mean "rebuild on load")
+# ---------------------------------------------------------------------------
+def _save_rmq(arrays: Dict[str, np.ndarray], prefix: str, rmq: Any) -> None:
+    """Store one RMQ's serialized payload under ``prefix``-ed archive keys."""
+    for name, payload in serialize_rmq(rmq).items():
+        arrays[f"{prefix}{name}"] = payload
+
+
+def _save_rmq_map(
+    arrays: Dict[str, np.ndarray], prefix: str, rmq_map: Dict[int, Any]
+) -> None:
+    """Store a per-length RMQ dict (keys ``{prefix}{length}_{name}``)."""
+    for length, rmq in rmq_map.items():
+        _save_rmq(arrays, f"{prefix}{length}_", rmq)
+
+
+def _restore_rmq(
+    values: np.ndarray,
+    arrays: Dict[str, np.ndarray],
+    prefix: str,
+    *,
+    implementation: str = "sparse",
+):
+    """Restore (v2) or rebuild (v1) the RMQ stored under ``prefix``.
+
+    When the archive carries the serialized payload the structure is
+    restored without preprocessing; otherwise — a version-1 archive — it
+    is rebuilt from the value array exactly as the original loader did.
+    """
+    payload = {
+        key[len(prefix):]: value
+        for key, value in arrays.items()
+        if key.startswith(prefix)
+    }
+    if payload:
+        return deserialize_rmq(values, payload, mode="max")
+    return make_rmq(values, mode="max", implementation=implementation)
+
+
+# ---------------------------------------------------------------------------
 # Per-kind save / load
 # ---------------------------------------------------------------------------
-def _save_special(index: SpecialUncertainStringIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+def _save_special(
+    index: SpecialUncertainStringIndex,
+    arrays: Dict[str, np.ndarray],
+    include_rmq: bool = True,
+) -> Dict[str, Any]:
     arrays["suffix_array"] = index._suffix_array.array
     arrays["prefix"] = index._prefix
     for length, values in index._short_values.items():
         arrays[f"short_values_{length}"] = values
     for length, maxima in index._block_maxima.items():
         arrays[f"block_maxima_{length}"] = maxima
+    if include_rmq:
+        _save_rmq_map(arrays, "rmq_short_", index._short_rmq)
+        _save_rmq_map(arrays, "rmq_block_", index._block_rmq)
     return {
         "string": _special_to_manifest(index._string),
         "correlations": _rules_to_manifest(index._correlations),
@@ -242,20 +309,28 @@ def _load_special(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Spec
         int(length): arrays[f"short_values_{length}"] for length in config["short_lengths"]
     }
     index._short_rmq = {
-        length: make_rmq(values, mode="max", implementation=implementation)
+        length: _restore_rmq(
+            values, arrays, f"rmq_short_{length}_", implementation=implementation
+        )
         for length, values in index._short_values.items()
     }
     index._block_maxima = {
         int(length): arrays[f"block_maxima_{length}"] for length in config["block_lengths"]
     }
     index._block_rmq = {
-        length: make_rmq(maxima, mode="max", implementation=implementation)
+        length: _restore_rmq(
+            maxima, arrays, f"rmq_block_{length}_", implementation=implementation
+        )
         for length, maxima in index._block_maxima.items()
     }
     return index
 
 
-def _save_simple(index: SimpleSpecialIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+def _save_simple(
+    index: SimpleSpecialIndex,
+    arrays: Dict[str, np.ndarray],
+    include_rmq: bool = True,
+) -> Dict[str, Any]:
     arrays["suffix_array"] = index._suffix_array.array
     arrays["prefix"] = index._prefix
     return {
@@ -273,7 +348,11 @@ def _load_simple(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Simpl
     return index
 
 
-def _save_general(index: GeneralUncertainStringIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+def _save_general(
+    index: GeneralUncertainStringIndex,
+    arrays: Dict[str, np.ndarray],
+    include_rmq: bool = True,
+) -> Dict[str, Any]:
     arrays["suffix_array"] = index._suffix_array.array
     arrays["lcp"] = index._lcp
     arrays["prefix"] = index._prefix
@@ -284,6 +363,9 @@ def _save_general(index: GeneralUncertainStringIndex, arrays: Dict[str, np.ndarr
         arrays[f"block_values_{length}"] = values
     for length, maxima in index._block_maxima.items():
         arrays[f"block_maxima_{length}"] = maxima
+    if include_rmq:
+        _save_rmq_map(arrays, "rmq_short_", index._short_rmq)
+        _save_rmq_map(arrays, "rmq_block_", index._block_rmq)
     return {
         "string": _uncertain_to_manifest(index._string),
         "tau_min": index._tau_min,
@@ -318,7 +400,9 @@ def _load_general(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Gene
         int(length): arrays[f"short_values_{length}"] for length in config["short_lengths"]
     }
     index._short_rmq = {
-        length: make_rmq(values, mode="max", implementation=implementation)
+        length: _restore_rmq(
+            values, arrays, f"rmq_short_{length}_", implementation=implementation
+        )
         for length, values in index._short_values.items()
     }
     index._block_values = {
@@ -328,13 +412,19 @@ def _load_general(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Gene
         int(length): arrays[f"block_maxima_{length}"] for length in config["block_lengths"]
     }
     index._block_rmq = {
-        length: make_rmq(maxima, mode="max", implementation=implementation)
+        length: _restore_rmq(
+            maxima, arrays, f"rmq_block_{length}_", implementation=implementation
+        )
         for length, maxima in index._block_maxima.items()
     }
     return index
 
 
-def _save_listing(index: UncertainStringListingIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+def _save_listing(
+    index: UncertainStringListingIndex,
+    arrays: Dict[str, np.ndarray],
+    include_rmq: bool = True,
+) -> Dict[str, Any]:
     arrays["suffix_array"] = index._suffix_array.array
     arrays["lcp"] = index._lcp
     arrays["prefix"] = index._prefix
@@ -342,6 +432,8 @@ def _save_listing(index: UncertainStringListingIndex, arrays: Dict[str, np.ndarr
     arrays["rank_documents"] = index._rank_documents
     for length, values in index._relevance.items():
         arrays[f"relevance_{length}"] = values
+    if include_rmq:
+        _save_rmq_map(arrays, "rmq_relevance_", index._relevance_rmq)
     return {
         "collection": _collection_to_manifest(index._collection),
         "tau_min": index._tau_min,
@@ -379,13 +471,19 @@ def _load_listing(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Unce
         for length in config["relevance_lengths"]
     }
     index._relevance_rmq = {
-        length: make_rmq(values, mode="max", implementation=implementation)
+        length: _restore_rmq(
+            values, arrays, f"rmq_relevance_{length}_", implementation=implementation
+        )
         for length, values in index._relevance.items()
     }
     return index
 
 
-def _save_approximate(index: ApproximateSubstringIndex, arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+def _save_approximate(
+    index: ApproximateSubstringIndex,
+    arrays: Dict[str, np.ndarray],
+    include_rmq: bool = True,
+) -> Dict[str, Any]:
     arrays["suffix_array"] = index._suffix_array.array
     arrays["lcp"] = index._tree.lcp
     arrays["prefix"] = index._prefix
@@ -408,6 +506,8 @@ def _save_approximate(index: ApproximateSubstringIndex, arrays: Dict[str, np.nda
     arrays["link_probability"] = np.asarray(
         [link.probability for link in index._links], dtype=np.float64
     )
+    if include_rmq and index._link_rmq is not None:
+        _save_rmq(arrays, "rmq_links_", index._link_rmq)
     return {
         "string": _uncertain_to_manifest(index._string),
         "tau_min": index._tau_min,
@@ -445,7 +545,7 @@ def _load_approximate(config: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> 
     index._link_origin_left = arrays["link_origin_left"]
     index._link_probabilities = arrays["link_probability"]
     if len(index._links) > 0:
-        index._link_rmq = make_rmq(index._link_probabilities, mode="max")
+        index._link_rmq = _restore_rmq(index._link_probabilities, arrays, "rmq_links_")
     else:
         index._link_rmq = None
     return index
@@ -471,8 +571,27 @@ _LOADERS = {
 # ---------------------------------------------------------------------------
 # Archive assembly
 # ---------------------------------------------------------------------------
-def save_index_payload(index: Any, plan: Optional[Any], path: Union[str, Path]) -> Path:
-    """Write ``index`` (and optionally its plan) to a versioned ``.npz`` archive."""
+def save_index_payload(
+    index: Any,
+    plan: Optional[Any],
+    path: Union[str, Path],
+    *,
+    version: int = FORMAT_VERSION,
+    compress: Optional[bool] = None,
+) -> Path:
+    """Write ``index`` (and optionally its plan) to a versioned ``.npz`` archive.
+
+    ``version`` selects the archive format: ``2`` (default) stores the
+    serialized RMQ payloads and writes an **uncompressed** zip so the
+    archive is memory-mappable; ``1`` reproduces the legacy compressed
+    layout (RMQ rebuilt on load) for compatibility testing.  ``compress``
+    overrides the per-version default (compressed v2 archives remain valid
+    — ``mmap=True`` just degrades to eager decompression for them).
+    """
+    if version not in WRITABLE_VERSIONS:
+        raise ValidationError(
+            f"cannot write archive version {version}; supported: {WRITABLE_VERSIONS}"
+        )
     kind = _KIND_BY_CLASS.get(type(index))
     if kind is None:
         raise ValidationError(
@@ -480,16 +599,18 @@ def save_index_payload(index: Any, plan: Optional[Any], path: Union[str, Path]) 
             f"classes: {sorted(cls.__name__ for cls in _KIND_BY_CLASS)}"
         )
     arrays: Dict[str, np.ndarray] = {}
-    config = _SAVERS[kind](index, arrays)
+    config = _SAVERS[kind](index, arrays, include_rmq=version >= 2)
     if MANIFEST_KEY in arrays:
         raise ValidationError(f"{MANIFEST_KEY} is a reserved archive key")
 
     manifest: Dict[str, Any] = {
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": version,
         "kind": kind,
         "config": config,
     }
+    if version >= 2:
+        manifest["rmq_payload_version"] = RMQ_PAYLOAD_VERSION
     if plan is not None:
         manifest["plan"] = {
             "kind": plan.kind,
@@ -500,10 +621,13 @@ def save_index_payload(index: Any, plan: Optional[Any], path: Union[str, Path]) 
     payload = json.dumps(manifest, sort_keys=True).encode("utf-8")
     arrays[MANIFEST_KEY] = np.frombuffer(payload, dtype=np.uint8)
 
+    if compress is None:
+        compress = version < 2
+    writer = np.savez_compressed if compress else np.savez
     path = normalize_archive_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
+        writer(handle, **arrays)
     return path
 
 
@@ -521,7 +645,86 @@ def _extract_manifest(archive: Any, path: Path) -> Dict[str, Any]:
             f"{path} was written by a newer format version "
             f"({manifest.get('version')} > {FORMAT_VERSION}); upgrade the package"
         )
+    if int(manifest.get("rmq_payload_version", RMQ_PAYLOAD_VERSION)) > RMQ_PAYLOAD_VERSION:
+        raise ValidationError(
+            f"{path} carries a newer RMQ payload version "
+            f"({manifest.get('rmq_payload_version')} > {RMQ_PAYLOAD_VERSION}); "
+            "upgrade the package"
+        )
     return manifest
+
+
+# ---------------------------------------------------------------------------
+# Memory-mapped archive reading (zero-copy serving)
+# ---------------------------------------------------------------------------
+def _mmap_member(path: Path, info: zipfile.ZipInfo) -> np.ndarray:
+    """Map one *stored* ``.npy`` zip member read-only, without copying.
+
+    A ``ZIP_STORED`` member's bytes sit verbatim inside the archive file:
+    skip the member's local zip header, parse the ``.npy`` header, and
+    hand the remaining byte range to :class:`numpy.memmap`.  The pages
+    backing the returned array live in the OS page cache and are shared by
+    every process that maps the same archive.
+    """
+    with path.open("rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            raise ValidationError(
+                f"{path} has a corrupt local header for member {info.filename!r}"
+            )
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_length + extra_length)
+        npy_version = np.lib.format.read_magic(handle)
+        if npy_version == (1, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif npy_version == (2, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValidationError(
+                f"{path} member {info.filename!r} uses unsupported npy "
+                f"format version {npy_version}"
+            )
+        if dtype.hasobject:
+            raise ValidationError(
+                f"{path} member {info.filename!r} contains Python objects; "
+                "refusing to load"
+            )
+        data_offset = handle.tell()
+    if int(np.prod(shape)) == 0:
+        # mmap cannot map zero bytes; an empty array has nothing to share.
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran_order else "C",
+    )
+
+
+def _mmap_archive_arrays(path: Path) -> Dict[str, np.ndarray]:
+    """Open every array of an ``.npz`` archive, memory-mapping stored members.
+
+    Stored (uncompressed) members — the version-2 default — come back as
+    read-only :class:`numpy.memmap` views into the archive file; compressed
+    members (legacy version-1 archives, or v2 saved with ``compress=True``)
+    are decompressed eagerly, so the call succeeds on any valid archive.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            key = info.filename[: -len(".npy")]
+            if info.compress_type == zipfile.ZIP_STORED:
+                arrays[key] = _mmap_member(path, info)
+            else:
+                with archive.open(info) as member:
+                    arrays[key] = np.lib.format.read_array(member, allow_pickle=False)
+    return arrays
 
 
 def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
@@ -545,6 +748,8 @@ def save_sharded_payload(
     spec: Any,
     plan: Any,
     path: Union[str, Path],
+    *,
+    version: int = FORMAT_VERSION,
 ) -> Path:
     """Write a sharded engine to a directory of shard archives + manifest.
 
@@ -570,11 +775,12 @@ def save_sharded_payload(
     shard_files = []
     for ordinal, engine in enumerate(shard_engines):
         name = f"shard-{ordinal:04d}.npz"
-        save_index_payload(engine.index, engine.plan, path / name)
+        save_index_payload(engine.index, engine.plan, path / name, version=version)
         shard_files.append(name)
     manifest = {
         "format": SHARDED_FORMAT_NAME,
         "version": SHARDED_FORMAT_VERSION,
+        "archive_version": version,
         "kind": plan.kind,
         "spec": {
             "mode": spec.mode,
@@ -619,13 +825,26 @@ def read_sharded_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     return manifest
 
 
-def load_sharded_payload(path: Union[str, Path]) -> Tuple[List[Tuple[Any, Any]], Any, Any]:
-    """Restore a sharded archive: ``([(index, plan), ...], spec, plan)``."""
+def load_sharded_payload(
+    path: Union[str, Path], *, mmap: bool = False
+) -> Tuple[List[Tuple[Any, Any]], Any, Any, List[Path]]:
+    """Restore a sharded archive: ``([(index, plan), ...], spec, plan, shard_paths)``.
+
+    ``shard_paths`` lists each shard's archive file in shard order — the
+    engine hands them to ``query_executor="process"`` workers so each
+    worker re-opens its own shard instead of receiving a pickled index.
+    ``mmap=True`` opens every shard archive memory-mapped (see
+    :func:`load_index_payload`) — the mode those workers use so every
+    process's view of a shard shares the same physical pages.
+    """
     from .planner import IndexPlan, ShardSpec
 
     path = Path(path)
     manifest = read_sharded_manifest(path)
-    payloads = [load_index_payload(path / name) for name in manifest["shards"]]
+    shard_paths = [path / name for name in manifest["shards"]]
+    payloads = [
+        load_index_payload(shard_path, mmap=mmap) for shard_path in shard_paths
+    ]
     saved_spec = manifest["spec"]
     spec = ShardSpec(
         mode=saved_spec["mode"],
@@ -647,11 +866,21 @@ def load_sharded_payload(path: Union[str, Path]) -> Tuple[List[Tuple[Any, Any]],
         options={},
         profile=dict(saved_plan.get("profile", {})),
     )
-    return payloads, spec, plan
+    return payloads, spec, plan, shard_paths
 
 
-def load_index_payload(path: Union[str, Path]) -> Tuple[Any, Any]:
+def load_index_payload(
+    path: Union[str, Path], *, mmap: bool = False
+) -> Tuple[Any, Any]:
     """Restore a saved index; returns ``(index, plan)``.
+
+    With ``mmap=True`` the heavy arrays are opened as read-only memory
+    maps into the archive file instead of copied onto the heap: cold start
+    does no array materialization at all (version-2 archives additionally
+    skip the RMQ rebuild via their serialized payloads), and concurrent
+    worker processes mapping the same archive share one physical copy of
+    the data through the OS page cache.  Compressed members degrade to an
+    eager load, so the flag is safe on any valid archive.
 
     The plan is rebuilt from the manifest (kind, reason, profile) so a
     loaded engine still explains itself; the reason notes the archive it
@@ -660,20 +889,29 @@ def load_index_payload(path: Union[str, Path]) -> Tuple[Any, Any]:
     from .planner import IndexPlan
 
     path = normalize_archive_path(path)
-    # One pass over the compressed archive: manifest and arrays together.
-    with np.load(path, allow_pickle=False) as archive:
-        manifest = _extract_manifest(archive, path)
-        kind = manifest["kind"]
-        if kind not in _LOADERS:
-            raise ValidationError(f"{path} holds unknown index kind {kind!r}")
-        arrays = {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
+    if mmap:
+        try:
+            arrays = _mmap_archive_arrays(path)
+        except zipfile.BadZipFile as error:
+            raise ValidationError(f"{path} is not a repro index archive: {error}")
+        manifest = _extract_manifest(arrays, path)
+        arrays.pop(MANIFEST_KEY, None)
+    else:
+        # One pass over the archive: manifest and arrays together.
+        with np.load(path, allow_pickle=False) as archive:
+            manifest = _extract_manifest(archive, path)
+            arrays = {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
+    kind = manifest["kind"]
+    if kind not in _LOADERS:
+        raise ValidationError(f"{path} holds unknown index kind {kind!r}")
     index = _LOADERS[kind](manifest["config"], arrays)
 
     saved_plan = manifest.get("plan") or {}
+    source_note = f" [loaded from {path.name}, mmap]" if mmap else f" [loaded from {path.name}]"
     plan = IndexPlan(
         kind=kind,
         tau_min=float(saved_plan.get("tau_min", getattr(index, "tau_min", 0.0))),
-        reason=saved_plan.get("reason", "") + f" [loaded from {path.name}]",
+        reason=saved_plan.get("reason", "") + source_note,
         options={},
         profile=dict(saved_plan.get("profile", {})),
     )

@@ -254,6 +254,41 @@ def _estimate_approximate_bytes(n: int, tau_min: float) -> int:
     return int(64 * m)
 
 
+def _estimate_listing_bytes(n: int, tau_min: float) -> int:
+    """The listing index is a general-style index over the concatenation,
+    plus the per-rank document array."""
+    return _estimate_general_bytes(n, tau_min) + 8 * int(n * _expansion_factor(tau_min))
+
+
+def record_build_observation(plan: IndexPlan, observed_bytes: int) -> None:
+    """Record the *measured* size of a freshly built index into its plan.
+
+    The planner's ``_estimate_*`` formulas are deliberately coarse; this
+    feedback hook makes their accuracy observable so space-budget routing
+    can be audited (and, eventually, calibrated).  Writes
+    ``observed_bytes`` into ``plan.profile`` and, when the plan carried an
+    ``estimated_bytes`` prediction, an ``estimate_error`` record —
+    surfaced by ``Engine.describe()["plan"]["estimate_error"]``:
+
+    * ``estimated_bytes`` / ``observed_bytes`` — the two sides,
+    * ``ratio`` — ``observed / estimated`` (1.0 means a perfect estimate),
+    * ``log2_error`` — signed doubling error, the natural scale for a
+      formula that only tries to be right within a small power of two.
+    """
+    profile = plan.profile
+    observed = int(observed_bytes)
+    profile["observed_bytes"] = observed
+    estimated = profile.get("estimated_bytes")
+    if estimated and estimated > 0 and observed > 0:
+        ratio = observed / float(estimated)
+        profile["estimate_error"] = {
+            "estimated_bytes": int(estimated),
+            "observed_bytes": observed,
+            "ratio": ratio,
+            "log2_error": math.log2(ratio),
+        }
+
+
 def plan_index(
     data: IndexInput,
     *,
@@ -311,6 +346,9 @@ def plan_index(
             )
         plan_options = dict(options)
         plan_options["metric"] = metric
+        profile = dict(
+            profile, estimated_bytes=_estimate_listing_bytes(n, effective_tau_min)
+        )
         return IndexPlan(
             kind="listing",
             tau_min=effective_tau_min,

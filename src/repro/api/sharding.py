@@ -55,11 +55,21 @@ from itertools import islice
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.base import ListingMatch, Occurrence, translate_match
+from ..core.base import (
+    ListingMatch,
+    Occurrence,
+    matches_from_arrays,
+    translate_match,
+)
 from ..exceptions import PatternTooLongError, ValidationError
 from .cache import DEFAULT_CACHE_SIZE, ResultCache
 from .engine import Engine, QueryEngine, build_index
-from .persistence import load_sharded_payload, save_sharded_payload
+from .persistence import (
+    FORMAT_VERSION,
+    load_sharded_payload,
+    save_sharded_payload,
+)
+from .workers import initialize_worker, query_worker
 from .planner import (
     DEFAULT_MAX_PATTERN_LEN,
     IndexInput,
@@ -67,6 +77,7 @@ from .planner import (
     ShardSpec,
     normalize_input,
     plan_index,
+    record_build_observation,
     shard_input,
 )
 from .requests import Match, SearchRequest
@@ -110,7 +121,9 @@ class ShardedEngine(QueryEngine):
         plan: IndexPlan,
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_ttl_seconds: Optional[float] = None,
         max_workers: Optional[int] = None,
+        query_executor: str = "thread",
     ):
         if len(engines) != spec.shard_count:
             raise ValidationError(
@@ -119,13 +132,27 @@ class ShardedEngine(QueryEngine):
             )
         if spec.mode not in ("documents", "chunks"):
             raise ValidationError(f"unknown shard mode {spec.mode!r}")
+        if query_executor not in ("thread", "process"):
+            raise ValidationError(
+                f"unknown query_executor {query_executor!r}; "
+                "expected 'thread' or 'process'"
+            )
         self._engines = list(engines)
         self._spec = spec
         self._plan = plan
-        self._cache = ResultCache(cache_size)
+        self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl_seconds)
         self._max_workers = max_workers
+        self._query_executor = query_executor
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
+        # Per-shard persistent worker processes (query_executor="process"),
+        # created lazily on the first query.  Shards restored from disk
+        # record their archive paths (+ the mmap flag) here so workers
+        # re-open — and, with mmap, page-cache-share — the archives instead
+        # of receiving pickled indexes.
+        self._process_pools: Optional[List[ProcessPoolExecutor]] = None
+        self._shard_sources: Optional[List[str]] = None
+        self._shard_mmap = False
 
     # -- introspection -----------------------------------------------------------------
     @property
@@ -173,17 +200,24 @@ class ShardedEngine(QueryEngine):
         """The ensemble-level LRU result cache."""
         return self._cache
 
+    @property
+    def query_executor(self) -> str:
+        """How per-shard evaluation fans out: ``"thread"`` or ``"process"``."""
+        return self._query_executor
+
     def describe(self) -> dict:
         """Summary: kind, sharding layout, cache counters, space, shards."""
         return {
             "kind": self.kind,
             "reason": self._plan.reason,
             "tau_min": self.tau_min,
+            "plan": {"estimate_error": self._plan.profile.get("estimate_error")},
             "sharding": {
                 "mode": self._spec.mode,
                 "shard_count": self._spec.shard_count,
                 "overlap": self._spec.overlap,
                 "max_pattern_len": self._spec.max_pattern_len,
+                "query_executor": self._query_executor,
             },
             "cache": self._cache.stats(),
             "space_report": self.space_report(),
@@ -208,7 +242,7 @@ class ShardedEngine(QueryEngine):
             f"mode={self._spec.mode!r}, nbytes={self.nbytes()})"
         )
 
-    # -- thread-pool fan-out -----------------------------------------------------------
+    # -- fan-out (threads or worker processes) -----------------------------------------
     def _map_shards(self, function: Callable[[int], Any]) -> List[Any]:
         """Run ``function(shard)`` for every shard, in parallel when > 1."""
         if len(self._engines) == 1:
@@ -222,12 +256,65 @@ class ShardedEngine(QueryEngine):
             executor = self._executor
         return list(executor.map(function, range(len(self._engines))))
 
+    def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
+        """Lazily start one persistent single-worker pool per shard.
+
+        Each pool's worker process is initialized exactly once with its
+        shard (archive path + mmap flag when the engine was loaded from
+        disk, the pickled index otherwise) and then owns that shard for the
+        engine's lifetime — queries only ship ``(pattern, tau, top_k)``
+        tuples out and ndarray payloads back.
+        """
+        with self._executor_lock:
+            if self._process_pools is None:
+                pools: List[ProcessPoolExecutor] = []
+                for shard, engine in enumerate(self._engines):
+                    if self._shard_sources is not None:
+                        spec = ("archive", self._shard_sources[shard], self._shard_mmap)
+                    else:
+                        spec = ("index", engine.index)
+                    pools.append(
+                        ProcessPoolExecutor(
+                            max_workers=1,
+                            initializer=initialize_worker,
+                            initargs=(spec,),
+                        )
+                    )
+                self._process_pools = pools
+            return self._process_pools
+
+    def _shard_answers(self, request: SearchRequest) -> List[List[Match]]:
+        """Evaluate ``request`` on every shard; answers in global coordinates.
+
+        Thread mode runs each shard engine on the shared thread pool
+        (translating inside the pool); process mode ships the request to
+        the persistent shard workers, which answer with array payloads the
+        parent rewraps into matches at this merge boundary.
+        """
+        if self._query_executor == "process":
+            pools = self._ensure_process_pools()
+            arguments = (request.pattern, request.tau, request.top_k)
+            futures = [pool.submit(query_worker, arguments) for pool in pools]
+            return [
+                self._translate(shard, matches_from_arrays(*future.result()))
+                for shard, future in enumerate(futures)
+            ]
+        return self._map_shards(
+            lambda shard: self._translate(
+                shard, self._engines[shard]._evaluate(request)
+            )
+        )
+
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent; queries recreate it)."""
+        """Shut down the fan-out executors (idempotent; queries recreate them)."""
         with self._executor_lock:
             executor, self._executor = self._executor, None
+            pools, self._process_pools = self._process_pools, None
         if executor is not None:
             executor.shutdown(wait=True)
+        if pools is not None:
+            for pool in pools:
+                pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -271,11 +358,7 @@ class ShardedEngine(QueryEngine):
         if request.top_k is not None:
             return self._evaluate_top_k(request)
 
-        per_shard = self._map_shards(
-            lambda shard: self._translate(
-                shard, self._engines[shard]._evaluate(request)
-            )
-        )
+        per_shard = self._shard_answers(request)
         # Each shard reports in position (document) order over disjoint
         # owned ranges; a lazy heap-merge restores the global order.
         return list(heapq.merge(*per_shard, key=_reporting_key))
@@ -289,11 +372,7 @@ class ShardedEngine(QueryEngine):
             self._spec.overlap if self._spec.mode == "chunks" else 0
         )
         shard_request = SearchRequest(request.pattern, tau=request.tau, top_k=fetch)
-        per_shard = self._map_shards(
-            lambda shard: self._translate(
-                shard, self._engines[shard]._evaluate(shard_request)
-            )
-        )
+        per_shard = self._shard_answers(shard_request)
         # Per-shard lists arrive sorted by (-value, position); merging the
         # per-shard heaps and keeping the first k reproduces the unsharded
         # deterministic tie-break.
@@ -309,9 +388,13 @@ class ShardedEngine(QueryEngine):
         )
 
     # -- persistence -------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(
+        self, path: Union[str, Path], *, version: int = FORMAT_VERSION
+    ) -> Path:
         """Serialize the ensemble to a directory of shard archives + manifest."""
-        return save_sharded_payload(self._engines, self._spec, self._plan, path)
+        return save_sharded_payload(
+            self._engines, self._spec, self._plan, path, version=version
+        )
 
     @classmethod
     def load(
@@ -319,16 +402,38 @@ class ShardedEngine(QueryEngine):
         path: Union[str, Path],
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_ttl_seconds: Optional[float] = None,
         max_workers: Optional[int] = None,
+        mmap: bool = False,
+        query_executor: str = "thread",
     ) -> "ShardedEngine":
-        """Restore an ensemble saved with :meth:`save`."""
-        payloads, spec, plan = load_sharded_payload(path)
+        """Restore an ensemble saved with :meth:`save`.
+
+        ``mmap=True`` opens every shard archive memory-mapped; with
+        ``query_executor="process"`` the per-shard worker processes map the
+        same archives themselves, so however many workers serve the index,
+        the heavy arrays exist once in physical memory.  Prefer the two
+        flags *together*: in process mode the parent's shard copies only
+        back introspection (``nbytes`` / ``describe``) and the thread
+        fallback, so loading them eagerly onto the heap (``mmap=False``)
+        holds the index roughly twice.
+        """
+        payloads, spec, plan, shard_paths = load_sharded_payload(path, mmap=mmap)
         engines = [
             Engine(index, shard_plan, cache_size=0) for index, shard_plan in payloads
         ]
-        return cls(
-            engines, spec, plan, cache_size=cache_size, max_workers=max_workers
+        engine = cls(
+            engines,
+            spec,
+            plan,
+            cache_size=cache_size,
+            cache_ttl_seconds=cache_ttl_seconds,
+            max_workers=max_workers,
+            query_executor=query_executor,
         )
+        engine._shard_sources = [str(shard_path) for shard_path in shard_paths]
+        engine._shard_mmap = mmap
+        return engine
 
 
 def _build_shard_payload(
@@ -355,8 +460,10 @@ def build_sharded_index(
     kind: str = "auto",
     max_pattern_len: int = DEFAULT_MAX_PATTERN_LEN,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    cache_ttl_seconds: Optional[float] = None,
     max_workers: Optional[int] = None,
     workers: Optional[int] = None,
+    query_executor: str = "thread",
     space_budget_bytes: Optional[int] = None,
     epsilon: Optional[float] = None,
     metric: str = "max",
@@ -383,6 +490,13 @@ def build_sharded_index(
     path, so the resulting ensemble answers queries byte-identically to a
     ``workers=1`` build.  ``max_workers`` (the *query* fan-out thread
     count) is unchanged and independent.
+
+    ``query_executor`` selects the *query* fan-out: ``"thread"`` (default)
+    shares one thread pool, ``"process"`` starts one persistent worker
+    process per shard — each initialized once with its shard and answering
+    via ndarray payloads — buying real parallelism for the GIL-bound
+    Python portions of the query path at the cost of per-request IPC.
+    Both modes answer byte-identically.
 
     Examples
     --------
@@ -426,10 +540,15 @@ def build_sharded_index(
         engines = [
             build_index(part, cache_size=0, **build_kwargs) for part in parts
         ]
+    # Planner feedback on the ensemble plan: measured total vs the full-input
+    # estimate (chunk overlap makes the sharded total slightly larger).
+    record_build_observation(plan, sum(engine.nbytes() for engine in engines))
     return ShardedEngine(
         engines,
         spec,
         plan,
         cache_size=cache_size,
+        cache_ttl_seconds=cache_ttl_seconds,
         max_workers=max_workers,
+        query_executor=query_executor,
     )

@@ -1,0 +1,82 @@
+"""Shard query workers: the process side of ``query_executor="process"``.
+
+The thread-pool fan-out of :class:`~repro.api.sharding.ShardedEngine` is
+GIL-serialized for the pure-Python portions of the query path; true
+parallel speedup needs shard workers in separate *processes*.  This module
+is everything that runs inside those workers — it is module-level (not
+closures or methods) because :class:`concurrent.futures.ProcessPoolExecutor`
+must pickle the callables it ships.
+
+Design:
+
+* **One persistent process per shard.**  Each worker process is
+  initialized once with its shard's index (:func:`initialize_worker`) and
+  then answers any number of queries against it — no per-query index
+  transfer, no per-query process spawn.
+* **Two initialization sources.**  A shard loaded from disk ships only its
+  archive *path* (plus the mmap flag): the worker re-opens the archive
+  itself, and with ``mmap=True`` every worker's view of the shard shares
+  one set of physical pages through the OS page cache.  A shard built in
+  memory ships the pickled index object instead (engines themselves hold a
+  ``threading.Lock`` inside their cache and cannot cross the boundary —
+  the same reason the parallel *construction* path ships raw payloads).
+* **Array answers.**  A query's matches cross back as
+  ``(kind, ids, values)`` ndarray payloads
+  (:func:`repro.core.base.matches_to_arrays`) instead of one pickled
+  dataclass per match; the parent rebuilds the objects at the merge
+  boundary, byte-identically (int64 / float64 round-trip exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.base import matches_to_arrays, resolve_tau
+
+#: Worker-initialization spec: ``("archive", path, mmap)`` for shards that
+#: live on disk, ``("index", index_object)`` for in-memory shards.
+WorkerSpec = Union[Tuple[str, str, bool], Tuple[str, Any]]
+
+#: The shard index owned by *this* worker process (set by the pool
+#: initializer; ``None`` in the parent and in uninitialized workers).
+_WORKER_INDEX: Any = None
+
+
+def initialize_worker(spec: WorkerSpec) -> None:
+    """Process-pool initializer: materialize this worker's shard index."""
+    global _WORKER_INDEX
+    if spec[0] == "archive":
+        from .persistence import load_index_payload
+
+        _, path, mmap = spec
+        _WORKER_INDEX, _ = load_index_payload(path, mmap=mmap)
+    elif spec[0] == "index":
+        _WORKER_INDEX = spec[1]
+    else:
+        raise ValueError(f"unknown worker spec {spec[0]!r}")
+
+
+def query_worker(
+    arguments: Tuple[str, Optional[float], Optional[int]],
+) -> Tuple[str, np.ndarray, np.ndarray]:
+    """Answer one ``(pattern, tau, top_k)`` query against this worker's shard.
+
+    Mirrors ``Engine._evaluate`` exactly — ``top_k`` routes to the index's
+    heap extraction, plain requests resolve ``tau=None`` through the
+    shard's own ``tau_min`` — so a process-mode sharded engine answers
+    byte-identically to thread mode.  Exceptions (e.g. a ``ThresholdError``
+    for a ``tau`` below ``tau_min``) pickle through the future and
+    propagate in the parent, matching the thread-mode behaviour.
+    """
+    if _WORKER_INDEX is None:
+        raise RuntimeError("shard worker used before initialization")
+    pattern, tau, top_k = arguments
+    if top_k is not None:
+        matches = _WORKER_INDEX.top_k(pattern, top_k, tau=tau)
+    else:
+        matches = _WORKER_INDEX.query(
+            pattern, resolve_tau(tau, float(_WORKER_INDEX.tau_min))
+        )
+    return matches_to_arrays(matches)

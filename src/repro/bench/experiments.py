@@ -842,6 +842,104 @@ def shard_build(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     return table
 
 
+def serving_throughput(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """Coalesced async serving vs naive sequential, plus cold-start timings.
+
+    Two serving questions per collection size, four series:
+
+    * **QPS** — the same repeated-pattern request stream (every pattern
+      asked at every threshold of the τ grid, replayed by 8 simulated
+      users) answered (a) naively, one blocking ``engine.search`` per
+      request, and (b) through :class:`~repro.serving.AsyncSearchService`,
+      which coalesces the concurrent submissions into micro-batched
+      ``search_many`` calls — deduplication and same-pattern threshold
+      refinement amortize across the simulated users.  Result caching is
+      disabled on both sides, so the gap measures *coalescing*, not cache
+      hits.
+    * **Cold start** — the same engine saved as a legacy version-1 archive
+      (compressed, RMQ rebuilt on load) and as a version-2 archive
+      (serialized RMQ payloads, loaded with ``mmap=True``): time for
+      ``load_index`` to return a servable engine.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from ..api.engine import Engine, load_index
+    from ..api.requests import SearchRequest
+    from ..serving import AsyncSearchService
+
+    users = 8
+    table = FigureTable(
+        figure_id="serving-throughput",
+        title="AsyncSearchService: coalesced vs naive QPS, and cold-start time",
+        x_label="collection positions",
+        y_label="see series label",
+        notes=(
+            f"listing engine, theta={scale.thetas[-1]}, tau_min={scale.tau_min}, "
+            f"each pattern at taus {scale.tau_grid}, {users} simulated users, "
+            "caches disabled; cold start averaged over 2 loads"
+        ),
+    )
+    theta = scale.thetas[-1]
+    naive_series = Series("naive sequential (req/s)")
+    coalesced_series = Series("coalesced service (req/s)")
+    cold_v1_series = Series("cold start v1 rebuild (ms)")
+    cold_v2_series = Series("cold start v2 mmap (ms)")
+    for n in scale.collection_sizes:
+        work = listing_workload(
+            n,
+            theta,
+            tau_min=scale.tau_min,
+            query_lengths=scale.listing_query_lengths,
+            patterns_per_length=scale.patterns_per_length,
+        )
+        engine = Engine(work.engine.index, work.engine.plan, cache_size=0)
+        patterns = work.patterns[: min(4, len(work.patterns))]
+        requests = [
+            SearchRequest(pattern, tau=tau)
+            for _ in range(users)
+            for pattern in patterns
+            for tau in scale.tau_grid
+        ]
+
+        def run_naive() -> None:
+            for request in requests:
+                engine.search(request).count
+
+        async def storm() -> None:
+            async with AsyncSearchService(
+                engine,
+                max_wait_ms=2.0,
+                max_batch=len(requests),
+                max_pending=len(requests),
+            ) as service:
+                await asyncio.gather(*(service.submit(r) for r in requests))
+
+        naive_elapsed = time_callable(run_naive, repeats=scale.query_repeats)
+        coalesced_elapsed = time_callable(
+            lambda: asyncio.run(storm()), repeats=scale.query_repeats
+        )
+        naive_series.add(n, len(requests) / max(naive_elapsed, 1e-9))
+        coalesced_series.add(n, len(requests) / max(coalesced_elapsed, 1e-9))
+
+        with tempfile.TemporaryDirectory() as scratch:
+            v2_path = engine.save(Path(scratch) / "v2")
+            v1_path = engine.save(Path(scratch) / "v1", version=1)
+            cold_v1_series.add(
+                n, 1000.0 * time_callable(lambda: load_index(v1_path), repeats=2)
+            )
+            cold_v2_series.add(
+                n,
+                1000.0
+                * time_callable(lambda: load_index(v2_path, mmap=True), repeats=2),
+            )
+    table.series.extend(
+        [naive_series, coalesced_series, cold_v1_series, cold_v2_series]
+    )
+    return table
+
+
 #: Registry used by the CLI and the tests.
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "fig7a": figure_7a,
@@ -863,6 +961,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "ablation-transformation": ablation_transformation,
     "query-kernel": query_kernel,
     "shard-build": shard_build,
+    "serving-throughput": serving_throughput,
 }
 
 

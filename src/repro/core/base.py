@@ -484,6 +484,48 @@ def translate_match(
     )
 
 
+def matches_to_arrays(
+    matches: Sequence[Union[Occurrence, ListingMatch]],
+) -> Tuple[str, np.ndarray, np.ndarray]:
+    """Decompose a match list into ``(kind, ids, values)`` array payloads.
+
+    The inverse of :func:`matches_from_arrays`; together they are the
+    process-boundary wire format of the multi-process shard workers: a
+    worker answers with two flat ndarrays instead of pickling one dataclass
+    object per match, and the parent rebuilds the objects at the merge
+    boundary.  ``kind`` is ``"occurrence"`` or ``"listing"``; ``ids`` holds
+    positions (occurrences) or document identifiers (listing matches) and
+    ``values`` the probabilities / relevances.  Order is preserved, and the
+    ``int`` / ``float`` fields round-trip exactly (int64 / float64), so the
+    rebuilt matches compare equal to the originals.
+    """
+    if matches and isinstance(matches[0], ListingMatch):
+        kind = "listing"
+        ids = np.fromiter((match.document for match in matches), dtype=np.int64, count=len(matches))
+        values = np.fromiter((match.relevance for match in matches), dtype=np.float64, count=len(matches))
+        return kind, ids, values
+    ids = np.fromiter((match.position for match in matches), dtype=np.int64, count=len(matches))
+    values = np.fromiter((match.probability for match in matches), dtype=np.float64, count=len(matches))
+    return "occurrence", ids, values
+
+
+def matches_from_arrays(
+    kind: str, ids: np.ndarray, values: np.ndarray
+) -> List[Union[Occurrence, ListingMatch]]:
+    """Rebuild the match list :func:`matches_to_arrays` decomposed."""
+    if kind == "occurrence":
+        return [
+            Occurrence(int(position), float(value))
+            for position, value in zip(ids, values)
+        ]
+    if kind == "listing":
+        return [
+            ListingMatch(int(document), float(value))
+            for document, value in zip(ids, values)
+        ]
+    raise ValueError(f"unknown match payload kind {kind!r}")
+
+
 def expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
     """Concatenate the inclusive integer ranges ``[starts[i], ends[i]]``.
 

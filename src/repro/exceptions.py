@@ -49,5 +49,15 @@ class ConstructionError(ReproError):
     """Raised when an index cannot be constructed from the given input."""
 
 
+class ServiceOverloadedError(ReproError):
+    """Raised when a serving front end rejects a request at admission.
+
+    The :class:`repro.serving.AsyncSearchService` bounds its pending-request
+    queue; once the bound is reached, new submissions fail fast with this
+    error instead of growing the queue (and the tail latency) without limit.
+    Callers should back off and retry.
+    """
+
+
 class CorrelationError(ValidationError):
     """Raised when a correlation rule is inconsistent with its string."""

@@ -1,0 +1,27 @@
+"""Serving layer above the :mod:`repro.api` façade.
+
+This package is where the reproduction becomes a *service*: everything
+below it (engines, planner, sharding, caching, persistence) answers one
+caller's queries; :mod:`repro.serving` multiplexes **many concurrent
+callers** onto those engines.
+
+* :class:`AsyncSearchService` — an asyncio front end that coalesces
+  concurrent ``submit`` calls into micro-batched ``search_many``
+  evaluations (deduplication and same-pattern threshold refinement apply
+  across users, not just within one caller's batch), with admission
+  control and serving metrics.
+
+It composes with the scale-out machinery underneath: serve a
+:class:`~repro.api.sharding.ShardedEngine` with
+``query_executor="process"`` over an index loaded with ``mmap=True`` and
+the stack is an async batch server over multi-process shard workers
+sharing one memory-mapped copy of the arrays.
+"""
+
+from ..exceptions import ServiceOverloadedError
+from .service import AsyncSearchService
+
+__all__ = [
+    "AsyncSearchService",
+    "ServiceOverloadedError",
+]

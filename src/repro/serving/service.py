@@ -1,0 +1,351 @@
+"""The asyncio coalescing front end: :class:`AsyncSearchService`.
+
+``Engine.search_many`` amortizes work *within one caller's batch*: identical
+requests share an evaluation, and same-pattern requests at different
+thresholds share one traversal (listing engines).  A serving deployment
+rarely receives batches — it receives a stream of single requests from many
+concurrent clients.  :class:`AsyncSearchService` turns that stream back into
+batches: submissions collect inside a **micro-batch window** (up to
+``max_wait_ms`` milliseconds or ``max_batch`` requests, whichever closes
+first), each window is deduplicated and funnelled through **one**
+``search_many`` call, and the results fan back out to the per-caller
+futures.  The batch amortizations therefore apply *across users*: a burst
+of clients asking popular patterns costs one evaluation per distinct
+request, and same-pattern threshold refinement spans the whole window.
+
+The service is deliberately small and explicit:
+
+* **Admission control** — at most ``max_pending`` requests may be queued
+  (waiting for a window) at once; beyond that, :meth:`submit` fails fast
+  with :class:`~repro.exceptions.ServiceOverloadedError` instead of growing
+  the queue without bound.  Load-shedding at admission keeps the tail
+  latency of accepted requests bounded by ``max_wait_ms`` plus one batch
+  evaluation.
+* **Engine offloading** — the (synchronous, GIL-releasing-at-best) engine
+  work runs on an executor thread via ``loop.run_in_executor``, so the
+  event loop keeps accepting submissions while a batch evaluates.  Any
+  engine speaking the :class:`~repro.api.engine.QueryEngine` vocabulary
+  works: a plain :class:`~repro.api.engine.Engine`, a
+  :class:`~repro.api.sharding.ShardedEngine` with thread or process
+  fan-out, over heap-loaded or memory-mapped arrays.
+* **Observability** — :meth:`stats` reports submissions, rejections,
+  batches, deduplication savings, queue depth (current and high-water),
+  and per-request latency aggregates; a serving layer nobody can measure
+  cannot be sized.
+* **Engine swap** — :meth:`replace_engine` atomically points new windows
+  at a different engine (e.g. a freshly reloaded index).  In-flight
+  windows finish against the engine they started with; result-cache
+  staleness is the engine's concern (see ``Engine.replace_index`` and the
+  cache's generation tags).
+
+The service must be used from a running event loop.  Typical shape::
+
+    engine = load_index("indexes/corpus", mmap=True, query_executor="process")
+    async with AsyncSearchService(engine, max_wait_ms=2.0) as service:
+        results = await asyncio.gather(
+            *(service.submit(p, tau=0.3) for p in patterns)
+        )
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from ..api.requests import SearchRequest, SearchResult
+from ..exceptions import ServiceOverloadedError, ValidationError
+
+#: Dedupe key inside one window: requests equal on these fields share one
+#: evaluation and one :class:`SearchResult`.
+_WindowKey = Tuple[str, Optional[float], Optional[int]]
+
+
+class _Pending:
+    """One submitted request waiting for (or riding in) a window."""
+
+    __slots__ = ("request", "future", "enqueued_at")
+
+    def __init__(self, request: SearchRequest, future: "asyncio.Future", enqueued_at: float):
+        self.request = request
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class AsyncSearchService:
+    """Coalesce concurrent ``submit`` calls into batched engine evaluations.
+
+    Parameters
+    ----------
+    engine:
+        Any engine speaking the unified query vocabulary (``search_many``).
+    max_wait_ms:
+        How long a window stays open for more arrivals after its first
+        request, in milliseconds.  ``0`` dispatches whatever is queued
+        immediately (pure dedupe, no added latency).
+    max_batch:
+        Hard cap on requests per window; a full window dispatches without
+        waiting out ``max_wait_ms``.
+    max_pending:
+        Admission bound: maximum requests queued (not yet dispatched) at
+        once.  Submissions beyond it raise
+        :class:`~repro.exceptions.ServiceOverloadedError`.
+    executor:
+        Optional :class:`concurrent.futures.Executor` for the engine work;
+        ``None`` uses the event loop's default thread pool.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        max_wait_ms: float = 2.0,
+        max_batch: int = 256,
+        max_pending: int = 4096,
+        executor: Any = None,
+    ):
+        if max_wait_ms < 0:
+            raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValidationError(f"max_pending must be >= 1, got {max_pending}")
+        self._engine = engine
+        self._max_wait = max_wait_ms / 1000.0
+        self._max_batch = int(max_batch)
+        self._max_pending = int(max_pending)
+        self._executor = executor
+
+        self._pending: Deque[_Pending] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._runner: Optional[asyncio.Task] = None
+        self._closed = False
+
+        # Counters (event-loop-thread only, so no lock needed).
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._deduplicated = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch_seen = 0
+        self._max_queue_depth = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+
+    # -- lifecycle ----------------------------------------------------------------
+    @property
+    def engine(self) -> Any:
+        """The engine new windows will evaluate against."""
+        return self._engine
+
+    @property
+    def running(self) -> bool:
+        """Whether the batching task is active."""
+        return self._runner is not None and not self._runner.done()
+
+    async def start(self) -> "AsyncSearchService":
+        """Start the batching task (idempotent; ``submit`` auto-starts too)."""
+        if self._closed:
+            raise RuntimeError("AsyncSearchService is stopped")
+        if self._runner is None or self._runner.done():
+            loop = asyncio.get_running_loop()
+            if self._wake is None:
+                self._wake = asyncio.Event()
+            self._runner = loop.create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Drain queued requests, then stop accepting new ones.
+
+        Every request admitted before ``stop`` was called still gets its
+        answer (the run loop flushes remaining windows); submissions after
+        it raise ``RuntimeError``.
+        """
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._runner is not None:
+            await self._runner
+            self._runner = None
+
+    async def __aenter__(self) -> "AsyncSearchService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    def replace_engine(self, engine: Any) -> Any:
+        """Point future windows at ``engine``; returns the previous engine.
+
+        In-flight windows keep the engine they captured.  If the new
+        engine wraps a *different* index behind the same result cache, the
+        caller is responsible for the cache's generation tag (handled
+        automatically by ``Engine.replace_index``).
+        """
+        previous, self._engine = self._engine, engine
+        return previous
+
+    # -- submission ---------------------------------------------------------------
+    async def submit(
+        self,
+        request: Union[SearchRequest, str],
+        *,
+        tau: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> SearchResult:
+        """Submit one request; awaits (and returns) its evaluated result.
+
+        Accepts a bare pattern with ``tau`` / ``top_k`` keywords or a
+        :class:`SearchRequest`, exactly like ``Engine.search``.  The
+        returned :class:`SearchResult` is already evaluated (its matches
+        materialized inside the batch), so touching it never blocks.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When ``max_pending`` requests are already queued.
+        RuntimeError
+            When the service was stopped.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncSearchService is stopped")
+        normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
+        if len(self._pending) >= self._max_pending:
+            self._rejected += 1
+            raise ServiceOverloadedError(
+                f"request queue is full ({self._max_pending} pending); "
+                "back off and retry"
+            )
+        if self._runner is None or self._runner.done():
+            await self.start()
+        loop = asyncio.get_running_loop()
+        pending = _Pending(normalized, loop.create_future(), time.perf_counter())
+        self._pending.append(pending)
+        self._submitted += 1
+        if len(self._pending) > self._max_queue_depth:
+            self._max_queue_depth = len(self._pending)
+        self._wake.set()
+        return await pending.future
+
+    # -- batching loop ------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closed:
+                    return
+                self._wake.clear()
+                # Re-check after clearing: a submit between the check and
+                # the clear would otherwise sleep until the next arrival.
+                if self._pending or self._closed:
+                    continue
+                await self._wake.wait()
+                continue
+            # A window opens with the oldest queued request; keep it open
+            # for stragglers until the deadline passes or it fills up.
+            deadline = loop.time() + self._max_wait
+            while len(self._pending) < self._max_batch and not self._closed:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            window: List[_Pending] = []
+            while self._pending and len(window) < self._max_batch:
+                window.append(self._pending.popleft())
+            await self._dispatch(window, loop)
+
+    async def _dispatch(self, window: List[_Pending], loop: asyncio.AbstractEventLoop) -> None:
+        """Evaluate one window: dedupe, one ``search_many``, fan back out."""
+        holders: "Dict[_WindowKey, List[_Pending]]" = {}
+        unique: List[SearchRequest] = []
+        for pending in window:
+            request = pending.request
+            key: _WindowKey = (request.pattern, request.tau, request.top_k)
+            bucket = holders.get(key)
+            if bucket is None:
+                holders[key] = [pending]
+                unique.append(request)
+            else:
+                bucket.append(pending)
+                self._deduplicated += 1
+        engine = self._engine
+        self._batches += 1
+        self._batched_requests += len(window)
+        if len(window) > self._max_batch_seen:
+            self._max_batch_seen = len(window)
+
+        def evaluate() -> List[Tuple[Optional[SearchResult], Optional[BaseException]]]:
+            # Materialize off the event loop, per result: one request whose
+            # evaluation raises (e.g. a tau below tau_min) must fail only
+            # its own submitters, never its window-mates.
+            outcomes: List[Tuple[Optional[SearchResult], Optional[BaseException]]] = []
+            for result in engine.search_many(unique):
+                try:
+                    result.matches
+                    outcomes.append((result, None))
+                except Exception as error:  # noqa: BLE001 — per-request fan-out
+                    outcomes.append((None, error))
+            return outcomes
+
+        try:
+            outcomes = await loop.run_in_executor(self._executor, evaluate)
+        except Exception as error:  # noqa: BLE001 — batch setup failed: fan out
+            for pendings in holders.values():
+                for pending in pendings:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                    self._failed += 1
+            return
+        finished = time.perf_counter()
+        for request, (result, error) in zip(unique, outcomes):
+            key = (request.pattern, request.tau, request.top_k)
+            for pending in holders[key]:
+                if error is not None:
+                    self._failed += 1
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                    continue
+                latency = finished - pending.enqueued_at
+                self._latency_sum += latency
+                if latency > self._latency_max:
+                    self._latency_max = latency
+                self._completed += 1
+                if not pending.future.done():  # caller may have been cancelled
+                    pending.future.set_result(result)
+
+    # -- observability ------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving metrics: traffic, coalescing, queue depth, latency."""
+        completed = self._completed
+        return {
+            "submitted": self._submitted,
+            "completed": completed,
+            "failed": self._failed,
+            "rejected": self._rejected,
+            "deduplicated": self._deduplicated,
+            "batches": self._batches,
+            "max_batch_size": self._max_batch_seen,
+            "mean_batch_size": (
+                self._batched_requests / self._batches if self._batches else 0.0
+            ),
+            "queue_depth": len(self._pending),
+            "max_queue_depth": self._max_queue_depth,
+            "latency": {
+                "mean_ms": (
+                    1000.0 * self._latency_sum / completed if completed else 0.0
+                ),
+                "max_ms": 1000.0 * self._latency_max,
+            },
+            "config": {
+                "max_wait_ms": self._max_wait * 1000.0,
+                "max_batch": self._max_batch,
+                "max_pending": self._max_pending,
+            },
+        }

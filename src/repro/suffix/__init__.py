@@ -7,7 +7,14 @@ from .generalized import (
 )
 from .lcp import LCPArray, build_lcp_array, naive_lcp_array
 from .pattern_search import count_occurrences, occurrence_positions, suffix_range
-from .rmq import BlockRMQ, SparseTableRMQ, make_rmq
+from .rmq import (
+    RMQ_PAYLOAD_VERSION,
+    BlockRMQ,
+    SparseTableRMQ,
+    deserialize_rmq,
+    make_rmq,
+    serialize_rmq,
+)
 from .suffix_array import (
     SuffixArray,
     build_suffix_array,
@@ -22,14 +29,17 @@ __all__ = [
     "DEFAULT_SEPARATOR",
     "GeneralizedSuffixStructure",
     "LCPArray",
+    "RMQ_PAYLOAD_VERSION",
     "SparseTableRMQ",
     "SuffixArray",
     "SuffixTree",
     "build_lcp_array",
     "build_suffix_array",
     "count_occurrences",
+    "deserialize_rmq",
     "inverse_suffix_array",
     "make_rmq",
+    "serialize_rmq",
     "naive_lcp_array",
     "naive_suffix_array",
     "occurrence_positions",

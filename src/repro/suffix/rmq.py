@@ -19,18 +19,31 @@ Both classes answer *maximum* queries by default; pass ``mode="min"`` for
 minimum queries.  Queries return the **position** of the optimum, matching
 how the paper uses RMQ (the value is then validated against the cumulative
 probability array).
+
+Both implementations are pure functions of their value array, so they can
+be **serialized** — :func:`serialize_rmq` extracts the preprocessed arrays
+(the sparse table; the block-optimum positions plus the summary table) and
+:func:`deserialize_rmq` restores the structure in O(1) work over the array
+views, without re-running the O(n log n) preprocessing.  The payload layout
+is versioned (:data:`RMQ_PAYLOAD_VERSION`) so the persistence layer can
+evolve it without misreading old archives.  The restore path accepts
+read-only (memory-mapped) arrays: queries never write.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Literal, Sequence, Tuple
+from typing import Dict, Literal, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ValidationError
 
 Mode = Literal["max", "min"]
+
+#: Version of the array payload produced by :func:`serialize_rmq`; bumped
+#: whenever the set or meaning of the payload arrays changes.
+RMQ_PAYLOAD_VERSION = 1
 
 
 def _prepare_values(values: Sequence[float], mode: Mode) -> np.ndarray:
@@ -124,6 +137,33 @@ class SparseTableRMQ:
             self._table[k][:width] = np.where(choose_left, left, right)
             self._table[k][width:] = self._table[k - 1][width:]
 
+    @classmethod
+    def from_table(
+        cls, values: Sequence[float], table: np.ndarray, *, mode: Mode = "max"
+    ) -> "SparseTableRMQ":
+        """Restore a sparse table from a serialized payload without rebuilding.
+
+        ``table`` must be the ``(levels, n)`` index table a previous
+        construction over the same ``values`` produced (see
+        :func:`serialize_rmq`); only its shape is validated — archives are
+        gated by the persistence manifest, and the fuzz suite pins restored
+        structures to answer identically to rebuilt ones.  ``table`` may be
+        a read-only memory map; it is used as-is, zero-copy.
+        """
+        self = cls.__new__(cls)
+        self._values = _prepare_values(values, mode)
+        self._mode = mode
+        table = np.asarray(table, dtype=np.int64)
+        n = len(self._values)
+        expected = (max(1, n.bit_length()), n)
+        if table.shape != expected:
+            raise ValidationError(
+                f"serialized sparse table has shape {table.shape}, expected "
+                f"{expected} for an array of length {n}"
+            )
+        self._table = table
+        return self
+
     @property
     def mode(self) -> Mode:
         """Whether this structure answers max or min queries."""
@@ -133,6 +173,13 @@ class SparseTableRMQ:
     def values(self) -> np.ndarray:
         """The underlying array (read-only view)."""
         view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def table(self) -> np.ndarray:
+        """The ``(levels, n)`` sparse table (read-only view; serialization)."""
+        view = self._table.view()
         view.flags.writeable = False
         return view
 
@@ -217,6 +264,46 @@ class BlockRMQ:
             block_optimum_positions[block] = start + reducer(self._values[start:end])
         self._block_positions = block_optimum_positions
         self._summary = SparseTableRMQ(self._values[block_optimum_positions], mode=mode)
+
+    @classmethod
+    def from_parts(
+        cls,
+        values: Sequence[float],
+        *,
+        block_size: int,
+        block_positions: np.ndarray,
+        summary_table: np.ndarray,
+        mode: Mode = "max",
+    ) -> "BlockRMQ":
+        """Restore a block RMQ from a serialized payload without rebuilding.
+
+        ``block_positions`` and ``summary_table`` must come from a previous
+        construction over the same ``values`` (see :func:`serialize_rmq`).
+        Shapes are validated; contents are trusted, exactly as
+        :meth:`SparseTableRMQ.from_table` documents.  The summary's value
+        array is the gather ``values[block_positions]`` (O(n / block_size)),
+        the only allocation the restore performs.
+        """
+        self = cls.__new__(cls)
+        self._values = _prepare_values(values, mode)
+        self._mode = mode
+        if block_size <= 0:
+            raise ValidationError(f"block_size must be positive, got {block_size}")
+        self._block_size = int(block_size)
+        n = len(self._values)
+        block_positions = np.asarray(block_positions, dtype=np.int64)
+        block_count = (n + self._block_size - 1) // self._block_size
+        if block_positions.shape != (block_count,):
+            raise ValidationError(
+                f"serialized block positions have shape {block_positions.shape}, "
+                f"expected ({block_count},) for length {n} and "
+                f"block_size {self._block_size}"
+            )
+        self._block_positions = block_positions
+        self._summary = SparseTableRMQ.from_table(
+            self._values[block_positions], summary_table, mode=mode
+        )
+        return self
 
     @property
     def mode(self) -> Mode:
@@ -338,4 +425,55 @@ def make_rmq(
         return BlockRMQ(values, mode=mode, block_size=block_size)
     raise ValidationError(
         f"unknown RMQ implementation {implementation!r}; expected 'sparse' or 'block'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialization (persistence payloads, version RMQ_PAYLOAD_VERSION)
+# ---------------------------------------------------------------------------
+def serialize_rmq(rmq) -> Dict[str, np.ndarray]:
+    """Extract the preprocessed arrays that reconstruct ``rmq`` in O(1).
+
+    Returns a flat ``name -> ndarray`` mapping (the persistence layer
+    prefixes the names into its archive keys).  The value array itself is
+    **not** included — every index already persists it, and the restore
+    side passes it back to :func:`deserialize_rmq`.
+    """
+    if isinstance(rmq, SparseTableRMQ):
+        return {"table": rmq._table}
+    if isinstance(rmq, BlockRMQ):
+        return {
+            "block_positions": rmq._block_positions,
+            "summary_table": rmq._summary._table,
+            "block_size": np.array([rmq._block_size], dtype=np.int64),
+        }
+    raise ValidationError(
+        f"cannot serialize a {type(rmq).__name__}; expected SparseTableRMQ or BlockRMQ"
+    )
+
+
+def deserialize_rmq(
+    values: Sequence[float], payload: Dict[str, np.ndarray], *, mode: Mode = "max"
+):
+    """Restore the RMQ structure :func:`serialize_rmq` extracted.
+
+    The implementation flavour is recovered from the payload shape (a
+    sparse table carries ``table``; a block structure carries
+    ``block_positions`` / ``summary_table`` / ``block_size``), so callers
+    only need to hand back the value array the structure was built over.
+    Payload arrays may be read-only memory maps — queries never write.
+    """
+    if "table" in payload:
+        return SparseTableRMQ.from_table(values, payload["table"], mode=mode)
+    if {"block_positions", "summary_table", "block_size"} <= set(payload):
+        return BlockRMQ.from_parts(
+            values,
+            block_size=int(np.asarray(payload["block_size"]).reshape(-1)[0]),
+            block_positions=payload["block_positions"],
+            summary_table=payload["summary_table"],
+            mode=mode,
+        )
+    raise ValidationError(
+        f"unrecognized RMQ payload with keys {sorted(payload)}; expected "
+        "'table' (sparse) or 'block_positions'/'summary_table'/'block_size' (block)"
     )

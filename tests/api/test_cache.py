@@ -35,6 +35,9 @@ class TestResultCacheUnit:
             "hits": 0,
             "misses": 1,
             "evictions": 0,
+            "expirations": 0,
+            "generation": 0,
+            "ttl_seconds": None,
             "hit_rate": 0.0,
         }
 
@@ -136,6 +139,9 @@ class TestEngineCaching:
             "hits": 0,
             "misses": 0,
             "evictions": 0,
+            "expirations": 0,
+            "generation": 0,
+            "ttl_seconds": None,
             "hit_rate": 0.0,
         }
 
@@ -232,3 +238,121 @@ class TestBatchCaching:
         stats = engine.cache.stats()
         # Dedupe shares one SearchResult, so the cache sees one lookup.
         assert stats["hits"] + stats["misses"] == 1
+
+
+class TestGenerationAndTTL:
+    """Index-generation tags and TTL expiry (serving invalidation)."""
+
+    def test_bump_generation_invalidates_everything(self):
+        cache = ResultCache(4)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        assert cache.get("a") == (1,)
+        generation = cache.bump_generation()
+        assert generation == 1
+        assert cache.generation == 1
+        assert cache.get("a") is None
+        assert cache.get("b") is None
+        # New-generation writes work normally.
+        cache.put("a", [9])
+        assert cache.get("a") == (9,)
+
+    def test_old_generation_entries_age_out_by_lru(self):
+        cache = ResultCache(2)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.bump_generation()
+        cache.put("c", [3])
+        cache.put("d", [4])
+        # Capacity 2: the two old-generation entries were evicted to make
+        # room, so the store never grows past its bound across generations.
+        assert len(cache) == 2
+        assert cache.get("c") == (3,)
+        assert cache.get("d") == (4,)
+
+    def test_ttl_expires_entries_with_injected_clock(self):
+        now = [0.0]
+        cache = ResultCache(4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("a", [1])
+        now[0] = 9.0
+        assert cache.get("a") == (1,)  # still fresh
+        now[0] = 20.5
+        assert cache.get("a") is None  # expired -> miss
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["ttl_seconds"] == 10.0
+        assert stats["size"] == 0  # expired entry was dropped
+
+    def test_put_refreshes_ttl_stamp(self):
+        now = [0.0]
+        cache = ResultCache(4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("a", [1])
+        now[0] = 8.0
+        cache.put("a", [2])  # rewrite refreshes the stamp
+        now[0] = 15.0
+        assert cache.get("a") == (2,)
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValidationError):
+            ResultCache(4, ttl_seconds=0.0)
+        with pytest.raises(ValidationError):
+            ResultCache(4, ttl_seconds=-1.0)
+
+    def test_replace_index_cannot_serve_stale_hits(self, figure3_string):
+        # Two different indexes behind one engine: after replace_index the
+        # cached answers of the old index must be unreachable.
+        engine = build_index(figure3_string, tau_min=0.1)
+        other = build_index("banana" * 3)
+        stale = engine.query("PA", tau=0.2)
+        engine.replace_index(other.index, other.plan)
+        assert engine.cache.generation == 1
+        fresh = engine.query("PA", tau=0.2)
+        assert fresh == other.query("PA", tau=0.2)
+        assert fresh != stale
+
+    def test_engine_cache_ttl_wiring(self, figure3_string):
+        engine = build_index(figure3_string, tau_min=0.1, cache_ttl_seconds=60.0)
+        assert engine.cache.ttl_seconds == 60.0
+        assert engine.describe()["cache"]["ttl_seconds"] == 60.0
+
+    def test_in_flight_evaluation_not_cached_across_generation_bump(self):
+        # A slow evaluation racing a generation bump (index replaced while
+        # the query runs) must not store the old index's answer as fresh.
+        cache = ResultCache(4)
+
+        def compute():
+            cache.bump_generation()  # index swapped mid-evaluation
+            return [1, 2, 3]
+
+        evaluate = cache.wrap("k", compute)
+        assert evaluate() == [1, 2, 3]  # the caller still gets the answer
+        assert cache.get("k") is None  # but it was dropped, not cached
+        assert len(cache) == 0
+
+    def test_put_with_current_generation_stores(self):
+        cache = ResultCache(4)
+        cache.put("k", [1], generation=cache.generation)
+        assert cache.get("k") == (1,)
+        cache.put("stale", [2], generation=cache.generation - 1)
+        assert cache.get("stale") is None
+
+    def test_ttl_reachable_from_load_paths(self, figure3_string, tmp_path):
+        from repro.api import load_index
+
+        engine = build_index(figure3_string, tau_min=0.1)
+        path = engine.save(tmp_path / "ttl")
+        loaded = load_index(path, cache_ttl_seconds=30.0)
+        assert loaded.cache.ttl_seconds == 30.0
+        from repro.api import build_sharded_index
+
+        sharded = build_sharded_index(
+            "banana" * 10, shards=2, max_pattern_len=6, cache_ttl_seconds=15.0
+        )
+        assert sharded.cache.ttl_seconds == 15.0
+        sharded_path = sharded.save(tmp_path / "ttl-sharded")
+        sharded.close()
+        reloaded = load_index(sharded_path, cache_ttl_seconds=20.0)
+        assert reloaded.cache.ttl_seconds == 20.0
+        reloaded.close()

@@ -398,3 +398,121 @@ class TestManifest:
         loaded, plan = load_index_payload(path)
         assert loaded.query("ab", 0.5) == index.query("ab", 0.5)
         assert plan.kind == "special"
+
+
+class TestFormatVersions:
+    """v1 (compressed, rebuild-on-load) and v2 (RMQ payloads, mmap-able)."""
+
+    @pytest.mark.parametrize("kind", ["special", "simple", "general", "approximate", "listing"])
+    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_both_versions_fuzz_round_trip(self, tmp_path, kind, version, seed):
+        rng = random.Random(seed * 77 + version + hash(kind) % 1000)
+        data = _random_input_for(kind, rng)
+        kwargs = {"kind": kind}
+        if kind in ("general", "approximate", "listing"):
+            kwargs["tau_min"] = 0.1
+        if kind == "approximate":
+            kwargs["epsilon"] = 0.05
+        engine = build_index(data, **kwargs)
+        path = engine.save(tmp_path / f"v{version}-{kind}", version=version)
+        assert read_manifest(path)["version"] == version
+        for mmap in (False, True):
+            loaded = load_index(path, mmap=mmap)
+            assert loaded.kind == kind
+            for _ in range(8):
+                pattern, tau, k = _random_probe(engine, rng)
+                assert engine.query(pattern, tau=tau) == loaded.query(pattern, tau=tau)
+                assert engine.top_k(pattern, k, tau=tau) == loaded.top_k(
+                    pattern, k, tau=tau
+                )
+
+    def test_v2_archives_carry_rmq_payloads(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        v2 = engine.save(tmp_path / "v2")
+        v1 = engine.save(tmp_path / "v1", version=1)
+        with np.load(v2, allow_pickle=False) as archive:
+            v2_keys = set(archive.files)
+        with np.load(v1, allow_pickle=False) as archive:
+            v1_keys = set(archive.files)
+        assert any(key.startswith("rmq_") for key in v2_keys)
+        assert not any(key.startswith("rmq_") for key in v1_keys)
+        # v2 is a strict superset: the value arrays are unchanged.
+        assert v1_keys <= v2_keys
+        manifest = read_manifest(v2)
+        assert manifest["rmq_payload_version"] == 1
+
+    def test_mmap_load_returns_memory_mapped_arrays(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "mapped")
+        loaded = load_index(path, mmap=True)
+        assert isinstance(loaded.index._prefix, np.memmap)
+        # SuffixArray casts through ascontiguousarray, which keeps the map
+        # as a zero-copy base view.
+        suffix_array = loaded.index._suffix_array.array
+        assert isinstance(suffix_array, np.memmap) or isinstance(
+            suffix_array.base, np.memmap
+        )
+        # The RMQ structures were restored from their serialized tables,
+        # which stay memory-mapped too (no rebuild, no copy).
+        rmq = next(iter(loaded.index._short_rmq.values()))
+        table = rmq._table if hasattr(rmq, "_table") else rmq._summary._table
+        assert isinstance(table, np.memmap) or isinstance(table.base, np.memmap)
+        assert "mmap" in loaded.plan.reason
+
+    def test_mmap_on_compressed_archive_degrades_gracefully(
+        self, tmp_path, general_string
+    ):
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "compressed", version=1)
+        loaded = load_index(path, mmap=True)
+        for tau in (0.1, 0.3):
+            assert loaded.query("QP", tau=tau) == engine.query("QP", tau=tau)
+
+    def test_sharded_version_forwarding(self, tmp_path):
+        engine = build_sharded_index(
+            "banana" * 10, shards=2, max_pattern_len=6
+        )
+        path = engine.save(tmp_path / "sharded-v1", version=1)
+        manifest = read_sharded_manifest(path)
+        assert manifest["archive_version"] == 1
+        for name in manifest["shards"]:
+            assert read_manifest(path / name)["version"] == 1
+        loaded = load_index(path, mmap=True)
+        assert loaded.query("anan", tau=0.5) == engine.query("anan", tau=0.5)
+        loaded.close()
+        engine.close()
+
+    def test_unknown_write_version_rejected(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        with pytest.raises(ValidationError):
+            engine.save(tmp_path / "nope", version=3)
+
+    def test_newer_rmq_payload_version_rejected(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "future-rmq")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        manifest = json.loads(bytes(arrays["__manifest__"].tolist()).decode("utf-8"))
+        manifest["rmq_payload_version"] = 99
+        arrays["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValidationError):
+            load_index_payload(path)
+
+    def test_compress_override(self, tmp_path, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        stored = engine.save(tmp_path / "stored")
+        compressed = engine.save(tmp_path / "small", compress=True)
+        assert compressed.stat().st_size < stored.stat().st_size
+        a = load_index(stored)
+        b = load_index(compressed, mmap=True)  # degrades to eager, same answers
+        assert a.query("QP", tau=0.2) == b.query("QP", tau=0.2)
+
+    def test_mmap_on_garbage_raises_validation_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValidationError):
+            load_index_payload(path, mmap=True)

@@ -24,6 +24,7 @@ def test_examples_directory_contents():
         "ecg_event_monitoring.py",
         "virus_pattern_listing.py",
         "approximate_search.py",
+        "async_serving.py",
     } <= names
 
 
@@ -64,6 +65,10 @@ def _run_example_with_overrides(name, overrides):
         ("ecg_event_monitoring.py", {"STREAM_LENGTH": 300}),
         ("virus_pattern_listing.py", {"FILE_COUNT": 12, "FILE_LENGTH": 40}),
         ("approximate_search.py", {"SEQUENCE_LENGTH": 300}),
+        (
+            "async_serving.py",
+            {"N_DOCUMENTS": 8, "DOCUMENT_LENGTH": 15, "N_CLIENTS": 40, "SHARDS": 2},
+        ),
     ],
 )
 def test_examples_run_with_reduced_sizes(name, overrides, capsys):

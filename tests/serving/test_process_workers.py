@@ -1,0 +1,195 @@
+"""Process-pool shard workers: process ≡ thread ≡ serial equivalence pins.
+
+``query_executor="process"`` must be a pure transport change: the per-shard
+worker processes answer with array payloads that the parent rewraps, so
+every answer — positions, documents, probabilities, relevances, ``top_k``
+tie-breaks — must equal the thread-mode and single-engine answers
+match-for-match.  Exercised for in-memory engines (pickled shard indexes)
+and for archives loaded with ``mmap=True`` (workers re-map the shard
+files), which is the production serving configuration.
+"""
+
+import random
+
+import pytest
+
+from repro.api import build_index, build_sharded_index, load_index
+from repro.exceptions import ThresholdError, ValidationError
+from repro.serving import AsyncSearchService
+from tests.conftest import make_random_uncertain_string
+
+
+@pytest.fixture(scope="module")
+def chunk_setup():
+    string = make_random_uncertain_string(70, 0.3, seed=21)
+    serial = build_index(string, tau_min=0.1, kind="general")
+    process_engine = build_sharded_index(
+        string,
+        shards=3,
+        tau_min=0.1,
+        kind="general",
+        max_pattern_len=6,
+        query_executor="process",
+    )
+    thread_engine = build_sharded_index(
+        string, shards=3, tau_min=0.1, kind="general", max_pattern_len=6
+    )
+    yield string, serial, thread_engine, process_engine
+    process_engine.close()
+    thread_engine.close()
+
+
+def _probes(string, seed, max_len=5):
+    rng = random.Random(seed)
+    backbone = string.most_likely_string()
+    for _ in range(12):
+        length = rng.randint(1, max_len)
+        start = rng.randint(0, len(backbone) - length)
+        yield backbone[start : start + length], round(rng.uniform(0.1, 0.9), 3)
+
+
+def _assert_matches_close(actual, expected):
+    """Same match set; values to 1e-9 (the sharded-vs-unsharded tolerance).
+
+    Chunk shards accumulate their log-prefix sums from shard-local origins,
+    so the last few ulps of a probability can differ from the unsharded
+    engine's — the same carve-out ``tests/api/test_sharding.py`` applies.
+    """
+    assert [m.position for m in actual] == [m.position for m in expected]
+    for a, e in zip(actual, expected):
+        assert a.probability == pytest.approx(e.probability, rel=1e-9, abs=1e-12)
+
+
+class TestProcessEquivalence:
+    def test_chunk_process_equals_thread_exactly(self, chunk_setup):
+        # Process mode is a pure transport change over the same shard
+        # engines, so its answers must equal thread mode *byte for byte* —
+        # the int64/float64 array payloads round-trip exactly.
+        string, _, thread_engine, process_engine = chunk_setup
+        for pattern, tau in _probes(string, seed=3):
+            assert process_engine.query(pattern, tau=tau) == thread_engine.query(
+                pattern, tau=tau
+            )
+            assert process_engine.top_k(pattern, 3, tau=tau) == thread_engine.top_k(
+                pattern, 3, tau=tau
+            )
+
+    def test_chunk_process_matches_serial(self, chunk_setup):
+        string, serial, _, process_engine = chunk_setup
+        for pattern, tau in _probes(string, seed=13):
+            _assert_matches_close(
+                process_engine.query(pattern, tau=tau), serial.query(pattern, tau=tau)
+            )
+
+    def test_chunk_top_k_pin(self, chunk_setup):
+        string, serial, thread_engine, process_engine = chunk_setup
+        for pattern, tau in _probes(string, seed=4):
+            threaded = thread_engine.top_k(pattern, 3, tau=tau)
+            assert process_engine.top_k(pattern, 3, tau=tau) == threaded
+            _assert_matches_close(threaded, serial.top_k(pattern, 3, tau=tau))
+
+    def test_document_sharded_collection(self):
+        rng = random.Random(5)
+        documents = [
+            make_random_uncertain_string(rng.randint(10, 25), 0.3, seed=seed)
+            for seed in range(7)
+        ]
+        serial = build_index(documents, tau_min=0.1)
+        thread_engine = build_sharded_index(documents, shards=3, tau_min=0.1)
+        process_engine = build_sharded_index(
+            documents, shards=3, tau_min=0.1, query_executor="process"
+        )
+        try:
+            for document in documents[:4]:
+                pattern = document.most_likely_string()[:2]
+                for tau in (0.1, 0.3, 0.6):
+                    answer = process_engine.query(pattern, tau=tau)
+                    assert answer == thread_engine.query(pattern, tau=tau)
+                    expected = serial.query(pattern, tau=tau)
+                    assert [m.document for m in answer] == [
+                        m.document for m in expected
+                    ]
+                    for a, e in zip(answer, expected):
+                        assert a.relevance == pytest.approx(
+                            e.relevance, rel=1e-9, abs=1e-12
+                        )
+                assert process_engine.top_k(pattern, 3) == thread_engine.top_k(
+                    pattern, 3
+                )
+        finally:
+            process_engine.close()
+            thread_engine.close()
+
+    def test_mmap_loaded_process_workers(self, tmp_path, chunk_setup):
+        # The production serving shape: saved ensemble, mmap-loaded, process
+        # workers mapping the shard archives themselves.  Answers must equal
+        # the in-memory thread-mode engine byte-for-byte (same shards, same
+        # arrays — persistence round-trips bit-exactly).
+        string, _, thread_engine, _ = chunk_setup
+        path = thread_engine.save(tmp_path / "ensemble")
+        loaded = load_index(path, mmap=True, query_executor="process")
+        try:
+            assert loaded.query_executor == "process"
+            for pattern, tau in _probes(string, seed=6):
+                assert loaded.query(pattern, tau=tau) == thread_engine.query(
+                    pattern, tau=tau
+                )
+                assert loaded.top_k(pattern, 2, tau=tau) == thread_engine.top_k(
+                    pattern, 2, tau=tau
+                )
+        finally:
+            loaded.close()
+
+    def test_worker_errors_propagate(self, chunk_setup):
+        _, _, _, process_engine = chunk_setup
+        with pytest.raises(ThresholdError):
+            process_engine.query("A", tau=0.001)  # below tau_min, raised in worker
+
+    def test_close_is_idempotent_and_queries_recover(self, chunk_setup):
+        string, _, thread_engine, process_engine = chunk_setup
+        pattern = string.most_likely_string()[:3]
+        baseline = thread_engine.query(pattern, tau=0.2)
+        assert process_engine.query(pattern, tau=0.2) == baseline
+        process_engine.close()
+        process_engine.close()
+        # Pools are recreated lazily after close.
+        process_engine.cache.clear()
+        assert process_engine.query(pattern, tau=0.2) == baseline
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValidationError):
+            build_sharded_index("banana" * 5, shards=2, query_executor="fibers")
+
+    def test_describe_reports_executor(self, chunk_setup):
+        _, _, thread_engine, process_engine = chunk_setup
+        assert (
+            thread_engine.describe()["sharding"]["query_executor"] == "thread"
+        )
+        assert (
+            process_engine.describe()["sharding"]["query_executor"] == "process"
+        )
+
+
+class TestServiceOverProcessWorkers:
+    """The full stack: async coalescing over multi-process mmap shards."""
+
+    def test_async_service_over_mmap_process_engine(self, tmp_path, chunk_setup):
+        import asyncio
+
+        string, _, thread_engine, _ = chunk_setup
+        path = thread_engine.save(tmp_path / "stack")
+        engine = load_index(path, mmap=True, query_executor="process")
+        probes = list(_probes(string, seed=8))
+
+        async def storm():
+            async with AsyncSearchService(engine, max_wait_ms=1.0) as service:
+                return await asyncio.gather(
+                    *(service.submit(p, tau=t) for p, t in probes)
+                )
+
+        try:
+            results = asyncio.run(storm())
+            for (pattern, tau), result in zip(probes, results):
+                assert result.matches == thread_engine.query(pattern, tau=tau)
+        finally:
+            engine.close()

@@ -1,0 +1,231 @@
+"""AsyncSearchService: coalescing correctness, overload, stats, lifecycle.
+
+The async tests drive the event loop through ``asyncio.run`` directly, so
+they run with or without the ``pytest-asyncio`` plugin installed.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.api import SearchRequest, build_index
+from repro.exceptions import ServiceOverloadedError, ThresholdError, ValidationError
+from repro.serving import AsyncSearchService
+from tests.conftest import make_random_uncertain_string
+
+
+@pytest.fixture(scope="module")
+def listing_engine():
+    rng = random.Random(11)
+    documents = [
+        make_random_uncertain_string(rng.randint(12, 30), 0.3, seed=seed)
+        for seed in range(6)
+    ]
+    return build_index(documents, tau_min=0.05)
+
+
+@pytest.fixture(scope="module")
+def substring_engine():
+    return build_index(
+        make_random_uncertain_string(60, 0.3, seed=5), tau_min=0.1, kind="general"
+    )
+
+
+def _random_requests(engine, count, seed):
+    rng = random.Random(seed)
+    backbone = None
+    if engine.is_listing:
+        patterns = []
+        for document in engine.index._collection:
+            text = document.most_likely_string()
+            patterns.extend(text[i : i + 2] for i in range(0, len(text) - 2, 5))
+    else:
+        backbone = engine.index._string.most_likely_string()
+        patterns = [backbone[i : i + 3] for i in range(0, len(backbone) - 3, 4)]
+    requests = []
+    for _ in range(count):
+        pattern = rng.choice(patterns)
+        tau = round(rng.uniform(engine.tau_min, 0.9), 3)
+        top_k = rng.choice([None, None, None, rng.randint(1, 4)])
+        requests.append(SearchRequest(pattern, tau=tau, top_k=top_k))
+    return requests
+
+
+class TestCoalescedEquivalence:
+    """Concurrent submit storms answer exactly like sequential Engine.search."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_storm_matches_sequential(self, listing_engine, seed):
+        requests = _random_requests(listing_engine, 120, seed)
+
+        async def storm():
+            async with AsyncSearchService(
+                listing_engine, max_wait_ms=1.0, max_batch=32
+            ) as service:
+                results = await asyncio.gather(
+                    *(service.submit(request) for request in requests)
+                )
+                return results, service.stats()
+
+        results, stats = asyncio.run(storm())
+        for request, result in zip(requests, results):
+            assert result.matches == listing_engine.search(request).matches
+        assert stats["completed"] == len(requests)
+        # Coalescing happened: far fewer batches than requests.
+        assert stats["batches"] < len(requests)
+
+    def test_storm_on_substring_engine(self, substring_engine):
+        requests = _random_requests(substring_engine, 80, seed=9)
+
+        async def storm():
+            async with AsyncSearchService(substring_engine, max_wait_ms=0.5) as service:
+                return await asyncio.gather(
+                    *(service.submit(request) for request in requests)
+                )
+
+        results = asyncio.run(storm())
+        for request, result in zip(requests, results):
+            assert result.matches == substring_engine.search(request).matches
+
+    def test_coalesced_refinement_equivalence(self, listing_engine):
+        # Same pattern at many thresholds, from "different users": the
+        # window funnels them through one search_many, where the listing
+        # engine derives tighter answers by refinement — answers must equal
+        # direct sequential queries bit-for-bit.
+        document = listing_engine.index._collection[0]
+        pattern = document.most_likely_string()[:2]
+        taus = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
+        requests = [SearchRequest(pattern, tau=tau) for tau in taus for _ in range(5)]
+
+        async def storm():
+            async with AsyncSearchService(
+                listing_engine, max_wait_ms=5.0, max_batch=len(requests)
+            ) as service:
+                results = await asyncio.gather(
+                    *(service.submit(request) for request in requests)
+                )
+                return results, service.stats()
+
+        results, stats = asyncio.run(storm())
+        for request, result in zip(requests, results):
+            assert result.matches == listing_engine.search(request).matches
+        # 30 submissions, 6 distinct requests: the rest were deduplicated.
+        assert stats["deduplicated"] == len(requests) - len(taus)
+
+    def test_bare_pattern_submit(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine) as service:
+                return await service.submit("A", tau=0.1)
+
+        result = asyncio.run(go())
+        assert result.matches == listing_engine.search("A", tau=0.1).matches
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_beyond_max_pending(self, listing_engine):
+        async def go():
+            service = AsyncSearchService(
+                listing_engine, max_wait_ms=50.0, max_batch=64, max_pending=4
+            )
+            # Not started: submissions queue up without being drained, so
+            # the admission bound is hit deterministically.
+            accepted = []
+            rejected = 0
+            submissions = []
+            for _ in range(10):
+                submissions.append(
+                    asyncio.ensure_future(service.submit("A", tau=0.1))
+                )
+                await asyncio.sleep(0)  # let the submit coroutine enqueue
+            await service.start()
+            for submission in submissions:
+                try:
+                    accepted.append(await submission)
+                except ServiceOverloadedError:
+                    rejected += 1
+            stats = service.stats()
+            await service.stop()
+            return accepted, rejected, stats
+
+        accepted, rejected, stats = asyncio.run(go())
+        assert rejected == 6  # everything past max_pending=4 failed fast
+        assert len(accepted) == 4
+        assert stats["rejected"] == 6
+        expected = listing_engine.search("A", tau=0.1).matches
+        for result in accepted:
+            assert result.matches == expected
+
+    def test_validation_of_config(self, listing_engine):
+        with pytest.raises(ValidationError):
+            AsyncSearchService(listing_engine, max_wait_ms=-1.0)
+        with pytest.raises(ValidationError):
+            AsyncSearchService(listing_engine, max_batch=0)
+        with pytest.raises(ValidationError):
+            AsyncSearchService(listing_engine, max_pending=0)
+
+
+class TestFailuresAndLifecycle:
+    def test_evaluation_errors_propagate_to_the_caller(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine) as service:
+                good = service.submit("A", tau=0.5)
+                bad = service.submit("A", tau=0.001)  # below tau_min
+                results = await asyncio.gather(good, bad, return_exceptions=True)
+                return results, service.stats()
+
+        (good, bad), stats = asyncio.run(go())
+        assert good.matches == listing_engine.search("A", tau=0.5).matches
+        assert isinstance(bad, ThresholdError)
+        assert stats["failed"] >= 1
+
+    def test_submit_after_stop_raises(self, listing_engine):
+        async def go():
+            service = AsyncSearchService(listing_engine)
+            await service.start()
+            await service.stop()
+            with pytest.raises(RuntimeError):
+                await service.submit("A", tau=0.1)
+
+        asyncio.run(go())
+
+    def test_stop_drains_queued_requests(self, listing_engine):
+        async def go():
+            service = AsyncSearchService(listing_engine, max_wait_ms=100.0)
+            submission = asyncio.ensure_future(service.submit("A", tau=0.1))
+            await asyncio.sleep(0)
+            # Stop while the window is still open: the admitted request
+            # must be answered, not dropped.
+            await service.stop()
+            return await submission
+
+        result = asyncio.run(go())
+        assert result.matches == listing_engine.search("A", tau=0.1).matches
+
+    def test_replace_engine_serves_new_answers(self, listing_engine, substring_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.0) as service:
+                before = await service.submit("A", tau=0.1)
+                previous = service.replace_engine(substring_engine)
+                after = await service.submit("A", tau=0.1)
+                return before, previous, after
+
+        before, previous, after = asyncio.run(go())
+        assert previous is listing_engine
+        assert before.matches == listing_engine.search("A", tau=0.1).matches
+        assert after.matches == substring_engine.search("A", tau=0.1).matches
+
+    def test_stats_shape(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.0) as service:
+                await service.submit("A", tau=0.1)
+                return service.stats()
+
+        stats = asyncio.run(go())
+        assert stats["submitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["queue_depth"] == 0
+        assert stats["max_queue_depth"] >= 1
+        assert stats["latency"]["mean_ms"] > 0.0
+        assert stats["latency"]["max_ms"] >= stats["latency"]["mean_ms"]
+        assert stats["config"]["max_wait_ms"] == 0.0
