@@ -82,6 +82,7 @@ from .exceptions import (
     ThresholdError,
     ValidationError,
 )
+from .payload import IndexPayload
 from .serving import AsyncSearchService
 from .strings import (
     Alphabet,
@@ -93,7 +94,7 @@ from .strings import (
     UncertainStringCollection,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Alphabet",
@@ -107,6 +108,7 @@ __all__ = [
     "CorrelationRule",
     "Engine",
     "GeneralUncertainStringIndex",
+    "IndexPayload",
     "IndexPlan",
     "ListingMatch",
     "MaximalFactor",

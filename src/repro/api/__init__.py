@@ -31,8 +31,9 @@ from .engine import Engine, build_index, load_index
 from .persistence import (
     FORMAT_NAME,
     FORMAT_VERSION,
-    SHARDED_FORMAT_NAME,
-    SHARDED_FORMAT_VERSION,
+    ShardedArchive,
+    index_from_payload,
+    index_to_payload,
     is_sharded_archive,
     load_index_payload,
     load_sharded_payload,
@@ -40,22 +41,28 @@ from .persistence import (
     read_sharded_manifest,
     save_index_payload,
     save_sharded_payload,
+    SHARDED_FORMAT_NAME,
+    SHARDED_FORMAT_VERSION,
 )
 from .planner import (
+    CALIBRATION_WINDOW,
     DEFAULT_MAX_PATTERN_LEN,
     DEFAULT_TAU_MIN,
     INDEX_CLASSES,
     IndexPlan,
     ShardSpec,
+    calibration_snapshot,
     normalize_input,
     plan_index,
     record_build_observation,
+    reset_calibration,
     shard_input,
 )
 from .requests import SearchRequest, SearchResult
 from .sharding import ShardedEngine, build_sharded_index
 
 __all__ = [
+    "CALIBRATION_WINDOW",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_MAX_PATTERN_LEN",
     "DEFAULT_TAU_MIN",
@@ -70,10 +77,14 @@ __all__ = [
     "SearchRequest",
     "SearchResult",
     "ShardSpec",
+    "ShardedArchive",
     "ShardedEngine",
     "build_index",
     "build_sharded_index",
+    "calibration_snapshot",
     "execute_batch",
+    "index_from_payload",
+    "index_to_payload",
     "is_sharded_archive",
     "load_index",
     "load_index_payload",
@@ -83,6 +94,7 @@ __all__ = [
     "read_manifest",
     "read_sharded_manifest",
     "record_build_observation",
+    "reset_calibration",
     "save_index_payload",
     "save_sharded_payload",
     "shard_input",

@@ -195,9 +195,15 @@ class Engine(QueryEngine):
             "profile": dict(self._plan.profile),
             # Space-estimate accuracy (planner feedback): present once the
             # engine was built through build_index over a planned estimate,
-            # None for hand-made or restored plans.  kind/reason live at
-            # the top level already and are not repeated here.
-            "plan": {"estimate_error": self._plan.profile.get("estimate_error")},
+            # None for hand-made or restored plans.  "calibration" is the
+            # per-kind multiplicative correction the planner applied to
+            # this plan's estimate (fed by past estimate_error
+            # observations over a decay window).  kind/reason live at the
+            # top level already and are not repeated here.
+            "plan": {
+                "estimate_error": self._plan.profile.get("estimate_error"),
+                "calibration": self._plan.profile.get("calibration"),
+            },
             "cache": self._cache.stats(),
             "space_report": self.space_report(),
         }
@@ -263,10 +269,11 @@ class Engine(QueryEngine):
         manifest with the format version, the plan and the indexed string,
         so :func:`load_index` restores an engine whose answers are
         byte-identical to this one without re-running construction.  The
-        default (version-2) archive additionally carries the serialized
-        RMQ payloads and is written uncompressed so it can be served
-        memory-mapped; see :func:`repro.api.persistence.save_index_payload`
-        for the knobs.
+        default (version-3) archive is the index's
+        :class:`~repro.payload.IndexPayload` written as an uncompressed
+        zip — space-efficient RMQ payloads, memory-mappable; see
+        :func:`repro.api.persistence.save_index_payload` for the knobs
+        (``version=1|2`` writes the legacy layouts).
         """
         return save_index_payload(
             self._index, self._plan, path, version=version, compress=compress

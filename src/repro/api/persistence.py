@@ -23,29 +23,41 @@ Two archive versions exist (:data:`FORMAT_VERSION` is the current one):
   the value arrays.  The RMQ structures, pure functions of their value
   arrays, are *rebuilt* on load (O(n log n) per structure) — cheap enough
   for one process, the dominant cold-start cost for a serving fleet.
-* **Version 2** (current) — additionally stores the serialized RMQ
-  payloads (:func:`repro.suffix.rmq.serialize_rmq`: sparse tables, block
-  positions, summary tables), making cold start O(1) array restores, and
-  defaults to an **uncompressed** zip so the archive can be served
-  **memory-mapped**: ``load_index_payload(path, mmap=True)`` maps every
-  stored ``.npy`` member read-only straight out of the archive file —
-  zero copies, and any number of worker processes opening the same
-  archive share one set of physical pages through the OS page cache
+* **Version 2** (legacy) — additionally stores the serialized RMQ
+  payloads (:func:`repro.suffix.rmq.serialize_rmq`: full sparse tables,
+  block positions, summary tables), making cold start O(1) array
+  restores, and defaults to an **uncompressed** zip so the archive can
+  be served **memory-mapped**.  The cost: the serialized sparse tables
+  are O(n log n) words and dominate the archive.
+* **Version 3** (current) — *is* the payload schema
+  (:mod:`repro.payload`): ``index.to_payload()`` flattened into a zip of
+  ``.npy`` members plus a JSON manifest describing the schema tree.
+  There are no per-kind save/load special cases — any structure with
+  ``to_payload`` / ``from_payload`` round-trips — and the RMQ payloads
+  are space-efficient (Fischer–Heun block positions, O(n / log n) words;
+  the cheap top levels are rebuilt on load in O(n/b · log n) work), so a
+  v3 archive is a fraction of the v2 size while keeping the mmap-able
+  uncompressed layout: ``load_index_payload(path, mmap=True)`` maps
+  every stored ``.npy`` member read-only straight out of the archive
+  file — zero copies, and any number of worker processes opening the
+  same archive share one set of physical pages through the OS page cache
   (the space-conscious serving mode of Gabory et al., arXiv:2403.14256).
 
-Version 1 archives keep loading (the loaders fall back to rebuilding any
-RMQ whose payload is absent), and ``mmap=True`` degrades gracefully on
-compressed members (they are decompressed eagerly).  Loading an archive
-with an unknown format or newer version fails loudly instead of
-misinterpreting bytes.
+Version 1 and 2 archives keep loading through the frozen legacy loaders
+below (any RMQ whose payload is absent is rebuilt), and ``mmap=True``
+degrades gracefully on compressed members (they are decompressed
+eagerly).  Loading an archive with an unknown format or newer version
+fails loudly instead of misinterpreting bytes.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import zipfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,21 +68,28 @@ from ..core.listing import UncertainStringListingIndex
 from ..core.simple_index import SimpleSpecialIndex
 from ..core.special_index import SpecialUncertainStringIndex
 from ..exceptions import ValidationError
-from ..strings.collection import UncertainStringCollection
-from ..strings.correlation import CorrelationModel, CorrelationRule
-from ..strings.special import SpecialUncertainString
-from ..strings.uncertain import UncertainString
+from ..payload import PAYLOAD_VERSION, IndexPayload
+from ..strings.serialization import (
+    collection_from_manifest as _collection_from_manifest,
+    collection_to_manifest as _collection_to_manifest,
+    correlation_rules_from_manifest as _rules_from_manifest,
+    correlation_rules_to_manifest as _rules_to_manifest,
+    special_string_from_manifest as _special_from_manifest,
+    special_string_to_manifest as _special_to_manifest,
+    uncertain_string_from_manifest as _uncertain_from_manifest,
+    uncertain_string_to_manifest as _uncertain_to_manifest,
+)
 from ..suffix.lcp import build_lcp_array
 from ..suffix.rmq import RMQ_PAYLOAD_VERSION, deserialize_rmq, make_rmq, serialize_rmq
 from ..suffix.suffix_array import SuffixArray
 from ..suffix.suffix_tree import SuffixTree
 
 FORMAT_NAME = "repro-index"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
-#: Versions :func:`save_index_payload` can still *write* (v1 for
-#: compatibility testing and old-fleet rollouts, v2 the serving format).
-WRITABLE_VERSIONS = (1, 2)
+#: Versions :func:`save_index_payload` can still *write* (v1 / v2 for
+#: compatibility testing and old-fleet rollouts, v3 the serving format).
+WRITABLE_VERSIONS = (1, 2, 3)
 
 #: Reserved archive key holding the JSON manifest (UTF-8 bytes).
 MANIFEST_KEY = "__manifest__"
@@ -100,77 +119,53 @@ def normalize_archive_path(path: Union[str, Path]) -> Path:
 
 
 # ---------------------------------------------------------------------------
-# String / correlation serialization (JSON-safe; floats round-trip exactly)
+# IndexPayload currency: the format-3 archive layout and the registry the
+# workers / parallel-construction paths use to rebuild indexes from payloads
 # ---------------------------------------------------------------------------
-def _rules_to_manifest(model: CorrelationModel) -> List[Dict[str, Any]]:
-    return [
-        {
-            "position": rule.position,
-            "character": rule.character,
-            "partner_position": rule.partner_position,
-            "partner_character": rule.partner_character,
-            "probability_if_present": rule.probability_if_present,
-            "probability_if_absent": rule.probability_if_absent,
-        }
-        for rule in model
-    ]
+_CLASS_BY_KIND = {kind: cls for cls, kind in _KIND_BY_CLASS.items()}
+
+#: Schema prefix shared by every index payload (``index/<kind>``).
+INDEX_SCHEMA_PREFIX = "index/"
 
 
-def _rules_from_manifest(entries: List[Dict[str, Any]]) -> CorrelationModel:
-    return CorrelationModel(CorrelationRule(**entry) for entry in entries)
+def index_to_payload(index: Any) -> IndexPayload:
+    """The validated :class:`~repro.payload.IndexPayload` describing ``index``."""
+    kind = _KIND_BY_CLASS.get(type(index))
+    if kind is None:
+        raise ValidationError(
+            f"cannot serialize a {type(index).__name__}; supported index "
+            f"classes: {sorted(cls.__name__ for cls in _KIND_BY_CLASS)}"
+        )
+    payload = index.to_payload().validate()
+    expected = INDEX_SCHEMA_PREFIX + kind
+    if payload.schema != expected:
+        raise ValidationError(
+            f"{type(index).__name__}.to_payload() returned schema "
+            f"{payload.schema!r}, expected {expected!r}"
+        )
+    return payload
 
 
-def _uncertain_to_manifest(string: UncertainString) -> Dict[str, Any]:
-    return {
-        "type": "uncertain",
-        "name": string.name,
-        "positions": string.to_table(),
-        "correlations": _rules_to_manifest(string.correlations),
-    }
+def payload_kind(payload: IndexPayload) -> str:
+    """The index kind an ``index/<kind>`` payload describes."""
+    if not payload.schema.startswith(INDEX_SCHEMA_PREFIX):
+        raise ValidationError(
+            f"{payload.schema!r} is not an index payload schema "
+            f"(expected an {INDEX_SCHEMA_PREFIX}<kind> schema)"
+        )
+    kind = payload.schema[len(INDEX_SCHEMA_PREFIX):]
+    if kind not in _CLASS_BY_KIND:
+        raise ValidationError(f"unknown index payload kind {kind!r}")
+    return kind
 
 
-def _uncertain_from_manifest(entry: Dict[str, Any]) -> UncertainString:
-    string = UncertainString.from_table(entry["positions"], name=entry.get("name"))
-    rules = entry.get("correlations") or []
-    if not rules:
-        return string
-    return UncertainString(
-        list(string),
-        correlations=_rules_from_manifest(rules),
-        name=entry.get("name"),
-    )
-
-
-def _special_to_manifest(string: SpecialUncertainString) -> Dict[str, Any]:
-    return {
-        "type": "special",
-        "name": string.name,
-        "text": string.text,
-        "probabilities": [float(value) for value in string.probabilities],
-    }
-
-
-def _special_from_manifest(entry: Dict[str, Any]) -> SpecialUncertainString:
-    return SpecialUncertainString.from_characters_and_probabilities(
-        entry["text"], entry["probabilities"], name=entry.get("name")
-    )
-
-
-def _collection_to_manifest(collection: UncertainStringCollection) -> Dict[str, Any]:
-    return {
-        "type": "collection",
-        "names": [collection.name_of(i) for i in range(len(collection))],
-        "documents": [_uncertain_to_manifest(document) for document in collection],
-    }
-
-
-def _collection_from_manifest(entry: Dict[str, Any]) -> UncertainStringCollection:
-    documents = [_uncertain_from_manifest(d) for d in entry["documents"]]
-    return UncertainStringCollection(documents, names=entry.get("names"))
+def index_from_payload(payload: IndexPayload) -> Any:
+    """Rebuild an index from its payload (inverse of :func:`index_to_payload`)."""
+    return _CLASS_BY_KIND[payload_kind(payload)].from_payload(payload)
 
 
 # ---------------------------------------------------------------------------
-# TransformedString round-trip
+# TransformedString round-trip (legacy v1/v2 archive layout)
 # ---------------------------------------------------------------------------
 def _transformed_to_payload(
     transformed: TransformedString, arrays: Dict[str, np.ndarray], prefix: str
@@ -571,6 +566,24 @@ _LOADERS = {
 # ---------------------------------------------------------------------------
 # Archive assembly
 # ---------------------------------------------------------------------------
+def _plan_manifest(plan: Any) -> Dict[str, Any]:
+    return {
+        "kind": plan.kind,
+        "tau_min": plan.tau_min,
+        "reason": plan.reason,
+        "profile": dict(plan.profile),
+    }
+
+
+def _write_npy_member(archive: zipfile.ZipFile, key: str, array: np.ndarray) -> None:
+    """Write one array as the ``{key}.npy`` member of an open zip archive."""
+    buffer = io.BytesIO()
+    np.lib.format.write_array(
+        buffer, np.ascontiguousarray(array), allow_pickle=False
+    )
+    archive.writestr(f"{key}.npy", buffer.getvalue())
+
+
 def save_index_payload(
     index: Any,
     plan: Optional[Any],
@@ -581,17 +594,47 @@ def save_index_payload(
 ) -> Path:
     """Write ``index`` (and optionally its plan) to a versioned ``.npz`` archive.
 
-    ``version`` selects the archive format: ``2`` (default) stores the
-    serialized RMQ payloads and writes an **uncompressed** zip so the
-    archive is memory-mappable; ``1`` reproduces the legacy compressed
-    layout (RMQ rebuilt on load) for compatibility testing.  ``compress``
-    overrides the per-version default (compressed v2 archives remain valid
-    — ``mmap=True`` just degrades to eager decompression for them).
+    ``version`` selects the archive format: ``3`` (default) writes the
+    index's :class:`~repro.payload.IndexPayload` — stored arrays as
+    ``.npy`` zip members keyed by payload path, the schema tree in the
+    JSON manifest — as an **uncompressed** zip so the archive is
+    memory-mappable; ``2`` and ``1`` reproduce the legacy layouts (full
+    RMQ tables, and compressed rebuild-on-load respectively) for
+    compatibility testing and old-fleet rollouts.  ``compress`` overrides
+    the per-version default (compressed v2/v3 archives remain valid —
+    ``mmap=True`` just degrades to eager decompression for them).
     """
     if version not in WRITABLE_VERSIONS:
         raise ValidationError(
             f"cannot write archive version {version}; supported: {WRITABLE_VERSIONS}"
         )
+    if compress is None:
+        compress = version < 2
+    path = normalize_archive_path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    if version >= 3:
+        payload = index_to_payload(index)
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": version,
+            "kind": payload_kind(payload),
+            "payload_version": PAYLOAD_VERSION,
+            "payload": payload.manifest(),
+        }
+        if plan is not None:
+            manifest["plan"] = _plan_manifest(plan)
+        manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+        compression = zipfile.ZIP_DEFLATED if compress else zipfile.ZIP_STORED
+        with zipfile.ZipFile(path, "w", compression=compression) as archive:
+            _write_npy_member(
+                archive, MANIFEST_KEY, np.frombuffer(manifest_bytes, dtype=np.uint8)
+            )
+            for key, array in payload.flatten().items():
+                _write_npy_member(archive, key, array)
+        return path
+
+    # Legacy v1 / v2 layouts (frozen).
     kind = _KIND_BY_CLASS.get(type(index))
     if kind is None:
         raise ValidationError(
@@ -603,7 +646,7 @@ def save_index_payload(
     if MANIFEST_KEY in arrays:
         raise ValidationError(f"{MANIFEST_KEY} is a reserved archive key")
 
-    manifest: Dict[str, Any] = {
+    manifest = {
         "format": FORMAT_NAME,
         "version": version,
         "kind": kind,
@@ -612,20 +655,11 @@ def save_index_payload(
     if version >= 2:
         manifest["rmq_payload_version"] = RMQ_PAYLOAD_VERSION
     if plan is not None:
-        manifest["plan"] = {
-            "kind": plan.kind,
-            "tau_min": plan.tau_min,
-            "reason": plan.reason,
-            "profile": dict(plan.profile),
-        }
+        manifest["plan"] = _plan_manifest(plan)
     payload = json.dumps(manifest, sort_keys=True).encode("utf-8")
     arrays[MANIFEST_KEY] = np.frombuffer(payload, dtype=np.uint8)
 
-    if compress is None:
-        compress = version < 2
     writer = np.savez_compressed if compress else np.savez
-    path = normalize_archive_path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("wb") as handle:
         writer(handle, **arrays)
     return path
@@ -649,6 +683,12 @@ def _extract_manifest(archive: Any, path: Path) -> Dict[str, Any]:
         raise ValidationError(
             f"{path} carries a newer RMQ payload version "
             f"({manifest.get('rmq_payload_version')} > {RMQ_PAYLOAD_VERSION}); "
+            "upgrade the package"
+        )
+    if int(manifest.get("payload_version", PAYLOAD_VERSION)) > PAYLOAD_VERSION:
+        raise ValidationError(
+            f"{path} carries a newer payload schema version "
+            f"({manifest.get('payload_version')} > {PAYLOAD_VERSION}); "
             "upgrade the package"
         )
     return manifest
@@ -825,17 +865,49 @@ def read_sharded_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     return manifest
 
 
+@dataclass
+class ShardedArchive:
+    """Named result of :func:`load_sharded_payload`.
+
+    PR 4 grew the old 2-tuple return into a 4-tuple, silently breaking
+    every unpacking call site; this type makes the next format change
+    additive instead.  Tuple unpacking keeps working (iteration yields the
+    four fields in the historical order), but prefer the named fields.
+
+    Attributes
+    ----------
+    payloads:
+        ``(index, plan)`` per shard, in shard order.
+    spec:
+        The :class:`~repro.api.planner.ShardSpec` describing the partition.
+    plan:
+        The ensemble-level :class:`~repro.api.planner.IndexPlan`.
+    shard_paths:
+        Each shard's archive file in shard order — the engine hands them
+        to ``query_executor="process"`` workers so each worker re-opens
+        its own shard instead of receiving a pickled index.
+    """
+
+    payloads: List[Tuple[Any, Any]]
+    spec: Any
+    plan: Any
+    shard_paths: List[Path]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.payloads, self.spec, self.plan, self.shard_paths))
+
+
 def load_sharded_payload(
     path: Union[str, Path], *, mmap: bool = False
-) -> Tuple[List[Tuple[Any, Any]], Any, Any, List[Path]]:
-    """Restore a sharded archive: ``([(index, plan), ...], spec, plan, shard_paths)``.
+) -> ShardedArchive:
+    """Restore a sharded archive as a :class:`ShardedArchive`.
 
-    ``shard_paths`` lists each shard's archive file in shard order — the
-    engine hands them to ``query_executor="process"`` workers so each
-    worker re-opens its own shard instead of receiving a pickled index.
-    ``mmap=True`` opens every shard archive memory-mapped (see
-    :func:`load_index_payload`) — the mode those workers use so every
-    process's view of a shard shares the same physical pages.
+    The result unpacks as the historical
+    ``(payloads, spec, plan, shard_paths)`` 4-tuple and exposes the same
+    data as named fields.  ``mmap=True`` opens every shard archive
+    memory-mapped (see :func:`load_index_payload`) — the mode the process
+    workers use so every process's view of a shard shares the same
+    physical pages.
     """
     from .planner import IndexPlan, ShardSpec
 
@@ -866,7 +938,9 @@ def load_sharded_payload(
         options={},
         profile=dict(saved_plan.get("profile", {})),
     )
-    return payloads, spec, plan, shard_paths
+    return ShardedArchive(
+        payloads=payloads, spec=spec, plan=plan, shard_paths=shard_paths
+    )
 
 
 def load_index_payload(
@@ -902,9 +976,17 @@ def load_index_payload(
             manifest = _extract_manifest(archive, path)
             arrays = {key: archive[key] for key in archive.files if key != MANIFEST_KEY}
     kind = manifest["kind"]
-    if kind not in _LOADERS:
-        raise ValidationError(f"{path} holds unknown index kind {kind!r}")
-    index = _LOADERS[kind](manifest["config"], arrays)
+    if int(manifest.get("version", 0)) >= 3:
+        # Format 3: the archive *is* the payload schema — reassemble the
+        # payload from the manifest's schema tree and the (possibly
+        # memory-mapped) arrays, then let the index rebuild itself.  No
+        # per-kind special cases.
+        payload = IndexPayload.from_manifest(manifest["payload"], arrays)
+        index = index_from_payload(payload)
+    else:
+        if kind not in _LOADERS:
+            raise ValidationError(f"{path} holds unknown index kind {kind!r}")
+        index = _LOADERS[kind](manifest["config"], arrays)
 
     saved_plan = manifest.get("plan") or {}
     source_note = f" [loaded from {path.name}, mmap]" if mmap else f" [loaded from {path.name}]"

@@ -27,12 +27,17 @@ Selection rules (``kind="auto"``)
 
 Space estimates are deliberately coarse (the honest number requires
 building the index); they exist so a budget can steer the choice, and the
-formulas are documented next to the code.
+formulas are documented next to the code.  They are also *calibrated*:
+every build records its measured size (:func:`record_build_observation`),
+and the observed-vs-estimated ratio feeds a per-kind multiplicative
+correction with a decaying window (:data:`CALIBRATION_WINDOW`) that later
+plans apply — surfaced through ``describe()["plan"]["calibration"]``.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
@@ -260,15 +265,108 @@ def _estimate_listing_bytes(n: int, tau_min: float) -> int:
     return _estimate_general_bytes(n, tau_min) + 8 * int(n * _expansion_factor(tau_min))
 
 
+# -- calibration: feeding estimate_error back into the formulas ---------------------------
+#: Decay window (in recorded builds) of the per-kind calibration: each new
+#: observation carries weight ``1/CALIBRATION_WINDOW`` once that many
+#: observations exist (plain averaging before that), so the correction
+#: tracks the workload with an effective memory of about one window.
+CALIBRATION_WINDOW = 8
+
+#: Clamp on the per-kind log2 correction: a single wild observation (or a
+#: degenerate tiny input) can never push an estimate further than this many
+#: doublings from the raw formula.
+CALIBRATION_LOG2_CLAMP = 6.0
+
+_calibration_lock = threading.Lock()
+_calibration_state: Dict[str, Dict[str, float]] = {}
+
+
+def reset_calibration() -> None:
+    """Drop every recorded calibration correction (estimates revert to raw)."""
+    with _calibration_lock:
+        _calibration_state.clear()
+
+
+def calibration_factor(kind: str) -> float:
+    """Current multiplicative correction applied to ``kind``'s size estimate."""
+    with _calibration_lock:
+        state = _calibration_state.get(kind)
+        return 2.0 ** state["log2_correction"] if state else 1.0
+
+
+def calibration_snapshot() -> Dict[str, Dict[str, Any]]:
+    """Per-kind calibration state: correction factor + observation count."""
+    with _calibration_lock:
+        return {
+            kind: {
+                "correction": 2.0 ** state["log2_correction"],
+                "log2_correction": state["log2_correction"],
+                "observations": int(state["observations"]),
+                "window": CALIBRATION_WINDOW,
+            }
+            for kind, state in _calibration_state.items()
+        }
+
+
+def _plan_calibration(kind: str) -> Dict[str, Any]:
+    """The calibration record a plan carries (surfaced by ``describe()``)."""
+    with _calibration_lock:
+        state = _calibration_state.get(kind)
+        return {
+            "kind": kind,
+            "correction": 2.0 ** state["log2_correction"] if state else 1.0,
+            "observations": int(state["observations"]) if state else 0,
+            "window": CALIBRATION_WINDOW,
+        }
+
+
+def _calibrated_estimate(kind: str, raw_bytes: int) -> int:
+    """Apply the per-kind multiplicative correction to a raw formula output."""
+    return max(1, int(round(raw_bytes * calibration_factor(kind))))
+
+
+def _observe_calibration(kind: str, raw_estimated: int, observed: int) -> None:
+    """Fold one ``observed / raw_estimate`` ratio into the kind's correction.
+
+    Log-space exponential moving average: weight ``1/(n+1)`` while fewer
+    than :data:`CALIBRATION_WINDOW` observations exist (so the first few
+    builds converge like a plain mean) and ``1/CALIBRATION_WINDOW``
+    afterwards (so the correction keeps adapting with a bounded memory —
+    the "decay window").  The error term is clamped to
+    ±:data:`CALIBRATION_LOG2_CLAMP` doublings.
+    """
+    if raw_estimated <= 0 or observed <= 0:
+        return
+    error = math.log2(observed / float(raw_estimated))
+    error = max(-CALIBRATION_LOG2_CLAMP, min(CALIBRATION_LOG2_CLAMP, error))
+    with _calibration_lock:
+        state = _calibration_state.setdefault(
+            kind, {"log2_correction": 0.0, "observations": 0}
+        )
+        observations = int(state["observations"])
+        alpha = 1.0 / min(observations + 1, CALIBRATION_WINDOW)
+        state["log2_correction"] = (
+            (1.0 - alpha) * state["log2_correction"] + alpha * error
+        )
+        state["log2_correction"] = max(
+            -CALIBRATION_LOG2_CLAMP,
+            min(CALIBRATION_LOG2_CLAMP, state["log2_correction"]),
+        )
+        state["observations"] = observations + 1
+
+
 def record_build_observation(plan: IndexPlan, observed_bytes: int) -> None:
     """Record the *measured* size of a freshly built index into its plan.
 
     The planner's ``_estimate_*`` formulas are deliberately coarse; this
-    feedback hook makes their accuracy observable so space-budget routing
-    can be audited (and, eventually, calibrated).  Writes
-    ``observed_bytes`` into ``plan.profile`` and, when the plan carried an
-    ``estimated_bytes`` prediction, an ``estimate_error`` record —
-    surfaced by ``Engine.describe()["plan"]["estimate_error"]``:
+    feedback hook makes their accuracy observable *and feeds it back*:
+    the ``observed / raw_estimate`` ratio updates the per-kind
+    multiplicative correction (decaying window, see
+    :func:`_observe_calibration`) that future :func:`plan_index` calls
+    apply to the same kind's estimate.  Writes ``observed_bytes`` into
+    ``plan.profile`` and, when the plan carried an ``estimated_bytes``
+    prediction, an ``estimate_error`` record — surfaced by
+    ``Engine.describe()["plan"]["estimate_error"]``:
 
     * ``estimated_bytes`` / ``observed_bytes`` — the two sides,
     * ``ratio`` — ``observed / estimated`` (1.0 means a perfect estimate),
@@ -287,6 +385,9 @@ def record_build_observation(plan: IndexPlan, observed_bytes: int) -> None:
             "ratio": ratio,
             "log2_error": math.log2(ratio),
         }
+        _observe_calibration(
+            plan.kind, int(profile.get("raw_estimated_bytes", estimated)), observed
+        )
 
 
 def plan_index(
@@ -346,8 +447,12 @@ def plan_index(
             )
         plan_options = dict(options)
         plan_options["metric"] = metric
+        raw_estimate = _estimate_listing_bytes(n, effective_tau_min)
         profile = dict(
-            profile, estimated_bytes=_estimate_listing_bytes(n, effective_tau_min)
+            profile,
+            estimated_bytes=_calibrated_estimate("listing", raw_estimate),
+            raw_estimated_bytes=raw_estimate,
+            calibration=_plan_calibration("listing"),
         )
         return IndexPlan(
             kind="listing",
@@ -377,16 +482,30 @@ def plan_index(
 
     # 3. Special-string inputs.
     if special is not None:
-        estimate = _estimate_special_bytes(n)
-        profile = dict(profile, estimated_bytes=estimate)
+        raw_estimate = _estimate_special_bytes(n)
+        estimate = _calibrated_estimate("special", raw_estimate)
+        profile = dict(
+            profile,
+            estimated_bytes=estimate,
+            raw_estimated_bytes=raw_estimate,
+            calibration=_plan_calibration("special"),
+        )
         if space_budget_bytes is not None and estimate > space_budget_bytes:
+            raw_simple = _estimate_simple_bytes(n)
+            profile = dict(
+                profile,
+                estimated_bytes=_calibrated_estimate("simple", raw_simple),
+                raw_estimated_bytes=raw_simple,
+                calibration=_plan_calibration("simple"),
+            )
             return IndexPlan(
                 kind="simple",
                 tau_min=0.0,
                 reason=(
                     f"special uncertain string of length {n}, but the RMQ tower "
                     f"(~{estimate} B) exceeds the {space_budget_bytes} B budget → "
-                    f"linear-space scanning index (~{_estimate_simple_bytes(n)} B)"
+                    f"linear-space scanning index "
+                    f"(~{_calibrated_estimate('simple', raw_simple)} B)"
                 ),
                 options=dict(options),
                 profile=profile,
@@ -406,8 +525,14 @@ def plan_index(
         )
 
     # 4. General uncertain strings.
-    estimate = _estimate_general_bytes(n, effective_tau_min)
-    profile = dict(profile, estimated_bytes=estimate)
+    raw_estimate = _estimate_general_bytes(n, effective_tau_min)
+    estimate = _calibrated_estimate("general", raw_estimate)
+    profile = dict(
+        profile,
+        estimated_bytes=estimate,
+        raw_estimated_bytes=raw_estimate,
+        calibration=_plan_calibration("general"),
+    )
     wants_approximate = epsilon is not None or (
         space_budget_bytes is not None and estimate > space_budget_bytes
     )
@@ -420,13 +545,21 @@ def plan_index(
             if epsilon is not None
             else f"estimated {estimate} B exceeds the {space_budget_bytes} B budget"
         )
+        raw_approximate = _estimate_approximate_bytes(n, effective_tau_min)
+        approximate_estimate = _calibrated_estimate("approximate", raw_approximate)
+        profile = dict(
+            profile,
+            estimated_bytes=approximate_estimate,
+            raw_estimated_bytes=raw_approximate,
+            calibration=_plan_calibration("approximate"),
+        )
         return IndexPlan(
             kind="approximate",
             tau_min=effective_tau_min,
             reason=(
                 f"general uncertain string of length {n}; {why} → link-based "
                 f"approximate index (additive error, "
-                f"~{_estimate_approximate_bytes(n, effective_tau_min)} B)"
+                f"~{approximate_estimate} B)"
             ),
             options=plan_options,
             profile=profile,

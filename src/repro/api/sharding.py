@@ -66,6 +66,8 @@ from .cache import DEFAULT_CACHE_SIZE, ResultCache
 from .engine import Engine, QueryEngine, build_index
 from .persistence import (
     FORMAT_VERSION,
+    index_from_payload,
+    index_to_payload,
     load_sharded_payload,
     save_sharded_payload,
 )
@@ -112,7 +114,15 @@ class ShardedEngine(QueryEngine):
     values — so callers can swap one for the other without touching query
     code.  Only the evaluation differs: it fans out across shards and
     merges (batch dedupe, refinement and the result cache all operate at
-    the ensemble level, with per-shard caches disabled)."""
+    the ensemble level, with per-shard caches disabled).
+
+    ``max_workers`` sizes the fan-out independently of the shard count
+    (it must be at least 1).  The default (``None``) is one thread — or,
+    with ``query_executor="process"``, one worker process — per shard;
+    a smaller value shares workers across shards (process worker ``w``
+    owns every shard ``s`` with ``s % max_workers == w``), trading a
+    little query parallelism for a bounded process/thread footprint.
+    Values larger than the shard count are clamped to it."""
 
     def __init__(
         self,
@@ -136,6 +146,10 @@ class ShardedEngine(QueryEngine):
             raise ValidationError(
                 f"unknown query_executor {query_executor!r}; "
                 "expected 'thread' or 'process'"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be at least 1, got {max_workers}"
             )
         self._engines = list(engines)
         self._spec = spec
@@ -211,13 +225,17 @@ class ShardedEngine(QueryEngine):
             "kind": self.kind,
             "reason": self._plan.reason,
             "tau_min": self.tau_min,
-            "plan": {"estimate_error": self._plan.profile.get("estimate_error")},
+            "plan": {
+                "estimate_error": self._plan.profile.get("estimate_error"),
+                "calibration": self._plan.profile.get("calibration"),
+            },
             "sharding": {
                 "mode": self._spec.mode,
                 "shard_count": self._spec.shard_count,
                 "overlap": self._spec.overlap,
                 "max_pattern_len": self._spec.max_pattern_len,
                 "query_executor": self._query_executor,
+                "max_workers": self._fanout_workers(),
             },
             "cache": self._cache.stats(),
             "space_report": self.space_report(),
@@ -243,41 +261,64 @@ class ShardedEngine(QueryEngine):
         )
 
     # -- fan-out (threads or worker processes) -----------------------------------------
+    def _fanout_workers(self) -> int:
+        """Width of the query fan-out (threads or worker processes).
+
+        Defaults to one worker per shard; ``max_workers`` caps it and is
+        clamped to the shard count.  In process mode a worker then owns
+        every shard ``s`` with ``s % workers == worker``, so memory-bound
+        deployments can serve many shards from a few processes —
+        especially with mmap-loaded archives, where the extra shards cost
+        page-cache references, not copies.
+        """
+        return max(1, min(self._max_workers or self.shard_count, self.shard_count))
+
     def _map_shards(self, function: Callable[[int], Any]) -> List[Any]:
         """Run ``function(shard)`` for every shard, in parallel when > 1."""
         if len(self._engines) == 1:
             return [function(0)]
         with self._executor_lock:
             if self._executor is None:
-                workers = self._max_workers or len(self._engines)
                 self._executor = ThreadPoolExecutor(
-                    max_workers=max(1, workers), thread_name_prefix="repro-shard"
+                    max_workers=self._fanout_workers(),
+                    thread_name_prefix="repro-shard",
                 )
             executor = self._executor
         return list(executor.map(function, range(len(self._engines))))
 
-    def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
-        """Lazily start one persistent single-worker pool per shard.
+    def _worker_spec(self, shard: int) -> Any:
+        """Initialization payload for one shard (archive path or IndexPayload)."""
+        if self._shard_sources is not None:
+            return ("archive", self._shard_sources[shard], self._shard_mmap)
+        return ("payload", index_to_payload(self._engines[shard].index))
 
-        Each pool's worker process is initialized exactly once with its
-        shard (archive path + mmap flag when the engine was loaded from
-        disk, the pickled index otherwise) and then owns that shard for the
-        engine's lifetime — queries only ship ``(pattern, tau, top_k)``
-        tuples out and ndarray payloads back.
+    def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
+        """Lazily start the persistent worker processes (one pool each).
+
+        Worker ``w`` is initialized exactly once with *every* shard it
+        owns (archive path + mmap flag when the engine was loaded from
+        disk, the shard's :class:`~repro.payload.IndexPayload` otherwise)
+        and keeps them for the engine's lifetime — queries only ship
+        ``(shard, pattern, tau, top_k)`` tuples out and ndarray payloads
+        back.  Single-worker pools keep the shard → process assignment
+        deterministic, so each shard is materialized in exactly one
+        process.
         """
         with self._executor_lock:
             if self._process_pools is None:
+                workers = self._fanout_workers()
                 pools: List[ProcessPoolExecutor] = []
-                for shard, engine in enumerate(self._engines):
-                    if self._shard_sources is not None:
-                        spec = ("archive", self._shard_sources[shard], self._shard_mmap)
-                    else:
-                        spec = ("index", engine.index)
+                for worker in range(workers):
+                    specs = {
+                        shard: self._worker_spec(shard)
+                        for shard in range(self.shard_count)
+                        if shard % workers == worker
+                    }
                     pools.append(
                         ProcessPoolExecutor(
                             max_workers=1,
                             initializer=initialize_worker,
-                            initargs=(spec,),
+                            initargs=(specs,),
                         )
                     )
                 self._process_pools = pools
@@ -293,8 +334,13 @@ class ShardedEngine(QueryEngine):
         """
         if self._query_executor == "process":
             pools = self._ensure_process_pools()
-            arguments = (request.pattern, request.tau, request.top_k)
-            futures = [pool.submit(query_worker, arguments) for pool in pools]
+            workers = len(pools)
+            futures = [
+                pools[shard % workers].submit(
+                    query_worker, (shard, request.pattern, request.tau, request.top_k)
+                )
+                for shard in range(self.shard_count)
+            ]
             return [
                 self._translate(shard, matches_from_arrays(*future.result()))
                 for shard, future in enumerate(futures)
@@ -418,20 +464,21 @@ class ShardedEngine(QueryEngine):
         fallback, so loading them eagerly onto the heap (``mmap=False``)
         holds the index roughly twice.
         """
-        payloads, spec, plan, shard_paths = load_sharded_payload(path, mmap=mmap)
+        archive = load_sharded_payload(path, mmap=mmap)
         engines = [
-            Engine(index, shard_plan, cache_size=0) for index, shard_plan in payloads
+            Engine(index, shard_plan, cache_size=0)
+            for index, shard_plan in archive.payloads
         ]
         engine = cls(
             engines,
-            spec,
-            plan,
+            archive.spec,
+            archive.plan,
             cache_size=cache_size,
             cache_ttl_seconds=cache_ttl_seconds,
             max_workers=max_workers,
             query_executor=query_executor,
         )
-        engine._shard_sources = [str(shard_path) for shard_path in shard_paths]
+        engine._shard_sources = [str(shard_path) for shard_path in archive.shard_paths]
         engine._shard_mmap = mmap
         return engine
 
@@ -441,15 +488,19 @@ def _build_shard_payload(
 ) -> Tuple[Any, IndexPlan]:
     """Build one shard's index in a worker process.
 
-    Module-level so :class:`ProcessPoolExecutor` can pickle it.  Returns the
-    raw ``(index, plan)`` payload instead of the engine: the engine's result
-    cache holds a ``threading.Lock``, which cannot cross the process
-    boundary — the parent re-wraps the payload in a cache-less
-    :class:`Engine`, exactly as :meth:`ShardedEngine.load` does.
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.  Returns
+    ``(payload, plan)`` — the shard's
+    :class:`~repro.payload.IndexPayload`, the same currency the archives
+    and query workers use — instead of the engine or the live index: the
+    engine's result cache holds a ``threading.Lock`` that cannot cross the
+    process boundary, and the payload ships as flat ndarrays with no
+    Python object graph.  The parent rebuilds the index with
+    ``from_payload`` and wraps it in a cache-less :class:`Engine`, exactly
+    as :meth:`ShardedEngine.load` does.
     """
     part, build_kwargs = arguments
     engine = build_index(part, cache_size=0, **build_kwargs)
-    return engine.index, engine.plan
+    return index_to_payload(engine.index), engine.plan
 
 
 def build_sharded_index(
@@ -485,18 +536,23 @@ def build_sharded_index(
     ``workers`` parallelizes *construction*: with ``workers > 1`` the
     per-shard suffix array / RMQ builds fan out on a
     :class:`ProcessPoolExecutor` (suffix-array construction is pure-Python
-    + numpy, so threads would serialize on the GIL).  The partition, the
-    plan and the per-shard build arguments are identical to the serial
-    path, so the resulting ensemble answers queries byte-identically to a
-    ``workers=1`` build.  ``max_workers`` (the *query* fan-out thread
-    count) is unchanged and independent.
+    + numpy, so threads would serialize on the GIL); shard builds ship
+    ``(payload, plan)`` pairs — flat :class:`~repro.payload.IndexPayload`
+    arrays, not pickled index objects — back to the parent.  The
+    partition, the plan and the per-shard build arguments are identical
+    to the serial path, so the resulting ensemble answers queries
+    byte-identically to a ``workers=1`` build.
 
     ``query_executor`` selects the *query* fan-out: ``"thread"`` (default)
-    shares one thread pool, ``"process"`` starts one persistent worker
-    process per shard — each initialized once with its shard and answering
-    via ndarray payloads — buying real parallelism for the GIL-bound
-    Python portions of the query path at the cost of per-request IPC.
-    Both modes answer byte-identically.
+    shares one thread pool, ``"process"`` starts persistent worker
+    processes — each initialized once with the shards it owns (payloads
+    in memory, archive paths from disk) and answering via ndarray
+    payloads — buying real parallelism for the GIL-bound Python portions
+    of the query path at the cost of per-request IPC.  Both modes answer
+    byte-identically.  ``max_workers`` sizes the query fan-out in either
+    mode and is independent of ``workers``; by default one thread /
+    process per shard, and smaller values share workers across shards
+    (see :class:`ShardedEngine`).
 
     Examples
     --------
@@ -533,8 +589,10 @@ def build_sharded_index(
                 pool.map(_build_shard_payload, [(part, build_kwargs) for part in parts])
             )
         engines = [
-            Engine(index, shard_plan, cache_size=0)  # ensemble cache fronts queries
-            for index, shard_plan in payloads
+            # Rebuild from the shipped payloads; the ensemble cache fronts
+            # queries, so the per-shard engines stay cache-less.
+            Engine(index_from_payload(payload), shard_plan, cache_size=0)
+            for payload, shard_plan in payloads
         ]
     else:
         engines = [

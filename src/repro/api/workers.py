@@ -9,17 +9,20 @@ must pickle the callables it ships.
 
 Design:
 
-* **One persistent process per shard.**  Each worker process is
-  initialized once with its shard's index (:func:`initialize_worker`) and
-  then answers any number of queries against it — no per-query index
-  transfer, no per-query process spawn.
-* **Two initialization sources.**  A shard loaded from disk ships only its
+* **Workers sized independently of shard count.**  A worker process owns
+  one or more shards (``ShardedEngine(max_workers=W)`` with ``W`` smaller
+  than the shard count assigns shard ``s`` to worker ``s % W``), each
+  initialized exactly once (:func:`initialize_worker`) and then answering
+  any number of queries — no per-query index transfer, no per-query
+  process spawn.
+* **Payloads, not pickles.**  A shard loaded from disk ships only its
   archive *path* (plus the mmap flag): the worker re-opens the archive
   itself, and with ``mmap=True`` every worker's view of the shard shares
   one set of physical pages through the OS page cache.  A shard built in
-  memory ships the pickled index object instead (engines themselves hold a
-  ``threading.Lock`` inside their cache and cannot cross the boundary —
-  the same reason the parallel *construction* path ships raw payloads).
+  memory ships its :class:`~repro.payload.IndexPayload` — the same
+  array-schema currency the archives use — and the worker rebuilds the
+  index with ``from_payload``; no live index object (with its embedded
+  locks and caches) ever crosses the process boundary.
 * **Array answers.**  A query's matches cross back as
   ``(kind, ids, values)`` ndarray payloads
   (:func:`repro.core.base.matches_to_arrays`) instead of one pickled
@@ -29,39 +32,48 @@ Design:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.base import matches_to_arrays, resolve_tau
+from ..payload import IndexPayload
 
-#: Worker-initialization spec: ``("archive", path, mmap)`` for shards that
-#: live on disk, ``("index", index_object)`` for in-memory shards.
-WorkerSpec = Union[Tuple[str, str, bool], Tuple[str, Any]]
+#: Per-shard initialization spec: ``("archive", path, mmap)`` for shards
+#: that live on disk, ``("payload", index_payload)`` for in-memory shards.
+WorkerSpec = Union[Tuple[str, str, bool], Tuple[str, IndexPayload]]
 
-#: The shard index owned by *this* worker process (set by the pool
-#: initializer; ``None`` in the parent and in uninitialized workers).
-_WORKER_INDEX: Any = None
+#: The shard indexes owned by *this* worker process, keyed by shard
+#: ordinal (set by the pool initializer; empty in the parent and in
+#: uninitialized workers).
+_WORKER_INDEXES: Dict[int, Any] = {}
 
 
-def initialize_worker(spec: WorkerSpec) -> None:
-    """Process-pool initializer: materialize this worker's shard index."""
-    global _WORKER_INDEX
+def _materialize(spec: WorkerSpec) -> Any:
+    """Build one shard index from its initialization spec."""
     if spec[0] == "archive":
         from .persistence import load_index_payload
 
         _, path, mmap = spec
-        _WORKER_INDEX, _ = load_index_payload(path, mmap=mmap)
-    elif spec[0] == "index":
-        _WORKER_INDEX = spec[1]
-    else:
-        raise ValueError(f"unknown worker spec {spec[0]!r}")
+        index, _ = load_index_payload(path, mmap=mmap)
+        return index
+    if spec[0] == "payload":
+        from .persistence import index_from_payload
+
+        return index_from_payload(spec[1])
+    raise ValueError(f"unknown worker spec {spec[0]!r}")
+
+
+def initialize_worker(specs: Dict[int, WorkerSpec]) -> None:
+    """Process-pool initializer: materialize every shard this worker owns."""
+    global _WORKER_INDEXES
+    _WORKER_INDEXES = {shard: _materialize(spec) for shard, spec in specs.items()}
 
 
 def query_worker(
-    arguments: Tuple[str, Optional[float], Optional[int]],
+    arguments: Tuple[int, str, Optional[float], Optional[int]],
 ) -> Tuple[str, np.ndarray, np.ndarray]:
-    """Answer one ``(pattern, tau, top_k)`` query against this worker's shard.
+    """Answer one ``(shard, pattern, tau, top_k)`` query against an owned shard.
 
     Mirrors ``Engine._evaluate`` exactly — ``top_k`` routes to the index's
     heap extraction, plain requests resolve ``tau=None`` through the
@@ -70,13 +82,15 @@ def query_worker(
     for a ``tau`` below ``tau_min``) pickle through the future and
     propagate in the parent, matching the thread-mode behaviour.
     """
-    if _WORKER_INDEX is None:
-        raise RuntimeError("shard worker used before initialization")
-    pattern, tau, top_k = arguments
-    if top_k is not None:
-        matches = _WORKER_INDEX.top_k(pattern, top_k, tau=tau)
-    else:
-        matches = _WORKER_INDEX.query(
-            pattern, resolve_tau(tau, float(_WORKER_INDEX.tau_min))
+    shard, pattern, tau, top_k = arguments
+    index = _WORKER_INDEXES.get(shard)
+    if index is None:
+        raise RuntimeError(
+            f"shard worker asked for shard {shard} it does not own "
+            f"(owned: {sorted(_WORKER_INDEXES)})"
         )
+    if top_k is not None:
+        matches = index.top_k(pattern, top_k, tau=tau)
+    else:
+        matches = index.query(pattern, resolve_tau(tau, float(index.tau_min)))
     return matches_to_arrays(matches)

@@ -37,13 +37,28 @@ import numpy as np
 
 from .._validation import check_nonempty_pattern, check_probability, check_threshold
 from ..exceptions import ValidationError
+from ..payload import IndexPayload, expect_schema
+from ..strings.serialization import (
+    uncertain_string_from_manifest,
+    uncertain_string_to_manifest,
+)
 from ..strings.uncertain import UncertainString
-from ..suffix.rmq import make_rmq
+from ..suffix.rmq import make_rmq, rmq_to_payload
 from ..suffix.suffix_array import SuffixArray
 from ..suffix.suffix_tree import SuffixTree
-from .base import Occurrence, UncertainSubstringIndex, report_above_threshold, sort_occurrences
+from .base import (
+    Occurrence,
+    UncertainSubstringIndex,
+    report_above_threshold,
+    restore_child_rmq,
+    sort_occurrences,
+)
+
 from .cumulative import cumulative_log_probabilities
 from .factors import DEFAULT_SEPARATOR, TransformedString, transform_uncertain_string
+
+#: Payload schema of this index kind (see :mod:`repro.payload`).
+APPROXIMATE_INDEX_SCHEMA = "index/approximate"
 
 
 @dataclass(frozen=True)
@@ -303,26 +318,90 @@ class ApproximateSubstringIndex(UncertainSubstringIndex):
         """Total number of (split) links stored by the index."""
         return len(self._links)
 
-    def space_report(self) -> Dict[str, int]:
-        """Byte sizes of every index component."""
-        report = {
-            "suffix_array": self._suffix_array.nbytes(),
-            "suffix_tree": self._tree.nbytes(),
-            "cumulative": int(self._prefix.nbytes),
-            "position_map": int(self._rank_positions.nbytes),
-            "links": int(
-                self._link_origin_left.nbytes + self._link_probabilities.nbytes
-            ),
-            "link_rmq": int(
-                self._link_rmq.nbytes() if self._link_rmq is not None else 0  # type: ignore[attr-defined]
-            ),
-        }
-        report["total"] = sum(report.values())
-        return report
+    # -- payload currency -----------------------------------------------------------------
+    def to_payload(self) -> IndexPayload:
+        """The complete array-schema description of this index.
 
-    def nbytes(self) -> int:
-        """Approximate memory footprint of the index payload in bytes."""
-        return self.space_report()["total"]
+        The link chain is decomposed into six parallel flat arrays (the
+        :class:`Link` dataclasses are rebuilt on restore); the link RMQ is
+        a child payload, present only when the index holds links.
+        """
+        links = self._links
+        arrays = {
+            "suffix_array": self._suffix_array.array,
+            "lcp": self._tree.lcp,
+            "prefix": self._prefix,
+            "rank_positions": self._rank_positions,
+            "link_origin_left": self._link_origin_left,
+            "link_origin_right": np.asarray(
+                [link.origin_right for link in links], dtype=np.int64
+            ),
+            "link_origin_depth": np.asarray(
+                [link.origin_depth for link in links], dtype=np.int64
+            ),
+            "link_target_depth": np.asarray(
+                [link.target_depth for link in links], dtype=np.int64
+            ),
+            "link_position": np.asarray(
+                [link.position for link in links], dtype=np.int64
+            ),
+            "link_probability": self._link_probabilities,
+        }
+        children = {"transformed": self._transformed.to_payload()}
+        if self._link_rmq is not None:
+            children["rmq_links"] = rmq_to_payload(self._link_rmq)
+        return IndexPayload(
+            schema=APPROXIMATE_INDEX_SCHEMA,
+            meta={
+                "string": uncertain_string_to_manifest(self._string),
+                "tau_min": self._tau_min,
+                "epsilon": self._epsilon,
+                "link_count": len(links),
+            },
+            arrays=arrays,
+            derived={"suffix_rank": self._suffix_array.rank},
+            children=children,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: IndexPayload) -> "ApproximateSubstringIndex":
+        """Restore an index from :meth:`to_payload` output (no construction)."""
+        expect_schema(payload, APPROXIMATE_INDEX_SCHEMA)
+        meta = payload.meta
+        index = cls.__new__(cls)
+        index._string = uncertain_string_from_manifest(meta["string"])
+        index._tau_min = float(meta["tau_min"])
+        index._epsilon = float(meta["epsilon"])
+        index._transformed = TransformedString.from_payload(
+            payload.children["transformed"]
+        )
+        index._suffix_array = SuffixArray(
+            index._transformed.text, array=payload.arrays["suffix_array"]
+        )
+        index._tree = SuffixTree(index._suffix_array, lcp=payload.arrays["lcp"])
+        index._prefix = payload.arrays["prefix"]
+        index._rank_positions = payload.arrays["rank_positions"]
+        arrays = payload.arrays
+        index._links = [
+            Link(
+                origin_left=int(arrays["link_origin_left"][i]),
+                origin_right=int(arrays["link_origin_right"][i]),
+                origin_depth=int(arrays["link_origin_depth"][i]),
+                target_depth=int(arrays["link_target_depth"][i]),
+                position=int(arrays["link_position"][i]),
+                probability=float(arrays["link_probability"][i]),
+            )
+            for i in range(int(meta["link_count"]))
+        ]
+        index._link_origin_left = arrays["link_origin_left"]
+        index._link_probabilities = arrays["link_probability"]
+        if len(index._links) > 0:
+            index._link_rmq = restore_child_rmq(
+                payload, "rmq_links", index._link_probabilities
+            )
+        else:
+            index._link_rmq = None
+        return index
 
     # -- queries --------------------------------------------------------------------------------
     def query(self, pattern: str, tau: float, *, verify: bool = False) -> List[Occurrence]:

@@ -32,6 +32,7 @@ from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, Un
 import numpy as np
 
 from .._validation import check_threshold
+from ..payload import IndexPayload
 
 #: Smallest threshold substituted when a ``top_k`` caller passes ``tau=None``
 #: to an index whose ``tau_min`` is zero (thresholds enter log space, so an
@@ -380,7 +381,76 @@ def top_values_above_threshold(
     return sorted_ranks[:keep_count]
 
 
-class UncertainSubstringIndex(abc.ABC):
+def restore_child_rmq(
+    payload: IndexPayload,
+    name: str,
+    values: np.ndarray,
+    *,
+    implementation: str = "sparse",
+):
+    """Restore (or rebuild) the RMQ stored as child ``name`` of ``payload``.
+
+    When the child payload is present the structure restores in
+    O(n/b · log n) work through :func:`repro.suffix.rmq.rmq_from_payload`;
+    an absent child — a payload assembled from a legacy version-1 archive —
+    falls back to rebuilding from the value array, exactly as the original
+    loader did.
+    """
+    from ..suffix.rmq import make_rmq, rmq_from_payload
+
+    child = payload.children.get(name)
+    if child is not None:
+        return rmq_from_payload(values, child)
+    return make_rmq(values, mode="max", implementation=implementation)
+
+
+class PayloadSerializable:
+    """Mixin deriving space accounting from the payload schema.
+
+    Indexes that implement :meth:`to_payload` — the single definition of
+    "what this index is made of" (see :mod:`repro.payload`) — get
+    :meth:`nbytes` and :meth:`space_report` for free: the footprint is the
+    payload's arrays (stored + derived, recursively through children), and
+    the component breakdown is the payload's name structure.  Nothing is
+    hand-maintained per kind, so persistence, IPC and space accounting can
+    never disagree about an index's contents.
+    """
+
+    def to_payload(self) -> IndexPayload:
+        """The versioned array-schema payload describing this structure."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a payload schema"
+        )
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the index payload in bytes."""
+        return int(self.space_report()["total"])
+
+    def space_report(self) -> Dict[str, int]:
+        """Byte sizes of the index components (derived from the payload schema).
+
+        Computed once and cached: indexes are immutable after construction
+        (hot swaps replace the whole index object), and deriving the
+        report means building the payload — including its JSON-safe input
+        manifest — which is O(index size).  Only the small name → bytes
+        dict is retained; the payload itself is dropped.
+        """
+        cached = self.__dict__.get("_space_report_cache")
+        if cached is None:
+            try:
+                cached = self.to_payload().space_report()
+            except NotImplementedError:
+                # Structures without a payload schema (baselines) that
+                # override nbytes() still answer the interface with a
+                # single total.
+                if type(self).nbytes is PayloadSerializable.nbytes:
+                    raise
+                cached = {"total": int(self.nbytes())}
+            self.__dict__["_space_report_cache"] = cached
+        return dict(cached)
+
+
+class UncertainSubstringIndex(PayloadSerializable, abc.ABC):
     """Abstract interface of every substring-searching index in the package.
 
     Concrete indexes implement :meth:`query` (threshold reporting) and may
@@ -395,10 +465,11 @@ class UncertainSubstringIndex(abc.ABC):
     otherwise — and results are ordered by decreasing probability with ties
     broken by position.
 
-    Space accounting is part of the interface: every index reports its
-    payload through :meth:`nbytes`, and :meth:`space_report` breaks the
-    footprint down by component (indexes with several components override
-    it; the default reports a single ``total`` entry).
+    Space accounting is part of the interface, derived from the payload
+    schema by :class:`PayloadSerializable`: indexes that define
+    :meth:`to_payload` report :meth:`nbytes` / :meth:`space_report`
+    automatically; structures without a payload schema (the baselines)
+    override :meth:`nbytes` directly.
     """
 
     @property
@@ -409,14 +480,6 @@ class UncertainSubstringIndex(abc.ABC):
     @abc.abstractmethod
     def query(self, pattern: str, tau: float) -> List[Occurrence]:
         """Report occurrences of ``pattern`` with probability above ``tau``."""
-
-    @abc.abstractmethod
-    def nbytes(self) -> int:
-        """Approximate memory footprint of the index payload in bytes."""
-
-    def space_report(self) -> Dict[str, int]:
-        """Byte sizes of the index components (at least a ``total`` entry)."""
-        return {"total": int(self.nbytes())}
 
     def top_k(self, pattern: str, k: int, *, tau: Optional[float] = None) -> List[Occurrence]:
         """Report the ``k`` most probable occurrences of ``pattern``.

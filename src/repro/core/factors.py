@@ -38,9 +38,13 @@ import numpy as np
 
 from .._validation import check_threshold
 from ..exceptions import ConstructionError, ValidationError
+from ..payload import IndexPayload, expect_schema
 from ..strings.collection import UncertainStringCollection
 from ..strings.special import SpecialUncertainString
 from ..strings.uncertain import UncertainString
+
+#: Payload schema of a serialized :class:`TransformedString`.
+TRANSFORMED_SCHEMA = "transformed"
 
 #: Separator placed between concatenated factors.  ``\x01`` sorts below all
 #: printable characters and may not occur in any indexed alphabet.
@@ -345,6 +349,65 @@ class TransformedString:
         """Approximate memory footprint of the numpy payload in bytes."""
         return int(
             self.probabilities.nbytes + self.positions.nbytes + self.documents.nbytes
+        )
+
+    # -- payload currency ---------------------------------------------------------
+    def to_payload(self) -> IndexPayload:
+        """The :class:`~repro.payload.IndexPayload` describing this transformation."""
+        return IndexPayload(
+            schema=TRANSFORMED_SCHEMA,
+            meta={
+                "text": self.text,
+                "tau_min": self._tau_min,
+                "separator": self._separator,
+                "source_length": self._source_length,
+                "document_count": self._document_count,
+            },
+            arrays={
+                "probabilities": self.probabilities,
+                "positions": self.positions,
+                "documents": self.documents,
+            },
+        )
+
+    @classmethod
+    def from_payload(cls, payload: IndexPayload) -> "TransformedString":
+        """Rebuild the transformation by recovering its factors from the arrays.
+
+        Factors are delimited by the separator character, so the factor
+        list — and with it every invariant the constructor enforces — is
+        recovered exactly; the constructor then reassembles text and
+        arrays identical to the saved ones.
+        """
+        expect_schema(payload, TRANSFORMED_SCHEMA)
+        meta = payload.meta
+        text: str = meta["text"]
+        separator: str = meta["separator"]
+        probabilities = payload.arrays["probabilities"]
+        positions = payload.arrays["positions"]
+        documents = payload.arrays["documents"]
+        factors: List[MaximalFactor] = []
+        start = 0
+        for index, character in enumerate(text):
+            if character != separator:
+                continue
+            if index > start:
+                document = int(documents[start])
+                factors.append(
+                    MaximalFactor(
+                        start=int(positions[start]),
+                        characters=text[start:index],
+                        probabilities=tuple(float(v) for v in probabilities[start:index]),
+                        document=document if document >= 0 else 0,
+                    )
+                )
+            start = index + 1
+        return cls(
+            factors,
+            tau_min=meta["tau_min"],
+            source_length=meta["source_length"],
+            document_count=meta["document_count"],
+            separator=separator,
         )
 
 

@@ -33,10 +33,15 @@ import numpy as np
 
 from .._validation import check_nonempty_pattern, check_threshold
 from ..exceptions import PatternTooLongError, ValidationError
+from ..payload import IndexPayload, expect_schema
+from ..strings.serialization import (
+    uncertain_string_from_manifest,
+    uncertain_string_to_manifest,
+)
 from ..strings.uncertain import UncertainString
 from ..suffix.lcp import build_lcp_array
 from ..suffix.pattern_search import suffix_range
-from ..suffix.rmq import make_rmq
+from ..suffix.rmq import make_rmq, rmq_to_payload
 from ..suffix.suffix_array import SuffixArray
 from .base import (
     Occurrence,
@@ -45,6 +50,7 @@ from .base import (
     occurrences_from_log_values,
     report_above_threshold,
     resolve_tau,
+    restore_child_rmq,
     sort_occurrences,
     top_values_above_threshold,
 )
@@ -52,6 +58,9 @@ from .cumulative import NEGATIVE_INFINITY, cumulative_log_probabilities
 from .factors import DEFAULT_SEPARATOR, TransformedString, transform_uncertain_string
 
 LongPatternMode = Literal["fallback", "block", "error"]
+
+#: Payload schema of this index kind (see :mod:`repro.payload`).
+GENERAL_INDEX_SCHEMA = "index/general"
 
 
 def partition_identifiers(lcp: np.ndarray, prefix_length: int) -> np.ndarray:
@@ -270,34 +279,86 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
             "block_lengths": len(self._block_maxima),
         }
 
-    def space_report(self) -> Dict[str, int]:
-        """Byte sizes of every index component (used for Figure 9(c))."""
-        report = {
-            "suffix_array": self._suffix_array.nbytes(),
-            "lcp": int(self._lcp.nbytes),
-            "cumulative": int(self._prefix.nbytes),
-            "position_map": int(
-                self._transformed.nbytes() + self._rank_positions.nbytes
-            ),
-            "text": len(self._transformed.text.encode("utf-8")),
-            # The RMQ structures reference the same C_i buffers the index
-            # keeps, so counting rmq.nbytes() already covers the values —
-            # no separate "short_values" entry, to avoid double counting.
-            "short_rmq": int(
-                sum(rmq.nbytes() for rmq in self._short_rmq.values())  # type: ignore[attr-defined]
-            ),
-            "block_structures": int(
-                sum(values.nbytes for values in self._block_values.values())
-                + sum(maxima.nbytes for maxima in self._block_maxima.values())
-                + sum(rmq.nbytes() for rmq in self._block_rmq.values())  # type: ignore[attr-defined]
-            ),
+    # -- payload currency ----------------------------------------------------------------
+    def to_payload(self) -> IndexPayload:
+        """The complete array-schema description of this index."""
+        arrays = {
+            "suffix_array": self._suffix_array.array,
+            "lcp": self._lcp,
+            "prefix": self._prefix,
+            "rank_positions": self._rank_positions,
         }
-        report["total"] = sum(report.values())
-        return report
+        children = {"transformed": self._transformed.to_payload()}
+        for length, values in self._short_values.items():
+            arrays[f"short_values_{length}"] = values
+            children[f"rmq_short_{length}"] = rmq_to_payload(self._short_rmq[length])
+        for length in self._block_maxima:
+            arrays[f"block_values_{length}"] = self._block_values[length]
+            arrays[f"block_maxima_{length}"] = self._block_maxima[length]
+            children[f"rmq_block_{length}"] = rmq_to_payload(self._block_rmq[length])
+        return IndexPayload(
+            schema=GENERAL_INDEX_SCHEMA,
+            meta={
+                "string": uncertain_string_to_manifest(self._string),
+                "tau_min": self._tau_min,
+                "max_short_length": self._max_short_length,
+                "short_lengths": sorted(self._short_values),
+                "block_lengths": sorted(self._block_maxima),
+                "long_pattern_mode": self._long_pattern_mode,
+                "rmq_implementation": self._rmq_implementation,
+            },
+            arrays=arrays,
+            derived={"suffix_rank": self._suffix_array.rank},
+            children=children,
+        )
 
-    def nbytes(self) -> int:
-        """Total approximate memory footprint in bytes."""
-        return self.space_report()["total"]
+    @classmethod
+    def from_payload(cls, payload: IndexPayload) -> "GeneralUncertainStringIndex":
+        """Restore an index from :meth:`to_payload` output (no construction)."""
+        expect_schema(payload, GENERAL_INDEX_SCHEMA)
+        meta = payload.meta
+        index = cls.__new__(cls)
+        index._string = uncertain_string_from_manifest(meta["string"])
+        index._tau_min = float(meta["tau_min"])
+        index._long_pattern_mode = meta["long_pattern_mode"]
+        index._rmq_implementation = meta["rmq_implementation"]
+        index._needs_verification = bool(index._string.correlations)
+        index._transformed = TransformedString.from_payload(
+            payload.children["transformed"]
+        )
+        index._suffix_array = SuffixArray(
+            index._transformed.text, array=payload.arrays["suffix_array"]
+        )
+        index._lcp = payload.arrays["lcp"]
+        index._prefix = payload.arrays["prefix"]
+        index._rank_positions = payload.arrays["rank_positions"]
+        index._max_short_length = int(meta["max_short_length"])
+        implementation = meta["rmq_implementation"]
+        index._short_values = {
+            int(length): payload.arrays[f"short_values_{length}"]
+            for length in meta["short_lengths"]
+        }
+        index._short_rmq = {
+            length: restore_child_rmq(
+                payload, f"rmq_short_{length}", values, implementation=implementation
+            )
+            for length, values in index._short_values.items()
+        }
+        index._block_values = {
+            int(length): payload.arrays[f"block_values_{length}"]
+            for length in meta["block_lengths"]
+        }
+        index._block_maxima = {
+            int(length): payload.arrays[f"block_maxima_{length}"]
+            for length in meta["block_lengths"]
+        }
+        index._block_rmq = {
+            length: restore_child_rmq(
+                payload, f"rmq_block_{length}", maxima, implementation=implementation
+            )
+            for length, maxima in index._block_maxima.items()
+        }
+        return index
 
     # -- queries ------------------------------------------------------------------------------
     def query(self, pattern: str, tau: float) -> List[Occurrence]:

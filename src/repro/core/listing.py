@@ -39,16 +39,23 @@ import numpy as np
 
 from .._validation import check_nonempty_pattern, check_threshold
 from ..exceptions import ValidationError
+from ..payload import IndexPayload, expect_schema
 from ..strings.collection import UncertainStringCollection
+from ..strings.serialization import (
+    collection_from_manifest,
+    collection_to_manifest,
+)
 from ..suffix.lcp import build_lcp_array
 from ..suffix.pattern_search import suffix_range
-from ..suffix.rmq import make_rmq
+from ..suffix.rmq import make_rmq, rmq_to_payload
 from ..suffix.suffix_array import SuffixArray
 from .base import (
     ListingMatch,
+    PayloadSerializable,
     listing_matches_from_arrays,
     report_above_threshold,
     resolve_tau,
+    restore_child_rmq,
     sort_listing_matches,
     top_values_above_threshold,
 )
@@ -59,6 +66,9 @@ from .general_index import partition_identifiers
 RelevanceMetric = Literal["max", "or", "noisy_or"]
 
 _METRICS: Tuple[str, ...] = ("max", "or", "noisy_or")
+
+#: Payload schema of this index kind (see :mod:`repro.payload`).
+LISTING_INDEX_SCHEMA = "index/listing"
 
 
 def combine_relevance(probabilities: Iterable[float], metric: RelevanceMetric) -> float:
@@ -92,7 +102,7 @@ def combine_relevance(probabilities: Iterable[float], metric: RelevanceMetric) -
     raise ValidationError(f"unknown relevance metric {metric!r}; expected one of {_METRICS}")
 
 
-class UncertainStringListingIndex:
+class UncertainStringListingIndex(PayloadSerializable):
     """Document-listing index over a collection of uncertain strings.
 
     Parameters
@@ -312,30 +322,76 @@ class UncertainStringListingIndex:
             "max_short_length": self._max_short_length,
         }
 
-    def space_report(self) -> Dict[str, int]:
-        """Byte sizes of every index component."""
-        report = {
-            "suffix_array": self._suffix_array.nbytes(),
-            "lcp": int(self._lcp.nbytes),
-            "cumulative": int(self._prefix.nbytes),
-            "position_map": int(
-                self._transformed.nbytes()
-                + self._rank_positions.nbytes
-                + self._rank_documents.nbytes
-            ),
-            "text": len(self._transformed.text.encode("utf-8")),
-            # The RMQ structures reference the same relevance buffers the
-            # index keeps, so rmq.nbytes() already covers them.
-            "relevance_rmq": int(
-                sum(rmq.nbytes() for rmq in self._relevance_rmq.values())  # type: ignore[attr-defined]
-            ),
+    # -- payload currency -----------------------------------------------------------------
+    def to_payload(self) -> IndexPayload:
+        """The complete array-schema description of this index."""
+        arrays = {
+            "suffix_array": self._suffix_array.array,
+            "lcp": self._lcp,
+            "prefix": self._prefix,
+            "rank_positions": self._rank_positions,
+            "rank_documents": self._rank_documents,
         }
-        report["total"] = sum(report.values())
-        return report
+        children = {"transformed": self._transformed.to_payload()}
+        for length, values in self._relevance.items():
+            arrays[f"relevance_{length}"] = values
+            children[f"rmq_relevance_{length}"] = rmq_to_payload(
+                self._relevance_rmq[length]
+            )
+        return IndexPayload(
+            schema=LISTING_INDEX_SCHEMA,
+            meta={
+                "collection": collection_to_manifest(self._collection),
+                "tau_min": self._tau_min,
+                "metric": self._metric,
+                "max_short_length": self._max_short_length,
+                "relevance_lengths": sorted(self._relevance),
+                "rmq_implementation": self._rmq_implementation,
+            },
+            arrays=arrays,
+            derived={"suffix_rank": self._suffix_array.rank},
+            children=children,
+        )
 
-    def nbytes(self) -> int:
-        """Total approximate memory footprint in bytes."""
-        return self.space_report()["total"]
+    @classmethod
+    def from_payload(cls, payload: IndexPayload) -> "UncertainStringListingIndex":
+        """Restore an index from :meth:`to_payload` output (no construction)."""
+        expect_schema(payload, LISTING_INDEX_SCHEMA)
+        meta = payload.meta
+        index = cls.__new__(cls)
+        index._collection = collection_from_manifest(meta["collection"])
+        index._tau_min = float(meta["tau_min"])
+        index._metric = meta["metric"]
+        index._rmq_implementation = meta["rmq_implementation"]
+        index._needs_verification = any(
+            bool(document.correlations) for document in index._collection
+        )
+        index._transformed = TransformedString.from_payload(
+            payload.children["transformed"]
+        )
+        index._suffix_array = SuffixArray(
+            index._transformed.text, array=payload.arrays["suffix_array"]
+        )
+        index._lcp = payload.arrays["lcp"]
+        index._prefix = payload.arrays["prefix"]
+        index._rank_positions = payload.arrays["rank_positions"]
+        index._rank_documents = payload.arrays["rank_documents"]
+        index._max_short_length = int(meta["max_short_length"])
+        implementation = meta["rmq_implementation"]
+        index._relevance = {
+            int(length): payload.arrays[f"relevance_{length}"]
+            for length in meta["relevance_lengths"]
+        }
+        index._relevance_rmq = {
+            length: restore_child_rmq(
+                payload,
+                f"rmq_relevance_{length}",
+                values,
+                implementation=implementation,
+            )
+            for length, values in index._relevance.items()
+        }
+        return index
 
     # -- queries -----------------------------------------------------------------------------
     def query(self, pattern: str, tau: float) -> List[ListingMatch]:

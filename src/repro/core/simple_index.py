@@ -18,7 +18,14 @@ from typing import List, Optional
 import numpy as np
 
 from .._validation import check_nonempty_pattern, check_threshold
+from ..payload import IndexPayload, expect_schema
 from ..strings.correlation import CorrelationModel
+from ..strings.serialization import (
+    correlation_rules_from_manifest,
+    correlation_rules_to_manifest,
+    special_string_from_manifest,
+    special_string_to_manifest,
+)
 from ..strings.special import SpecialUncertainString
 from ..suffix.pattern_search import suffix_range
 from ..suffix.suffix_array import SuffixArray
@@ -27,6 +34,9 @@ from .cumulative import (
     correlation_adjusted_window_log_probability,
     cumulative_log_probabilities,
 )
+
+#: Payload schema of this index kind (see :mod:`repro.payload`).
+SIMPLE_INDEX_SCHEMA = "index/simple"
 
 
 class SimpleSpecialIndex(UncertainSubstringIndex):
@@ -79,9 +89,38 @@ class SimpleSpecialIndex(UncertainSubstringIndex):
         """The suffix array over the deterministic character string."""
         return self._suffix_array
 
-    def nbytes(self) -> int:
-        """Approximate memory footprint of the index payload in bytes."""
-        return int(self._suffix_array.nbytes() + self._prefix.nbytes)
+    # -- payload currency ---------------------------------------------------------------
+    def to_payload(self) -> IndexPayload:
+        """The complete array-schema description of this index."""
+        return IndexPayload(
+            schema=SIMPLE_INDEX_SCHEMA,
+            meta={
+                "string": special_string_to_manifest(self._string),
+                "correlations": correlation_rules_to_manifest(self._correlations),
+            },
+            arrays={
+                "suffix_array": self._suffix_array.array,
+                "prefix": self._prefix,
+            },
+            # The inverse suffix array is a cheap O(n) function of the
+            # suffix array; restore recomputes it instead of storing it.
+            derived={"suffix_rank": self._suffix_array.rank},
+        )
+
+    @classmethod
+    def from_payload(cls, payload: IndexPayload) -> "SimpleSpecialIndex":
+        """Restore an index from :meth:`to_payload` output (no construction)."""
+        expect_schema(payload, SIMPLE_INDEX_SCHEMA)
+        index = cls.__new__(cls)
+        index._string = special_string_from_manifest(payload.meta["string"])
+        index._correlations = correlation_rules_from_manifest(
+            payload.meta["correlations"]
+        )
+        index._suffix_array = SuffixArray(
+            index._string.text, array=payload.arrays["suffix_array"]
+        )
+        index._prefix = payload.arrays["prefix"]
+        return index
 
     # -- queries ----------------------------------------------------------------------
     def query(self, pattern: str, tau: float) -> List[Occurrence]:

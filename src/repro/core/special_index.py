@@ -27,10 +27,17 @@ import numpy as np
 
 from .._validation import check_nonempty_pattern, check_threshold
 from ..exceptions import PatternTooLongError, ValidationError
+from ..payload import IndexPayload, expect_schema
 from ..strings.correlation import CorrelationModel
+from ..strings.serialization import (
+    correlation_rules_from_manifest,
+    correlation_rules_to_manifest,
+    special_string_from_manifest,
+    special_string_to_manifest,
+)
 from ..strings.special import SpecialUncertainString
 from ..suffix.pattern_search import suffix_range
-from ..suffix.rmq import make_rmq
+from ..suffix.rmq import make_rmq, rmq_to_payload
 from ..suffix.suffix_array import SuffixArray
 from .base import (
     Occurrence,
@@ -39,6 +46,7 @@ from .base import (
     occurrences_from_log_values,
     report_above_threshold,
     resolve_tau,
+    restore_child_rmq,
     top_values_above_threshold,
 )
 from .cumulative import (
@@ -50,6 +58,9 @@ from .cumulative import (
 )
 
 LongPatternMode = Literal["fallback", "block", "error"]
+
+#: Payload schema of this index kind (see :mod:`repro.payload`).
+SPECIAL_INDEX_SCHEMA = "index/special"
 
 
 class SpecialUncertainStringIndex(UncertainSubstringIndex):
@@ -196,28 +207,84 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
         """Pattern lengths for which blocking structures are materialized."""
         return tuple(sorted(self._block_maxima))
 
-    def space_report(self) -> Dict[str, int]:
-        """Byte sizes of every index component."""
-        report = {
-            "suffix_array": self._suffix_array.nbytes(),
-            "cumulative": int(self._prefix.nbytes),
-            "short_values": int(
-                sum(values.nbytes for values in self._short_values.values())
-            ),
-            "short_rmq": int(
-                sum(rmq.nbytes() for rmq in self._short_rmq.values())  # type: ignore[attr-defined]
-            ),
-            "block_structures": int(
-                sum(maxima.nbytes for maxima in self._block_maxima.values())
-                + sum(rmq.nbytes() for rmq in self._block_rmq.values())  # type: ignore[attr-defined]
-            ),
-        }
-        report["total"] = sum(report.values())
-        return report
+    # -- payload currency ----------------------------------------------------------------
+    def to_payload(self) -> IndexPayload:
+        """The complete array-schema description of this index.
 
-    def nbytes(self) -> int:
-        """Approximate memory footprint of the index payload in bytes."""
-        return self.space_report()["total"]
+        Per-length ``C_i`` arrays and block maxima are stored arrays; the
+        per-length RMQ structures are child payloads (space-efficient —
+        block optimum positions only, see
+        :meth:`repro.suffix.rmq.SparseTableRMQ.to_payload`).
+        """
+        arrays = {
+            "suffix_array": self._suffix_array.array,
+            "prefix": self._prefix,
+        }
+        children = {}
+        for length, values in self._short_values.items():
+            arrays[f"short_values_{length}"] = values
+            children[f"rmq_short_{length}"] = rmq_to_payload(self._short_rmq[length])
+        for length, maxima in self._block_maxima.items():
+            arrays[f"block_maxima_{length}"] = maxima
+            children[f"rmq_block_{length}"] = rmq_to_payload(self._block_rmq[length])
+        return IndexPayload(
+            schema=SPECIAL_INDEX_SCHEMA,
+            meta={
+                "string": special_string_to_manifest(self._string),
+                "correlations": correlation_rules_to_manifest(self._correlations),
+                "max_short_length": self._max_short_length,
+                "short_lengths": sorted(self._short_values),
+                "block_lengths": sorted(self._block_maxima),
+                "long_pattern_mode": self._long_pattern_mode,
+                "rmq_implementation": self._rmq_implementation,
+            },
+            arrays=arrays,
+            derived={"suffix_rank": self._suffix_array.rank},
+            children=children,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: IndexPayload) -> "SpecialUncertainStringIndex":
+        """Restore an index from :meth:`to_payload` output (no construction).
+
+        A missing RMQ child (legacy version-1 archives) is rebuilt from its
+        value array; present children restore through
+        :func:`repro.suffix.rmq.rmq_from_payload` in O(n/b · log n) work.
+        """
+        expect_schema(payload, SPECIAL_INDEX_SCHEMA)
+        meta = payload.meta
+        index = cls.__new__(cls)
+        index._string = special_string_from_manifest(meta["string"])
+        index._correlations = correlation_rules_from_manifest(meta["correlations"])
+        index._long_pattern_mode = meta["long_pattern_mode"]
+        index._rmq_implementation = meta["rmq_implementation"]
+        index._suffix_array = SuffixArray(
+            index._string.text, array=payload.arrays["suffix_array"]
+        )
+        index._prefix = payload.arrays["prefix"]
+        index._max_short_length = int(meta["max_short_length"])
+        index._short_values = {
+            int(length): payload.arrays[f"short_values_{length}"]
+            for length in meta["short_lengths"]
+        }
+        implementation = meta["rmq_implementation"]
+        index._short_rmq = {
+            length: restore_child_rmq(
+                payload, f"rmq_short_{length}", values, implementation=implementation
+            )
+            for length, values in index._short_values.items()
+        }
+        index._block_maxima = {
+            int(length): payload.arrays[f"block_maxima_{length}"]
+            for length in meta["block_lengths"]
+        }
+        index._block_rmq = {
+            length: restore_child_rmq(
+                payload, f"rmq_block_{length}", maxima, implementation=implementation
+            )
+            for length, maxima in index._block_maxima.items()
+        }
+        return index
 
     # -- queries ------------------------------------------------------------------------------
     def query(self, pattern: str, tau: float) -> List[Occurrence]:

@@ -1,0 +1,234 @@
+"""The canonical array-schema currency of the package: :class:`IndexPayload`.
+
+Every index in :mod:`repro.core` — and every RMQ structure in
+:mod:`repro.suffix.rmq` — is, at rest, a collection of flat numpy arrays
+plus a handful of JSON-safe scalars.  An :class:`IndexPayload` makes that
+fact a first-class object: a versioned, schema-named mapping of named
+ndarrays and scalar metadata, with nested child payloads for component
+structures (per-length RMQs, the maximal-factor transformation).
+
+Everything that moves an index across a boundary speaks payload:
+
+* ``to_payload()`` / ``from_payload()`` on the five index kinds and both
+  RMQ implementations define *in one place* what each structure is made of;
+* :mod:`repro.api.persistence` archive format 3 is exactly the payload
+  schema written as a zip of ``.npy`` members (memory-mappable when
+  uncompressed);
+* :mod:`repro.api.workers` ships payloads — not pickled index objects —
+  to initialize process workers, and the parallel shard *construction*
+  path returns ``(payload, plan)`` pairs from its worker processes;
+* ``nbytes()`` / ``space_report()`` on the indexes are derived from the
+  payload schema instead of being hand-maintained per kind.
+
+Arrays come in two flavours.  **Stored** arrays (``arrays``) are the
+persisted truth — they are written to archives and shipped across process
+boundaries.  **Derived** arrays (``derived``) are runtime-only
+acceleration structures that ``from_payload`` rebuilds cheaply (e.g. the
+block-summary sparse table of a restored RMQ); they count toward the
+in-memory footprint but are never serialized — which is exactly how the
+format-3 archives drop the O(n log n)-word sparse tables the format-2
+archives still shipped.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+#: Version of the payload schema itself; bumped whenever the meaning of the
+#: structure (name conventions, child nesting, manifest layout) changes.
+PAYLOAD_VERSION = 1
+
+#: Separator joining child names into flat array paths (archive members).
+PATH_SEPARATOR = "/"
+
+_TRAILING_INDEX = re.compile(r"_\d+$")
+
+
+def _check_name(name: str, *, what: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise ValidationError(f"payload {what} names must be non-empty strings, got {name!r}")
+    if PATH_SEPARATOR in name:
+        raise ValidationError(
+            f"payload {what} name {name!r} must not contain {PATH_SEPARATOR!r} "
+            "(reserved for child paths)"
+        )
+    return name
+
+
+@dataclass
+class IndexPayload:
+    """A schema-described bundle of named ndarrays plus scalar metadata.
+
+    Attributes
+    ----------
+    schema:
+        What the payload describes (``"index/special"``, ``"rmq/sparse"``,
+        ``"transformed"``, ...).  ``from_payload`` implementations dispatch
+        and validate on it.
+    meta:
+        JSON-safe scalar configuration (thresholds, lengths, serialized
+        input strings).  Restored verbatim from the archive manifest.
+    arrays:
+        The stored arrays — persisted to archives, shipped over IPC.
+    derived:
+        Runtime-only arrays rebuilt by ``from_payload``; counted by
+        :meth:`nbytes` / :meth:`space_report` but never serialized.
+    children:
+        Nested component payloads, keyed by a local name.
+    version:
+        Payload schema version (:data:`PAYLOAD_VERSION` at write time).
+    """
+
+    schema: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    derived: Dict[str, np.ndarray] = field(default_factory=dict)
+    children: Dict[str, "IndexPayload"] = field(default_factory=dict)
+    version: int = PAYLOAD_VERSION
+
+    # -- validation --------------------------------------------------------------------
+    def validate(self) -> "IndexPayload":
+        """Check names, array types and meta JSON-safety (recursively)."""
+        if not isinstance(self.schema, str) or not self.schema:
+            raise ValidationError(f"payload schema must be a non-empty string, got {self.schema!r}")
+        for name, array in {**self.arrays, **self.derived}.items():
+            _check_name(name, what="array")
+            if not isinstance(array, np.ndarray):
+                raise ValidationError(
+                    f"payload array {name!r} must be an ndarray, got {type(array).__name__}"
+                )
+            if array.dtype.hasobject:
+                raise ValidationError(f"payload array {name!r} holds Python objects")
+        overlap = set(self.arrays) & set(self.derived)
+        if overlap:
+            raise ValidationError(
+                f"payload names {sorted(overlap)} appear as both stored and derived"
+            )
+        try:
+            json.dumps(self.meta)
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"payload meta is not JSON-serializable: {error}")
+        for name, child in self.children.items():
+            _check_name(name, what="child")
+            if set(self.arrays) & {name} or set(self.derived) & {name}:
+                raise ValidationError(f"payload child {name!r} collides with an array name")
+            child.validate()
+        return self
+
+    # -- space accounting --------------------------------------------------------------
+    def nbytes(self) -> int:
+        """In-memory footprint: stored + derived arrays, recursively."""
+        total = sum(int(a.nbytes) for a in self.arrays.values())
+        total += sum(int(a.nbytes) for a in self.derived.values())
+        return total + sum(child.nbytes() for child in self.children.values())
+
+    def stored_nbytes(self) -> int:
+        """Bytes an archive must persist: stored arrays only, recursively."""
+        total = sum(int(a.nbytes) for a in self.arrays.values())
+        return total + sum(child.stored_nbytes() for child in self.children.values())
+
+    def space_report(self) -> Dict[str, int]:
+        """Component byte sizes plus a ``total`` entry.
+
+        Per-length families collapse into one component (a trailing
+        ``_<number>`` is stripped, so ``short_values_3`` and ``rmq_short_3``
+        aggregate under ``short_values`` / ``rmq_short``); each child
+        contributes its recursive total under its collapsed name.
+        """
+        report: Dict[str, int] = {}
+        for name, array in {**self.arrays, **self.derived}.items():
+            component = _TRAILING_INDEX.sub("", name)
+            report[component] = report.get(component, 0) + int(array.nbytes)
+        for name, child in self.children.items():
+            component = _TRAILING_INDEX.sub("", name)
+            report[component] = report.get(component, 0) + child.nbytes()
+        report["total"] = sum(report.values())
+        return report
+
+    # -- flattening (archive layout) -----------------------------------------------------
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "IndexPayload"]]:
+        """Yield ``(path, payload)`` for this payload and every descendant."""
+        yield prefix, self
+        for name, child in self.children.items():
+            child_prefix = f"{prefix}{PATH_SEPARATOR}{name}" if prefix else name
+            yield from child.walk(child_prefix)
+
+    def flatten(self) -> Dict[str, np.ndarray]:
+        """Stored arrays keyed by ``child-path/array-name`` (archive members)."""
+        flat: Dict[str, np.ndarray] = {}
+        for path, payload in self.walk():
+            for name, array in payload.arrays.items():
+                key = f"{path}{PATH_SEPARATOR}{name}" if path else name
+                flat[key] = array
+        return flat
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-safe description: schema tree + meta + stored-array names.
+
+        Together with :meth:`flatten`'s arrays this reconstructs the
+        payload exactly (see :meth:`from_manifest`); derived arrays are
+        intentionally absent — ``from_payload`` rebuilds them.
+        """
+        return {
+            "schema": self.schema,
+            "version": int(self.version),
+            "meta": self.meta,
+            "arrays": list(self.arrays),
+            "children": {name: child.manifest() for name, child in self.children.items()},
+        }
+
+    @classmethod
+    def from_manifest(
+        cls,
+        manifest: Dict[str, Any],
+        flat_arrays: Dict[str, np.ndarray],
+        *,
+        prefix: str = "",
+    ) -> "IndexPayload":
+        """Reassemble the payload :meth:`manifest` + :meth:`flatten` described.
+
+        ``flat_arrays`` may hold read-only memory maps — arrays are used
+        as-is, zero-copy.  A manifest naming an array the mapping lacks
+        fails loudly (truncated or mismatched archive).
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for name in manifest.get("arrays", []):
+            key = f"{prefix}{PATH_SEPARATOR}{name}" if prefix else name
+            if key not in flat_arrays:
+                raise ValidationError(f"payload array {key!r} is missing from the archive")
+            arrays[name] = flat_arrays[key]
+        children = {}
+        for name, child_manifest in manifest.get("children", {}).items():
+            child_prefix = f"{prefix}{PATH_SEPARATOR}{name}" if prefix else name
+            children[name] = cls.from_manifest(
+                child_manifest, flat_arrays, prefix=child_prefix
+            )
+        return cls(
+            schema=manifest["schema"],
+            meta=dict(manifest.get("meta", {})),
+            arrays=arrays,
+            children=children,
+            version=int(manifest.get("version", PAYLOAD_VERSION)),
+        )
+
+
+def expect_schema(payload: IndexPayload, schema: str) -> IndexPayload:
+    """Raise unless ``payload`` carries the expected schema (helper for
+    ``from_payload`` implementations)."""
+    if payload.schema != schema:
+        raise ValidationError(
+            f"expected a {schema!r} payload, got {payload.schema!r}"
+        )
+    if int(payload.version) > PAYLOAD_VERSION:
+        raise ValidationError(
+            f"payload version {payload.version} is newer than this package "
+            f"supports ({PAYLOAD_VERSION}); upgrade the package"
+        )
+    return payload

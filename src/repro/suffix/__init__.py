@@ -10,9 +10,12 @@ from .pattern_search import count_occurrences, occurrence_positions, suffix_rang
 from .rmq import (
     RMQ_PAYLOAD_VERSION,
     BlockRMQ,
+    CompactRMQ,
     SparseTableRMQ,
     deserialize_rmq,
     make_rmq,
+    rmq_from_payload,
+    rmq_to_payload,
     serialize_rmq,
 )
 from .suffix_array import (
@@ -25,6 +28,7 @@ from .suffix_tree import SuffixTree
 
 __all__ = [
     "BlockRMQ",
+    "CompactRMQ",
     "ConcatenatedDocuments",
     "DEFAULT_SEPARATOR",
     "GeneralizedSuffixStructure",
@@ -39,6 +43,8 @@ __all__ = [
     "deserialize_rmq",
     "inverse_suffix_array",
     "make_rmq",
+    "rmq_from_payload",
+    "rmq_to_payload",
     "serialize_rmq",
     "naive_lcp_array",
     "naive_suffix_array",

@@ -33,17 +33,29 @@ read-only (memory-mapped) arrays: queries never write.
 from __future__ import annotations
 
 import math
-from typing import Dict, Literal, Sequence, Tuple
+from typing import Dict, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..payload import IndexPayload
 
 Mode = Literal["max", "min"]
 
 #: Version of the array payload produced by :func:`serialize_rmq`; bumped
 #: whenever the set or meaning of the payload arrays changes.
 RMQ_PAYLOAD_VERSION = 1
+
+#: Payload schemas (:mod:`repro.payload`).  ``rmq/sparse`` and
+#: ``rmq/block`` are the space-efficient Fischer–Heun-style payloads of
+#: :meth:`SparseTableRMQ.to_payload` / :meth:`BlockRMQ.to_payload` — block
+#: optimum positions only, O(n / block_size) words; the ``*-table``
+#: schemas describe the legacy version-2 archive layout (full serialized
+#: tables) so :func:`rmq_from_payload` can restore either.
+RMQ_SCHEMA_SPARSE = "rmq/sparse"
+RMQ_SCHEMA_BLOCK = "rmq/block"
+RMQ_SCHEMA_SPARSE_TABLE = "rmq/sparse-table"
+RMQ_SCHEMA_BLOCK_TABLE = "rmq/block-table"
 
 
 def _prepare_values(values: Sequence[float], mode: Mode) -> np.ndarray:
@@ -93,6 +105,75 @@ def _floor_log2(spans: np.ndarray) -> np.ndarray:
     ``e`` with ``2**(e-1) <= span < 2**e``, so ``e - 1`` is the floor log.
     """
     return (np.frexp(spans.astype(np.float64))[1] - 1).astype(np.int64)
+
+
+def default_block_size(length: int) -> int:
+    """The ``~log2 n`` block size the block decompositions default to."""
+    return max(1, math.ceil(math.log2(length + 1)))
+
+
+def _block_optimum_positions(
+    values: np.ndarray, block_size: int, mode: Mode
+) -> np.ndarray:
+    """Leftmost-optimum position of every ``block_size``-wide block.
+
+    Vectorized equivalent of ``start + argmax(values[start:end])`` per
+    block: the array is padded to a whole number of blocks with the
+    identity element of the comparison, reshaped, and reduced row-wise.
+    ``argmax`` / ``argmin`` return the *first* optimum of a row, matching
+    the scalar per-block scan exactly (padding sits at the tail of the
+    last row only, and never beats a real entry — on an all-``fill`` row
+    the first cell, a real entry, still wins the tie).
+    """
+    n = len(values)
+    block_count = (n + block_size - 1) // block_size
+    fill = -np.inf if mode == "max" else np.inf
+    padded = np.full(block_count * block_size, fill, dtype=np.float64)
+    padded[:n] = values
+    grid = padded.reshape(block_count, block_size)
+    reducer = np.argmax if mode == "max" else np.argmin
+    offsets = reducer(grid, axis=1).astype(np.int64)
+    return np.arange(block_count, dtype=np.int64) * block_size + offsets
+
+
+def _prefer_current_batch(
+    values: np.ndarray, mode: Mode, current: np.ndarray, candidate: np.ndarray
+) -> np.ndarray:
+    """Row-wise better of two candidate positions; ``current`` wins ties.
+
+    The shared merge step of the batch block-decomposition paths: callers
+    order their merges so that "``current`` wins ties" realizes their
+    documented tie-break (position order for :class:`CompactRMQ`'s exact
+    leftmost optimum; head → tail → middle for :class:`BlockRMQ`).
+    """
+    if mode == "max":
+        keep = values[current] >= values[candidate]
+    else:
+        keep = values[current] <= values[candidate]
+    return np.where(keep, current, candidate)
+
+
+def _masked_block_scan(
+    values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    block_size: int,
+    mode: Mode,
+) -> np.ndarray:
+    """Row-wise leftmost optimum of ``[starts[i], ends[i]]`` (≤ one block wide).
+
+    Valid cells form a prefix of every row, so the row reducer picks the
+    first optimum exactly like ``np.argmax`` over the scalar segment does.
+    Shared by :meth:`BlockRMQ.query_batch` and :meth:`CompactRMQ.query_batch`.
+    """
+    n = len(values)
+    fill = -np.inf if mode == "max" else np.inf
+    reducer = np.argmax if mode == "max" else np.argmin
+    offsets = np.arange(block_size, dtype=np.int64)
+    grid = starts[:, None] + offsets[None, :]
+    valid = grid <= ends[:, None]
+    cells = np.where(valid, values[np.minimum(grid, n - 1)], fill)
+    return starts + reducer(cells, axis=1)
 
 
 class SparseTableRMQ:
@@ -225,6 +306,33 @@ class SparseTableRMQ:
         """Approximate memory footprint in bytes."""
         return int(self._table.nbytes + self._values.nbytes)
 
+    def to_payload(self) -> IndexPayload:
+        """Space-efficient payload: block optimum positions, not the table.
+
+        Serializing the full ``(levels, n)`` table costs O(n log n) words;
+        the payload instead stores the leftmost optimum of every
+        ``~log2 n``-wide block (O(n / log n) words, Fischer–Heun style).
+        :func:`rmq_from_payload` restores a :class:`CompactRMQ`, which
+        rebuilds the cheap top levels — a sparse table over the block
+        optima, O(n/b · log n) words — and answers every query with the
+        same leftmost-optimum tie-break this class guarantees, so restored
+        indexes answer byte-identically.  The full table is reported as a
+        *derived* array (it is this object's real memory footprint) but is
+        never written to archives.
+        """
+        n = len(self._values)
+        block_size = default_block_size(n)
+        return IndexPayload(
+            schema=RMQ_SCHEMA_SPARSE,
+            meta={"mode": self._mode, "block_size": block_size, "length": n},
+            arrays={
+                "block_positions": _block_optimum_positions(
+                    self._values, block_size, self._mode
+                )
+            },
+            derived={"table": self._table},
+        )
+
 
 class BlockRMQ:
     """Block-decomposed RMQ trading query constant factors for linear space.
@@ -251,19 +359,12 @@ class BlockRMQ:
         self._mode = mode
         n = len(self._values)
         if block_size is None:
-            block_size = max(1, math.ceil(math.log2(n + 1)))
+            block_size = default_block_size(n)
         if block_size <= 0:
             raise ValidationError(f"block_size must be positive, got {block_size}")
         self._block_size = block_size
-        block_count = (n + block_size - 1) // block_size
-        reducer = np.argmax if mode == "max" else np.argmin
-        block_optimum_positions = np.empty(block_count, dtype=np.int64)
-        for block in range(block_count):
-            start = block * block_size
-            end = min(start + block_size, n)
-            block_optimum_positions[block] = start + reducer(self._values[start:end])
-        self._block_positions = block_optimum_positions
-        self._summary = SparseTableRMQ(self._values[block_optimum_positions], mode=mode)
+        self._block_positions = _block_optimum_positions(self._values, block_size, mode)
+        self._summary = SparseTableRMQ(self._values[self._block_positions], mode=mode)
 
     @classmethod
     def from_parts(
@@ -272,17 +373,20 @@ class BlockRMQ:
         *,
         block_size: int,
         block_positions: np.ndarray,
-        summary_table: np.ndarray,
+        summary_table: Optional[np.ndarray] = None,
         mode: Mode = "max",
     ) -> "BlockRMQ":
         """Restore a block RMQ from a serialized payload without rebuilding.
 
-        ``block_positions`` and ``summary_table`` must come from a previous
-        construction over the same ``values`` (see :func:`serialize_rmq`).
-        Shapes are validated; contents are trusted, exactly as
-        :meth:`SparseTableRMQ.from_table` documents.  The summary's value
-        array is the gather ``values[block_positions]`` (O(n / block_size)),
-        the only allocation the restore performs.
+        ``block_positions`` (and ``summary_table`` when given) must come
+        from a previous construction over the same ``values`` (see
+        :func:`serialize_rmq`).  Shapes are validated; contents are
+        trusted, exactly as :meth:`SparseTableRMQ.from_table` documents.
+        With ``summary_table=None`` — the space-efficient payload of
+        :meth:`to_payload` — the summary sparse table is *rebuilt* over the
+        block optima: O(n/b · log(n/b)) work and words, a deterministic
+        function of ``values[block_positions]``, so the restored structure
+        answers identically either way.
         """
         self = cls.__new__(cls)
         self._values = _prepare_values(values, mode)
@@ -300,9 +404,12 @@ class BlockRMQ:
                 f"block_size {self._block_size}"
             )
         self._block_positions = block_positions
-        self._summary = SparseTableRMQ.from_table(
-            self._values[block_positions], summary_table, mode=mode
-        )
+        if summary_table is None:
+            self._summary = SparseTableRMQ(self._values[block_positions], mode=mode)
+        else:
+            self._summary = SparseTableRMQ.from_table(
+                self._values[block_positions], summary_table, mode=mode
+            )
         return self
 
     @property
@@ -360,40 +467,23 @@ class BlockRMQ:
         block_size = self._block_size
         first_block = lefts // block_size
         last_block = rights // block_size
-        fill = -np.inf if self._mode == "max" else np.inf
-        reducer = np.argmax if self._mode == "max" else np.argmin
-        offsets = np.arange(block_size, dtype=np.int64)
 
         def scan(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
-            # Masked row-wise scan of [starts[i], ends[i]] (each at most one
-            # block wide).  Valid cells form a prefix of every row, so the
-            # row argmax picks the first optimum exactly like np.argmax over
-            # the scalar segment does.
-            grid = starts[:, None] + offsets[None, :]
-            valid = grid <= ends[:, None]
-            cells = np.where(valid, self._values[np.minimum(grid, n - 1)], fill)
-            return starts + reducer(cells, axis=1)
+            return _masked_block_scan(self._values, starts, ends, block_size, self._mode)
 
         best = scan(lefts, np.minimum(rights, (first_block + 1) * block_size - 1))
         cross = first_block != last_block
         if cross.any():
             tail_best = scan(last_block[cross] * block_size, rights[cross])
-            current = best[cross]
-            if self._mode == "max":
-                keep = self._values[current] >= self._values[tail_best]
-            else:
-                keep = self._values[current] <= self._values[tail_best]
-            best[cross] = np.where(keep, current, tail_best)
+            best[cross] = _prefer_current_batch(
+                self._values, self._mode, best[cross], tail_best
+            )
         gap = last_block - first_block > 1
         if gap.any():
             summary = self._summary.query_batch(first_block[gap] + 1, last_block[gap] - 1)
-            middle_best = self._block_positions[summary]
-            current = best[gap]
-            if self._mode == "max":
-                keep = self._values[current] >= self._values[middle_best]
-            else:
-                keep = self._values[current] <= self._values[middle_best]
-            best[gap] = np.where(keep, current, middle_best)
+            best[gap] = _prefer_current_batch(
+                self._values, self._mode, best[gap], self._block_positions[summary]
+            )
         return best
 
     def query_value(self, left: int, right: int) -> float:
@@ -404,6 +494,184 @@ class BlockRMQ:
         """Approximate memory footprint in bytes."""
         return int(
             self._values.nbytes + self._block_positions.nbytes + self._summary.nbytes()
+        )
+
+    def to_payload(self) -> IndexPayload:
+        """Space-efficient payload: block positions only (summary rebuilt).
+
+        The version-2 archives serialized the summary sparse table too;
+        it is a deterministic O(n/b · log(n/b))-word function of
+        ``values[block_positions]``, so :func:`rmq_from_payload` rebuilds
+        it instead (reported here as a *derived* array: counted in memory
+        accounting, absent from archives).
+        """
+        return IndexPayload(
+            schema=RMQ_SCHEMA_BLOCK,
+            meta={
+                "mode": self._mode,
+                "block_size": self._block_size,
+                "length": len(self._values),
+            },
+            arrays={"block_positions": self._block_positions},
+            derived={"summary_table": self._summary._table},
+        )
+
+
+class CompactRMQ:
+    """The space-efficient restore form of a serialized sparse table.
+
+    Built from the Fischer–Heun-style payload of
+    :meth:`SparseTableRMQ.to_payload` — per-block leftmost-optimum
+    positions plus a rebuilt sparse table over the block optima — this
+    structure occupies O(n/b · log n) words beyond the value array yet
+    answers **exactly** like :class:`SparseTableRMQ`: every query returns
+    the *leftmost* optimum of its range.
+
+    The leftmost guarantee holds because the three candidate regions of a
+    block-decomposed query are compared in position order — head partial
+    block, middle summary, tail partial block — with the earlier candidate
+    winning ties.  Each candidate is the leftmost optimum of its region
+    (``argmax`` picks the first optimum of a scan; the summary table
+    prefers the leftmost block, whose stored position is leftmost within
+    the block), so the first region attaining the global optimum
+    contributes the globally leftmost position.  (:class:`BlockRMQ`
+    compares head, *tail*, then middle, which is why its tie-breaks differ
+    and why the two classes stay distinct.)
+
+    Queries cost O(block_size); construction from values is O(n).
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        *,
+        mode: Mode = "max",
+        block_size: Optional[int] = None,
+        block_positions: Optional[np.ndarray] = None,
+    ):
+        self._values = _prepare_values(values, mode)
+        self._mode = mode
+        n = len(self._values)
+        if block_size is None:
+            block_size = default_block_size(n)
+        if block_size <= 0:
+            raise ValidationError(f"block_size must be positive, got {block_size}")
+        self._block_size = int(block_size)
+        block_count = (n + self._block_size - 1) // self._block_size
+        if block_positions is None:
+            block_positions = _block_optimum_positions(
+                self._values, self._block_size, mode
+            )
+        else:
+            block_positions = np.asarray(block_positions, dtype=np.int64)
+            if block_positions.shape != (block_count,):
+                raise ValidationError(
+                    f"serialized block positions have shape {block_positions.shape}, "
+                    f"expected ({block_count},) for length {n} and "
+                    f"block_size {self._block_size}"
+                )
+        self._block_positions = block_positions
+        self._summary = SparseTableRMQ(self._values[block_positions], mode=mode)
+
+    @property
+    def mode(self) -> Mode:
+        """Whether this structure answers max or min queries."""
+        return self._mode
+
+    @property
+    def block_size(self) -> int:
+        """Number of elements per block."""
+        return self._block_size
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _scan(self, left: int, right: int) -> int:
+        segment = self._values[left : right + 1]
+        offset = int(np.argmax(segment) if self._mode == "max" else np.argmin(segment))
+        return left + offset
+
+    def _keep_first(self, first: int, second: int) -> int:
+        """The better of two candidates; the earlier one wins ties."""
+        if self._mode == "max":
+            return first if self._values[first] >= self._values[second] else second
+        return first if self._values[first] <= self._values[second] else second
+
+    def query(self, left: int, right: int) -> int:
+        """Index of the *leftmost* optimum in ``values[left..right]`` (inclusive)."""
+        left, right = _check_range(len(self._values), left, right)
+        first_block = left // self._block_size
+        last_block = right // self._block_size
+        if first_block == last_block:
+            return self._scan(left, right)
+        # Candidates compared in position order: head, middle, tail.
+        best = self._scan(left, (first_block + 1) * self._block_size - 1)
+        if last_block - first_block > 1:
+            summary_index = self._summary.query(first_block + 1, last_block - 1)
+            best = self._keep_first(best, int(self._block_positions[summary_index]))
+        tail_start = last_block * self._block_size
+        return self._keep_first(best, self._scan(tail_start, right))
+
+    def query_batch(self, lefts: Sequence[int], rights: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`query`: element ``i`` equals ``query(lefts[i], rights[i])``."""
+        n = len(self._values)
+        lefts, rights = _check_batch(n, lefts, rights)
+        if lefts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        block_size = self._block_size
+        first_block = lefts // block_size
+        last_block = rights // block_size
+
+        best = _masked_block_scan(
+            self._values,
+            lefts,
+            np.minimum(rights, (first_block + 1) * block_size - 1),
+            block_size,
+            self._mode,
+        )
+        # Same comparison order as the scalar path: head beats middle beats
+        # tail on ties, giving the leftmost optimum overall.
+        gap = last_block - first_block > 1
+        if gap.any():
+            summary = self._summary.query_batch(first_block[gap] + 1, last_block[gap] - 1)
+            best[gap] = _prefer_current_batch(
+                self._values, self._mode, best[gap], self._block_positions[summary]
+            )
+        cross = first_block != last_block
+        if cross.any():
+            tail_best = _masked_block_scan(
+                self._values,
+                last_block[cross] * block_size,
+                rights[cross],
+                block_size,
+                self._mode,
+            )
+            best[cross] = _prefer_current_batch(
+                self._values, self._mode, best[cross], tail_best
+            )
+        return best
+
+    def query_value(self, left: int, right: int) -> float:
+        """Return the optimum *value* in ``values[left..right]``."""
+        return float(self._values[self.query(left, right)])
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        return int(
+            self._values.nbytes + self._block_positions.nbytes + self._summary.nbytes()
+        )
+
+    def to_payload(self) -> IndexPayload:
+        """Round-trips to the exact payload this structure was restored from."""
+        return IndexPayload(
+            schema=RMQ_SCHEMA_SPARSE,
+            meta={
+                "mode": self._mode,
+                "block_size": self._block_size,
+                "length": len(self._values),
+            },
+            arrays={"block_positions": self._block_positions},
+            derived={"summary_table": self._summary._table},
         )
 
 
@@ -441,6 +709,13 @@ def serialize_rmq(rmq) -> Dict[str, np.ndarray]:
     """
     if isinstance(rmq, SparseTableRMQ):
         return {"table": rmq._table}
+    if isinstance(rmq, CompactRMQ):
+        # A CompactRMQ (the restore form of a format-3 sparse payload) has
+        # no full table; writing the legacy format rebuilds one.  Sparse
+        # construction is a pure function of the values, so a version-2
+        # archive written this way restores to the exact table the original
+        # SparseTableRMQ held.
+        return {"table": SparseTableRMQ(rmq._values, mode=rmq._mode)._table}
     if isinstance(rmq, BlockRMQ):
         return {
             "block_positions": rmq._block_positions,
@@ -448,7 +723,8 @@ def serialize_rmq(rmq) -> Dict[str, np.ndarray]:
             "block_size": np.array([rmq._block_size], dtype=np.int64),
         }
     raise ValidationError(
-        f"cannot serialize a {type(rmq).__name__}; expected SparseTableRMQ or BlockRMQ"
+        f"cannot serialize a {type(rmq).__name__}; expected SparseTableRMQ, "
+        "CompactRMQ or BlockRMQ"
     )
 
 
@@ -476,4 +752,71 @@ def deserialize_rmq(
     raise ValidationError(
         f"unrecognized RMQ payload with keys {sorted(payload)}; expected "
         "'table' (sparse) or 'block_positions'/'summary_table'/'block_size' (block)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# IndexPayload currency (format-3 archives, worker IPC, space accounting)
+# ---------------------------------------------------------------------------
+def rmq_to_payload(rmq) -> IndexPayload:
+    """The :class:`~repro.payload.IndexPayload` describing ``rmq``.
+
+    Dispatches to the structure's ``to_payload``; both flavours serialize
+    to O(n / block_size) stored words (block optimum positions only).
+    """
+    if isinstance(rmq, (SparseTableRMQ, BlockRMQ, CompactRMQ)):
+        return rmq.to_payload()
+    raise ValidationError(
+        f"cannot serialize a {type(rmq).__name__}; expected SparseTableRMQ, "
+        "CompactRMQ or BlockRMQ"
+    )
+
+
+def rmq_from_payload(values: Sequence[float], payload: IndexPayload):
+    """Restore the RMQ structure an :class:`IndexPayload` describes.
+
+    ``values`` is the array the structure was built over — the payload
+    deliberately excludes it, since every index persists its value arrays
+    itself.  Four schemas are understood:
+
+    * :data:`RMQ_SCHEMA_SPARSE` — block positions of a sparse table;
+      restores a :class:`CompactRMQ` (identical answers, O(n/b log n)
+      words instead of O(n log n));
+    * :data:`RMQ_SCHEMA_BLOCK` — block positions of a :class:`BlockRMQ`;
+      the summary table is rebuilt;
+    * :data:`RMQ_SCHEMA_SPARSE_TABLE` / :data:`RMQ_SCHEMA_BLOCK_TABLE` —
+      the legacy full-table layouts of version-2 archives, restored
+      zero-copy exactly as :func:`deserialize_rmq` does.
+
+    Payload arrays may be read-only memory maps — queries never write.
+    """
+    mode = payload.meta.get("mode", "max")
+    if payload.schema == RMQ_SCHEMA_SPARSE:
+        return CompactRMQ(
+            values,
+            mode=mode,
+            block_size=int(payload.meta["block_size"]),
+            block_positions=payload.arrays["block_positions"],
+        )
+    if payload.schema == RMQ_SCHEMA_BLOCK:
+        return BlockRMQ.from_parts(
+            values,
+            block_size=int(payload.meta["block_size"]),
+            block_positions=payload.arrays["block_positions"],
+            summary_table=None,
+            mode=mode,
+        )
+    if payload.schema == RMQ_SCHEMA_SPARSE_TABLE:
+        return SparseTableRMQ.from_table(values, payload.arrays["table"], mode=mode)
+    if payload.schema == RMQ_SCHEMA_BLOCK_TABLE:
+        return BlockRMQ.from_parts(
+            values,
+            block_size=int(payload.meta["block_size"]),
+            block_positions=payload.arrays["block_positions"],
+            summary_table=payload.arrays["summary_table"],
+            mode=mode,
+        )
+    raise ValidationError(
+        f"unrecognized RMQ payload schema {payload.schema!r}; expected one of "
+        f"{[RMQ_SCHEMA_SPARSE, RMQ_SCHEMA_BLOCK, RMQ_SCHEMA_SPARSE_TABLE, RMQ_SCHEMA_BLOCK_TABLE]}"
     )

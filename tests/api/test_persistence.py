@@ -280,6 +280,26 @@ class TestFuzzRoundTrip:
         loaded.close()
 
 
+class TestShardedArchiveResult:
+    """load_sharded_payload returns a named result; tuple unpacking survives."""
+
+    def test_named_fields_and_tuple_unpacking_agree(self, tmp_path):
+        from repro.api import ShardedArchive, load_sharded_payload
+
+        engine = build_sharded_index("BANANA" * 5, shards=2, max_pattern_len=4)
+        path = engine.save(tmp_path / "named")
+        engine.close()
+        archive = load_sharded_payload(path)
+        assert isinstance(archive, ShardedArchive)
+        # The PR-4 4-tuple shape keeps unpacking, field for field.
+        payloads, spec, plan, shard_paths = load_sharded_payload(path)
+        assert len(archive.payloads) == len(payloads) == 2
+        assert archive.spec == spec
+        assert archive.plan.kind == plan.kind == "special"
+        assert [p.name for p in archive.shard_paths] == [p.name for p in shard_paths]
+        assert all(p.suffix == ".npz" for p in archive.shard_paths)
+
+
 class TestShardedManifest:
     def test_manifest_contents(self, tmp_path):
         engine = build_sharded_index("BANANA" * 5, shards=2, max_pattern_len=4)
@@ -401,12 +421,13 @@ class TestManifest:
 
 
 class TestFormatVersions:
-    """v1 (compressed, rebuild-on-load) and v2 (RMQ payloads, mmap-able)."""
+    """v1 (compressed, rebuild-on-load), v2 (full RMQ tables, mmap-able)
+    and v3 (the payload schema, space-efficient RMQ payloads)."""
 
     @pytest.mark.parametrize("kind", ["special", "simple", "general", "approximate", "listing"])
-    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("version", [1, 2, 3])
     @pytest.mark.parametrize("seed", [11, 12])
-    def test_both_versions_fuzz_round_trip(self, tmp_path, kind, version, seed):
+    def test_all_versions_fuzz_round_trip(self, tmp_path, kind, version, seed):
         rng = random.Random(seed * 77 + version + hash(kind) % 1000)
         data = _random_input_for(kind, rng)
         kwargs = {"kind": kind}
@@ -429,7 +450,7 @@ class TestFormatVersions:
 
     def test_v2_archives_carry_rmq_payloads(self, tmp_path, general_string):
         engine = build_index(general_string, tau_min=0.1)
-        v2 = engine.save(tmp_path / "v2")
+        v2 = engine.save(tmp_path / "v2", version=2)
         v1 = engine.save(tmp_path / "v1", version=1)
         with np.load(v2, allow_pickle=False) as archive:
             v2_keys = set(archive.files)
@@ -442,6 +463,18 @@ class TestFormatVersions:
         manifest = read_manifest(v2)
         assert manifest["rmq_payload_version"] == 1
 
+    def test_v3_archives_are_smaller_than_v2(self, tmp_path, general_string):
+        # The headline of the format: v3 ships block positions instead of
+        # full RMQ tables, so the archive shrinks (dramatically so for
+        # sparse-table indexes; see the archive-size bench).
+        engine = build_index(general_string, tau_min=0.1, rmq_implementation="sparse")
+        v2 = engine.save(tmp_path / "v2", version=2)
+        v3 = engine.save(tmp_path / "v3", version=3)
+        assert v3.stat().st_size < v2.stat().st_size
+        manifest = read_manifest(v3)
+        assert manifest["version"] == 3
+        assert manifest["payload"]["schema"] == "index/general"
+
     def test_mmap_load_returns_memory_mapped_arrays(self, tmp_path, general_string):
         engine = build_index(general_string, tau_min=0.1)
         path = engine.save(tmp_path / "mapped")
@@ -453,12 +486,24 @@ class TestFormatVersions:
         assert isinstance(suffix_array, np.memmap) or isinstance(
             suffix_array.base, np.memmap
         )
-        # The RMQ structures were restored from their serialized tables,
-        # which stay memory-mapped too (no rebuild, no copy).
+        # The RMQ structures were restored from their space-efficient
+        # payloads: the stored block positions stay memory-mapped (only
+        # the small summary table is rebuilt on the heap).
+        rmq = next(iter(loaded.index._short_rmq.values()))
+        positions = rmq._block_positions
+        assert isinstance(positions, np.memmap) or isinstance(
+            positions.base, np.memmap
+        )
+        assert "mmap" in loaded.plan.reason
+
+    def test_v2_mmap_load_maps_rmq_tables(self, tmp_path, general_string):
+        # Legacy v2 archives keep their zero-copy table restore.
+        engine = build_index(general_string, tau_min=0.1)
+        path = engine.save(tmp_path / "mapped-v2", version=2)
+        loaded = load_index(path, mmap=True)
         rmq = next(iter(loaded.index._short_rmq.values()))
         table = rmq._table if hasattr(rmq, "_table") else rmq._summary._table
         assert isinstance(table, np.memmap) or isinstance(table.base, np.memmap)
-        assert "mmap" in loaded.plan.reason
 
     def test_mmap_on_compressed_archive_degrades_gracefully(
         self, tmp_path, general_string
@@ -486,7 +531,34 @@ class TestFormatVersions:
     def test_unknown_write_version_rejected(self, tmp_path, general_string):
         engine = build_index(general_string, tau_min=0.1)
         with pytest.raises(ValidationError):
-            engine.save(tmp_path / "nope", version=3)
+            engine.save(tmp_path / "nope", version=4)
+
+    def test_cross_version_resave_matrix(self, tmp_path, general_string):
+        """Load any version, re-save as any version: answers never change.
+
+        Notably v3 → v2: the restored CompactRMQ structures have no full
+        sparse tables, so the v2 writer rebuilds them — and the rebuilt
+        archive must still answer byte-identically.
+        """
+        engine = build_index(general_string, tau_min=0.1, rmq_implementation="sparse")
+        probes = [("QP", 0.1), ("P", 0.25), ("QPP", 0.4)]
+        expected = {probe: engine.query(probe[0], tau=probe[1]) for probe in probes}
+        for source_version in (1, 2, 3):
+            source = engine.save(
+                tmp_path / f"src-v{source_version}", version=source_version
+            )
+            for mmap in (False, True):
+                loaded = load_index(source, mmap=mmap)
+                for target_version in (1, 2, 3):
+                    target = loaded.save(
+                        tmp_path / f"re-v{source_version}-{target_version}-{mmap}",
+                        version=target_version,
+                    )
+                    assert read_manifest(target)["version"] == target_version
+                    reloaded = load_index(target)
+                    for (pattern, tau), answer in expected.items():
+                        assert reloaded.query(pattern, tau=tau) == answer
+                        assert reloaded.top_k(pattern, 3) == loaded.top_k(pattern, 3)
 
     def test_newer_rmq_payload_version_rejected(self, tmp_path, general_string):
         engine = build_index(general_string, tau_min=0.1)

@@ -191,3 +191,78 @@ class TestBuildIndex:
         engine = build_index("banana", kind="general", tau_min=0.5)
         assert isinstance(engine.index, GeneralUncertainStringIndex)
         assert [occ.position for occ in engine.query("ana", tau=0.9)] == [1, 3]
+
+
+class TestCalibration:
+    """estimate_error feedback folds into the per-kind size estimates."""
+
+    def test_first_observation_moves_the_next_estimate(self, general_string):
+        from repro.api.planner import calibration_snapshot
+
+        before = plan_index(general_string, tau_min=0.1)
+        assert before.profile["calibration"]["observations"] == 0
+        assert before.profile["calibration"]["correction"] == pytest.approx(1.0)
+        assert before.profile["estimated_bytes"] == before.profile["raw_estimated_bytes"]
+
+        engine = build_index(general_string, tau_min=0.1)
+        ratio = engine.plan.profile["estimate_error"]["ratio"]
+        snapshot = calibration_snapshot()["general"]
+        assert snapshot["observations"] == 1
+        # With one observation the correction IS the observed ratio.
+        assert snapshot["correction"] == pytest.approx(ratio, rel=1e-9)
+
+        after = plan_index(general_string, tau_min=0.1)
+        assert after.profile["calibration"]["observations"] == 1
+        assert after.profile["estimated_bytes"] == pytest.approx(
+            after.profile["raw_estimated_bytes"] * ratio, abs=1.0
+        )
+        # The calibrated estimate now matches the observed size, so a
+        # second build of the same input reports ~zero estimate error.
+        engine2 = build_index(general_string, tau_min=0.1)
+        assert abs(engine2.plan.profile["estimate_error"]["log2_error"]) < 0.01
+
+    def test_decay_window_bounds_the_memory(self):
+        from repro.api.planner import (
+            CALIBRATION_WINDOW,
+            _observe_calibration,
+            calibration_snapshot,
+            reset_calibration,
+        )
+
+        reset_calibration()
+        for _ in range(50):
+            _observe_calibration("special", 100, 200)  # ratio 2.0 forever
+        state = calibration_snapshot()["special"]
+        assert state["observations"] == 50
+        assert state["window"] == CALIBRATION_WINDOW
+        assert state["correction"] == pytest.approx(2.0, rel=1e-6)
+        # One opposite observation moves it by ~1/window in log space.
+        _observe_calibration("special", 200, 100)
+        moved = calibration_snapshot()["special"]["correction"]
+        import math
+
+        assert math.log2(2.0) - math.log2(moved) == pytest.approx(
+            2.0 / CALIBRATION_WINDOW, rel=1e-6
+        )
+
+    def test_clamp_bounds_wild_observations(self):
+        from repro.api.planner import _observe_calibration, calibration_snapshot, reset_calibration
+
+        reset_calibration()
+        _observe_calibration("listing", 1, 10**12)
+        assert calibration_snapshot()["listing"]["correction"] <= 2.0 ** 6.0
+
+    def test_describe_surfaces_calibration(self, general_string):
+        engine = build_index(general_string, tau_min=0.1)
+        info = engine.describe()["plan"]["calibration"]
+        assert info["kind"] == "general"
+        assert set(info) == {"kind", "correction", "observations", "window"}
+
+    def test_per_kind_isolation(self, general_string, special_string):
+        from repro.api.planner import calibration_snapshot
+
+        build_index(general_string, tau_min=0.1)
+        snapshot = calibration_snapshot()
+        assert "general" in snapshot and "special" not in snapshot
+        build_index(special_string)
+        assert "special" in calibration_snapshot()

@@ -1,0 +1,248 @@
+"""The IndexPayload currency: structure, fuzz round-trips, RMQ equivalence.
+
+The payload layer is the single definition of "what an index is made of";
+these tests pin the two properties everything downstream relies on:
+
+* **payload → index → payload is exact** — re-deriving the payload from a
+  restored index reproduces the same schema, meta and stored arrays;
+* **answers are byte-identical** — an index rebuilt with ``from_payload``
+  (including its space-efficient RMQ restore forms) answers every probe
+  exactly like the in-memory original.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import build_index, index_from_payload, index_to_payload
+from repro.exceptions import ValidationError
+from repro.payload import IndexPayload, PAYLOAD_VERSION
+from repro.strings import UncertainStringCollection
+from repro.suffix.rmq import (
+    BlockRMQ,
+    CompactRMQ,
+    SparseTableRMQ,
+    rmq_from_payload,
+    rmq_to_payload,
+)
+from tests.conftest import make_random_special_string, make_random_uncertain_string
+
+
+class TestIndexPayloadStructure:
+    def test_nbytes_counts_stored_derived_and_children(self):
+        child = IndexPayload("rmq/sparse", arrays={"a": np.zeros(4)})
+        payload = IndexPayload(
+            "index/simple",
+            arrays={"x": np.zeros(2)},
+            derived={"y": np.zeros(3)},
+            children={"c": child},
+        )
+        assert payload.nbytes() == (2 + 3 + 4) * 8
+        assert payload.stored_nbytes() == (2 + 4) * 8
+
+    def test_space_report_collapses_indexed_families(self):
+        payload = IndexPayload(
+            "index/special",
+            arrays={
+                "short_values_1": np.zeros(2),
+                "short_values_2": np.zeros(2),
+                "prefix": np.zeros(1),
+            },
+            children={"rmq_short_1": IndexPayload("rmq/sparse", arrays={"b": np.zeros(1)})},
+        )
+        report = payload.space_report()
+        assert report["short_values"] == 32
+        assert report["rmq_short"] == 8
+        assert report["prefix"] == 8
+        assert report["total"] == sum(v for k, v in report.items() if k != "total")
+
+    def test_flatten_and_manifest_round_trip(self):
+        child = IndexPayload("transformed", meta={"text": "ab"}, arrays={"p": np.arange(3)})
+        payload = IndexPayload(
+            "index/general",
+            meta={"tau_min": 0.1},
+            arrays={"suffix_array": np.arange(5)},
+            children={"transformed": child},
+        )
+        flat = payload.flatten()
+        assert set(flat) == {"suffix_array", "transformed/p"}
+        rebuilt = IndexPayload.from_manifest(payload.manifest(), flat)
+        assert rebuilt.schema == payload.schema
+        assert rebuilt.meta == payload.meta
+        assert (rebuilt.arrays["suffix_array"] == payload.arrays["suffix_array"]).all()
+        assert (rebuilt.children["transformed"].arrays["p"] == child.arrays["p"]).all()
+
+    def test_missing_archive_array_fails_loudly(self):
+        payload = IndexPayload("index/simple", arrays={"x": np.zeros(1)})
+        with pytest.raises(ValidationError):
+            IndexPayload.from_manifest(payload.manifest(), {})
+
+    def test_validate_rejects_bad_names_and_meta(self):
+        with pytest.raises(ValidationError):
+            IndexPayload("s", arrays={"a/b": np.zeros(1)}).validate()
+        with pytest.raises(ValidationError):
+            IndexPayload("s", meta={"x": object()}).validate()
+        with pytest.raises(ValidationError):
+            IndexPayload("s", arrays={"a": np.zeros(1)}, derived={"a": np.zeros(1)}).validate()
+        with pytest.raises(ValidationError):
+            IndexPayload("").validate()
+
+    def test_version_travels_through_manifest(self):
+        payload = IndexPayload("s")
+        assert payload.version == PAYLOAD_VERSION
+        assert payload.manifest()["version"] == PAYLOAD_VERSION
+
+
+@pytest.fixture(params=["sparse", "block"])
+def rmq_flavour(request):
+    return request.param
+
+
+class TestRMQPayloadRoundTrip:
+    """Both RMQ implementations: payload → structure → payload exact,
+    answers identical to the original (incl. tie-breaks)."""
+
+    def _random_values(self, rng, n):
+        # Heavy ties plus -inf entries: the regime where tie-breaks matter.
+        return rng.choice([0.2, 0.5, 0.5, 0.9, -np.inf], size=n)
+
+    @pytest.mark.parametrize("mode", ["max", "min"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_round_trip_is_exact_and_equivalent(self, rmq_flavour, mode, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            n = int(rng.integers(1, 120))
+            values = self._random_values(rng, n)
+            original = (
+                SparseTableRMQ(values, mode=mode)
+                if rmq_flavour == "sparse"
+                else BlockRMQ(values, mode=mode)
+            )
+            payload = rmq_to_payload(original).validate()
+            # Space efficiency: the stored payload is block positions only.
+            assert set(payload.arrays) == {"block_positions"}
+            restored = rmq_from_payload(values, payload)
+            if rmq_flavour == "sparse":
+                assert isinstance(restored, CompactRMQ)
+            else:
+                assert isinstance(restored, BlockRMQ)
+            # payload → structure → payload is exact.
+            payload_again = rmq_to_payload(restored)
+            assert payload_again.schema == payload.schema
+            assert payload_again.meta == payload.meta
+            assert (
+                payload_again.arrays["block_positions"]
+                == payload.arrays["block_positions"]
+            ).all()
+            # Answers byte-identical, scalar and batch.
+            lefts = rng.integers(0, n, size=40)
+            rights = np.array([int(rng.integers(l, n)) for l in lefts])
+            assert (
+                original.query_batch(lefts, rights)
+                == restored.query_batch(lefts, rights)
+            ).all()
+            for left, right in zip(lefts[:8], rights[:8]):
+                assert original.query(int(left), int(right)) == restored.query(
+                    int(left), int(right)
+                )
+
+    def test_sparse_payload_is_smaller_than_table(self):
+        values = np.random.default_rng(7).random(4096)
+        rmq = SparseTableRMQ(values)
+        payload = rmq.to_payload()
+        assert payload.stored_nbytes() * 10 < rmq._table.nbytes
+        # Memory accounting still sees the real footprint.
+        assert payload.nbytes() >= rmq._table.nbytes
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValidationError):
+            rmq_from_payload(np.zeros(3), IndexPayload("rmq/quantum"))
+
+
+def _build_engine(kind, rng):
+    if kind in ("special", "simple"):
+        data = make_random_special_string(rng.randint(15, 40), seed=rng.randint(0, 9999))
+    elif kind == "listing":
+        data = UncertainStringCollection(
+            [
+                make_random_uncertain_string(
+                    rng.randint(5, 14), 0.3, seed=rng.randint(0, 9999)
+                )
+                for _ in range(rng.randint(2, 5))
+            ]
+        )
+    else:
+        data = make_random_uncertain_string(
+            rng.randint(12, 36), 0.3, seed=rng.randint(0, 9999)
+        )
+    kwargs = {"kind": kind}
+    if kind in ("general", "approximate", "listing"):
+        kwargs["tau_min"] = 0.1
+    if kind == "approximate":
+        kwargs["epsilon"] = 0.05
+    if kind in ("special", "general", "listing") and rng.random() < 0.5:
+        kwargs["rmq_implementation"] = rng.choice(["sparse", "block"])
+    return build_index(data, **kwargs)
+
+
+def _probe(engine, rng):
+    if engine.is_listing:
+        backbone = engine.index.collection[0].most_likely_string()
+    else:
+        string = engine.index.string
+        backbone = string.text if hasattr(string, "text") else string.most_likely_string()
+    length = rng.randint(1, min(4, len(backbone)))
+    start = rng.randint(0, len(backbone) - length)
+    tau = max(engine.tau_min, round(rng.uniform(0.1, 0.9), 3)) or 0.1
+    return backbone[start : start + length], tau, rng.randint(1, 5)
+
+
+class TestIndexPayloadFuzzRoundTrip:
+    """All five kinds: payload → index → payload exact, answers identical."""
+
+    @pytest.mark.parametrize(
+        "kind", ["special", "simple", "general", "approximate", "listing"]
+    )
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_kind_round_trip(self, kind, seed):
+        rng = random.Random(seed * 31 + hash(kind) % 101)
+        engine = _build_engine(kind, rng)
+        payload = index_to_payload(engine.index)
+        assert payload.schema == f"index/{kind}"
+        restored = index_from_payload(payload)
+        assert type(restored) is type(engine.index)
+
+        # payload → index → payload is exact: same schema tree, same meta,
+        # same stored arrays (bit for bit).
+        payload_again = index_to_payload(restored)
+        assert payload_again.manifest() == payload.manifest()
+        flat, flat_again = payload.flatten(), payload_again.flatten()
+        assert set(flat) == set(flat_again)
+        for key in flat:
+            assert flat[key].dtype == flat_again[key].dtype, key
+            assert np.array_equal(flat[key], flat_again[key]), key
+
+        # Answers byte-identical to the in-memory original.
+        for _ in range(12):
+            pattern, tau, k = _probe(engine, rng)
+            assert engine.index.query(pattern, tau) == restored.query(pattern, tau)
+            assert engine.index.top_k(pattern, k, tau=tau) == restored.top_k(
+                pattern, k, tau=tau
+            )
+
+    @pytest.mark.parametrize("kind", ["special", "general", "listing"])
+    def test_space_accounting_derives_from_payload(self, kind):
+        rng = random.Random(5)
+        engine = _build_engine(kind, rng)
+        payload = index_to_payload(engine.index)
+        assert engine.index.nbytes() == payload.nbytes()
+        report = engine.index.space_report()
+        assert report == payload.space_report()
+        assert report["total"] == sum(v for key, v in report.items() if key != "total")
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValidationError):
+            index_from_payload(IndexPayload("rmq/sparse"))
+        with pytest.raises(ValidationError):
+            index_from_payload(IndexPayload("index/unheard-of"))

@@ -160,6 +160,81 @@ class TestProcessEquivalence:
         with pytest.raises(ValidationError):
             build_sharded_index("banana" * 5, shards=2, query_executor="fibers")
 
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            build_sharded_index(
+                "banana" * 5, shards=2, max_workers=0, query_executor="process"
+            )
+
+
+class TestWorkerPoolSizing:
+    """max_workers < shard count: one worker process serves several shards."""
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_fewer_workers_than_shards_in_memory(self, chunk_setup, max_workers):
+        string, _, thread_engine, _ = chunk_setup
+        from repro.api import build_sharded_index as build
+
+        engine = build(
+            string,
+            shards=3,
+            tau_min=0.1,
+            kind="general",
+            max_pattern_len=6,
+            query_executor="process",
+            max_workers=max_workers,
+        )
+        try:
+            assert engine.describe()["sharding"]["max_workers"] == max_workers
+            assert len(engine._ensure_process_pools()) == max_workers
+            for pattern, tau in _probes(string, seed=17):
+                assert engine.query(pattern, tau=tau) == thread_engine.query(
+                    pattern, tau=tau
+                )
+                assert engine.top_k(pattern, 2, tau=tau) == thread_engine.top_k(
+                    pattern, 2, tau=tau
+                )
+        finally:
+            engine.close()
+
+    def test_fewer_workers_than_shards_mmap_loaded(self, tmp_path, chunk_setup):
+        from repro.api.sharding import ShardedEngine
+
+        string, _, thread_engine, _ = chunk_setup
+        path = thread_engine.save(tmp_path / "narrow")
+        loaded = ShardedEngine.load(
+            path, mmap=True, query_executor="process", max_workers=2
+        )
+        try:
+            assert len(loaded._ensure_process_pools()) == 2
+            for pattern, tau in _probes(string, seed=18):
+                assert loaded.query(pattern, tau=tau) == thread_engine.query(
+                    pattern, tau=tau
+                )
+        finally:
+            loaded.close()
+
+    def test_max_workers_clamped_to_shard_count(self, chunk_setup):
+        _, _, _, process_engine = chunk_setup
+        assert process_engine._fanout_workers() == process_engine.shard_count
+        process_engine._max_workers = 99
+        try:
+            assert process_engine._fanout_workers() == process_engine.shard_count
+        finally:
+            process_engine._max_workers = None
+
+    def test_thread_mode_describe_reports_clamped_workers(self):
+        from repro.api import build_sharded_index as build
+
+        engine = build("banana" * 8, shards=2, max_pattern_len=4, max_workers=64)
+        try:
+            # The documented clamp holds in thread mode too, and describe()
+            # reports the effective width, not the requested one.
+            assert engine.describe()["sharding"]["max_workers"] == 2
+            assert engine._fanout_workers() == 2
+        finally:
+            engine.close()
+
     def test_describe_reports_executor(self, chunk_setup):
         _, _, thread_engine, process_engine = chunk_setup
         assert (
