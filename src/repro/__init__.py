@@ -79,8 +79,10 @@ from .exceptions import (
     QueryError,
     ReproError,
     ServiceOverloadedError,
+    ServiceStoppedError,
     ThresholdError,
     ValidationError,
+    WorkerError,
 )
 from .payload import IndexPayload
 from .serving import AsyncSearchService
@@ -94,7 +96,7 @@ from .strings import (
     UncertainStringCollection,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Alphabet",
@@ -122,6 +124,7 @@ __all__ = [
     "SearchRequest",
     "SearchResult",
     "ServiceOverloadedError",
+    "ServiceStoppedError",
     "ShardSpec",
     "ShardedEngine",
     "SimpleSpecialIndex",
@@ -132,6 +135,7 @@ __all__ = [
     "UncertainStringCollection",
     "UncertainStringListingIndex",
     "ValidationError",
+    "WorkerError",
     "build_index",
     "build_sharded_index",
     "enumerate_maximal_factors",

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.base import ListingMatch, Occurrence
+from ..core.base import Occurrence
 from .cache import CacheKey, ResultCache
 from .requests import Match, SearchRequest, SearchResult
 
@@ -115,7 +115,9 @@ def execute_batch(
 
     shared: Dict[_RequestKey, SearchResult] = {}
 
-    def wrapped(request: SearchRequest, compute: Callable[[], List[Match]]):
+    def wrapped(
+        request: SearchRequest, compute: Callable[[], List[Match]]
+    ) -> Callable[[], List[Match]]:
         if cache is None or cache_key is None:
             return compute
         return cache.wrap(cache_key(request), compute)
@@ -152,8 +154,9 @@ def execute_batch(
         ):
             # Same pattern, same threshold, possibly different spelling of
             # the default — share the base evaluation outright.
+            shared_base = base_result
             result = base_result if base_result.request == request else SearchResult(
-                request, wrapped(request, lambda: list(base_result.matches))
+                request, wrapped(request, lambda: list(shared_base.matches))
             )
         else:
             result = SearchResult(

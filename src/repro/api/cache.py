@@ -89,7 +89,7 @@ class ResultCache:
         *,
         ttl_seconds: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
-    ):
+    ) -> None:
         if capacity < 0:
             raise ValidationError(f"cache capacity must be >= 0, got {capacity}")
         if ttl_seconds is not None and ttl_seconds <= 0:
@@ -99,13 +99,13 @@ class ResultCache:
         self._capacity = int(capacity)
         self._ttl_seconds = ttl_seconds
         self._clock = clock if clock is not None else time.monotonic
-        self._entries: "OrderedDict[_StoredKey, Tuple[Tuple, float]]" = OrderedDict()
+        self._entries: "OrderedDict[_StoredKey, Tuple[Tuple, float]]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._generation = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._expirations = 0
+        self._generation = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._expirations = 0  # guarded-by: _lock
 
     # -- configuration ------------------------------------------------------------
     @property

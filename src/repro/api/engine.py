@@ -150,7 +150,7 @@ class Engine(QueryEngine):
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache_ttl_seconds: Optional[float] = None,
-    ):
+    ) -> None:
         self._index = index
         self._plan = plan
         self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl_seconds)

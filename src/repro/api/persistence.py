@@ -79,7 +79,6 @@ from ..strings.serialization import (
     uncertain_string_from_manifest as _uncertain_from_manifest,
     uncertain_string_to_manifest as _uncertain_to_manifest,
 )
-from ..suffix.lcp import build_lcp_array
 from ..suffix.rmq import RMQ_PAYLOAD_VERSION, deserialize_rmq, make_rmq, serialize_rmq
 from ..suffix.suffix_array import SuffixArray
 from ..suffix.suffix_tree import SuffixTree
@@ -245,7 +244,7 @@ def _restore_rmq(
     prefix: str,
     *,
     implementation: str = "sparse",
-):
+) -> Any:
     """Restore (v2) or rebuild (v1) the RMQ stored under ``prefix``.
 
     When the archive carries the serialized payload the structure is
@@ -812,7 +811,7 @@ def save_sharded_payload(
     # silently read data from a different index.
     for stale in path.glob("shard-*.npz"):
         stale.unlink()
-    shard_files = []
+    shard_files: List[str] = []
     for ordinal, engine in enumerate(shard_engines):
         name = f"shard-{ordinal:04d}.npz"
         save_index_payload(engine.index, engine.plan, path / name, version=version)

@@ -140,7 +140,7 @@ def normalize_input(
             raise ValidationError("cannot index an empty string")
         return SpecialUncertainString.from_deterministic(data)
     if isinstance(data, Sequence):
-        documents = []
+        documents: List[UncertainString] = []
         for entry in data:
             if isinstance(entry, UncertainString):
                 documents.append(entry)
@@ -167,7 +167,7 @@ def _special_view(string: UncertainString) -> Optional[SpecialUncertainString]:
     """A special-string view of ``string`` when every position is single-character."""
     if string.correlations:
         return None
-    pairs = []
+    pairs: List[Tuple[str, float]] = []
     for distribution in string:
         if len(distribution) != 1:
             return None
@@ -181,7 +181,7 @@ def _profile(
     """Facts about the input the planner bases its decision on."""
     if isinstance(data, UncertainStringCollection):
         lengths = [len(document) for document in data]
-        alphabet = set()
+        alphabet: set = set()
         uncertain = 0
         total = 0
         for document in data:
@@ -278,7 +278,7 @@ CALIBRATION_WINDOW = 8
 CALIBRATION_LOG2_CLAMP = 6.0
 
 _calibration_lock = threading.Lock()
-_calibration_state: Dict[str, Dict[str, float]] = {}
+_calibration_state: Dict[str, Dict[str, float]] = {}  # guarded-by: _calibration_lock
 
 
 def reset_calibration() -> None:
@@ -753,9 +753,9 @@ def shard_input(
     overlap = max_pattern_len - 1
     step = math.ceil(n / count)
     starts = list(range(0, n, step))
-    offsets = []
-    owned_ends = []
-    parts = []
+    offsets: List[int] = []
+    owned_ends: List[int] = []
+    parts: List[Any] = []
     for shard, start in enumerate(starts):
         owned_end = min(start + step, n)
         chunk_end = min(owned_end + overlap, n)

@@ -19,7 +19,7 @@ the sequence protocol, paging and counting behave identically for both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Union, overload
 
 from .._validation import check_nonempty_pattern, check_threshold
 from ..core.base import ListingMatch, Occurrence, resolve_tau
@@ -100,7 +100,9 @@ class SearchResult(Sequence[Match]):
     [0]
     """
 
-    def __init__(self, request: SearchRequest, evaluate: Callable[[], List[Match]]):
+    def __init__(
+        self, request: SearchRequest, evaluate: Callable[[], List[Match]]
+    ) -> None:
         self._request = request
         self._evaluate = evaluate
         self._matches: Optional[List[Match]] = None
@@ -130,11 +132,18 @@ class SearchResult(Sequence[Match]):
     def __iter__(self) -> Iterator[Match]:
         return iter(self.matches)
 
-    def __getitem__(self, item):
+    @overload
+    def __getitem__(self, item: int) -> Match: ...
+
+    @overload
+    def __getitem__(self, item: slice) -> List[Match]: ...
+
+    def __getitem__(self, item: Union[int, slice]) -> Union[Match, List[Match]]:
         return self.matches[item]
 
     def __repr__(self) -> str:
-        state = f"{len(self._matches)} matches" if self.evaluated else "pending"
+        matches = self._matches
+        state = f"{len(matches)} matches" if matches is not None else "pending"
         return f"SearchResult(pattern={self._request.pattern!r}, {state})"
 
     # -- conveniences ---------------------------------------------------------------

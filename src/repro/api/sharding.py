@@ -85,14 +85,14 @@ from .planner import (
 from .requests import Match, SearchRequest
 
 
-def _reporting_key(match: Match):
+def _reporting_key(match: Match) -> int:
     """Merge key for plain threshold answers (position / document order)."""
     if isinstance(match, Occurrence):
         return match.position
     return match.document
 
 
-def _ranking_key(match: Match):
+def _ranking_key(match: Match) -> Tuple[float, int]:
     """Merge key for ``top_k`` answers (descending value, then position)."""
     if isinstance(match, Occurrence):
         return (-match.probability, match.position)
@@ -134,7 +134,7 @@ class ShardedEngine(QueryEngine):
         cache_ttl_seconds: Optional[float] = None,
         max_workers: Optional[int] = None,
         query_executor: str = "thread",
-    ):
+    ) -> None:
         if len(engines) != spec.shard_count:
             raise ValidationError(
                 f"spec describes {spec.shard_count} shards but "
@@ -157,14 +157,14 @@ class ShardedEngine(QueryEngine):
         self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl_seconds)
         self._max_workers = max_workers
         self._query_executor = query_executor
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _executor_lock
         self._executor_lock = threading.Lock()
         # Per-shard persistent worker processes (query_executor="process"),
         # created lazily on the first query.  Shards restored from disk
         # record their archive paths (+ the mmap flag) here so workers
         # re-open — and, with mmap, page-cache-share — the archives instead
         # of receiving pickled indexes.
-        self._process_pools: Optional[List[ProcessPoolExecutor]] = None
+        self._process_pools: Optional[List[ProcessPoolExecutor]] = None  # guarded-by: _executor_lock
         self._shard_sources: Optional[List[str]] = None
         self._shard_mmap = False
 
@@ -278,12 +278,13 @@ class ShardedEngine(QueryEngine):
         if len(self._engines) == 1:
             return [function(0)]
         with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
+            executor = self._executor
+            if executor is None:
+                executor = ThreadPoolExecutor(
                     max_workers=self._fanout_workers(),
                     thread_name_prefix="repro-shard",
                 )
-            executor = self._executor
+                self._executor = executor
         return list(executor.map(function, range(len(self._engines))))
 
     def _worker_spec(self, shard: int) -> Any:
@@ -305,9 +306,10 @@ class ShardedEngine(QueryEngine):
         process.
         """
         with self._executor_lock:
-            if self._process_pools is None:
+            pools = self._process_pools
+            if pools is None:
                 workers = self._fanout_workers()
-                pools: List[ProcessPoolExecutor] = []
+                pools = []
                 for worker in range(workers):
                     specs = {
                         shard: self._worker_spec(shard)
@@ -322,7 +324,7 @@ class ShardedEngine(QueryEngine):
                         )
                     )
                 self._process_pools = pools
-            return self._process_pools
+            return pools
 
     def _shard_answers(self, request: SearchRequest) -> List[List[Match]]:
         """Evaluate ``request`` on every shard; answers in global coordinates.
@@ -378,12 +380,13 @@ class ShardedEngine(QueryEngine):
                 translate_match(match, document_offset=offset) for match in matches
             ]
         owned_end = spec.owned_ends[shard]
-        translated = []
+        translated: List[Match] = []
         for match in matches:
             moved = translate_match(match, position_offset=offset)
             # Occurrences starting in the trailing overlap belong to (and
-            # are re-found by) the next shard — drop them here.
-            if moved.position < owned_end:
+            # are re-found by) the next shard — drop them here.  Chunk
+            # shards only ever report occurrences.
+            if isinstance(moved, Occurrence) and moved.position < owned_end:
                 translated.append(moved)
         return translated
 

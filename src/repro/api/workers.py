@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..core.base import matches_to_arrays, resolve_tau
+from ..exceptions import ValidationError, WorkerError
 from ..payload import IndexPayload
 
 #: Per-shard initialization spec: ``("archive", path, mmap)`` for shards
@@ -61,7 +62,7 @@ def _materialize(spec: WorkerSpec) -> Any:
         from .persistence import index_from_payload
 
         return index_from_payload(spec[1])
-    raise ValueError(f"unknown worker spec {spec[0]!r}")
+    raise ValidationError(f"unknown worker spec {spec[0]!r}")
 
 
 def initialize_worker(specs: Dict[int, WorkerSpec]) -> None:
@@ -85,7 +86,7 @@ def query_worker(
     shard, pattern, tau, top_k = arguments
     index = _WORKER_INDEXES.get(shard)
     if index is None:
-        raise RuntimeError(
+        raise WorkerError(
             f"shard worker asked for shard {shard} it does not own "
             f"(owned: {sorted(_WORKER_INDEXES)})"
         )

@@ -23,6 +23,9 @@ equivalence suite pins the vectorized kernels against.
 
 from __future__ import annotations
 
+# repro-check: hot-path — the reporting kernels here must stay vectorized;
+# per-element Python work is only allowed in the *_scalar reference twins.
+
 import abc
 import heapq
 import math
@@ -387,7 +390,7 @@ def restore_child_rmq(
     values: np.ndarray,
     *,
     implementation: str = "sparse",
-):
+) -> "SupportsRangeMaximum":
     """Restore (or rebuild) the RMQ stored as child ``name`` of ``payload``.
 
     When the child payload is present the structure restores in
@@ -644,7 +647,7 @@ def blocked_candidate_ranks(
     )
 
 
-def occurrences_from_log_values(
+def occurrences_from_log_values(  # repro-check: allow(hot-path-purity) — API boundary
     positions: np.ndarray, log_values: np.ndarray
 ) -> List[Occurrence]:
     """Build position-sorted :class:`Occurrence` objects from parallel arrays.

@@ -59,5 +59,23 @@ class ServiceOverloadedError(ReproError):
     """
 
 
+class ServiceStoppedError(ReproError, RuntimeError):
+    """Raised when a request reaches a serving front end after ``stop()``.
+
+    Derives from :class:`RuntimeError` as well so callers that treat a
+    stopped service as a generic lifecycle error keep working; new code
+    should catch :class:`ReproError` (or this class) instead.
+    """
+
+
+class WorkerError(ReproError, RuntimeError):
+    """Raised when a shard worker process violates an internal invariant.
+
+    Example: a query routed to a worker for a shard it does not own.  The
+    class pickles across the process boundary, so the parent observes the
+    same exception type the worker raised.
+    """
+
+
 class CorrelationError(ValidationError):
     """Raised when a correlation rule is inconsistent with its string."""

@@ -48,6 +48,25 @@ PAYLOAD_VERSION = 1
 #: Separator joining child names into flat array paths (archive members).
 PATH_SEPARATOR = "/"
 
+#: Central registry of every payload schema the package produces or
+#: understands, mapping the schema name to a one-line description.  Adding
+#: a ``to_payload`` implementation means adding its schema here — the
+#: ``payload-schema`` rule of :mod:`repro.tools.check` statically verifies
+#: that every constructed schema is registered, that index schemas stay
+#: unique per class, and that persistence dispatch covers every entry.
+SCHEMA_REGISTRY: Dict[str, str] = {
+    "index/special": "RMQ-tower index over a special uncertain string",
+    "index/simple": "O(n)-space simple index over a special uncertain string",
+    "index/general": "per-length index over the maximal-factor transformation",
+    "index/approximate": "additive-error sampled variant of the general index",
+    "index/listing": "document-listing index over an uncertain collection",
+    "rmq/sparse": "compact block-position RMQ (restores CompactRMQ)",
+    "rmq/block": "block RMQ; the summary table is rebuilt on restore",
+    "rmq/sparse-table": "legacy full sparse-table RMQ (version-2 archives)",
+    "rmq/block-table": "legacy block RMQ with stored summary table",
+    "transformed": "maximal-factor transformation of a general string",
+}
+
 _TRAILING_INDEX = re.compile(r"_\d+$")
 
 
@@ -204,7 +223,7 @@ class IndexPayload:
             if key not in flat_arrays:
                 raise ValidationError(f"payload array {key!r} is missing from the archive")
             arrays[name] = flat_arrays[key]
-        children = {}
+        children: Dict[str, "IndexPayload"] = {}
         for name, child_manifest in manifest.get("children", {}).items():
             child_prefix = f"{prefix}{PATH_SEPARATOR}{name}" if prefix else name
             children[name] = cls.from_manifest(

@@ -55,7 +55,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from ..api.requests import SearchRequest, SearchResult
-from ..exceptions import ServiceOverloadedError, ValidationError
+from ..exceptions import ServiceOverloadedError, ServiceStoppedError, ValidationError
 
 #: Dedupe key inside one window: requests equal on these fields share one
 #: evaluation and one :class:`SearchResult`.
@@ -67,7 +67,9 @@ class _Pending:
 
     __slots__ = ("request", "future", "enqueued_at")
 
-    def __init__(self, request: SearchRequest, future: "asyncio.Future", enqueued_at: float):
+    def __init__(
+        self, request: SearchRequest, future: "asyncio.Future", enqueued_at: float
+    ) -> None:
         self.request = request
         self.future = future
         self.enqueued_at = enqueued_at
@@ -104,7 +106,7 @@ class AsyncSearchService:
         max_batch: int = 256,
         max_pending: int = 4096,
         executor: Any = None,
-    ):
+    ) -> None:
         if max_wait_ms < 0:
             raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_batch < 1:
@@ -117,23 +119,26 @@ class AsyncSearchService:
         self._max_pending = int(max_pending)
         self._executor = executor
 
-        self._pending: Deque[_Pending] = deque()
+        self._pending: Deque[_Pending] = deque()  # guarded-by: event-loop
         self._wake: Optional[asyncio.Event] = None
-        self._runner: Optional[asyncio.Task] = None
+        self._runner: Optional["asyncio.Task[None]"] = None
         self._closed = False
 
-        # Counters (event-loop-thread only, so no lock needed).
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._rejected = 0
-        self._deduplicated = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._max_batch_seen = 0
-        self._max_queue_depth = 0
-        self._latency_sum = 0.0
-        self._latency_max = 0.0
+        # Counters (event-loop-thread only, so no lock needed; the
+        # ``guarded-by: event-loop`` annotation means "mutated only by
+        # methods of this class, on the loop thread" — enforced by the
+        # lock-discipline rule of ``repro.tools.check``).
+        self._submitted = 0  # guarded-by: event-loop
+        self._completed = 0  # guarded-by: event-loop
+        self._failed = 0  # guarded-by: event-loop
+        self._rejected = 0  # guarded-by: event-loop
+        self._deduplicated = 0  # guarded-by: event-loop
+        self._batches = 0  # guarded-by: event-loop
+        self._batched_requests = 0  # guarded-by: event-loop
+        self._max_batch_seen = 0  # guarded-by: event-loop
+        self._max_queue_depth = 0  # guarded-by: event-loop
+        self._latency_sum = 0.0  # guarded-by: event-loop
+        self._latency_max = 0.0  # guarded-by: event-loop
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -149,7 +154,7 @@ class AsyncSearchService:
     async def start(self) -> "AsyncSearchService":
         """Start the batching task (idempotent; ``submit`` auto-starts too)."""
         if self._closed:
-            raise RuntimeError("AsyncSearchService is stopped")
+            raise ServiceStoppedError("AsyncSearchService is stopped")
         if self._runner is None or self._runner.done():
             loop = asyncio.get_running_loop()
             if self._wake is None:
@@ -162,7 +167,7 @@ class AsyncSearchService:
 
         Every request admitted before ``stop`` was called still gets its
         answer (the run loop flushes remaining windows); submissions after
-        it raise ``RuntimeError``.
+        it raise :class:`~repro.exceptions.ServiceStoppedError`.
         """
         self._closed = True
         if self._wake is not None:
@@ -207,11 +212,11 @@ class AsyncSearchService:
         ------
         ServiceOverloadedError
             When ``max_pending`` requests are already queued.
-        RuntimeError
-            When the service was stopped.
+        ServiceStoppedError
+            When the service was stopped (also a ``RuntimeError``).
         """
         if self._closed:
-            raise RuntimeError("AsyncSearchService is stopped")
+            raise ServiceStoppedError("AsyncSearchService is stopped")
         normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
         if len(self._pending) >= self._max_pending:
             self._rejected += 1
@@ -221,28 +226,32 @@ class AsyncSearchService:
             )
         if self._runner is None or self._runner.done():
             await self.start()
+        wake = self._wake
+        assert wake is not None  # start() created the event above
         loop = asyncio.get_running_loop()
         pending = _Pending(normalized, loop.create_future(), time.perf_counter())
         self._pending.append(pending)
         self._submitted += 1
         if len(self._pending) > self._max_queue_depth:
             self._max_queue_depth = len(self._pending)
-        self._wake.set()
+        wake.set()
         return await pending.future
 
     # -- batching loop ------------------------------------------------------------
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
+        wake = self._wake
+        assert wake is not None  # start() creates the event before scheduling _run
         while True:
             if not self._pending:
                 if self._closed:
                     return
-                self._wake.clear()
+                wake.clear()
                 # Re-check after clearing: a submit between the check and
                 # the clear would otherwise sleep until the next arrival.
                 if self._pending or self._closed:
                     continue
-                await self._wake.wait()
+                await wake.wait()
                 continue
             # A window opens with the oldest queued request; keep it open
             # for stragglers until the deadline passes or it fills up.
@@ -251,9 +260,9 @@ class AsyncSearchService:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
                     break
-                self._wake.clear()
+                wake.clear()
                 try:
-                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                    await asyncio.wait_for(wake.wait(), timeout=remaining)
                 except asyncio.TimeoutError:
                     break
             window: List[_Pending] = []

@@ -32,6 +32,9 @@ read-only (memory-mapped) arrays: queries never write.
 
 from __future__ import annotations
 
+# repro-check: hot-path — query paths must stay vectorized; per-element
+# Python work is only allowed in construction and the *_scalar references.
+
 import math
 from typing import Dict, Literal, Optional, Sequence, Tuple
 

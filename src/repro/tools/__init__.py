@@ -1,0 +1,9 @@
+"""Developer tooling shipped with the package.
+
+:mod:`repro.tools.check` is the repo-aware static-analysis suite — run it
+with ``python -m repro.tools.check``.  Nothing in here is needed at query
+time; the tools exist so the cross-module invariants the indexes depend on
+(payload schema registration, worker-boundary shipping rules, the
+exception taxonomy, hot-path purity, lock discipline) are enforced
+mechanically instead of by review.
+"""

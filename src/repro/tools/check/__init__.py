@@ -1,0 +1,98 @@
+"""Repo-aware static analysis for the repro codebase.
+
+Run as ``python -m repro.tools.check``.  The suite parses every module
+under a scan root (the installed ``repro`` package by default) once and
+runs pluggable AST rules over the shared :class:`~.project.Project`:
+
+``payload-schema``
+    Every constructed payload schema is registered in
+    ``repro.payload.SCHEMA_REGISTRY``, registered schemas are actually
+    constructed or dispatched somewhere, ``index/*`` schemas are unique
+    per index class, and the persistence kind table covers exactly the
+    registered ``index/*`` schemas.
+``worker-boundary``
+    Process-pool submissions ship only plain data (payloads, paths,
+    plans, flat arrays) — never engines, indexes, caches or locks.
+``exception-taxonomy``
+    ``raise`` statements in ``api``/``serving`` modules use classes from
+    :mod:`repro.exceptions` (or a small set of builtin validation
+    errors).
+``hot-path-purity``
+    Modules marked ``# repro-check: hot-path`` keep per-element Python
+    work out of query paths (no ``math.*`` in loops, no list-append
+    accumulation in ``for`` loops, no ``range(len(...))`` iteration)
+    outside ``*_scalar`` reference functions.
+``lock-discipline``
+    Attributes annotated ``# guarded-by: <lock>`` are only mutated under
+    ``with <lock>`` (or, for the ``event-loop`` pseudo-lock, only by the
+    owning class).
+
+Findings can be suppressed by fingerprint through a JSON baseline file;
+stale baseline entries are themselves an error so the baseline can only
+shrink.  See ``repro.tools.check.cli`` for the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from .project import Project
+
+__all__ = ["Finding", "Rule", "run_checks", "Project"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable id for baseline suppression (line-number independent)."""
+        raw = f"{self.rule}::{self.path}::{self.message}"
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:12]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class for pluggable checks.
+
+    Subclasses set :attr:`name` / :attr:`description` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  A rule must not
+    mutate the project; several rules share one parsed tree.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module_relpath: str, line: int, message: str) -> Finding:
+        return Finding(path=module_relpath, line=line, rule=self.name, message=message)
+
+
+def run_checks(
+    root: Path,
+    rule_names: Optional[Sequence[str]] = None,
+    package: Optional[str] = None,
+) -> List[Finding]:
+    """Load ``root`` and run the (selected) rules; findings come back sorted."""
+    from .rules import get_rules
+
+    project = Project.load(root, package=package)
+    findings: List[Finding] = [
+        Finding(path=relpath, line=line, rule="parse", message=message)
+        for relpath, line, message in project.errors
+    ]
+    for rule in get_rules(rule_names):
+        findings.extend(rule.check(project))
+    return sorted(findings)

@@ -1,0 +1,68 @@
+"""Baseline (suppression) file support for the static-analysis suite.
+
+A baseline is a JSON document mapping finding fingerprints to a short
+record of what they suppressed::
+
+    {
+      "version": 1,
+      "suppressions": {
+        "3f2a9c1d0b44": {"rule": "hot-path-purity", "path": "core/base.py",
+                          "message": "..."}
+      }
+    }
+
+Fingerprints exclude line numbers, so unrelated edits do not invalidate
+entries — but an entry whose finding no longer occurs is *stale* and is
+reported as an error, so the baseline can only ever shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from . import Finding
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Read ``path`` and return the suppression table (fingerprint → record)."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "suppressions" not in data:
+        raise ValueError(f"{path}: not a baseline file (missing 'suppressions')")
+    suppressions = data["suppressions"]
+    if not isinstance(suppressions, dict):
+        raise ValueError(f"{path}: 'suppressions' must be an object")
+    return suppressions
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write a baseline suppressing exactly ``findings``."""
+    suppressions = {
+        finding.fingerprint(): {
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    payload = {"version": 1, "suppressions": suppressions}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: List[Finding], suppressions: Dict[str, dict]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (active, suppressed) and report stale fingerprints."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    seen = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in suppressions:
+            suppressed.append(finding)
+            seen.add(fingerprint)
+        else:
+            active.append(finding)
+    stale = sorted(fp for fp in suppressions if fp not in seen)
+    return active, suppressed, stale

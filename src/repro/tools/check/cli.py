@@ -1,0 +1,162 @@
+"""Command line for the static-analysis suite.
+
+Usage::
+
+    python -m repro.tools.check                      # all rules, installed repro
+    python -m repro.tools.check --rule lock-discipline --rule hot-path-purity
+    python -m repro.tools.check --root src/repro --format json
+    python -m repro.tools.check --baseline check-baseline.json
+    python -m repro.tools.check --write-baseline check-baseline.json
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage
+error (unknown rule, unreadable baseline, bad root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import Finding, run_checks
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .rules import rule_names
+
+
+def _default_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.check",
+        description="Repo-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--package",
+        default=None,
+        help="dotted package name for the root (default: the root directory name)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help=f"run only this rule (repeatable); known: {', '.join(rule_names())}",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline file; listed fingerprints are suppressed, "
+        "stale entries are an error",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write current findings to PATH as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    out = sys.stdout
+
+    if options.list_rules:
+        from .rules import ALL_RULES
+
+        for rule in ALL_RULES:
+            print(f"{rule.name}: {rule.description}", file=out)
+        return 0
+
+    root = options.root if options.root is not None else _default_root()
+    if not root.is_dir():
+        print(f"error: scan root {root} is not a directory", file=sys.stderr)
+        return 2
+    package = options.package
+    if options.root is None and package is None:
+        package = "repro"
+
+    try:
+        findings = run_checks(root, rule_names=options.rules, package=package)
+    except ValueError as exc:  # unknown rule name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if options.write_baseline is not None:
+        write_baseline(options.write_baseline, findings)
+        print(
+            f"wrote baseline with {len(findings)} suppression(s) to "
+            f"{options.write_baseline}",
+            file=out,
+        )
+        return 0
+
+    suppressed: List[Finding] = []
+    stale: List[str] = []
+    if options.baseline is not None:
+        try:
+            table = load_baseline(options.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = apply_baseline(findings, table)
+
+    if options.format == "json":
+        document = {
+            "findings": [
+                {
+                    "path": finding.path,
+                    "line": finding.line,
+                    "rule": finding.rule,
+                    "message": finding.message,
+                    "fingerprint": finding.fingerprint(),
+                }
+                for finding in findings
+            ],
+            "suppressed": len(suppressed),
+            "stale_baseline_entries": stale,
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        for finding in findings:
+            print(finding.render(), file=out)
+        for fingerprint in stale:
+            print(
+                f"baseline: stale suppression {fingerprint} — the finding no "
+                "longer occurs; remove it from the baseline",
+                file=out,
+            )
+        summary = f"{len(findings)} finding(s)"
+        if suppressed:
+            summary += f", {len(suppressed)} suppressed"
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies)"
+        print(summary, file=out)
+
+    return 1 if findings or stale else 0

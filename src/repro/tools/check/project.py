@@ -1,0 +1,197 @@
+"""Project model for the static-analysis suite.
+
+Loads every Python module under a scan root once, parses it, attaches
+parent links to the AST, extracts comments (via :mod:`tokenize`, so rules
+can see ``# guarded-by:`` annotations and ``# repro-check:`` pragmas) and
+module-level string constants (so rules can resolve schema names written
+as ``SCHEMA = "index/special"`` or simple concatenations thereof).
+
+Rules receive one :class:`Project` and never touch the filesystem
+themselves, which is what makes them trivially testable against fixture
+trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Prefix shared by every in-source pragma the suite understands.
+PRAGMA = "repro-check:"
+
+_GUARDED_BY = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_-]*)")
+_ALLOW = re.compile(r"repro-check:\s*allow\(([a-z-]+)\)")
+_MARKER = re.compile(r"repro-check:\s*([a-z-]+)")
+
+
+def attach_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node to its parent so rules can walk *up* the tree."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _extract_comments(source: str) -> Dict[int, str]:
+    """``{line: comment text}`` for every comment token in ``source``."""
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except tokenize.TokenError:  # pragma: no cover - unparseable tail
+        pass
+    return comments
+
+
+def _string_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments (schema constants)."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        folded = _fold_string(value, constants)
+        if folded is not None:
+            constants[target.id] = folded
+    return constants
+
+
+def _fold_string(node: ast.expr, constants: Dict[str, str]) -> Optional[str]:
+    """Evaluate a string literal / constant name / ``+`` concatenation."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    if isinstance(node, ast.Attribute):
+        # Cross-module constant reference (``payload.PATH_SEPARATOR``) —
+        # the attribute name is resolved by the caller against the project.
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _fold_string(node.left, constants)
+        right = _fold_string(node.right, constants)
+        if left is not None and right is not None:
+            return left + right
+    return None
+
+
+class ModuleInfo:
+    """One parsed module plus the side tables rules need."""
+
+    def __init__(self, path: Path, relpath: str, name: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.name = name
+        self.source = source
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self.parents = attach_parents(self.tree)
+        self.comments = _extract_comments(source)
+        self.constants = _string_constants(self.tree)
+
+    # -- pragma and annotation helpers ---------------------------------------------
+    def has_marker(self, marker: str) -> bool:
+        """Whether any ``# repro-check: <marker>`` comment appears in the module."""
+        for text in self.comments.values():
+            match = _MARKER.search(text)
+            if match is not None and match.group(1) == marker:
+                return True
+        return False
+
+    def allows(self, rule: str, line: int) -> bool:
+        """Whether line carries ``# repro-check: allow(<rule>)``."""
+        text = self.comments.get(line, "")
+        match = _ALLOW.search(text)
+        return match is not None and match.group(1) == rule
+
+    def guard_annotation(self, line: int) -> Optional[str]:
+        """Name from a ``# guarded-by: <lock>`` comment on ``line``, if any."""
+        match = _GUARDED_BY.search(self.comments.get(line, ""))
+        return match.group(1) if match is not None else None
+
+    def resolve_string(self, node: ast.expr) -> Optional[str]:
+        """Best-effort static value of a string expression in this module."""
+        return _fold_string(node, self.constants)
+
+    # -- tree helpers ---------------------------------------------------------------
+    def enclosing(self, node: ast.AST, *kinds: type) -> Optional[ast.AST]:
+        """Nearest ancestor of one of ``kinds`` (not crossing anything)."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.enclosing(node, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        """Nearest class ``node`` lives in, looking through method bodies."""
+        found = self.enclosing(node, ast.ClassDef)
+        return found if isinstance(found, ast.ClassDef) else None
+
+    def ancestors_until_function(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node`` up to (excluding) the enclosing function."""
+        current = self.parents.get(node)
+        while current is not None and not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module, ast.ClassDef)
+        ):
+            yield current
+            current = self.parents.get(current)
+
+
+class Project:
+    """Every module under one scan root, parsed once and shared by rules."""
+
+    def __init__(self, root: Path, modules: List[ModuleInfo], errors: List[Tuple[str, int, str]]):
+        self.root = root
+        self.modules = modules
+        #: ``(relpath, line, message)`` for files that failed to parse.
+        self.errors = errors
+
+    @classmethod
+    def load(cls, root: Path, package: Optional[str] = None) -> "Project":
+        root = root.resolve()
+        prefix = package if package is not None else root.name
+        modules: List[ModuleInfo] = []
+        errors: List[Tuple[str, int, str]] = []
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            relpath = rel.as_posix()
+            parts = list(rel.with_suffix("").parts)
+            if parts and parts[-1] == "__init__":
+                parts = parts[:-1]
+            name = ".".join([prefix] + parts) if parts else prefix
+            source = path.read_text(encoding="utf-8")
+            try:
+                modules.append(ModuleInfo(path, relpath, name, source))
+            except SyntaxError as exc:
+                errors.append((relpath, exc.lineno or 1, f"syntax error: {exc.msg}"))
+        return cls(root, modules, errors)
+
+    def find_module(self, suffix: str) -> Optional[ModuleInfo]:
+        """Module whose dotted name ends with ``suffix`` (e.g. ``payload``)."""
+        for module in self.modules:
+            if module.name == suffix or module.name.endswith("." + suffix):
+                return module
+        return None
+
+
+def call_name(func: ast.expr) -> Optional[str]:
+    """Terminal identifier of a call target (``a.b.c(...)`` → ``c``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None

@@ -1,0 +1,42 @@
+"""Rule registry for the static-analysis suite.
+
+Adding a rule is three steps: write a module here with a
+:class:`~repro.tools.check.Rule` subclass, instantiate it in
+:data:`ALL_RULES`, and add a fixture-backed test under ``tests/tools``.
+Rules are selected by name via ``--rule``; unknown names are an error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .. import Rule
+from .exception_taxonomy import ExceptionTaxonomyRule
+from .hot_path import HotPathPurityRule
+from .lock_discipline import LockDisciplineRule
+from .payload_schema import PayloadSchemaRule
+from .worker_boundary import WorkerBoundaryRule
+
+ALL_RULES: List[Rule] = [
+    PayloadSchemaRule(),
+    WorkerBoundaryRule(),
+    ExceptionTaxonomyRule(),
+    HotPathPurityRule(),
+    LockDisciplineRule(),
+]
+
+
+def rule_names() -> List[str]:
+    return [rule.name for rule in ALL_RULES]
+
+
+def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The selected rules (all of them when ``names`` is None/empty)."""
+    if not names:
+        return list(ALL_RULES)
+    by_name = {rule.name: rule for rule in ALL_RULES}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        known = ", ".join(sorted(by_name))
+        raise ValueError(f"unknown rule(s) {', '.join(unknown)} (known: {known})")
+    return [by_name[name] for name in names]

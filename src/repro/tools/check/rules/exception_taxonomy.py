@@ -1,0 +1,90 @@
+"""exception-taxonomy: the façade raises only taxonomy errors.
+
+Callers of :mod:`repro.api` and :mod:`repro.serving` are promised that
+everything the library raises deliberately derives from
+:class:`repro.exceptions.ReproError` — that is what makes
+``except ReproError`` a complete guard around a serving loop.  A stray
+``raise RuntimeError(...)`` deep in a worker quietly breaks that
+contract.
+
+Scope: every module living under a directory named ``api`` or
+``serving`` relative to the scan root.  Inside those modules, each
+``raise`` must use either
+
+* a class imported from the exceptions module (``from ..exceptions
+  import ...`` / ``from repro.exceptions import ...``),
+* one of the builtin argument-validation errors (``ValueError``,
+  ``TypeError``, ``NotImplementedError``), or
+* a bare re-raise / a name bound by ``except ... as name``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .. import Finding, Rule
+from ..project import ModuleInfo, Project, call_name
+
+SCOPED_DIRS = {"api", "serving"}
+ALLOWED_BUILTINS = {"ValueError", "TypeError", "NotImplementedError"}
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    parts = module.relpath.split("/")[:-1]
+    return any(part in SCOPED_DIRS for part in parts)
+
+
+def _taxonomy_imports(module: ModuleInfo) -> Set[str]:
+    """Names imported from an ``exceptions`` module (relative or absolute)."""
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module is not None:
+            if node.module == "exceptions" or node.module.endswith(".exceptions"):
+                names.update(alias.asname or alias.name for alias in node.names)
+    return names
+
+
+def _handler_names(module: ModuleInfo) -> Set[str]:
+    """Names bound by ``except ... as name`` anywhere in the module."""
+    return {
+        node.name
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ExceptHandler) and node.name is not None
+    }
+
+
+class ExceptionTaxonomyRule(Rule):
+    name = "exception-taxonomy"
+    description = "api/serving raise only repro.exceptions (or builtin validation) errors"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not _in_scope(module):
+                continue
+            allowed = _taxonomy_imports(module) | ALLOWED_BUILTINS
+            rebindable = _handler_names(module)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise):
+                    continue
+                if node.exc is None:  # bare ``raise`` inside a handler
+                    continue
+                if module.allows(self.name, node.lineno):
+                    continue
+                exc = node.exc
+                name = call_name(exc.func) if isinstance(exc, ast.Call) else call_name(exc)
+                if name is None:
+                    yield self.finding(
+                        module.relpath,
+                        node.lineno,
+                        "raise of a non-name expression; use a class from repro.exceptions",
+                    )
+                    continue
+                if name in allowed or name in rebindable:
+                    continue
+                yield self.finding(
+                    module.relpath,
+                    node.lineno,
+                    f"raise {name}(...) is outside the exception taxonomy "
+                    "(import a class from repro.exceptions)",
+                )

@@ -1,0 +1,117 @@
+"""hot-path-purity: query kernels stay vectorized.
+
+Modules that opt in with a ``# repro-check: hot-path`` comment promise
+their query paths do array-at-a-time work (numpy) rather than
+per-element Python.  Inside every function of a marked module the rule
+flags the three regression patterns that historically crept in:
+
+* a ``math.*`` scalar call inside a loop or comprehension,
+* list accumulation (``.append`` / ``.extend`` / ``.insert``) inside a
+  ``for`` statement (``while`` chunk loops are allowed — those iterate
+  over blocks, not elements),
+* ``for i in range(len(...))`` index iteration.
+
+Escapes: functions named ``*_scalar`` (the intentionally slow reference
+implementations used by property tests), and a
+``# repro-check: allow(hot-path-purity)`` pragma on the ``def`` line for
+deliberate exceptions such as API-boundary conversions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .. import Finding, Rule
+from ..project import ModuleInfo, Project
+
+MARKER = "hot-path"
+ACCUMULATORS = {"append", "extend", "insert"}
+LOOPS = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+class HotPathPurityRule(Rule):
+    name = "hot-path-purity"
+    description = "hot modules avoid per-element Python work"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not module.has_marker(MARKER):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.name.endswith("_scalar"):
+                        continue
+                    if module.allows(self.name, node.lineno):
+                        continue
+                    yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> Iterator["Finding"]:
+        for node in ast.walk(func):
+            if node is not func and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are visited on their own
+            if module.enclosing_function(node) is not func:
+                continue
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, func, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_for(module, func, node)
+
+    def _check_call(self, module: ModuleInfo, func: ast.AST, node: ast.Call) -> Iterator["Finding"]:
+        target = node.func
+        # math.* scalar call inside any loop or comprehension.
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "math"
+            and self._loop_context(module, func, node) is not None
+        ):
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"math.{target.attr} called per element in a loop "
+                f"(in {getattr(func, 'name', '?')}); vectorize with numpy",
+            )
+        # list accumulation inside a for statement.
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in ACCUMULATORS
+            and isinstance(self._loop_context(module, func, node), ast.For)
+        ):
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f".{target.attr} accumulation inside a for loop "
+                f"(in {getattr(func, 'name', '?')}); build arrays instead",
+            )
+
+    def _check_for(self, module: ModuleInfo, func: ast.AST, node: ast.For) -> Iterator["Finding"]:
+        # for i in range(len(...)) — index iteration over per-element data.
+        iterator = node.iter
+        if not (isinstance(iterator, ast.Call) and isinstance(iterator.func, ast.Name)):
+            return
+        if iterator.func.id != "range" or len(iterator.args) != 1:
+            return
+        arg = iterator.args[0]
+        if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name) and arg.func.id == "len":
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"for-over-range(len(...)) iteration (in {getattr(func, 'name', '?')}); "
+                "use vectorized indexing",
+            )
+
+    def _loop_context(
+        self, module: ModuleInfo, func: ast.AST, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Nearest enclosing loop of ``node`` within ``func``, if any."""
+        current = module.parents.get(node)
+        while current is not None and current is not func:
+            if isinstance(current, LOOPS):
+                return current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None
+            current = module.parents.get(current)
+        return None

@@ -1,0 +1,156 @@
+"""payload-schema: schema names form a closed, registered vocabulary.
+
+The persistence layer dispatches restores on ``IndexPayload.schema``
+strings, so an unregistered or colliding schema silently breaks
+round-tripping.  This rule checks, across the whole scan root:
+
+* every ``IndexPayload(schema=...)`` construction whose schema resolves
+  statically names an entry of ``repro.payload.SCHEMA_REGISTRY``;
+* every registered schema is actually *used* — constructed somewhere, or
+  dispatched on (an ``== SCHEMA`` comparison or ``expect_schema`` call),
+  so the registry cannot rot;
+* ``index/*`` schemas are constructed by exactly one index class (RMQ
+  schemas are deliberately shared between equivalent implementations);
+* the persistence kind table (``_KIND_BY_CLASS``) and the registered
+  ``index/*`` schemas cover each other exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .. import Finding, Rule
+from ..project import ModuleInfo, Project, call_name
+
+INDEX_PREFIX = "index/"
+
+
+def _find_dict_of_strings(
+    project: Project, target_name: str, values: bool
+) -> Optional[Tuple[ModuleInfo, ast.AST, Set[str]]]:
+    """Locate a module-level ``target_name = {...}`` and collect its string
+    keys (``values=False``) or values (``values=True``)."""
+    for module in project.modules:
+        for node in module.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if not (isinstance(target, ast.Name) and target.id == target_name):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            out: Set[str] = set()
+            entries = value.values if values else value.keys
+            for entry in entries:
+                if entry is None:
+                    continue
+                folded = module.resolve_string(entry)
+                if folded is not None:
+                    out.add(folded)
+            return module, node, out
+    return None
+
+
+class PayloadSchemaRule(Rule):
+    name = "payload-schema"
+    description = "payload schemas are registered, used, unique, and persisted"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        located = _find_dict_of_strings(project, "SCHEMA_REGISTRY", values=False)
+        if located is None:
+            yield Finding(
+                path=".",
+                line=1,
+                rule=self.name,
+                message="no module defines SCHEMA_REGISTRY (central schema registry)",
+            )
+            return
+        registry_module, registry_node, registry = located
+
+        constructed: Dict[str, List[Tuple[ModuleInfo, int, Optional[str]]]] = {}
+        dispatched: Set[str] = set()
+
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    name = call_name(node.func)
+                    if name == "IndexPayload":
+                        schema = self._construction_schema(module, node)
+                        if schema is None:
+                            continue
+                        cls = module.enclosing_class(node)
+                        constructed.setdefault(schema, []).append(
+                            (module, node.lineno, cls.name if cls else None)
+                        )
+                        if schema not in registry and module is not registry_module:
+                            yield self.finding(
+                                module.relpath,
+                                node.lineno,
+                                f"schema {schema!r} is constructed but not in SCHEMA_REGISTRY",
+                            )
+                    elif name == "expect_schema" and len(node.args) >= 2:
+                        folded = module.resolve_string(node.args[1])
+                        if folded is not None:
+                            dispatched.add(folded)
+                elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                    for side in (node.left, node.comparators[0]):
+                        folded = module.resolve_string(side)
+                        if folded is not None and folded in registry:
+                            dispatched.add(folded)
+
+        # Registered schemas must be alive: constructed or dispatched on.
+        for schema in sorted(registry):
+            if schema not in constructed and schema not in dispatched:
+                yield self.finding(
+                    registry_module.relpath,
+                    registry_node.lineno,
+                    f"registered schema {schema!r} is neither constructed nor dispatched",
+                )
+
+        # index/* schemas identify one index class each.
+        for schema, sites in sorted(constructed.items()):
+            if not schema.startswith(INDEX_PREFIX):
+                continue
+            classes = {cls for (_, _, cls) in sites if cls is not None}
+            if len(classes) > 1:
+                module, line, _ = sites[-1]
+                owners = ", ".join(sorted(classes))
+                yield self.finding(
+                    module.relpath,
+                    line,
+                    f"index schema {schema!r} is constructed by multiple classes ({owners})",
+                )
+
+        # Persistence dispatch covers exactly the registered index schemas.
+        kinds_located = _find_dict_of_strings(project, "_KIND_BY_CLASS", values=True)
+        if kinds_located is None:
+            return
+        kinds_module, kinds_node, kinds = kinds_located
+        registered_kinds = {
+            schema[len(INDEX_PREFIX):] for schema in registry if schema.startswith(INDEX_PREFIX)
+        }
+        for kind in sorted(registered_kinds - kinds):
+            yield self.finding(
+                kinds_module.relpath,
+                kinds_node.lineno,
+                f"registered schema {INDEX_PREFIX + kind!r} has no persistence kind entry",
+            )
+        for kind in sorted(kinds - registered_kinds):
+            yield self.finding(
+                kinds_module.relpath,
+                kinds_node.lineno,
+                f"persistence kind {kind!r} has no registered {INDEX_PREFIX}* schema",
+            )
+
+    @staticmethod
+    def _construction_schema(module: ModuleInfo, node: ast.Call) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "schema":
+                return module.resolve_string(keyword.value)
+        if node.args:
+            return module.resolve_string(node.args[0])
+        return None

@@ -1,0 +1,33 @@
+"""Fixture: clean pool usage and taxonomy-conforming raises."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ..exceptions import ValidationError
+
+
+def initialize_worker(specs):
+    return specs
+
+
+def query_worker(plan):
+    return plan
+
+
+def build_pool(specs):
+    return ProcessPoolExecutor(
+        max_workers=1, initializer=initialize_worker, initargs=(specs,)
+    )
+
+
+def run(plans):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(query_worker, plan) for plan in plans]
+    return [future.result() for future in futures]
+
+
+def validate(value):
+    if value is None:
+        raise ValidationError("value is required")
+    if not isinstance(value, int):
+        raise TypeError(f"expected int, got {type(value).__name__}")
+    return value

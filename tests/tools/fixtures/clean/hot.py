@@ -1,0 +1,32 @@
+# repro-check: hot-path
+"""Fixture: vectorized hot module with sanctioned escapes."""
+
+import math
+
+import numpy as np
+
+
+def probabilities(log_values):
+    return np.exp(np.asarray(log_values, dtype=np.float64))
+
+
+def probabilities_scalar(log_values):
+    # Reference implementation: exempt by the *_scalar naming convention.
+    out = []
+    for value in log_values:
+        out.append(math.exp(value))
+    return out
+
+
+def boundary(values):  # repro-check: allow(hot-path-purity)
+    return [math.exp(value) for value in values]
+
+
+def chunked(values, size):
+    # while-loop chunking iterates blocks, not elements — allowed.
+    chunks = []
+    start = 0
+    while start < len(values):
+        chunks.append(values[start : start + size])
+        start += size
+    return chunks

@@ -1,0 +1,20 @@
+"""Fixture: one owner per index schema, dispatch covers the registry."""
+
+SPECIAL_SCHEMA = "index/special"
+
+
+class IndexPayload:
+    def __init__(self, schema, arrays=None):
+        self.schema = schema
+        self.arrays = arrays or {}
+
+
+class SpecialIndex:
+    def to_payload(self):
+        return IndexPayload(schema=SPECIAL_SCHEMA)
+
+
+def from_payload(payload):
+    if payload.schema == SPECIAL_SCHEMA:
+        return SpecialIndex()
+    raise ValueError(payload.schema)

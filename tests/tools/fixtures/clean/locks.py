@@ -1,0 +1,30 @@
+"""Fixture: guarded-by annotated state mutated only under its lock."""
+
+import threading
+
+_counters = {}  # guarded-by: _counters_lock
+_counters_lock = threading.Lock()
+
+
+def bump(name):
+    with _counters_lock:
+        _counters[name] = _counters.get(name, 0) + 1
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+        self._pending = 0  # guarded-by: event-loop
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self):
+        with self._lock:
+            items, self._items = self._items, []
+        return items
+
+    def note(self):
+        self._pending += 1  # owner-class mutation of event-loop state

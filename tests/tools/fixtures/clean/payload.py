@@ -1,0 +1,7 @@
+"""Fixture: a consistent schema registry and kind table."""
+
+SCHEMA_REGISTRY = {
+    "index/special": "the one index variant",
+}
+
+_KIND_BY_CLASS = {"SpecialIndex": "special"}

@@ -1,0 +1,16 @@
+"""Fixture: process-pool submissions shipping live objects."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class ShardedThing:
+    def go(self, engine, plans):
+        with ProcessPoolExecutor() as pool:
+            pool.submit(lambda: engine.query(plans))  # lambda across boundary
+            pool.submit(engine.query, plans)  # bound method submitted
+            pool.submit(query_worker, self._engines)  # live attribute shipped
+            pool.submit(query_worker, engine)  # live object shipped
+
+
+def query_worker(args):
+    return args

@@ -1,0 +1,16 @@
+"""Fixture: raises outside the exception taxonomy."""
+
+from ...exceptions import ValidationError
+
+
+def validate(value):
+    if value is None:
+        raise ValidationError("value is required")  # taxonomy: allowed
+    raise RuntimeError("unexpected state")  # outside the taxonomy
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except KeyError as exc:
+        raise LookupError(f"missing {key}") from exc  # outside the taxonomy

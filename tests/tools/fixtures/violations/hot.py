@@ -1,0 +1,18 @@
+# repro-check: hot-path
+"""Fixture: per-element Python work in a module marked hot."""
+
+import math
+
+
+def slow(values):
+    out = []
+    for value in values:
+        out.append(math.exp(value))  # math-in-loop AND append-in-for
+    for i in range(len(values)):  # index iteration
+        out[i] += 0.0
+    return out
+
+
+def slow_scalar(values):
+    # Reference implementation: exempt by the *_scalar naming convention.
+    return [math.exp(value) for value in values]

@@ -1,0 +1,24 @@
+"""Fixture: duplicate index-schema owners and an unregistered schema."""
+
+SPECIAL_SCHEMA = "index/special"
+
+
+class IndexPayload:
+    def __init__(self, schema, arrays=None):
+        self.schema = schema
+        self.arrays = arrays or {}
+
+
+class SpecialIndex:
+    def to_payload(self):
+        return IndexPayload(schema=SPECIAL_SCHEMA)
+
+
+class ImpostorIndex:
+    def to_payload(self):
+        return IndexPayload(schema=SPECIAL_SCHEMA)  # duplicate owner
+
+
+class RogueIndex:
+    def to_payload(self):
+        return IndexPayload(schema="index/rogue")  # unregistered schema

@@ -1,0 +1,29 @@
+"""Fixture: guarded-by annotated state mutated without its lock."""
+
+import threading
+
+_state = {}  # guarded-by: _state_lock
+_state_lock = threading.Lock()
+
+
+def touch(key):
+    _state[key] = 1  # module global mutated without the lock
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+        self._count = 0  # guarded-by: event-loop
+
+    def good(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def bad(self, item):
+        self._items.append(item)  # mutating call without the lock
+        self._items = [item]  # rebind without the lock
+
+
+def poke(box):
+    box._count += 1  # event-loop state mutated through a foreign receiver

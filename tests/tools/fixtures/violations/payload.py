@@ -1,0 +1,8 @@
+"""Fixture: schema registry with a dead entry and a mismatched kind table."""
+
+SCHEMA_REGISTRY = {
+    "index/special": "the special index",
+    "index/ghost": "registered but never constructed or dispatched",
+}
+
+_KIND_BY_CLASS = {"SpecialIndex": "special", "LegacyIndex": "legacy"}

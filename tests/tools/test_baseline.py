@@ -1,0 +1,65 @@
+"""Baseline round-trip: suppression by fingerprint, stale-entry expiry."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.check import Finding, run_checks
+from repro.tools.check.baseline import apply_baseline, load_baseline, write_baseline
+
+FIXTURES = Path(__file__).parent / "fixtures"
+VIOLATIONS = FIXTURES / "violations"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return run_checks(VIOLATIONS, package="violations")
+
+
+def test_fingerprints_are_stable_and_line_independent():
+    a = Finding(path="x.py", line=10, rule="r", message="m")
+    b = Finding(path="x.py", line=99, rule="r", message="m")
+    c = Finding(path="x.py", line=10, rule="r", message="other")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_roundtrip_suppresses_everything(tmp_path, findings):
+    assert findings, "violations fixture must produce findings"
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    table = load_baseline(path)
+    active, suppressed, stale = apply_baseline(findings, table)
+    assert active == []
+    assert len(suppressed) == len(findings)
+    assert stale == []
+
+
+def test_partial_baseline_keeps_remaining_findings_active(tmp_path, findings):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings[:2])
+    active, suppressed, stale = apply_baseline(findings, load_baseline(path))
+    assert len(suppressed) == 2
+    assert len(active) == len(findings) - 2
+    assert stale == []
+
+
+def test_stale_entries_are_reported(tmp_path, findings):
+    path = tmp_path / "baseline.json"
+    gone = Finding(path="removed.py", line=1, rule="lock-discipline", message="old")
+    write_baseline(path, list(findings) + [gone])
+    active, suppressed, stale = apply_baseline(findings, load_baseline(path))
+    assert active == []
+    assert len(suppressed) == len(findings)
+    assert stale == [gone.fingerprint()]
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"nope": True}), encoding="utf-8")
+    with pytest.raises(ValueError, match="missing 'suppressions'"):
+        load_baseline(path)
+    path.write_text(json.dumps({"suppressions": [1, 2]}), encoding="utf-8")
+    with pytest.raises(ValueError, match="must be an object"):
+        load_baseline(path)

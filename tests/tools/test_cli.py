@@ -1,0 +1,103 @@
+"""Command-line behaviour: exit codes, formats, baseline flow, module entry."""
+
+import json
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tools.check.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+VIOLATIONS = FIXTURES / "violations"
+CLEAN = FIXTURES / "clean"
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert run_cli("--root", str(CLEAN), "--package", "clean") == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_locations(capsys):
+    assert run_cli("--root", str(VIOLATIONS), "--package", "violations") == 1
+    out = capsys.readouterr().out
+    assert "locks.py:" in out and "[lock-discipline]" in out
+    assert "hot.py:" in out and "[hot-path-purity]" in out
+
+
+def test_installed_package_default_root_is_clean():
+    # The shipped repro package must satisfy its own rules with no baseline.
+    assert run_cli() == 0
+
+
+def test_rule_selection_and_unknown_rule(capsys):
+    assert run_cli("--root", str(VIOLATIONS), "--package", "violations",
+                   "--rule", "payload-schema") == 1
+    out = capsys.readouterr().out
+    assert "[payload-schema]" in out
+    assert "[lock-discipline]" not in out
+    assert run_cli("--rule", "bogus") == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_bad_root_exits_two(tmp_path, capsys):
+    assert run_cli("--root", str(tmp_path / "missing")) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_json_format(capsys):
+    assert run_cli("--root", str(VIOLATIONS), "--package", "violations",
+                   "--format", "json") == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["stale_baseline_entries"] == []
+    assert document["findings"], "expected findings in JSON output"
+    first = document["findings"][0]
+    assert set(first) == {"path", "line", "rule", "message", "fingerprint"}
+
+
+def test_list_rules(capsys):
+    assert run_cli("--list-rules") == 0
+    out = capsys.readouterr().out
+    assert "payload-schema" in out and "lock-discipline" in out
+
+
+def test_baseline_flow(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # Write a full baseline, then the same scan is clean against it.
+    assert run_cli("--root", str(VIOLATIONS), "--package", "violations",
+                   "--write-baseline", str(baseline)) == 0
+    capsys.readouterr()
+    assert run_cli("--root", str(VIOLATIONS), "--package", "violations",
+                   "--baseline", str(baseline)) == 0
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_stale_baseline_entry_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    table = {"version": 1, "suppressions": {"deadbeefdead": {"rule": "x"}}}
+    baseline.write_text(json.dumps(table), encoding="utf-8")
+    assert run_cli("--root", str(CLEAN), "--package", "clean",
+                   "--baseline", str(baseline)) == 1
+    assert "stale suppression" in capsys.readouterr().out
+
+
+def test_unreadable_baseline_exits_two(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json", encoding="utf-8")
+    assert run_cli("--root", str(CLEAN), "--package", "clean",
+                   "--baseline", str(baseline)) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_module_entry_point(monkeypatch, capsys):
+    # ``python -m repro.tools.check`` — exercised in-process for coverage.
+    monkeypatch.setattr(sys, "argv",
+                        ["check", "--root", str(CLEAN), "--package", "clean"])
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_module("repro.tools.check", run_name="__main__")
+    assert excinfo.value.code == 0

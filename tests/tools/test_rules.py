@@ -1,0 +1,187 @@
+"""Each rule fires on its seeded fixture violation — at the right file and
+line — and stays silent on the clean fixture tree and on the real repo."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.tools.check import run_checks
+from repro.tools.check.rules import ALL_RULES, get_rules, rule_names
+
+FIXTURES = Path(__file__).parent / "fixtures"
+VIOLATIONS = FIXTURES / "violations"
+CLEAN = FIXTURES / "clean"
+
+
+def line_of(root, relpath, needle):
+    """1-based line of the first fixture line containing ``needle``."""
+    source = (root / relpath).read_text(encoding="utf-8")
+    for number, text in enumerate(source.splitlines(), start=1):
+        if needle in text:
+            return number
+    raise AssertionError(f"{relpath}: no line contains {needle!r}")
+
+
+def findings_for(rule, root, package):
+    return run_checks(root, rule_names=[rule], package=package)
+
+
+def locations(findings):
+    return {(finding.path, finding.line) for finding in findings}
+
+
+# ---------------------------------------------------------------------------
+# payload-schema
+# ---------------------------------------------------------------------------
+class TestPayloadSchema:
+    def test_violations(self):
+        findings = findings_for("payload-schema", VIOLATIONS, "violations")
+        where = locations(findings)
+        assert (
+            "indexes.py",
+            line_of(VIOLATIONS, "indexes.py", "# duplicate owner"),
+        ) in where
+        assert (
+            "indexes.py",
+            line_of(VIOLATIONS, "indexes.py", "# unregistered schema"),
+        ) in where
+        registry_line = line_of(VIOLATIONS, "payload.py", "SCHEMA_REGISTRY = {")
+        kinds_line = line_of(VIOLATIONS, "payload.py", "_KIND_BY_CLASS = {")
+        messages = {finding.message for finding in findings}
+        assert ("payload.py", registry_line) in where
+        assert ("payload.py", kinds_line) in where
+        assert any("index/ghost" in message and "neither constructed" in message
+                   for message in messages)
+        assert any("'legacy'" in message for message in messages)
+        assert any("no persistence kind entry" in message for message in messages)
+
+    def test_missing_registry_is_a_finding(self, tmp_path):
+        (tmp_path / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        findings = findings_for("payload-schema", tmp_path, "tmp")
+        assert [finding.message for finding in findings] == [
+            "no module defines SCHEMA_REGISTRY (central schema registry)"
+        ]
+
+    def test_clean(self):
+        assert findings_for("payload-schema", CLEAN, "clean") == []
+
+
+# ---------------------------------------------------------------------------
+# worker-boundary
+# ---------------------------------------------------------------------------
+class TestWorkerBoundary:
+    def test_violations(self):
+        findings = findings_for("worker-boundary", VIOLATIONS, "violations")
+        where = locations(findings)
+        pool = "api/pool.py"
+        assert (pool, line_of(VIOLATIONS, pool, "# lambda across boundary")) in where
+        assert (pool, line_of(VIOLATIONS, pool, "# bound method submitted")) in where
+        assert (pool, line_of(VIOLATIONS, pool, "# live attribute shipped")) in where
+        assert (pool, line_of(VIOLATIONS, pool, "# live object shipped")) in where
+
+    def test_clean(self):
+        assert findings_for("worker-boundary", CLEAN, "clean") == []
+
+
+# ---------------------------------------------------------------------------
+# exception-taxonomy
+# ---------------------------------------------------------------------------
+class TestExceptionTaxonomy:
+    def test_violations(self):
+        findings = findings_for("exception-taxonomy", VIOLATIONS, "violations")
+        raises = "api/raises.py"
+        assert locations(findings) == {
+            (raises, line_of(VIOLATIONS, raises, "# outside the taxonomy")),
+            (raises, line_of(VIOLATIONS, raises, "missing {key}")),
+        }
+
+    def test_taxonomy_and_builtin_raises_allowed(self):
+        assert findings_for("exception-taxonomy", CLEAN, "clean") == []
+
+    def test_out_of_scope_modules_ignored(self):
+        findings = findings_for("exception-taxonomy", VIOLATIONS, "violations")
+        # indexes.py raises ValueError at module scope outside api/ — not scoped.
+        assert all(finding.path.startswith("api/") for finding in findings)
+
+
+# ---------------------------------------------------------------------------
+# hot-path-purity
+# ---------------------------------------------------------------------------
+class TestHotPathPurity:
+    def test_violations(self):
+        findings = findings_for("hot-path-purity", VIOLATIONS, "violations")
+        loop_line = line_of(VIOLATIONS, "hot.py", "math-in-loop AND append-in-for")
+        index_line = line_of(VIOLATIONS, "hot.py", "# index iteration")
+        where = locations(findings)
+        assert ("hot.py", loop_line) in where
+        assert ("hot.py", index_line) in where
+        assert len(findings) == 3  # math-in-loop, append-in-for, range(len)
+
+    def test_scalar_reference_exempt(self):
+        findings = findings_for("hot-path-purity", VIOLATIONS, "violations")
+        scalar_line = line_of(VIOLATIONS, "hot.py", "return [math.exp(value)")
+        assert all(finding.line != scalar_line for finding in findings)
+
+    def test_clean_including_pragma_and_while_chunking(self):
+        assert findings_for("hot-path-purity", CLEAN, "clean") == []
+
+    def test_unmarked_module_ignored(self, tmp_path):
+        (tmp_path / "cold.py").write_text(
+            "import math\n"
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(math.exp(x))\n"
+            "    return out\n",
+            encoding="utf-8",
+        )
+        assert findings_for("hot-path-purity", tmp_path, "tmp") == []
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_violations(self):
+        findings = findings_for("lock-discipline", VIOLATIONS, "violations")
+        locks = "locks.py"
+        assert locations(findings) == {
+            (locks, line_of(VIOLATIONS, locks, "mutated without the lock")),
+            (locks, line_of(VIOLATIONS, locks, "# mutating call without the lock")),
+            (locks, line_of(VIOLATIONS, locks, "# rebind without the lock")),
+            (locks, line_of(VIOLATIONS, locks, "foreign receiver")),
+        }
+
+    def test_clean(self):
+        assert findings_for("lock-discipline", CLEAN, "clean") == []
+
+
+# ---------------------------------------------------------------------------
+# framework behaviour
+# ---------------------------------------------------------------------------
+class TestFramework:
+    def test_repo_is_clean(self):
+        root = Path(repro.__file__).resolve().parent
+        assert run_checks(root, package="repro") == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rules(["no-such-rule"])
+
+    def test_rule_selection(self):
+        selected = get_rules(["lock-discipline"])
+        assert [rule.name for rule in selected] == ["lock-discipline"]
+        assert len(get_rules(None)) == len(ALL_RULES) == len(rule_names()) == 5
+
+    def test_syntax_errors_reported_as_findings(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        findings = run_checks(tmp_path, package="tmp", rule_names=["lock-discipline"])
+        assert [finding.rule for finding in findings] == ["parse"]
+        assert findings[0].path == "broken.py"
+
+    def test_findings_sorted_and_rendered(self):
+        findings = run_checks(VIOLATIONS, package="violations")
+        assert findings == sorted(findings)
+        rendered = findings[0].render()
+        assert findings[0].path in rendered and findings[0].rule in rendered
