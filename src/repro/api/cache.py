@@ -34,8 +34,11 @@ not immutable-forever:
   automatically.
 * **TTL** — an optional ``ttl_seconds`` bounds the lifetime of every
   entry; expired entries count as misses (and as ``expirations`` in
-  :meth:`stats`) and are dropped on access.  The clock is injectable for
-  deterministic tests.
+  :meth:`stats`) and are dropped on access.  Expired entries are also
+  purged eagerly on every :meth:`put` and :meth:`stats` call — an entry
+  past its TTL must not keep occupying LRU capacity (evicting live
+  entries) or inflate the reported occupancy.  The clock is injectable
+  for deterministic tests.
 
 Errors are never cached: an evaluation that raises (e.g. a
 :class:`~repro.exceptions.ThresholdError` for a ``tau`` below ``tau_min``)
@@ -138,6 +141,23 @@ class ResultCache:
             f"generation={self._generation})"
         )
 
+    def _expired_keys(self) -> List[_StoredKey]:
+        """Stored keys past their TTL (read-only; caller holds ``_lock``).
+
+        :meth:`put` and :meth:`stats` purge these eagerly so expired
+        entries cannot occupy LRU capacity (evicting live entries) or
+        inflate the reported size; each dropped entry counts an
+        expiration, the same counter the lazy drop in :meth:`get` ticks.
+        """
+        if self._ttl_seconds is None or not self._entries:
+            return []
+        now = self._clock()
+        return [
+            stored
+            for stored, (_, stamp) in self._entries.items()
+            if now - stamp > self._ttl_seconds
+        ]
+
     # -- core operations ----------------------------------------------------------
     def get(self, key: CacheKey) -> Optional[Tuple]:
         """The cached answer for ``key``, or ``None`` (counts a hit or miss).
@@ -187,6 +207,11 @@ class ResultCache:
         with self._lock:
             if generation is not None and generation != self._generation:
                 return
+            # Purge before the capacity check: an expired entry must never
+            # force a live one out through ordinary LRU eviction.
+            for expired in self._expired_keys():
+                del self._entries[expired]
+                self._expirations += 1
             stored = (self._generation, key)
             stamp = self._clock()
             if stored in self._entries:
@@ -253,6 +278,9 @@ class ResultCache:
     def stats(self) -> dict:
         """Counters and occupancy, as surfaced by ``Engine.describe()``."""
         with self._lock:
+            for expired in self._expired_keys():
+                del self._entries[expired]
+                self._expirations += 1
             hits, misses, evictions = self._hits, self._misses, self._evictions
             expirations = self._expirations
             generation = self._generation

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import islice
 from pathlib import Path
@@ -97,6 +98,21 @@ def _ranking_key(match: Match) -> Tuple[float, int]:
     if isinstance(match, Occurrence):
         return (-match.probability, match.position)
     return (-match.relevance, match.document)
+
+
+def _shutdown_owned_executors(owned: List[Any]) -> None:
+    """GC finalizer for a :class:`ShardedEngine`'s fan-out executors.
+
+    Module-level and holding only the shared ``owned`` list (never the
+    engine), so :func:`weakref.finalize` can run it once the engine is
+    unreachable: an engine dropped without :meth:`ShardedEngine.close`
+    must not leak its persistent worker processes until interpreter exit.
+    ``wait=False`` keeps garbage collection non-blocking; the workers are
+    idle by construction (no queries can be in flight on an unreachable
+    engine), so they exit as soon as the shutdown signal drains.
+    """
+    while owned:
+        owned.pop().shutdown(wait=False)
 
 
 class ShardedEngine(QueryEngine):
@@ -167,6 +183,13 @@ class ShardedEngine(QueryEngine):
         self._process_pools: Optional[List[ProcessPoolExecutor]] = None  # guarded-by: _executor_lock
         self._shard_sources: Optional[List[str]] = None
         self._shard_mmap = False
+        # Every live executor also sits in this list, which the GC
+        # finalizer shares: an engine dropped without close() still shuts
+        # its worker processes down instead of leaking them.
+        self._owned_executors: List[Any] = []  # guarded-by: _executor_lock
+        self._finalizer = weakref.finalize(
+            self, _shutdown_owned_executors, self._owned_executors
+        )
 
     # -- introspection -----------------------------------------------------------------
     @property
@@ -285,6 +308,7 @@ class ShardedEngine(QueryEngine):
                     thread_name_prefix="repro-shard",
                 )
                 self._executor = executor
+                self._owned_executors.append(executor)
         return list(executor.map(function, range(len(self._engines))))
 
     def _worker_spec(self, shard: int) -> Any:
@@ -310,20 +334,29 @@ class ShardedEngine(QueryEngine):
             if pools is None:
                 workers = self._fanout_workers()
                 pools = []
-                for worker in range(workers):
-                    specs = {
-                        shard: self._worker_spec(shard)
-                        for shard in range(self.shard_count)
-                        if shard % workers == worker
-                    }
-                    pools.append(
-                        ProcessPoolExecutor(
-                            max_workers=1,
-                            initializer=initialize_worker,
-                            initargs=(specs,),
+                try:
+                    for worker in range(workers):
+                        specs = {
+                            shard: self._worker_spec(shard)
+                            for shard in range(self.shard_count)
+                            if shard % workers == worker
+                        }
+                        pools.append(
+                            ProcessPoolExecutor(
+                                max_workers=1,
+                                initializer=initialize_worker,
+                                initargs=(specs,),
+                            )
                         )
-                    )
+                except BaseException:
+                    # Construction failed midway: the pools already started
+                    # would otherwise leak their worker processes (nothing
+                    # references them once this raises).
+                    for pool in pools:
+                        pool.shutdown(wait=True)
+                    raise
                 self._process_pools = pools
+                self._owned_executors.extend(pools)
             return pools
 
     def _shard_answers(self, request: SearchRequest) -> List[List[Match]]:
@@ -354,10 +387,18 @@ class ShardedEngine(QueryEngine):
         )
 
     def close(self) -> None:
-        """Shut down the fan-out executors (idempotent; queries recreate them)."""
+        """Shut down the fan-out executors (idempotent; queries recreate them).
+
+        Process-mode engines hold persistent worker processes; a serving
+        deployment swapping engines (see ``ReplicaSet.swap``) must call
+        this on the drained engine or the workers outlive their index.
+        Engines dropped without ``close()`` are covered by a GC finalizer,
+        but an explicit close is deterministic and waits for the workers.
+        """
         with self._executor_lock:
             executor, self._executor = self._executor, None
             pools, self._process_pools = self._process_pools, None
+            self._owned_executors.clear()  # the finalizer has nothing left to do
         if executor is not None:
             executor.shutdown(wait=True)
         if pools is not None:

@@ -71,6 +71,8 @@ class ExperimentScale:
     kernel_occ_targets: Tuple[int, ...] = (100, 10_000)
     #: Worker counts exercised by the ``shard-build`` experiment.
     shard_build_workers: Tuple[int, ...] = (1, 2, 4)
+    #: Replica counts exercised by the ``network-serving`` experiment.
+    serving_replica_counts: Tuple[int, ...] = (1, 2, 4)
 
 
 SMALL_SCALE = ExperimentScale(
@@ -92,6 +94,7 @@ SMALL_SCALE = ExperimentScale(
     query_repeats=1,
     kernel_occ_targets=(100, 1000),
     shard_build_workers=(1, 2),
+    serving_replica_counts=(1, 2),
 )
 
 DEFAULT_SCALE = ExperimentScale(
@@ -944,6 +947,97 @@ def serving_throughput(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     return table
 
 
+def network_serving(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """The full network tier end to end: QPS and latency vs replica count.
+
+    One engine is built, saved, and reopened as a
+    :class:`~repro.serving.ReplicaSet` of N mmap-sharing copies for each N
+    in ``scale.serving_replica_counts``; the set serves an
+    :class:`~repro.serving.AsyncSearchService` behind a
+    :class:`~repro.serving.SearchHttpApp`, driven by the seeded load
+    generator over the **in-process transport** (the same closed-loop
+    profile every time, so replica counts compare like for like and no
+    socket noise enters the measurement).  Four series over replica count:
+    QPS plus the p50/p95/p99 request latency.
+
+    Honest single-core caveat (as with ``shard-build``): replica
+    parallelism needs spare cores.  On a single-core runner the replicas
+    share one CPU and whole-batch least-loaded dispatch does the same
+    total work at every count, so the curves stay flat — the experiment
+    then demonstrates that routing overhead is negligible, not that
+    replicas speed anything up.  Result caches are disabled so QPS
+    measures dispatch plus evaluation, not cache hits.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from ..api.engine import Engine
+    from ..serving import AsyncSearchService, LoadProfile, ReplicaSet, SearchHttpApp
+    from ..serving.loadgen import run_load
+
+    concurrency = 8
+    requests = 100 * scale.query_repeats
+    table = FigureTable(
+        figure_id="network-serving",
+        title="HTTP serving tier: QPS and latency percentiles vs replica count",
+        x_label="replicas",
+        y_label="see series label",
+        notes=(
+            f"listing engine, theta={scale.thetas[-1]}, tau_min={scale.tau_min}, "
+            f"n={scale.fixed_collection_size}; closed-loop load generator, "
+            f"{requests} requests, concurrency {concurrency}, taus {scale.tau_grid}, "
+            "in-process HTTP transport, caches disabled; replicas mmap one archive "
+            "(flat curves on single-core runners: the copies share the CPU)"
+        ),
+    )
+    theta = scale.thetas[-1]
+    work = listing_workload(
+        scale.fixed_collection_size,
+        theta,
+        tau_min=scale.tau_min,
+        query_lengths=scale.listing_query_lengths,
+        patterns_per_length=scale.patterns_per_length,
+    )
+    engine = Engine(work.engine.index, work.engine.plan, cache_size=0)
+    patterns = tuple(work.patterns[: min(4, len(work.patterns))])
+    profile = LoadProfile(
+        patterns=patterns,
+        taus=tuple(scale.tau_grid),
+        requests=requests,
+        concurrency=concurrency,
+        seed=20160315,
+    )
+
+    async def drive(replicas: ReplicaSet) -> "dict":
+        async with AsyncSearchService(
+            replicas, max_wait_ms=1.0, max_batch=concurrency, max_pending=4 * concurrency
+        ) as service:
+            report = await run_load(SearchHttpApp(service).dispatch, profile)
+        return report.to_dict()
+
+    qps_series = Series("QPS (req/s)")
+    p50_series = Series("p50 latency (ms)")
+    p95_series = Series("p95 latency (ms)")
+    p99_series = Series("p99 latency (ms)")
+    with tempfile.TemporaryDirectory() as scratch:
+        archive = engine.save(Path(scratch) / "index")
+        for count in scale.serving_replica_counts:
+            replica_set = ReplicaSet.load(
+                archive, replicas=count, mmap=True, cache_size=0
+            )
+            try:
+                report = asyncio.run(drive(replica_set))
+            finally:
+                replica_set.close()
+            qps_series.add(count, report["qps"])
+            p50_series.add(count, report["latency_ms"]["p50"])
+            p95_series.add(count, report["latency_ms"]["p95"])
+            p99_series.add(count, report["latency_ms"]["p99"])
+    table.series.extend([qps_series, p50_series, p95_series, p99_series])
+    return table
+
+
 def archive_size(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     """Archive format v2 vs v3: bytes on disk and mmap cold-start time.
 
@@ -1049,6 +1143,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "query-kernel": query_kernel,
     "shard-build": shard_build,
     "serving-throughput": serving_throughput,
+    "network-serving": network_serving,
     "archive-size": archive_size,
 }
 

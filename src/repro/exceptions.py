@@ -59,6 +59,16 @@ class ServiceOverloadedError(ReproError):
     """
 
 
+class NoHealthyReplicaError(ReproError):
+    """Raised when a replica set has no healthy replica left to dispatch to.
+
+    The :class:`repro.serving.ReplicaSet` tracks per-replica health and
+    fails over around faulted replicas; once every replica has been marked
+    unhealthy the set fails fast with this error (the HTTP tier maps it to
+    a 503) instead of queueing work no copy of the index can answer.
+    """
+
+
 class ServiceStoppedError(ReproError, RuntimeError):
     """Raised when a request reaches a serving front end after ``stop()``.
 

@@ -10,18 +10,42 @@ callers** onto those engines.
   evaluations (deduplication and same-pattern threshold refinement apply
   across users, not just within one caller's batch), with admission
   control and serving metrics.
+* :class:`ReplicaSet` — N copies of one index (mmap-shared via
+  :meth:`ReplicaSet.load`) behind least-loaded batch dispatch, optional
+  hedged requests, per-replica health tracking with failover, and
+  drain-then-swap zero-downtime index replacement.
+* :class:`SearchHttpApp` / :class:`SearchHttpServer` — the network tier:
+  a transport-independent JSON application (drivable in-process, no
+  sockets) and a thin asyncio HTTP/1.1 adapter over it, with a fixed
+  exception→status contract.
+* :func:`run_load` / :class:`LoadProfile` / :class:`LoadReport` — a
+  seeded load generator over either transport, reporting QPS and
+  latency percentiles.
 
-It composes with the scale-out machinery underneath: serve a
-:class:`~repro.api.sharding.ShardedEngine` with
-``query_executor="process"`` over an index loaded with ``mmap=True`` and
-the stack is an async batch server over multi-process shard workers
-sharing one memory-mapped copy of the arrays.
+The layers stack: ``SearchHttpServer(SearchHttpApp(AsyncSearchService(
+ReplicaSet.load(path, replicas=4))))`` is an HTTP batch server over four
+replicas sharing one memory-mapped copy of the arrays — and each layer
+also stands alone.
 """
 
-from ..exceptions import ServiceOverloadedError
+from ..exceptions import NoHealthyReplicaError, ServiceOverloadedError
+from .http import ERROR_STATUS, HttpResponse, SearchHttpApp, SearchHttpServer, status_for_exception
+from .loadgen import LoadProfile, LoadReport, run_load, socket_dispatch
+from .replicas import ReplicaSet
 from .service import AsyncSearchService
 
 __all__ = [
     "AsyncSearchService",
+    "ERROR_STATUS",
+    "HttpResponse",
+    "LoadProfile",
+    "LoadReport",
+    "NoHealthyReplicaError",
+    "ReplicaSet",
+    "SearchHttpApp",
+    "SearchHttpServer",
     "ServiceOverloadedError",
+    "run_load",
+    "socket_dispatch",
+    "status_for_exception",
 ]

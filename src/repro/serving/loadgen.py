@@ -1,0 +1,341 @@
+"""Load generator for the HTTP serving tier.
+
+Drives any ``dispatch(method, target, body) -> HttpResponse`` coroutine —
+an in-process :meth:`~repro.serving.http.SearchHttpApp.dispatch` (how the
+bench experiment and the CI perf smoke run, no sockets involved) or the
+:func:`socket_dispatch` adapter against a live server — with a seeded,
+reproducible request stream, and reduces the outcome to a
+:class:`LoadReport` (QPS, status counts, p50/p95/p99 latency).
+
+Two arrival processes:
+
+* ``"closed"`` — a closed loop of ``concurrency`` workers, each issuing
+  its next request the moment the previous one answers.  Measures
+  capacity: the offered load adapts to the service.
+* ``"poisson"`` — an open(ish) loop: exponential inter-arrival times at
+  ``rate`` requests/second, with at most ``concurrency`` requests
+  actually in flight (arrivals beyond that queue at the generator, which
+  is what a finite client pool does).  Measures latency under a fixed
+  offered load.
+
+The request *sequence* is a pure function of the profile (one seeded
+:class:`random.Random` draws patterns, taus and inter-arrival gaps), so
+two runs against the same service compare like for like.
+
+CLI (against a running :class:`~repro.serving.http.SearchHttpServer`)::
+
+    python -m repro.serving.loadgen --host 127.0.0.1 --port 8080 \\
+        --pattern ab --pattern ba --tau 0.3 --tau 0.7 \\
+        --requests 500 --concurrency 16 --arrival poisson --rate 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from .http import HttpResponse
+
+#: The transport signature the generator drives: exactly the shape of
+#: :meth:`repro.serving.http.SearchHttpApp.dispatch`.
+Dispatch = Callable[[str, str, Optional[bytes]], Awaitable[HttpResponse]]
+
+ARRIVALS = ("closed", "poisson")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One reproducible load shape.
+
+    Attributes
+    ----------
+    patterns:
+        Patterns drawn uniformly per request (at least one).
+    taus:
+        Thresholds drawn uniformly per request; empty means "omit tau"
+        (the service resolves the index minimum).
+    top_k:
+        Optional ``top_k`` sent with every request.
+    requests:
+        Total requests to issue.
+    concurrency:
+        Closed-loop worker count / open-loop in-flight cap.
+    arrival:
+        ``"closed"`` or ``"poisson"`` (see module docstring).
+    rate:
+        Offered load in requests/second; required for ``"poisson"``.
+    seed:
+        Seed for the request stream; same profile, same stream.
+    page_limit:
+        Optional ``limit`` parameter sent with every request (wire
+        pagination: bounds response size independently of ``top_k``).
+    """
+
+    patterns: Tuple[str, ...]
+    taus: Tuple[float, ...] = field(default=())
+    top_k: Optional[int] = None
+    requests: int = 100
+    concurrency: int = 8
+    arrival: str = "closed"
+    rate: Optional[float] = None
+    seed: int = 0
+    page_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValidationError("LoadProfile needs at least one pattern")
+        if self.requests < 1:
+            raise ValidationError(f"requests must be >= 1, got {self.requests}")
+        if self.concurrency < 1:
+            raise ValidationError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.arrival not in ARRIVALS:
+            raise ValidationError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.arrival == "poisson":
+            if self.rate is None or self.rate <= 0:
+                raise ValidationError(
+                    f"poisson arrivals need a positive rate, got {self.rate}"
+                )
+        if self.page_limit is not None and self.page_limit < 0:
+            raise ValidationError(
+                f"page_limit must be non-negative, got {self.page_limit}"
+            )
+
+    def plan(self) -> List[Tuple[str, bytes, float]]:
+        """The full request stream: ``(target, body, arrival_offset_s)`` rows.
+
+        Deterministic in the profile: one seeded generator draws every
+        pattern, tau and inter-arrival gap.  Closed-loop plans carry zero
+        offsets (workers pace themselves).
+        """
+        rng = random.Random(self.seed)
+        rows: List[Tuple[str, bytes, float]] = []
+        clock = 0.0
+        for _ in range(self.requests):
+            body: Dict[str, Any] = {"pattern": rng.choice(self.patterns)}
+            if self.taus:
+                body["tau"] = rng.choice(self.taus)
+            if self.top_k is not None:
+                body["top_k"] = self.top_k
+            if self.page_limit is not None:
+                body["limit"] = self.page_limit
+            if self.arrival == "poisson":
+                assert self.rate is not None  # validated in __post_init__
+                clock += rng.expovariate(self.rate)
+            rows.append(
+                ("/search", json.dumps(body, sort_keys=True).encode("utf-8"), clock)
+            )
+        return rows
+
+
+def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty sequence."""
+    rank = max(0, min(len(sorted_values) - 1, int(quantile * len(sorted_values))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one :func:`run_load` run measured."""
+
+    requests: int
+    by_status: Dict[int, int]
+    elapsed_s: float
+    qps: float
+    latency_ms: Dict[str, float]
+
+    @property
+    def ok(self) -> int:
+        """Number of 2xx responses."""
+        return sum(
+            count for status, count in self.by_status.items() if 200 <= status < 300
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable shape (status keys become strings)."""
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "by_status": {str(status): count for status, count in sorted(self.by_status.items())},
+            "elapsed_s": self.elapsed_s,
+            "qps": self.qps,
+            "latency_ms": dict(self.latency_ms),
+        }
+
+
+def _reduce(
+    statuses: List[int], latencies: List[float], elapsed: float
+) -> LoadReport:
+    by_status: Dict[int, int] = {}
+    for status in statuses:
+        by_status[status] = by_status.get(status, 0) + 1
+    ordered = sorted(latencies)
+    latency_ms: Dict[str, float] = {
+        "p50": 0.0,
+        "p95": 0.0,
+        "p99": 0.0,
+        "mean": 0.0,
+        "max": 0.0,
+    }
+    if ordered:
+        latency_ms = {
+            "p50": 1000.0 * _percentile(ordered, 0.50),
+            "p95": 1000.0 * _percentile(ordered, 0.95),
+            "p99": 1000.0 * _percentile(ordered, 0.99),
+            "mean": 1000.0 * (sum(ordered) / len(ordered)),
+            "max": 1000.0 * ordered[-1],
+        }
+    return LoadReport(
+        requests=len(statuses),
+        by_status=by_status,
+        elapsed_s=elapsed,
+        qps=(len(statuses) / elapsed) if elapsed > 0 else 0.0,
+        latency_ms=latency_ms,
+    )
+
+
+async def run_load(dispatch: Dispatch, profile: LoadProfile) -> LoadReport:
+    """Drive ``dispatch`` with ``profile``'s request stream; measure it.
+
+    Every request is a ``POST /search`` (JSON body), so the same plan
+    works over the in-process app and the socket transport.  Statuses are
+    counted, never raised — a 429 storm is a *result* of a load test, not
+    a failure of one.
+    """
+    plan = profile.plan()
+    statuses: List[int] = []
+    latencies: List[float] = []
+
+    async def issue(target: str, body: bytes) -> None:
+        begun = time.perf_counter()
+        response = await dispatch("POST", target, body)
+        latencies.append(time.perf_counter() - begun)
+        statuses.append(response.status)
+
+    started = time.perf_counter()
+    if profile.arrival == "closed":
+        cursor = 0
+
+        async def worker() -> None:
+            nonlocal cursor
+            while cursor < len(plan):
+                target, body, _offset = plan[cursor]
+                cursor += 1
+                await issue(target, body)
+
+        workers = min(profile.concurrency, len(plan))
+        await asyncio.gather(*(worker() for _ in range(workers)))
+    else:
+        gate = asyncio.Semaphore(profile.concurrency)
+
+        async def timed(target: str, body: bytes, offset: float) -> None:
+            delay = offset - (time.perf_counter() - started)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            async with gate:
+                await issue(target, body)
+
+        await asyncio.gather(
+            *(timed(target, body, offset) for target, body, offset in plan)
+        )
+    elapsed = time.perf_counter() - started
+    return _reduce(statuses, latencies, elapsed)
+
+
+def socket_dispatch(host: str, port: int) -> Dispatch:
+    """A :data:`Dispatch` that speaks HTTP/1.1 to a live server.
+
+    One connection per call — honest client behaviour for a load test
+    without connection-pool bookkeeping.  The response body is decoded
+    back into an :class:`HttpResponse`, so reports look identical whether
+    the transport was in-process or a socket.
+    """
+
+    async def dispatch(
+        method: str, target: str, body: Optional[bytes] = None
+    ) -> HttpResponse:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            payload = body or b""
+            head = (
+                f"{method} {target} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split(None, 2)
+            status = int(parts[1]) if len(parts) >= 2 and parts[1].isdigit() else 500
+            length = 0
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip() or 0)
+            raw = await reader.readexactly(length) if length else b""
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            return HttpResponse(status, decoded)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return dispatch
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: load-test a running server, print the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.loadgen",
+        description="Drive a repro search HTTP server with a seeded load profile.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--pattern", action="append", required=True, help="repeatable pattern choice"
+    )
+    parser.add_argument(
+        "--tau", action="append", type=float, default=None, help="repeatable tau choice"
+    )
+    parser.add_argument("--top-k", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--arrival", choices=ARRIVALS, default="closed")
+    parser.add_argument("--rate", type=float, default=None, help="req/s for poisson")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--limit", type=int, default=None, help="wire page limit")
+    options = parser.parse_args(argv)
+    profile = LoadProfile(
+        patterns=tuple(options.pattern),
+        taus=tuple(options.tau or ()),
+        top_k=options.top_k,
+        requests=options.requests,
+        concurrency=options.concurrency,
+        arrival=options.arrival,
+        rate=options.rate,
+        seed=options.seed,
+        page_limit=options.limit,
+    )
+    report = asyncio.run(run_load(socket_dispatch(options.host, options.port), profile))
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess/CLI
+    import sys
+
+    sys.exit(main())

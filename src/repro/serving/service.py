@@ -16,9 +16,14 @@ request, and same-pattern threshold refinement spans the whole window.
 The service is deliberately small and explicit:
 
 * **Admission control** — at most ``max_pending`` requests may be queued
-  (waiting for a window) at once; beyond that, :meth:`submit` fails fast
-  with :class:`~repro.exceptions.ServiceOverloadedError` instead of growing
-  the queue without bound.  Load-shedding at admission keeps the tail
+  *or in flight* (popped into a window whose evaluation has not resolved
+  their futures yet) at once; beyond that, :meth:`submit` fails fast with
+  :class:`~repro.exceptions.ServiceOverloadedError` instead of growing
+  the queue without bound.  Counting in-flight work matters: requests
+  leave the queue the moment a window closes around them but keep
+  consuming service capacity until the batch evaluation resolves them, so
+  a queue-only bound would admit up to ``max_pending + max_batch``
+  requests during a burst.  Load-shedding at admission keeps the tail
   latency of accepted requests bounded by ``max_wait_ms`` plus one batch
   evaluation.
 * **Engine offloading** — the (synchronous, GIL-releasing-at-best) engine
@@ -90,8 +95,8 @@ class AsyncSearchService:
         Hard cap on requests per window; a full window dispatches without
         waiting out ``max_wait_ms``.
     max_pending:
-        Admission bound: maximum requests queued (not yet dispatched) at
-        once.  Submissions beyond it raise
+        Admission bound: maximum requests admitted (queued plus in-flight
+        inside a dispatched window) at once.  Submissions beyond it raise
         :class:`~repro.exceptions.ServiceOverloadedError`.
     executor:
         Optional :class:`concurrent.futures.Executor` for the engine work;
@@ -129,8 +134,10 @@ class AsyncSearchService:
         # methods of this class, on the loop thread" — enforced by the
         # lock-discipline rule of ``repro.tools.check``).
         self._submitted = 0  # guarded-by: event-loop
+        self._in_flight = 0  # guarded-by: event-loop
         self._completed = 0  # guarded-by: event-loop
         self._failed = 0  # guarded-by: event-loop
+        self._cancelled = 0  # guarded-by: event-loop
         self._rejected = 0  # guarded-by: event-loop
         self._deduplicated = 0  # guarded-by: event-loop
         self._batches = 0  # guarded-by: event-loop
@@ -150,6 +157,11 @@ class AsyncSearchService:
     def running(self) -> bool:
         """Whether the batching task is active."""
         return self._runner is not None and not self._runner.done()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`stop` was called (new submissions are refused)."""
+        return self._closed
 
     async def start(self) -> "AsyncSearchService":
         """Start the batching task (idempotent; ``submit`` auto-starts too)."""
@@ -211,14 +223,18 @@ class AsyncSearchService:
         Raises
         ------
         ServiceOverloadedError
-            When ``max_pending`` requests are already queued.
+            When ``max_pending`` requests are already queued or in flight.
         ServiceStoppedError
             When the service was stopped (also a ``RuntimeError``).
         """
         if self._closed:
             raise ServiceStoppedError("AsyncSearchService is stopped")
         normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
-        if len(self._pending) >= self._max_pending:
+        # Admission counts queued AND in-flight work: requests already
+        # popped into a window still hold service capacity until their
+        # futures resolve, so gating on the queue alone would admit up to
+        # max_pending + max_batch requests during a burst.
+        if len(self._pending) + self._in_flight >= self._max_pending:
             self._rejected += 1
             raise ServiceOverloadedError(
                 f"request queue is full ({self._max_pending} pending); "
@@ -272,6 +288,15 @@ class AsyncSearchService:
 
     async def _dispatch(self, window: List[_Pending], loop: asyncio.AbstractEventLoop) -> None:
         """Evaluate one window: dedupe, one ``search_many``, fan back out."""
+        self._in_flight += len(window)
+        try:
+            await self._dispatch_window(window, loop)
+        finally:
+            self._in_flight -= len(window)
+
+    async def _dispatch_window(
+        self, window: List[_Pending], loop: asyncio.AbstractEventLoop
+    ) -> None:
         holders: "Dict[_WindowKey, List[_Pending]]" = {}
         unique: List[SearchRequest] = []
         for pending in window:
@@ -308,26 +333,29 @@ class AsyncSearchService:
         except Exception as error:  # noqa: BLE001 — batch setup failed: fan out
             for pendings in holders.values():
                 for pending in pendings:
-                    if not pending.future.done():
-                        pending.future.set_exception(error)
+                    if pending.future.done():  # caller cancelled mid-window
+                        self._cancelled += 1
+                        continue
+                    pending.future.set_exception(error)
                     self._failed += 1
             return
         finished = time.perf_counter()
         for request, (result, error) in zip(unique, outcomes):
             key = (request.pattern, request.tau, request.top_k)
             for pending in holders[key]:
+                if pending.future.done():  # caller cancelled mid-window
+                    self._cancelled += 1
+                    continue
                 if error is not None:
                     self._failed += 1
-                    if not pending.future.done():
-                        pending.future.set_exception(error)
+                    pending.future.set_exception(error)
                     continue
                 latency = finished - pending.enqueued_at
                 self._latency_sum += latency
                 if latency > self._latency_max:
                     self._latency_max = latency
                 self._completed += 1
-                if not pending.future.done():  # caller may have been cancelled
-                    pending.future.set_result(result)
+                pending.future.set_result(result)
 
     # -- observability ------------------------------------------------------------
     def stats(self) -> dict:
@@ -337,7 +365,9 @@ class AsyncSearchService:
             "submitted": self._submitted,
             "completed": completed,
             "failed": self._failed,
+            "cancelled": self._cancelled,
             "rejected": self._rejected,
+            "in_flight": self._in_flight,
             "deduplicated": self._deduplicated,
             "batches": self._batches,
             "max_batch_size": self._max_batch_seen,

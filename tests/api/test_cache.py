@@ -356,3 +356,67 @@ class TestGenerationAndTTL:
         reloaded = load_index(sharded_path, cache_ttl_seconds=20.0)
         assert reloaded.cache.ttl_seconds == 20.0
         reloaded.close()
+
+
+class TestEagerTtlPurge:
+    """Regression: expired entries must not occupy LRU capacity or inflate
+    the reported occupancy.
+
+    Pre-fix, TTL expiry happened only lazily inside ``get``: an expired
+    entry nobody re-requested sat in the store indefinitely, counting
+    toward capacity (forcing live entries out through LRU eviction) and
+    toward ``len()`` / ``stats()['size']``.  Post-fix, ``put`` and
+    ``stats`` purge expired entries eagerly, ticking the same
+    ``expirations`` counter the lazy drop uses.
+    """
+
+    def test_expired_entries_do_not_evict_live_ones(self):
+        now = [0.0]
+        cache = ResultCache(2, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("a", [1])
+        cache.put("b", [2])
+        now[0] = 20.0  # both entries are past their TTL
+        cache.put("c", [3])
+        stats = cache.stats()
+        # Pre-fix: "a" was LRU-evicted to make room for "c" while the
+        # expired "b" stayed, so evictions=1 and the dead entry survived.
+        assert stats["evictions"] == 0
+        assert stats["expirations"] == 2
+        assert len(cache) == 1
+        assert cache.get("c") == (3,)
+
+    def test_stats_reports_live_occupancy_only(self):
+        now = [0.0]
+        cache = ResultCache(8, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("a", [1])
+        cache.put("b", [2])
+        assert cache.stats()["size"] == 2
+        now[0] = 11.0
+        stats = cache.stats()
+        # Pre-fix: size stayed 2 (the dead entries were never touched).
+        assert stats["size"] == 0
+        assert stats["expirations"] == 2
+        assert len(cache) == 0
+
+    def test_eager_and_lazy_expiry_share_the_counter(self):
+        now = [0.0]
+        cache = ResultCache(4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("a", [1])
+        cache.put("b", [2])
+        now[0] = 11.0
+        assert cache.get("a") is None  # lazy drop in get(): expirations=1
+        cache.put("c", [3])  # eager purge of "b": expirations=2
+        stats = cache.stats()
+        assert stats["expirations"] == 2
+        assert stats["evictions"] == 0
+        assert len(cache) == 1
+
+    def test_no_ttl_means_no_purge_scan(self):
+        cache = ResultCache(2)  # ttl_seconds=None
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.put("c", [3])  # plain LRU eviction still applies
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["expirations"] == 0
+        assert len(cache) == 2

@@ -1,6 +1,6 @@
 """Fast perf smoke: the hot-path optimizations must not regress.
 
-Four guards, all at the small scale so the step stays fast:
+Five guards, all at the small scale so the step stays fast:
 
 * the vectorized reporting kernel is at worst 1.5x slower than the scalar
   baseline on the largest small-grid workload (a generous margin — on real
@@ -14,7 +14,11 @@ Four guards, all at the small scale so the step stays fast:
 * a version-3 archive is at most 0.6x the version-2 bytes on the
   reference sparse-tower workload, with mmap cold start no slower than
   v2's (modulo a noise tolerance) — the acceptance margins of the
-  payload-schema archive format.
+  payload-schema archive format;
+* the HTTP serving tier driven in-process (no sockets) sustains load at
+  every replica count, and adding a replica never *costs* throughput
+  beyond a noise margin — replica routing must be overhead-free even
+  where single-core CI cannot show a parallel speedup.
 
 The full sweeps stay in the default-scale benchmark runs
 (``python -m repro.bench --figure query-kernel --figure serving-throughput
@@ -136,3 +140,36 @@ class TestArchiveSizeSmoke:
             f"v3 mmap cold start {cold_v3.values[-1]:.2f}ms is more than "
             f"1.5x the v1 rebuild-on-load {cold_v1.values[-1]:.2f}ms"
         )
+
+
+class TestNetworkServingSmoke:
+    """The network-serving tier, driven in-process — no sockets in CI.
+
+    The experiment routes the load generator through
+    ``SearchHttpApp.dispatch`` over mmap-loaded replica sets, so the whole
+    HTTP → service → replica-routing → engine path is exercised without
+    binding a port.  On a single-core runner replica parallelism cannot
+    show a speedup, so the guard is the other direction: a second replica
+    must not *cost* throughput beyond a generous noise margin (the
+    least-loaded routing is a dictionary pick under one lock).
+    """
+
+    def test_replica_routing_is_overhead_free(self):
+        from repro.bench.experiments import network_serving
+
+        table = network_serving(SMALL_SCALE)
+        qps = table.series_by_label("QPS (req/s)")
+        assert qps.xs == list(SMALL_SCALE.serving_replica_counts)
+        assert all(value > 0.0 for value in qps.values)
+        one_replica, two_replicas = qps.values[0], qps.values[1]
+        assert two_replicas >= one_replica / 1.5, (
+            f"2-replica QPS {two_replicas:.0f} fell more than 1.5x below "
+            f"1-replica QPS {one_replica:.0f}: replica routing overhead"
+        )
+        # Latency percentiles exist for every replica count and are
+        # ordered p50 <= p95 <= p99 within each.
+        p50 = table.series_by_label("p50 latency (ms)")
+        p95 = table.series_by_label("p95 latency (ms)")
+        p99 = table.series_by_label("p99 latency (ms)")
+        for low, mid, high in zip(p50.values, p95.values, p99.values):
+            assert 0.0 < low <= mid <= high

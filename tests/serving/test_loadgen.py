@@ -1,0 +1,210 @@
+"""Load generator: deterministic plans, closed/poisson loops, CLI.
+
+The generator's request stream must be a pure function of the profile, and
+its reports must count statuses rather than raise on them — a 4xx storm is
+a measurement, not a test failure.
+"""
+
+import asyncio
+import json
+import queue
+import random
+import threading
+
+import pytest
+
+from repro.api import build_index
+from repro.exceptions import ValidationError
+from repro.serving import (
+    AsyncSearchService,
+    LoadProfile,
+    SearchHttpApp,
+    SearchHttpServer,
+    run_load,
+    socket_dispatch,
+)
+from repro.serving import loadgen
+from tests.conftest import make_random_uncertain_string
+
+
+@pytest.fixture(scope="module")
+def listing_engine():
+    rng = random.Random(11)
+    documents = [
+        make_random_uncertain_string(rng.randint(12, 30), 0.3, seed=seed)
+        for seed in range(6)
+    ]
+    return build_index(documents, tau_min=0.05)
+
+
+class TestLoadProfile:
+    def test_plan_is_deterministic(self):
+        profile = LoadProfile(
+            patterns=("A", "B"), taus=(0.1, 0.5), requests=25, seed=7
+        )
+        assert profile.plan() == profile.plan()
+        assert profile.plan() == LoadProfile(
+            patterns=("A", "B"), taus=(0.1, 0.5), requests=25, seed=7
+        ).plan()
+        # A different seed reshuffles the stream.
+        assert profile.plan() != LoadProfile(
+            patterns=("A", "B"), taus=(0.1, 0.5), requests=25, seed=8
+        ).plan()
+
+    def test_plan_rows_carry_parameters(self):
+        profile = LoadProfile(
+            patterns=("A",), taus=(0.3,), top_k=2, page_limit=5, requests=3
+        )
+        for target, body, offset in profile.plan():
+            assert target == "/search"
+            decoded = json.loads(body)
+            assert decoded == {"pattern": "A", "tau": 0.3, "top_k": 2, "limit": 5}
+            assert offset == 0.0  # closed loop: workers pace themselves
+
+    def test_poisson_offsets_are_monotonic(self):
+        profile = LoadProfile(
+            patterns=("A",), requests=50, arrival="poisson", rate=100.0, seed=3
+        )
+        offsets = [offset for _, _, offset in profile.plan()]
+        assert offsets == sorted(offsets)
+        assert offsets[0] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=())
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=("A",), requests=0)
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=("A",), concurrency=0)
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=("A",), arrival="open")
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=("A",), arrival="poisson")  # rate missing
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=("A",), page_limit=-1)
+
+
+class TestRunLoad:
+    def test_closed_loop_in_process(self, listing_engine):
+        profile = LoadProfile(
+            patterns=("A", "C"), taus=(0.1, 0.4), requests=40, concurrency=4
+        )
+
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.5) as service:
+                return await run_load(SearchHttpApp(service).dispatch, profile)
+
+        report = asyncio.run(go())
+        assert report.requests == 40
+        assert report.ok == 40
+        assert report.by_status == {200: 40}
+        assert report.qps > 0
+        latency = report.latency_ms
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+    def test_poisson_loop_in_process(self, listing_engine):
+        profile = LoadProfile(
+            patterns=("A",),
+            taus=(0.1,),
+            requests=30,
+            concurrency=4,
+            arrival="poisson",
+            rate=2000.0,
+            seed=2,
+        )
+
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.2) as service:
+                return await run_load(SearchHttpApp(service).dispatch, profile)
+
+        report = asyncio.run(go())
+        assert report.requests == 30
+        assert report.ok == 30
+
+    def test_error_statuses_are_counted_not_raised(self, listing_engine):
+        # tau=0.02 is below tau_min=0.05: every request answers 400.
+        profile = LoadProfile(patterns=("A",), taus=(0.02,), requests=10)
+
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.0) as service:
+                return await run_load(SearchHttpApp(service).dispatch, profile)
+
+        report = asyncio.run(go())
+        assert report.by_status == {400: 10}
+        assert report.ok == 0
+
+    def test_to_dict_shape(self, listing_engine):
+        profile = LoadProfile(patterns=("A",), taus=(0.1,), requests=5)
+
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.0) as service:
+                return await run_load(SearchHttpApp(service).dispatch, profile)
+
+        report = asyncio.run(go()).to_dict()
+        assert report["requests"] == 5
+        assert report["by_status"] == {"200": 5}
+        assert set(report["latency_ms"]) == {"p50", "p95", "p99", "mean", "max"}
+        json.dumps(report)  # JSON-serializable end to end
+
+
+def _serve_in_thread(engine, ready, done):
+    """Run service + HTTP server on a private loop until ``done`` is set."""
+
+    async def run():
+        async with AsyncSearchService(engine, max_wait_ms=0.2) as service:
+            async with SearchHttpServer(SearchHttpApp(service)) as server:
+                ready.put(server.port)
+                while not done.is_set():
+                    await asyncio.sleep(0.01)
+
+    asyncio.run(run())
+
+
+class TestSocketTransportAndCli:
+    def test_socket_dispatch_over_live_server(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.2) as service:
+                async with SearchHttpServer(SearchHttpApp(service)) as server:
+                    dispatch = socket_dispatch(server.host, server.port)
+                    profile = LoadProfile(
+                        patterns=("A",), taus=(0.1,), requests=12, concurrency=3
+                    )
+                    return await run_load(dispatch, profile)
+
+        report = asyncio.run(go())
+        assert report.requests == 12
+        assert report.ok == 12
+
+    def test_cli_main_against_live_server(self, listing_engine, capsys):
+        ready = queue.Queue()
+        done = threading.Event()
+        thread = threading.Thread(
+            target=_serve_in_thread, args=(listing_engine, ready, done), daemon=True
+        )
+        thread.start()
+        try:
+            port = ready.get(timeout=30)
+            code = loadgen.main(
+                [
+                    "--port",
+                    str(port),
+                    "--pattern",
+                    "A",
+                    "--tau",
+                    "0.1",
+                    "--requests",
+                    "15",
+                    "--concurrency",
+                    "3",
+                    "--seed",
+                    "5",
+                ]
+            )
+        finally:
+            done.set()
+            thread.join(timeout=30)
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"] == 15
+        assert report["ok"] == 15
+        assert report["qps"] > 0

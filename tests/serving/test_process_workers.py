@@ -268,3 +268,97 @@ class TestServiceOverProcessWorkers:
                 assert result.matches == thread_engine.query(pattern, tau=tau)
         finally:
             engine.close()
+
+
+class _RecordingPool:
+    """Stand-in for ProcessPoolExecutor that only records shutdowns."""
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+        self.shutdowns = []
+
+    def shutdown(self, wait=True):
+        self.shutdowns.append(wait)
+
+
+class _ExplodingPoolFactory:
+    """Builds recording pools, then fails on the ``fail_on``-th creation."""
+
+    def __init__(self, fail_on):
+        self.created = []
+        self._fail_on = fail_on
+
+    def __call__(self, **kwargs):
+        if len(self.created) + 1 == self._fail_on:
+            raise OSError("worker process spawn failed")
+        pool = _RecordingPool(**kwargs)
+        self.created.append(pool)
+        return pool
+
+
+class TestLifecycleLeaks:
+    """Worker processes must die with the engine, not with the interpreter."""
+
+    def test_partial_construction_shuts_down_started_pools(self, monkeypatch):
+        # If the second worker pool fails to start, the first — already
+        # holding a live worker process — must be shut down before the
+        # error propagates, or it leaks until interpreter exit.
+        from repro.api import sharding
+
+        string = make_random_uncertain_string(40, 0.3, seed=9)
+        engine = build_sharded_index(
+            string,
+            shards=2,
+            tau_min=0.1,
+            kind="general",
+            max_pattern_len=5,
+            query_executor="process",
+        )
+        pattern = string.most_likely_string()[:2]
+        factory = _ExplodingPoolFactory(fail_on=2)
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", factory)
+        try:
+            with pytest.raises(OSError, match="spawn failed"):
+                engine.query(pattern, tau=0.5)
+            assert len(factory.created) == 1
+            assert factory.created[0].shutdowns == [True]
+            # The half-built pool list must not have been published.
+            assert engine._process_pools is None
+        finally:
+            engine.close()
+
+    def test_dropped_engine_finalizer_reaps_worker_processes(self):
+        # An engine dropped without close() must still tear down its
+        # persistent worker processes once the GC collects it.
+        import gc
+        import os
+        import time
+
+        string = make_random_uncertain_string(40, 0.3, seed=10)
+        engine = build_sharded_index(
+            string,
+            shards=2,
+            tau_min=0.1,
+            kind="general",
+            max_pattern_len=5,
+            query_executor="process",
+        )
+        pattern = string.most_likely_string()[:2]
+        engine.query(pattern, tau=0.5)  # spin up the worker processes
+        pids = [pid for pool in engine._process_pools for pid in pool._processes]
+        assert pids, "process mode should hold live worker processes"
+
+        del engine
+        gc.collect()
+
+        deadline = time.monotonic() + 15.0
+        alive = set(pids)
+        while alive and time.monotonic() < deadline:
+            for pid in list(alive):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    alive.discard(pid)
+            if alive:
+                time.sleep(0.05)
+        assert not alive, f"worker processes leaked past GC: {sorted(alive)}"

@@ -1,0 +1,387 @@
+"""ReplicaSet: routing equivalence, health/failover, drain-then-swap.
+
+The routing contract is that replication is *invisible* in the answers:
+every replica holds a copy of the same index, so least-loaded dispatch,
+hedging and failover must all return byte-identical results to a single
+replica — only the stats may differ.  The async tests drive the event
+loop through ``asyncio.run`` directly, like the service tests.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.api import SearchRequest, build_index
+from repro.exceptions import (
+    NoHealthyReplicaError,
+    ThresholdError,
+    ValidationError,
+)
+from repro.serving import ReplicaSet
+from tests.conftest import make_random_uncertain_string
+
+
+def _documents(seed=11, count=6):
+    return [
+        make_random_uncertain_string(random.Random(seed + i).randint(12, 30), 0.3, seed=seed + i)
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return _documents()
+
+
+@pytest.fixture(scope="module")
+def reference_engine(documents):
+    return build_index(documents, tau_min=0.05)
+
+
+def _fresh_engines(documents, count):
+    # Separate builds over the same input: genuinely distinct engine
+    # objects (separate caches, separate arrays) holding the same index.
+    return [build_index(documents, tau_min=0.05) for _ in range(count)]
+
+
+def _requests(engine, count, seed):
+    rng = random.Random(seed)
+    patterns = []
+    for document in engine.index._collection:
+        text = document.most_likely_string()
+        patterns.extend(text[i : i + 2] for i in range(0, len(text) - 2, 5))
+    return [
+        SearchRequest(
+            rng.choice(patterns),
+            tau=round(rng.uniform(engine.tau_min, 0.9), 3),
+            top_k=rng.choice([None, None, rng.randint(1, 4)]),
+        )
+        for _ in range(count)
+    ]
+
+
+class _RecordingEngine:
+    """Wraps a real engine; counts batches and records close() calls."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.batches = 0
+        self.closed = False
+
+    def __getattr__(self, name):
+        return getattr(self.engine, name)
+
+    def search_many(self, requests):
+        self.batches += 1
+        return self.engine.search_many(requests)
+
+    def close(self):
+        self.closed = True
+
+
+class _FaultyEngine:
+    """Fails with an infrastructure error for the first ``faults`` batches."""
+
+    def __init__(self, engine, faults=10**9):
+        self.engine = engine
+        self.remaining = faults
+        self.attempts = 0
+
+    def __getattr__(self, name):
+        return getattr(self.engine, name)
+
+    def search_many(self, requests):
+        self.attempts += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise OSError("replica storage went away")
+        return self.engine.search_many(requests)
+
+
+class _GateEngine:
+    """Blocks search_many on an event so in-flight windows are observable."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self.closed = False
+
+    def __getattr__(self, name):
+        return getattr(self.engine, name)
+
+    def search_many(self, requests):
+        self.entered.set()
+        assert self.gate.wait(timeout=10.0), "test gate never released"
+        return self.engine.search_many(requests)
+
+    def close(self):
+        self.closed = True
+
+
+class TestRoutingEquivalence:
+    @pytest.mark.parametrize("replicas", [1, 2, 4])
+    def test_byte_identical_to_single_engine(
+        self, documents, reference_engine, replicas
+    ):
+        replica_set = ReplicaSet(_fresh_engines(documents, replicas))
+        try:
+            requests = _requests(reference_engine, 40, seed=3)
+            routed = replica_set.search_many(requests)
+            direct = reference_engine.search_many(requests)
+            for got, want in zip(routed, direct):
+                assert got.matches == want.matches
+        finally:
+            replica_set.close()
+
+    def test_hedged_dispatch_byte_identical(self, documents, reference_engine):
+        # hedge_after_ms=0 hedges every batch that does not finish
+        # instantly; whichever replica wins, answers must not change.
+        replica_set = ReplicaSet(_fresh_engines(documents, 3), hedge_after_ms=0.0)
+        try:
+            requests = _requests(reference_engine, 30, seed=4)
+            for request in requests:
+                (routed,) = replica_set.search_many([request])
+                assert routed.matches == reference_engine.search(request).matches
+            stats = replica_set.stats()
+            assert stats["hedges"] >= 0  # timing-dependent; never negative
+            assert stats["hedge_wins"] <= stats["hedges"]
+        finally:
+            replica_set.close()
+
+    def test_least_loaded_ties_break_on_lowest_ordinal(self, documents):
+        engines = [_RecordingEngine(e) for e in _fresh_engines(documents, 3)]
+        replica_set = ReplicaSet(engines)
+        try:
+            for _ in range(5):
+                replica_set.search_many([SearchRequest("A", tau=0.1)])
+            # Sequential batches always find every replica idle: the tie
+            # breaks on the lowest ordinal, so replica 0 serves them all.
+            assert engines[0].batches == 5
+            assert engines[1].batches == 0 and engines[2].batches == 0
+            per_replica = replica_set.stats()["replicas"]
+            assert per_replica[0]["dispatches"] == 5
+            assert per_replica[0]["in_flight"] == 0
+        finally:
+            replica_set.close(close_engines=False)
+
+    def test_engine_vocabulary_surface(self, documents, reference_engine):
+        replica_set = ReplicaSet(_fresh_engines(documents, 2))
+        try:
+            assert replica_set.replica_count == 2
+            assert replica_set.kind == reference_engine.kind
+            assert replica_set.tau_min == reference_engine.tau_min
+            assert replica_set.is_listing is reference_engine.is_listing
+            assert "healthy=2" in repr(replica_set)
+        finally:
+            replica_set.close()
+
+
+class TestHealthAndFailover:
+    def test_infrastructure_fault_fails_over(self, documents, reference_engine):
+        faulty = _FaultyEngine(reference_engine, faults=1)
+        good = _RecordingEngine(build_index(documents, tau_min=0.05))
+        replica_set = ReplicaSet([faulty, good])
+        try:
+            request = SearchRequest("A", tau=0.1)
+            (result,) = replica_set.search_many([request])
+            assert result.matches == reference_engine.search(request).matches
+            stats = replica_set.stats()
+            assert stats["failovers"] == 1
+            assert stats["replicas"][0]["faults"] == 1
+            assert good.batches == 1
+        finally:
+            replica_set.close(close_engines=False)
+
+    def test_request_errors_are_not_health_events(self, documents):
+        replica_set = ReplicaSet(_fresh_engines(documents, 2))
+        try:
+            # Request errors stay lazy (engine semantics): they surface when
+            # the result is touched, and cost the replica nothing.
+            (result,) = replica_set.search_many([SearchRequest("A", tau=0.001)])
+            with pytest.raises(ThresholdError):
+                result.matches
+            stats = replica_set.stats()
+            assert stats["failovers"] == 0
+            assert stats["healthy_count"] == 2
+            assert all(r["faults"] == 0 for r in stats["replicas"])
+        finally:
+            replica_set.close()
+
+    def test_replica_marked_unhealthy_and_skipped(self, documents, reference_engine):
+        faulty = _FaultyEngine(reference_engine)
+        good = _RecordingEngine(build_index(documents, tau_min=0.05))
+        replica_set = ReplicaSet(
+            [faulty, good], max_consecutive_faults=1, probe_after=100
+        )
+        try:
+            request = SearchRequest("A", tau=0.1)
+            replica_set.search_many([request])  # faults replica 0, fails over
+            attempts_after_first = faulty.attempts
+            for _ in range(4):
+                replica_set.search_many([request])
+            # Replica 0 is out of the rotation: no further attempts hit it.
+            assert faulty.attempts == attempts_after_first == 1
+            stats = replica_set.stats()
+            assert stats["healthy_count"] == 1
+            assert stats["replicas"][0]["healthy"] is False
+        finally:
+            replica_set.close(close_engines=False)
+
+    def test_all_unhealthy_raises_no_healthy_replica(self, documents, reference_engine):
+        replica_set = ReplicaSet(
+            [_FaultyEngine(reference_engine), _FaultyEngine(reference_engine)],
+            max_consecutive_faults=1,
+            probe_after=100,
+        )
+        try:
+            request = SearchRequest("A", tau=0.1)
+            with pytest.raises(OSError):
+                replica_set.search_many([request])  # both fault and go unhealthy
+            with pytest.raises(NoHealthyReplicaError):
+                replica_set.search_many([request])
+        finally:
+            replica_set.close(close_engines=False)
+
+    def test_probe_restores_recovered_replica(self, documents, reference_engine):
+        flaky = _FaultyEngine(reference_engine, faults=1)
+        good = _RecordingEngine(build_index(documents, tau_min=0.05))
+        replica_set = ReplicaSet(
+            [flaky, good], max_consecutive_faults=1, probe_after=2
+        )
+        try:
+            request = SearchRequest("A", tau=0.1)
+            replica_set.search_many([request])  # replica 0 faults, goes unhealthy
+            assert replica_set.stats()["healthy_count"] == 1
+            for _ in range(4):  # dispatches accumulate until the probe window
+                replica_set.search_many([request])
+            assert flaky.attempts >= 2  # the probe batch reached replica 0
+            assert replica_set.stats()["healthy_count"] == 2
+        finally:
+            replica_set.close(close_engines=False)
+
+
+class TestDrainThenSwap:
+    def test_swap_replaces_answers_and_closes_old_engines(self, documents):
+        other_documents = _documents(seed=77)
+        old_engines = [_RecordingEngine(build_index(documents, tau_min=0.05)) for _ in range(2)]
+        new_engines = [build_index(other_documents, tau_min=0.05) for _ in range(2)]
+        replica_set = ReplicaSet(old_engines)
+        try:
+            request = SearchRequest("A", tau=0.1)
+            before = replica_set.search_many([request])[0].matches
+            assert before == old_engines[0].engine.search(request).matches
+            previous = replica_set.swap(lambda slot: new_engines[slot])
+            assert previous == old_engines
+            assert all(engine.closed for engine in old_engines)
+            after = replica_set.search_many([request])[0].matches
+            assert after == new_engines[0].search(request).matches
+            assert replica_set.stats()["swaps"] == 2
+        finally:
+            replica_set.close(close_engines=False)
+
+    def test_swap_waits_for_in_flight_batches_to_drain(self, documents):
+        gated = _GateEngine(build_index(documents, tau_min=0.05))
+        replacement = build_index(documents, tau_min=0.05)
+        replica_set = ReplicaSet([gated])
+        request = SearchRequest("A", tau=0.1)
+        outcome = {}
+
+        def query():
+            outcome["matches"] = replica_set.search_many([request])[0].matches
+
+        def swap():
+            replica_set.swap(lambda slot: replacement)
+            outcome["swap_done_at"] = time.monotonic()
+
+        try:
+            querier = threading.Thread(target=query)
+            querier.start()
+            assert gated.entered.wait(timeout=10.0)
+            swapper = threading.Thread(target=swap)
+            swapper.start()
+            time.sleep(0.05)
+            # The in-flight batch still holds the old engine: swap must not
+            # have closed it out from under the query.
+            assert not gated.closed
+            released_at = time.monotonic()
+            gated.gate.set()
+            querier.join(timeout=10.0)
+            swapper.join(timeout=10.0)
+            assert not querier.is_alive() and not swapper.is_alive()
+            assert gated.closed  # drained, then closed
+            assert outcome["swap_done_at"] >= released_at
+            assert outcome["matches"] == replacement.search(request).matches
+        finally:
+            gated.gate.set()
+            replica_set.close(close_engines=False)
+
+    def test_swap_drain_timeout_raises(self, documents):
+        gated = _GateEngine(build_index(documents, tau_min=0.05))
+        replacement = build_index(documents, tau_min=0.05)
+        replica_set = ReplicaSet([gated])
+        request = SearchRequest("A", tau=0.1)
+        try:
+            querier = threading.Thread(
+                target=lambda: replica_set.search_many([request])
+            )
+            querier.start()
+            assert gated.entered.wait(timeout=10.0)
+            with pytest.raises(ValidationError, match="drain timeout"):
+                replica_set.swap(lambda slot: replacement, drain_timeout=0.05)
+        finally:
+            gated.gate.set()
+            querier.join(timeout=10.0)
+            replica_set.close(close_engines=False)
+
+
+class TestLoadAndLifecycle:
+    def test_load_opens_mmap_sharing_replicas(self, tmp_path, documents, reference_engine):
+        archive = reference_engine.save(tmp_path / "index")
+        replica_set = ReplicaSet.load(archive, replicas=2, mmap=True)
+        try:
+            assert replica_set.replica_count == 2
+            request = SearchRequest("A", tau=0.1)
+            (result,) = replica_set.search_many([request])
+            assert result.matches == reference_engine.search(request).matches
+        finally:
+            replica_set.close()
+
+    def test_validation(self, documents, reference_engine):
+        with pytest.raises(ValidationError):
+            ReplicaSet([])
+        with pytest.raises(ValidationError):
+            ReplicaSet([reference_engine], hedge_after_ms=-1.0)
+        with pytest.raises(ValidationError):
+            ReplicaSet([reference_engine], max_consecutive_faults=0)
+        with pytest.raises(ValidationError):
+            ReplicaSet([reference_engine], probe_after=0)
+        with pytest.raises(ValidationError):
+            ReplicaSet.load("nowhere", replicas=0)
+
+    def test_closed_set_rejects_dispatch(self, documents, reference_engine):
+        replica_set = ReplicaSet([reference_engine])
+        replica_set.close(close_engines=False)
+        with pytest.raises(ValidationError):
+            replica_set.search_many([SearchRequest("A", tau=0.1)])
+        replica_set.close(close_engines=False)  # idempotent
+
+    def test_context_manager(self, documents):
+        recording = _RecordingEngine(build_index(documents, tau_min=0.05))
+        with ReplicaSet([recording]) as replica_set:
+            replica_set.search_many([SearchRequest("A", tau=0.1)])
+        assert recording.closed
+
+    def test_stats_shape(self, documents, reference_engine):
+        replica_set = ReplicaSet([reference_engine], hedge_after_ms=5.0)
+        try:
+            replica_set.search_many([SearchRequest("A", tau=0.1)])
+            stats = replica_set.stats()
+            assert stats["replica_count"] == 1
+            assert stats["healthy_count"] == 1
+            assert stats["config"]["hedge_after_ms"] == 5.0
+            assert stats["replicas"][0]["dispatches"] == 1
+        finally:
+            replica_set.close(close_engines=False)

@@ -6,6 +6,7 @@ they run with or without the ``pytest-asyncio`` plugin installed.
 
 import asyncio
 import random
+import threading
 
 import pytest
 
@@ -229,3 +230,167 @@ class TestFailuresAndLifecycle:
         assert stats["latency"]["mean_ms"] > 0.0
         assert stats["latency"]["max_ms"] >= stats["latency"]["mean_ms"]
         assert stats["config"]["max_wait_ms"] == 0.0
+
+
+class _GatedEngine:
+    """Blocks ``search_many`` on a threading gate (it runs on the executor
+    thread, never the event loop), so tests can hold a window in flight."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.gate = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def search_many(self, requests):
+        assert self.gate.wait(timeout=10.0), "test gate never released"
+        return self._engine.search_many(requests)
+
+
+async def _wait_for(predicate, timeout=5.0):
+    for _ in range(int(timeout / 0.001)):
+        if predicate():
+            return
+        await asyncio.sleep(0.001)
+    raise AssertionError("condition never became true")
+
+
+class TestInFlightAdmission:
+    """Regression: admission must count in-flight windows, not just the queue.
+
+    Pre-fix, ``submit`` gated on ``len(self._pending)`` alone; requests
+    popped into a dispatched window left the queue while their futures were
+    still unresolved, so a burst could admit up to ``max_pending +
+    max_batch`` requests.  Post-fix the bound covers queued plus in-flight.
+    """
+
+    def test_in_flight_window_still_occupies_admission_capacity(
+        self, listing_engine
+    ):
+        gated = _GatedEngine(listing_engine)
+
+        async def go():
+            async with AsyncSearchService(
+                gated, max_wait_ms=0.0, max_batch=2, max_pending=2
+            ) as service:
+                first = asyncio.ensure_future(service.submit("A", tau=0.1))
+                second = asyncio.ensure_future(service.submit("A", tau=0.2))
+                # The window closes around both requests and blocks inside
+                # the gated engine: queue empty, two requests in flight.
+                await _wait_for(lambda: service.stats()["in_flight"] == 2)
+                assert service.stats()["queue_depth"] == 0
+                # Pre-fix this was admitted (queue length 0 < max_pending);
+                # the in-flight requests must keep the capacity occupied.
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit("A", tau=0.3)
+                gated.gate.set()
+                results = await asyncio.gather(first, second)
+                # Capacity frees once the window resolves.
+                released = await service.submit("A", tau=0.3)
+                return results, released, service.stats()
+
+        (first, second), released, stats = asyncio.run(go())
+        assert first.matches == listing_engine.search("A", tau=0.1).matches
+        assert second.matches == listing_engine.search("A", tau=0.2).matches
+        assert released.matches == listing_engine.search("A", tau=0.3).matches
+        assert stats["rejected"] == 1
+        assert stats["in_flight"] == 0
+        assert stats["submitted"] == stats["completed"] == 3
+
+    def test_storm_never_exceeds_bound(self, listing_engine):
+        gated = _GatedEngine(listing_engine)
+        max_pending = 4
+
+        async def go():
+            async with AsyncSearchService(
+                gated, max_wait_ms=0.0, max_batch=2, max_pending=max_pending
+            ) as service:
+                outcomes = []
+                submissions = []
+                for i in range(12):
+                    submissions.append(
+                        asyncio.ensure_future(service.submit("A", tau=0.1))
+                    )
+                    await asyncio.sleep(0)
+                    stats = service.stats()
+                    assert (
+                        stats["queue_depth"] + stats["in_flight"] <= max_pending
+                    )
+                gated.gate.set()
+                for submission in submissions:
+                    try:
+                        outcomes.append(await submission)
+                    except ServiceOverloadedError:
+                        outcomes.append(None)
+                return outcomes, service.stats()
+
+        outcomes, stats = asyncio.run(go())
+        accepted = [outcome for outcome in outcomes if outcome is not None]
+        assert stats["rejected"] == 12 - len(accepted)
+        assert len(accepted) <= max_pending + 1  # one slot can free mid-storm
+        expected = listing_engine.search("A", tau=0.1).matches
+        for result in accepted:
+            assert result.matches == expected
+
+
+class TestCallerCancellation:
+    """Cancelling one awaited submit must not poison its window-mates."""
+
+    def test_cancel_in_flight_sibling(self, listing_engine):
+        gated = _GatedEngine(listing_engine)
+
+        async def go():
+            async with AsyncSearchService(
+                gated, max_wait_ms=0.0, max_batch=8, max_pending=8
+            ) as service:
+                keep_a = asyncio.ensure_future(service.submit("A", tau=0.1))
+                victim = asyncio.ensure_future(service.submit("A", tau=0.2))
+                keep_b = asyncio.ensure_future(service.submit("A", tau=0.4))
+                await _wait_for(lambda: service.stats()["in_flight"] == 3)
+                victim.cancel()  # mid-window: its future is already popped
+                gated.gate.set()
+                results = await asyncio.gather(
+                    keep_a, victim, keep_b, return_exceptions=True
+                )
+                return results, service.stats()
+
+        (result_a, cancelled, result_b), stats = asyncio.run(go())
+        assert isinstance(cancelled, asyncio.CancelledError)
+        # Siblings in the same window still answer correctly.
+        assert result_a.matches == listing_engine.search("A", tau=0.1).matches
+        assert result_b.matches == listing_engine.search("A", tau=0.4).matches
+        # Accounting: the cancelled request is neither completed nor failed,
+        # and nothing stays in flight.
+        assert stats["cancelled"] == 1
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0
+        assert stats["in_flight"] == 0
+        assert stats["queue_depth"] == 0
+        assert stats["submitted"] == 3
+
+    def test_cancelled_duplicate_does_not_starve_deduped_twin(self, listing_engine):
+        # Two identical requests share one evaluation; cancelling one must
+        # not take the shared answer away from the other.
+        gated = _GatedEngine(listing_engine)
+
+        async def go():
+            async with AsyncSearchService(
+                gated, max_wait_ms=0.0, max_batch=8, max_pending=8
+            ) as service:
+                victim = asyncio.ensure_future(service.submit("A", tau=0.1))
+                twin = asyncio.ensure_future(service.submit("A", tau=0.1))
+                await _wait_for(lambda: service.stats()["in_flight"] == 2)
+                victim.cancel()
+                gated.gate.set()
+                results = await asyncio.gather(
+                    victim, twin, return_exceptions=True
+                )
+                return results, service.stats()
+
+        (cancelled, twin), stats = asyncio.run(go())
+        assert isinstance(cancelled, asyncio.CancelledError)
+        assert twin.matches == listing_engine.search("A", tau=0.1).matches
+        assert stats["cancelled"] == 1
+        assert stats["completed"] == 1
+        assert stats["deduplicated"] == 1

@@ -1,0 +1,7 @@
+"""Fixture: serving modules sit inside the taxonomy rule's scope too."""
+
+
+def respond(status):
+    if status >= 500:
+        raise RuntimeError("backend unavailable")  # serving raise outside the taxonomy
+    return status
