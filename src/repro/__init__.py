@@ -75,6 +75,9 @@ from .exceptions import (
     AlphabetError,
     ConstructionError,
     CorrelationError,
+    DeadlineExceededError,
+    DrainTimeoutError,
+    InjectedFaultError,
     PatternTooLongError,
     QueryError,
     ReproError,
@@ -96,7 +99,7 @@ from .strings import (
     UncertainStringCollection,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Alphabet",
@@ -108,10 +111,13 @@ __all__ = [
     "CorrelationError",
     "CorrelationModel",
     "CorrelationRule",
+    "DeadlineExceededError",
+    "DrainTimeoutError",
     "Engine",
     "GeneralUncertainStringIndex",
     "IndexPayload",
     "IndexPlan",
+    "InjectedFaultError",
     "ListingMatch",
     "MaximalFactor",
     "Occurrence",

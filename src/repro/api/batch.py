@@ -34,9 +34,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.base import Occurrence
 from .cache import CacheKey, ResultCache
-from .requests import Match, SearchRequest, SearchResult
+from .requests import Match, PartialAnswer, SearchRequest, SearchResult
 
 #: Key identifying requests that can share one evaluation verbatim.
+#: ``timeout_ms`` is deliberately absent: the budget changes how long a
+#: caller waits, never what the answer is.
 _RequestKey = Tuple[str, Optional[float], Optional[int]]
 
 
@@ -47,9 +49,26 @@ def _match_value(match: Match) -> float:
     return match.relevance
 
 
+def _carry_partial(base: SearchResult, matches: List[Match]) -> List[Match]:
+    """Tag ``matches`` as partial when the answer they derive from is.
+
+    A result filtered or shared from a degraded base answer is itself
+    degraded — the failed shards' matches are missing from it just the
+    same — so the :class:`PartialAnswer` metadata must survive refinement
+    and same-threshold sharing (and keep the derived answer out of the
+    cache).
+    """
+    source = base.matches
+    if isinstance(source, PartialAnswer):
+        return PartialAnswer(matches, source.failed_shards)
+    return matches
+
+
 def _derive_filtered(base: SearchResult, tau: float) -> Callable[[], List[Match]]:
     """Answer at threshold ``tau`` derived from a lower-threshold answer."""
-    return lambda: [match for match in base.matches if _match_value(match) > tau]
+    return lambda: _carry_partial(
+        base, [match for match in base.matches if _match_value(match) > tau]
+    )
 
 
 def execute_batch(
@@ -156,7 +175,11 @@ def execute_batch(
             # the default — share the base evaluation outright.
             shared_base = base_result
             result = base_result if base_result.request == request else SearchResult(
-                request, wrapped(request, lambda: list(shared_base.matches))
+                request,
+                wrapped(
+                    request,
+                    lambda: _carry_partial(shared_base, list(shared_base.matches)),
+                ),
             )
         else:
             result = SearchResult(

@@ -43,7 +43,13 @@ not immutable-forever:
 Errors are never cached: an evaluation that raises (e.g. a
 :class:`~repro.exceptions.ThresholdError` for a ``tau`` below ``tau_min``)
 propagates without touching the stored entries, and the failed lookup is
-counted as a miss.
+counted as a miss.  Neither are **partial answers**
+(:class:`~repro.api.requests.PartialAnswer`, produced by a degraded
+sharded engine): a transient shard outage must cost a re-evaluation on
+the next request, never a cached degraded answer served until eviction.
+
+:meth:`get` carries the ``cache-access`` fault-injection site
+(:mod:`repro.faults`) — a no-op unless a chaos plan is installed.
 """
 
 from __future__ import annotations
@@ -54,6 +60,8 @@ from collections import OrderedDict
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from ..exceptions import ValidationError
+from ..faults import SITE_CACHE_ACCESS, fire
+from .requests import PartialAnswer
 
 #: Default number of distinct request keys an engine keeps hot.
 DEFAULT_CACHE_SIZE = 1024
@@ -168,6 +176,7 @@ class ResultCache:
         """
         if not self.enabled:
             return None
+        fire(SITE_CACHE_ACCESS)
         with self._lock:
             stored = (self._generation, key)
             entry = self._entries.get(stored)
@@ -242,6 +251,11 @@ class ResultCache:
             # replaced mid-evaluation, put() drops this (now stale) answer.
             generation = self._generation
             value = compute()
+            if isinstance(value, PartialAnswer):
+                # Never cache a degraded answer: a shard outage must cost
+                # re-evaluation on the next request, not pin the partial
+                # result until eviction / TTL / generation bump.
+                return value
             self.put(key, value, generation=generation)
             return list(value)
 

@@ -68,6 +68,7 @@ from ..core.listing import UncertainStringListingIndex
 from ..core.simple_index import SimpleSpecialIndex
 from ..core.special_index import SpecialUncertainStringIndex
 from ..exceptions import ValidationError
+from ..faults import SITE_ARCHIVE_LOAD, fire
 from ..payload import PAYLOAD_VERSION, IndexPayload
 from ..strings.serialization import (
     collection_from_manifest as _collection_from_manifest,
@@ -961,6 +962,10 @@ def load_index_payload(
     """
     from .planner import IndexPlan
 
+    # Fault-injection site: fires for every archive open — in the parent
+    # and, under the fork start method, inside shard worker processes that
+    # inherited an installed plan (see repro.faults).
+    fire(SITE_ARCHIVE_LOAD)
     path = normalize_archive_path(path)
     if mmap:
         try:

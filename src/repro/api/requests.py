@@ -19,13 +19,34 @@ the sequence protocol, paging and counting behave identically for both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Union, overload
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union, overload
 
 from .._validation import check_nonempty_pattern, check_threshold
 from ..core.base import ListingMatch, Occurrence, resolve_tau
 from ..exceptions import ValidationError
 
 Match = Union[Occurrence, ListingMatch]
+
+
+class PartialAnswer(List[Match]):
+    """A degraded answer: matches from the healthy shards only.
+
+    A :class:`~repro.api.sharding.ShardedEngine` running with
+    ``partial=True`` substitutes this for a plain match list when one or
+    more shards still fail after crash recovery: it behaves exactly like
+    the list it is, but carries :attr:`failed_shards` so every layer above
+    (results, the serving service, the HTTP wire shape) can tell a
+    complete answer from a degraded one.  Partial answers are never
+    cached (:meth:`~repro.api.cache.ResultCache.wrap` skips them) — the
+    next request re-asks the shards instead of pinning the degraded
+    answer for the cache's lifetime.
+    """
+
+    __slots__ = ("failed_shards",)
+
+    def __init__(self, matches: Sequence[Match], failed_shards: Sequence[int]) -> None:
+        super().__init__(matches)
+        self.failed_shards: Tuple[int, ...] = tuple(failed_shards)
 
 
 @dataclass(frozen=True)
@@ -45,11 +66,21 @@ class SearchRequest:
         are produced, in decreasing probability order; when ``None`` all
         answers above the threshold are reported in position (document)
         order.
+    timeout_ms:
+        Optional end-to-end deadline budget in milliseconds.  ``None``
+        (default) means unbounded.  A budgeted request raises
+        :class:`~repro.exceptions.DeadlineExceededError` (HTTP 504) once
+        the budget is spent instead of waiting: the serving tier stops
+        waiting for the answer, and a sharded engine stops waiting on its
+        worker futures.  The budget never changes the *answer* — equal
+        ``(pattern, tau, top_k)`` requests share cache entries and batch
+        deduplication regardless of their budgets.
     """
 
     pattern: str
     tau: Optional[float] = None
     top_k: Optional[int] = None
+    timeout_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_nonempty_pattern(self.pattern)
@@ -57,6 +88,10 @@ class SearchRequest:
             check_threshold(self.tau)
         if self.top_k is not None and self.top_k <= 0:
             raise ValidationError(f"top_k must be positive, got {self.top_k}")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValidationError(
+                f"timeout_ms must be positive (or None), got {self.timeout_ms}"
+            )
 
     def resolve_tau(self, tau_min: float) -> float:
         """Concrete threshold this request uses against an index with ``tau_min``."""
@@ -77,6 +112,7 @@ class SearchRequest:
                 request.pattern,
                 tau=request.tau if tau is None else tau,
                 top_k=request.top_k if top_k is None else top_k,
+                timeout_ms=request.timeout_ms,
             )
         return SearchRequest(request, tau=tau, top_k=top_k)
 
@@ -122,8 +158,31 @@ class SearchResult(Sequence[Match]):
     def matches(self) -> List[Match]:
         """The full answer (runs the query on first access, then caches)."""
         if self._matches is None:
-            self._matches = list(self._evaluate())
+            value = self._evaluate()
+            # A PartialAnswer is already a fresh list and must keep its
+            # failed-shard metadata; anything else is defensively copied.
+            self._matches = value if isinstance(value, PartialAnswer) else list(value)
         return self._matches
+
+    # -- degradation metadata ---------------------------------------------------------
+    @property
+    def partial(self) -> bool:
+        """Whether this answer is degraded (some shards failed to answer).
+
+        Only ``True`` for answers produced by a sharded engine running in
+        ``partial=True`` mode while one or more shards stayed down after
+        crash recovery; see :class:`PartialAnswer`.  Accessing this
+        evaluates the result.
+        """
+        return isinstance(self.matches, PartialAnswer)
+
+    @property
+    def failed_shards(self) -> Tuple[int, ...]:
+        """Shard ordinals missing from a partial answer (empty when complete)."""
+        matches = self.matches
+        if isinstance(matches, PartialAnswer):
+            return matches.failed_shards
+        return ()
 
     # -- sequence protocol ----------------------------------------------------------
     def __len__(self) -> int:

@@ -48,10 +48,16 @@ directory of ordinary ``.npz`` shard archives plus a JSON shard manifest.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
+import os
+import signal
 import threading
+import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from itertools import islice
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -62,7 +68,14 @@ from ..core.base import (
     matches_from_arrays,
     translate_match,
 )
-from ..exceptions import PatternTooLongError, ValidationError
+from ..exceptions import (
+    DeadlineExceededError,
+    PatternTooLongError,
+    QueryError,
+    ValidationError,
+    WorkerError,
+)
+from ..faults import SITE_WORKER_DISPATCH, fire
 from .cache import DEFAULT_CACHE_SIZE, ResultCache
 from .engine import Engine, QueryEngine, build_index
 from .persistence import (
@@ -72,7 +85,7 @@ from .persistence import (
     load_sharded_payload,
     save_sharded_payload,
 )
-from .workers import initialize_worker, query_worker
+from .workers import close_sockets_worker, initialize_worker, query_worker
 from .planner import (
     DEFAULT_MAX_PATTERN_LEN,
     IndexInput,
@@ -83,7 +96,11 @@ from .planner import (
     record_build_observation,
     shard_input,
 )
-from .requests import Match, SearchRequest
+from .requests import Match, PartialAnswer, SearchRequest
+
+#: Errors that blame the request, not the infrastructure: never retried,
+#: never degraded away — they propagate verbatim even in ``partial`` mode.
+_REQUEST_ERRORS = (ValidationError, QueryError)
 
 
 def _reporting_key(match: Match) -> int:
@@ -98,6 +115,58 @@ def _ranking_key(match: Match) -> Tuple[float, int]:
     if isinstance(match, Occurrence):
         return (-match.probability, match.position)
     return (-match.relevance, match.document)
+
+
+def _pool_killer(pool: ProcessPoolExecutor) -> Callable[[], None]:
+    """Crash hook for the ``worker-dispatch`` fault site (process mode).
+
+    SIGKILLs the pool's live worker processes, so an injected ``"crash"``
+    manifests exactly like a real worker death: the pool breaks with
+    :class:`BrokenProcessPool` and the recovery path has to tear it down
+    and rebuild.  Workers spawn lazily on first submit, so a crash fired
+    before the pool ever ran a query finds nothing to kill and is a no-op
+    (chaos tests warm the pool up first).
+    """
+
+    def kill() -> None:
+        processes = getattr(pool, "_processes", None) or {}
+        for pid in list(processes):
+            with contextlib.suppress(OSError):
+                os.kill(pid, signal.SIGKILL)
+
+    return kill
+
+
+class _FanOut:
+    """One completed shard fan-out: per-shard answers plus failure metadata.
+
+    ``answers`` holds one globally-translated match list per shard (empty
+    for a failed shard); ``failed`` the sorted ordinals of shards whose
+    dispatch or evaluation failed with an infrastructure error on the
+    final attempt (always empty unless the engine runs ``partial=True``).
+    """
+
+    __slots__ = ("answers", "failed")
+
+    def __init__(
+        self, answers: List[List[Match]], failed: Tuple[int, ...] = ()
+    ) -> None:
+        self.answers = answers
+        self.failed = failed
+
+
+def _deadline_from(request: SearchRequest) -> Optional[float]:
+    """Monotonic deadline for a budgeted request (``None``: unbounded)."""
+    if request.timeout_ms is None:
+        return None
+    return time.monotonic() + request.timeout_ms / 1000.0
+
+
+def _remaining_s(deadline: Optional[float]) -> Optional[float]:
+    """Seconds left until ``deadline`` (clamped at 0); ``None``: unbounded."""
+    if deadline is None:
+        return None
+    return max(0.0, deadline - time.monotonic())
 
 
 def _shutdown_owned_executors(owned: List[Any]) -> None:
@@ -138,7 +207,18 @@ class ShardedEngine(QueryEngine):
     a smaller value shares workers across shards (process worker ``w``
     owns every shard ``s`` with ``s % max_workers == w``), trading a
     little query parallelism for a bounded process/thread footprint.
-    Values larger than the shard count are clamped to it."""
+    Values larger than the shard count are clamped to it.
+
+    Resilience (see :meth:`_shard_answers`): a request's ``timeout_ms``
+    bounds every wait on a shard future
+    (:class:`~repro.exceptions.DeadlineExceededError` on exhaustion); a
+    killed worker pool is rebuilt and the fan-out retried
+    (``worker_retries`` times, exponential ``worker_retry_backoff_s``
+    backoff) before :class:`~repro.exceptions.WorkerError` surfaces; and
+    ``partial=True`` opts into degraded
+    :class:`~repro.api.requests.PartialAnswer` results — matches from the
+    healthy shards plus the failed ordinals — instead of an error when
+    shards stay down after recovery."""
 
     def __init__(
         self,
@@ -150,6 +230,9 @@ class ShardedEngine(QueryEngine):
         cache_ttl_seconds: Optional[float] = None,
         max_workers: Optional[int] = None,
         query_executor: str = "thread",
+        partial: bool = False,
+        worker_retries: int = 1,
+        worker_retry_backoff_s: float = 0.05,
     ) -> None:
         if len(engines) != spec.shard_count:
             raise ValidationError(
@@ -167,7 +250,20 @@ class ShardedEngine(QueryEngine):
             raise ValidationError(
                 f"max_workers must be at least 1, got {max_workers}"
             )
+        if worker_retries < 0:
+            raise ValidationError(
+                f"worker_retries must be >= 0, got {worker_retries}"
+            )
+        if worker_retry_backoff_s < 0:
+            raise ValidationError(
+                f"worker_retry_backoff_s must be >= 0, got {worker_retry_backoff_s}"
+            )
         self._engines = list(engines)
+        self._partial = bool(partial)
+        self._worker_retries = worker_retries
+        self._worker_retry_backoff_s = worker_retry_backoff_s
+        self._recoveries = 0  # guarded-by: _executor_lock
+        self._partial_answers = 0  # guarded-by: _executor_lock
         self._spec = spec
         self._plan = plan
         self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl_seconds)
@@ -242,6 +338,16 @@ class ShardedEngine(QueryEngine):
         """How per-shard evaluation fans out: ``"thread"`` or ``"process"``."""
         return self._query_executor
 
+    @property
+    def partial(self) -> bool:
+        """Whether shard failures degrade to partial answers instead of raising."""
+        return self._partial
+
+    @property
+    def worker_retries(self) -> int:
+        """Full re-dispatch attempts after a failed fan-out (0 disables retry)."""
+        return self._worker_retries
+
     def describe(self) -> dict:
         """Summary: kind, sharding layout, cache counters, space, shards."""
         return {
@@ -260,12 +366,26 @@ class ShardedEngine(QueryEngine):
                 "query_executor": self._query_executor,
                 "max_workers": self._fanout_workers(),
             },
+            "resilience": self.resilience_stats(),
             "cache": self._cache.stats(),
             "space_report": self.space_report(),
             "shards": [
                 {"kind": engine.kind, "nbytes": engine.nbytes()}
                 for engine in self._engines
             ],
+        }
+
+    def resilience_stats(self) -> dict:
+        """Recovery configuration and counters (surfaced by :meth:`describe`)."""
+        with self._executor_lock:
+            recoveries = self._recoveries
+            partial_answers = self._partial_answers
+        return {
+            "partial": self._partial,
+            "worker_retries": self._worker_retries,
+            "worker_retry_backoff_s": self._worker_retry_backoff_s,
+            "pool_recoveries": recoveries,
+            "partial_answers": partial_answers,
         }
 
     def space_report(self) -> dict:
@@ -296,10 +416,8 @@ class ShardedEngine(QueryEngine):
         """
         return max(1, min(self._max_workers or self.shard_count, self.shard_count))
 
-    def _map_shards(self, function: Callable[[int], Any]) -> List[Any]:
-        """Run ``function(shard)`` for every shard, in parallel when > 1."""
-        if len(self._engines) == 1:
-            return [function(0)]
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        """The lazily created shard fan-out thread pool."""
         with self._executor_lock:
             executor = self._executor
             if executor is None:
@@ -309,7 +427,13 @@ class ShardedEngine(QueryEngine):
                 )
                 self._executor = executor
                 self._owned_executors.append(executor)
-        return list(executor.map(function, range(len(self._engines))))
+            return executor
+
+    def _map_shards(self, function: Callable[[int], Any]) -> List[Any]:
+        """Run ``function(shard)`` for every shard, in parallel when > 1."""
+        if len(self._engines) == 1:
+            return [function(0)]
+        return list(self._thread_pool().map(function, range(len(self._engines))))
 
     def _worker_spec(self, shard: int) -> Any:
         """Initialization payload for one shard (archive path or IndexPayload)."""
@@ -359,32 +483,236 @@ class ShardedEngine(QueryEngine):
                 self._owned_executors.extend(pools)
             return pools
 
-    def _shard_answers(self, request: SearchRequest) -> List[List[Match]]:
+    def _evaluate_shard(self, shard: int, request: SearchRequest) -> List[Match]:
+        """Evaluate one shard in-process, translated to global coordinates."""
+        return self._translate(shard, self._engines[shard]._evaluate(request))
+
+    def _discard_pools(self, dead: List[ProcessPoolExecutor]) -> None:
+        """Tear down a broken worker-pool set so the next attempt rebuilds it.
+
+        Identity-checked under the executor lock: with concurrent queries
+        racing the same :class:`BrokenProcessPool`, only the first caller
+        clears the shared reference (and counts the recovery); every caller
+        shuts the dead pools down, which is idempotent.  The rebuild itself
+        happens in :meth:`_ensure_process_pools` on the retry, from the
+        retained archive paths / shard payloads.
+        """
+        with self._executor_lock:
+            if self._process_pools is dead:
+                self._process_pools = None
+                self._owned_executors[:] = [
+                    executor
+                    for executor in self._owned_executors
+                    if executor not in dead
+                ]
+                self._recoveries += 1
+        for broken in dead:
+            broken.shutdown(wait=False)
+
+    def _collect(
+        self,
+        request: SearchRequest,
+        deadline: Optional[float],
+        shard_futures: "List[Optional[Future[Any]]]",
+        translate: Callable[[int, Any], List[Match]],
+        answers: List[List[Match]],
+        failed: List[int],
+    ) -> Tuple[Optional[Exception], bool]:
+        """Drain one attempt's shard futures into ``answers`` / ``failed``.
+
+        Returns ``(first_error, pool_broken)``.  A deadline expiry raises
+        :class:`DeadlineExceededError` immediately; request-blaming errors
+        (:data:`_REQUEST_ERRORS`) propagate verbatim — both are properties
+        of the request, not of the infrastructure, so no retry or
+        degradation applies.
+        """
+        first: Optional[Exception] = None
+        pool_broken = False
+        for shard, future in enumerate(shard_futures):
+            if future is None:
+                answers.append([])
+                continue
+            try:
+                outcome = future.result(timeout=_remaining_s(deadline))
+            except FutureTimeoutError:
+                raise DeadlineExceededError(
+                    f"request exceeded its timeout_ms={request.timeout_ms} "
+                    f"budget waiting on shard {shard}"
+                ) from None
+            except _REQUEST_ERRORS:
+                raise
+            except Exception as error:
+                if isinstance(error, BrokenProcessPool):
+                    pool_broken = True
+                answers.append([])
+                failed.append(shard)
+                if first is None:
+                    first = error
+                continue
+            answers.append(translate(shard, outcome))
+        return first, pool_broken
+
+    def _attempt_fan_out(
+        self,
+        request: SearchRequest,
+        deadline: Optional[float],
+        pools: Optional[List[ProcessPoolExecutor]],
+    ) -> Tuple[List[List[Match]], List[int], Optional[Exception], bool]:
+        """One dispatch attempt over every shard.
+
+        Returns ``(answers, failed, error, pool_broken)``: per-shard
+        answers in global coordinates (``[]`` for failed shards), the
+        failed shard ordinals, the first infrastructure error seen, and
+        whether a worker pool died (so the caller tears it down before
+        retrying).  The ``worker-dispatch`` fault site fires once per
+        shard, in shard order, from this (single) dispatching thread, so a
+        plan's trigger ordinals line up with shard ordinals.
+        """
+        answers: List[List[Match]] = []
+        failed: List[int] = []
+        first: Optional[Exception] = None
+        pool_broken = False
+        shard_futures: "List[Optional[Future[Any]]]" = []
+        if pools is not None:
+            workers = len(pools)
+            for shard in range(self.shard_count):
+                owner = pools[shard % workers]
+                try:
+                    fire(SITE_WORKER_DISPATCH, crash=_pool_killer(owner))
+                    shard_futures.append(
+                        owner.submit(
+                            query_worker,
+                            (shard, request.pattern, request.tau, request.top_k),
+                        )
+                    )
+                except _REQUEST_ERRORS:
+                    raise
+                except Exception as error:
+                    if isinstance(error, BrokenProcessPool):
+                        pool_broken = True
+                    shard_futures.append(None)
+                    failed.append(shard)
+                    if first is None:
+                        first = error
+            collected, broke = self._collect(
+                request,
+                deadline,
+                shard_futures,
+                lambda shard, payload: self._translate(
+                    shard, matches_from_arrays(*payload)
+                ),
+                answers,
+                failed,
+            )
+            return (
+                answers,
+                failed,
+                first if first is not None else collected,
+                pool_broken or broke,
+            )
+        if self.shard_count == 1:
+            # A single shard evaluates inline (no pool to wait on): the
+            # deadline is not enforceable here — a plain Engine evaluation
+            # is not interruptible — so the serving tier's watchdog is the
+            # backstop, exactly as for an unsharded engine.
+            try:
+                fire(SITE_WORKER_DISPATCH)
+                answers.append(self._evaluate_shard(0, request))
+            except _REQUEST_ERRORS:
+                raise
+            except Exception as error:
+                answers.append([])
+                failed.append(0)
+                first = error
+            return answers, failed, first, False
+        executor = self._thread_pool()
+        for shard in range(self.shard_count):
+            try:
+                # No crash hook in thread mode — a "crash" spec degrades to
+                # its error form (there is no process to kill).
+                fire(SITE_WORKER_DISPATCH)
+                shard_futures.append(
+                    executor.submit(self._evaluate_shard, shard, request)
+                )
+            except _REQUEST_ERRORS:
+                raise
+            except Exception as error:
+                shard_futures.append(None)
+                failed.append(shard)
+                if first is None:
+                    first = error
+        collected, _ = self._collect(
+            request,
+            deadline,
+            shard_futures,
+            lambda shard, matches: matches,
+            answers,
+            failed,
+        )
+        return answers, failed, first if first is not None else collected, False
+
+    def _shard_answers(self, request: SearchRequest) -> _FanOut:
         """Evaluate ``request`` on every shard; answers in global coordinates.
 
-        Thread mode runs each shard engine on the shared thread pool
-        (translating inside the pool); process mode ships the request to
-        the persistent shard workers, which answer with array payloads the
-        parent rewraps into matches at this merge boundary.
+        Thread mode runs each shard engine on the shared thread pool;
+        process mode ships the request to the persistent shard workers,
+        which answer with array payloads the parent rewraps into matches
+        at this merge boundary.  Around either mode sits the resilience
+        envelope:
+
+        * ``request.timeout_ms`` bounds every wait on a shard future;
+          exhaustion raises :class:`~repro.exceptions.DeadlineExceededError`.
+        * A dead worker pool (:class:`BrokenProcessPool` — a shard worker
+          was killed mid-query) is torn down and rebuilt from the retained
+          archive paths / shard payloads, and the whole fan-out re-runs
+          (up to ``worker_retries`` times, with exponential backoff) so a
+          recovered attempt answers byte-identically to an undisturbed
+          one.
+        * With ``partial=True``, shards that still fail after the retries
+          degrade to a :class:`~repro.api.requests.PartialAnswer` naming
+          exactly the failed ordinals; otherwise the recorded error (or a
+          :class:`~repro.exceptions.WorkerError` for an unrecovered pool)
+          propagates.
         """
-        if self._query_executor == "process":
-            pools = self._ensure_process_pools()
-            workers = len(pools)
-            futures = [
-                pools[shard % workers].submit(
-                    query_worker, (shard, request.pattern, request.tau, request.top_k)
-                )
-                for shard in range(self.shard_count)
-            ]
-            return [
-                self._translate(shard, matches_from_arrays(*future.result()))
-                for shard, future in enumerate(futures)
-            ]
-        return self._map_shards(
-            lambda shard: self._translate(
-                shard, self._engines[shard]._evaluate(request)
+        deadline = _deadline_from(request)
+        attempt = 0
+        while True:
+            pools = (
+                self._ensure_process_pools()
+                if self._query_executor == "process"
+                else None
             )
-        )
+            answers, failed, error, pool_broken = self._attempt_fan_out(
+                request, deadline, pools
+            )
+            if not failed:
+                return _FanOut(answers)
+            if pool_broken and pools is not None:
+                self._discard_pools(pools)
+            if attempt < self._worker_retries:
+                backoff = self._worker_retry_backoff_s * (2**attempt)
+                remaining = _remaining_s(deadline)
+                if remaining is not None and backoff >= remaining:
+                    raise DeadlineExceededError(
+                        f"request exceeded its timeout_ms={request.timeout_ms} "
+                        f"budget while recovering from a shard failure"
+                    ) from error
+                if backoff:
+                    time.sleep(backoff)
+                attempt += 1
+                continue
+            if self._partial:
+                with self._executor_lock:
+                    self._partial_answers += 1
+                return _FanOut(answers, tuple(sorted(set(failed))))
+            if error is None:  # unreachable: every failed shard records one
+                raise WorkerError("shard fan-out failed without a recorded cause")
+            if isinstance(error, BrokenProcessPool):
+                raise WorkerError(
+                    f"shard worker pool died and did not recover within "
+                    f"{self._worker_retries} retry attempt(s)"
+                ) from error
+            raise error
 
     def close(self) -> None:
         """Shut down the fan-out executors (idempotent; queries recreate them).
@@ -442,16 +770,22 @@ class ShardedEngine(QueryEngine):
                 "max_pattern_len to search longer patterns"
             )
 
+    def _finish(self, merged: List[Match], fan: _FanOut) -> List[Match]:
+        """Wrap a merged answer in :class:`PartialAnswer` when shards failed."""
+        if fan.failed:
+            return PartialAnswer(merged, fan.failed)
+        return merged
+
     def _evaluate(self, request: SearchRequest) -> List[Match]:
         """Fan the request out across shards and merge globally."""
         self._check_pattern(request.pattern)
         if request.top_k is not None:
             return self._evaluate_top_k(request)
 
-        per_shard = self._shard_answers(request)
+        fan = self._shard_answers(request)
         # Each shard reports in position (document) order over disjoint
         # owned ranges; a lazy heap-merge restores the global order.
-        return list(heapq.merge(*per_shard, key=_reporting_key))
+        return self._finish(list(heapq.merge(*fan.answers, key=_reporting_key)), fan)
 
     def _evaluate_top_k(self, request: SearchRequest) -> List[Match]:
         # Fetch k + overlap per chunk shard: the ownership filter can drop
@@ -461,13 +795,19 @@ class ShardedEngine(QueryEngine):
         fetch = request.top_k + (
             self._spec.overlap if self._spec.mode == "chunks" else 0
         )
-        shard_request = SearchRequest(request.pattern, tau=request.tau, top_k=fetch)
-        per_shard = self._shard_answers(shard_request)
+        # The deadline budget rides along on the per-shard request.
+        shard_request = SearchRequest(
+            request.pattern,
+            tau=request.tau,
+            top_k=fetch,
+            timeout_ms=request.timeout_ms,
+        )
+        fan = self._shard_answers(shard_request)
         # Per-shard lists arrive sorted by (-value, position); merging the
         # per-shard heaps and keeping the first k reproduces the unsharded
         # deterministic tie-break.
-        merged = heapq.merge(*per_shard, key=_ranking_key)
-        return list(islice(merged, request.top_k))
+        merged = heapq.merge(*fan.answers, key=_ranking_key)
+        return self._finish(list(islice(merged, request.top_k)), fan)
 
     def _refine_allowed(self) -> bool:
         # Merged listing answers equal the unsharded engine's, so the
@@ -496,6 +836,9 @@ class ShardedEngine(QueryEngine):
         max_workers: Optional[int] = None,
         mmap: bool = False,
         query_executor: str = "thread",
+        partial: bool = False,
+        worker_retries: int = 1,
+        worker_retry_backoff_s: float = 0.05,
     ) -> "ShardedEngine":
         """Restore an ensemble saved with :meth:`save`.
 
@@ -521,6 +864,9 @@ class ShardedEngine(QueryEngine):
             cache_ttl_seconds=cache_ttl_seconds,
             max_workers=max_workers,
             query_executor=query_executor,
+            partial=partial,
+            worker_retries=worker_retries,
+            worker_retry_backoff_s=worker_retry_backoff_s,
         )
         engine._shard_sources = [str(shard_path) for shard_path in archive.shard_paths]
         engine._shard_mmap = mmap
@@ -559,6 +905,9 @@ def build_sharded_index(
     max_workers: Optional[int] = None,
     workers: Optional[int] = None,
     query_executor: str = "thread",
+    partial: bool = False,
+    worker_retries: int = 1,
+    worker_retry_backoff_s: float = 0.05,
     space_budget_bytes: Optional[int] = None,
     epsilon: Optional[float] = None,
     metric: str = "max",
@@ -598,6 +947,10 @@ def build_sharded_index(
     process per shard, and smaller values share workers across shards
     (see :class:`ShardedEngine`).
 
+    ``partial``, ``worker_retries`` and ``worker_retry_backoff_s``
+    configure the resilience envelope — crash recovery, deadlines and
+    graceful degradation — described on :class:`ShardedEngine`.
+
     Examples
     --------
     >>> from repro import build_sharded_index
@@ -628,7 +981,12 @@ def build_sharded_index(
         **options,
     )
     if workers is not None and workers > 1 and len(parts) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(parts))) as pool:
+        # close_sockets_worker: a build launched from a live serving
+        # process must not trap its open connections in the forked builders.
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(parts)),
+            initializer=close_sockets_worker,
+        ) as pool:
             payloads = list(
                 pool.map(_build_shard_payload, [(part, build_kwargs) for part in parts])
             )
@@ -653,4 +1011,7 @@ def build_sharded_index(
         cache_ttl_seconds=cache_ttl_seconds,
         max_workers=max_workers,
         query_executor=query_executor,
+        partial=partial,
+        worker_retries=worker_retries,
+        worker_retry_backoff_s=worker_retry_backoff_s,
     )

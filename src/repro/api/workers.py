@@ -32,6 +32,8 @@ Design:
 
 from __future__ import annotations
 
+import os
+import stat
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -65,9 +67,38 @@ def _materialize(spec: WorkerSpec) -> Any:
     raise ValidationError(f"unknown worker spec {spec[0]!r}")
 
 
+def close_sockets_worker() -> None:
+    """Drop socket fds the fork copied from the parent process.
+
+    Query pools start lazily — often mid-traffic, and again whenever a
+    crashed pool is rebuilt — so on fork-start platforms a new worker
+    inherits a duplicate of every socket the serving parent had open: the
+    HTTP listener, accepted connections, the event loop's self-pipe pair.
+    The worker never uses them, but each duplicate keeps its TCP session
+    established after the parent closes its own copy — a peer reading to
+    EOF then waits forever, and ``Connection: close`` responses never
+    finish closing.  Workers talk to the parent exclusively over pipes
+    (``multiprocessing`` queues), so every inherited *socket* past stdio
+    is a leak: close them all before touching shard state.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # no procfs (macOS, ...): bounded scan
+        fds = list(range(3, 4096))
+    for fd in fds:
+        if fd <= 2:  # stdio stays, socket or not — it may be the harness pipe
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:  # already closed, or the listdir handle raced away
+            continue
+
+
 def initialize_worker(specs: Dict[int, WorkerSpec]) -> None:
     """Process-pool initializer: materialize every shard this worker owns."""
     global _WORKER_INDEXES
+    close_sockets_worker()
     _WORKER_INDEXES = {shard: _materialize(spec) for shard, spec in specs.items()}
 
 

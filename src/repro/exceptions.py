@@ -81,9 +81,44 @@ class ServiceStoppedError(ReproError, RuntimeError):
 class WorkerError(ReproError, RuntimeError):
     """Raised when a shard worker process violates an internal invariant.
 
-    Example: a query routed to a worker for a shard it does not own.  The
-    class pickles across the process boundary, so the parent observes the
-    same exception type the worker raised.
+    Example: a query routed to a worker for a shard it does not own — or a
+    worker pool that died (``BrokenProcessPool``) and could not be revived
+    by the sharded engine's crash-recovery retry.  The class pickles across
+    the process boundary, so the parent observes the same exception type
+    the worker raised.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """Raised when a request outlives its end-to-end ``timeout_ms`` budget.
+
+    Set :attr:`repro.api.requests.SearchRequest.timeout_ms` (or the
+    ``timeout_ms`` wire parameter) to bound how long a caller waits: the
+    serving tier stops waiting once the budget is spent, and the sharded
+    engine stops waiting on its worker futures once the remaining budget
+    runs out.  Derives from :class:`TimeoutError` as well, so generic
+    timeout handling keeps working; the HTTP tier maps it to 504.
+    """
+
+
+class DrainTimeoutError(ReproError, TimeoutError):
+    """Raised when a replica swap cannot drain in-flight batches in time.
+
+    :meth:`repro.serving.ReplicaSet.swap` waits ``drain_timeout`` seconds
+    for each retired replica's in-flight batches to finish before closing
+    its engine; if they do not, the swap surfaces this instead of closing
+    an engine mid-query.  TimeoutError-compatible; the HTTP tier maps it
+    to 504 rather than letting it fall through to a generic 500.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """The error the fault-injection framework raises by default.
+
+    Only ever raised on purpose, by an active :class:`repro.faults.FaultPlan`
+    whose spec did not name a different taxonomy class — so a test (or an
+    operator reading logs) can always tell an injected fault from an
+    organic one.
     """
 
 

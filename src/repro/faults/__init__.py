@@ -1,0 +1,47 @@
+"""Deterministic fault injection for the :mod:`repro` serving stack.
+
+See :mod:`repro.faults.injection` for the model: named injection sites on
+the hot paths, a seeded :class:`FaultPlan` scheduling crashes / delays /
+taxonomy errors against them, zero overhead while no plan is installed.
+
+Typical chaos-test shape::
+
+    from repro.faults import FaultPlan, FaultSpec, SITE_WORKER_DISPATCH, inject_faults
+
+    plan = FaultPlan(specs=(FaultSpec(SITE_WORKER_DISPATCH, kind="crash", at=1),), seed=7)
+    with inject_faults(plan) as injector:
+        result = engine.search("ab", tau=0.3)   # shard 1's worker dies; recovery kicks in
+    assert injector.stats()["fired"] == {SITE_WORKER_DISPATCH: 1}
+"""
+
+from .injection import (
+    KINDS,
+    SITE_ARCHIVE_LOAD,
+    SITE_BATCH_FLUSH,
+    SITE_CACHE_ACCESS,
+    SITE_REPLICA_CALL,
+    SITE_WORKER_DISPATCH,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    fire,
+    inject_faults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "SITE_ARCHIVE_LOAD",
+    "SITE_BATCH_FLUSH",
+    "SITE_CACHE_ACCESS",
+    "SITE_REPLICA_CALL",
+    "SITE_WORKER_DISPATCH",
+    "SITES",
+    "active_injector",
+    "fire",
+    "inject_faults",
+]

@@ -28,7 +28,12 @@ replicas sharing one memory-mapped copy of the arrays — and each layer
 also stands alone.
 """
 
-from ..exceptions import NoHealthyReplicaError, ServiceOverloadedError
+from ..exceptions import (
+    DeadlineExceededError,
+    DrainTimeoutError,
+    NoHealthyReplicaError,
+    ServiceOverloadedError,
+)
 from .http import ERROR_STATUS, HttpResponse, SearchHttpApp, SearchHttpServer, status_for_exception
 from .loadgen import LoadProfile, LoadReport, run_load, socket_dispatch
 from .replicas import ReplicaSet
@@ -36,6 +41,8 @@ from .service import AsyncSearchService
 
 __all__ = [
     "AsyncSearchService",
+    "DeadlineExceededError",
+    "DrainTimeoutError",
     "ERROR_STATUS",
     "HttpResponse",
     "LoadProfile",

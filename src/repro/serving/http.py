@@ -35,12 +35,20 @@ exception                      status
 ``ServiceOverloadedError``     429
 ``ServiceStoppedError``        503
 ``NoHealthyReplicaError``      503
+``DrainTimeoutError``          503
+``DeadlineExceededError``      504
 ``PatternTooLongError``        400
 ``ValidationError``            400
 ``QueryError``                 400
 ``ReproError`` (any other)     500
 anything else                  500
 =============================  ======
+
+A degraded answer (a sharded engine in ``partial=True`` mode whose
+shards stayed down after crash recovery) is still a 200, with
+``"partial": true`` and the failed shard ordinals in
+``"failed_shards"`` added to the response object — complete answers
+carry neither key.
 
 The app serves whatever the :class:`~repro.serving.AsyncSearchService`
 serves — a plain engine, a sharded one, or a
@@ -60,6 +68,8 @@ from urllib.parse import parse_qs, urlsplit
 from ..api.requests import SearchRequest
 from ..core.base import Occurrence
 from ..exceptions import (
+    DeadlineExceededError,
+    DrainTimeoutError,
     NoHealthyReplicaError,
     PatternTooLongError,
     QueryError,
@@ -78,6 +88,8 @@ ERROR_STATUS: Tuple[Tuple[Type[BaseException], int], ...] = (
     (ServiceOverloadedError, 429),
     (ServiceStoppedError, 503),
     (NoHealthyReplicaError, 503),
+    (DrainTimeoutError, 503),
+    (DeadlineExceededError, 504),
     (PatternTooLongError, 400),
     (ValidationError, 400),
     (QueryError, 400),
@@ -93,6 +105,7 @@ _REASONS: Dict[int, str] = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Hard cap on request-line/header/body sizes the socket transport accepts.
@@ -211,7 +224,7 @@ def _parse_search(params: Mapping[str, Any]) -> _ParsedQuery:
     values (POST body).  Unknown parameter names are rejected — a typo'd
     ``taau=0.3`` must not silently search with the default threshold.
     """
-    known = {"pattern", "tau", "top_k", "offset", "limit"}
+    known = {"pattern", "tau", "top_k", "timeout_ms", "offset", "limit"}
     unknown = sorted(set(params) - known)
     if unknown:
         raise ValidationError(
@@ -222,12 +235,14 @@ def _parse_search(params: Mapping[str, Any]) -> _ParsedQuery:
         raise ValidationError("parameter 'pattern' is required and must be a string")
     tau = params.get("tau")
     top_k = params.get("top_k")
+    timeout_ms = params.get("timeout_ms")
     offset = params.get("offset")
     limit = params.get("limit")
     request = SearchRequest(
         pattern,
         tau=None if tau is None else _as_float("tau", tau),
         top_k=None if top_k is None else _as_int("top_k", top_k),
+        timeout_ms=None if timeout_ms is None else _as_float("timeout_ms", timeout_ms),
     )
     parsed_offset = 0 if offset is None else _as_int("offset", offset)
     if parsed_offset < 0:
@@ -345,18 +360,21 @@ class SearchHttpApp:
         result = await self._service.submit(parsed.request)
         page = result.page(parsed.offset, parsed.limit)
         request = parsed.request
-        return HttpResponse(
-            200,
-            {
-                "pattern": request.pattern,
-                "tau": request.tau,
-                "top_k": request.top_k,
-                "count": result.count,
-                "offset": parsed.offset,
-                "limit": parsed.limit,
-                "matches": [match_to_json(match) for match in page],
-            },
-        )
+        payload: Dict[str, Any] = {
+            "pattern": request.pattern,
+            "tau": request.tau,
+            "top_k": request.top_k,
+            "count": result.count,
+            "offset": parsed.offset,
+            "limit": parsed.limit,
+            "matches": [match_to_json(match) for match in page],
+        }
+        if result.partial:
+            # Degraded-but-usable is still a 200; the keys appear only on
+            # degraded answers so complete responses are byte-stable.
+            payload["partial"] = True
+            payload["failed_shards"] = list(result.failed_shards)
+        return HttpResponse(200, payload)
 
 
 class SearchHttpServer:
@@ -368,6 +386,14 @@ class SearchHttpServer:
     ``port=0`` to let the OS pick (the bound port is :attr:`port` after
     :meth:`start`) — the pattern the tests and the load generator's
     socket mode use.
+
+    ``idle_timeout_s`` bounds how long a kept-alive connection may sit
+    without delivering a complete request: a client that connects and
+    goes silent (or trickles half a request) would otherwise pin a
+    connection handler forever.  On expiry the connection is closed
+    cleanly — no response bytes are written, since there is no request to
+    answer.  ``None`` (default) keeps the historical wait-forever
+    behaviour.
     """
 
     def __init__(
@@ -376,10 +402,16 @@ class SearchHttpServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        idle_timeout_s: Optional[float] = None,
     ) -> None:
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValidationError(
+                f"idle_timeout_s must be positive (or None), got {idle_timeout_s}"
+            )
         self._app = app if isinstance(app, SearchHttpApp) else SearchHttpApp(app)
         self._host = host
         self._requested_port = port
+        self._idle_timeout_s = idle_timeout_s
         self._server: Optional[asyncio.AbstractServer] = None
 
     @property
@@ -398,6 +430,11 @@ class SearchHttpServer:
     def host(self) -> str:
         """The bind host."""
         return self._host
+
+    @property
+    def idle_timeout_s(self) -> Optional[float]:
+        """Per-connection idle read timeout (``None``: wait forever)."""
+        return self._idle_timeout_s
 
     async def start(self) -> "SearchHttpServer":
         """Bind and start accepting connections (idempotent)."""
@@ -425,7 +462,17 @@ class SearchHttpServer:
     ) -> None:
         try:
             while True:
-                parsed = await self._read_request(reader)
+                if self._idle_timeout_s is None:
+                    parsed = await self._read_request(reader)
+                else:
+                    try:
+                        # The whole request must arrive within the idle
+                        # budget — this also bounds a trickled half-request.
+                        parsed = await asyncio.wait_for(
+                            self._read_request(reader), timeout=self._idle_timeout_s
+                        )
+                    except asyncio.TimeoutError:
+                        return  # idle connection: close cleanly, answer nothing
                 if parsed is None:
                     return
                 method, target, headers, body = parsed

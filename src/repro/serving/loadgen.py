@@ -75,6 +75,10 @@ class LoadProfile:
     page_limit:
         Optional ``limit`` parameter sent with every request (wire
         pagination: bounds response size independently of ``top_k``).
+    timeout_ms:
+        Optional end-to-end deadline sent with every request; budget
+        exhaustion comes back as a 504 (counted, like every status — a
+        timeout is a *result* of a load test, not a failure of one).
     """
 
     patterns: Tuple[str, ...]
@@ -86,6 +90,7 @@ class LoadProfile:
     rate: Optional[float] = None
     seed: int = 0
     page_limit: Optional[int] = None
+    timeout_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.patterns:
@@ -107,6 +112,10 @@ class LoadProfile:
             raise ValidationError(
                 f"page_limit must be non-negative, got {self.page_limit}"
             )
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValidationError(
+                f"timeout_ms must be positive (or None), got {self.timeout_ms}"
+            )
 
     def plan(self) -> List[Tuple[str, bytes, float]]:
         """The full request stream: ``(target, body, arrival_offset_s)`` rows.
@@ -126,6 +135,8 @@ class LoadProfile:
                 body["top_k"] = self.top_k
             if self.page_limit is not None:
                 body["limit"] = self.page_limit
+            if self.timeout_ms is not None:
+                body["timeout_ms"] = self.timeout_ms
             if self.arrival == "poisson":
                 assert self.rate is not None  # validated in __post_init__
                 clock += rng.expovariate(self.rate)
@@ -143,13 +154,20 @@ def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
 
 @dataclass(frozen=True)
 class LoadReport:
-    """What one :func:`run_load` run measured."""
+    """What one :func:`run_load` run measured.
+
+    ``by_error`` counts non-2xx responses by the exception class named in
+    the wire error body (``error.type`` — e.g. ``DeadlineExceededError``,
+    ``ServiceOverloadedError``); non-2xx responses without a parseable
+    error body count under ``"unknown"``.
+    """
 
     requests: int
     by_status: Dict[int, int]
     elapsed_s: float
     qps: float
     latency_ms: Dict[str, float]
+    by_error: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> int:
@@ -164,18 +182,35 @@ class LoadReport:
             "requests": self.requests,
             "ok": self.ok,
             "by_status": {str(status): count for status, count in sorted(self.by_status.items())},
+            "by_error": {name: count for name, count in sorted(self.by_error.items())},
             "elapsed_s": self.elapsed_s,
             "qps": self.qps,
             "latency_ms": dict(self.latency_ms),
         }
 
 
+def _error_type(response: HttpResponse) -> str:
+    """Exception class named in a wire error body (``"unknown"`` if absent)."""
+    error = response.payload.get("error") if isinstance(response.payload, dict) else None
+    if isinstance(error, dict):
+        name = error.get("type")
+        if isinstance(name, str) and name:
+            return name
+    return "unknown"
+
+
 def _reduce(
-    statuses: List[int], latencies: List[float], elapsed: float
+    statuses: List[int],
+    latencies: List[float],
+    elapsed: float,
+    errors: Optional[List[str]] = None,
 ) -> LoadReport:
     by_status: Dict[int, int] = {}
     for status in statuses:
         by_status[status] = by_status.get(status, 0) + 1
+    by_error: Dict[str, int] = {}
+    for name in errors or []:
+        by_error[name] = by_error.get(name, 0) + 1
     ordered = sorted(latencies)
     latency_ms: Dict[str, float] = {
         "p50": 0.0,
@@ -198,6 +233,7 @@ def _reduce(
         elapsed_s=elapsed,
         qps=(len(statuses) / elapsed) if elapsed > 0 else 0.0,
         latency_ms=latency_ms,
+        by_error=by_error,
     )
 
 
@@ -212,12 +248,15 @@ async def run_load(dispatch: Dispatch, profile: LoadProfile) -> LoadReport:
     plan = profile.plan()
     statuses: List[int] = []
     latencies: List[float] = []
+    errors: List[str] = []
 
     async def issue(target: str, body: bytes) -> None:
         begun = time.perf_counter()
         response = await dispatch("POST", target, body)
         latencies.append(time.perf_counter() - begun)
         statuses.append(response.status)
+        if not response.ok:
+            errors.append(_error_type(response))
 
     started = time.perf_counter()
     if profile.arrival == "closed":
@@ -246,7 +285,7 @@ async def run_load(dispatch: Dispatch, profile: LoadProfile) -> LoadReport:
             *(timed(target, body, offset) for target, body, offset in plan)
         )
     elapsed = time.perf_counter() - started
-    return _reduce(statuses, latencies, elapsed)
+    return _reduce(statuses, latencies, elapsed, errors)
 
 
 def socket_dispatch(host: str, port: int) -> Dispatch:
@@ -318,6 +357,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--rate", type=float, default=None, help="req/s for poisson")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--limit", type=int, default=None, help="wire page limit")
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request end-to-end deadline (budget exhaustion counts a 504)",
+    )
     options = parser.parse_args(argv)
     profile = LoadProfile(
         patterns=tuple(options.pattern),
@@ -329,6 +374,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rate=options.rate,
         seed=options.seed,
         page_limit=options.limit,
+        timeout_ms=options.timeout_ms,
     )
     report = asyncio.run(run_load(socket_dispatch(options.host, options.port), profile))
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))

@@ -58,10 +58,12 @@ from typing import Any, Callable, List, Optional, Sequence, Union
 
 from ..api.requests import SearchRequest, SearchResult
 from ..exceptions import (
+    DrainTimeoutError,
     NoHealthyReplicaError,
     QueryError,
     ValidationError,
 )
+from ..faults import SITE_REPLICA_CALL, fire
 
 #: Exceptions that blame the *request*, not the replica: they propagate to
 #: the caller without costing the replica health or triggering failover.
@@ -345,6 +347,11 @@ class ReplicaSet:
         """
         error: Optional[BaseException] = None
         try:
+            # The replica-call fault site fires inside the accounting: an
+            # injected error counts a fault against this replica and takes
+            # the ordinary failover path, exactly like a real dispatch
+            # failure would.
+            fire(SITE_REPLICA_CALL)
             results = replica.engine.search_many(requests)
             for result in results:
                 try:
@@ -475,6 +482,12 @@ class ReplicaSet:
         otherwise go stale do not need a generation bump here — the whole
         engine (cache included) is replaced, which is the same guarantee
         ``Engine.replace_index`` provides in place.
+
+        A slot that cannot drain within ``drain_timeout`` seconds raises
+        :class:`~repro.exceptions.DrainTimeoutError` (a
+        :class:`TimeoutError` subclass; 503 over the wire) — the already
+        swapped slots keep their new engines, the stuck slot keeps serving
+        its old in-flight batches.
         """
         if drain_timeout is not None and drain_timeout <= 0:
             raise ValidationError(
@@ -506,7 +519,7 @@ class ReplicaSet:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise ValidationError(
+                        raise DrainTimeoutError(
                             f"replica {replica.ordinal} still has "
                             f"{replica.in_flight} batch(es) in flight after "
                             f"{timeout}s drain timeout"

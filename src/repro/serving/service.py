@@ -57,10 +57,17 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from ..api.requests import SearchRequest, SearchResult
-from ..exceptions import ServiceOverloadedError, ServiceStoppedError, ValidationError
+from ..exceptions import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    ValidationError,
+)
+from ..faults import SITE_BATCH_FLUSH, fire
 
 #: Dedupe key inside one window: requests equal on these fields share one
 #: evaluation and one :class:`SearchResult`.
@@ -68,16 +75,26 @@ _WindowKey = Tuple[str, Optional[float], Optional[int]]
 
 
 class _Pending:
-    """One submitted request waiting for (or riding in) a window."""
+    """One submitted request waiting for (or riding in) a window.
 
-    __slots__ = ("request", "future", "enqueued_at")
+    ``deadline`` is the monotonic instant the request's ``timeout_ms``
+    budget runs out (``None``: unbounded) — computed once at submission so
+    queueing time, window wait and evaluation all spend the same budget.
+    """
+
+    __slots__ = ("request", "future", "enqueued_at", "deadline")
 
     def __init__(
-        self, request: SearchRequest, future: "asyncio.Future", enqueued_at: float
+        self,
+        request: SearchRequest,
+        future: "asyncio.Future",
+        enqueued_at: float,
+        deadline: Optional[float] = None,
     ) -> None:
         self.request = request
         self.future = future
         self.enqueued_at = enqueued_at
+        self.deadline = deadline
 
 
 class AsyncSearchService:
@@ -146,6 +163,8 @@ class AsyncSearchService:
         self._max_queue_depth = 0  # guarded-by: event-loop
         self._latency_sum = 0.0  # guarded-by: event-loop
         self._latency_max = 0.0  # guarded-by: event-loop
+        self._deadline_exceeded = 0  # guarded-by: event-loop
+        self._partial_answers = 0  # guarded-by: event-loop
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -220,12 +239,20 @@ class AsyncSearchService:
         returned :class:`SearchResult` is already evaluated (its matches
         materialized inside the batch), so touching it never blocks.
 
+        A request carrying ``timeout_ms`` is watched end to end: if its
+        budget runs out while it queues, waits in a window or evaluates,
+        ``submit`` raises :class:`~repro.exceptions.DeadlineExceededError`
+        instead of waiting longer (the abandoned evaluation is left to
+        finish off-loop; its answer is discarded).
+
         Raises
         ------
         ServiceOverloadedError
             When ``max_pending`` requests are already queued or in flight.
         ServiceStoppedError
             When the service was stopped (also a ``RuntimeError``).
+        DeadlineExceededError
+            When the request outlives its ``timeout_ms`` budget.
         """
         if self._closed:
             raise ServiceStoppedError("AsyncSearchService is stopped")
@@ -245,13 +272,35 @@ class AsyncSearchService:
         wake = self._wake
         assert wake is not None  # start() created the event above
         loop = asyncio.get_running_loop()
-        pending = _Pending(normalized, loop.create_future(), time.perf_counter())
+        budget_s = (
+            None if normalized.timeout_ms is None else normalized.timeout_ms / 1000.0
+        )
+        deadline = None if budget_s is None else time.monotonic() + budget_s
+        pending = _Pending(normalized, loop.create_future(), time.perf_counter(), deadline)
         self._pending.append(pending)
         self._submitted += 1
         if len(self._pending) > self._max_queue_depth:
             self._max_queue_depth = len(self._pending)
         wake.set()
-        return await pending.future
+        if budget_s is None:
+            return await pending.future
+        try:
+            # No shield: an expired request's future is cancelled outright,
+            # so the dispatch fan-out skips it (counted as cancelled there)
+            # instead of burning a result nobody will read.
+            return await asyncio.wait_for(pending.future, timeout=budget_s)
+        except DeadlineExceededError:
+            # The dispatcher already expired this request (pre-dispatch
+            # sweep) and counted it; propagate as-is.  Ordered before the
+            # TimeoutError clause: DeadlineExceededError *is* a
+            # TimeoutError, which asyncio.TimeoutError aliases on 3.11+.
+            raise
+        except asyncio.TimeoutError:
+            self._deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"request {normalized.pattern!r} exceeded its "
+                f"timeout_ms={normalized.timeout_ms} budget in the serving tier"
+            ) from None
 
     # -- batching loop ------------------------------------------------------------
     async def _run(self) -> None:
@@ -294,9 +343,54 @@ class AsyncSearchService:
         finally:
             self._in_flight -= len(window)
 
+    def _rebudget(
+        self, request: SearchRequest, bucket: List[_Pending], now: float
+    ) -> SearchRequest:
+        """The request to dispatch for ``bucket``, with its remaining budget.
+
+        The engine should stop waiting on shard futures once every
+        submitter behind this evaluation has given up — so the dispatched
+        ``timeout_ms`` is the *largest* remaining budget in the dedupe
+        bucket (``None`` if any member is unbounded), clamped to at least
+        1ms.  The rewrite is answer-neutral: cache keys and batch dedupe
+        ignore ``timeout_ms``.
+        """
+        bounded = [
+            pending.deadline for pending in bucket if pending.deadline is not None
+        ]
+        if len(bounded) != len(bucket):  # some member is unbounded
+            if request.timeout_ms is None:
+                return request
+            return replace(request, timeout_ms=None)
+        remaining_ms = max(1.0, (max(bounded) - now) * 1000.0)
+        return replace(request, timeout_ms=remaining_ms)
+
     async def _dispatch_window(
         self, window: List[_Pending], loop: asyncio.AbstractEventLoop
     ) -> None:
+        # Pre-dispatch sweep: a request whose budget ran out while queued
+        # gets its DeadlineExceededError now instead of costing engine work
+        # (its submitter's watchdog may already have cancelled the future).
+        now = time.monotonic()
+        live: List[_Pending] = []
+        for pending in window:
+            if pending.deadline is not None and now >= pending.deadline:
+                if not pending.future.done():
+                    self._deadline_exceeded += 1
+                    pending.future.set_exception(
+                        DeadlineExceededError(
+                            f"request {pending.request.pattern!r} exceeded its "
+                            f"timeout_ms={pending.request.timeout_ms} budget "
+                            "before dispatch"
+                        )
+                    )
+                else:
+                    self._cancelled += 1
+                continue
+            live.append(pending)
+        window = live
+        if not window:
+            return
         holders: "Dict[_WindowKey, List[_Pending]]" = {}
         unique: List[SearchRequest] = []
         for pending in window:
@@ -309,6 +403,13 @@ class AsyncSearchService:
             else:
                 bucket.append(pending)
                 self._deduplicated += 1
+        # Rewrite each dispatched request's budget to what actually remains
+        # of its bucket's deadlines — the engine sees the time left, not the
+        # original (partly spent) figure.
+        unique = [
+            self._rebudget(request, holders[(request.pattern, request.tau, request.top_k)], now)
+            for request in unique
+        ]
         engine = self._engine
         self._batches += 1
         self._batched_requests += len(window)
@@ -329,6 +430,12 @@ class AsyncSearchService:
             return outcomes
 
         try:
+            # The batch-flush fault site fires inside the containment: an
+            # injected error fails this window's futures (like any batch
+            # setup failure) instead of killing the run loop, and an
+            # injected delay blocks the loop — exactly the hang the
+            # submit-side deadline watchdog must bound.
+            fire(SITE_BATCH_FLUSH)
             outcomes = await loop.run_in_executor(self._executor, evaluate)
         except Exception as error:  # noqa: BLE001 — batch setup failed: fan out
             for pendings in holders.values():
@@ -340,14 +447,34 @@ class AsyncSearchService:
                     self._failed += 1
             return
         finished = time.perf_counter()
+        # Post-evaluation sweep mirror of the pre-dispatch one: a budget
+        # that ran out *during* the window (e.g. an injected stall blocked
+        # the loop) must expire the request even though an answer exists —
+        # otherwise the submitter's overdue ``wait_for`` can lose the race
+        # against ``set_result`` in the same loop tick and hand back a
+        # success far past its deadline.
+        expired_at = time.monotonic()
         for request, (result, error) in zip(unique, outcomes):
             key = (request.pattern, request.tau, request.top_k)
             for pending in holders[key]:
                 if pending.future.done():  # caller cancelled mid-window
                     self._cancelled += 1
                     continue
+                if pending.deadline is not None and expired_at >= pending.deadline:
+                    self._deadline_exceeded += 1
+                    pending.future.set_exception(
+                        DeadlineExceededError(
+                            f"request {pending.request.pattern!r} exceeded its "
+                            f"timeout_ms={pending.request.timeout_ms} budget "
+                            "during its evaluation window"
+                        )
+                    )
+                    continue
                 if error is not None:
-                    self._failed += 1
+                    if isinstance(error, DeadlineExceededError):
+                        self._deadline_exceeded += 1
+                    else:
+                        self._failed += 1
                     pending.future.set_exception(error)
                     continue
                 latency = finished - pending.enqueued_at
@@ -355,6 +482,8 @@ class AsyncSearchService:
                 if latency > self._latency_max:
                     self._latency_max = latency
                 self._completed += 1
+                if result is not None and result.partial:
+                    self._partial_answers += 1
                 pending.future.set_result(result)
 
     # -- observability ------------------------------------------------------------
@@ -367,6 +496,8 @@ class AsyncSearchService:
             "failed": self._failed,
             "cancelled": self._cancelled,
             "rejected": self._rejected,
+            "deadline_exceeded": self._deadline_exceeded,
+            "partial_answers": self._partial_answers,
             "in_flight": self._in_flight,
             "deduplicated": self._deduplicated,
             "batches": self._batches,

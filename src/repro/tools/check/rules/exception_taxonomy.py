@@ -7,8 +7,8 @@ everything the library raises deliberately derives from
 ``raise RuntimeError(...)`` deep in a worker quietly breaks that
 contract.
 
-Scope: every module living under a directory named ``api`` or
-``serving`` relative to the scan root.  Inside those modules, each
+Scope: every module living under a directory named ``api``, ``serving``
+or ``faults`` relative to the scan root.  Inside those modules, each
 ``raise`` must use either
 
 * a class imported from the exceptions module (``from ..exceptions
@@ -26,7 +26,7 @@ from typing import Iterator, Set
 from .. import Finding, Rule
 from ..project import ModuleInfo, Project, call_name
 
-SCOPED_DIRS = {"api", "serving"}
+SCOPED_DIRS = {"api", "serving", "faults"}
 ALLOWED_BUILTINS = {"ValueError", "TypeError", "NotImplementedError"}
 
 
@@ -56,7 +56,9 @@ def _handler_names(module: ModuleInfo) -> Set[str]:
 
 class ExceptionTaxonomyRule(Rule):
     name = "exception-taxonomy"
-    description = "api/serving raise only repro.exceptions (or builtin validation) errors"
+    description = (
+        "api/serving/faults raise only repro.exceptions (or builtin validation) errors"
+    )
 
     def check(self, project: Project) -> Iterator[Finding]:
         for module in project.modules:

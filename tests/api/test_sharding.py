@@ -539,3 +539,59 @@ class TestParallelConstruction:
         assert restored.query(pattern, tau=0.2) == parallel.query(pattern, tau=0.2)
         parallel.close()
         restored.close()
+
+
+class TestResilienceConfig:
+    """Recovery / degradation knobs: validation, surfacing, persistence."""
+
+    def test_invalid_recovery_config_rejected(self):
+        string = SpecialUncertainString.from_deterministic("ABCABCAB")
+        with pytest.raises(ValidationError):
+            build_sharded_index(string, shards=2, max_pattern_len=4, worker_retries=-1)
+        with pytest.raises(ValidationError):
+            build_sharded_index(
+                string, shards=2, max_pattern_len=4, worker_retry_backoff_s=-0.5
+            )
+
+    def test_resilience_stats_surface_in_describe(self):
+        string = SpecialUncertainString.from_deterministic("ABCABCAB")
+        engine = build_sharded_index(
+            string, shards=2, max_pattern_len=4, partial=True, worker_retries=3
+        )
+        try:
+            assert engine.partial is True
+            assert engine.worker_retries == 3
+            assert engine.describe()["resilience"] == {
+                "partial": True,
+                "worker_retries": 3,
+                "worker_retry_backoff_s": 0.05,
+                "pool_recoveries": 0,
+                "partial_answers": 0,
+            }
+        finally:
+            engine.close()
+
+    def test_defaults_are_strict_and_single_retry(self):
+        string = SpecialUncertainString.from_deterministic("ABCABCAB")
+        engine = build_sharded_index(string, shards=2, max_pattern_len=4)
+        try:
+            stats = engine.resilience_stats()
+            assert stats["partial"] is False
+            assert stats["worker_retries"] == 1
+        finally:
+            engine.close()
+
+    def test_timeout_ms_preserved_through_top_k_shard_requests(self):
+        # The widened per-shard top-k fetch must keep carrying the
+        # caller's budget (a fresh SearchRequest is built per shard).
+        string = SpecialUncertainString.from_deterministic("ABCABCABCABC")
+        engine = build_sharded_index(string, shards=2, max_pattern_len=4)
+        try:
+            request = SearchRequest("ABC", tau=0.2, top_k=2, timeout_ms=30_000.0)
+            bounded = engine.search(request)
+            unbounded = engine.search(SearchRequest("ABC", tau=0.2, top_k=2))
+            assert bounded.matches == unbounded.matches
+            assert bounded.partial is False
+            assert bounded.failed_shards == ()
+        finally:
+            engine.close()

@@ -1,0 +1,277 @@
+"""Unit tests for the fault-injection framework itself.
+
+These pin the *mechanics* — spec validation, seeded determinism, ordinal
+and budget semantics, crash-hook dispatch, installation lifecycle — in
+isolation, so the chaos suite (``tests/faults/test_chaos.py``) can lean on
+them and assert only end-to-end serving invariants.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import InjectedFaultError, ValidationError, WorkerError
+from repro.faults import (
+    KINDS,
+    SITE_ARCHIVE_LOAD,
+    SITE_BATCH_FLUSH,
+    SITE_CACHE_ACCESS,
+    SITE_WORKER_DISPATCH,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    fire,
+    inject_faults,
+)
+
+
+class TestFaultSpecValidation:
+    def test_defaults_are_a_single_certain_error(self):
+        spec = FaultSpec(SITE_CACHE_ACCESS)
+        assert spec.kind == "error"
+        assert spec.probability == 1.0
+        assert spec.at is None
+        assert spec.times == 1
+        assert spec.resolve_error() is InjectedFaultError
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault site"):
+            FaultSpec("no-such-site")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault kind"):
+            FaultSpec(SITE_CACHE_ACCESS, kind="explode")
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.1])
+    def test_probability_out_of_range_rejected(self, probability):
+        with pytest.raises(ValidationError, match="probability"):
+            FaultSpec(SITE_CACHE_ACCESS, probability=probability)
+
+    def test_negative_ordinal_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative ordinal"):
+            FaultSpec(SITE_CACHE_ACCESS, at=-1)
+
+    def test_times_below_one_rejected(self):
+        with pytest.raises(ValidationError, match="times"):
+            FaultSpec(SITE_CACHE_ACCESS, times=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError, match="delay_s"):
+            FaultSpec(SITE_CACHE_ACCESS, kind="delay", delay_s=-0.5)
+
+    def test_error_class_validated_at_construction(self):
+        # Misnamed or non-taxonomy classes fail when the spec is built,
+        # not at fire time deep inside a serving path.
+        with pytest.raises(ValidationError, match="ReproError subclass"):
+            FaultSpec(SITE_CACHE_ACCESS, error="NoSuchError")
+        with pytest.raises(ValidationError, match="ReproError subclass"):
+            FaultSpec(SITE_CACHE_ACCESS, error="ValueError")
+
+    def test_custom_taxonomy_error_resolves(self):
+        spec = FaultSpec(SITE_WORKER_DISPATCH, error="WorkerError")
+        assert spec.resolve_error() is WorkerError
+
+    def test_sites_and_kinds_exported(self):
+        assert SITE_WORKER_DISPATCH in SITES
+        assert SITE_ARCHIVE_LOAD in SITES
+        assert set(KINDS) == {"error", "delay", "crash"}
+
+
+class TestFaultPlan:
+    def test_specs_canonicalized_to_tuple(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE_CACHE_ACCESS)])
+        assert isinstance(plan.specs, tuple)
+        assert plan.seed == 0
+
+    def test_empty_plan_is_valid(self):
+        plan = FaultPlan()
+        with inject_faults(plan) as injector:
+            fire(SITE_CACHE_ACCESS)
+        assert injector.stats() == {"calls": {SITE_CACHE_ACCESS: 1}, "fired": {}}
+
+
+class TestInstallation:
+    def test_fire_is_a_no_op_without_a_plan(self):
+        assert active_injector() is None
+        fire(SITE_CACHE_ACCESS)  # must not raise, must not record anything
+
+    def test_install_and_uninstall(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_CACHE_ACCESS),))
+        with inject_faults(plan) as injector:
+            assert active_injector() is injector
+            assert injector.plan is plan
+        assert active_injector() is None
+
+    def test_uninstalls_when_the_block_raises(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_CACHE_ACCESS),))
+        with pytest.raises(InjectedFaultError):
+            with inject_faults(plan):
+                fire(SITE_CACHE_ACCESS)
+        assert active_injector() is None
+
+    def test_nesting_refused(self):
+        with inject_faults(FaultPlan()) as outer:
+            with pytest.raises(ValidationError, match="already installed"):
+                with inject_faults(FaultPlan()):
+                    pass  # pragma: no cover - never reached
+            # The failed inner install must not evict the outer plan.
+            assert active_injector() is outer
+        assert active_injector() is None
+
+    def test_unknown_site_rejected_when_installed(self):
+        with inject_faults(FaultPlan()):
+            with pytest.raises(ValidationError, match="unknown fault site"):
+                fire("no-such-site")
+
+
+class TestTriggerSemantics:
+    def test_ordinal_spec_fires_exactly_once_at_its_call(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_CACHE_ACCESS, at=2),))
+        with inject_faults(plan) as injector:
+            fire(SITE_CACHE_ACCESS)  # ordinal 0
+            fire(SITE_CACHE_ACCESS)  # ordinal 1
+            with pytest.raises(InjectedFaultError, match="cache-access"):
+                fire(SITE_CACHE_ACCESS)  # ordinal 2 — the scheduled one
+            fire(SITE_CACHE_ACCESS)  # ordinal 3: spec budget exhausted
+        assert injector.stats() == {
+            "calls": {SITE_CACHE_ACCESS: 4},
+            "fired": {SITE_CACHE_ACCESS: 1},
+        }
+
+    def test_times_budget_caps_certain_faults(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_CACHE_ACCESS, times=2),))
+        with inject_faults(plan) as injector:
+            for _ in range(2):
+                with pytest.raises(InjectedFaultError):
+                    fire(SITE_CACHE_ACCESS)
+            # Retried away: the third and later calls sail through.
+            fire(SITE_CACHE_ACCESS)
+            fire(SITE_CACHE_ACCESS)
+        assert injector.stats()["fired"] == {SITE_CACHE_ACCESS: 2}
+
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_CACHE_ACCESS, probability=0.0),))
+        with inject_faults(plan) as injector:
+            for _ in range(20):
+                fire(SITE_CACHE_ACCESS)
+        assert injector.stats()["fired"] == {}
+
+    def test_seeded_probability_replays_identically(self):
+        def trace(seed):
+            plan = FaultPlan(
+                specs=(
+                    FaultSpec(SITE_CACHE_ACCESS, probability=0.5, times=1000),
+                ),
+                seed=seed,
+            )
+            pattern = []
+            with inject_faults(plan):
+                for _ in range(40):
+                    try:
+                        fire(SITE_CACHE_ACCESS)
+                        pattern.append(False)
+                    except InjectedFaultError:
+                        pattern.append(True)
+            return pattern
+
+        first = trace(seed=1234)
+        assert any(first) and not all(first)  # the coin actually flips
+        assert trace(seed=1234) == first  # same plan → same fault sequence
+        assert trace(seed=99) != first  # the seed is what decides
+
+    def test_sites_are_independent_ordinals(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_BATCH_FLUSH, at=0),))
+        with inject_faults(plan) as injector:
+            fire(SITE_CACHE_ACCESS)  # other sites advance their own counters
+            with pytest.raises(InjectedFaultError):
+                fire(SITE_BATCH_FLUSH)
+        stats = injector.stats()
+        assert stats["calls"] == {SITE_CACHE_ACCESS: 1, SITE_BATCH_FLUSH: 1}
+        assert stats["fired"] == {SITE_BATCH_FLUSH: 1}
+
+    def test_ordinals_reset_per_installation(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_CACHE_ACCESS, at=0),))
+        for _ in range(2):  # a fresh install replays from ordinal 0
+            with inject_faults(plan) as injector:
+                with pytest.raises(InjectedFaultError):
+                    fire(SITE_CACHE_ACCESS)
+            assert injector.stats()["fired"] == {SITE_CACHE_ACCESS: 1}
+
+
+class TestFaultKinds:
+    def test_delay_sleeps_without_raising(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_BATCH_FLUSH, kind="delay", delay_s=0.05),))
+        with inject_faults(plan):
+            started = time.perf_counter()
+            fire(SITE_BATCH_FLUSH)
+            assert time.perf_counter() - started >= 0.04
+
+    def test_crash_invokes_the_site_hook_and_returns(self):
+        calls = []
+        plan = FaultPlan(specs=(FaultSpec(SITE_WORKER_DISPATCH, kind="crash"),))
+        with inject_faults(plan) as injector:
+            fire(SITE_WORKER_DISPATCH, crash=lambda: calls.append("boom"))
+        # The hook ran and fire() returned: the *consequence* of the crash
+        # (a BrokenProcessPool) surfaces later, at result collection.
+        assert calls == ["boom"]
+        assert injector.stats()["fired"] == {SITE_WORKER_DISPATCH: 1}
+
+    def test_crash_without_a_hook_degrades_to_error(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_WORKER_DISPATCH, kind="crash"),))
+        with inject_faults(plan):
+            with pytest.raises(InjectedFaultError, match="injected crash fault"):
+                fire(SITE_WORKER_DISPATCH)
+
+    def test_error_message_and_class_are_spec_controlled(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(SITE_CACHE_ACCESS, error="WorkerError", message="cable cut"),
+            )
+        )
+        with inject_faults(plan):
+            with pytest.raises(WorkerError, match="cable cut"):
+                fire(SITE_CACHE_ACCESS)
+
+    def test_delay_and_error_compose_on_one_call(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(SITE_BATCH_FLUSH, kind="delay", delay_s=0.05),
+                FaultSpec(SITE_BATCH_FLUSH, kind="error"),
+            )
+        )
+        with inject_faults(plan):
+            started = time.perf_counter()
+            with pytest.raises(InjectedFaultError):
+                fire(SITE_BATCH_FLUSH)
+            assert time.perf_counter() - started >= 0.04
+
+
+class TestThreadSafety:
+    def test_concurrent_fires_account_every_call(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(SITE_CACHE_ACCESS, probability=0.5, times=10_000),),
+            seed=7,
+        )
+        fired = []
+        calls_per_thread = 50
+
+        def worker():
+            count = 0
+            for _ in range(calls_per_thread):
+                try:
+                    fire(SITE_CACHE_ACCESS)
+                except InjectedFaultError:
+                    count += 1
+            fired.append(count)
+
+        with inject_faults(plan) as injector:
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        stats = injector.stats()
+        assert stats["calls"] == {SITE_CACHE_ACCESS: 4 * calls_per_thread}
+        assert stats["fired"] == {SITE_CACHE_ACCESS: sum(fired)}

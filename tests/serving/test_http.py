@@ -16,6 +16,8 @@ import pytest
 from repro.api import SearchRequest, build_index
 from repro.exceptions import (
     AlphabetError,
+    DeadlineExceededError,
+    DrainTimeoutError,
     NoHealthyReplicaError,
     PatternTooLongError,
     QueryError,
@@ -63,6 +65,8 @@ class TestStatusMapping:
             (ServiceOverloadedError("full"), 429),
             (ServiceStoppedError("stopped"), 503),
             (NoHealthyReplicaError("none"), 503),
+            (DrainTimeoutError("drain"), 503),
+            (DeadlineExceededError("late"), 504),
             (PatternTooLongError("long"), 400),
             (ThresholdError("tau"), 400),
             (AlphabetError("sigma"), 400),
@@ -284,6 +288,64 @@ class TestHttpResponse:
         assert HttpResponse(418, {}).reason == "Unknown"
 
 
+class TestDeadlinesOverHttp:
+    def test_expired_timeout_ms_answers_504(self, listing_engine):
+        async def handler(app):
+            body = json.dumps(
+                {"pattern": "A", "tau": 0.1, "timeout_ms": 0.001}
+            ).encode("utf-8")
+            return await app.dispatch("POST", "/search", body)
+
+        # A 50ms batch window dwarfs the microscopic budget, so the
+        # watchdog deterministically fires before dispatch.
+        response = _with_app(listing_engine, handler, max_wait_ms=50.0)
+        assert response.status == 504
+        assert response.payload["error"]["type"] == "DeadlineExceededError"
+
+    def test_invalid_timeout_ms_rejected(self, listing_engine):
+        async def handler(app):
+            negative = await app.dispatch(
+                "POST",
+                "/search",
+                json.dumps({"pattern": "A", "tau": 0.1, "timeout_ms": -5}).encode(),
+            )
+            not_a_number = await app.dispatch(
+                "POST",
+                "/search",
+                json.dumps(
+                    {"pattern": "A", "tau": 0.1, "timeout_ms": "soon"}
+                ).encode(),
+            )
+            return negative, not_a_number
+
+        negative, not_a_number = _with_app(listing_engine, handler)
+        assert negative.status == 400
+        assert not_a_number.status == 400
+
+    def test_generous_timeout_ms_answers_normally(self, listing_engine):
+        async def handler(app):
+            plain = await app.dispatch(
+                "POST",
+                "/search",
+                json.dumps({"pattern": "A", "tau": 0.1}).encode(),
+            )
+            bounded = await app.dispatch(
+                "POST",
+                "/search",
+                json.dumps(
+                    {"pattern": "A", "tau": 0.1, "timeout_ms": 30_000.0}
+                ).encode(),
+            )
+            return plain, bounded
+
+        plain, bounded = _with_app(listing_engine, handler)
+        assert plain.status == bounded.status == 200
+        assert bounded.payload["matches"] == plain.payload["matches"]
+        # Complete answers never carry the degradation keys.
+        assert "partial" not in bounded.payload
+        assert "failed_shards" not in bounded.payload
+
+
 class TestSocketServer:
     def test_round_trip_and_keep_alive(self, listing_engine):
         async def go():
@@ -357,3 +419,87 @@ class TestSocketServer:
                     return raw
 
         assert asyncio.run(go()) == b""
+
+    def test_idle_timeout_closes_silent_connection_cleanly(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine) as service:
+                async with SearchHttpServer(service, idle_timeout_s=0.2) as server:
+                    assert server.idle_timeout_s == 0.2
+                    reader, writer = await asyncio.open_connection(
+                        server.host, server.port
+                    )
+                    # Send nothing: the server must close the connection
+                    # itself once the idle window lapses.
+                    raw = await asyncio.wait_for(reader.read(), timeout=10.0)
+                    writer.close()
+                    await writer.wait_closed()
+                    return raw
+
+        assert asyncio.run(go()) == b""  # clean close: no response bytes
+
+    def test_idle_timeout_still_serves_prompt_requests(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.5) as service:
+                async with SearchHttpServer(service, idle_timeout_s=5.0) as server:
+                    reader, writer = await asyncio.open_connection(
+                        server.host, server.port
+                    )
+                    writer.write(
+                        b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                    )
+                    await writer.drain()
+                    raw = await reader.read()
+                    writer.close()
+                    await writer.wait_closed()
+                    return raw
+
+        assert asyncio.run(go()).startswith(b"HTTP/1.1 200 OK")
+
+    def test_invalid_idle_timeout_rejected(self, listing_engine):
+        service = AsyncSearchService(listing_engine)
+        with pytest.raises(ValidationError):
+            SearchHttpServer(service, idle_timeout_s=0.0)
+
+    def test_cold_process_pool_does_not_trap_open_connections(self):
+        # Regression: the first query against a process-mode engine forks
+        # the worker pool lazily — mid-connection, when driven over a
+        # socket.  Forked workers inherit a duplicate of the accepted
+        # connection's fd; unless they close it, the TCP session stays
+        # established after the server's own close and a client reading to
+        # EOF hangs forever.  The worker initializer must drop inherited
+        # sockets, so this read-to-EOF completes.
+        from repro.api import build_sharded_index
+
+        engine = build_sharded_index(
+            make_random_uncertain_string(40, 0.3, seed=23),
+            shards=2,
+            tau_min=0.1,
+            kind="general",
+            max_pattern_len=4,
+            query_executor="process",
+            cache_size=0,
+        )
+        try:
+
+            async def go():
+                async with AsyncSearchService(engine, max_wait_ms=0.5) as service:
+                    async with SearchHttpServer(service) as server:
+                        reader, writer = await asyncio.open_connection(
+                            server.host, server.port
+                        )
+                        writer.write(
+                            b"GET /search?pattern=A&tau=0.2 HTTP/1.1\r\n"
+                            b"Host: t\r\nConnection: close\r\n\r\n"
+                        )
+                        await writer.drain()
+                        # Pre-fix this never returned: the fork kept the
+                        # connection open, so EOF never arrived.
+                        raw = await asyncio.wait_for(reader.read(), timeout=30.0)
+                        writer.close()
+                        await writer.wait_closed()
+                        return raw
+
+            raw = asyncio.run(go())
+            assert raw.startswith(b"HTTP/1.1 200 OK")
+        finally:
+            engine.close()

@@ -82,6 +82,18 @@ class TestLoadProfile:
             LoadProfile(patterns=("A",), arrival="poisson")  # rate missing
         with pytest.raises(ValidationError):
             LoadProfile(patterns=("A",), page_limit=-1)
+        with pytest.raises(ValidationError):
+            LoadProfile(patterns=("A",), timeout_ms=0.0)
+
+    def test_timeout_ms_rides_every_plan_row(self):
+        profile = LoadProfile(
+            patterns=("A",), taus=(0.3,), requests=3, timeout_ms=250.0
+        )
+        for _, body, _ in profile.plan():
+            assert json.loads(body)["timeout_ms"] == 250.0
+        # And stays absent when unset — request bodies remain minimal.
+        for _, body, _ in LoadProfile(patterns=("A",), taus=(0.3,), requests=3).plan():
+            assert "timeout_ms" not in json.loads(body)
 
 
 class TestRunLoad:
@@ -132,6 +144,8 @@ class TestRunLoad:
         report = asyncio.run(go())
         assert report.by_status == {400: 10}
         assert report.ok == 0
+        # Failures are also classified by taxonomy type off the error body.
+        assert report.by_error == {"ThresholdError": 10}
 
     def test_to_dict_shape(self, listing_engine):
         profile = LoadProfile(patterns=("A",), taus=(0.1,), requests=5)
@@ -143,6 +157,7 @@ class TestRunLoad:
         report = asyncio.run(go()).to_dict()
         assert report["requests"] == 5
         assert report["by_status"] == {"200": 5}
+        assert report["by_error"] == {}  # all-2xx runs report an empty breakdown
         assert set(report["latency_ms"]) == {"p50", "p95", "p99", "mean", "max"}
         json.dumps(report)  # JSON-serializable end to end
 
@@ -198,6 +213,8 @@ class TestSocketTransportAndCli:
                     "3",
                     "--seed",
                     "5",
+                    "--timeout-ms",
+                    "30000",
                 ]
             )
         finally:
@@ -208,3 +225,4 @@ class TestSocketTransportAndCli:
         assert report["requests"] == 15
         assert report["ok"] == 15
         assert report["qps"] > 0
+        assert report["by_error"] == {}  # the generous --timeout-ms never fires

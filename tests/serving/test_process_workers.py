@@ -362,3 +362,61 @@ class TestLifecycleLeaks:
             if alive:
                 time.sleep(0.05)
         assert not alive, f"worker processes leaked past GC: {sorted(alive)}"
+
+
+class TestWorkerCrashRegression:
+    """SIGKILLing a shard worker must end in recovery or WorkerError — never a hang."""
+
+    def test_sigkill_mid_query_recovers_or_raises(self):
+        import os
+        import signal
+        import threading
+
+        from repro.exceptions import WorkerError
+
+        string = make_random_uncertain_string(60, 0.3, seed=33)
+        engine = build_sharded_index(
+            string,
+            shards=2,
+            tau_min=0.1,
+            kind="general",
+            max_pattern_len=6,
+            cache_size=0,
+            query_executor="process",
+            worker_retries=2,
+        )
+        try:
+            pattern = string.most_likely_string()[:3]
+            baseline = engine.query(pattern, tau=0.2)  # warms the worker pools
+            pids = [
+                pid
+                for pool in engine._ensure_process_pools()
+                for pid in getattr(pool, "_processes", {})
+            ]
+            assert pids, "process mode should hold live worker processes"
+
+            outcome = {}
+
+            def run():
+                try:
+                    outcome["result"] = engine.query(pattern, tau=0.2)
+                except WorkerError as error:
+                    outcome["error"] = error
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            os.kill(pids[0], signal.SIGKILL)  # mid-query, best effort
+            thread.join(timeout=30.0)  # hard watchdog: a hang fails, not blocks, CI
+            assert not thread.is_alive(), "query hung after a worker SIGKILL"
+            if "result" in outcome:
+                assert outcome["result"] == baseline
+            else:
+                assert isinstance(outcome["error"], WorkerError)
+
+            # Whether the kill landed mid-flight or just after, the broken
+            # pool must surface on the next fan-out and be rebuilt: the
+            # engine stays usable and records the recovery.
+            assert engine.query(pattern, tau=0.2) == baseline
+            assert engine.resilience_stats()["pool_recoveries"] >= 1
+        finally:
+            engine.close()

@@ -17,6 +17,7 @@ from repro.api import SearchRequest, build_index
 from repro.exceptions import (
     NoHealthyReplicaError,
     ThresholdError,
+    DrainTimeoutError,
     ValidationError,
 )
 from repro.serving import ReplicaSet
@@ -329,7 +330,7 @@ class TestDrainThenSwap:
             )
             querier.start()
             assert gated.entered.wait(timeout=10.0)
-            with pytest.raises(ValidationError, match="drain timeout"):
+            with pytest.raises(DrainTimeoutError, match="drain timeout"):
                 replica_set.swap(lambda slot: replacement, drain_timeout=0.05)
         finally:
             gated.gate.set()

@@ -11,7 +11,12 @@ import threading
 import pytest
 
 from repro.api import SearchRequest, build_index
-from repro.exceptions import ServiceOverloadedError, ThresholdError, ValidationError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ThresholdError,
+    ValidationError,
+)
 from repro.serving import AsyncSearchService
 from tests.conftest import make_random_uncertain_string
 
@@ -230,6 +235,55 @@ class TestFailuresAndLifecycle:
         assert stats["latency"]["mean_ms"] > 0.0
         assert stats["latency"]["max_ms"] >= stats["latency"]["mean_ms"]
         assert stats["config"]["max_wait_ms"] == 0.0
+
+
+class TestDeadlineWatchdog:
+    def test_expired_budget_raises_deadline_exceeded(self, listing_engine):
+        # A microscopic budget against a 50ms batch window: the watchdog
+        # must fire while the request is still queued in the window.
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=50.0) as service:
+                with pytest.raises(DeadlineExceededError):
+                    await service.submit(
+                        SearchRequest("A", tau=0.1, timeout_ms=0.001)
+                    )
+                return service.stats()
+
+        stats = asyncio.run(go())
+        assert stats["deadline_exceeded"] >= 1
+
+    def test_generous_budget_answers_like_unbounded(self, listing_engine):
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.0) as service:
+                bounded = await service.submit(
+                    SearchRequest("A", tau=0.1, timeout_ms=30_000.0)
+                )
+                unbounded = await service.submit(SearchRequest("A", tau=0.1))
+                return bounded, unbounded, service.stats()
+
+        bounded, unbounded, stats = asyncio.run(go())
+        assert bounded.matches == unbounded.matches
+        assert stats["deadline_exceeded"] == 0
+        assert stats["partial_answers"] == 0
+
+    def test_deduped_bucket_with_unbounded_member_stays_unbounded(
+        self, listing_engine
+    ):
+        # Coalescing a bounded and an unbounded copy of the same request
+        # must not impose the bounded member's budget on the shared
+        # evaluation — both callers get the full answer.
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=20.0) as service:
+                results = await asyncio.gather(
+                    service.submit(SearchRequest("A", tau=0.1, timeout_ms=60_000.0)),
+                    service.submit(SearchRequest("A", tau=0.1)),
+                )
+                return results, service.stats()
+
+        (bounded, unbounded), stats = asyncio.run(go())
+        assert bounded.matches == unbounded.matches
+        assert stats["deduplicated"] >= 1
+        assert stats["deadline_exceeded"] == 0
 
 
 class _GatedEngine:

@@ -1,0 +1,11 @@
+"""Fixture: a ``faults`` module raising outside the exception taxonomy."""
+
+from exceptions import InjectedFaultError
+
+
+def fire(site):
+    if not site:
+        raise ValueError("site must be non-empty")  # builtin validation: allowed
+    if site == "bad":
+        raise RuntimeError("faults raise outside the taxonomy")
+    raise InjectedFaultError(f"injected at {site}")

@@ -92,10 +92,12 @@ class TestExceptionTaxonomy:
         findings = findings_for("exception-taxonomy", VIOLATIONS, "violations")
         raises = "api/raises.py"
         serving = "serving/http.py"
+        faults = "faults/injector.py"
         assert locations(findings) == {
             (raises, line_of(VIOLATIONS, raises, "# outside the taxonomy")),
             (raises, line_of(VIOLATIONS, raises, "missing {key}")),
             (serving, line_of(VIOLATIONS, serving, "serving raise outside")),
+            (faults, line_of(VIOLATIONS, faults, "faults raise outside")),
         }
 
     def test_taxonomy_and_builtin_raises_allowed(self):
@@ -103,10 +105,11 @@ class TestExceptionTaxonomy:
 
     def test_out_of_scope_modules_ignored(self):
         findings = findings_for("exception-taxonomy", VIOLATIONS, "violations")
-        # indexes.py raises ValueError at module scope outside api/ and
-        # serving/ — the rule only patrols the façade directories.
+        # indexes.py raises ValueError at module scope outside api/, serving/
+        # and faults/ — the rule only patrols the façade directories.
         assert all(
-            finding.path.startswith(("api/", "serving/")) for finding in findings
+            finding.path.startswith(("api/", "serving/", "faults/"))
+            for finding in findings
         )
 
 
