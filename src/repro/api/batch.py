@@ -139,7 +139,21 @@ def execute_batch(
     ) -> Callable[[], List[Match]]:
         if cache is None or cache_key is None:
             return compute
-        return cache.wrap(cache_key(request), compute)
+        cached = cache.wrap(cache_key(request), compute)
+        trace = request.trace
+        if trace is None:
+            return cached
+
+        def traced() -> List[Match]:
+            # A cache hit never reaches the engine, so the trace gains no
+            # records from the wrapped computation — that is the hit signal.
+            before = trace.size()
+            with trace.span("cache", parent="evaluate") as meta:
+                value = cached()
+                meta["hit"] = trace.size() == before
+            return value
+
+        return traced
 
     def result_for(request: SearchRequest) -> SearchResult:
         key: _RequestKey = (request.pattern, request.tau, request.top_k)

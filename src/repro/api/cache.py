@@ -19,9 +19,13 @@ Design constraints, in order:
   results cost neither a lookup nor a counter tick, and batch deduplication
   (:mod:`repro.api.batch`) composes: each distinct request probes the cache
   exactly once per evaluation.
-* **Observability** — hit / miss / eviction counters are cheap to keep and
-  surfaced through :meth:`stats` into ``Engine.describe()``, because a
-  serving cache nobody can measure is a serving cache nobody can size.
+* **Observability** — hit / miss / eviction counters live in a
+  :class:`repro.obs.metrics.MetricsRegistry` that shares the cache's own
+  lock, so :meth:`stats` is a tear-free snapshot and ``/metrics`` can
+  scrape the same counters (``cache_*`` names in ``METRIC_TABLE``); the
+  legacy :meth:`stats` dict shape is preserved as a view over the
+  registry, because a serving cache nobody can measure is a serving
+  cache nobody can size.
 
 Two invalidation mechanisms exist for serving deployments whose index is
 not immutable-forever:
@@ -61,6 +65,7 @@ from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from ..exceptions import ValidationError
 from ..faults import SITE_CACHE_ACCESS, fire
+from ..obs.metrics import MetricsRegistry
 from .requests import PartialAnswer
 
 #: Default number of distinct request keys an engine keeps hot.
@@ -111,12 +116,17 @@ class ResultCache:
         self._ttl_seconds = ttl_seconds
         self._clock = clock if clock is not None else time.monotonic
         self._entries: "OrderedDict[_StoredKey, Tuple[Tuple, float]]" = OrderedDict()  # guarded-by: _lock
-        self._lock = threading.Lock()
+        # Re-entrant so registry updates made while the cache lock is
+        # already held (and stats() snapshots) serialize on one monitor.
+        self._lock = threading.RLock()
         self._generation = 0  # guarded-by: _lock
-        self._hits = 0  # guarded-by: _lock
-        self._misses = 0  # guarded-by: _lock
-        self._evictions = 0  # guarded-by: _lock
-        self._expirations = 0  # guarded-by: _lock
+        self._metrics = MetricsRegistry(lock=self._lock)
+        self._hits = self._metrics.counter("cache_hits_total")
+        self._misses = self._metrics.counter("cache_misses_total")
+        self._evictions = self._metrics.counter("cache_evictions_total")
+        self._expirations = self._metrics.counter("cache_expirations_total")
+        self._metrics.gauge("cache_size_count", fn=lambda: float(len(self._entries)))
+        self._metrics.gauge("cache_generation_count", fn=lambda: float(self._generation))
 
     # -- configuration ------------------------------------------------------------
     @property
@@ -145,7 +155,7 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"ResultCache(capacity={self._capacity}, size={len(self._entries)}, "
-            f"hits={self._hits}, misses={self._misses}, "
+            f"hits={self._hits.value}, misses={self._misses.value}, "
             f"generation={self._generation})"
         )
 
@@ -181,7 +191,7 @@ class ResultCache:
             stored = (self._generation, key)
             entry = self._entries.get(stored)
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
             value, stamp = entry
             if (
@@ -189,11 +199,11 @@ class ResultCache:
                 and self._clock() - stamp > self._ttl_seconds
             ):
                 del self._entries[stored]
-                self._expirations += 1
-                self._misses += 1
+                self._expirations.inc()
+                self._misses.inc()
                 return None
             self._entries.move_to_end(stored)
-            self._hits += 1
+            self._hits.inc()
             return value
 
     def put(
@@ -220,7 +230,7 @@ class ResultCache:
             # force a live one out through ordinary LRU eviction.
             for expired in self._expired_keys():
                 del self._entries[expired]
-                self._expirations += 1
+                self._expirations.inc()
             stored = (self._generation, key)
             stamp = self._clock()
             if stored in self._entries:
@@ -230,7 +240,7 @@ class ResultCache:
             self._entries[stored] = (frozen, stamp)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
 
     def wrap(self, key: CacheKey, compute: Callable[[], List]) -> Callable[[], List]:
         """A lazy evaluation closure: cache lookup first, ``compute`` on miss.
@@ -284,19 +294,28 @@ class ResultCache:
     def reset_stats(self) -> None:
         """Zero the hit / miss / eviction / expiration counters."""
         with self._lock:
-            self._hits = 0
-            self._misses = 0
-            self._evictions = 0
-            self._expirations = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._evictions.reset()
+            self._expirations.reset()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The cache's metrics registry (``cache_*`` series for /metrics)."""
+        return self._metrics
 
     def stats(self) -> dict:
-        """Counters and occupancy, as surfaced by ``Engine.describe()``."""
+        """Counters and occupancy, as surfaced by ``Engine.describe()``.
+
+        A consistent view: the snapshot holds the cache lock (shared with
+        the metrics registry), so no counter can advance between reads.
+        """
         with self._lock:
             for expired in self._expired_keys():
                 del self._entries[expired]
-                self._expirations += 1
-            hits, misses, evictions = self._hits, self._misses, self._evictions
-            expirations = self._expirations
+                self._expirations.inc()
+            hits, misses, evictions = self._hits.value, self._misses.value, self._evictions.value
+            expirations = self._expirations.value
             generation = self._generation
             size = len(self._entries)
         lookups = hits + misses

@@ -17,10 +17,12 @@ the wrapped instance for callers that need variant-specific extras.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from ..core.listing import UncertainStringListingIndex
+from ..obs.profile import active_profiler
 from ..strings.special import SpecialUncertainString
 from ..strings.uncertain import UncertainString
 from .batch import execute_batch
@@ -79,12 +81,30 @@ class QueryEngine:
         the result cache: a repeated request never touches the index.
         """
         normalized = SearchRequest.coerce(request, tau=tau, top_k=top_k)
-        return SearchResult(
-            normalized,
-            self._cache.wrap(
-                self._cache_key(normalized), lambda: self._evaluate(normalized)
-            ),
+        return SearchResult(normalized, self._wrapped_compute(normalized))
+
+    def _wrapped_compute(self, request: SearchRequest) -> Callable[[], List[Match]]:
+        """The cached evaluation closure, with a ``cache`` span when traced.
+
+        The cache span's ``hit`` meta is derived from whether the wrapped
+        computation added any records to the trace: a cache hit never
+        reaches ``_evaluate``, so the record count stays unchanged.
+        """
+        compute = self._cache.wrap(
+            self._cache_key(request), lambda: self._evaluate(request)
         )
+        trace = request.trace
+        if trace is None:
+            return compute
+
+        def traced() -> List[Match]:
+            before = trace.size()
+            with trace.span("cache", parent="evaluate") as meta:
+                value = compute()
+                meta["hit"] = trace.size() == before
+            return value
+
+        return traced
 
     def search_many(
         self,
@@ -221,13 +241,29 @@ class Engine(QueryEngine):
 
     # -- queries -----------------------------------------------------------------------
     def _evaluate(self, request: SearchRequest) -> List[Match]:
-        if request.top_k is not None:
-            return self._index.top_k(
-                request.pattern, request.top_k, tau=request.tau
+        trace = request.trace
+        profiler = active_profiler()
+        if trace is None and profiler is None:
+            # Zero-overhead fast path: no timers unless someone is looking.
+            if request.top_k is not None:
+                return self._index.top_k(
+                    request.pattern, request.top_k, tau=request.tau
+                )
+            return self._index.query(
+                request.pattern, request.resolve_tau(self.tau_min)
             )
-        return self._index.query(
-            request.pattern, request.resolve_tau(self.tau_min)
-        )
+        start = time.perf_counter()
+        if request.top_k is not None:
+            matches = self._index.top_k(request.pattern, request.top_k, tau=request.tau)
+        else:
+            matches = self._index.query(request.pattern, request.resolve_tau(self.tau_min))
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        if trace is not None:
+            trace.add("kernel", elapsed_ms, parent="cache",
+                      kind=self.kind, matches=len(matches))
+        if profiler is not None and profiler.should_sample():
+            profiler.observe(self.kind, elapsed_ms)
+        return matches
 
     def _refine_allowed(self) -> bool:
         # Refinement is exact only when the index both stores and compares

@@ -18,12 +18,15 @@ the sequence protocol, paging and counting behave identically for both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union, overload
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple, Union, overload
 
 from .._validation import check_nonempty_pattern, check_threshold
 from ..core.base import ListingMatch, Occurrence, resolve_tau
 from ..exceptions import ValidationError
+
+if TYPE_CHECKING:
+    from ..obs.trace import Trace
 
 Match = Union[Occurrence, ListingMatch]
 
@@ -75,12 +78,19 @@ class SearchRequest:
         worker futures.  The budget never changes the *answer* — equal
         ``(pattern, tau, top_k)`` requests share cache entries and batch
         deduplication regardless of their budgets.
+    trace:
+        Optional :class:`repro.obs.trace.Trace` collecting per-stage span
+        timings for this request.  Excluded from equality, hashing and
+        ``repr`` so a traced request dedupes, caches and batch-refines
+        byte-identically to an untraced one; ``None`` (default) keeps
+        every layer on its zero-overhead fast path.
     """
 
     pattern: str
     tau: Optional[float] = None
     top_k: Optional[int] = None
     timeout_ms: Optional[float] = None
+    trace: Optional["Trace"] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         check_nonempty_pattern(self.pattern)
@@ -113,6 +123,7 @@ class SearchRequest:
                 tau=request.tau if tau is None else tau,
                 top_k=request.top_k if top_k is None else top_k,
                 timeout_ms=request.timeout_ms,
+                trace=request.trace,
             )
         return SearchRequest(request, tau=tau, top_k=top_k)
 

@@ -55,6 +55,7 @@ import signal
 import threading
 import time
 import weakref
+from dataclasses import replace
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -76,6 +77,7 @@ from ..exceptions import (
     WorkerError,
 )
 from ..faults import SITE_WORKER_DISPATCH, fire
+from ..obs.metrics import MetricSample, MetricsRegistry
 from .cache import DEFAULT_CACHE_SIZE, ResultCache
 from .engine import Engine, QueryEngine, build_index
 from .persistence import (
@@ -262,15 +264,19 @@ class ShardedEngine(QueryEngine):
         self._partial = bool(partial)
         self._worker_retries = worker_retries
         self._worker_retry_backoff_s = worker_retry_backoff_s
-        self._recoveries = 0  # guarded-by: _executor_lock
-        self._partial_answers = 0  # guarded-by: _executor_lock
         self._spec = spec
         self._plan = plan
         self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl_seconds)
         self._max_workers = max_workers
         self._query_executor = query_executor
         self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _executor_lock
-        self._executor_lock = threading.Lock()
+        # Re-entrant: the metrics registry shares this lock, so counter
+        # increments made while the executor lock is held stay re-entrant
+        # and resilience_stats() snapshots are tear-free.
+        self._executor_lock = threading.RLock()
+        self._metrics = MetricsRegistry(lock=self._executor_lock)
+        self._recoveries = self._metrics.counter("sharding_pool_recoveries_total")
+        self._partial_answers = self._metrics.counter("sharding_partial_answers_total")
         # Per-shard persistent worker processes (query_executor="process"),
         # created lazily on the first query.  Shards restored from disk
         # record their archive paths (+ the mmap flag) here so workers
@@ -376,10 +382,14 @@ class ShardedEngine(QueryEngine):
         }
 
     def resilience_stats(self) -> dict:
-        """Recovery configuration and counters (surfaced by :meth:`describe`)."""
+        """Recovery configuration and counters (surfaced by :meth:`describe`).
+
+        Snapshotted under the executor lock (shared with the metrics
+        registry), so the two counters are mutually consistent.
+        """
         with self._executor_lock:
-            recoveries = self._recoveries
-            partial_answers = self._partial_answers
+            recoveries = self._recoveries.value
+            partial_answers = self._partial_answers.value
         return {
             "partial": self._partial,
             "worker_retries": self._worker_retries,
@@ -387,6 +397,10 @@ class ShardedEngine(QueryEngine):
             "pool_recoveries": recoveries,
             "partial_answers": partial_answers,
         }
+
+    def metrics_samples(self) -> List[MetricSample]:
+        """Every metric series this engine owns (resilience + cache)."""
+        return self._metrics.collect() + self._cache.metrics.collect()
 
     def space_report(self) -> dict:
         """Total footprint plus the per-shard totals."""
@@ -483,9 +497,32 @@ class ShardedEngine(QueryEngine):
                 self._owned_executors.extend(pools)
             return pools
 
-    def _evaluate_shard(self, shard: int, request: SearchRequest) -> List[Match]:
-        """Evaluate one shard in-process, translated to global coordinates."""
-        return self._translate(shard, self._engines[shard]._evaluate(request))
+    def _evaluate_shard(
+        self, shard: int, request: SearchRequest, attempt: int = 0
+    ) -> List[Match]:
+        """Evaluate one shard in-process, translated to global coordinates.
+
+        A traced request gets one ``shard`` span per evaluation, timed
+        here; the shard engine itself runs untraced (its kernel timing is
+        the span's duration — a per-shard ``kernel`` child would repeat
+        the same number under a dangling parent).
+        """
+        trace = request.trace
+        if trace is None:
+            return self._translate(shard, self._engines[shard]._evaluate(request))
+        bare = replace(request, trace=None)
+        start = time.perf_counter()
+        matches = self._translate(shard, self._engines[shard]._evaluate(bare))
+        trace.add(
+            "shard",
+            (time.perf_counter() - start) * 1000.0,
+            parent="fan_out",
+            shard=shard,
+            attempt=attempt,
+            executor="thread",
+            matches=len(matches),
+        )
+        return matches
 
     def _discard_pools(self, dead: List[ProcessPoolExecutor]) -> None:
         """Tear down a broken worker-pool set so the next attempt rebuilds it.
@@ -505,7 +542,7 @@ class ShardedEngine(QueryEngine):
                     for executor in self._owned_executors
                     if executor not in dead
                 ]
-                self._recoveries += 1
+                self._recoveries.inc()
         for broken in dead:
             broken.shutdown(wait=False)
 
@@ -557,6 +594,7 @@ class ShardedEngine(QueryEngine):
         request: SearchRequest,
         deadline: Optional[float],
         pools: Optional[List[ProcessPoolExecutor]],
+        attempt: int = 0,
     ) -> Tuple[List[List[Match]], List[int], Optional[Exception], bool]:
         """One dispatch attempt over every shard.
 
@@ -573,8 +611,30 @@ class ShardedEngine(QueryEngine):
         first: Optional[Exception] = None
         pool_broken = False
         shard_futures: "List[Optional[Future[Any]]]" = []
+        trace = request.trace
         if pools is not None:
             workers = len(pools)
+            # Tracing crosses the process boundary as plain payload data —
+            # the trace_id string inside the argument tuple — never the
+            # live Trace object; the worker's eval_ms comes back inside
+            # the answer payload and is attached to the shard span here.
+            trace_id = trace.trace_id if trace is not None else None
+
+            def translate_payload(shard: int, payload: Any) -> List[Match]:
+                kind, ids, values, eval_ms = payload
+                matches = self._translate(shard, matches_from_arrays(kind, ids, values))
+                if trace is not None:
+                    trace.add(
+                        "shard",
+                        float(eval_ms),
+                        parent="fan_out",
+                        shard=shard,
+                        attempt=attempt,
+                        executor="process",
+                        matches=len(matches),
+                    )
+                return matches
+
             for shard in range(self.shard_count):
                 owner = pools[shard % workers]
                 try:
@@ -582,7 +642,8 @@ class ShardedEngine(QueryEngine):
                     shard_futures.append(
                         owner.submit(
                             query_worker,
-                            (shard, request.pattern, request.tau, request.top_k),
+                            (shard, request.pattern, request.tau, request.top_k,
+                             trace_id),
                         )
                     )
                 except _REQUEST_ERRORS:
@@ -598,9 +659,7 @@ class ShardedEngine(QueryEngine):
                 request,
                 deadline,
                 shard_futures,
-                lambda shard, payload: self._translate(
-                    shard, matches_from_arrays(*payload)
-                ),
+                translate_payload,
                 answers,
                 failed,
             )
@@ -617,7 +676,7 @@ class ShardedEngine(QueryEngine):
             # backstop, exactly as for an unsharded engine.
             try:
                 fire(SITE_WORKER_DISPATCH)
-                answers.append(self._evaluate_shard(0, request))
+                answers.append(self._evaluate_shard(0, request, attempt))
             except _REQUEST_ERRORS:
                 raise
             except Exception as error:
@@ -632,7 +691,7 @@ class ShardedEngine(QueryEngine):
                 # its error form (there is no process to kill).
                 fire(SITE_WORKER_DISPATCH)
                 shard_futures.append(
-                    executor.submit(self._evaluate_shard, shard, request)
+                    executor.submit(self._evaluate_shard, shard, request, attempt)
                 )
             except _REQUEST_ERRORS:
                 raise
@@ -675,6 +734,23 @@ class ShardedEngine(QueryEngine):
           propagates.
         """
         deadline = _deadline_from(request)
+        trace = request.trace
+        if trace is None:
+            return self._run_fan_out(request, deadline)
+        with trace.span(
+            "fan_out",
+            parent="evaluate",
+            executor=self._query_executor,
+            shards=self.shard_count,
+        ) as meta:
+            fan = self._run_fan_out(request, deadline)
+            meta["failed_shards"] = list(fan.failed)
+        return fan
+
+    def _run_fan_out(
+        self, request: SearchRequest, deadline: Optional[float]
+    ) -> _FanOut:
+        """The retry loop behind :meth:`_shard_answers`."""
         attempt = 0
         while True:
             pools = (
@@ -683,7 +759,7 @@ class ShardedEngine(QueryEngine):
                 else None
             )
             answers, failed, error, pool_broken = self._attempt_fan_out(
-                request, deadline, pools
+                request, deadline, pools, attempt
             )
             if not failed:
                 return _FanOut(answers)
@@ -702,8 +778,7 @@ class ShardedEngine(QueryEngine):
                 attempt += 1
                 continue
             if self._partial:
-                with self._executor_lock:
-                    self._partial_answers += 1
+                self._partial_answers.inc()
                 return _FanOut(answers, tuple(sorted(set(failed))))
             if error is None:  # unreachable: every failed shard records one
                 raise WorkerError("shard fan-out failed without a recorded cause")
@@ -778,14 +853,27 @@ class ShardedEngine(QueryEngine):
 
     def _evaluate(self, request: SearchRequest) -> List[Match]:
         """Fan the request out across shards and merge globally."""
-        self._check_pattern(request.pattern)
+        trace = request.trace
+        if trace is None:
+            self._check_pattern(request.pattern)
+        else:
+            with trace.span(
+                "plan", parent="evaluate", kind=self.kind, shards=self.shard_count
+            ):
+                self._check_pattern(request.pattern)
         if request.top_k is not None:
             return self._evaluate_top_k(request)
 
         fan = self._shard_answers(request)
         # Each shard reports in position (document) order over disjoint
         # owned ranges; a lazy heap-merge restores the global order.
-        return self._finish(list(heapq.merge(*fan.answers, key=_reporting_key)), fan)
+        if trace is None:
+            merged = list(heapq.merge(*fan.answers, key=_reporting_key))
+        else:
+            with trace.span("merge", parent="evaluate") as meta:
+                merged = list(heapq.merge(*fan.answers, key=_reporting_key))
+                meta["matches"] = len(merged)
+        return self._finish(merged, fan)
 
     def _evaluate_top_k(self, request: SearchRequest) -> List[Match]:
         # Fetch k + overlap per chunk shard: the ownership filter can drop
@@ -795,19 +883,29 @@ class ShardedEngine(QueryEngine):
         fetch = request.top_k + (
             self._spec.overlap if self._spec.mode == "chunks" else 0
         )
-        # The deadline budget rides along on the per-shard request.
+        # The deadline budget (and the trace) ride along on the per-shard
+        # request.
         shard_request = SearchRequest(
             request.pattern,
             tau=request.tau,
             top_k=fetch,
             timeout_ms=request.timeout_ms,
+            trace=request.trace,
         )
         fan = self._shard_answers(shard_request)
         # Per-shard lists arrive sorted by (-value, position); merging the
         # per-shard heaps and keeping the first k reproduces the unsharded
         # deterministic tie-break.
-        merged = heapq.merge(*fan.answers, key=_ranking_key)
-        return self._finish(list(islice(merged, request.top_k)), fan)
+        trace = request.trace
+        if trace is None:
+            top = list(islice(heapq.merge(*fan.answers, key=_ranking_key),
+                              request.top_k))
+        else:
+            with trace.span("merge", parent="evaluate") as meta:
+                top = list(islice(heapq.merge(*fan.answers, key=_ranking_key),
+                                  request.top_k))
+                meta["matches"] = len(top)
+        return self._finish(top, fan)
 
     def _refine_allowed(self) -> bool:
         # Merged listing answers equal the unsharded engine's, so the

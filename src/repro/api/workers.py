@@ -24,16 +24,23 @@ Design:
   index with ``from_payload``; no live index object (with its embedded
   locks and caches) ever crosses the process boundary.
 * **Array answers.**  A query's matches cross back as
-  ``(kind, ids, values)`` ndarray payloads
-  (:func:`repro.core.base.matches_to_arrays`) instead of one pickled
-  dataclass per match; the parent rebuilds the objects at the merge
-  boundary, byte-identically (int64 / float64 round-trip exactly).
+  ``(kind, ids, values, eval_ms)`` payloads — ndarrays plus the worker's
+  own evaluation wall-clock (:func:`repro.core.base.matches_to_arrays`
+  for the arrays) instead of one pickled dataclass per match; the parent
+  rebuilds the objects at the merge boundary, byte-identically (int64 /
+  float64 round-trip exactly), and attaches ``eval_ms`` to the request's
+  ``shard`` trace span when the request is traced.
+* **Tracing stays plain data.**  A traced request crosses the boundary
+  as its ``trace_id`` string inside the argument tuple — never the live
+  :class:`~repro.obs.trace.Trace` object (which holds a lock); the
+  worker-boundary lint rule keeps this honest.
 """
 
 from __future__ import annotations
 
 import os
 import stat
+import time
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -103,9 +110,9 @@ def initialize_worker(specs: Dict[int, WorkerSpec]) -> None:
 
 
 def query_worker(
-    arguments: Tuple[int, str, Optional[float], Optional[int]],
-) -> Tuple[str, np.ndarray, np.ndarray]:
-    """Answer one ``(shard, pattern, tau, top_k)`` query against an owned shard.
+    arguments: Tuple[int, str, Optional[float], Optional[int], Optional[str]],
+) -> Tuple[str, np.ndarray, np.ndarray, float]:
+    """Answer one ``(shard, pattern, tau, top_k, trace_id)`` shard query.
 
     Mirrors ``Engine._evaluate`` exactly — ``top_k`` routes to the index's
     heap extraction, plain requests resolve ``tau=None`` through the
@@ -113,16 +120,26 @@ def query_worker(
     byte-identically to thread mode.  Exceptions (e.g. a ``ThresholdError``
     for a ``tau`` below ``tau_min``) pickle through the future and
     propagate in the parent, matching the thread-mode behaviour.
+
+    ``trace_id`` is the request's trace identifier (``None`` when
+    untraced) — plain payload data for log correlation and error context,
+    never a live trace object.  The returned ``eval_ms`` is the worker's
+    evaluation wall-clock; the parent attaches it to the request's
+    ``shard`` span.
     """
-    shard, pattern, tau, top_k = arguments
+    shard, pattern, tau, top_k, trace_id = arguments
     index = _WORKER_INDEXES.get(shard)
     if index is None:
+        suffix = f" (trace {trace_id})" if trace_id else ""
         raise WorkerError(
             f"shard worker asked for shard {shard} it does not own "
-            f"(owned: {sorted(_WORKER_INDEXES)})"
+            f"(owned: {sorted(_WORKER_INDEXES)}){suffix}"
         )
+    start = time.perf_counter()
     if top_k is not None:
         matches = index.top_k(pattern, top_k, tau=tau)
     else:
         matches = index.query(pattern, resolve_tau(tau, float(index.tau_min)))
-    return matches_to_arrays(matches)
+    eval_ms = (time.perf_counter() - start) * 1000.0
+    kind, ids, values = matches_to_arrays(matches)
+    return kind, ids, values, eval_ms

@@ -1038,6 +1038,130 @@ def network_serving(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     return table
 
 
+def observability_overhead(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """What the observability layer costs: QPS/latency per telemetry mode.
+
+    The same engine, profile, and in-process HTTP transport as
+    ``network-serving`` (single replica), run three times:
+
+    * **mode 0 — tracing off**: the always-on metrics registry only (every
+      counter in the serving stack goes through ``repro.obs``); no trace
+      objects exist, so every hook site takes its ``is None`` fast path;
+    * **mode 1 — metrics only**: same, plus a concurrent ``/metrics``
+      scraper hammering the Prometheus exposition while the load runs
+      (the cost of *reading* the registry under load);
+    * **mode 2 — full tracing**: every request traced (``debug=trace``
+      rides each body, a slow-query log is attached), so span records are
+      appended at each stage and trees are assembled and echoed per
+      response.
+
+    Six series over the mode index: QPS and p50/p99 latency, plus QPS and
+    p99 expressed as a ratio to mode 0 — the regression record for "the
+    observability layer is (near) free until you turn it on".
+    """
+    import asyncio
+
+    from ..api.engine import Engine
+    from ..obs import SlowQueryLog
+    from ..serving import AsyncSearchService, LoadProfile, SearchHttpApp
+    from ..serving.loadgen import run_load
+
+    concurrency = 8
+    requests = 100 * scale.query_repeats
+    table = FigureTable(
+        figure_id="obs-overhead",
+        title="Observability overhead: QPS and latency per telemetry mode",
+        x_label="mode (0=tracing off, 1=metrics scraped, 2=full tracing)",
+        y_label="see series label",
+        notes=(
+            f"listing engine, theta={scale.thetas[-1]}, tau_min={scale.tau_min}, "
+            f"n={scale.fixed_collection_size}; closed-loop load generator, "
+            f"{requests} requests, concurrency {concurrency}, taus {scale.tau_grid}, "
+            "in-process HTTP transport, caches disabled; one warm-up run per mode "
+            "is discarded"
+        ),
+    )
+    theta = scale.thetas[-1]
+    work = listing_workload(
+        scale.fixed_collection_size,
+        theta,
+        tau_min=scale.tau_min,
+        query_lengths=scale.listing_query_lengths,
+        patterns_per_length=scale.patterns_per_length,
+    )
+    engine = Engine(work.engine.index, work.engine.plan, cache_size=0)
+    patterns = tuple(work.patterns[: min(4, len(work.patterns))])
+
+    def make_profile(debug_trace: bool) -> LoadProfile:
+        return LoadProfile(
+            patterns=patterns,
+            taus=tuple(scale.tau_grid),
+            requests=requests,
+            concurrency=concurrency,
+            seed=20160315,
+            debug_trace=debug_trace,
+        )
+
+    def run_mode(debug_trace: bool, scrape: bool, slow_log_capacity: int) -> "dict":
+        slow_log = SlowQueryLog(slow_log_capacity) if slow_log_capacity else None
+
+        async def go() -> "dict":
+            async with AsyncSearchService(
+                engine, max_wait_ms=1.0, max_batch=concurrency,
+                max_pending=4 * concurrency,
+            ) as service:
+                app = SearchHttpApp(service, slow_log=slow_log)
+                stop = asyncio.Event()
+
+                async def scraper() -> None:
+                    # 100 scrapes/s — already orders of magnitude denser
+                    # than a real Prometheus interval, without turning the
+                    # experiment into a benchmark of the scraper itself.
+                    while not stop.is_set():
+                        await app.dispatch("GET", "/metrics")
+                        await asyncio.sleep(0.01)
+
+                task = asyncio.ensure_future(scraper()) if scrape else None
+                try:
+                    report = await run_load(app.dispatch, make_profile(debug_trace))
+                finally:
+                    stop.set()
+                    if task is not None:
+                        await task
+                return report.to_dict()
+
+        asyncio.run(go())  # warm-up: JIT caches, thread pools, allocator
+        return asyncio.run(go())
+
+    modes = (
+        (0, dict(debug_trace=False, scrape=False, slow_log_capacity=0)),
+        (1, dict(debug_trace=False, scrape=True, slow_log_capacity=0)),
+        (2, dict(debug_trace=True, scrape=True, slow_log_capacity=8)),
+    )
+    qps_series = Series("QPS (req/s)")
+    p50_series = Series("p50 latency (ms)")
+    p99_series = Series("p99 latency (ms)")
+    qps_ratio = Series("QPS vs tracing-off (ratio)")
+    p99_ratio = Series("p99 vs tracing-off (ratio)")
+    baseline: Dict[str, float] = {}
+    for mode, kwargs in modes:
+        report = run_mode(**kwargs)
+        qps = report["qps"]
+        p99 = report["latency_ms"]["p99"]
+        if mode == 0:
+            baseline["qps"] = qps
+            baseline["p99"] = p99
+        qps_series.add(mode, qps)
+        p50_series.add(mode, report["latency_ms"]["p50"])
+        p99_series.add(mode, p99)
+        qps_ratio.add(mode, qps / baseline["qps"] if baseline["qps"] else 0.0)
+        p99_ratio.add(mode, p99 / baseline["p99"] if baseline["p99"] else 0.0)
+    table.series.extend(
+        [qps_series, p50_series, p99_series, qps_ratio, p99_ratio]
+    )
+    return table
+
+
 def archive_size(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     """Archive format v2 vs v3: bytes on disk and mmap cold-start time.
 
@@ -1144,6 +1268,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "shard-build": shard_build,
     "serving-throughput": serving_throughput,
     "network-serving": network_serving,
+    "observability-overhead": observability_overhead,
     "archive-size": archive_size,
 }
 

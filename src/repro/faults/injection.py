@@ -64,6 +64,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type
 
 from .. import exceptions
 from ..exceptions import InjectedFaultError, ReproError, ValidationError
+from ..obs.metrics import MetricSample, MetricsRegistry
 
 #: Shard query dispatch (one firing per shard, in shard order).
 SITE_WORKER_DISPATCH = "worker-dispatch"
@@ -205,9 +206,19 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self._plan = plan
+        # Re-entrant: labeled counter updates happen while the trigger
+        # decision already holds the lock (the registry shares it).
+        self._state_lock = threading.RLock()
         self._rng = random.Random(plan.seed)  # guarded-by: _state_lock
-        self._state_lock = threading.Lock()
-        self._calls: Dict[str, int] = {site: 0 for site in SITES}  # guarded-by: _state_lock
+        self._metrics = MetricsRegistry(lock=self._state_lock)
+        self._calls = {
+            site: self._metrics.counter("fault_calls_total", site=site)
+            for site in SITES
+        }
+        self._fired = {
+            site: self._metrics.counter("fault_fired_total", site=site)
+            for site in SITES
+        }
         self._states: Dict[str, List[_SpecState]] = {}  # guarded-by: _state_lock
         for spec in plan.specs:
             self._states.setdefault(spec.site, []).append(_SpecState(spec))
@@ -218,21 +229,34 @@ class FaultInjector:
         return self._plan
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-site call and trigger counts (for chaos-test assertions)."""
+        """Per-site call and trigger counts (for chaos-test assertions).
+
+        The legacy view over the labeled ``fault_calls_total`` /
+        ``fault_fired_total`` counters: zero-count sites are filtered, and
+        the whole dict is one snapshot under the injector lock.
+        """
         with self._state_lock:
-            calls = {site: count for site, count in self._calls.items() if count}
-            fired: Dict[str, int] = {}
-            for site, states in self._states.items():
-                count = sum(state.fired for state in states)
-                if count:
-                    fired[site] = count
+            calls = {
+                site: counter.value
+                for site, counter in self._calls.items()
+                if counter.value
+            }
+            fired = {
+                site: counter.value
+                for site, counter in self._fired.items()
+                if counter.value
+            }
             return {"calls": calls, "fired": fired}
+
+    def metrics_samples(self) -> List[MetricSample]:
+        """Labeled per-site counters for ``/metrics`` exposition."""
+        return self._metrics.collect()
 
     def _triggered(self, site: str) -> Tuple[FaultSpec, ...]:
         """Decide (under the lock) which specs trigger on this call."""
         with self._state_lock:
-            ordinal = self._calls[site]
-            self._calls[site] = ordinal + 1
+            ordinal = self._calls[site].value
+            self._calls[site].inc()
             triggered = []
             for state in self._states.get(site, ()):
                 if state.remaining <= 0:
@@ -245,6 +269,7 @@ class FaultInjector:
                 if hit:
                     state.remaining -= 1
                     state.fired += 1
+                    self._fired[site].inc()
                     triggered.append(spec)
             return tuple(triggered)
 

@@ -1,0 +1,52 @@
+"""Unified observability layer: metrics, request tracing, profiling.
+
+``repro.obs`` is the shared telemetry substrate for the serving stack.
+It deliberately sits *below* ``repro.api`` / ``repro.serving`` in the
+import graph (it imports only the exception taxonomy), so every layer —
+caches, sharded engines, the async batcher, replica routing, fault
+injection, the load generator — can speak one metrics vocabulary without
+import cycles.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — a lock-safe :class:`MetricsRegistry` of
+  counters, gauges, and histograms (fixed log-spaced latency buckets,
+  exact nearest-rank quantiles), every name registered in the central
+  :data:`METRIC_TABLE`, rendered to Prometheus text exposition format by
+  :func:`render_prometheus`.
+* :mod:`repro.obs.trace` — request-scoped :class:`Trace` span
+  collection (flat thread-safe records assembled into a span tree) and
+  the :class:`SlowQueryLog` worst-K ring buffer.
+* :mod:`repro.obs.profile` — an opt-in sampling timer around the
+  vectorized kernels, with the same module-global ``is None`` fast-path
+  discipline as :mod:`repro.faults`.
+"""
+
+from .metrics import (
+    BUCKET_BOUNDS_MS,
+    METRIC_TABLE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .profile import KernelProfiler, active_profiler, profile_kernels
+from .trace import SlowQueryLog, Trace
+
+__all__ = [
+    "BUCKET_BOUNDS_MS",
+    "METRIC_TABLE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "render_prometheus",
+    "KernelProfiler",
+    "active_profiler",
+    "profile_kernels",
+    "SlowQueryLog",
+    "Trace",
+]

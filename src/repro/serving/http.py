@@ -20,8 +20,19 @@ Routes::
 
     GET  /healthz            liveness: 200 while accepting, 503 once stopped
     GET  /stats              service + engine/replica metrics as JSON
+                             (plus the slow-query log when enabled)
+    GET  /metrics            Prometheus text exposition of every registry
+                             reachable from the service (engine, cache,
+                             replicas, active fault injector)
     GET  /search?pattern=..&tau=..&top_k=..&offset=..&limit=..
     POST /search             same parameters as a JSON object body
+
+Tracing: every ``/search`` response echoes ``X-Repro-Trace-Id`` when the
+request was traced.  A trace is minted (or adopted from a caller-supplied
+``X-Repro-Trace-Id`` header) when the caller passes ``debug=trace``, when
+the app was built with ``trace_all=True``, or when a slow-query log is
+attached; only ``debug=trace`` adds the full span tree to the response
+payload as ``"trace"``.  Untraced requests pay a single ``is None`` test.
 
 Error contract — every error body is ``{"error": {"type", "message",
 "status"}}`` and the status comes from the first matching row of
@@ -61,7 +72,9 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass, field
+import re
+import time
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Type, Union
 from urllib.parse import parse_qs, urlsplit
 
@@ -78,7 +91,16 @@ from ..exceptions import (
     ServiceStoppedError,
     ValidationError,
 )
+from ..faults.injection import active_injector
+from ..obs.metrics import MetricSample, render_prometheus
+from ..obs.trace import SlowQueryLog, Trace
 from .service import AsyncSearchService
+
+#: Caller-supplied trace identifiers must be short and header-safe.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_.:-]{1,64}$")
+
+#: The trace-id request/response header.
+TRACE_HEADER = "x-repro-trace-id"
 
 #: The wire contract: first matching row wins, so subclasses must precede
 #: their bases (``PatternTooLongError`` before ``QueryError``,
@@ -122,11 +144,16 @@ def status_for_exception(error: BaseException) -> int:
 
 @dataclass(frozen=True)
 class HttpResponse:
-    """One JSON response: a status code plus a JSON-serializable payload."""
+    """One response: a status code plus a JSON payload or a plain-text body.
+
+    ``text`` set (the ``/metrics`` exposition) overrides ``payload`` and
+    switches the content type to Prometheus' text format.
+    """
 
     status: int
     payload: Mapping[str, Any]
     headers: Tuple[Tuple[str, str], ...] = field(default=())
+    text: Optional[str] = None
 
     @property
     def reason(self) -> str:
@@ -138,8 +165,17 @@ class HttpResponse:
         """Whether the status is a success (2xx)."""
         return 200 <= self.status < 300
 
+    @property
+    def content_type(self) -> str:
+        """The wire content type (JSON, or Prometheus text for ``text``)."""
+        if self.text is not None:
+            return "text/plain; version=0.0.4; charset=utf-8"
+        return "application/json"
+
     def body(self) -> bytes:
-        """The payload encoded as UTF-8 JSON."""
+        """The body bytes: ``text`` verbatim, else the payload as JSON."""
+        if self.text is not None:
+            return self.text.encode("utf-8")
         return json.dumps(self.payload, sort_keys=True).encode("utf-8")
 
     def encode(self) -> bytes:
@@ -147,7 +183,7 @@ class HttpResponse:
         body = self.body()
         lines = [
             f"HTTP/1.1 {self.status} {self.reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {self.content_type}",
             f"Content-Length: {len(body)}",
         ]
         lines.extend(f"{name}: {value}" for name, value in self.headers)
@@ -257,25 +293,59 @@ class SearchHttpApp:
     """Routes and JSON encoding over one :class:`AsyncSearchService`.
 
     The app is transport-independent: :meth:`dispatch` is a plain
-    coroutine from ``(method, target, body)`` to :class:`HttpResponse`,
-    equally callable from the socket server, the load generator, or a
-    test.  All search traffic funnels through ``service.submit``, so
-    micro-batching, deduplication and admission control apply to HTTP
-    callers exactly as they do to in-process ones.
+    coroutine from ``(method, target, body, headers)`` to
+    :class:`HttpResponse`, equally callable from the socket server, the
+    load generator, or a test.  All search traffic funnels through
+    ``service.submit``, so micro-batching, deduplication and admission
+    control apply to HTTP callers exactly as they do to in-process ones.
+
+    Parameters
+    ----------
+    service:
+        The coalescing service to front.
+    slow_log:
+        Optional :class:`~repro.obs.trace.SlowQueryLog`; attaching one
+        traces every ``/search`` request and retains the worst span
+        trees, dumped under ``"slow_queries"`` in ``/stats``.
+    trace_all:
+        Trace every request even without ``debug=trace`` (the span tree
+        still only appears in the payload when the caller asks).
     """
 
-    def __init__(self, service: AsyncSearchService) -> None:
+    def __init__(
+        self,
+        service: AsyncSearchService,
+        *,
+        slow_log: Optional[SlowQueryLog] = None,
+        trace_all: bool = False,
+    ) -> None:
         self._service = service
+        self._slow_log = slow_log
+        self._trace_all = bool(trace_all)
 
     @property
     def service(self) -> AsyncSearchService:
         """The coalescing service this app fronts."""
         return self._service
 
+    @property
+    def slow_log(self) -> Optional[SlowQueryLog]:
+        """The attached slow-query log, if any."""
+        return self._slow_log
+
     async def dispatch(
-        self, method: str, target: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> HttpResponse:
-        """Answer one request; never raises — errors become JSON responses."""
+        """Answer one request; never raises — errors become JSON responses.
+
+        ``headers`` maps lowercase header names to values; the only one
+        the app reads is ``x-repro-trace-id`` (caller-supplied trace
+        identifier, echoed back on the response).
+        """
         try:
             split = urlsplit(target)
             path = split.path or "/"
@@ -287,15 +357,19 @@ class SearchHttpApp:
                 if method != "GET":
                     return self._method_not_allowed("GET")
                 return self._stats()
+            if path == "/metrics":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return self._metrics()
             if path == "/search":
                 if method == "GET":
                     params = {
                         name: _single(parse_qs(split.query), name)
                         for name in parse_qs(split.query)
                     }
-                    return await self._search(params)
+                    return await self._search(params, headers)
                 if method == "POST":
-                    return await self._search(self._decode_body(body))
+                    return await self._search(self._decode_body(body), headers)
                 return self._method_not_allowed("GET, POST")
             return HttpResponse(
                 404,
@@ -351,15 +425,70 @@ class SearchHttpApp:
         engine_stats = getattr(service.engine, "stats", None)
         if callable(engine_stats):
             payload["engine"] = engine_stats()
+        if self._slow_log is not None:
+            payload["slow_queries"] = self._slow_log.dump()
         return HttpResponse(200, payload)
 
-    async def _search(self, params: Mapping[str, Any]) -> HttpResponse:
-        parsed = _parse_search(
-            {name: value for name, value in params.items() if value is not None}
+    def _metrics(self) -> HttpResponse:
+        """Prometheus text exposition of every reachable registry."""
+        samples: List[MetricSample] = list(self._service.metrics_samples())
+        injector = active_injector()
+        if injector is not None:
+            samples.extend(injector.metrics_samples())
+        return HttpResponse(200, {}, text=render_prometheus(samples))
+
+    def _trace_for(
+        self, params: Dict[str, Any], headers: Optional[Mapping[str, str]]
+    ) -> Tuple[Optional[Trace], bool]:
+        """The request's trace (or ``None``) and whether to echo the tree.
+
+        ``debug=trace`` is stripped from ``params`` here so the search
+        parameter validation stays strict.  A caller-supplied
+        ``x-repro-trace-id`` header both enables tracing and names the
+        trace; malformed identifiers are a 400, not silently replaced.
+        """
+        debug = params.pop("debug", None)
+        if debug is not None and debug != "trace":
+            raise ValidationError(
+                f"parameter 'debug' only supports 'trace', got {debug!r}"
+            )
+        supplied = (headers or {}).get(TRACE_HEADER)
+        if supplied is not None and not _TRACE_ID_RE.match(supplied):
+            raise ValidationError(
+                "header X-Repro-Trace-Id must match "
+                f"{_TRACE_ID_RE.pattern} (got {supplied!r})"
+            )
+        traced = (
+            debug == "trace"
+            or supplied is not None
+            or self._trace_all
+            or self._slow_log is not None
         )
-        result = await self._service.submit(parsed.request)
+        if not traced:
+            return None, False
+        return Trace(supplied), debug == "trace"
+
+    async def _search(
+        self, params: Mapping[str, Any], headers: Optional[Mapping[str, str]]
+    ) -> HttpResponse:
+        started = time.perf_counter()
+        cleaned = {
+            name: value for name, value in params.items() if value is not None
+        }
+        trace, echo_trace = self._trace_for(cleaned, headers)
+        if trace is None:
+            parsed = _parse_search(cleaned)
+            request = parsed.request
+            result = await self._service.submit(request)
+        else:
+            with trace.span("validate", parent="request"):
+                parsed = _parse_search(cleaned)
+            request = replace(parsed.request, trace=trace)
+            with trace.span("service", parent="request") as meta:
+                result = await self._service.submit(request)
+                meta["count"] = result.count
+        serialize_started = time.perf_counter()
         page = result.page(parsed.offset, parsed.limit)
-        request = parsed.request
         payload: Dict[str, Any] = {
             "pattern": request.pattern,
             "tau": request.tau,
@@ -374,7 +503,23 @@ class SearchHttpApp:
             # degraded answers so complete responses are byte-stable.
             payload["partial"] = True
             payload["failed_shards"] = list(result.failed_shards)
-        return HttpResponse(200, payload)
+        if trace is None:
+            return HttpResponse(200, payload)
+        trace.add(
+            "serialize",
+            (time.perf_counter() - serialize_started) * 1000.0,
+            parent="request",
+            matches=len(payload["matches"]),
+        )
+        total_ms = (time.perf_counter() - started) * 1000.0
+        tree = trace.to_dict(total_ms=total_ms)
+        if self._slow_log is not None:
+            self._slow_log.record(total_ms, tree)
+        if echo_trace:
+            payload["trace"] = tree
+        return HttpResponse(
+            200, payload, headers=(("X-Repro-Trace-Id", trace.trace_id),)
+        )
 
 
 class SearchHttpServer:
@@ -476,7 +621,7 @@ class SearchHttpServer:
                 if parsed is None:
                     return
                 method, target, headers, body = parsed
-                response = await self._app.dispatch(method, target, body)
+                response = await self._app.dispatch(method, target, body, headers)
                 writer.write(response.encode())
                 await writer.drain()
                 if headers.get("connection", "").lower() == "close":

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ValidationError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import SlowQueryLog
 from .http import HttpResponse
 
 #: The transport signature the generator drives: exactly the shape of
@@ -79,6 +81,10 @@ class LoadProfile:
         Optional end-to-end deadline sent with every request; budget
         exhaustion comes back as a 504 (counted, like every status — a
         timeout is a *result* of a load test, not a failure of one).
+    debug_trace:
+        Send ``debug=trace`` with every request so responses carry their
+        span trees — what the ``--slow-log`` report feeds on.  Adds
+        tracing overhead to every request; leave off for capacity runs.
     """
 
     patterns: Tuple[str, ...]
@@ -91,6 +97,7 @@ class LoadProfile:
     seed: int = 0
     page_limit: Optional[int] = None
     timeout_ms: Optional[float] = None
+    debug_trace: bool = False
 
     def __post_init__(self) -> None:
         if not self.patterns:
@@ -137,6 +144,8 @@ class LoadProfile:
                 body["limit"] = self.page_limit
             if self.timeout_ms is not None:
                 body["timeout_ms"] = self.timeout_ms
+            if self.debug_trace:
+                body["debug"] = "trace"
             if self.arrival == "poisson":
                 assert self.rate is not None  # validated in __post_init__
                 clock += rng.expovariate(self.rate)
@@ -144,12 +153,6 @@ class LoadProfile:
                 ("/search", json.dumps(body, sort_keys=True).encode("utf-8"), clock)
             )
         return rows
-
-
-def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
-    """Nearest-rank percentile of an already-sorted, non-empty sequence."""
-    rank = max(0, min(len(sorted_values) - 1, int(quantile * len(sorted_values))))
-    return sorted_values[rank]
 
 
 @dataclass(frozen=True)
@@ -211,7 +214,12 @@ def _reduce(
     by_error: Dict[str, int] = {}
     for name in errors or []:
         by_error[name] = by_error.get(name, 0) + 1
-    ordered = sorted(latencies)
+    # The shared repro.obs histogram is the repo's one quantile
+    # implementation (nearest rank over retained samples); unbounded
+    # retention keeps the run-wide percentiles exact.
+    histogram = MetricsRegistry().histogram("loadgen_latency_ms", sample_limit=None)
+    for value in latencies:
+        histogram.observe(1000.0 * value)
     latency_ms: Dict[str, float] = {
         "p50": 0.0,
         "p95": 0.0,
@@ -219,13 +227,14 @@ def _reduce(
         "mean": 0.0,
         "max": 0.0,
     }
-    if ordered:
+    if histogram.count:
+        quantiles = histogram.quantiles((0.50, 0.95, 0.99))
         latency_ms = {
-            "p50": 1000.0 * _percentile(ordered, 0.50),
-            "p95": 1000.0 * _percentile(ordered, 0.95),
-            "p99": 1000.0 * _percentile(ordered, 0.99),
-            "mean": 1000.0 * (sum(ordered) / len(ordered)),
-            "max": 1000.0 * ordered[-1],
+            "p50": quantiles[0.50],
+            "p95": quantiles[0.95],
+            "p99": quantiles[0.99],
+            "mean": histogram.mean,
+            "max": histogram.max,
         }
     return LoadReport(
         requests=len(statuses),
@@ -237,13 +246,22 @@ def _reduce(
     )
 
 
-async def run_load(dispatch: Dispatch, profile: LoadProfile) -> LoadReport:
+async def run_load(
+    dispatch: Dispatch,
+    profile: LoadProfile,
+    *,
+    slow_log: Optional[SlowQueryLog] = None,
+) -> LoadReport:
     """Drive ``dispatch`` with ``profile``'s request stream; measure it.
 
     Every request is a ``POST /search`` (JSON body), so the same plan
     works over the in-process app and the socket transport.  Statuses are
     counted, never raised — a 429 storm is a *result* of a load test, not
     a failure of one.
+
+    With ``slow_log`` given (and the profile sending ``debug_trace``),
+    every response's span tree is recorded against the client-measured
+    latency, so the worst-K keep their server-side breakdowns.
     """
     plan = profile.plan()
     statuses: List[int] = []
@@ -253,10 +271,15 @@ async def run_load(dispatch: Dispatch, profile: LoadProfile) -> LoadReport:
     async def issue(target: str, body: bytes) -> None:
         begun = time.perf_counter()
         response = await dispatch("POST", target, body)
-        latencies.append(time.perf_counter() - begun)
+        elapsed = time.perf_counter() - begun
+        latencies.append(elapsed)
         statuses.append(response.status)
         if not response.ok:
             errors.append(_error_type(response))
+        elif slow_log is not None and isinstance(response.payload, dict):
+            tree = response.payload.get("trace")
+            if isinstance(tree, dict):
+                slow_log.record(1000.0 * elapsed, tree)
 
     started = time.perf_counter()
     if profile.arrival == "closed":
@@ -336,6 +359,27 @@ def socket_dispatch(host: str, port: int) -> Dispatch:
     return dispatch
 
 
+def format_trace_summary(row: Dict[str, Any]) -> str:
+    """One line per slow query: total latency plus every stage timing.
+
+    ``row`` is one :meth:`~repro.obs.trace.SlowQueryLog.dump` entry; the
+    stages print in tree (pre-)order so the line reads like the span tree
+    flattened: ``request=.. validate=.. service=.. window_wait=.. ...``.
+    """
+    tree = row.get("trace") or {}
+    stages: List[str] = []
+
+    def walk(node: Dict[str, Any]) -> None:
+        stages.append(f"{node['name']}={node['duration_ms']:.2f}ms")
+        for child in node.get("children", []):
+            walk(child)
+
+    for span in tree.get("spans", []):
+        walk(span)
+    trace_id = tree.get("trace_id", "?")
+    return f"{row['total_ms']:.2f}ms trace={trace_id} " + " ".join(stages)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: load-test a running server, print the JSON report."""
     parser = argparse.ArgumentParser(
@@ -363,6 +407,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="per-request end-to-end deadline (budget exhaustion counts a 504)",
     )
+    parser.add_argument(
+        "--slow-log",
+        type=int,
+        default=None,
+        metavar="K",
+        help="trace every request (debug=trace) and print the K worst "
+        "span trees after the report",
+    )
     options = parser.parse_args(argv)
     profile = LoadProfile(
         patterns=tuple(options.pattern),
@@ -375,9 +427,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=options.seed,
         page_limit=options.limit,
         timeout_ms=options.timeout_ms,
+        debug_trace=options.slow_log is not None,
     )
-    report = asyncio.run(run_load(socket_dispatch(options.host, options.port), profile))
+    slow_log = None if options.slow_log is None else SlowQueryLog(options.slow_log)
+    report = asyncio.run(
+        run_load(
+            socket_dispatch(options.host, options.port), profile, slow_log=slow_log
+        )
+    )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    if slow_log is not None:
+        print(f"slowest {len(slow_log)} request(s):")
+        for row in slow_log.dump():
+            print("  " + format_trace_summary(row))
     return 0
 
 

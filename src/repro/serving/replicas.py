@@ -50,6 +50,7 @@ HTTP tier — without any of them knowing replicas exist.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -64,6 +65,7 @@ from ..exceptions import (
     ValidationError,
 )
 from ..faults import SITE_REPLICA_CALL, fire
+from ..obs.metrics import MetricSample, MetricsRegistry
 
 #: Exceptions that blame the *request*, not the replica: they propagate to
 #: the caller without costing the replica health or triggering failover.
@@ -144,7 +146,9 @@ class ReplicaSet:
             )
         if probe_after < 1:
             raise ValidationError(f"probe_after must be >= 1, got {probe_after}")
-        self._lock = threading.Lock()
+        # Re-entrant so registry counter increments nest cleanly inside
+        # routing-critical sections already holding the lock.
+        self._lock = threading.RLock()
         self._replicas: List[_Replica] = [  # guarded-by: _lock
             _Replica(engine, ordinal) for ordinal, engine in enumerate(engines)
         ]
@@ -156,10 +160,11 @@ class ReplicaSet:
         self._drained = threading.Condition(self._lock)
         self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
-        self._hedges = 0  # guarded-by: _lock
-        self._hedge_wins = 0  # guarded-by: _lock
-        self._failovers = 0  # guarded-by: _lock
-        self._swaps = 0  # guarded-by: _lock
+        self._metrics = MetricsRegistry(lock=self._lock)
+        self._hedges = self._metrics.counter("replica_hedges_total")
+        self._hedge_wins = self._metrics.counter("replica_hedge_wins_total")
+        self._failovers = self._metrics.counter("replica_failovers_total")
+        self._swaps = self._metrics.counter("replica_swaps_total")
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -256,10 +261,10 @@ class ReplicaSet:
                 "replicas": per_replica,
                 "replica_count": len(self._replicas),
                 "healthy_count": sum(1 for r in self._replicas if r.healthy),
-                "hedges": self._hedges,
-                "hedge_wins": self._hedge_wins,
-                "failovers": self._failovers,
-                "swaps": self._swaps,
+                "hedges": self._hedges.value,
+                "hedge_wins": self._hedge_wins.value,
+                "failovers": self._failovers.value,
+                "swaps": self._swaps.value,
                 "config": {
                     "hedge_after_ms": (
                         None if self._hedge_after is None else self._hedge_after * 1000.0
@@ -268,6 +273,33 @@ class ReplicaSet:
                     "probe_after": self._probe_after,
                 },
             }
+
+    def metrics_samples(self) -> List[MetricSample]:
+        """Set-wide counters plus every replica engine's metrics.
+
+        Engine samples are tagged ``replica="<ordinal>"`` so the merged
+        ``/metrics`` exposition keeps the per-copy series apart (the same
+        metric name appears once per replica, one label per series).
+        """
+        samples = self._metrics.collect()
+        with self._lock:
+            engines = [
+                (replica.ordinal, replica.engine) for replica in self._replicas
+            ]
+        for ordinal, engine in engines:
+            collect = getattr(engine, "metrics_samples", None)
+            if callable(collect):
+                engine_samples = collect()
+            else:
+                cache = getattr(engine, "cache", None)
+                metrics = getattr(cache, "metrics", None)
+                engine_samples = metrics.collect() if metrics is not None else []
+            label = (("replica", str(ordinal)),)
+            samples.extend(
+                dataclasses.replace(sample, labels=label + sample.labels)
+                for sample in engine_samples
+            )
+        return samples
 
     # -- routing ------------------------------------------------------------------
     def _pick_locked(self, exclude: Sequence[_Replica]) -> _Replica:
@@ -402,8 +434,7 @@ class ReplicaSet:
             except NoHealthyReplicaError:
                 raise
             except BaseException as failure:  # noqa: BLE001 — failover boundary
-                with self._lock:
-                    self._failovers += 1
+                self._failovers.inc()
                 if len(attempts) >= total:
                     raise failure  # every replica tried; surface the last fault
 
@@ -438,8 +469,7 @@ class ReplicaSet:
                 error = future.exception()
                 if error is None:
                     if hedged and futures.index(future) > 0:
-                        with self._lock:
-                            self._hedge_wins += 1
+                        self._hedge_wins.inc()
                     return future.result()
                 if isinstance(error, REQUEST_ERRORS):
                     future.result()  # re-raises the caller's own error
@@ -455,8 +485,7 @@ class ReplicaSet:
                     hedged = True  # nobody to hedge to; keep waiting
                     continue
                 attempts.append(hedge)
-                with self._lock:
-                    self._hedges += 1
+                self._hedges.inc()
                 futures.append(executor.submit(self._evaluate_on, hedge, requests))
                 hedged = True
 
@@ -501,7 +530,7 @@ class ReplicaSet:
                     raise ValidationError("ReplicaSet is closed")
                 old = self._replicas[slot]
                 self._replicas[slot] = _Replica(fresh.engine if isinstance(fresh, _Replica) else fresh, slot)
-                self._swaps += 1
+                self._swaps.inc()
             self._drain(old, drain_timeout)
             if close_old:
                 closer = getattr(old.engine, "close", None)

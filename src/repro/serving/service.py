@@ -33,10 +33,14 @@ The service is deliberately small and explicit:
   works: a plain :class:`~repro.api.engine.Engine`, a
   :class:`~repro.api.sharding.ShardedEngine` with thread or process
   fan-out, over heap-loaded or memory-mapped arrays.
-* **Observability** — :meth:`stats` reports submissions, rejections,
-  batches, deduplication savings, queue depth (current and high-water),
-  and per-request latency aggregates; a serving layer nobody can measure
-  cannot be sized.
+* **Observability** — every counter lives in a
+  :class:`~repro.obs.metrics.MetricsRegistry` sharing one re-entrant
+  lock, so :meth:`stats` (the legacy dict view) and :meth:`metrics_samples`
+  (the ``/metrics`` exposition feed) each take one consistent snapshot —
+  no torn reads between ``completed`` and the latency histogram.  Traced
+  requests (``SearchRequest.trace``) additionally receive ``window_wait``
+  and ``evaluate`` spans, and dedupe twins adopt the primary evaluation's
+  engine spans tagged ``dedupe_shared``.
 * **Engine swap** — :meth:`replace_engine` atomically points new windows
   at a different engine (e.g. a freshly reloaded index).  In-flight
   windows finish against the engine they started with; result-cache
@@ -55,6 +59,7 @@ The service must be used from a running event loop.  Typical shape::
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from collections import deque
 from dataclasses import replace
@@ -68,6 +73,7 @@ from ..exceptions import (
     ValidationError,
 )
 from ..faults import SITE_BATCH_FLUSH, fire
+from ..obs.metrics import MetricSample, MetricsRegistry
 
 #: Dedupe key inside one window: requests equal on these fields share one
 #: evaluation and one :class:`SearchResult`.
@@ -146,25 +152,37 @@ class AsyncSearchService:
         self._runner: Optional["asyncio.Task[None]"] = None
         self._closed = False
 
-        # Counters (event-loop-thread only, so no lock needed; the
-        # ``guarded-by: event-loop`` annotation means "mutated only by
-        # methods of this class, on the loop thread" — enforced by the
-        # lock-discipline rule of ``repro.tools.check``).
-        self._submitted = 0  # guarded-by: event-loop
-        self._in_flight = 0  # guarded-by: event-loop
-        self._completed = 0  # guarded-by: event-loop
-        self._failed = 0  # guarded-by: event-loop
-        self._cancelled = 0  # guarded-by: event-loop
-        self._rejected = 0  # guarded-by: event-loop
-        self._deduplicated = 0  # guarded-by: event-loop
-        self._batches = 0  # guarded-by: event-loop
-        self._batched_requests = 0  # guarded-by: event-loop
-        self._max_batch_seen = 0  # guarded-by: event-loop
-        self._max_queue_depth = 0  # guarded-by: event-loop
-        self._latency_sum = 0.0  # guarded-by: event-loop
-        self._latency_max = 0.0  # guarded-by: event-loop
-        self._deadline_exceeded = 0  # guarded-by: event-loop
-        self._partial_answers = 0  # guarded-by: event-loop
+        # All counters live in one registry sharing one re-entrant lock:
+        # updates happen on the event-loop thread, but `stats()` and
+        # `/metrics` scrapes arrive from executor/server threads, and the
+        # shared lock makes each snapshot consistent across every metric.
+        self._metrics_lock = threading.RLock()
+        self._metrics = MetricsRegistry(lock=self._metrics_lock)
+        self._submitted = self._metrics.counter("service_submitted_total")
+        self._completed = self._metrics.counter("service_completed_total")
+        self._failed = self._metrics.counter("service_failed_total")
+        self._cancelled = self._metrics.counter("service_cancelled_total")
+        self._rejected = self._metrics.counter("service_rejected_total")
+        self._deduplicated = self._metrics.counter("service_deduplicated_total")
+        self._batches = self._metrics.counter("service_batches_total")
+        self._batched_requests = self._metrics.counter(
+            "service_batched_requests_total"
+        )
+        self._deadline_exceeded = self._metrics.counter(
+            "service_deadline_exceeded_total"
+        )
+        self._partial_answers = self._metrics.counter(
+            "service_partial_answers_total"
+        )
+        self._in_flight = self._metrics.gauge("service_in_flight_count")
+        self._metrics.gauge(
+            "service_queue_depth_count", fn=lambda: float(len(self._pending))
+        )
+        self._max_batch_seen = self._metrics.gauge("service_max_batch_count")
+        self._max_queue_depth = self._metrics.gauge(
+            "service_max_queue_depth_count"
+        )
+        self._latency = self._metrics.histogram("service_latency_ms")
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -261,8 +279,8 @@ class AsyncSearchService:
         # popped into a window still hold service capacity until their
         # futures resolve, so gating on the queue alone would admit up to
         # max_pending + max_batch requests during a burst.
-        if len(self._pending) + self._in_flight >= self._max_pending:
-            self._rejected += 1
+        if len(self._pending) + int(self._in_flight.value) >= self._max_pending:
+            self._rejected.inc()
             raise ServiceOverloadedError(
                 f"request queue is full ({self._max_pending} pending); "
                 "back off and retry"
@@ -278,9 +296,9 @@ class AsyncSearchService:
         deadline = None if budget_s is None else time.monotonic() + budget_s
         pending = _Pending(normalized, loop.create_future(), time.perf_counter(), deadline)
         self._pending.append(pending)
-        self._submitted += 1
-        if len(self._pending) > self._max_queue_depth:
-            self._max_queue_depth = len(self._pending)
+        with self._metrics.hold():
+            self._submitted.inc()
+            self._max_queue_depth.set_max(float(len(self._pending)))
         wake.set()
         if budget_s is None:
             return await pending.future
@@ -296,7 +314,7 @@ class AsyncSearchService:
             # TimeoutError, which asyncio.TimeoutError aliases on 3.11+.
             raise
         except asyncio.TimeoutError:
-            self._deadline_exceeded += 1
+            self._deadline_exceeded.inc()
             raise DeadlineExceededError(
                 f"request {normalized.pattern!r} exceeded its "
                 f"timeout_ms={normalized.timeout_ms} budget in the serving tier"
@@ -337,11 +355,11 @@ class AsyncSearchService:
 
     async def _dispatch(self, window: List[_Pending], loop: asyncio.AbstractEventLoop) -> None:
         """Evaluate one window: dedupe, one ``search_many``, fan back out."""
-        self._in_flight += len(window)
+        self._in_flight.inc(float(len(window)))
         try:
             await self._dispatch_window(window, loop)
         finally:
-            self._in_flight -= len(window)
+            self._in_flight.dec(float(len(window)))
 
     def _rebudget(
         self, request: SearchRequest, bucket: List[_Pending], now: float
@@ -371,12 +389,13 @@ class AsyncSearchService:
         # Pre-dispatch sweep: a request whose budget ran out while queued
         # gets its DeadlineExceededError now instead of costing engine work
         # (its submitter's watchdog may already have cancelled the future).
+        dispatch_started = time.perf_counter()
         now = time.monotonic()
         live: List[_Pending] = []
         for pending in window:
             if pending.deadline is not None and now >= pending.deadline:
                 if not pending.future.done():
-                    self._deadline_exceeded += 1
+                    self._deadline_exceeded.inc()
                     pending.future.set_exception(
                         DeadlineExceededError(
                             f"request {pending.request.pattern!r} exceeded its "
@@ -385,7 +404,7 @@ class AsyncSearchService:
                         )
                     )
                 else:
-                    self._cancelled += 1
+                    self._cancelled.inc()
                 continue
             live.append(pending)
         window = live
@@ -402,7 +421,7 @@ class AsyncSearchService:
                 unique.append(request)
             else:
                 bucket.append(pending)
-                self._deduplicated += 1
+                self._deduplicated.inc()
         # Rewrite each dispatched request's budget to what actually remains
         # of its bucket's deadlines — the engine sees the time left, not the
         # original (partly spent) figure.
@@ -411,10 +430,11 @@ class AsyncSearchService:
             for request in unique
         ]
         engine = self._engine
-        self._batches += 1
-        self._batched_requests += len(window)
-        if len(window) > self._max_batch_seen:
-            self._max_batch_seen = len(window)
+        with self._metrics.hold():
+            self._batches.inc()
+            self._batched_requests.inc(len(window))
+            self._max_batch_seen.set_max(float(len(window)))
+            window_ordinal = self._batches.value
 
         def evaluate() -> List[Tuple[Optional[SearchResult], Optional[BaseException]]]:
             # Materialize off the event loop, per result: one request whose
@@ -429,6 +449,7 @@ class AsyncSearchService:
                     outcomes.append((None, error))
             return outcomes
 
+        eval_started = time.perf_counter()
         try:
             # The batch-flush fault site fires inside the containment: an
             # injected error fails this window's futures (like any batch
@@ -441,12 +462,42 @@ class AsyncSearchService:
             for pendings in holders.values():
                 for pending in pendings:
                     if pending.future.done():  # caller cancelled mid-window
-                        self._cancelled += 1
+                        self._cancelled.inc()
                         continue
                     pending.future.set_exception(error)
-                    self._failed += 1
+                    self._failed.inc()
             return
         finished = time.perf_counter()
+        # Per-request spans: every traced submitter gets its window wait
+        # (enqueue → dispatch) and the shared evaluation duration; dedupe
+        # twins additionally adopt the primary's engine spans (the engine
+        # only ever saw the primary's trace) tagged ``dedupe_shared``.
+        if any(pending.request.trace is not None for pending in window):
+            eval_ms = (finished - eval_started) * 1000.0
+            for request in unique:
+                bucket = holders[(request.pattern, request.tau, request.top_k)]
+                primary = request.trace
+                shared = primary.extract("evaluate") if primary is not None else []
+                for pending in bucket:
+                    trace = pending.request.trace
+                    if trace is None:
+                        continue
+                    trace.add(
+                        "window_wait",
+                        (dispatch_started - pending.enqueued_at) * 1000.0,
+                        parent="service",
+                        window=window_ordinal,
+                    )
+                    trace.add(
+                        "evaluate",
+                        eval_ms,
+                        parent="service",
+                        window=window_ordinal,
+                        bucket_size=len(bucket),
+                        deduplicated=trace is not primary,
+                    )
+                    if trace is not primary:
+                        trace.adopt(shared, dedupe_shared=True)
         # Post-evaluation sweep mirror of the pre-dispatch one: a budget
         # that ran out *during* the window (e.g. an injected stall blocked
         # the loop) must expire the request even though an answer exists —
@@ -458,10 +509,10 @@ class AsyncSearchService:
             key = (request.pattern, request.tau, request.top_k)
             for pending in holders[key]:
                 if pending.future.done():  # caller cancelled mid-window
-                    self._cancelled += 1
+                    self._cancelled.inc()
                     continue
                 if pending.deadline is not None and expired_at >= pending.deadline:
-                    self._deadline_exceeded += 1
+                    self._deadline_exceeded.inc()
                     pending.future.set_exception(
                         DeadlineExceededError(
                             f"request {pending.request.pattern!r} exceeded its "
@@ -472,50 +523,70 @@ class AsyncSearchService:
                     continue
                 if error is not None:
                     if isinstance(error, DeadlineExceededError):
-                        self._deadline_exceeded += 1
+                        self._deadline_exceeded.inc()
                     else:
-                        self._failed += 1
+                        self._failed.inc()
                     pending.future.set_exception(error)
                     continue
                 latency = finished - pending.enqueued_at
-                self._latency_sum += latency
-                if latency > self._latency_max:
-                    self._latency_max = latency
-                self._completed += 1
-                if result is not None and result.partial:
-                    self._partial_answers += 1
+                with self._metrics.hold():
+                    # One hold: the completed count and the latency
+                    # histogram's count can never disagree in a snapshot.
+                    self._latency.observe(latency * 1000.0)
+                    self._completed.inc()
+                    if result is not None and result.partial:
+                        self._partial_answers.inc()
                 pending.future.set_result(result)
 
     # -- observability ------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving metrics: traffic, coalescing, queue depth, latency."""
-        completed = self._completed
-        return {
-            "submitted": self._submitted,
-            "completed": completed,
-            "failed": self._failed,
-            "cancelled": self._cancelled,
-            "rejected": self._rejected,
-            "deadline_exceeded": self._deadline_exceeded,
-            "partial_answers": self._partial_answers,
-            "in_flight": self._in_flight,
-            "deduplicated": self._deduplicated,
-            "batches": self._batches,
-            "max_batch_size": self._max_batch_seen,
-            "mean_batch_size": (
-                self._batched_requests / self._batches if self._batches else 0.0
-            ),
-            "queue_depth": len(self._pending),
-            "max_queue_depth": self._max_queue_depth,
-            "latency": {
-                "mean_ms": (
-                    1000.0 * self._latency_sum / completed if completed else 0.0
+        """Serving metrics: traffic, coalescing, queue depth, latency.
+
+        The whole dict is one snapshot under the registry lock, so the
+        figures are mutually consistent — ``completed`` always equals the
+        latency histogram's observation count, even mid-storm.
+        """
+        with self._metrics.hold():
+            completed = self._completed.value
+            batches = self._batches.value
+            return {
+                "submitted": self._submitted.value,
+                "completed": completed,
+                "failed": self._failed.value,
+                "cancelled": self._cancelled.value,
+                "rejected": self._rejected.value,
+                "deadline_exceeded": self._deadline_exceeded.value,
+                "partial_answers": self._partial_answers.value,
+                "in_flight": int(self._in_flight.value),
+                "deduplicated": self._deduplicated.value,
+                "batches": batches,
+                "max_batch_size": int(self._max_batch_seen.value),
+                "mean_batch_size": (
+                    self._batched_requests.value / batches if batches else 0.0
                 ),
-                "max_ms": 1000.0 * self._latency_max,
-            },
-            "config": {
-                "max_wait_ms": self._max_wait * 1000.0,
-                "max_batch": self._max_batch,
-                "max_pending": self._max_pending,
-            },
-        }
+                "queue_depth": len(self._pending),
+                "max_queue_depth": int(self._max_queue_depth.value),
+                "latency": {
+                    "mean_ms": self._latency.mean,
+                    "max_ms": self._latency.max,
+                },
+                "config": {
+                    "max_wait_ms": self._max_wait * 1000.0,
+                    "max_batch": self._max_batch,
+                    "max_pending": self._max_pending,
+                },
+            }
+
+    def metrics_samples(self) -> List[MetricSample]:
+        """Own metrics plus the engine's, for ``/metrics`` exposition."""
+        samples = self._metrics.collect()
+        engine = self._engine
+        collect = getattr(engine, "metrics_samples", None)
+        if callable(collect):
+            samples.extend(collect())
+        else:
+            cache = getattr(engine, "cache", None)
+            metrics = getattr(cache, "metrics", None)
+            if metrics is not None:
+                samples.extend(metrics.collect())
+        return samples

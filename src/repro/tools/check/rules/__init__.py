@@ -14,6 +14,7 @@ from .. import Rule
 from .exception_taxonomy import ExceptionTaxonomyRule
 from .hot_path import HotPathPurityRule
 from .lock_discipline import LockDisciplineRule
+from .metrics_discipline import MetricsDisciplineRule
 from .payload_schema import PayloadSchemaRule
 from .worker_boundary import WorkerBoundaryRule
 
@@ -23,6 +24,7 @@ ALL_RULES: List[Rule] = [
     ExceptionTaxonomyRule(),
     HotPathPurityRule(),
     LockDisciplineRule(),
+    MetricsDisciplineRule(),
 ]
 
 

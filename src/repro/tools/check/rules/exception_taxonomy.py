@@ -7,9 +7,9 @@ everything the library raises deliberately derives from
 ``raise RuntimeError(...)`` deep in a worker quietly breaks that
 contract.
 
-Scope: every module living under a directory named ``api``, ``serving``
-or ``faults`` relative to the scan root.  Inside those modules, each
-``raise`` must use either
+Scope: every module living under a directory named ``api``, ``serving``,
+``faults`` or ``obs`` relative to the scan root.  Inside those modules,
+each ``raise`` must use either
 
 * a class imported from the exceptions module (``from ..exceptions
   import ...`` / ``from repro.exceptions import ...``),
@@ -26,7 +26,7 @@ from typing import Iterator, Set
 from .. import Finding, Rule
 from ..project import ModuleInfo, Project, call_name
 
-SCOPED_DIRS = {"api", "serving", "faults"}
+SCOPED_DIRS = {"api", "serving", "faults", "obs"}
 ALLOWED_BUILTINS = {"ValueError", "TypeError", "NotImplementedError"}
 
 

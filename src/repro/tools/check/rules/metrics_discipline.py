@@ -1,0 +1,129 @@
+"""metrics-discipline: metric names form a closed, well-formed vocabulary.
+
+Every ``Counter`` / ``Gauge`` / ``Histogram`` a :class:`MetricsRegistry`
+creates is keyed by name, and the ``/metrics`` exposition merges series
+from many registries by that name — so an unregistered or misspelled
+name silently forks a metric, and a name without the conventional suffix
+misleads every dashboard built on it.  This rule checks, across the
+whole scan root:
+
+* every ``.counter("...")`` / ``.gauge("...")`` / ``.histogram("...")``
+  call whose name resolves statically names an entry of
+  ``repro.obs.metrics.METRIC_TABLE`` (the one central name table);
+* metric names are ``snake_case``;
+* counter names end in ``_total`` and gauge/histogram names end in a
+  unit suffix (``_ms``, ``_bytes``, ``_ratio``, ``_count``) — the
+  Prometheus naming conventions the exposition relies on;
+* every registered name is actually created somewhere, so the table
+  cannot rot.
+
+The runtime enforces the same contract per call
+(:func:`repro.obs.metrics.check_metric_name`); this rule catches the
+violations before anything runs, including names only reachable on
+error paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from .. import Finding, Rule
+from ..project import ModuleInfo, Project
+from .payload_schema import _find_dict_of_strings
+
+#: Registry factory methods, mapped to the metric kind they create.
+_FACTORIES: Dict[str, str] = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+}
+
+_SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Unit suffixes allowed on gauges and histograms (counters take
+#: ``_total``).  Mirrors ``repro.obs.metrics.UNIT_SUFFIXES``.
+UNIT_SUFFIXES: Tuple[str, ...] = ("_ms", "_bytes", "_ratio", "_count")
+
+
+def _metric_name(module: ModuleInfo, node: ast.Call) -> str | None:
+    """The statically-resolvable metric name of a factory call, if any."""
+    if node.args:
+        return module.resolve_string(node.args[0])
+    for keyword in node.keywords:
+        if keyword.arg == "name":
+            return module.resolve_string(keyword.value)
+    return None
+
+
+class MetricsDisciplineRule(Rule):
+    name = "metrics-discipline"
+    description = (
+        "metric names are registered in METRIC_TABLE, snake_case, and unit-suffixed"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        located = _find_dict_of_strings(project, "METRIC_TABLE", values=False)
+        if located is None:
+            yield Finding(
+                path=".",
+                line=1,
+                rule=self.name,
+                message="no module defines METRIC_TABLE (central metric-name table)",
+            )
+            return
+        table_module, table_node, table = located
+
+        created: List[str] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr in _FACTORIES
+                ):
+                    continue
+                kind = _FACTORIES[func.attr]
+                metric = _metric_name(module, node)
+                if metric is None:
+                    continue
+                created.append(metric)
+                if metric not in table:
+                    yield self.finding(
+                        module.relpath,
+                        node.lineno,
+                        f"metric {metric!r} is created but not registered in METRIC_TABLE",
+                    )
+                    continue
+                if not _SNAKE_CASE.match(metric):
+                    yield self.finding(
+                        module.relpath,
+                        node.lineno,
+                        f"metric {metric!r} is not snake_case",
+                    )
+                if kind == "counter":
+                    if not metric.endswith("_total"):
+                        yield self.finding(
+                            module.relpath,
+                            node.lineno,
+                            f"counter {metric!r} must end in '_total'",
+                        )
+                elif not metric.endswith(UNIT_SUFFIXES):
+                    yield self.finding(
+                        module.relpath,
+                        node.lineno,
+                        f"{kind} {metric!r} must end in a unit suffix "
+                        f"{UNIT_SUFFIXES}",
+                    )
+
+        # Registered names must be alive: created by some call site.
+        alive = set(created)
+        for metric in sorted(table):
+            if metric not in alive:
+                yield self.finding(
+                    table_module.relpath,
+                    table_node.lineno,
+                    f"registered metric {metric!r} is never created",
+                )

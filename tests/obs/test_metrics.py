@@ -1,0 +1,248 @@
+"""Metrics registry: naming discipline, quantiles, exposition, lock safety."""
+
+import math
+import random
+import re
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    BUCKET_BOUNDS_MS,
+    METRIC_TABLE,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.metrics import check_metric_name
+
+
+def legacy_percentile(values, q):
+    """The load generator's historical nearest-rank formula (pre-obs)."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class TestNamingDiscipline:
+    def test_unregistered_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError, match="not registered"):
+            registry.counter("made_up_total")
+
+    def test_counter_must_end_in_total(self):
+        # A registered histogram name used as a counter: the table lookup
+        # passes, the suffix check must still fire.
+        with pytest.raises(ValidationError, match="_total"):
+            check_metric_name("service_latency_ms", "counter")
+
+    def test_gauge_and_histogram_need_a_unit_suffix(self):
+        with pytest.raises(ValidationError, match="unit suffix"):
+            check_metric_name("service_submitted_total", "gauge")
+        with pytest.raises(ValidationError, match="unit suffix"):
+            check_metric_name("service_submitted_total", "histogram")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache_size_count")
+        with pytest.raises(ValidationError, match="another kind"):
+            registry.histogram("cache_size_count")
+
+    def test_table_names_all_pass_their_own_discipline(self):
+        for name in METRIC_TABLE:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            check_metric_name(name, kind)
+
+
+class TestCountersAndGauges:
+    def test_counter_inc_reset_value(self):
+        counter = MetricsRegistry().counter("cache_hits_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_same_name_and_labels_return_the_same_metric(self):
+        registry = MetricsRegistry()
+        a = registry.counter("fault_calls_total", site="cache-access")
+        b = registry.counter("fault_calls_total", site="cache-access")
+        c = registry.counter("fault_calls_total", site="batch-flush")
+        assert a is b
+        assert a is not c
+
+    def test_gauge_set_incdec_and_high_water(self):
+        gauge = MetricsRegistry().gauge("service_in_flight_count")
+        gauge.set(3.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 2.0
+        gauge.set_max(7.0)
+        gauge.set_max(1.0)  # lower: ignored
+        assert gauge.value == 7.0
+
+    def test_callback_gauge_reads_live_state(self):
+        queue = [1, 2, 3]
+        gauge = MetricsRegistry().gauge(
+            "service_queue_depth_count", fn=lambda: float(len(queue))
+        )
+        assert gauge.value == 3.0
+        queue.pop()
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_count_sum_mean_max(self):
+        histogram = MetricsRegistry().histogram("service_latency_ms")
+        for value in (1.0, 3.0, 8.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 12.0
+        assert histogram.mean == 4.0
+        assert histogram.max == 8.0
+
+    def test_empty_histogram_is_all_zero(self):
+        histogram = MetricsRegistry().histogram("service_latency_ms")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.quantiles((0.5,)) == {0.5: 0.0}
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_quantiles_match_the_legacy_nearest_rank_formula(self, seed):
+        rng = random.Random(seed)
+        values = [rng.expovariate(0.1) for _ in range(257)]
+        histogram = MetricsRegistry().histogram(
+            "loadgen_latency_ms", sample_limit=None
+        )
+        for value in values:
+            histogram.observe(value)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == legacy_percentile(values, q)
+        batch = histogram.quantiles((0.5, 0.95, 0.99))
+        assert batch == {q: legacy_percentile(values, q) for q in (0.5, 0.95, 0.99)}
+
+    def test_sample_ring_keeps_the_recent_window(self):
+        histogram = MetricsRegistry().histogram(
+            "service_latency_ms", sample_limit=4
+        )
+        for value in range(10):
+            histogram.observe(float(value))
+        # Quantiles are exact over the newest 4 samples (6, 7, 8, 9) …
+        assert histogram.quantile(0.0) == 6.0
+        assert histogram.quantile(1.0) == 9.0
+        # … while count/sum keep the full history.
+        assert histogram.count == 10
+        assert histogram.sum == 45.0
+
+    def test_bucket_counts_are_cumulative_and_end_at_infinity(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("service_latency_ms")
+        for value in (0.1, 0.2, 1.0, 100.0, 1e9):  # last one beyond the bounds
+            histogram.observe(value)
+        (sample,) = registry.collect()
+        bounds = [bound for bound, _ in sample.buckets]
+        counts = [count for _, count in sample.buckets]
+        assert bounds == list(BUCKET_BOUNDS_MS) + [math.inf]
+        assert counts == sorted(counts)
+        assert counts[-1] == sample.count == 5
+        # 0.1 fits the first (0.125 ms) bucket; 1e9 only in +Inf.
+        assert counts[0] == 1
+        assert counts[-2] == 4
+
+
+SAMPLE_LINE = re.compile(r"^([a-z0-9_]+)(\{[^}]*\})? (\+Inf|[-+0-9.e]+)$")
+
+
+class TestExposition:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("cache_hits_total").inc(3)
+        registry.gauge("cache_size_count").set(2.0)
+        registry.histogram("service_latency_ms").observe(1.5)
+        registry.counter("fault_fired_total", site="cache-access").inc()
+        registry.counter("fault_fired_total", site="batch-flush").inc(2)
+        return registry
+
+    def test_text_format_parses(self):
+        text = render_prometheus(self.build_registry().collect())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert SAMPLE_LINE.match(line), line
+
+    def test_one_help_and_type_block_per_name(self):
+        # The two fault counters come from distinct label sets — exposition
+        # must merge them under a single HELP/TYPE header.
+        text = render_prometheus(self.build_registry().collect())
+        assert text.count("# HELP fault_fired_total ") == 1
+        assert text.count("# TYPE fault_fired_total counter") == 1
+        assert 'fault_fired_total{site="cache-access"} 1' in text
+        assert 'fault_fired_total{site="batch-flush"} 2' in text
+
+    def test_histogram_series_shape(self):
+        text = render_prometheus(self.build_registry().collect())
+        assert 'service_latency_ms_bucket{le="+Inf"} 1' in text
+        assert "service_latency_ms_sum 1.5" in text
+        assert "service_latency_ms_count 1" in text
+
+    def test_extra_labels_are_prepended(self):
+        registry = MetricsRegistry()
+        registry.counter("cache_hits_total").inc()
+        (sample,) = registry.collect(extra_labels={"replica": "1"})
+        assert sample.labels == (("replica", "1"),)
+        assert 'cache_hits_total{replica="1"} 1' in render_prometheus([sample])
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("fault_fired_total", site='we"ird\\').inc()
+        text = render_prometheus(registry.collect())
+        assert 'site="we\\"ird\\\\"' in text
+
+
+class TestLockSafety:
+    def test_concurrent_increments_never_lose_updates(self):
+        counter = MetricsRegistry().counter("cache_hits_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+    def test_shared_lock_snapshots_are_tear_free(self):
+        # Two counters always incremented together under hold(): any
+        # snapshot taken under the same hold must see them equal.
+        lock = threading.RLock()
+        registry = MetricsRegistry(lock=lock)
+        first = registry.counter("cache_hits_total")
+        second = registry.counter("cache_misses_total")
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                with registry.hold():
+                    first.inc()
+                    second.inc()
+
+        def reader():
+            for _ in range(2000):
+                with registry.hold():
+                    if first.value != second.value:
+                        torn.append((first.value, second.value))
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        reader()
+        stop.set()
+        for thread in writers:
+            thread.join()
+        assert torn == []

@@ -1,0 +1,190 @@
+"""Trace span records, tree assembly, slow-query log, kernel profiler."""
+
+import threading
+
+import pytest
+
+from repro.obs import KernelProfiler, SlowQueryLog, Trace, active_profiler, profile_kernels
+from repro.obs.trace import mint_trace_id
+
+
+def span_names(tree):
+    """All span names in the tree, pre-order."""
+    names = []
+
+    def walk(node):
+        names.append(node["name"])
+        for child in node["children"]:
+            walk(child)
+
+    for root in tree["spans"]:
+        walk(root)
+    return names
+
+
+class TestTraceIds:
+    def test_minted_ids_are_32_hex_and_unique(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 32 and int(t, 16) >= 0 for t in ids)
+
+    def test_supplied_id_is_kept_and_falsy_id_is_replaced(self):
+        assert Trace("caller-id").trace_id == "caller-id"
+        assert Trace("").trace_id != ""
+        assert len(Trace(None).trace_id) == 32
+
+
+class TestSpanRecords:
+    def test_add_count_size_records(self):
+        trace = Trace()
+        trace.add("cache", 1.0, parent="evaluate", hit=False)
+        trace.add("kernel", 0.5, parent="cache", kind="listing")
+        assert trace.size() == 2
+        assert trace.count("kernel") == 1
+        records = trace.records()
+        assert records[0]["meta"] == {"hit": False}
+        # records() hands out copies: mutating them cannot corrupt the trace.
+        records[0]["meta"]["hit"] = True
+        assert trace.records()[0]["meta"] == {"hit": False}
+
+    def test_span_contextmanager_times_and_extends_meta(self):
+        trace = Trace()
+        with trace.span("merge", parent="evaluate", shards=2) as meta:
+            meta["matches"] = 7
+        (record,) = trace.records()
+        assert record["name"] == "merge"
+        assert record["parent"] == "evaluate"
+        assert record["duration_ms"] >= 0.0
+        assert record["meta"] == {"shards": 2, "matches": 7}
+
+    def test_span_records_even_when_the_block_raises(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("validate", parent="request"):
+                raise RuntimeError("boom")
+        assert trace.count("validate") == 1
+
+    def test_concurrent_adds_are_all_retained(self):
+        trace = Trace()
+        threads = [
+            threading.Thread(
+                target=lambda i=i: [
+                    trace.add("shard", 1.0, parent="fan_out", shard=i)
+                    for _ in range(200)
+                ]
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert trace.count("shard") == 800
+
+
+class TestTreeAssembly:
+    def test_children_nest_even_when_recorded_before_their_parent(self):
+        trace = Trace()
+        # Executor threads finish inner spans before the outer span closes.
+        trace.add("kernel", 1.0, parent="cache")
+        trace.add("cache", 2.0, parent="evaluate")
+        trace.add("evaluate", 3.0, parent="service")
+        trace.add("service", 4.0, parent="request")
+        tree = trace.to_dict(total_ms=5.0)
+        assert span_names(tree) == ["request", "service", "evaluate", "cache", "kernel"]
+        (root,) = tree["spans"]
+        assert root["duration_ms"] == 5.0
+        assert tree["trace_id"] == trace.trace_id
+
+    def test_unmatched_parents_become_roots(self):
+        trace = Trace()
+        trace.add("merge", 1.0, parent="evaluate")  # evaluate never recorded
+        tree = trace.to_dict()
+        assert span_names(tree) == ["merge"]
+
+    def test_extract_follows_the_parent_chain_to_an_absent_root(self):
+        trace = Trace()
+        trace.add("kernel", 1.0, parent="cache")
+        trace.add("cache", 2.0, parent="evaluate")
+        trace.add("window_wait", 9.0, parent="service")
+        extracted = trace.extract("evaluate")
+        assert [record["name"] for record in extracted] == ["kernel", "cache"]
+
+    def test_adopt_marks_shared_records(self):
+        primary, twin = Trace(), Trace()
+        primary.add("cache", 2.0, parent="evaluate", hit=True)
+        twin.adopt(primary.extract("evaluate"), dedupe_shared=True)
+        (record,) = twin.records()
+        assert record["meta"] == {"hit": True, "dedupe_shared": True}
+        # The primary's own records stay unmarked.
+        assert primary.records()[0]["meta"] == {"hit": True}
+
+
+class TestSlowQueryLog:
+    def tree(self, total):
+        return {"trace_id": f"t{total}", "spans": []}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_keeps_the_worst_k_and_dumps_worst_first(self):
+        log = SlowQueryLog(capacity=3)
+        for total in (5.0, 1.0, 9.0, 3.0, 7.0):
+            log.record(total, self.tree(total))
+        assert len(log) == 3
+        rows = log.dump()
+        assert [row["total_ms"] for row in rows] == [9.0, 7.0, 5.0]
+        assert rows[0]["trace"] == self.tree(9.0)
+
+    def test_fast_requests_do_not_displace_slow_ones(self):
+        log = SlowQueryLog(capacity=2)
+        log.record(10.0, self.tree(10.0))
+        log.record(20.0, self.tree(20.0))
+        for _ in range(50):
+            log.record(1.0, self.tree(1.0))
+        assert [row["total_ms"] for row in log.dump()] == [20.0, 10.0]
+
+    def test_clear(self):
+        log = SlowQueryLog(capacity=2)
+        log.record(1.0, self.tree(1.0))
+        log.clear()
+        assert len(log) == 0
+        assert log.dump() == []
+
+
+class TestKernelProfiler:
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError):
+            KernelProfiler(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            KernelProfiler(sample_rate=1.5)
+
+    def test_full_rate_always_samples_and_aggregates_per_stage(self):
+        profiler = KernelProfiler()
+        assert profiler.should_sample()
+        profiler.observe("listing", 2.0)
+        profiler.observe("listing", 4.0)
+        profiler.observe("shard", 1.0)
+        stats = profiler.stats()
+        assert set(stats) == {"listing", "shard"}
+        assert stats["listing"]["count"] == 2
+        assert stats["listing"]["mean_ms"] == 3.0
+        assert stats["listing"]["max_ms"] == 4.0
+
+    def test_seeded_sampling_is_deterministic(self):
+        a = KernelProfiler(sample_rate=0.5, seed=7)
+        b = KernelProfiler(sample_rate=0.5, seed=7)
+        decisions = [(a.should_sample(), b.should_sample()) for _ in range(100)]
+        assert all(left == right for left, right in decisions)
+        assert any(left for left, _ in decisions)
+        assert not all(left for left, _ in decisions)
+
+    def test_install_is_scoped_and_refuses_nesting(self):
+        assert active_profiler() is None
+        with profile_kernels() as profiler:
+            assert active_profiler() is profiler
+            with pytest.raises(ValueError):
+                with profile_kernels():
+                    pass  # pragma: no cover
+        assert active_profiler() is None

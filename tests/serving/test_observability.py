@@ -1,0 +1,430 @@
+"""End-to-end observability: tear-free stats, trace propagation, /metrics.
+
+Three families of regression tests ride here:
+
+* snapshot consistency — ``stats()`` / ``metrics_samples()`` hammered from
+  threads *during* a request storm must never produce a torn read (the
+  completed counter and the latency histogram advance under one lock);
+* chaos-style trace propagation — the span tree enumerates every shard
+  touched (thread and process fan-out), survives worker crash recovery
+  with retried spans marked, and round-trips a caller-supplied trace id
+  HTTP header → response;
+* exposition — ``/metrics`` parses as Prometheus text, the slow-query
+  log surfaces through ``/stats`` and the load generator.
+"""
+
+import asyncio
+import json
+import re
+import threading
+
+import pytest
+
+from repro.api import SearchRequest, build_index, build_sharded_index
+from repro.api.cache import ResultCache
+from repro.faults import SITE_WORKER_DISPATCH, FaultPlan, FaultSpec, inject_faults
+from repro.obs import SlowQueryLog, Trace, profile_kernels
+from repro.serving import AsyncSearchService, LoadProfile, SearchHttpApp, run_load
+from repro.serving.http import TRACE_HEADER
+from repro.serving.loadgen import format_trace_summary
+from tests.conftest import make_random_uncertain_string
+
+HARD_WATCHDOG_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_random_uncertain_string(60, 0.3, seed=31)
+
+
+@pytest.fixture(scope="module")
+def listing_engine():
+    import random
+
+    rng = random.Random(11)
+    documents = [
+        make_random_uncertain_string(rng.randint(12, 30), 0.3, seed=seed)
+        for seed in range(6)
+    ]
+    return build_index(documents, tau_min=0.05)
+
+
+@pytest.fixture()
+def thread_sharded_engine(corpus):
+    engine = build_sharded_index(
+        corpus, shards=3, tau_min=0.1, kind="general", max_pattern_len=6,
+        cache_size=0,
+    )
+    yield engine
+    engine.close()
+
+
+def _search_body(pattern, tau, **extra):
+    return json.dumps({"pattern": pattern, "tau": tau, **extra}).encode("utf-8")
+
+
+def _dispatch(engine, body, *, headers=None, app_kwargs=None, **service_kwargs):
+    async def go():
+        async with AsyncSearchService(engine, **service_kwargs) as service:
+            app = SearchHttpApp(service, **(app_kwargs or {}))
+            return await asyncio.wait_for(
+                app.dispatch("POST", "/search", body, headers=headers),
+                timeout=HARD_WATCHDOG_S,
+            )
+
+    return asyncio.run(go())
+
+
+def _shard_spans(trace):
+    return [record for record in trace.records() if record["name"] == "shard"]
+
+
+def walk_tree(tree):
+    """Flat ``{name: [nodes]}`` view of a ``Trace.to_dict`` span tree."""
+    by_name = {}
+
+    def walk(node):
+        by_name.setdefault(node["name"], []).append(node)
+        for child in node["children"]:
+            walk(child)
+
+    for root in tree["spans"]:
+        walk(root)
+    return by_name
+
+
+# ---------------------------------------------------------------------------
+# Satellite: stats()/metrics snapshot consistency under a storm
+# ---------------------------------------------------------------------------
+class TestSnapshotConsistency:
+    def test_service_counters_and_histogram_never_tear_under_storm(
+        self, listing_engine
+    ):
+        # The completed counter and the latency histogram advance together
+        # under one registry hold; any collect() snapshot must agree.
+        requests = [
+            SearchRequest("A", tau=round(0.05 + 0.01 * (i % 40), 3))
+            for i in range(160)
+        ]
+        violations = []
+        stop = threading.Event()
+
+        def hammer(service):
+            while not stop.is_set():
+                samples = {
+                    sample.name: sample
+                    for sample in service.metrics_samples()
+                    if sample.name.startswith("service_")
+                }
+                completed = samples["service_completed_total"].value
+                observed = samples["service_latency_ms"].count
+                if completed != observed:
+                    violations.append((completed, observed))
+                stats = service.stats()
+                if stats["completed"] < 0 or stats["submitted"] < stats["completed"]:
+                    violations.append(stats)
+
+        async def storm():
+            async with AsyncSearchService(
+                listing_engine, max_wait_ms=0.5, max_batch=16
+            ) as service:
+                thread = threading.Thread(target=hammer, args=(service,))
+                thread.start()
+                try:
+                    results = await asyncio.gather(
+                        *(service.submit(request) for request in requests)
+                    )
+                finally:
+                    stop.set()
+                    thread.join()
+                return results, service.stats(), service.metrics_samples()
+
+        results, stats, samples = asyncio.run(storm())
+        assert violations == []
+        assert len(results) == len(requests)
+        assert stats["completed"] == len(requests)
+        final = {s.name: s for s in samples if s.name.startswith("service_")}
+        assert final["service_completed_total"].value == len(requests)
+        assert final["service_latency_ms"].count == len(requests)
+
+    def test_cache_stats_stay_consistent_under_storm(self):
+        cache = ResultCache(capacity=8)
+        operations = 400
+        keys = [("p", i % 12, None) for i in range(operations)]
+        violations = []
+        previous = {"lookups": 0}
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                stats = cache.stats()
+                lookups = stats["hits"] + stats["misses"]
+                if not 0.0 <= stats["hit_rate"] <= 1.0:
+                    violations.append(stats)
+                if stats["size"] > stats["capacity"]:
+                    violations.append(stats)
+                if lookups < previous["lookups"]:  # counters are monotonic
+                    violations.append(stats)
+                previous["lookups"] = lookups
+
+        def worker(chunk):
+            for key in chunk:
+                if cache.get(key) is None:
+                    cache.put(key, (key,))
+
+        chunks = [keys[i::4] for i in range(4)]
+        threads = [threading.Thread(target=worker, args=(chunk,)) for chunk in chunks]
+        observer = threading.Thread(target=reader)
+        observer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        observer.join()
+
+        assert violations == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == operations
+
+
+# ---------------------------------------------------------------------------
+# Satellite: chaos-style trace propagation
+# ---------------------------------------------------------------------------
+class TestTracePropagation:
+    def test_thread_fan_out_enumerates_every_shard(self, corpus, thread_sharded_engine):
+        pattern = corpus.most_likely_string()[:3]
+        trace = Trace()
+        request = SearchRequest(pattern, tau=0.2, trace=trace)
+        baseline = thread_sharded_engine.search(SearchRequest(pattern, tau=0.2))
+        traced = thread_sharded_engine.search(request)
+        assert traced.matches == baseline.matches
+
+        spans = _shard_spans(trace)
+        assert {record["meta"]["shard"] for record in spans} == {0, 1, 2}
+        assert all(record["meta"]["executor"] == "thread" for record in spans)
+        assert all(record["meta"]["attempt"] == 0 for record in spans)
+        names = {record["name"] for record in trace.records()}
+        assert {"plan", "fan_out", "shard", "merge"} <= names
+
+    def test_process_fan_out_carries_worker_timings_across_the_boundary(self, corpus):
+        engine = build_sharded_index(
+            corpus, shards=2, tau_min=0.1, kind="general", max_pattern_len=6,
+            cache_size=0, query_executor="process",
+        )
+        try:
+            pattern = corpus.most_likely_string()[:3]
+            trace = Trace()
+            engine.search(SearchRequest(pattern, tau=0.2, trace=trace)).matches
+            spans = _shard_spans(trace)
+            assert {record["meta"]["shard"] for record in spans} == {0, 1}
+            assert all(record["meta"]["executor"] == "process" for record in spans)
+            # The durations are the workers' own eval clocks, shipped back
+            # over the process boundary as plain floats.
+            assert all(record["duration_ms"] >= 0.0 for record in spans)
+        finally:
+            engine.close()
+
+    def test_retried_spans_are_marked_after_worker_crash_recovery(self, corpus):
+        engine = build_sharded_index(
+            corpus, shards=2, tau_min=0.1, kind="general", max_pattern_len=6,
+            cache_size=0, query_executor="process", worker_retries=2,
+        )
+        try:
+            pattern = corpus.most_likely_string()[:3]
+            # Warm the pool: workers spawn lazily on first evaluation, and
+            # a crash hook against a cold pool has nothing to kill.
+            baseline = engine.search(SearchRequest(pattern, tau=0.2)).matches
+
+            plan = FaultPlan(
+                specs=(FaultSpec(SITE_WORKER_DISPATCH, kind="crash", at=0, times=1),),
+                seed=99,
+            )
+            trace = Trace()
+            with inject_faults(plan) as injector:
+                recovered = engine.search(
+                    SearchRequest(pattern, tau=0.2, trace=trace)
+                ).matches  # force evaluation while the plan is installed
+            assert injector.stats()["fired"] == {SITE_WORKER_DISPATCH: 1}
+            assert recovered == baseline
+            assert engine.resilience_stats()["pool_recoveries"] >= 1
+
+            spans = _shard_spans(trace)
+            # The crash killed attempt 0; the spans that produced the answer
+            # carry the retry ordinal, and every shard is still accounted for.
+            assert {record["meta"]["shard"] for record in spans} == {0, 1}
+            assert any(record["meta"]["attempt"] >= 1 for record in spans)
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP: header round-trip, span tree shape, timing budget, /metrics
+# ---------------------------------------------------------------------------
+class TestHttpTracing:
+    def test_trace_id_round_trips_header_to_response(self, corpus, thread_sharded_engine):
+        pattern = corpus.most_likely_string()[:3]
+        response = _dispatch(
+            thread_sharded_engine,
+            _search_body(pattern, 0.2, debug="trace"),
+            headers={TRACE_HEADER: "caller-trace-1"},
+        )
+        assert response.status == 200
+        assert ("X-Repro-Trace-Id", "caller-trace-1") in response.headers
+        assert response.payload["trace"]["trace_id"] == "caller-trace-1"
+
+    def test_header_alone_traces_without_bloating_the_payload(
+        self, corpus, thread_sharded_engine
+    ):
+        pattern = corpus.most_likely_string()[:3]
+        response = _dispatch(
+            thread_sharded_engine,
+            _search_body(pattern, 0.2),
+            headers={TRACE_HEADER: "quiet-trace"},
+        )
+        assert response.status == 200
+        assert ("X-Repro-Trace-Id", "quiet-trace") in response.headers
+        assert "trace" not in response.payload
+
+    def test_malformed_trace_header_is_a_validation_error(
+        self, corpus, thread_sharded_engine
+    ):
+        response = _dispatch(
+            thread_sharded_engine,
+            _search_body("A", 0.2),
+            headers={TRACE_HEADER: "bad id!"},
+        )
+        assert response.status == 400
+        assert response.payload["error"]["type"] == "ValidationError"
+
+    def test_span_tree_covers_dispatch_to_merge_and_sums_to_total(
+        self, corpus, thread_sharded_engine
+    ):
+        pattern = corpus.most_likely_string()[:3]
+        response = _dispatch(
+            thread_sharded_engine, _search_body(pattern, 0.2, debug="trace")
+        )
+        assert response.status == 200
+        tree = response.payload["trace"]
+        by_name = walk_tree(tree)
+
+        # Every serving stage appears, rooted at the synthetic request span.
+        for stage in ("request", "validate", "service", "window_wait",
+                      "evaluate", "fan_out", "shard", "merge", "serialize"):
+            assert stage in by_name, stage
+        assert {node["meta"]["shard"] for node in by_name["shard"]} == {0, 1, 2}
+
+        # Stage timings account for the reported end-to-end latency: the
+        # top-level stages sum to the root duration up to dispatch overhead.
+        (root,) = by_name["request"]
+        staged = sum(child["duration_ms"] for child in root["children"])
+        assert staged <= root["duration_ms"] * 1.05 + 0.5
+        assert root["duration_ms"] - staged < 100.0  # only dispatch overhead
+        # And within the service span, the window wait plus evaluation fit.
+        (service_node,) = by_name["service"]
+        inner = sum(child["duration_ms"] for child in service_node["children"])
+        assert inner <= service_node["duration_ms"] * 1.05 + 0.5
+
+    def test_metrics_endpoint_renders_parseable_prometheus_text(
+        self, corpus, thread_sharded_engine
+    ):
+        sample_line = re.compile(r"^([a-z0-9_]+)(\{[^}]*\})? (\+Inf|[-+0-9.e]+)$")
+
+        async def go():
+            async with AsyncSearchService(thread_sharded_engine) as service:
+                app = SearchHttpApp(service)
+                search = await app.dispatch(
+                    "POST", "/search", _search_body(corpus.most_likely_string()[:3], 0.2)
+                )
+                assert search.status == 200
+                return await app.dispatch("GET", "/metrics")
+
+        response = asyncio.run(go())
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain; version=0.0.4")
+        text = response.body().decode("utf-8")
+        helped = set()
+        for line in text.splitlines():
+            if line.startswith(("# HELP ", "# TYPE ")):
+                helped.add(line.split()[2])
+                continue
+            assert sample_line.match(line), line
+        for name in ("service_submitted_total", "service_latency_ms",
+                     "sharding_pool_recoveries_total"):
+            assert name in helped
+
+    def test_slow_query_log_surfaces_in_stats(self, corpus, thread_sharded_engine):
+        slow_log = SlowQueryLog(capacity=2)
+
+        async def go():
+            async with AsyncSearchService(thread_sharded_engine) as service:
+                app = SearchHttpApp(service, slow_log=slow_log)
+                for tau in (0.2, 0.3, 0.4):
+                    response = await app.dispatch(
+                        "POST", "/search",
+                        _search_body(corpus.most_likely_string()[:3], tau),
+                    )
+                    assert response.status == 200
+                return await app.dispatch("GET", "/stats")
+
+        stats = asyncio.run(go())
+        assert stats.status == 200
+        rows = stats.payload["slow_queries"]
+        assert len(rows) == 2  # worst-K, not most recent
+        totals = [row["total_ms"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert all("trace_id" in row["trace"] for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: load generator shares the obs quantiles and slow-query log
+# ---------------------------------------------------------------------------
+class TestLoadgenObservability:
+    def test_run_load_fills_the_slow_log_and_summaries_render(self, listing_engine):
+        profile = LoadProfile(
+            patterns=("A", "C"), taus=(0.1, 0.4), requests=24, concurrency=4,
+            debug_trace=True,
+        )
+        slow_log = SlowQueryLog(capacity=3)
+
+        async def go():
+            async with AsyncSearchService(listing_engine, max_wait_ms=0.5) as service:
+                return await run_load(
+                    SearchHttpApp(service).dispatch, profile, slow_log=slow_log
+                )
+
+        report = asyncio.run(go())
+        assert report.ok == 24
+        assert len(slow_log) == 3
+        rows = slow_log.dump()
+        assert [row["total_ms"] for row in rows] == sorted(
+            (row["total_ms"] for row in rows), reverse=True
+        )
+        summary = format_trace_summary(rows[0])
+        assert "trace=" in summary
+        assert "request=" in summary and "service=" in summary
+
+    def test_debug_trace_rides_every_plan_row(self):
+        profile = LoadProfile(
+            patterns=("A",), taus=(0.3,), requests=3, debug_trace=True
+        )
+        for _, body, _ in profile.plan():
+            assert json.loads(body)["debug"] == "trace"
+
+
+# ---------------------------------------------------------------------------
+# Kernel profiler hooks fire on the engine's evaluation path
+# ---------------------------------------------------------------------------
+class TestKernelProfilerIntegration:
+    def test_profiler_observes_kernel_stages_during_search(self, corpus):
+        # cache_size=0 so the kernel actually runs instead of answering
+        # from the result cache (which would starve the profiler hook).
+        engine = build_index(corpus, tau_min=0.1, kind="general", cache_size=0)
+        with profile_kernels() as profiler:
+            engine.search(
+                SearchRequest(corpus.most_likely_string()[:3], tau=0.2)
+            ).matches
+        stats = profiler.stats()
+        assert stats, "no kernel stage was profiled"
+        assert all(entry["count"] >= 1 for entry in stats.values())
+        assert all(entry["max_ms"] >= entry["p50_ms"] >= 0.0 for entry in stats.values())

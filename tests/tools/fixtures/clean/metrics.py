@@ -1,0 +1,16 @@
+"""Clean metrics fixture: every name registered, snake_case, unit-suffixed."""
+
+METRIC_TABLE = {
+    "requests_total": "Requests accepted by the façade.",
+    "queue_depth_count": "Requests waiting for a batch window.",
+    "latency_ms": "End-to-end request latency.",
+}
+
+LATENCY_METRIC = "latency_ms"
+
+
+def build(registry):
+    requests = registry.counter("requests_total")
+    depth = registry.gauge("queue_depth_count")
+    latency = registry.histogram(LATENCY_METRIC)
+    return requests, depth, latency

@@ -1,0 +1,17 @@
+"""Metrics-discipline violations: one seeded breach per rule clause."""
+
+METRIC_TABLE = {
+    "CamelCase_total": "Registered but not snake_case.",
+    "events": "Registered counter missing the _total suffix.",
+    "pressure_gauge": "Registered gauge without a unit suffix.",
+    "spread": "Registered histogram without a unit suffix.",
+    "ghost_metric_total": "Registered but never created anywhere.",
+}
+
+
+def build(registry):
+    registry.counter("CamelCase_total")  # not snake_case
+    registry.counter("events")  # counter without _total
+    registry.gauge("pressure_gauge")  # gauge without unit suffix
+    registry.histogram("spread")  # histogram without unit suffix
+    registry.counter("rogue_total")  # unregistered metric

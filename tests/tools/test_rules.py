@@ -166,6 +166,42 @@ class TestLockDiscipline:
 
 
 # ---------------------------------------------------------------------------
+# metrics-discipline
+# ---------------------------------------------------------------------------
+class TestMetricsDiscipline:
+    def test_violations(self):
+        findings = findings_for("metrics-discipline", VIOLATIONS, "violations")
+        metrics = "metrics.py"
+        assert locations(findings) == {
+            (metrics, line_of(VIOLATIONS, metrics, "# not snake_case")),
+            (metrics, line_of(VIOLATIONS, metrics, "# counter without _total")),
+            (metrics, line_of(VIOLATIONS, metrics, "# gauge without unit suffix")),
+            (metrics, line_of(VIOLATIONS, metrics, "# histogram without unit suffix")),
+            (metrics, line_of(VIOLATIONS, metrics, "# unregistered metric")),
+            (metrics, line_of(VIOLATIONS, metrics, "METRIC_TABLE = {")),
+        }
+        messages = {finding.message for finding in findings}
+        assert any(
+            "'ghost_metric_total'" in message and "never created" in message
+            for message in messages
+        )
+        assert any(
+            "'rogue_total'" in message and "not registered" in message
+            for message in messages
+        )
+
+    def test_missing_table_is_a_finding(self, tmp_path):
+        (tmp_path / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        findings = findings_for("metrics-discipline", tmp_path, "tmp")
+        assert [finding.message for finding in findings] == [
+            "no module defines METRIC_TABLE (central metric-name table)"
+        ]
+
+    def test_clean_including_constant_indirection(self):
+        assert findings_for("metrics-discipline", CLEAN, "clean") == []
+
+
+# ---------------------------------------------------------------------------
 # framework behaviour
 # ---------------------------------------------------------------------------
 class TestFramework:
@@ -180,7 +216,7 @@ class TestFramework:
     def test_rule_selection(self):
         selected = get_rules(["lock-discipline"])
         assert [rule.name for rule in selected] == ["lock-discipline"]
-        assert len(get_rules(None)) == len(ALL_RULES) == len(rule_names()) == 5
+        assert len(get_rules(None)) == len(ALL_RULES) == len(rule_names()) == 6
 
     def test_syntax_errors_reported_as_findings(self, tmp_path):
         (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
