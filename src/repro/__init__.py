@@ -99,7 +99,7 @@ from .strings import (
     UncertainStringCollection,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Alphabet",

@@ -29,6 +29,8 @@ from .batch import execute_batch
 from .cache import DEFAULT_CACHE_SIZE, CacheKey, ResultCache
 from .persistence import (
     FORMAT_VERSION,
+    index_from_payload,
+    index_to_payload,
     is_sharded_archive,
     load_index_payload,
     save_index_payload,
@@ -297,6 +299,7 @@ class Engine(QueryEngine):
         *,
         version: int = FORMAT_VERSION,
         compress: Optional[bool] = None,
+        compact: bool = False,
     ) -> Path:
         """Serialize the engine to a versioned ``.npz`` archive.
 
@@ -309,10 +312,17 @@ class Engine(QueryEngine):
         :class:`~repro.payload.IndexPayload` written as an uncompressed
         zip — space-efficient RMQ payloads, memory-mappable; see
         :func:`repro.api.persistence.save_index_payload` for the knobs
-        (``version=1|2`` writes the legacy layouts).
+        (``version=1|2`` writes the legacy layouts; ``compact=True``
+        writes narrowed dtypes + bit-packed booleans with byte-identical
+        answers on restore).
         """
         return save_index_payload(
-            self._index, self._plan, path, version=version, compress=compress
+            self._index,
+            self._plan,
+            path,
+            version=version,
+            compress=compress,
+            compact=compact,
         )
 
     @classmethod
@@ -346,6 +356,7 @@ def build_index(
     metric: str = "max",
     cache_size: int = DEFAULT_CACHE_SIZE,
     cache_ttl_seconds: Optional[float] = None,
+    compact: bool = False,
     **options: Any,
 ) -> Engine:
     """Plan, build and wrap the right index for ``data``.
@@ -356,6 +367,13 @@ def build_index(
     :func:`repro.api.planner.plan_index` (honouring ``kind=...``
     overrides), constructs the selected :mod:`repro.core` index and
     returns it wrapped in an :class:`Engine`.
+
+    ``compact=True`` re-materializes the freshly built index from its
+    dtype-minimized payload (:meth:`repro.payload.IndexPayload.compact`):
+    every stored integer array is narrowed to the smallest dtype that
+    holds its value range and bulky derived tables are rebuilt in their
+    compact form, typically shrinking the in-RAM footprint several-fold
+    while keeping answers byte-identical (probabilities stay float64).
 
     Examples
     --------
@@ -381,6 +399,11 @@ def build_index(
         **options,
     )
     index = _construct(plan, normalized)
+    if compact:
+        # Round-trip through the dtype-minimized payload: narrowing is a
+        # property of the stored arrays, so restore-from-compact yields an
+        # index whose in-RAM arrays carry the narrow dtypes directly.
+        index = index_from_payload(index_to_payload(index).compact())
     # Planner feedback: record the measured footprint against the coarse
     # estimate so describe()["plan"]["estimate_error"] makes space-budget
     # routing accuracy observable.

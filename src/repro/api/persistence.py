@@ -69,7 +69,7 @@ from ..core.simple_index import SimpleSpecialIndex
 from ..core.special_index import SpecialUncertainStringIndex
 from ..exceptions import ValidationError
 from ..faults import SITE_ARCHIVE_LOAD, fire
-from ..payload import PAYLOAD_VERSION, IndexPayload
+from ..payload import PAYLOAD_VERSION, IndexPayload, verify_manifest_checksums
 from ..strings.serialization import (
     collection_from_manifest as _collection_from_manifest,
     collection_to_manifest as _collection_to_manifest,
@@ -160,8 +160,14 @@ def payload_kind(payload: IndexPayload) -> str:
 
 
 def index_from_payload(payload: IndexPayload) -> Any:
-    """Rebuild an index from its payload (inverse of :func:`index_to_payload`)."""
-    return _CLASS_BY_KIND[payload_kind(payload)].from_payload(payload)
+    """Rebuild an index from its payload (inverse of :func:`index_to_payload`).
+
+    Bit-packed boolean arrays (see :meth:`IndexPayload.compact`) are
+    expanded here — the one boundary between the compact storage currency
+    and the query-time index classes; narrowed integer arrays stay narrow
+    and the index kernels widen lazily where arithmetic demands it.
+    """
+    return _CLASS_BY_KIND[payload_kind(payload)].from_payload(payload.expand())
 
 
 # ---------------------------------------------------------------------------
@@ -591,6 +597,7 @@ def save_index_payload(
     *,
     version: int = FORMAT_VERSION,
     compress: Optional[bool] = None,
+    compact: bool = False,
 ) -> Path:
     """Write ``index`` (and optionally its plan) to a versioned ``.npz`` archive.
 
@@ -603,6 +610,14 @@ def save_index_payload(
     compatibility testing and old-fleet rollouts.  ``compress`` overrides
     the per-version default (compressed v2/v3 archives remain valid —
     ``mmap=True`` just degrades to eager decompression for them).
+
+    ``compact=True`` (version-3 only) writes the dtype-minimized payload
+    (:meth:`~repro.payload.IndexPayload.compact`): narrowed integers and
+    bit-packed booleans on disk, with the logical dtypes recorded in the
+    manifest so the inspector and loaders know what was transformed.
+    Loading restores byte-identical answers — the kernels accept narrow
+    integer arrays directly and booleans are re-expanded at the single
+    consumption boundary.
     """
     if version not in WRITABLE_VERSIONS:
         raise ValidationError(
@@ -613,8 +628,14 @@ def save_index_payload(
     path = normalize_archive_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
 
+    if compact and version < 3:
+        raise ValidationError(
+            f"compact archives require format version >= 3, got {version}"
+        )
     if version >= 3:
         payload = index_to_payload(index)
+        if compact:
+            payload = payload.compact()
         manifest = {
             "format": FORMAT_NAME,
             "version": version,
@@ -944,7 +965,7 @@ def load_sharded_payload(
 
 
 def load_index_payload(
-    path: Union[str, Path], *, mmap: bool = False
+    path: Union[str, Path], *, mmap: bool = False, verify: Optional[bool] = None
 ) -> Tuple[Any, Any]:
     """Restore a saved index; returns ``(index, plan)``.
 
@@ -955,6 +976,13 @@ def load_index_payload(
     worker processes mapping the same archive share one physical copy of
     the data through the OS page cache.  Compressed members degrade to an
     eager load, so the flag is safe on any valid archive.
+
+    ``verify`` controls per-array crc32 checking against the checksums a
+    format-3 manifest records (see :func:`repro.payload.array_checksum`);
+    a corrupt member raises :class:`~repro.exceptions.ValidationError`.
+    The default verifies eager loads and skips memory-mapped ones —
+    checksumming would fault in every page and defeat the zero-copy cold
+    start — but ``verify=True`` forces the check even under ``mmap``.
 
     The plan is rebuilt from the manifest (kind, reason, profile) so a
     loaded engine still explains itself; the reason notes the archive it
@@ -985,6 +1013,8 @@ def load_index_payload(
         # payload from the manifest's schema tree and the (possibly
         # memory-mapped) arrays, then let the index rebuild itself.  No
         # per-kind special cases.
+        if verify or (verify is None and not mmap):
+            verify_manifest_checksums(manifest["payload"], arrays)
         payload = IndexPayload.from_manifest(manifest["payload"], arrays)
         index = index_from_payload(payload)
     else:

@@ -87,6 +87,7 @@ from .persistence import (
     load_sharded_payload,
     save_sharded_payload,
 )
+from .shm import export_for_index
 from .workers import close_sockets_worker, initialize_worker, query_worker
 from .planner import (
     DEFAULT_MAX_PATTERN_LEN,
@@ -184,6 +185,25 @@ def _shutdown_owned_executors(owned: List[Any]) -> None:
     """
     while owned:
         owned.pop().shutdown(wait=False)
+
+
+def _release_shared_exports(exports: List[Any]) -> None:
+    """Release a :class:`ShardedEngine`'s shared-memory export references.
+
+    Like :func:`_shutdown_owned_executors`, module-level over a shared
+    list so the GC finalizer can run it: an engine dropped without
+    :meth:`ShardedEngine.close` must not leave ``/dev/shm`` blocks behind.
+    Unlinking while worker processes still map a block is safe — POSIX
+    keeps the memory until the last mapping closes.
+    """
+    while exports:
+        exports.pop().release()
+
+
+def _finalize_engine_resources(owned: List[Any], exports: List[Any]) -> None:
+    """Combined GC finalizer: shut pools down, then drop shm references."""
+    _shutdown_owned_executors(owned)
+    _release_shared_exports(exports)
 
 
 class ShardedEngine(QueryEngine):
@@ -285,12 +305,22 @@ class ShardedEngine(QueryEngine):
         self._process_pools: Optional[List[ProcessPoolExecutor]] = None  # guarded-by: _executor_lock
         self._shard_sources: Optional[List[str]] = None
         self._shard_mmap = False
-        # Every live executor also sits in this list, which the GC
-        # finalizer shares: an engine dropped without close() still shuts
-        # its worker processes down instead of leaking them.
+        # Shared-memory exports backing in-RAM shards in process mode:
+        # one per shard, acquired lazily at the first pool build and kept
+        # across crash rebuilds (the blocks survive a dead pool; only the
+        # worker processes are recreated).
+        self._shm_exports: Dict[int, Any] = {}  # guarded-by: _executor_lock
+        # Every live executor also sits in this list — and every acquired
+        # export in the companion list — which the GC finalizer shares: an
+        # engine dropped without close() still shuts its worker processes
+        # down and releases its shm blocks instead of leaking them.
         self._owned_executors: List[Any] = []  # guarded-by: _executor_lock
+        self._owned_exports: List[Any] = []  # guarded-by: _executor_lock
         self._finalizer = weakref.finalize(
-            self, _shutdown_owned_executors, self._owned_executors
+            self,
+            _finalize_engine_resources,
+            self._owned_executors,
+            self._owned_exports,
         )
 
     # -- introspection -----------------------------------------------------------------
@@ -450,22 +480,37 @@ class ShardedEngine(QueryEngine):
         return list(self._thread_pool().map(function, range(len(self._engines))))
 
     def _worker_spec(self, shard: int) -> Any:
-        """Initialization payload for one shard (archive path or IndexPayload)."""
+        """Initialization payload for one shard (archive path or shm block).
+
+        Disk-backed shards ship their archive path; in-RAM shards ship a
+        shared-memory spec (block name + array layout, O(array count)
+        pickled bytes) backed by an export the engine holds a reference
+        to.  Callers hold ``_executor_lock`` (the export table is shared
+        engine state).
+        """
         if self._shard_sources is not None:
             return ("archive", self._shard_sources[shard], self._shard_mmap)
-        return ("payload", index_to_payload(self._engines[shard].index))
+        with self._executor_lock:  # re-entrant under _ensure_process_pools
+            export = self._shm_exports.get(shard)
+            if export is None or export.closed:
+                export = export_for_index(self._engines[shard].index)
+                self._shm_exports[shard] = export
+                self._owned_exports.append(export)
+            return export.spec()
 
     def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
         """Lazily start the persistent worker processes (one pool each).
 
         Worker ``w`` is initialized exactly once with *every* shard it
         owns (archive path + mmap flag when the engine was loaded from
-        disk, the shard's :class:`~repro.payload.IndexPayload` otherwise)
-        and keeps them for the engine's lifetime — queries only ship
+        disk, the shard's shared-memory spec otherwise — block name plus
+        array layout, never the arrays; see :mod:`repro.api.shm`) and
+        keeps them for the engine's lifetime — queries only ship
         ``(shard, pattern, tau, top_k)`` tuples out and ndarray payloads
         back.  Single-worker pools keep the shard → process assignment
         deterministic, so each shard is materialized in exactly one
-        process.
+        process.  The shm exports outlive any one pool: a crashed pool's
+        rebuild re-attaches to the same live blocks.
         """
         with self._executor_lock:
             pools = self._process_pools
@@ -802,11 +847,19 @@ class ShardedEngine(QueryEngine):
             executor, self._executor = self._executor, None
             pools, self._process_pools = self._process_pools, None
             self._owned_executors.clear()  # the finalizer has nothing left to do
+            exports = list(self._owned_exports)
+            self._owned_exports.clear()
+            self._shm_exports.clear()
         if executor is not None:
             executor.shutdown(wait=True)
         if pools is not None:
             for pool in pools:
                 pool.shutdown(wait=True)
+        # After the workers are gone: drop the engine's shm references so
+        # the last owner unlinks the blocks (replicas sharing an export
+        # keep it alive through their own references).
+        for export in exports:
+            export.release()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -1009,6 +1062,7 @@ def build_sharded_index(
     space_budget_bytes: Optional[int] = None,
     epsilon: Optional[float] = None,
     metric: str = "max",
+    compact: bool = False,
     **options: Any,
 ) -> ShardedEngine:
     """Partition ``data``, build one engine per shard, wrap them as one.
@@ -1045,6 +1099,12 @@ def build_sharded_index(
     process per shard, and smaller values share workers across shards
     (see :class:`ShardedEngine`).
 
+    ``compact=True`` applies the same dtype-minimized payload round-trip
+    as :func:`~repro.api.engine.build_index` to every shard — narrow
+    in-RAM arrays, byte-identical answers — and composes with both query
+    executors (the shared-memory export ships whatever dtypes the shard
+    arrays carry).
+
     ``partial``, ``worker_retries`` and ``worker_retry_backoff_s``
     configure the resilience envelope — crash recovery, deadlines and
     graceful degradation — described on :class:`ShardedEngine`.
@@ -1076,6 +1136,7 @@ def build_sharded_index(
         kind=plan.kind,
         epsilon=epsilon,
         metric=metric,
+        compact=compact,
         **options,
     )
     if workers is not None and workers > 1 and len(parts) > 1:

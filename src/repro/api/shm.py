@@ -1,0 +1,196 @@
+"""Shared-memory export of index payloads for process workers.
+
+``query_executor="process"`` needs every worker to hold its shards'
+indexes.  Shards loaded from disk already share physical pages through
+``mmap``; shards *built in memory* used to ship their whole
+:class:`~repro.payload.IndexPayload` through the pool initializer —
+pickling every stored array once per worker, and holding per-worker heap
+copies of data the parent already has.  This module replaces that copy
+with one :mod:`multiprocessing.shared_memory` block per index:
+
+* :class:`SharedPayloadExport` lays the payload's stored arrays (plus its
+  JSON manifest) out in a single shared block, 64-byte aligned, and hands
+  out a tiny :meth:`~SharedPayloadExport.spec` — block name, manifest
+  span, ``{path: (offset, dtype, shape)}`` layout — whose pickled size is
+  O(number of arrays), independent of the index size.
+* :func:`attach_payload` is the worker side: attach to the block by name
+  and rebuild the payload from zero-copy read-only ndarray views over
+  ``shm.buf``.  Every worker's view of the index is the same physical
+  memory.
+* :func:`export_for_index` caches exports per live index object
+  (weak-keyed), so replicas serving the same in-RAM build — and a crashed
+  pool rebuilt for the same engine — share one block instead of exporting
+  again.  Exports are reference counted: :meth:`~SharedPayloadExport.release`
+  unlinks the block when the last owner lets go.
+
+Lifecycle (CPython 3.11 semantics): the parent creates the block, workers
+attach by name, and the parent unlinks once released — attach-side
+resource-tracker registrations land in the one tracker process the pool
+shares with the parent, so a block that is unlinked before the tree exits
+is never reported leaked.  On POSIX the segment's memory survives until
+the last mapping closes, so unlinking while workers still run is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..payload import IndexPayload
+
+#: Offset alignment for every array in an export block — cache-line sized,
+#: and a multiple of every numpy itemsize, so views are always aligned.
+BLOCK_ALIGN = 64
+
+#: ``{path: (offset, dtype-string, shape)}`` — one entry per stored array.
+ShmLayout = Dict[str, Tuple[int, str, Tuple[int, ...]]]
+
+
+def _align_up(offset: int) -> int:
+    return (offset + BLOCK_ALIGN - 1) // BLOCK_ALIGN * BLOCK_ALIGN
+
+
+class SharedPayloadExport:
+    """One payload's stored arrays in one shared-memory block.
+
+    The block holds the payload's JSON manifest first, then every stored
+    array at a 64-byte-aligned offset.  Instances are reference counted
+    (:meth:`acquire` / :meth:`release`); the block is closed and unlinked
+    when the count reaches zero.  Exports are created through
+    :func:`export_for_index`, which deduplicates them per index object.
+    """
+
+    def __init__(self, payload: IndexPayload) -> None:
+        manifest_bytes = json.dumps(payload.manifest()).encode("utf-8")
+        flat = payload.flatten()
+        layout: ShmLayout = {}
+        placements = []
+        offset = _align_up(len(manifest_bytes))
+        for path, array in flat.items():
+            contiguous = np.ascontiguousarray(array)
+            if contiguous.nbytes == 0:
+                layout[path] = (0, str(contiguous.dtype), tuple(contiguous.shape))
+                continue
+            layout[path] = (offset, str(contiguous.dtype), tuple(contiguous.shape))
+            placements.append((offset, contiguous))
+            offset = _align_up(offset + contiguous.nbytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        buffer = self._shm.buf
+        buffer[: len(manifest_bytes)] = manifest_bytes
+        for start, contiguous in placements:
+            destination = np.ndarray(
+                contiguous.shape, dtype=contiguous.dtype, buffer=buffer, offset=start
+            )
+            destination[...] = contiguous
+        self._manifest_span = (0, len(manifest_bytes))
+        self._layout = layout
+        self._block_nbytes = self._shm.size
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The shared-memory block name workers attach by."""
+        return self._shm.name
+
+    @property
+    def block_nbytes(self) -> int:
+        """Size of the shared block (manifest + aligned arrays)."""
+        return self._block_nbytes
+
+    @property
+    def closed(self) -> bool:
+        """Whether the block has been unlinked (export unusable)."""
+        with self._lock:
+            return self._closed
+
+    def spec(self) -> Tuple[str, str, Tuple[int, int], ShmLayout]:
+        """The worker initialization spec: ``("shm", name, manifest_span, layout)``.
+
+        Pickles in O(number of arrays) bytes — the data itself never
+        crosses the process boundary.
+        """
+        return ("shm", self.name, self._manifest_span, dict(self._layout))
+
+    # -- lifecycle -----------------------------------------------------------------
+    def acquire(self) -> "SharedPayloadExport":
+        """Take a reference; the block outlives every acquirer."""
+        with self._lock:
+            if self._closed:
+                raise ValidationError(
+                    f"shared-memory export {self.name} is already closed"
+                )
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop a reference; the last release closes and unlinks the block."""
+        with self._lock:
+            if self._closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # another owner of the name got there first
+            pass
+
+
+def attach_payload(
+    name: str, manifest_span: Tuple[int, int], layout: ShmLayout
+) -> Tuple[shared_memory.SharedMemory, IndexPayload]:
+    """Worker side: rebuild a payload as zero-copy views over a shared block.
+
+    Returns the :class:`~multiprocessing.shared_memory.SharedMemory`
+    handle together with the payload — the caller must keep the handle
+    alive for as long as any view (or the index built from them) is in
+    use, and ``close()`` it afterwards.
+    """
+    block = shared_memory.SharedMemory(name=name)
+    start, length = manifest_span
+    manifest = json.loads(bytes(block.buf[start : start + length]).decode("utf-8"))
+    arrays: Dict[str, np.ndarray] = {}
+    for path, (offset, dtype, shape) in layout.items():
+        view: np.ndarray = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype), buffer=block.buf, offset=offset
+        )
+        view.flags.writeable = False
+        arrays[path] = view
+    return block, IndexPayload.from_manifest(manifest, arrays)
+
+
+# ---------------------------------------------------------------------------
+# Per-index export cache: replicas (and rebuilt pools) share one block
+# ---------------------------------------------------------------------------
+_EXPORTS: "weakref.WeakKeyDictionary[Any, SharedPayloadExport]" = (
+    weakref.WeakKeyDictionary()
+)
+_EXPORTS_LOCK = threading.Lock()
+
+
+def export_for_index(index: Any) -> SharedPayloadExport:
+    """The shared export for ``index``, created on first use (acquired).
+
+    Keyed weakly by the index object itself: every engine/replica serving
+    the same in-RAM index gets the same block, each holding one reference.
+    The caller owns exactly one :meth:`SharedPayloadExport.release`.
+    """
+    from .persistence import index_to_payload
+
+    with _EXPORTS_LOCK:
+        export = _EXPORTS.get(index)
+        if export is None or export.closed:
+            export = SharedPayloadExport(index_to_payload(index))
+            _EXPORTS[index] = export
+        return export.acquire()

@@ -19,10 +19,14 @@ Design:
   archive *path* (plus the mmap flag): the worker re-opens the archive
   itself, and with ``mmap=True`` every worker's view of the shard shares
   one set of physical pages through the OS page cache.  A shard built in
-  memory ships its :class:`~repro.payload.IndexPayload` — the same
-  array-schema currency the archives use — and the worker rebuilds the
-  index with ``from_payload``; no live index object (with its embedded
-  locks and caches) ever crosses the process boundary.
+  memory ships a shared-memory block *name* plus an array layout (see
+  :mod:`repro.api.shm`): the parent exports the shard's
+  :class:`~repro.payload.IndexPayload` into one
+  :mod:`multiprocessing.shared_memory` block, the worker attaches and
+  rebuilds the index from zero-copy read-only views — the pickled spec is
+  O(array count), not O(index bytes), and every worker shares one
+  physical copy.  No live index object (with its embedded locks and
+  caches) ever crosses the process boundary.
 * **Array answers.**  A query's matches cross back as
   ``(kind, ids, values, eval_ms)`` payloads — ndarrays plus the worker's
   own evaluation wall-clock (:func:`repro.core.base.matches_to_arrays`
@@ -38,6 +42,9 @@ Design:
 
 from __future__ import annotations
 
+import atexit
+import contextlib
+import gc
 import os
 import stat
 import time
@@ -50,13 +57,40 @@ from ..exceptions import ValidationError, WorkerError
 from ..payload import IndexPayload
 
 #: Per-shard initialization spec: ``("archive", path, mmap)`` for shards
-#: that live on disk, ``("payload", index_payload)`` for in-memory shards.
-WorkerSpec = Union[Tuple[str, str, bool], Tuple[str, IndexPayload]]
+#: that live on disk, ``("shm", block_name, manifest_span, layout)`` for
+#: in-memory shards exported through :mod:`repro.api.shm`, and the legacy
+#: ``("payload", index_payload)`` form that pickles the arrays themselves.
+WorkerSpec = Union[
+    Tuple[str, str, bool],
+    Tuple[str, str, Tuple[int, int], Dict[str, Any]],
+    Tuple[str, IndexPayload],
+]
 
 #: The shard indexes owned by *this* worker process, keyed by shard
 #: ordinal (set by the pool initializer; empty in the parent and in
 #: uninitialized workers).
 _WORKER_INDEXES: Dict[int, Any] = {}
+
+#: Shared-memory handles this worker has attached (one per ``shm`` spec).
+#: Retained for the process lifetime: the shard indexes hold zero-copy
+#: views into the mapped buffers, so the handles must outlive them.
+_WORKER_SHM: list = []
+
+
+def _close_worker_shm() -> None:
+    """Interpreter-exit hook: drop index views, then close the mappings.
+
+    The ndarray views exported from ``shm.buf`` must be garbage first or
+    ``close()`` raises ``BufferError`` — clear the index table, collect,
+    then close each handle (suppressing the error for any view a query
+    result still pins; process exit unmaps regardless).
+    """
+    _WORKER_INDEXES.clear()
+    gc.collect()
+    while _WORKER_SHM:
+        block = _WORKER_SHM.pop()
+        with contextlib.suppress(BufferError, OSError):
+            block.close()
 
 
 def _materialize(spec: WorkerSpec) -> Any:
@@ -67,6 +101,14 @@ def _materialize(spec: WorkerSpec) -> Any:
         _, path, mmap = spec
         index, _ = load_index_payload(path, mmap=mmap)
         return index
+    if spec[0] == "shm":
+        from .persistence import index_from_payload
+        from .shm import attach_payload
+
+        _, name, manifest_span, layout = spec
+        block, payload = attach_payload(name, manifest_span, layout)
+        _WORKER_SHM.append(block)
+        return index_from_payload(payload)
     if spec[0] == "payload":
         from .persistence import index_from_payload
 
@@ -106,7 +148,13 @@ def initialize_worker(specs: Dict[int, WorkerSpec]) -> None:
     """Process-pool initializer: materialize every shard this worker owns."""
     global _WORKER_INDEXES
     close_sockets_worker()
-    _WORKER_INDEXES = {shard: _materialize(spec) for shard, spec in specs.items()}
+    _WORKER_INDEXES.clear()
+    _WORKER_INDEXES.update(
+        {shard: _materialize(spec) for shard, spec in specs.items()}
+    )
+    if _WORKER_SHM:
+        # Last-registered runs first, so the views die before the handles.
+        atexit.register(_close_worker_shm)
 
 
 def query_worker(

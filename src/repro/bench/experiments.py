@@ -1245,6 +1245,123 @@ def archive_size(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
     return table
 
 
+def memory_frontier(scale: ExperimentScale = DEFAULT_SCALE) -> FigureTable:
+    """The in-RAM half of the space frontier: compact payloads + shm workers.
+
+    Reference workload: the same synthetic special uncertain string the
+    ``archive-size`` experiment uses (alphabet ACGT, probabilities
+    ~U[0.5, 1), seeded per size).  Three questions, one series each:
+
+    * **In-RAM footprint** — ``build_index(...)`` vs
+      ``build_index(..., compact=True)``: dtype-minimized stored arrays
+      plus the compact RMQ summaries rebuilt from them.  The CI perf
+      smoke guards compact ≤ 0.6 × wide; answers are byte-identical.
+    * **Worker boundary** — pickled bytes of the shared-memory worker
+      spec (block name + array layout; see :mod:`repro.api.shm`) vs the
+      legacy pickled-payload spec: O(array count) vs O(index bytes).
+    * **Serving cost** — process-pool cold spawn (pool creation + shm
+      attach + first query) and warm in-process query throughput for the
+      wide and compact builds (narrowing must not slow the kernels).
+    """
+    import pickle
+    import time as time_module
+
+    import numpy as np
+
+    from ..api.engine import build_index
+    from ..api.persistence import index_to_payload
+    from ..api.sharding import build_sharded_index
+    from ..api.shm import export_for_index
+    from ..strings.special import SpecialUncertainString
+
+    table = FigureTable(
+        figure_id="memory-frontier",
+        title="In-RAM bytes, worker-spec bytes and serving cost: wide vs compact",
+        x_label="string positions",
+        y_label="see series label",
+        notes=(
+            "special index over a synthetic special uncertain string "
+            "(alphabet ACGT, probabilities ~U[0.5, 1), seed 1234+n); "
+            "warm QPS = uncached index.query over text substrings; cold "
+            "spawn = 2-shard process pool creation + first query"
+        ),
+    )
+    wide_ram = Series("in-RAM wide (bytes)")
+    compact_ram = Series("in-RAM compact (bytes)")
+    ratio = Series("compact / wide (x)")
+    spec_pickled = Series("shm worker spec pickled (bytes)")
+    payload_pickled = Series("legacy payload spec pickled (bytes)")
+    cold_spawn = Series("process-pool cold spawn (ms)")
+    qps_wide = Series("warm QPS wide (q/s)")
+    qps_compact = Series("warm QPS compact (q/s)")
+
+    def throughput(index: object, patterns: List[str], tau: float) -> float:
+        repeats = max(2, scale.query_repeats)
+        for pattern in patterns:  # warmup pass
+            index.query(pattern, tau)
+        started = time_module.perf_counter()
+        for _ in range(repeats):
+            for pattern in patterns:
+                index.query(pattern, tau)
+        elapsed = time_module.perf_counter() - started
+        return (repeats * len(patterns)) / elapsed if elapsed > 0 else 0.0
+
+    for n in scale.string_sizes:
+        rng = np.random.default_rng(1234 + n)
+        characters = rng.choice(list("ACGT"), size=n)
+        probabilities = rng.uniform(0.5, 1.0, size=n).round(6)
+        string = SpecialUncertainString(
+            [(c, float(p)) for c, p in zip(characters, probabilities)]
+        )
+        wide_engine = build_index(string)
+        compact_engine = build_index(string, compact=True)
+        wide_total = wide_engine.nbytes()
+        compact_total = compact_engine.nbytes()
+        wide_ram.add(n, float(wide_total))
+        compact_ram.add(n, float(compact_total))
+        ratio.add(n, compact_total / wide_total)
+
+        export = export_for_index(compact_engine.index)
+        try:
+            spec_pickled.add(n, float(len(pickle.dumps(export.spec()))))
+        finally:
+            export.release()
+        payload_pickled.add(
+            n,
+            float(
+                len(pickle.dumps(("payload", index_to_payload(compact_engine.index))))
+            ),
+        )
+
+        offsets = rng.integers(0, n - 6, size=8)
+        patterns = [string.text[int(o) : int(o) + 5] for o in offsets]
+        sharded = build_sharded_index(
+            string, shards=2, max_pattern_len=16, query_executor="process"
+        )
+        try:
+            started = time_module.perf_counter()
+            sharded.count(patterns[0], tau=scale.tau)
+            cold_spawn.add(n, (time_module.perf_counter() - started) * 1000.0)
+        finally:
+            sharded.close()
+
+        qps_wide.add(n, throughput(wide_engine.index, patterns, scale.tau))
+        qps_compact.add(n, throughput(compact_engine.index, patterns, scale.tau))
+    table.series.extend(
+        [
+            wide_ram,
+            compact_ram,
+            ratio,
+            spec_pickled,
+            payload_pickled,
+            cold_spawn,
+            qps_wide,
+            qps_compact,
+        ]
+    )
+    return table
+
+
 #: Registry used by the CLI and the tests.
 EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "fig7a": figure_7a,
@@ -1270,6 +1387,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], FigureTable]] = {
     "network-serving": network_serving,
     "observability-overhead": observability_overhead,
     "archive-size": archive_size,
+    "memory-frontier": memory_frontier,
 }
 
 

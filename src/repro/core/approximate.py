@@ -393,7 +393,10 @@ class ApproximateSubstringIndex(UncertainSubstringIndex):
             )
             for i in range(int(meta["link_count"]))
         ]
-        index._link_origin_left = arrays["link_origin_left"]
+        # Widen once at restore: the query path binary-searches this array
+        # against suffix ranks that can exceed a compacted dtype's range, and
+        # ``searchsorted`` would otherwise re-promote the haystack per query.
+        index._link_origin_left = arrays["link_origin_left"].astype(np.int64, copy=False)
         index._link_probabilities = arrays["link_probability"]
         if len(index._links) > 0:
             index._link_rmq = restore_child_rmq(

@@ -477,7 +477,10 @@ class GeneralUncertainStringIndex(UncertainSubstringIndex):
     def _candidates_scan(
         self, sp: int, ep: int, length: int, log_threshold: float
     ) -> Tuple[np.ndarray, np.ndarray]:
-        suffix_array = self._suffix_array.array[sp : ep + 1]
+        # Widen before the window arithmetic: compacted payloads restore
+        # narrow suffix arrays and ``suffix_array + length`` can exceed
+        # their dtype range.  Positions only face comparisons and gathers.
+        suffix_array = self._suffix_array.array[sp : ep + 1].astype(np.int64, copy=False)
         positions = self._rank_positions[sp : ep + 1]
         ends = suffix_array + length
         in_range = (ends <= len(self._transformed.text)) & (positions >= 0)

@@ -506,9 +506,12 @@ class UncertainStringListingIndex(PayloadSerializable):
     def _candidates_scan(
         self, sp: int, ep: int, length: int, threshold: float
     ) -> Tuple[np.ndarray, np.ndarray]:
-        order = self._suffix_array.array[sp : ep + 1]
+        # Widen before the arithmetic below: compacted payloads restore
+        # narrow dtypes, and both ``order + length`` and the pair-key
+        # ``positions + 1`` can exceed a minimized dtype's range.
+        order = self._suffix_array.array[sp : ep + 1].astype(np.int64, copy=False)
         documents = self._rank_documents[sp : ep + 1]
-        positions = self._rank_positions[sp : ep + 1]
+        positions = self._rank_positions[sp : ep + 1].astype(np.int64, copy=False)
         ends = order + length
         valid = (
             (ends <= len(self._transformed.text)) & (documents >= 0) & (positions >= 0)

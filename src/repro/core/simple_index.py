@@ -138,7 +138,9 @@ class SimpleSpecialIndex(UncertainSubstringIndex):
         sp, ep = interval
         log_threshold = math.log(threshold)
         length = len(pattern)
-        positions = self._suffix_array.array[sp : ep + 1]
+        # Widen before the window arithmetic: a compacted suffix array is
+        # uint8/16/32 and ``positions + length`` can exceed its dtype range.
+        positions = self._suffix_array.array[sp : ep + 1].astype(np.int64, copy=False)
 
         occurrences: List[Occurrence] = []
         if not self._correlations:

@@ -400,7 +400,9 @@ class SpecialUncertainStringIndex(UncertainSubstringIndex):
         Correlated strings still walk rank by rank (every window needs the
         correlation adjustment), returning the same array shape.
         """
-        positions = self._suffix_array.array[ranks]
+        # Widen before the window arithmetic: a compacted suffix array is
+        # uint8/16/32 and ``positions + length`` can exceed its dtype range.
+        positions = self._suffix_array.array[ranks].astype(np.int64, copy=False)
         if not self._correlations:
             in_range = positions + length <= len(self._string)
             candidates = positions[in_range]

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import json
 import re
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +48,49 @@ PAYLOAD_VERSION = 1
 
 #: Separator joining child names into flat array paths (archive members).
 PATH_SEPARATOR = "/"
+
+#: Meta key under which :meth:`IndexPayload.compact` records the logical
+#: (pre-narrowing) description of every transformed stored array, so space
+#: accounting can report the wide footprint and :meth:`IndexPayload.expand`
+#: can restore bit-packed booleans.
+COMPACT_META_KEY = "compact_dtypes"
+
+#: Narrowing ladders for :meth:`IndexPayload.compact`: the smallest dtype
+#: holding the observed value range wins; 64-bit stays 64-bit.
+_SIGNED_NARROW = (np.int8, np.int16, np.int32)
+_UNSIGNED_NARROW = (np.uint8, np.uint16, np.uint32)
+
+
+def _narrow_dtype(array: np.ndarray) -> Optional[np.dtype]:
+    """Smallest integer dtype that holds ``array``'s observed value range.
+
+    Returns ``None`` when no strictly smaller safe dtype exists: float
+    arrays (probabilities stay float64), already-minimal integers, and
+    value ranges that genuinely need 64 bits.  Arrays containing negative
+    sentinels (``-1`` separator markers) narrow to signed dtypes only.
+    """
+    if array.dtype.kind not in ("i", "u"):
+        return None
+    if array.size == 0:
+        candidates = _SIGNED_NARROW if array.dtype.kind == "i" else _UNSIGNED_NARROW
+        target = np.dtype(candidates[0])
+        return target if target.itemsize < array.dtype.itemsize else None
+    low, high = int(array.min()), int(array.max())
+    candidates = _SIGNED_NARROW if low < 0 else _UNSIGNED_NARROW
+    for candidate in candidates:
+        info = np.iinfo(candidate)
+        if info.min <= low and high <= info.max:
+            target = np.dtype(candidate)
+            return target if target.itemsize < array.dtype.itemsize else None
+    return None
+
+
+def array_checksum(array: np.ndarray) -> int:
+    """crc32 of an array's raw bytes (dtype-sensitive, platform-stable)."""
+    data = np.ascontiguousarray(array)
+    if data.size == 0:
+        return 0
+    return int(zlib.crc32(data.view(np.uint8).reshape(-1)))
 
 #: Central registry of every payload schema the package produces or
 #: understands, mapping the schema name to a one-line description.  Adding
@@ -141,12 +185,126 @@ class IndexPayload:
             child.validate()
         return self
 
+    # -- dtype minimization ------------------------------------------------------------
+    def compact(self) -> "IndexPayload":
+        """Return a dtype-minimized copy of this payload (new object).
+
+        Integer stored arrays are narrowed to the smallest dtype that
+        holds their observed value range — positions, ranks and document
+        identifiers become uint8/16/32 (signed when ``-1`` sentinels are
+        present) — and boolean stored arrays are bit-packed with
+        ``np.packbits``.  Float arrays are untouched: the log-space
+        float64 probability values are the query answers, and they must
+        stay byte-identical.  The logical dtype of every transformed
+        array is recorded under ``meta[COMPACT_META_KEY]``; narrowed
+        integers are *not* widened on restore — the suffix/RMQ kernels
+        accept any integer dtype and widen lazily at the few arithmetic
+        boundaries that need int64 — while packed booleans are restored
+        by :meth:`expand` before ``from_payload`` consumes them.
+
+        Derived arrays are dropped: they are runtime acceleration
+        structures ``from_payload`` rebuilds — and rebuilds *smaller*
+        from the compact stored form (a ``CompactRMQ`` block summary
+        instead of the full sparse table).  Children compact recursively.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        record: Dict[str, Dict[str, Any]] = dict(self.meta.get(COMPACT_META_KEY, {}))
+        for name, array in self.arrays.items():
+            if array.dtype.kind == "b":
+                arrays[name] = np.packbits(array.view(np.uint8))
+                record[name] = {"kind": "packed_bool", "length": int(array.size)}
+                continue
+            target = _narrow_dtype(array)
+            if target is None:
+                arrays[name] = array
+                continue
+            arrays[name] = array.astype(target)
+            record[name] = {"kind": "narrowed", "logical": str(array.dtype)}
+        meta = dict(self.meta)
+        if record:
+            meta[COMPACT_META_KEY] = record
+        return IndexPayload(
+            schema=self.schema,
+            meta=meta,
+            arrays=arrays,
+            children={name: child.compact() for name, child in self.children.items()},
+            version=self.version,
+        )
+
+    def expand(self) -> "IndexPayload":
+        """Restore bit-packed boolean stored arrays to logical bool dtype.
+
+        The single consumption boundary (``index_from_payload``) calls
+        this before dispatching to ``from_payload``: packed booleans are
+        the one compact form the kernels cannot use in place.  Narrowed
+        integer arrays stay narrow (kernels widen lazily).  Returns
+        ``self`` unchanged when nothing is packed anywhere in the tree.
+        """
+        record = self.meta.get(COMPACT_META_KEY, {})
+        packed = {
+            name: info
+            for name, info in record.items()
+            if info.get("kind") == "packed_bool" and name in self.arrays
+        }
+        children = {name: child.expand() for name, child in self.children.items()}
+        if not packed and all(
+            children[name] is child for name, child in self.children.items()
+        ):
+            return self
+        arrays = dict(self.arrays)
+        for name, info in packed.items():
+            arrays[name] = np.unpackbits(
+                np.asarray(arrays[name], dtype=np.uint8), count=int(info["length"])
+            ).view(np.bool_)
+        remaining = {
+            name: info
+            for name, info in record.items()
+            if not (info.get("kind") == "packed_bool" and name in packed)
+        }
+        meta = dict(self.meta)
+        if remaining:
+            meta[COMPACT_META_KEY] = remaining
+        else:
+            meta.pop(COMPACT_META_KEY, None)
+        return IndexPayload(
+            schema=self.schema,
+            meta=meta,
+            arrays=arrays,
+            derived=dict(self.derived),
+            children=children,
+            version=self.version,
+        )
+
     # -- space accounting --------------------------------------------------------------
     def nbytes(self) -> int:
         """In-memory footprint: stored + derived arrays, recursively."""
         total = sum(int(a.nbytes) for a in self.arrays.values())
         total += sum(int(a.nbytes) for a in self.derived.values())
         return total + sum(child.nbytes() for child in self.children.values())
+
+    def _wide_array_nbytes(self, name: str, array: np.ndarray) -> int:
+        """Bytes the stored array would occupy at its logical (wide) dtype."""
+        info = self.meta.get(COMPACT_META_KEY, {}).get(name)
+        if info is None:
+            return int(array.nbytes)
+        if info.get("kind") == "packed_bool":
+            return int(info["length"])
+        return int(array.size) * int(np.dtype(info["logical"]).itemsize)
+
+    def wide_nbytes(self) -> int:
+        """In-memory footprint at logical (pre-:meth:`compact`) dtypes.
+
+        Stored arrays count at the dtype recorded under
+        ``meta[COMPACT_META_KEY]`` (their own dtype when never narrowed);
+        derived arrays count as-is.  Equals :meth:`nbytes` for payloads
+        that were never compacted, so ``nbytes`` vs ``wide_nbytes`` is
+        the wide-vs-compact in-RAM series.
+        """
+        total = sum(
+            self._wide_array_nbytes(name, array) for name, array in self.arrays.items()
+        )
+        total += sum(int(a.nbytes) for a in self.derived.values())
+        return total + sum(child.wide_nbytes() for child in self.children.values())
 
     def stored_nbytes(self) -> int:
         """Bytes an archive must persist: stored arrays only, recursively."""
@@ -169,6 +327,9 @@ class IndexPayload:
             component = _TRAILING_INDEX.sub("", name)
             report[component] = report.get(component, 0) + child.nbytes()
         report["total"] = sum(report.values())
+        # The wide-vs-compact in-RAM series: what the same payload would
+        # occupy at logical dtypes.  Equal to "total" when never compacted.
+        report["total_wide"] = self.wide_nbytes()
         return report
 
     # -- flattening (archive layout) -----------------------------------------------------
@@ -193,13 +354,19 @@ class IndexPayload:
 
         Together with :meth:`flatten`'s arrays this reconstructs the
         payload exactly (see :meth:`from_manifest`); derived arrays are
-        intentionally absent — ``from_payload`` rebuilds them.
+        intentionally absent — ``from_payload`` rebuilds them.  Every
+        stored array is recorded with its crc32 so loaders can detect
+        corrupt archive members (:func:`verify_manifest_checksums`)
+        before numpy ever touches the bytes.
         """
         return {
             "schema": self.schema,
             "version": int(self.version),
             "meta": self.meta,
             "arrays": list(self.arrays),
+            "checksums": {
+                name: array_checksum(array) for name, array in self.arrays.items()
+            },
             "children": {name: child.manifest() for name, child in self.children.items()},
         }
 
@@ -236,6 +403,41 @@ class IndexPayload:
             children=children,
             version=int(manifest.get("version", PAYLOAD_VERSION)),
         )
+
+
+def verify_manifest_checksums(
+    manifest: Dict[str, Any],
+    flat_arrays: Dict[str, np.ndarray],
+    *,
+    prefix: str = "",
+) -> None:
+    """Verify the per-array crc32 records of a payload manifest.
+
+    Walks the manifest tree exactly like :meth:`IndexPayload.from_manifest`
+    and compares every recorded checksum against the loaded bytes, raising
+    a taxonomy :class:`ValidationError` naming the corrupt member instead
+    of letting a damaged buffer reach numpy.  Manifests written before
+    checksums were recorded — and arrays missing from ``flat_arrays``
+    (``from_manifest`` raises its own error for those) — verify trivially.
+    """
+    checksums = manifest.get("checksums") or {}
+    for name in manifest.get("arrays", []):
+        expected = checksums.get(name)
+        if expected is None:
+            continue
+        key = f"{prefix}{PATH_SEPARATOR}{name}" if prefix else name
+        array = flat_arrays.get(key)
+        if array is None:
+            continue
+        actual = array_checksum(array)
+        if actual != int(expected):
+            raise ValidationError(
+                f"payload array {key!r} failed its checksum (expected crc32 "
+                f"{int(expected)}, got {actual}): corrupt archive member"
+            )
+    for name, child_manifest in manifest.get("children", {}).items():
+        child_prefix = f"{prefix}{PATH_SEPARATOR}{name}" if prefix else name
+        verify_manifest_checksums(child_manifest, flat_arrays, prefix=child_prefix)
 
 
 def expect_schema(payload: IndexPayload, schema: str) -> IndexPayload:

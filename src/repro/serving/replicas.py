@@ -204,6 +204,57 @@ class ReplicaSet:
             probe_after=probe_after,
         )
 
+    @classmethod
+    def from_engine(
+        cls,
+        engine: Any,
+        *,
+        replicas: int,
+        hedge_after_ms: Optional[float] = None,
+        max_consecutive_faults: int = 3,
+        probe_after: int = 16,
+    ) -> "ReplicaSet":
+        """Fan ``replicas`` façades out over one in-RAM sharded engine.
+
+        The disk-backed :meth:`load` shares physical memory through the
+        page cache; this is its in-RAM counterpart for a
+        :class:`~repro.api.sharding.ShardedEngine` that was *built* in
+        this process.  Each replica is a new façade (own result cache,
+        own worker pools, own routing slot) over the **same** shard
+        engines — so in process mode every replica's workers attach to
+        one set of shared-memory blocks (see :mod:`repro.api.shm`)
+        instead of exporting the index once per replica.  ``engine``
+        itself serves as replica 0.
+        """
+        if replicas < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        from ..api.sharding import ShardedEngine
+
+        if not isinstance(engine, ShardedEngine):
+            raise ValidationError(
+                "from_engine replicates a ShardedEngine; build one (a "
+                "single shard is fine) or use ReplicaSet(engines=...) "
+                f"directly, got {type(engine).__name__}"
+            )
+        copies: List[Any] = [engine]
+        for _ in range(replicas - 1):
+            copies.append(
+                ShardedEngine(
+                    engine.shards,
+                    engine.spec,
+                    engine.plan,
+                    query_executor=engine.query_executor,
+                    partial=engine.partial,
+                    worker_retries=engine.worker_retries,
+                )
+            )
+        return cls(
+            copies,
+            hedge_after_ms=hedge_after_ms,
+            max_consecutive_faults=max_consecutive_faults,
+            probe_after=probe_after,
+        )
+
     # -- introspection ------------------------------------------------------------
     @property
     def replica_count(self) -> int:

@@ -19,15 +19,18 @@ from .._validation import check_nonempty_pattern
 from ..exceptions import ValidationError
 
 
-def _as_int64_array(suffix_array: np.ndarray) -> np.ndarray:
-    """Pass prebuilt ``int64`` suffix arrays through without re-casting.
+def _as_index_array(suffix_array: np.ndarray) -> np.ndarray:
+    """Pass prebuilt integer suffix arrays through without re-casting.
 
-    Every index caches its suffix array as a contiguous ``int64`` numpy
-    array at construction (see :class:`~repro.suffix.suffix_array.SuffixArray`),
-    so the common case is a no-op identity check instead of a per-query
-    ``np.asarray`` dispatch; lists and other dtypes are still converted.
+    Every index caches its suffix array as a contiguous integer numpy
+    array at construction (see :class:`~repro.suffix.suffix_array.SuffixArray`)
+    — int64 when built, possibly uint8/16/32 when restored from a
+    dtype-minimized payload — so the common case is a no-op kind check
+    instead of a per-query copy; lists and float inputs still convert.
+    The binary searches below only ever read single elements through
+    ``int(...)``, which is dtype-agnostic.
     """
-    if isinstance(suffix_array, np.ndarray) and suffix_array.dtype == np.int64:
+    if isinstance(suffix_array, np.ndarray) and suffix_array.dtype.kind in ("i", "u"):
         return suffix_array
     return np.asarray(suffix_array, dtype=np.int64)
 
@@ -62,7 +65,7 @@ def suffix_range(text: str, suffix_array: np.ndarray, pattern: str) -> Optional[
     check_nonempty_pattern(pattern)
     if not text:
         raise ValidationError("cannot search in an empty text")
-    suffix_array = _as_int64_array(suffix_array)
+    suffix_array = _as_index_array(suffix_array)
     n = len(suffix_array)
     m = len(pattern)
 
@@ -110,6 +113,6 @@ def occurrence_positions(text: str, suffix_array: np.ndarray, pattern: str) -> n
     if interval is None:
         return np.empty(0, dtype=np.int64)
     sp, ep = interval
-    positions = _as_int64_array(suffix_array)[sp : ep + 1].copy()
+    positions = _as_index_array(suffix_array)[sp : ep + 1].copy()
     positions.sort()
     return positions

@@ -101,6 +101,20 @@ def _check_batch(
     return lefts, rights
 
 
+def _as_position_array(positions) -> np.ndarray:
+    """Accept any integer position array as-is, zero-copy.
+
+    Dtype-minimized payloads restore uint8/16/32 block positions; the
+    query paths only gather through them (``values[positions]``) or read
+    single elements with ``int(...)``, both dtype-agnostic, so no widening
+    copy is needed.  Lists and float inputs still convert to int64.
+    """
+    array = np.asarray(positions)
+    if array.dtype.kind in ("i", "u"):
+        return array
+    return np.asarray(array, dtype=np.int64)
+
+
 def _floor_log2(spans: np.ndarray) -> np.ndarray:
     """Vectorized ``span.bit_length() - 1`` for positive int64 spans.
 
@@ -398,7 +412,7 @@ class BlockRMQ:
             raise ValidationError(f"block_size must be positive, got {block_size}")
         self._block_size = int(block_size)
         n = len(self._values)
-        block_positions = np.asarray(block_positions, dtype=np.int64)
+        block_positions = _as_position_array(block_positions)
         block_count = (n + self._block_size - 1) // self._block_size
         if block_positions.shape != (block_count,):
             raise ValidationError(
@@ -566,7 +580,7 @@ class CompactRMQ:
                 self._values, self._block_size, mode
             )
         else:
-            block_positions = np.asarray(block_positions, dtype=np.int64)
+            block_positions = _as_position_array(block_positions)
             if block_positions.shape != (block_count,):
                 raise ValidationError(
                     f"serialized block positions have shape {block_positions.shape}, "

@@ -86,8 +86,14 @@ def inverse_suffix_array(suffix_array: np.ndarray) -> np.ndarray:
     """Return the inverse permutation (``rank``) of a suffix array.
 
     ``rank[i]`` is the lexicographic rank of the suffix starting at ``i``.
+
+    Integer dtypes pass through: a dtype-minimized (compacted) suffix
+    array yields an equally narrow rank array — ranks and positions span
+    the same ``[0, n)`` value range.
     """
-    suffix_array = np.asarray(suffix_array, dtype=np.int64)
+    suffix_array = np.asarray(suffix_array)
+    if suffix_array.dtype.kind not in ("i", "u"):
+        suffix_array = np.asarray(suffix_array, dtype=np.int64)
     rank = np.empty_like(suffix_array)
     rank[suffix_array] = np.arange(len(suffix_array), dtype=np.int64)
     return rank
@@ -127,9 +133,13 @@ class SuffixArray:
         if array is None:
             self._array = build_suffix_array(text)
         else:
-            # Cache the int64 cast once here: suffix_range and the query
-            # paths pass `self.array` straight through without re-casting.
-            candidate = np.ascontiguousarray(array, dtype=np.int64)
+            # Any integer dtype is kept as-is, zero-copy: compacted
+            # payloads restore uint8/16/32 suffix arrays, and the query
+            # paths widen lazily at the few arithmetic sites that need
+            # int64.  Non-integer inputs (lists, floats) still cast once.
+            candidate = np.asarray(array)
+            if candidate.dtype.kind not in ("i", "u"):
+                candidate = np.ascontiguousarray(candidate, dtype=np.int64)
             if len(candidate) != len(text):
                 raise ValidationError(
                     f"suffix array length {len(candidate)} does not match text length {len(text)}"

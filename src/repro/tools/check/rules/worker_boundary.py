@@ -15,7 +15,10 @@ and checks lexically that
   in ``_worker`` or ``_payload``) — not a lambda, not a bound method;
 * no argument expression mentions a live-object identifier (``engine``,
   ``index``, ``pool``, ``cache``, ``rmq``, ``lock``, ``self``, ...)
-  outside a whitelisted converter call such as ``index_to_payload``.
+  outside a whitelisted converter call such as ``index_to_payload``,
+  ``export_for_index`` or a shared-memory export's ``spec()`` — a block
+  *name* plus array layout is shippable currency (the worker attaches by
+  name; no array bytes are pickled), the export object itself is not.
 
 Pools are recognised by assignment/with-binding from a
 ``ProcessPoolExecutor(...)`` call, by annotations mentioning the type, or
@@ -37,8 +40,12 @@ POOL_TYPE = "ProcessPoolExecutor"
 WORKER_NAME = re.compile(r"(_worker|_payload)$")
 
 #: Converter calls whose result is plain data — arguments are not descended.
+#: ``export_for_index`` / ``spec`` cover the shared-memory boundary: the
+#: spec tuple carries a block name and an array layout, never the arrays.
 CONVERTERS = {
     "index_to_payload",
+    "export_for_index",
+    "spec",
     "matches_to_arrays",
     "str",
     "int",
@@ -74,6 +81,13 @@ BANNED = {
     "_rmq",
     "lock",
     "_lock",
+    # Shared-memory exports hold live SharedMemory handles; only their
+    # spec() tuple (block name + layout) may cross the boundary.
+    "export",
+    "exports",
+    "_export",
+    "_exports",
+    "_shm_exports",
 }
 
 

@@ -588,3 +588,56 @@ class TestFormatVersions:
         path.write_bytes(b"this is not a zip archive at all")
         with pytest.raises(ValidationError):
             load_index_payload(path, mmap=True)
+
+
+class TestChecksumVerification:
+    """Per-array crc32 records: corrupt archive members fail loudly.
+
+    The corruption helper rewrites the zip with one data byte flipped in
+    the largest payload member — ``writestr`` recomputes the zip-level
+    CRC, so the archive stays structurally valid and only the manifest
+    checksums can catch the damage (exactly the bit-rot scenario).
+    """
+
+    def _corrupt_largest_member(self, path):
+        import zipfile
+
+        with zipfile.ZipFile(path) as archive:
+            names = archive.namelist()
+            data = {name: archive.read(name) for name in names}
+        victim = max(
+            (name for name in names if name.endswith(".npy") and "__" not in name),
+            key=lambda name: len(data[name]),
+        )
+        raw = bytearray(data[victim])
+        raw[-1] ^= 0xFF  # flip a trailing data byte; npy headers sit up front
+        data[victim] = bytes(raw)
+        with zipfile.ZipFile(path, "w") as archive:
+            for name in names:
+                archive.writestr(name, data[name])
+        return victim[: -len(".npy")]
+
+    def test_eager_load_detects_corruption(self, tmp_path):
+        import re
+
+        engine = build_index(make_random_special_string(50, seed=3))
+        path = engine.save(tmp_path / "damaged")
+        load_index(path)  # pristine archive loads fine
+        victim = self._corrupt_largest_member(path)
+        with pytest.raises(ValidationError, match="checksum"):
+            load_index(path)
+        # The error names the corrupt member.
+        with pytest.raises(ValidationError, match=re.escape(victim)):
+            load_index_payload(path)
+        # verify=False is the escape hatch: the damaged bytes load as-is.
+        load_index_payload(path, verify=False)
+
+    def test_mmap_skips_verification_unless_forced(self, tmp_path):
+        engine = build_index(make_random_special_string(50, seed=4))
+        path = engine.save(tmp_path / "damaged-mmap")
+        self._corrupt_largest_member(path)
+        # Default mmap load stays zero-copy: checksumming would fault in
+        # every page, so corruption goes undetected here by design.
+        load_index_payload(path, mmap=True)
+        with pytest.raises(ValidationError, match="checksum"):
+            load_index_payload(path, mmap=True, verify=True)

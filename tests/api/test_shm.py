@@ -1,0 +1,216 @@
+"""Shared-memory worker boundary: export/attach round trip and lifecycle.
+
+The process-mode sharded engine ships each shard's arrays into one
+``multiprocessing.shared_memory`` block and hands workers a ``("shm",
+name, manifest_span, layout)`` spec — O(array count) pickled bytes, never
+the arrays.  These tests pin the contract from both sides:
+
+* **round trip** — attaching by spec reconstructs the payload zero-copy,
+  bit for bit, as read-only views;
+* **lifecycle** — blocks are refcounted, unlinked when the last owner
+  releases, reused across pool rebuilds (crash recovery must not
+  re-export), and shared across replicas of the same in-RAM build;
+* **equivalence** — the {compact, wide} × {thread, process} matrix
+  answers byte-identically to a serial wide engine on fuzzed probes.
+"""
+
+import contextlib
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import build_index, build_sharded_index, index_to_payload
+from repro.api.persistence import index_from_payload
+from repro.api.shm import attach_payload, export_for_index
+from repro.exceptions import ValidationError
+from repro.serving.replicas import ReplicaSet
+from repro.strings import SpecialUncertainString
+
+
+def _special_string(n=240, seed=11):
+    """A deterministic ACGT special string plus its certain text."""
+    rng = np.random.default_rng(seed)
+    text = "".join(rng.choice(list("ACGT"), size=n))
+    probabilities = rng.uniform(0.3, 1.0, size=n).round(6)
+    return text, SpecialUncertainString(list(zip(text, probabilities)))
+
+
+def _probes(text, rng, count=15, max_length=7):
+    for _ in range(count):
+        length = int(rng.integers(1, max_length + 1))
+        start = int(rng.integers(0, len(text) - length + 1))
+        tau = float(rng.uniform(0.05, 0.9))
+        yield text[start : start + length], tau
+
+
+class TestSharedPayloadExport:
+    def test_spec_attach_round_trip_is_zero_copy_exact(self):
+        _, string = _special_string(seed=3)
+        engine = build_index(string)
+        export = export_for_index(engine.index)
+        block = None
+        try:
+            spec = export.spec()
+            assert spec[0] == "shm" and spec[1] == export.name
+            block, payload = attach_payload(*spec[1:])
+            original = index_to_payload(engine.index)
+            flat_original, flat_attached = original.flatten(), payload.flatten()
+            assert set(flat_original) == set(flat_attached)
+            for key in flat_original:
+                assert flat_attached[key].dtype == flat_original[key].dtype, key
+                assert np.array_equal(flat_attached[key], flat_original[key]), key
+                assert not flat_attached[key].flags.writeable, key
+            assert payload.manifest()["meta"] == original.manifest()["meta"]
+            # The attached payload materializes a working index.
+            restored = index_from_payload(payload)
+            assert restored.query("A", 0.2) == engine.index.query("A", 0.2)
+        finally:
+            # Drop every ndarray view over block.buf before closing, as the
+            # worker teardown path does; close() raises BufferError while
+            # exports of the mapped buffer are alive.
+            with contextlib.suppress(NameError):
+                del payload, flat_attached, restored
+            gc.collect()
+            if block is not None:
+                with contextlib.suppress(BufferError):
+                    block.close()
+            export.release()
+        assert export.closed
+
+    def test_refcounting_unlinks_at_zero(self):
+        _, string = _special_string(seed=4)
+        engine = build_index(string)
+        export = export_for_index(engine.index)  # refcount 1
+        export.acquire()  # refcount 2
+        export.release()
+        assert not export.closed
+        export.release()
+        assert export.closed
+        with pytest.raises(ValidationError):
+            export.acquire()
+
+    def test_export_is_cached_per_index_and_recreated_after_close(self):
+        _, string = _special_string(seed=5)
+        engine = build_index(string)
+        first = export_for_index(engine.index)
+        second = export_for_index(engine.index)
+        try:
+            # Same live export, one more reference — not a second block.
+            assert second is first
+        finally:
+            second.release()
+            assert not first.closed
+            first.release()
+        assert first.closed
+        replacement = export_for_index(engine.index)
+        try:
+            assert replacement is not first and not replacement.closed
+        finally:
+            replacement.release()
+
+
+class TestProcessEngineBlockLifecycle:
+    def test_blocks_released_on_close_without_dev_shm_leak(self):
+        shm_dir = "/dev/shm"
+        before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else None
+        text, string = _special_string(seed=6)
+        engine = build_sharded_index(
+            string, shards=2, max_pattern_len=8, query_executor="process"
+        )
+        try:
+            assert engine.count(text[:4], tau=0.2) >= 0
+            exports = list(engine._shm_exports.values())
+            assert len(exports) == 2
+            assert not any(export.closed for export in exports)
+        finally:
+            engine.close()
+        assert all(export.closed for export in exports)
+        if before is not None:
+            leaked = set(os.listdir(shm_dir)) - before
+            assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+    def test_pool_rebuild_reuses_live_blocks(self):
+        # Crash recovery discards dead pools but must keep the exports: the
+        # replacement workers re-attach to the same blocks by name instead
+        # of re-exporting megabytes of arrays.
+        text, string = _special_string(seed=7)
+        engine = build_sharded_index(
+            string, shards=2, max_pattern_len=8, query_executor="process"
+        )
+        try:
+            baseline = engine.query(text[:5], tau=0.2)
+            exports_before = dict(engine._shm_exports)
+            pools = engine._ensure_process_pools()
+            engine._discard_pools(pools)
+            assert engine.query(text[:5], tau=0.2) == baseline
+            assert dict(engine._shm_exports) == exports_before
+            assert not any(export.closed for export in exports_before.values())
+        finally:
+            engine.close()
+
+    def test_replicas_share_one_block_set(self):
+        text, string = _special_string(seed=8)
+        engine = build_sharded_index(
+            string, shards=2, max_pattern_len=8, query_executor="process"
+        )
+        replica_set = ReplicaSet.from_engine(engine, replicas=3)
+        exports = []
+        try:
+            block_names = set()
+            for replica_engine in replica_set.engines:
+                assert replica_engine.count(text[:4], tau=0.2) >= 0
+                shard_exports = replica_engine._shm_exports
+                assert len(shard_exports) == 2
+                block_names.update(export.name for export in shard_exports.values())
+                exports.extend(shard_exports.values())
+            # 3 replicas x 2 shards attach to exactly 2 blocks in total.
+            assert len(block_names) == 2
+        finally:
+            replica_set.close()
+        assert all(export.closed for export in exports)
+
+
+class TestCompactShardedEquivalenceMatrix:
+    """{compact, wide} x {thread, process} vs the serial wide oracle.
+
+    Two layered guarantees: the compact build answers **byte-identically**
+    to the wide build under the same sharding and executor (narrowing
+    must not perturb a single float), and both agree with the serial wide
+    engine up to the usual chunk-local summation noise (the sharded
+    engine sums chunk prefixes in a different order, so bit equality
+    across shardings is not the contract — see ``test_sharding``).
+    """
+
+    @pytest.mark.parametrize("query_executor", ["thread", "process"])
+    def test_fuzzed_answers_match_wide_and_serial_oracle(self, query_executor):
+        from tests.api.test_sharding import assert_occurrences_equivalent
+
+        text, string = _special_string(n=360, seed=9)
+        serial = build_index(string)
+        wide = build_sharded_index(
+            string, shards=3, max_pattern_len=8, query_executor=query_executor
+        )
+        compacted = build_sharded_index(
+            string,
+            shards=3,
+            max_pattern_len=8,
+            compact=True,
+            query_executor=query_executor,
+        )
+        rng = np.random.default_rng(10)
+        try:
+            for pattern, tau in _probes(text, rng):
+                wide_matches = wide.query(pattern, tau)
+                assert compacted.query(pattern, tau) == wide_matches, (
+                    pattern,
+                    tau,
+                    query_executor,
+                )
+                assert_occurrences_equivalent(
+                    serial.index.query(pattern, tau), wide_matches, tau=tau
+                )
+        finally:
+            wide.close()
+            compacted.close()

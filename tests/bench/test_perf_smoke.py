@@ -1,6 +1,6 @@
 """Fast perf smoke: the hot-path optimizations must not regress.
 
-Five guards, all at the small scale so the step stays fast:
+Six guards, all at the small scale so the step stays fast:
 
 * the vectorized reporting kernel is at worst 1.5x slower than the scalar
   baseline on the largest small-grid workload (a generous margin — on real
@@ -18,7 +18,10 @@ Five guards, all at the small scale so the step stays fast:
 * the HTTP serving tier driven in-process (no sockets) sustains load at
   every replica count, and adding a replica never *costs* throughput
   beyond a noise margin — replica routing must be overhead-free even
-  where single-core CI cannot show a parallel speedup.
+  where single-core CI cannot show a parallel speedup;
+* the compacted in-RAM representation is at most 0.6x the wide bytes at
+  every size, and the shared-memory worker spec stays O(array count) —
+  spawning a process pool must never pickle per-worker index bytes.
 
 The full sweeps stay in the default-scale benchmark runs
 (``python -m repro.bench --figure query-kernel --figure serving-throughput
@@ -209,3 +212,54 @@ class TestNetworkServingSmoke:
             f"full tracing cost {(1 - best_tracing_ratio) * 100:.1f}% QPS — "
             "far beyond span-recording overhead; something is blocking"
         )
+
+
+class TestMemoryFrontierSmoke:
+    """The succinct-payload acceptance margins, at smoke scale.
+
+    One :func:`memory_frontier` run feeds every assertion (the experiment
+    builds a wide and a compact engine per size and spawns one process
+    pool, so re-running it per assertion would triple the step's cost).
+    No warm-QPS gate: the compact representation trades the O(1) sparse
+    RMQ table for an O(log n) summary, so its query throughput is
+    legitimately lower on large inputs — the committed default-scale
+    BENCH_memory_frontier.json records both series; the guards here are
+    the space and boundary contracts only.
+    """
+
+    def test_compact_ratio_and_worker_spec_margins(self):
+        from repro.bench.experiments import memory_frontier
+
+        table = memory_frontier(SMALL_SCALE)
+        wide = table.series_by_label("in-RAM wide (bytes)")
+        compact = table.series_by_label("in-RAM compact (bytes)")
+        assert wide.xs == compact.xs == list(SMALL_SCALE.string_sizes)
+        # The acceptance margin: narrowing dtypes and dropping derived
+        # sparse tables must reach at most 0.6x the wide in-RAM bytes on
+        # the reference workload (in practice ~0.1-0.2x).
+        for n, wide_bytes, compact_bytes in zip(wide.xs, wide.values, compact.values):
+            assert compact_bytes <= 0.6 * wide_bytes, (
+                f"compact in-RAM ({compact_bytes:.0f} B) is more than 0.6x "
+                f"the wide in-RAM ({wide_bytes:.0f} B) at n={n}"
+            )
+        # The worker-boundary contract: the shared-memory spec pickles a
+        # block name plus an array layout — O(array count), never O(n).
+        # The absolute cap is generous (the measured specs are ~1.3 KB);
+        # the relative cap pins the spec far below the legacy pickled
+        # payload it replaced, so a regression back to shipping array
+        # bytes trips both.
+        spec = table.series_by_label("shm worker spec pickled (bytes)")
+        payload = table.series_by_label("legacy payload spec pickled (bytes)")
+        for n, spec_bytes, payload_bytes in zip(spec.xs, spec.values, payload.values):
+            assert spec_bytes <= 32768, (
+                f"shm worker spec pickles {spec_bytes:.0f} B at n={n} — "
+                "O(index) bytes are crossing the process boundary again"
+            )
+            assert spec_bytes * 20 <= payload_bytes, (
+                f"shm worker spec ({spec_bytes:.0f} B) is not well below the "
+                f"legacy pickled payload ({payload_bytes:.0f} B) at n={n}"
+            )
+        # Cold spawn completed and was timed (the experiment routes a real
+        # count() through the freshly spawned process pool).
+        cold = table.series_by_label("process-pool cold spawn (ms)")
+        assert all(value > 0.0 for value in cold.values)

@@ -214,8 +214,11 @@ class TestMetadata:
         assert stats["transformed_length"] == index.transformed.length
         report = index.space_report()
         assert report["total"] == sum(
-            value for key, value in report.items() if key != "total"
+            value
+            for key, value in report.items()
+            if key not in ("total", "total_wide")
         )
+        assert report["total_wide"] >= report["total"]
         assert index.nbytes() == report["total"]
 
     def test_string_and_transformed_accessors(self, figure10_string):

@@ -17,7 +17,13 @@ import pytest
 
 from repro.api import build_index, index_from_payload, index_to_payload
 from repro.exceptions import ValidationError
-from repro.payload import IndexPayload, PAYLOAD_VERSION
+from repro.payload import (
+    COMPACT_META_KEY,
+    IndexPayload,
+    PAYLOAD_VERSION,
+    array_checksum,
+    verify_manifest_checksums,
+)
 from repro.strings import UncertainStringCollection
 from repro.suffix.rmq import (
     BlockRMQ,
@@ -55,7 +61,10 @@ class TestIndexPayloadStructure:
         assert report["short_values"] == 32
         assert report["rmq_short"] == 8
         assert report["prefix"] == 8
-        assert report["total"] == sum(v for k, v in report.items() if k != "total")
+        assert report["total"] == sum(
+            v for k, v in report.items() if k not in ("total", "total_wide")
+        )
+        assert report["total_wide"] == report["total"]
 
     def test_flatten_and_manifest_round_trip(self):
         child = IndexPayload("transformed", meta={"text": "ab"}, arrays={"p": np.arange(3)})
@@ -92,6 +101,85 @@ class TestIndexPayloadStructure:
         payload = IndexPayload("s")
         assert payload.version == PAYLOAD_VERSION
         assert payload.manifest()["version"] == PAYLOAD_VERSION
+
+
+class TestCompactPayload:
+    def _payload(self):
+        return IndexPayload(
+            "index/simple",
+            arrays={
+                "positions": np.arange(300, dtype=np.int64),
+                "links": np.array([-1, 0, 200], dtype=np.int64),
+                "flags": np.array([True, False, True, True, False]),
+                "probabilities": np.linspace(0.0, 1.0, 7),
+            },
+            derived={"table": np.zeros(64)},
+            children={"rmq": IndexPayload("rmq/sparse", arrays={"b": np.arange(9)})},
+        )
+
+    def test_narrowing_packing_and_expand(self):
+        payload = self._payload()
+        compacted = payload.compact().validate()
+        assert compacted.arrays["positions"].dtype == np.uint16
+        assert compacted.arrays["links"].dtype == np.int16  # -1 sentinel: signed
+        assert compacted.arrays["flags"].dtype == np.uint8  # packbits
+        assert compacted.arrays["probabilities"].dtype == np.float64  # untouched
+        assert not compacted.derived  # dropped; from_payload rebuilds smaller
+        assert compacted.children["rmq"].arrays["b"].dtype == np.uint8
+        record = compacted.meta[COMPACT_META_KEY]
+        assert record["positions"] == {"kind": "narrowed", "logical": "int64"}
+        assert record["flags"] == {"kind": "packed_bool", "length": 5}
+        assert "probabilities" not in record
+        expanded = compacted.expand()
+        # The one expansion boundary restores bools; integers stay narrow.
+        assert expanded.arrays["flags"].dtype == np.bool_
+        assert (expanded.arrays["flags"] == payload.arrays["flags"]).all()
+        assert expanded.arrays["positions"].dtype == np.uint16
+        assert (expanded.arrays["positions"] == payload.arrays["positions"]).all()
+        assert "flags" not in expanded.meta[COMPACT_META_KEY]
+
+    def test_compact_is_idempotent_and_expand_is_identity_when_unpacked(self):
+        payload = IndexPayload("index/simple", arrays={"x": np.arange(40)})
+        assert payload.expand() is payload  # nothing packed anywhere
+        once = payload.compact()
+        twice = once.compact()
+        assert twice.meta == once.meta
+        for name in once.arrays:
+            assert twice.arrays[name].dtype == once.arrays[name].dtype
+            assert (twice.arrays[name] == once.arrays[name]).all()
+
+    def test_wide_accounting_remembers_logical_dtypes(self):
+        payload = self._payload()
+        compacted = payload.compact()
+        # Stored arrays count at their logical dtypes; the dropped derived
+        # table is gone from both sides of the ledger.
+        assert compacted.wide_nbytes() == payload.stored_nbytes()
+        assert compacted.nbytes() < compacted.wide_nbytes()
+        report = compacted.space_report()
+        assert report["total_wide"] == compacted.wide_nbytes()
+        assert report["total"] == compacted.nbytes()
+        # A never-compacted payload reports both totals equal.
+        wide_report = IndexPayload("s", arrays={"x": np.arange(8)}).space_report()
+        assert wide_report["total_wide"] == wide_report["total"]
+
+    def test_checksums_recorded_and_verified(self):
+        assert array_checksum(np.empty(0)) == 0
+        payload = self._payload()
+        manifest, flat = payload.manifest(), payload.flatten()
+        assert manifest["checksums"]["positions"] == array_checksum(
+            payload.arrays["positions"]
+        )
+        verify_manifest_checksums(manifest, flat)  # pristine: no raise
+        corrupt = dict(flat)
+        damaged = corrupt["rmq/b"].copy()
+        damaged[0] += 1
+        corrupt["rmq/b"] = damaged
+        with pytest.raises(ValidationError, match="rmq/b"):
+            verify_manifest_checksums(manifest, corrupt)
+        # Pre-checksum manifests (and missing arrays) verify trivially.
+        legacy = {key: value for key, value in manifest.items() if key != "checksums"}
+        legacy["children"] = {}
+        verify_manifest_checksums(legacy, corrupt)
 
 
 @pytest.fixture(params=["sparse", "block"])
@@ -239,10 +327,64 @@ class TestIndexPayloadFuzzRoundTrip:
         assert engine.index.nbytes() == payload.nbytes()
         report = engine.index.space_report()
         assert report == payload.space_report()
-        assert report["total"] == sum(v for key, v in report.items() if key != "total")
+        assert report["total"] == sum(
+            v for key, v in report.items() if key not in ("total", "total_wide")
+        )
 
     def test_wrong_schema_rejected(self):
         with pytest.raises(ValidationError):
             index_from_payload(IndexPayload("rmq/sparse"))
         with pytest.raises(ValidationError):
             index_from_payload(IndexPayload("index/unheard-of"))
+
+
+class TestCompactEquivalenceFuzz:
+    """All five kinds: the dtype-minimized restore answers byte-identically.
+
+    The compact payload narrows integer dtypes and drops derived tables;
+    the restored index must return *exactly* the wide index's matches —
+    positions and float64 probabilities bit for bit — because narrowing
+    only touches integer carriers, never the log-space probability sums.
+    """
+
+    @pytest.mark.parametrize(
+        "kind", ["special", "simple", "general", "approximate", "listing"]
+    )
+    @pytest.mark.parametrize("seed", [41, 42, 43])
+    def test_compact_answers_byte_identical(self, kind, seed):
+        rng = random.Random(seed * 37 + hash(kind) % 113)
+        engine = _build_engine(kind, rng)
+        payload = index_to_payload(engine.index)
+        compacted = payload.compact()
+        # Narrowing actually bites: the stored bytes shrink on every kind
+        # (int64 positions/ranks fit in uint8/16 at these input sizes).
+        assert compacted.stored_nbytes() < payload.stored_nbytes(), kind
+        assert compacted.wide_nbytes() == payload.stored_nbytes()
+        restored = index_from_payload(compacted)
+        assert type(restored) is type(engine.index)
+        for _ in range(12):
+            pattern, tau, k = _probe(engine, rng)
+            assert engine.index.query(pattern, tau) == restored.query(pattern, tau), (
+                kind,
+                pattern,
+                tau,
+            )
+            assert engine.index.top_k(pattern, k, tau=tau) == restored.top_k(
+                pattern, k, tau=tau
+            ), (kind, pattern, k)
+
+    @pytest.mark.parametrize("kind", ["special", "general"])
+    def test_build_index_compact_flag(self, kind):
+        data = (
+            make_random_special_string(60, seed=7)
+            if kind == "special"
+            else make_random_uncertain_string(40, 0.3, seed=7)
+        )
+        kwargs = {"kind": kind, "tau_min": 0.1} if kind == "general" else {"kind": kind}
+        wide = build_index(data, **kwargs)
+        compact = build_index(data, compact=True, **kwargs)
+        assert compact.index.nbytes() < wide.index.nbytes()
+        rng = random.Random(78)
+        for _ in range(8):
+            pattern, tau, _ = _probe(wide, rng)
+            assert wide.index.query(pattern, tau) == compact.index.query(pattern, tau)

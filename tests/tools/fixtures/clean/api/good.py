@@ -25,6 +25,20 @@ def run(plans):
     return [future.result() for future in futures]
 
 
+def export_for_index(index):
+    return index
+
+
+def start_shm_pool(self):
+    # Shared-memory boundary: a spec() tuple (block name + layout) is
+    # plain data even when derived from live engine state.
+    return ProcessPoolExecutor(
+        max_workers=1,
+        initializer=initialize_worker,
+        initargs=({0: export_for_index(self._engines[0].index).spec()},),
+    )
+
+
 def validate(value):
     if value is None:
         raise ValidationError("value is required")

@@ -10,6 +10,8 @@ class ShardedThing:
             pool.submit(engine.query, plans)  # bound method submitted
             pool.submit(query_worker, self._engines)  # live attribute shipped
             pool.submit(query_worker, engine)  # live object shipped
+            pool.submit(query_worker, self._shm_exports)  # live export table shipped
+            pool.submit(query_worker, export)  # live shm export shipped
 
 
 def query_worker(args):

@@ -79,8 +79,15 @@ class TestWorkerBoundary:
         assert (pool, line_of(VIOLATIONS, pool, "# bound method submitted")) in where
         assert (pool, line_of(VIOLATIONS, pool, "# live attribute shipped")) in where
         assert (pool, line_of(VIOLATIONS, pool, "# live object shipped")) in where
+        assert (
+            pool,
+            line_of(VIOLATIONS, pool, "# live export table shipped"),
+        ) in where
+        assert (pool, line_of(VIOLATIONS, pool, "# live shm export shipped")) in where
 
     def test_clean(self):
+        # Includes the shared-memory shape: export_for_index(...).spec()
+        # in initargs is whitelisted converter output, not a live object.
         assert findings_for("worker-boundary", CLEAN, "clean") == []
 
 
